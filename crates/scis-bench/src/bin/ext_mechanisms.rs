@@ -1,0 +1,93 @@
+//! Extension experiment (the paper's §VII future work): how do GAIN and
+//! SCIS-GAIN behave when the missingness is *not* MCAR?
+//!
+//! The paper's theory (Example 1, Theorem 1) assumes MCAR; its conclusion
+//! names complex mechanisms as future work. This bench injects the same
+//! overall missing rate under MCAR, MAR (driver-feature dependent) and
+//! MNAR (self-value dependent) and reports the RMSE of mean / GAIN /
+//! SCIS-GAIN against the known ground truth.
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin ext_mechanisms
+//! ```
+
+use scis_bench::harness::{finish_process, run_with_budget, BenchConfig};
+use scis_core::dim::DimConfig;
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_data::metrics::rmse_vs_ground_truth;
+use scis_data::missing::{inject, Mechanism};
+use scis_data::normalize::MinMaxScaler;
+use scis_data::synth::{generate, SynthConfig};
+use scis_imputers::mean::MeanImputer;
+use scis_imputers::{GainImputer, Imputer};
+use scis_tensor::Rng64;
+
+fn main() {
+    let cfg = BenchConfig::from_env(1.0, 1, 900);
+    let mut rng = Rng64::seed_from_u64(321);
+    let synth = generate(
+        &SynthConfig { n_samples: 4_000, n_features: 10, latent_dim: 3, ..Default::default() },
+        &mut rng,
+    );
+    println!(
+        "mechanism extension — 4,000 x 10 synthetic table, rate 0.3, {} epochs\n",
+        cfg.epochs
+    );
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>9}",
+        "Mech", "Mean", "GAIN", "SCIS-GAIN", "R_t (%)"
+    );
+    println!("{}", "-".repeat(54));
+
+    for (label, mech) in [
+        ("MCAR", Mechanism::Mcar { rate: 0.3 }),
+        ("MAR", Mechanism::Mar { rate: 0.3 }),
+        ("MNAR", Mechanism::Mnar { rate: 0.3 }),
+    ] {
+        let mut inj_rng = Rng64::seed_from_u64(7);
+        let ds = inject(&synth.complete, synth.kinds.clone(), mech, &mut inj_rng);
+        let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&ds);
+        let gt_norm = scaler.transform(&synth.complete);
+        let train = cfg.train_config();
+
+        let mut r0 = Rng64::seed_from_u64(11);
+        let e_mean = rmse_vs_ground_truth(&norm, &gt_norm, &MeanImputer.impute(&norm, &mut r0));
+
+        let ds1 = norm.clone();
+        let mut r1 = Rng64::seed_from_u64(11);
+        let e_gain = run_with_budget(cfg.budget, move || {
+            GainImputer::new(train).impute(&ds1, &mut r1)
+        })
+        .map(|m| rmse_vs_ground_truth(&norm, &gt_norm, &m));
+
+        let ds2 = norm.clone();
+        let mut r2 = Rng64::seed_from_u64(11);
+        let scis = run_with_budget(cfg.budget, move || {
+            let config =
+                ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+            let mut gain = GainImputer::new(train);
+            let outcome = Scis::new(config).run(&mut gain, &ds2, 300, &mut r2);
+            let rt = outcome.training_sample_rate();
+            (outcome.imputed, rt)
+        })
+        .map(|(m, rt)| (rmse_vs_ground_truth(&norm, &gt_norm, &m), rt));
+
+        match (e_gain, scis) {
+            (Some(g), Some((s, rt))) => println!(
+                "{:<8} {:>10.4} {:>10.4} {:>12.4} {:>8.2}%",
+                label,
+                e_mean,
+                g,
+                s,
+                rt * 100.0
+            ),
+            _ => println!("{:<8} — (budget exceeded)", label),
+        }
+    }
+    println!(
+        "\nExpectation: all methods degrade from MCAR → MNAR (information is\n\
+         destroyed selectively); SCIS-GAIN should track GAIN under every\n\
+         mechanism since DIM/SSE wrap, not replace, the generator."
+    );
+    finish_process();
+}

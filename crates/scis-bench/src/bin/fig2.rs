@@ -1,0 +1,102 @@
+//! Figure 2 — effect of the missing rate R_m: RMSE, training time, R_t and
+//! SSE time for GAIN vs SCIS-GAIN as R_m sweeps 10%..90%.
+//!
+//! Following §VI.B, R_m is the fraction of *originally observed* values
+//! dropped; the dropped cells are the evaluation ground truth.
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin fig2
+//! RECIPES=trial,response cargo run -p scis-bench --release --bin fig2
+//! ```
+
+use scis_bench::harness::{finish_process, recipes_from_env, run_with_budget, BenchConfig};
+use scis_core::dim::DimConfig;
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_data::metrics::make_holdout;
+use scis_data::normalize::MinMaxScaler;
+use scis_data::CovidRecipe;
+use scis_imputers::{GainImputer, Imputer};
+use scis_tensor::Rng64;
+use std::time::Instant;
+
+fn main() {
+    let cfg = BenchConfig::from_env(0.1, 1, 900);
+    println!(
+        "Figure 2 reproduction — scale {}, {}s budget, {} epochs",
+        cfg.scale,
+        cfg.budget.as_secs(),
+        cfg.epochs
+    );
+
+    let default = [CovidRecipe::Trial, CovidRecipe::Emergency, CovidRecipe::Response];
+    for recipe in recipes_from_env(&default) {
+        let scale = cfg.scale.min(cfg.max_rows as f64 / recipe.full_samples() as f64).min(1.0);
+        let inst = recipe.generate(scale, 77);
+        let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
+        println!(
+            "\n[{}] {} x {}, base missing {:.1}%, n0 = {}",
+            recipe.name(),
+            norm.n_samples(),
+            norm.n_features(),
+            norm.missing_rate() * 100.0,
+            inst.n0
+        );
+        println!(
+            "{:>5} | {:>12} {:>9} | {:>12} {:>9} {:>8} {:>9}",
+            "R_m", "GAIN rmse", "time", "SCIS rmse", "time", "R_t", "SSE time"
+        );
+        println!("{}", "-".repeat(78));
+        for rm10 in 1..=9 {
+            let rm = rm10 as f64 / 10.0;
+            let mut rng = Rng64::seed_from_u64(500 + rm10);
+            let (train_ds, holdout) = make_holdout(&norm, rm, &mut rng);
+            if holdout.is_empty() {
+                continue;
+            }
+            let train = cfg.train_config();
+
+            // --- GAIN ---
+            let ds1 = train_ds.clone();
+            let mut rng1 = rng.fork();
+            let t = Instant::now();
+            let gain_res = run_with_budget(cfg.budget, move || {
+                GainImputer::new(train).impute(&ds1, &mut rng1)
+            });
+            let gain_time = t.elapsed().as_secs_f64();
+            let gain_rmse = gain_res.as_ref().map(|m| holdout.rmse(m));
+
+            // --- SCIS-GAIN ---
+            let ds2 = train_ds.clone();
+            let mut rng2 = rng.fork();
+            let n0 = inst.n0.min(train_ds.n_samples() / 3);
+            let t = Instant::now();
+            let scis_res = run_with_budget(cfg.budget, move || {
+                let config =
+                    ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+                let mut gain = GainImputer::new(train);
+                let outcome = Scis::new(config).run(&mut gain, &ds2, n0, &mut rng2);
+                let rt = outcome.training_sample_rate();
+                let sse_t = outcome.sse_time.as_secs_f64();
+                (outcome.imputed, rt, sse_t)
+            });
+            let scis_time = t.elapsed().as_secs_f64();
+
+            match (gain_rmse, scis_res) {
+                (Some(ge), Some((imputed, rt, sse_t))) => {
+                    println!(
+                        "{:>4}% | {:>12.4} {:>8.2}s | {:>12.4} {:>8.2}s {:>7.2}% {:>8.2}s",
+                        rm10 * 10,
+                        ge,
+                        gain_time,
+                        holdout.rmse(&imputed),
+                        scis_time,
+                        rt * 100.0,
+                        sse_t
+                    );
+                }
+                _ => println!("{:>4}% | — (budget exceeded)", rm10 * 10),
+            }
+        }
+    }
+    finish_process();
+}

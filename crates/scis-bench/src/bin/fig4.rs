@@ -1,0 +1,75 @@
+//! Figure 4 — effect of the initial sample size n0 on SCIS-GAIN: RMSE,
+//! training time, and R_t as n0 sweeps around the paper's per-dataset
+//! optimum. Expectation (§VI.B): smaller n0 → larger Theorem-1 variance →
+//! larger n* and R_t.
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin fig4
+//! ```
+
+use scis_bench::harness::{finish_process, recipes_from_env, run_with_budget, BenchConfig};
+use scis_core::dim::DimConfig;
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_data::metrics::make_holdout;
+use scis_data::normalize::MinMaxScaler;
+use scis_data::CovidRecipe;
+use scis_imputers::GainImputer;
+use scis_tensor::Rng64;
+
+fn main() {
+    let cfg = BenchConfig::from_env(0.1, 1, 900);
+    println!(
+        "Figure 4 reproduction — scale {}, {}s budget, {} epochs",
+        cfg.scale,
+        cfg.budget.as_secs(),
+        cfg.epochs
+    );
+
+    let default = [CovidRecipe::Trial, CovidRecipe::Emergency, CovidRecipe::Response];
+    for recipe in recipes_from_env(&default) {
+        let scale = cfg.scale.min(cfg.max_rows as f64 / recipe.full_samples() as f64).min(1.0);
+        let inst = recipe.generate(scale, 99);
+        let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
+        let mut rng = Rng64::seed_from_u64(700);
+        let (train_ds, holdout) = make_holdout(&norm, cfg.holdout_frac, &mut rng);
+        let n = train_ds.n_samples();
+        let paper_n0 = inst.n0;
+        println!(
+            "\n[{}] {} rows; paper-optimal n0 (scaled) = {}",
+            recipe.name(),
+            n,
+            paper_n0
+        );
+        println!(
+            "{:>8} {:>12} {:>9} {:>9} {:>9}",
+            "n0", "RMSE", "R_t (%)", "n*", "time (s)"
+        );
+        println!("{}", "-".repeat(52));
+        for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            let n0 = ((paper_n0 as f64 * factor) as usize).clamp(16, n / 3);
+            let train = cfg.train_config();
+            let ds = train_ds.clone();
+            let mut run_rng = rng.fork();
+            let t = std::time::Instant::now();
+            let res = run_with_budget(cfg.budget, move || {
+                let config =
+                    ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+                let mut gain = GainImputer::new(train);
+                let outcome = Scis::new(config).run(&mut gain, &ds, n0, &mut run_rng);
+                { let rt = outcome.training_sample_rate(); (outcome.imputed, rt, outcome.n_star) }
+            });
+            match res {
+                Some((imputed, rt, n_star)) => println!(
+                    "{:>8} {:>12.4} {:>8.2}% {:>9} {:>9.2}",
+                    n0,
+                    holdout.rmse(&imputed),
+                    rt * 100.0,
+                    n_star,
+                    t.elapsed().as_secs_f64()
+                ),
+                None => println!("{:>8} — (budget exceeded)", n0),
+            }
+        }
+    }
+    finish_process();
+}

@@ -1,0 +1,59 @@
+//! §IV.A Example 1 — the analytic JS-vs-MS divergence contrast that
+//! motivates DIM: for `p0 = δ_0`, `p_θ = δ_θ` under a Bernoulli(q) MCAR
+//! mask, the JS divergence is the constant `2·log 2` for every `θ ≠ 0`
+//! (zero gradient a.e. — the "vanishing gradient"), while the MS divergence
+//! is `2qθ² + λ[(1−q)log(1−q) + q·log q]`, quadratic with informative
+//! gradients everywhere.
+//!
+//! This binary prints the closed forms next to the *empirical* MS
+//! divergence computed by our Sinkhorn solver, validating the paper's
+//! example end to end.
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin fig_divergence
+//! ```
+
+use scis_ot::{ms_divergence, SinkhornOptions};
+use scis_tensor::{Matrix, Rng64};
+
+fn main() {
+    let n = 400;
+    let q = 0.5; // P(observed)
+    let lambda = 0.01;
+    let mut rng = Rng64::seed_from_u64(1);
+    let mask = Matrix::from_fn(n, 1, |_, _| if rng.bernoulli(q) { 1.0 } else { 0.0 });
+    let q_emp = mask.mean();
+    let x0 = Matrix::zeros(n, 1);
+    let opts = SinkhornOptions { lambda, max_iters: 20_000, tol: 1e-11 };
+    let entropy_const = lambda * ((1.0 - q_emp) * (1.0 - q_emp).ln() + q_emp * q_emp.ln());
+
+    println!("Example 1: p0 = δ_0 vs p_θ = δ_θ, MCAR mask ~ Ber({q}), λ = {lambda}");
+    println!("empirical q = {:.3}; n = {}\n", q_emp, n);
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>12}",
+        "theta", "JS", "MS (paper)", "MS (Sinkhorn)", "dMS/dθ ≈"
+    );
+    println!("{}", "-".repeat(62));
+    let thetas = [0.0, 0.25, 0.5, 0.75, 1.0, 1.5];
+    let mut prev: Option<(f64, f64)> = None;
+    for &theta in &thetas {
+        let js = if theta == 0.0 { 0.0 } else { 2.0 * 2.0f64.ln() };
+        let ms_paper = 2.0 * q_emp * theta * theta + entropy_const;
+        let xt = Matrix::full(n, 1, theta);
+        let ms_emp = ms_divergence(&xt, &x0, &mask, &opts).value;
+        let slope = prev
+            .map(|(pt, pv)| (ms_emp - pv) / (theta - pt))
+            .map(|s| format!("{:>12.4}", s))
+            .unwrap_or_else(|| format!("{:>12}", "-"));
+        println!(
+            "{:>6.2} {:>12.4} {:>14.4} {:>14.4} {}",
+            theta, js, ms_paper, ms_emp, slope
+        );
+        prev = Some((theta, ms_emp));
+    }
+    println!(
+        "\nJS: flat at 2·log2 = {:.4} for θ ≠ 0 → zero gradient a.e. (vanishing)",
+        2.0 * 2.0f64.ln()
+    );
+    println!("MS: quadratic in θ → gradient 4qθ grows linearly — always informative.");
+}

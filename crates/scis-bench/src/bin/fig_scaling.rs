@@ -1,0 +1,96 @@
+//! The abstract's headline claim: *"SCIS can accelerate the generative
+//! adversarial model training by 7.1×, using around 7.6% samples"*.
+//!
+//! This bench sweeps the dataset size N (Response recipe) and reports, per
+//! N: GAIN's full-data training time, SCIS-GAIN's total time, the speedup,
+//! R_t, and both RMSEs. The expected shape: speedup grows with N (GAIN is
+//! linear in N per epoch, SCIS is ~flat once n* saturates), crossing ~1×
+//! at small N and reaching high single digits at the largest size that
+//! fits the budget.
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin fig_scaling
+//! SIZES=2000,8000,32000 cargo run -p scis-bench --release --bin fig_scaling
+//! ```
+
+use scis_bench::harness::{finish_process, run_with_budget, BenchConfig};
+use scis_core::dim::DimConfig;
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_data::metrics::make_holdout;
+use scis_data::normalize::MinMaxScaler;
+use scis_data::CovidRecipe;
+use scis_imputers::{GainImputer, Imputer};
+use scis_tensor::Rng64;
+use std::time::Instant;
+
+fn main() {
+    let cfg = BenchConfig::from_env(1.0, 1, 1800);
+    let sizes: Vec<usize> = std::env::var("SIZES")
+        .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+        .unwrap_or_else(|_| vec![1_000, 4_000, 16_000, 64_000]);
+    println!(
+        "scaling sweep (Response recipe) — {} epochs, {}s budget",
+        cfg.epochs,
+        cfg.budget.as_secs()
+    );
+    println!(
+        "\n{:>8} | {:>10} {:>9} | {:>10} {:>9} {:>8} | {:>8}",
+        "N", "GAIN rmse", "time", "SCIS rmse", "time", "R_t", "speedup"
+    );
+    println!("{}", "-".repeat(78));
+
+    for &n in &sizes {
+        let scale = n as f64 / CovidRecipe::Response.full_samples() as f64;
+        let inst = CovidRecipe::Response.generate(scale.min(1.0), 222);
+        let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
+        let mut rng = Rng64::seed_from_u64(222);
+        let (train_ds, holdout) = make_holdout(&norm, 0.2, &mut rng);
+        let train = cfg.train_config();
+        let n0 = inst.n0.min(train_ds.n_samples() / 3).max(32);
+
+        let ds1 = train_ds.clone();
+        let mut r1 = rng.fork();
+        let t = Instant::now();
+        let gain_res =
+            run_with_budget(cfg.budget, move || GainImputer::new(train).impute(&ds1, &mut r1));
+        let gain_time = t.elapsed().as_secs_f64();
+
+        let ds2 = train_ds.clone();
+        let mut r2 = rng.fork();
+        let t = Instant::now();
+        let scis_res = run_with_budget(cfg.budget, move || {
+            let config =
+                ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+            let mut gain = GainImputer::new(train);
+            let outcome = Scis::new(config).run(&mut gain, &ds2, n0, &mut r2);
+            let rt = outcome.training_sample_rate();
+            (outcome.imputed, rt)
+        });
+        let scis_time = t.elapsed().as_secs_f64();
+
+        match (gain_res, scis_res) {
+            (Some(g), Some((s, rt))) => println!(
+                "{:>8} | {:>10.4} {:>8.2}s | {:>10.4} {:>8.2}s {:>7.2}% | {:>7.2}x",
+                train_ds.n_samples(),
+                holdout.rmse(&g),
+                gain_time,
+                holdout.rmse(&s),
+                scis_time,
+                rt * 100.0,
+                gain_time / scis_time.max(1e-9)
+            ),
+            (None, Some((s, rt))) => println!(
+                "{:>8} | {:>10} {:>9} | {:>10.4} {:>8.2}s {:>7.2}% | {:>8}",
+                train_ds.n_samples(),
+                "—",
+                "—",
+                holdout.rmse(&s),
+                scis_time,
+                rt * 100.0,
+                ">budget"
+            ),
+            _ => println!("{:>8} | both exceeded the budget", train_ds.n_samples()),
+        }
+    }
+    finish_process();
+}

@@ -1,0 +1,126 @@
+//! Consolidates the CSVs written by `table3/4/5/6` into the comparison
+//! summaries the paper's prose reports: average speedup, average sample
+//! rate, and RMSE deltas of the SCIS rows vs their base models.
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin summarize            # reads bench_results/
+//! RESULTS_DIR=other/dir cargo run -p scis-bench --release --bin summarize
+//! ```
+
+use scis_bench::report::results_dir;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Row {
+    dataset: String,
+    method: String,
+    rmse: f64,
+    time_s: f64,
+    rt: f64,
+    finished: bool,
+}
+
+fn parse(path: &std::path::Path) -> Vec<Row> {
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    content
+        .lines()
+        .skip(1)
+        .filter_map(|line| {
+            let f: Vec<&str> = line.split(',').collect();
+            if f.len() < 7 {
+                return None;
+            }
+            Some(Row {
+                dataset: f[0].to_string(),
+                method: f[1].to_string(),
+                rmse: f[2].parse().unwrap_or(f64::NAN),
+                time_s: f[4].parse().unwrap_or(f64::NAN),
+                rt: f[5].parse().unwrap_or(f64::NAN),
+                finished: f[6].trim() == "true",
+            })
+        })
+        .collect()
+}
+
+fn compare(rows: &[Row], base: &str, scis: &str) {
+    let by_key: HashMap<(String, String), &Row> = rows
+        .iter()
+        .map(|r| ((r.dataset.clone(), r.method.clone()), r))
+        .collect();
+    let datasets: Vec<String> = {
+        let mut seen = Vec::new();
+        for r in rows {
+            if !seen.contains(&r.dataset) {
+                seen.push(r.dataset.clone());
+            }
+        }
+        seen
+    };
+    let mut speedups = Vec::new();
+    let mut rts = Vec::new();
+    let mut rmse_deltas = Vec::new();
+    println!("\n--- {} vs {} ---", scis, base);
+    for d in &datasets {
+        let (Some(b), Some(s)) = (
+            by_key.get(&(d.clone(), base.to_string())),
+            by_key.get(&(d.clone(), scis.to_string())),
+        ) else {
+            continue;
+        };
+        match (b.finished, s.finished) {
+            (true, true) => {
+                let speedup = b.time_s / s.time_s.max(1e-9);
+                let delta = (s.rmse - b.rmse) / b.rmse.max(1e-12) * 100.0;
+                println!(
+                    "{:<12} speedup {:>6.2}x  R_t {:>6.2}%  ΔRMSE {:>+6.2}%",
+                    d, speedup, s.rt, delta
+                );
+                speedups.push(speedup);
+                rts.push(s.rt);
+                rmse_deltas.push(delta);
+            }
+            (false, true) => {
+                println!(
+                    "{:<12} {} finished ({}s, R_t {:.2}%) while {} missed the budget",
+                    d, scis, s.time_s, s.rt, base
+                );
+            }
+            (true, false) => println!("{:<12} {} missed the budget", d, scis),
+            (false, false) => println!("{:<12} both missed the budget", d),
+        }
+    }
+    if !speedups.is_empty() {
+        let n = speedups.len() as f64;
+        println!(
+            "average: speedup {:.2}x, R_t {:.2}%, ΔRMSE {:+.2}% over {} dataset(s)",
+            speedups.iter().sum::<f64>() / n,
+            rts.iter().sum::<f64>() / n,
+            rmse_deltas.iter().sum::<f64>() / n,
+            speedups.len()
+        );
+    }
+}
+
+fn main() {
+    let dir = results_dir();
+    println!("summarizing {}", dir.display());
+    let mut all: Vec<Row> = Vec::new();
+    for file in ["table3.csv", "table4.csv", "table5.csv", "table6.csv"] {
+        let rows = parse(&dir.join(file));
+        if !rows.is_empty() {
+            println!("  {} — {} rows", file, rows.len());
+            all.extend(rows);
+        }
+    }
+    if all.is_empty() {
+        println!("no results yet — run the table binaries first");
+        return;
+    }
+    compare(&all, "GAIN", "SCIS-GAIN");
+    compare(&all, "GINN", "SCIS-GINN");
+    compare(&all, "GAIN", "DIM-GAIN");
+    compare(&all, "DIM-GAIN", "SCIS-GAIN");
+    compare(&all, "Fixed-DIM-GAIN", "SCIS-GAIN");
+}

@@ -1,0 +1,49 @@
+//! Table III — performance comparison of all imputation methods over the
+//! Trial, Emergency, and Response recipes (RMSE ± bias, training time,
+//! training sample rate R_t).
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin table3
+//! SCALE=0.25 SEEDS=5 BUDGET=600 cargo run -p scis-bench --release --bin table3
+//! ```
+
+use scis_bench::harness::{evaluate_method, finish_process, load_recipe, BenchConfig};
+use scis_bench::methods::MethodId;
+use scis_bench::report::{print_table, results_dir, write_csv};
+use scis_data::CovidRecipe;
+
+fn main() {
+    let cfg = BenchConfig::from_env(0.1, 3, 300);
+    println!(
+        "Table III reproduction — scale {}, {} seeds, {}s budget, {} epochs",
+        cfg.scale,
+        cfg.seeds,
+        cfg.budget.as_secs(),
+        cfg.epochs
+    );
+    let csv = results_dir().join("table3.csv");
+
+    for recipe in [CovidRecipe::Trial, CovidRecipe::Emergency, CovidRecipe::Response] {
+        let (dataset, n0) = load_recipe(recipe, &cfg, 1000 + recipe.features() as u64);
+        println!(
+            "\n[{}] {} x {} @ {:.2}% missing, n0 = {}",
+            recipe.name(),
+            dataset.n_samples(),
+            dataset.n_features(),
+            dataset.missing_rate() * 100.0,
+            n0
+        );
+        let mut rows = Vec::new();
+        for id in MethodId::TABLE3 {
+            let out = evaluate_method(id, &dataset, n0, &cfg, 42);
+            println!("  {} done ({})", id.name(), if out.finished { "ok" } else { "—" });
+            rows.push(out);
+        }
+        print_table(recipe.name(), &rows);
+        if let Err(e) = write_csv(&csv, recipe.name(), &rows) {
+            eprintln!("csv write failed: {}", e);
+        }
+    }
+    println!("\nresults appended to {}", csv.display());
+    finish_process();
+}

@@ -1,0 +1,50 @@
+//! Table IV — performance comparison on the million-scale recipes
+//! (Search, Weather, Surveil), scaled by `SCALE`. Methods that exceed the
+//! per-run budget print "—", the paper's notation for its 10⁵-second cap —
+//! on these recipes that is expected for GINN (O(N²) graph build).
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin table4
+//! SCALE=0.02 BUDGET=1200 cargo run -p scis-bench --release --bin table4
+//! ```
+
+use scis_bench::harness::{evaluate_method, finish_process, load_recipe, BenchConfig};
+use scis_bench::methods::MethodId;
+use scis_bench::report::{print_table, results_dir, write_csv};
+use scis_data::CovidRecipe;
+
+fn main() {
+    let cfg = BenchConfig::from_env(0.005, 2, 600);
+    println!(
+        "Table IV reproduction — scale {}, {} seeds, {}s budget, {} epochs",
+        cfg.scale,
+        cfg.seeds,
+        cfg.budget.as_secs(),
+        cfg.epochs
+    );
+    let csv = results_dir().join("table4.csv");
+
+    for recipe in [CovidRecipe::Search, CovidRecipe::Weather, CovidRecipe::Surveil] {
+        let (dataset, n0) = load_recipe(recipe, &cfg, 2000 + recipe.features() as u64);
+        println!(
+            "\n[{}] {} x {} @ {:.2}% missing, n0 = {}",
+            recipe.name(),
+            dataset.n_samples(),
+            dataset.n_features(),
+            dataset.missing_rate() * 100.0,
+            n0
+        );
+        let mut rows = Vec::new();
+        for id in MethodId::TABLE4 {
+            let out = evaluate_method(id, &dataset, n0, &cfg, 43);
+            println!("  {} done ({})", id.name(), if out.finished { "ok" } else { "—" });
+            rows.push(out);
+        }
+        print_table(recipe.name(), &rows);
+        if let Err(e) = write_csv(&csv, recipe.name(), &rows) {
+            eprintln!("csv write failed: {}", e);
+        }
+    }
+    println!("\nresults appended to {}", csv.display());
+    finish_process();
+}

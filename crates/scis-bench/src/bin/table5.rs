@@ -1,0 +1,41 @@
+//! Table V — ablation study of SCIS over Trial, Emergency, Response:
+//! GAIN vs DIM-GAIN (MS loss, no SSE) vs Fixed-DIM-GAIN (fixed 10% sample)
+//! vs SCIS-GAIN (full system).
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin table5
+//! ```
+
+use scis_bench::harness::{evaluate_method, finish_process, load_recipe, BenchConfig};
+use scis_bench::methods::MethodId;
+use scis_bench::report::{print_table, results_dir, write_csv};
+use scis_data::CovidRecipe;
+
+fn main() {
+    let cfg = BenchConfig::from_env(0.1, 3, 600);
+    println!(
+        "Table V reproduction (ablation) — scale {}, {} seeds, {}s budget, {} epochs",
+        cfg.scale,
+        cfg.seeds,
+        cfg.budget.as_secs(),
+        cfg.epochs
+    );
+    let csv = results_dir().join("table5.csv");
+
+    for recipe in [CovidRecipe::Trial, CovidRecipe::Emergency, CovidRecipe::Response] {
+        let (dataset, n0) = load_recipe(recipe, &cfg, 3000 + recipe.features() as u64);
+        println!("\n[{}] {} rows, n0 = {}", recipe.name(), dataset.n_samples(), n0);
+        let mut rows = Vec::new();
+        for id in MethodId::ABLATION {
+            let out = evaluate_method(id, &dataset, n0, &cfg, 44);
+            println!("  {} done ({})", id.name(), if out.finished { "ok" } else { "—" });
+            rows.push(out);
+        }
+        print_table(recipe.name(), &rows);
+        if let Err(e) = write_csv(&csv, recipe.name(), &rows) {
+            eprintln!("csv write failed: {}", e);
+        }
+    }
+    println!("\nresults appended to {}", csv.display());
+    finish_process();
+}

@@ -1,0 +1,42 @@
+//! Table VI — the ablation of Table V repeated on the large recipes
+//! (Search, Weather, Surveil). DIM-GAIN (MS loss over the *full* data) is
+//! the row expected to hit the budget here, as it did the paper's
+//! 10⁵-second cap.
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin table6
+//! ```
+
+use scis_bench::harness::{evaluate_method, finish_process, load_recipe, BenchConfig};
+use scis_bench::methods::MethodId;
+use scis_bench::report::{print_table, results_dir, write_csv};
+use scis_data::CovidRecipe;
+
+fn main() {
+    let cfg = BenchConfig::from_env(0.005, 2, 600);
+    println!(
+        "Table VI reproduction (ablation, large) — scale {}, {} seeds, {}s budget, {} epochs",
+        cfg.scale,
+        cfg.seeds,
+        cfg.budget.as_secs(),
+        cfg.epochs
+    );
+    let csv = results_dir().join("table6.csv");
+
+    for recipe in [CovidRecipe::Search, CovidRecipe::Weather, CovidRecipe::Surveil] {
+        let (dataset, n0) = load_recipe(recipe, &cfg, 4000 + recipe.features() as u64);
+        println!("\n[{}] {} rows, n0 = {}", recipe.name(), dataset.n_samples(), n0);
+        let mut rows = Vec::new();
+        for id in MethodId::ABLATION {
+            let out = evaluate_method(id, &dataset, n0, &cfg, 45);
+            println!("  {} done ({})", id.name(), if out.finished { "ok" } else { "—" });
+            rows.push(out);
+        }
+        print_table(recipe.name(), &rows);
+        if let Err(e) = write_csv(&csv, recipe.name(), &rows) {
+            eprintln!("csv write failed: {}", e);
+        }
+    }
+    println!("\nresults appended to {}", csv.display());
+    finish_process();
+}

@@ -1,0 +1,135 @@
+//! Table VII — post-imputation prediction: impute with GAIN vs SCIS-GAIN,
+//! then train a 3-layer fully connected predictor on the imputed features
+//! (30 epochs, lr 0.005, dropout 0.5, batch 128 — §VI.D). Classification
+//! (AUC) on Trial and Surveil; regression (MAE) on Emergency, Response,
+//! Search, Weather.
+//!
+//! The downstream target is the dataset's *last* column (from the ground
+//! truth, never shown to the imputers); classification binarizes it at the
+//! median.
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin table7
+//! ```
+
+use scis_bench::harness::{finish_process, run_with_budget, BenchConfig};
+use scis_bench::predictor::{classification_auc, regression_mae, PredictorConfig};
+use scis_core::dim::DimConfig;
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_data::normalize::MinMaxScaler;
+use scis_data::{CovidRecipe, Dataset};
+use scis_imputers::{GainImputer, Imputer};
+use scis_tensor::stats::nan_median;
+use scis_tensor::{Matrix, Rng64};
+
+struct Task {
+    recipe: CovidRecipe,
+    classification: bool,
+    scale_override: Option<f64>,
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env(0.1, 1, 900);
+    println!(
+        "Table VII reproduction — scale {}, {}s budget, {} epochs",
+        cfg.scale,
+        cfg.budget.as_secs(),
+        cfg.epochs
+    );
+    let tasks = [
+        Task { recipe: CovidRecipe::Trial, classification: true, scale_override: None },
+        Task { recipe: CovidRecipe::Surveil, classification: true, scale_override: Some(0.002) },
+        Task { recipe: CovidRecipe::Emergency, classification: false, scale_override: None },
+        Task { recipe: CovidRecipe::Response, classification: false, scale_override: Some(0.02) },
+        Task { recipe: CovidRecipe::Search, classification: false, scale_override: Some(0.005) },
+        Task { recipe: CovidRecipe::Weather, classification: false, scale_override: Some(0.002) },
+    ];
+
+    println!(
+        "\n{:<8} {:<10} {:>12} {:>12}",
+        "Metric", "Dataset", "GAIN", "SCIS-GAIN"
+    );
+    println!("{}", "-".repeat(46));
+    for task in &tasks {
+        let scale = task.scale_override.unwrap_or(cfg.scale);
+        let scale = scale.min(cfg.max_rows as f64 / task.recipe.full_samples() as f64).min(1.0);
+        let inst = task.recipe.generate(scale, 111);
+        let d = inst.dataset.n_features();
+        let target_col = d - 1;
+        // features: all but the target column; target from ground truth
+        let feature_cols: Vec<usize> = (0..target_col).collect();
+        let fds = Dataset {
+            values: inst.dataset.values.select_cols(&feature_cols),
+            mask: {
+                let mut m = scis_data::MaskMatrix::all_missing(
+                    inst.dataset.n_samples(),
+                    feature_cols.len(),
+                );
+                for i in 0..inst.dataset.n_samples() {
+                    for (k, &j) in feature_cols.iter().enumerate() {
+                        if inst.dataset.mask.get(i, j) {
+                            m.set(i, k, true);
+                        }
+                    }
+                }
+                m
+            },
+            kinds: feature_cols.iter().map(|&j| inst.dataset.kinds[j].clone()).collect(),
+        };
+        let (norm, _) = MinMaxScaler::fit_transform_dataset(&fds);
+        let target: Vec<f64> = inst.ground_truth.col(target_col);
+        let median = nan_median(&target).unwrap_or(0.0);
+        let labels: Vec<u8> = target.iter().map(|&v| (v > median) as u8).collect();
+        let train = cfg.train_config();
+        let n0 = inst.n0.min(norm.n_samples() / 3).max(16);
+
+        // impute with both methods
+        let mut rng = Rng64::seed_from_u64(900);
+        let ds1 = norm.clone();
+        let mut r1 = rng.fork();
+        let gain_imp = run_with_budget(cfg.budget, move || {
+            GainImputer::new(train).impute(&ds1, &mut r1)
+        });
+        let ds2 = norm.clone();
+        let mut r2 = rng.fork();
+        let scis_imp = run_with_budget(cfg.budget, move || {
+            let config =
+                ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+            let mut gain = GainImputer::new(train);
+            Scis::new(config).run(&mut gain, &ds2, n0, &mut r2).imputed
+        });
+
+        let (Some(gain_x), Some(scis_x)) = (gain_imp, scis_imp) else {
+            println!(
+                "{:<8} {:<10} {:>12} {:>12}",
+                if task.classification { "AUC" } else { "MAE" },
+                task.recipe.name(),
+                "—",
+                "—"
+            );
+            continue;
+        };
+
+        let pcfg = PredictorConfig::default();
+        let score = |x: &Matrix, rng: &mut Rng64| -> f64 {
+            if task.classification {
+                classification_auc(x, &labels, 0.7, &pcfg, rng)
+            } else {
+                regression_mae(x, &target, 0.7, &pcfg, rng)
+            }
+        };
+        let mut pr = rng.fork();
+        let g = score(&gain_x, &mut pr);
+        let mut pr = rng.fork();
+        let s = score(&scis_x, &mut pr);
+        println!(
+            "{:<8} {:<10} {:>12.4} {:>12.4}",
+            if task.classification { "AUC" } else { "MAE" },
+            task.recipe.name(),
+            g,
+            s
+        );
+    }
+    println!("\n(AUC: higher is better; MAE: lower is better)");
+    finish_process();
+}

@@ -1,0 +1,253 @@
+//! Budgeted, multi-seed experiment runner implementing the paper's §VI
+//! protocol: hide 20% of observed cells, impute, score RMSE on the hidden
+//! cells; repeat over random divisions and report mean ± std.
+
+use crate::methods::MethodId;
+use scis_data::metrics::make_holdout;
+use scis_data::normalize::MinMaxScaler;
+use scis_data::{CovidRecipe, Dataset};
+use scis_imputers::TrainConfig;
+use scis_tensor::stats::mean_and_std;
+use scis_tensor::Rng64;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Bench-wide configuration, read from environment variables so every
+/// binary shares the same knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Dataset scale factor relative to Table II's full sizes.
+    pub scale: f64,
+    /// Cap on generated rows regardless of `scale` (`MAXROWS`); lets the
+    /// small recipes run at full size while the million-row ones stay
+    /// laptop-sized.
+    pub max_rows: usize,
+    /// Number of random divisions (paper: 5).
+    pub seeds: u64,
+    /// Per-run wall-clock budget; exceeding it prints "—".
+    pub budget: Duration,
+    /// Training epochs for deep methods.
+    pub epochs: usize,
+    /// Fraction of observed cells hidden for evaluation (paper: 0.2).
+    pub holdout_frac: f64,
+}
+
+impl BenchConfig {
+    /// Reads `SCALE`, `SEEDS`, `BUDGET`, `EPOCHS` from the environment,
+    /// falling back to the given defaults.
+    pub fn from_env(default_scale: f64, default_seeds: u64, default_budget_s: u64) -> Self {
+        let get = |k: &str| std::env::var(k).ok();
+        Self {
+            scale: get("SCALE").and_then(|v| v.parse().ok()).unwrap_or(default_scale),
+            max_rows: get("MAXROWS").and_then(|v| v.parse().ok()).unwrap_or(usize::MAX),
+            seeds: get("SEEDS").and_then(|v| v.parse().ok()).unwrap_or(default_seeds),
+            budget: Duration::from_secs(
+                get("BUDGET").and_then(|v| v.parse().ok()).unwrap_or(default_budget_s),
+            ),
+            epochs: get("EPOCHS").and_then(|v| v.parse().ok()).unwrap_or(30),
+            holdout_frac: 0.2,
+        }
+    }
+
+    /// Training schedule derived from this config (paper defaults
+    /// otherwise: batch 128, lr 0.001, dropout 0.5).
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig { epochs: self.epochs, ..TrainConfig::default() }
+    }
+}
+
+/// Aggregated outcome of one `(method, dataset)` cell.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Method label.
+    pub method: &'static str,
+    /// Mean held-out RMSE over seeds.
+    pub rmse_mean: f64,
+    /// Std of the RMSE over seeds (the "± bias" column).
+    pub rmse_std: f64,
+    /// Mean wall-clock seconds per run.
+    pub time_s: f64,
+    /// Mean training sample rate `R_t` (%).
+    pub rt_percent: f64,
+    /// Whether all runs finished within the budget.
+    pub finished: bool,
+}
+
+impl RunOutcome {
+    /// The "did not finish" row.
+    pub fn dnf(method: &'static str) -> Self {
+        Self {
+            method,
+            rmse_mean: f64::NAN,
+            rmse_std: f64::NAN,
+            time_s: f64::NAN,
+            rt_percent: f64::NAN,
+            finished: false,
+        }
+    }
+}
+
+/// Runs `f` on a worker thread; returns `None` if it exceeds `budget`
+/// (the worker is abandoned, mirroring the paper's wall-clock cut-off —
+/// call [`finish_process`] at the end of `main` so abandoned workers don't
+/// keep the process alive).
+pub fn run_with_budget<T: Send + 'static>(
+    budget: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Option<T> {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    rx.recv_timeout(budget).ok()
+}
+
+/// Exits the process immediately (detached over-budget workers would
+/// otherwise keep it alive).
+pub fn finish_process() -> ! {
+    std::process::exit(0)
+}
+
+/// Evaluates one method on one recipe instance under the paper's protocol.
+///
+/// Per seed: a fresh 20% holdout of observed cells, a fresh method
+/// instance, a full run (within the budget), and the held-out RMSE.
+pub fn evaluate_method(
+    id: MethodId,
+    dataset: &Dataset,
+    n0: usize,
+    cfg: &BenchConfig,
+    seed_base: u64,
+) -> RunOutcome {
+    let (norm, _) = MinMaxScaler::fit_transform_dataset(dataset);
+    let mut rmses = Vec::new();
+    let mut times = Vec::new();
+    let mut rts = Vec::new();
+    for seed in 0..cfg.seeds {
+        let mut rng = Rng64::seed_from_u64(seed_base.wrapping_add(seed));
+        let (train_ds, holdout) = make_holdout(&norm, cfg.holdout_frac, &mut rng);
+        let train = cfg.train_config();
+        let worker_ds = train_ds.clone();
+        let mut worker_rng = rng.fork();
+        let started = Instant::now();
+        let result = run_with_budget(cfg.budget, move || {
+            id.run(&worker_ds, n0, train, &mut worker_rng)
+        });
+        match result {
+            Some((imputed, rt)) => {
+                rmses.push(holdout.rmse(&imputed));
+                times.push(started.elapsed().as_secs_f64());
+                rts.push(rt * 100.0);
+            }
+            None => return RunOutcome::dnf(id.name()),
+        }
+    }
+    let (rmse_mean, rmse_std) = mean_and_std(&rmses);
+    let (time_s, _) = mean_and_std(&times);
+    let (rt_percent, _) = mean_and_std(&rts);
+    RunOutcome { method: id.name(), rmse_mean, rmse_std, time_s, rt_percent, finished: true }
+}
+
+/// Parses the `RECIPES` env var (comma-separated names) into recipes,
+/// falling back to the given default list.
+pub fn recipes_from_env(default: &[CovidRecipe]) -> Vec<CovidRecipe> {
+    match std::env::var("RECIPES") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|name| {
+                CovidRecipe::ALL
+                    .iter()
+                    .find(|r| r.name().eq_ignore_ascii_case(name.trim()))
+                    .copied()
+            })
+            .collect(),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Generates a recipe instance and returns it with its scaled `n0`.
+/// The effective scale is `min(SCALE, MAXROWS / full_samples)`.
+pub fn load_recipe(recipe: CovidRecipe, cfg: &BenchConfig, seed: u64) -> (Dataset, usize) {
+    let cap_scale = cfg.max_rows as f64 / recipe.full_samples() as f64;
+    let scale = cfg.scale.min(cap_scale).min(1.0);
+    let inst = recipe.generate(scale, seed);
+    (inst.dataset, inst.n0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scis_data::missing::inject_mcar;
+    use scis_tensor::Matrix;
+
+    #[test]
+    fn budget_allows_fast_work() {
+        let r = run_with_budget(Duration::from_secs(5), || 40 + 2);
+        assert_eq!(r, Some(42));
+    }
+
+    #[test]
+    fn budget_cuts_slow_work() {
+        let r = run_with_budget(Duration::from_millis(50), || {
+            std::thread::sleep(Duration::from_secs(5));
+            1
+        });
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn evaluate_mean_imputer_end_to_end() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let complete = Matrix::from_fn(200, 4, |_, _| rng.uniform());
+        let ds = inject_mcar(&complete, 0.2, &mut rng);
+        let cfg = BenchConfig {
+            scale: 1.0,
+            max_rows: usize::MAX,
+            seeds: 3,
+            budget: Duration::from_secs(30),
+            epochs: 2,
+            holdout_frac: 0.2,
+        };
+        let out = evaluate_method(MethodId::Mean, &ds, 30, &cfg, 7);
+        assert!(out.finished);
+        assert!(out.rmse_mean.is_finite() && out.rmse_mean > 0.0);
+        assert_eq!(out.rt_percent, 100.0);
+        assert_eq!(out.method, "Mean");
+    }
+
+    #[test]
+    fn dnf_propagates() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let complete = Matrix::from_fn(400, 4, |_, _| rng.uniform());
+        let ds = inject_mcar(&complete, 0.2, &mut rng);
+        let cfg = BenchConfig {
+            scale: 1.0,
+            max_rows: usize::MAX,
+            seeds: 1,
+            budget: Duration::from_millis(1), // nothing finishes in 1ms
+            epochs: 2,
+            holdout_frac: 0.2,
+        };
+        let out = evaluate_method(MethodId::Mice, &ds, 30, &cfg, 7);
+        assert!(!out.finished);
+        assert!(out.rmse_mean.is_nan());
+    }
+
+    #[test]
+    fn env_config_defaults() {
+        let cfg = BenchConfig::from_env(0.1, 3, 300);
+        assert!(cfg.scale > 0.0);
+        assert!(cfg.seeds >= 1);
+        assert_eq!(cfg.holdout_frac, 0.2);
+    }
+
+    #[test]
+    fn max_rows_caps_the_effective_scale() {
+        let mut cfg = BenchConfig::from_env(1.0, 1, 60);
+        cfg.max_rows = 1000;
+        cfg.scale = 1.0;
+        let (ds, n0) = load_recipe(scis_data::CovidRecipe::Trial, &cfg, 1);
+        assert!(ds.n_samples() <= 1010, "{} rows", ds.n_samples());
+        assert!(n0 <= ds.n_samples());
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! `scis-bench` — the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (§VI).
+//!
+//! One binary per artifact (run with `--release`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table3` | Table III — method comparison on Trial/Emergency/Response |
+//! | `table4` | Table IV — method comparison on Search/Weather/Surveil |
+//! | `fig2` | Figure 2 — missing-rate sweep (GAIN vs SCIS-GAIN) |
+//! | `fig3` | Figure 3 — error-bound ε sweep |
+//! | `fig4` | Figure 4 — initial-sample-size n0 sweep |
+//! | `table5` | Table V — ablation on the small datasets |
+//! | `table6` | Table VI — ablation on the large datasets |
+//! | `table7` | Table VII — post-imputation prediction |
+//! | `fig_divergence` | §IV.A Example 1 — JS vs MS divergence toy |
+//!
+//! Common environment knobs (all optional): `SCALE` (dataset scale factor),
+//! `SEEDS` (random repetitions, paper uses 5), `BUDGET` (per-run wall-clock
+//! budget in seconds — runs exceeding it print "—", the paper's notation
+//! for methods that missed its 10⁵-second cap), `EPOCHS` (training epochs).
+
+pub mod harness;
+pub mod methods;
+pub mod predictor;
+pub mod report;
+
+pub use harness::{BenchConfig, RunOutcome};
+pub use methods::MethodId;

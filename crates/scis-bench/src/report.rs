@@ -1,0 +1,107 @@
+//! Table formatting and CSV export for the experiment binaries.
+
+use crate::harness::RunOutcome;
+use std::io::Write;
+use std::path::Path;
+
+/// Formats one table cell triple `RMSE (±std) | time | R_t`, using the
+/// paper's "—" notation for runs that missed the budget.
+pub fn format_row(out: &RunOutcome) -> String {
+    if !out.finished {
+        format!("{:<16} {:>20} {:>10} {:>8}", out.method, "—", "—", "—")
+    } else {
+        format!(
+            "{:<16} {:>12.4} (±{:.4}) {:>9.2}s {:>7.2}%",
+            out.method, out.rmse_mean, out.rmse_std, out.time_s, out.rt_percent
+        )
+    }
+}
+
+/// Prints a full table section for one dataset.
+pub fn print_table(dataset: &str, rows: &[RunOutcome]) {
+    println!("\n=== {} ===", dataset);
+    println!(
+        "{:<16} {:>20} {:>10} {:>8}",
+        "Method", "RMSE (±bias)", "Time", "R_t"
+    );
+    println!("{}", "-".repeat(58));
+    for r in rows {
+        println!("{}", format_row(r));
+    }
+}
+
+/// Appends rows to a CSV file (creating it with a header when absent):
+/// `dataset,method,rmse_mean,rmse_std,time_s,rt_percent,finished`.
+pub fn write_csv(path: &Path, dataset: &str, rows: &[RunOutcome]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let new = !path.exists();
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if new {
+        writeln!(f, "dataset,method,rmse_mean,rmse_std,time_s,rt_percent,finished")?;
+    }
+    for r in rows {
+        writeln!(
+            f,
+            "{},{},{},{},{},{},{}",
+            dataset, r.method, r.rmse_mean, r.rmse_std, r.time_s, r.rt_percent, r.finished
+        )?;
+    }
+    Ok(())
+}
+
+/// Default output directory for bench CSVs.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from(
+        std::env::var("RESULTS_DIR").unwrap_or_else(|_| "bench_results".to_string()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunOutcome {
+        RunOutcome {
+            method: "GAIN",
+            rmse_mean: 0.398,
+            rmse_std: 0.024,
+            time_s: 90.0,
+            rt_percent: 100.0,
+            finished: true,
+        }
+    }
+
+    #[test]
+    fn formats_finished_rows() {
+        let s = format_row(&sample());
+        assert!(s.contains("GAIN"));
+        assert!(s.contains("0.3980"));
+        assert!(s.contains("100.00%"));
+    }
+
+    #[test]
+    fn formats_dnf_rows_with_dashes() {
+        let s = format_row(&RunOutcome::dnf("GINN"));
+        assert!(s.contains("GINN"));
+        assert!(s.contains("—"));
+        assert!(!s.contains("NaN"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("scis_bench_report_{}.csv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        write_csv(&path, "Trial", &[sample()]).unwrap();
+        write_csv(&path, "Trial", &[RunOutcome::dnf("GINN")]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("dataset,method"));
+        assert!(lines[1].starts_with("Trial,GAIN,0.398"));
+        assert!(lines[2].contains("false"));
+        std::fs::remove_file(&path).ok();
+    }
+}

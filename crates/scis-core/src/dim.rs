@@ -1,0 +1,422 @@
+//! DIM — Differentiable Imputation Modeling (paper §IV).
+//!
+//! Converts a GAN-based imputer into a differentiable one by replacing its
+//! JS-divergence adversarial loss with the masking Sinkhorn divergence:
+//! per mini-batch, the generator reconstructs `X̄` and descends the gradient
+//! of `L_s = S_m(X̄⊙M ‖ X⊙M) / (2n)` (Proposition 1), plus GAIN's
+//! observed-cell reconstruction anchor `α·MSE(M⊙X, M⊙X̄)` which the wrapped
+//! models already carry.
+//!
+//! Two variants of the adversarial game:
+//! * **data-space** (default) — the MS divergence is computed directly on
+//!   the masked batch; there is no discriminator at all. Stable, fast, and
+//!   the configuration every table in the reproduction uses.
+//! * **critic** — §IV.B's "discriminator maximizes the MS divergence"
+//!   literally: a small embedding network `φ` defines the transport cost
+//!   `‖φ(x̄ᵢ⊙mᵢ,mᵢ) − φ(xⱼ⊙mⱼ,mⱼ)‖²`; `φ` takes ascent steps on `S_m^φ`
+//!   while the generator descends it. Costlier and noisier — kept as an
+//!   ablation (see DESIGN.md §3 and the `dim_critic` bench).
+
+use scis_data::Dataset;
+use scis_imputers::{AdversarialImputer, TrainConfig};
+use scis_nn::loss::weighted_mse;
+use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
+use scis_ot::grad::{cross_ot_grad, self_ot_grad};
+use scis_ot::{ms_loss_grad, sinkhorn_uniform, sliced_w2_loss_grad, SinkhornOptions, SlicedOptions};
+use scis_tensor::ops::pairwise_sq_dists;
+use scis_tensor::{Matrix, Rng64};
+
+/// How the Sinkhorn regularization λ is chosen per batch.
+#[derive(Debug, Clone, Copy)]
+pub enum LambdaMode {
+    /// Fixed λ (the paper's experiments use 130 — diffuse-plan regime).
+    Absolute(f64),
+    /// λ = factor × mean entry of the batch cost matrix; adapts to the
+    /// dataset's dimensionality and missing rate.
+    Relative(f64),
+}
+
+/// Critic ("discriminator") settings for the adversarial MS game.
+#[derive(Debug, Clone, Copy)]
+pub struct CriticConfig {
+    /// Embedding dimensionality of φ.
+    pub embed_dim: usize,
+    /// Hidden width of φ.
+    pub hidden: usize,
+    /// Critic learning rate.
+    pub learning_rate: f64,
+}
+
+impl Default for CriticConfig {
+    fn default() -> Self {
+        Self { embed_dim: 16, hidden: 32, learning_rate: 1e-3 }
+    }
+}
+
+/// Which distributional loss drives the generator (ablation knob; the
+/// paper's DIM is the masking Sinkhorn divergence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenerativeLoss {
+    /// The paper's masking Sinkhorn divergence (Definitions 2–4).
+    MaskedSinkhorn,
+    /// Masked sliced-Wasserstein distance — solver-free alternative used
+    /// by the `ablation_dim` bench to quantify what the transport plan
+    /// buys.
+    SlicedWasserstein {
+        /// Number of random projections.
+        n_projections: usize,
+    },
+}
+
+/// DIM training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DimConfig {
+    /// Epoch/batch/learning-rate schedule (paper defaults).
+    pub train: TrainConfig,
+    /// λ selection; `Relative(0.1)` by default (DESIGN.md §6 explains the
+    /// deviation from the paper's absolute 130).
+    pub lambda: LambdaMode,
+    /// Sinkhorn iteration caps.
+    pub max_sinkhorn_iters: usize,
+    /// Reconstruction anchor weight α (same role as GAIN's α).
+    pub alpha: f64,
+    /// Optional adversarial critic; `None` = data-space divergence.
+    pub critic: Option<CriticConfig>,
+    /// Distributional loss (ablation; default = the paper's MS divergence).
+    pub loss: GenerativeLoss,
+}
+
+impl Default for DimConfig {
+    fn default() -> Self {
+        Self {
+            train: TrainConfig::default(),
+            lambda: LambdaMode::Relative(0.1),
+            max_sinkhorn_iters: 200,
+            alpha: 10.0,
+            critic: None,
+            loss: GenerativeLoss::MaskedSinkhorn,
+        }
+    }
+}
+
+impl DimConfig {
+    /// Resolves λ for a concrete cost matrix.
+    pub fn resolve_lambda(&self, cost: &Matrix) -> f64 {
+        match self.lambda {
+            LambdaMode::Absolute(l) => l,
+            LambdaMode::Relative(f) => {
+                let mean = cost.mean();
+                (f * mean).max(1e-6)
+            }
+        }
+    }
+
+    fn sinkhorn_options(&self, lambda: f64) -> SinkhornOptions {
+        SinkhornOptions { lambda, max_iters: self.max_sinkhorn_iters, tol: 1e-8 }
+    }
+}
+
+/// Outcome of a DIM training run.
+#[derive(Debug, Clone)]
+pub struct DimReport {
+    /// MS-divergence loss after each epoch (mean over batches).
+    pub epoch_losses: Vec<f64>,
+    /// The λ actually used on the last batch (diagnostics).
+    pub last_lambda: f64,
+    /// Wall-clock training duration.
+    pub duration: std::time::Duration,
+}
+
+impl DimReport {
+    /// Final epoch loss (NaN if training never ran).
+    pub fn final_loss(&self) -> f64 {
+        self.epoch_losses.last().copied().unwrap_or(f64::NAN)
+    }
+}
+
+/// The critic network φ plus its optimizer.
+struct Critic {
+    net: Mlp,
+    opt: Adam,
+}
+
+impl Critic {
+    fn new(input_dim: usize, cfg: &CriticConfig, rng: &mut Rng64) -> Self {
+        let net = Mlp::builder(input_dim)
+            .dense(cfg.hidden, Activation::LeakyRelu)
+            .dense(cfg.embed_dim, Activation::Identity)
+            .build(rng);
+        Self { net, opt: Adam::new(cfg.learning_rate) }
+    }
+}
+
+/// Trains (or continues training) the generator of `imp` on `ds` under the
+/// MS-divergence loss. Networks must already be initialized if you want a
+/// warm start; otherwise they are initialized here.
+pub fn train_dim(
+    imp: &mut dyn AdversarialImputer,
+    ds: &Dataset,
+    cfg: &DimConfig,
+    rng: &mut Rng64,
+) -> DimReport {
+    let start = std::time::Instant::now();
+    let d = ds.n_features();
+    if !imp.is_initialized(d) {
+        imp.init_networks(d, rng);
+    }
+    let n = ds.n_samples();
+    let x = ds.values_filled(0.0);
+    let mask = ds.dense_mask();
+    let mut opt_g = Adam::new(cfg.train.learning_rate);
+    let mut critic = cfg
+        .critic
+        .as_ref()
+        .map(|c| Critic::new(2 * d, c, rng));
+    let bs = cfg.train.batch_size.min(n).max(2);
+
+    let mut epoch_losses = Vec::with_capacity(cfg.train.epochs);
+    let mut last_lambda = f64::NAN;
+    for _epoch in 0..cfg.train.epochs {
+        let order = rng.permutation(n);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(bs) {
+            if chunk.len() < 2 {
+                continue;
+            }
+            let xb = x.select_rows(chunk);
+            let mb = mask.select_rows(chunk);
+            let g_in = imp.generator_input(&xb, &mb, rng);
+            let generator = imp.generator_mut();
+            let xbar = generator.forward(&g_in, Mode::Train, rng);
+
+            let (loss, mut grad_xbar, lambda) = match (critic.as_mut(), cfg.loss) {
+                (None, GenerativeLoss::MaskedSinkhorn) => {
+                    let cost = scis_ot::masked_sq_cost(&xbar, &mb, &xb, &mb);
+                    let lambda = cfg.resolve_lambda(&cost);
+                    let opts = cfg.sinkhorn_options(lambda);
+                    let (loss, grad) = ms_loss_grad(&xbar, &xb, &mb, &opts);
+                    (loss, grad, lambda)
+                }
+                (None, GenerativeLoss::SlicedWasserstein { n_projections }) => {
+                    let opts = SlicedOptions { n_projections, seed: 0x51CE };
+                    let (loss, grad) = sliced_w2_loss_grad(&xbar, &xb, &mb, &opts);
+                    (loss, grad, f64::NAN)
+                }
+                (Some(c), _) => critic_step(c, &xbar, &xb, &mb, cfg, rng),
+            };
+            last_lambda = lambda;
+
+            // reconstruction anchor on observed cells
+            let (rec_loss, rec_grad) = weighted_mse(&xbar, &xb, &mb);
+            grad_xbar.axpy(cfg.alpha, &rec_grad);
+
+            let generator = imp.generator_mut();
+            // re-forward so the generator's caches match this batch (the
+            // critic path may have run other forwards in between)
+            let _ = generator.forward(&g_in, Mode::Train, rng);
+            generator.zero_grad();
+            generator.backward(&grad_xbar);
+            opt_g.step(generator);
+
+            epoch_loss += loss + cfg.alpha * rec_loss;
+            batches += 1;
+        }
+        epoch_losses.push(epoch_loss / batches.max(1) as f64);
+    }
+
+    DimReport { epoch_losses, last_lambda, duration: start.elapsed() }
+}
+
+/// One critic-mode step: updates φ by ascent on `S_m^φ` and returns the
+/// generator's loss value, the gradient w.r.t. `xbar`, and the λ used.
+fn critic_step(
+    critic: &mut Critic,
+    xbar: &Matrix,
+    xb: &Matrix,
+    mb: &Matrix,
+    cfg: &DimConfig,
+    rng: &mut Rng64,
+) -> (f64, Matrix, f64) {
+    let d = xb.cols();
+    let in_a = xbar.hadamard(mb).hcat(mb);
+    let in_b = xb.hadamard(mb).hcat(mb);
+    let ea = critic.net.forward(&in_a, Mode::Eval, rng);
+    let eb = critic.net.forward(&in_b, Mode::Eval, rng);
+
+    let cost_ab = pairwise_sq_dists(&ea, &eb);
+    let lambda = cfg.resolve_lambda(&cost_ab);
+    let opts = cfg.sinkhorn_options(lambda);
+    let cross = sinkhorn_uniform(&cost_ab, &opts);
+    let self_a = sinkhorn_uniform(&pairwise_sq_dists(&ea, &ea), &opts);
+    let self_b = sinkhorn_uniform(&pairwise_sq_dists(&eb, &eb), &opts);
+    let n = xb.rows() as f64;
+    let value = (2.0 * cross.reg_value - self_a.reg_value - self_b.reg_value) / (2.0 * n);
+
+    let ones_a = Matrix::ones(ea.rows(), ea.cols());
+    // dS/dEa = 2·∂OT(Ea,Eb) − ∂OT(Ea,Ea); same for Eb by symmetry
+    let mut g_ea = cross_ot_grad(&ea, &eb, &ones_a, &cross.plan).scale(2.0);
+    g_ea.axpy(-1.0, &self_ot_grad(&ea, &ones_a, &self_a.plan));
+    let g_ea = g_ea.scale(1.0 / (2.0 * n));
+    let cross_t = cross.plan.transpose();
+    let mut g_eb = cross_ot_grad(&eb, &ea, &ones_a, &cross_t).scale(2.0);
+    g_eb.axpy(-1.0, &self_ot_grad(&eb, &ones_a, &self_b.plan));
+    let g_eb = g_eb.scale(1.0 / (2.0 * n));
+
+    // --- critic ascent: maximize S ⇒ descend −S ---
+    critic.net.zero_grad();
+    let _ = critic.net.forward(&in_a, Mode::Eval, rng);
+    critic.net.backward(&g_ea.scale(-1.0));
+    let _ = critic.net.forward(&in_b, Mode::Eval, rng);
+    critic.net.backward(&g_eb.scale(-1.0));
+    critic.opt.step(&mut critic.net);
+
+    // --- generator gradient through the *updated* critic ---
+    let ea2 = critic.net.forward(&in_a, Mode::Eval, rng);
+    let eb2 = critic.net.forward(&in_b, Mode::Eval, rng);
+    let cost2 = pairwise_sq_dists(&ea2, &eb2);
+    let cross2 = sinkhorn_uniform(&cost2, &opts);
+    let self_a2 = sinkhorn_uniform(&pairwise_sq_dists(&ea2, &ea2), &opts);
+    let mut g_ea2 = cross_ot_grad(&ea2, &eb2, &ones_a, &cross2.plan).scale(2.0);
+    g_ea2.axpy(-1.0, &self_ot_grad(&ea2, &ones_a, &self_a2.plan));
+    let g_ea2 = g_ea2.scale(1.0 / (2.0 * n));
+    critic.net.zero_grad();
+    let _ = critic.net.forward(&in_a, Mode::Eval, rng);
+    let grad_in_a = critic.net.backward(&g_ea2);
+    critic.net.zero_grad(); // φ params must not accumulate from the G pass
+    let grad_xbar_masked = grad_in_a.select_cols(&(0..d).collect::<Vec<_>>());
+    // input was x̄ ⊙ m ⇒ chain through the mask
+    let grad_xbar = grad_xbar_masked.hadamard(mb);
+
+    (value, grad_xbar, lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scis_data::metrics::rmse_vs_ground_truth;
+    use scis_data::missing::inject_mcar;
+    use scis_imputers::traits::impute_with_generator;
+    use scis_imputers::GainImputer;
+
+    fn correlated_table(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, 4);
+        for i in 0..n {
+            let t = rng.uniform();
+            m[(i, 0)] = t;
+            m[(i, 1)] = (0.8 * t + 0.1 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+            m[(i, 2)] = (1.0 - t + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+            m[(i, 3)] = (0.5 * t + 0.25 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        }
+        m
+    }
+
+    fn fast_cfg() -> DimConfig {
+        DimConfig {
+            train: TrainConfig { epochs: 60, batch_size: 64, learning_rate: 0.005, dropout: 0.0 },
+            lambda: LambdaMode::Relative(0.1),
+            max_sinkhorn_iters: 200,
+            alpha: 10.0,
+            critic: None,
+            loss: GenerativeLoss::MaskedSinkhorn,
+        }
+    }
+
+    #[test]
+    fn dim_training_reduces_the_ms_loss() {
+        let complete = correlated_table(300, 1);
+        let mut rng = Rng64::seed_from_u64(2);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut gain = GainImputer::new(fast_cfg().train);
+        let report = train_dim(&mut gain, &ds, &fast_cfg(), &mut rng);
+        assert_eq!(report.epoch_losses.len(), 60);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(last < first, "loss {} -> {}", first, last);
+        assert!(report.last_lambda.is_finite() && report.last_lambda > 0.0);
+    }
+
+    #[test]
+    fn dim_trained_gain_beats_mean_imputation() {
+        let complete = correlated_table(400, 3);
+        let mut rng = Rng64::seed_from_u64(4);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut gain = GainImputer::new(fast_cfg().train);
+        let _ = train_dim(&mut gain, &ds, &fast_cfg(), &mut rng);
+        let out = impute_with_generator(&mut gain, &ds, &mut rng);
+        let e = rmse_vs_ground_truth(&ds, &complete, &out);
+
+        let mut mean = scis_imputers::mean::MeanImputer;
+        let e_mean = rmse_vs_ground_truth(
+            &ds,
+            &complete,
+            &scis_imputers::Imputer::impute(&mut mean, &ds, &mut rng),
+        );
+        assert!(e < e_mean, "dim-gain {} vs mean {}", e, e_mean);
+    }
+
+    #[test]
+    fn critic_mode_also_trains() {
+        let complete = correlated_table(200, 5);
+        let mut rng = Rng64::seed_from_u64(6);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut cfg = fast_cfg();
+        cfg.train.epochs = 20;
+        cfg.critic = Some(CriticConfig::default());
+        let mut gain = GainImputer::new(cfg.train);
+        let report = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        assert!(report.final_loss().is_finite());
+        let out = impute_with_generator(&mut gain, &ds, &mut rng);
+        assert!(!out.has_nan());
+    }
+
+    #[test]
+    fn sliced_wasserstein_mode_trains_and_beats_mean() {
+        let complete = correlated_table(300, 9);
+        let mut rng = Rng64::seed_from_u64(10);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut cfg = fast_cfg();
+        cfg.loss = GenerativeLoss::SlicedWasserstein { n_projections: 24 };
+        let mut gain = GainImputer::new(cfg.train);
+        let report = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        assert!(report.final_loss().is_finite());
+        let out = impute_with_generator(&mut gain, &ds, &mut rng);
+        let e = rmse_vs_ground_truth(&ds, &complete, &out);
+        let mut mean = scis_imputers::mean::MeanImputer;
+        let e_mean = rmse_vs_ground_truth(
+            &ds,
+            &complete,
+            &scis_imputers::Imputer::impute(&mut mean, &ds, &mut rng),
+        );
+        assert!(e < e_mean, "sw-dim {} vs mean {}", e, e_mean);
+    }
+
+    #[test]
+    fn relative_lambda_scales_with_cost() {
+        let cfg = DimConfig { lambda: LambdaMode::Relative(0.5), ..Default::default() };
+        let small = Matrix::full(4, 4, 0.1);
+        let large = Matrix::full(4, 4, 10.0);
+        assert!((cfg.resolve_lambda(&small) - 0.05).abs() < 1e-12);
+        assert!((cfg.resolve_lambda(&large) - 5.0).abs() < 1e-12);
+        let abs = DimConfig { lambda: LambdaMode::Absolute(130.0), ..Default::default() };
+        assert_eq!(abs.resolve_lambda(&small), 130.0);
+    }
+
+    #[test]
+    fn warm_start_continues_from_existing_generator() {
+        let complete = correlated_table(200, 7);
+        let mut rng = Rng64::seed_from_u64(8);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut cfg = fast_cfg();
+        cfg.train.epochs = 10;
+        let mut gain = GainImputer::new(cfg.train);
+        let _ = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        let theta_after_first = scis_imputers::AdversarialImputer::generator_mut(&mut gain)
+            .param_vector();
+        let _ = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        let theta_after_second =
+            scis_imputers::AdversarialImputer::generator_mut(&mut gain).param_vector();
+        assert_ne!(theta_after_first, theta_after_second, "second run was a no-op");
+    }
+}

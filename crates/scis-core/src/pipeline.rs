@@ -1,0 +1,314 @@
+//! Algorithm 1 — the SCIS procedure end to end.
+//!
+//! ```text
+//! 1: sample validation Xv (Nv) and initial X0 (n0)
+//! 2: DIM-train the initial model M0 on X0
+//! 3: SSE → minimum size n*
+//! 4: if n* = n0 → M* = M0
+//! 5: else DIM-retrain on a size-n* sample X*
+//! 6-7: X̄ = M*(X); X̂ = M ⊙ X + (1−M) ⊙ X̄
+//! ```
+
+use crate::dim::{train_dim, DimConfig};
+use crate::sse::{fisher_diagonal, model_distance, SseConfig, SseEstimator, SseResult};
+use scis_data::split::{sample_initial_split, sample_training_set};
+use scis_data::Dataset;
+use scis_imputers::traits::impute_with_generator;
+use scis_imputers::AdversarialImputer;
+use scis_ot::SinkhornOptions;
+use scis_tensor::{Matrix, Rng64};
+use std::time::{Duration, Instant};
+
+/// Full SCIS configuration: DIM + SSE knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScisConfig {
+    /// DIM (MS-divergence training) settings.
+    pub dim: DimConfig,
+    /// SSE (sample-size estimation) settings.
+    pub sse: SseConfig,
+}
+
+/// Everything Algorithm 1 returns, plus the accounting the paper's tables
+/// need (training time split by phase, training sample rate `R_t`).
+#[derive(Debug, Clone)]
+pub struct ScisOutcome {
+    /// The imputed matrix `X̂` over the *full* dataset.
+    pub imputed: Matrix,
+    /// The estimated minimum sample size `n*`.
+    pub n_star: usize,
+    /// Dataset size `N`.
+    pub n_total: usize,
+    /// The initial sample size `n0` used.
+    pub n0: usize,
+    /// SSE details.
+    pub sse: SseResult,
+    /// Wall-clock spent training `M0`.
+    pub initial_train_time: Duration,
+    /// Wall-clock spent in SSE.
+    pub sse_time: Duration,
+    /// Wall-clock spent retraining on `X*` (zero when `n* = n0`).
+    pub retrain_time: Duration,
+    /// Total wall-clock of the run.
+    pub total_time: Duration,
+}
+
+impl ScisOutcome {
+    /// `R_t = n*/N` — the paper's training sample rate.
+    pub fn training_sample_rate(&self) -> f64 {
+        self.n_star as f64 / self.n_total.max(1) as f64
+    }
+
+    /// Fraction of the total time spent inside SSE (reported in Figure 2).
+    pub fn sse_time_fraction(&self) -> f64 {
+        let t = self.total_time.as_secs_f64();
+        if t > 0.0 {
+            self.sse_time.as_secs_f64() / t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The SCIS system.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scis {
+    config: ScisConfig,
+}
+
+impl Scis {
+    /// Creates a SCIS instance with the given configuration.
+    pub fn new(config: ScisConfig) -> Self {
+        Self { config }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &ScisConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 on `ds` with initial sample size `n0`
+    /// (`Nv = n0`, as in the paper's experiments).
+    ///
+    /// # Panics
+    /// Panics if `2·n0` exceeds the dataset size.
+    pub fn run(
+        &self,
+        imp: &mut dyn AdversarialImputer,
+        ds: &Dataset,
+        n0: usize,
+        rng: &mut Rng64,
+    ) -> ScisOutcome {
+        let t_start = Instant::now();
+        let n_total = ds.n_samples();
+        let n_v = n0; // paper §VI: Nv = n0
+        assert!(
+            n_v + n0 <= n_total,
+            "Scis::run: Nv + n0 = {} exceeds N = {}",
+            n_v + n0,
+            n_total
+        );
+
+        // line 1: sample validation + initial sets
+        let split = sample_initial_split(ds, n_v, n0, rng);
+
+        // line 2: DIM-train M0 on X0. The init seed is remembered so the
+        // calibration sibling (below) starts from *identical* weights —
+        // Theorem 1 models sampling noise around one optimum, not
+        // re-initialization noise.
+        let init_seed = rng.next_u64();
+        let t0 = Instant::now();
+        imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
+        let _report = train_dim(imp, &split.initial, &self.config.dim, rng);
+        let initial_train_time = t0.elapsed();
+
+        // line 3: SSE
+        let t1 = Instant::now();
+        let sinkhorn = SinkhornOptions {
+            lambda: estimate_sse_lambda(&self.config.dim, &split.initial, imp, rng),
+            max_iters: self.config.dim.max_sinkhorn_iters,
+            tol: 1e-8,
+        };
+        let batch = self.config.dim.train.batch_size;
+        let fisher = fisher_diagonal(imp, &split.initial, &sinkhorn, batch, rng);
+        let mut estimator = SseEstimator::new(
+            imp,
+            &fisher,
+            n0,
+            n_total,
+            ds.n_features(),
+            self.config.sse,
+            rng,
+        );
+        if self.config.sse.calibrate {
+            // anchor Theorem 1's hidden constant: train a sibling model on a
+            // second size-n0 sample and match the Monte-Carlo prediction to
+            // the *observed* model-to-model difference (module docs of
+            // `sse`). θ0 is restored afterwards.
+            let theta0 = imp.generator_mut().param_vector();
+            let sibling_set = sample_training_set(ds, n0, rng);
+            imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
+            let _ = train_dim(imp, &sibling_set, &self.config.dim, rng);
+            let theta_sibling = imp.generator_mut().param_vector();
+            imp.generator_mut().set_param_vector(&theta0);
+            let d_obs = model_distance(imp, &split.validation, &theta0, &theta_sibling);
+            let d_ref = estimator.reference_mc_distance(imp, &split.validation);
+            if d_obs > 1e-12 && d_ref > 1e-12 {
+                estimator.set_calibration(d_obs / d_ref);
+            }
+        }
+        let sse = estimator.estimate(imp, &split.validation);
+        let sse_time = t1.elapsed();
+
+        // lines 4-5: retrain on X* when n* > n0 (warm start from θ0)
+        let retrain_time = if sse.n_star > n0 {
+            let t2 = Instant::now();
+            let x_star = sample_training_set(ds, sse.n_star, rng);
+            let _ = train_dim(imp, &x_star, &self.config.dim, rng);
+            t2.elapsed()
+        } else {
+            Duration::ZERO
+        };
+
+        // lines 6-7: impute the full dataset
+        let imputed = impute_with_generator(imp, ds, rng);
+
+        ScisOutcome {
+            imputed,
+            n_star: sse.n_star,
+            n_total,
+            n0,
+            sse,
+            initial_train_time,
+            sse_time,
+            retrain_time,
+            total_time: t_start.elapsed(),
+        }
+    }
+}
+
+/// Resolves the DIM λ on a representative batch so SSE's Fisher pass uses
+/// the same regularization scale the training saw.
+fn estimate_sse_lambda(
+    dim: &DimConfig,
+    initial: &Dataset,
+    imp: &mut dyn AdversarialImputer,
+    rng: &mut Rng64,
+) -> f64 {
+    let n = initial.n_samples();
+    let bs = dim.train.batch_size.min(n).max(2);
+    let idx: Vec<usize> = (0..bs).collect();
+    let xb = initial.values_filled(0.0).select_rows(&idx);
+    let mb = initial.dense_mask().select_rows(&idx);
+    let g_in = imp.generator_input(&xb, &mb, rng);
+    let generator = imp.generator_mut();
+    let xbar = generator.forward(&g_in, scis_nn::Mode::Eval, rng);
+    let cost = scis_ot::masked_sq_cost(&xbar, &mb, &xb, &mb);
+    dim.resolve_lambda(&cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dim::{GenerativeLoss, LambdaMode};
+    use scis_data::metrics::rmse_vs_ground_truth;
+    use scis_data::missing::inject_mcar;
+    use scis_imputers::{GainImputer, Imputer, TrainConfig};
+
+    fn correlated_table(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, 4);
+        for i in 0..n {
+            let t = rng.uniform();
+            m[(i, 0)] = t;
+            m[(i, 1)] = (0.8 * t + 0.1 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+            m[(i, 2)] = (1.0 - t + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+            m[(i, 3)] = (0.5 * t + 0.25 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        }
+        m
+    }
+
+    fn fast_config() -> ScisConfig {
+        ScisConfig {
+            dim: DimConfig {
+                train: TrainConfig {
+                    epochs: 25,
+                    batch_size: 64,
+                    learning_rate: 0.005,
+                    dropout: 0.0,
+                },
+                lambda: LambdaMode::Relative(0.1),
+                max_sinkhorn_iters: 150,
+                alpha: 10.0,
+                critic: None,
+                loss: GenerativeLoss::MaskedSinkhorn,
+            },
+            sse: SseConfig { epsilon: 0.02, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn algorithm1_end_to_end_produces_valid_imputation() {
+        let complete = correlated_table(600, 1);
+        let mut rng = Rng64::seed_from_u64(2);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut gain = GainImputer::new(fast_config().dim.train);
+        let outcome = Scis::new(fast_config()).run(&mut gain, &ds, 100, &mut rng);
+
+        assert_eq!(outcome.imputed.shape(), (600, 4));
+        assert!(!outcome.imputed.has_nan());
+        // observed cells pass through exactly
+        for (i, j, v) in ds.observed_cells() {
+            assert_eq!(outcome.imputed[(i, j)], v);
+        }
+        assert!((100..=600).contains(&outcome.n_star));
+        assert!(outcome.training_sample_rate() <= 1.0);
+        assert!(outcome.total_time >= outcome.sse_time);
+    }
+
+    #[test]
+    fn scis_gain_beats_mean_imputation() {
+        let complete = correlated_table(600, 3);
+        let mut rng = Rng64::seed_from_u64(4);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut gain = GainImputer::new(fast_config().dim.train);
+        let outcome = Scis::new(fast_config()).run(&mut gain, &ds, 100, &mut rng);
+        let e = rmse_vs_ground_truth(&ds, &complete, &outcome.imputed);
+        let mut mean = scis_imputers::mean::MeanImputer;
+        let e_mean = rmse_vs_ground_truth(&ds, &complete, &mean.impute(&ds, &mut rng));
+        assert!(e < e_mean, "scis-gain {} vs mean {}", e, e_mean);
+    }
+
+    #[test]
+    fn loose_epsilon_keeps_n0_and_skips_retraining() {
+        let complete = correlated_table(500, 5);
+        let mut rng = Rng64::seed_from_u64(6);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut cfg = fast_config();
+        cfg.sse.epsilon = 100.0;
+        let mut gain = GainImputer::new(cfg.dim.train);
+        let outcome = Scis::new(cfg).run(&mut gain, &ds, 80, &mut rng);
+        assert_eq!(outcome.n_star, 80);
+        assert_eq!(outcome.retrain_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn sse_time_fraction_is_sane() {
+        let complete = correlated_table(400, 7);
+        let mut rng = Rng64::seed_from_u64(8);
+        let ds = inject_mcar(&complete, 0.2, &mut rng);
+        let mut gain = GainImputer::new(fast_config().dim.train);
+        let outcome = Scis::new(fast_config()).run(&mut gain, &ds, 80, &mut rng);
+        let f = outcome.sse_time_fraction();
+        assert!((0.0..=1.0).contains(&f), "fraction {}", f);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds N")]
+    fn rejects_oversized_n0() {
+        let complete = correlated_table(100, 9);
+        let mut rng = Rng64::seed_from_u64(10);
+        let ds = inject_mcar(&complete, 0.2, &mut rng);
+        let mut gain = GainImputer::new(fast_config().dim.train);
+        let _ = Scis::new(fast_config()).run(&mut gain, &ds, 80, &mut rng);
+    }
+}

@@ -1,0 +1,217 @@
+//! Recipes reproducing the *shapes* of the paper's six COVID-19 datasets
+//! (Table II). Each recipe fixes the sample count, feature count, missing
+//! rate, and the paper's per-dataset initial sample size `n0`; a `scale`
+//! knob shrinks the sample count proportionally (and `n0` with it) so the
+//! full experiment grid runs in minutes instead of the paper's 10⁵-second
+//! budget. See DESIGN.md §2 for why this substitution preserves the
+//! claims under test.
+
+use crate::dataset::Dataset;
+use crate::missing::{inject, Mechanism};
+use crate::synth::{generate, SynthConfig, SynthData};
+use scis_tensor::{Matrix, Rng64};
+
+/// One of the six dataset shapes from the paper's Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CovidRecipe {
+    /// COVID-19 trials tracker: 6,433 × 9, 9.63% missing, n0 = 500.
+    Trial,
+    /// Emergency declarations: 8,364 × 22, 62.69% missing, n0 = 500.
+    Emergency,
+    /// Government response: 200,737 × 19, 5.66% missing, n0 = 2,000.
+    Response,
+    /// Symptom search trends: 948,762 × 424, 81.35% missing, n0 = 6,000.
+    Search,
+    /// Daily weather: 4,911,011 × 9, 21.56% missing, n0 = 20,000.
+    Weather,
+    /// Case surveillance: 22,507,139 × 7, 47.62% missing, n0 = 20,000.
+    Surveil,
+}
+
+/// A generated recipe instance: the incomplete dataset plus its ground
+/// truth (used only for evaluation, never by imputers).
+#[derive(Debug, Clone)]
+pub struct RecipeInstance {
+    /// The incomplete dataset (normalized scale is up to the caller).
+    pub dataset: Dataset,
+    /// The complete ground-truth matrix.
+    pub ground_truth: Matrix,
+    /// The paper's initial sample size `n0`, scaled.
+    pub n0: usize,
+}
+
+impl CovidRecipe {
+    /// All six recipes in Table II order.
+    pub const ALL: [CovidRecipe; 6] = [
+        CovidRecipe::Trial,
+        CovidRecipe::Emergency,
+        CovidRecipe::Response,
+        CovidRecipe::Search,
+        CovidRecipe::Weather,
+        CovidRecipe::Surveil,
+    ];
+
+    /// Dataset name as printed in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CovidRecipe::Trial => "Trial",
+            CovidRecipe::Emergency => "Emergency",
+            CovidRecipe::Response => "Response",
+            CovidRecipe::Search => "Search",
+            CovidRecipe::Weather => "Weather",
+            CovidRecipe::Surveil => "Surveil",
+        }
+    }
+
+    /// Full sample count from Table II.
+    pub fn full_samples(&self) -> usize {
+        match self {
+            CovidRecipe::Trial => 6_433,
+            CovidRecipe::Emergency => 8_364,
+            CovidRecipe::Response => 200_737,
+            CovidRecipe::Search => 948_762,
+            CovidRecipe::Weather => 4_911_011,
+            CovidRecipe::Surveil => 22_507_139,
+        }
+    }
+
+    /// Feature count from Table II.
+    pub fn features(&self) -> usize {
+        match self {
+            CovidRecipe::Trial => 9,
+            CovidRecipe::Emergency => 22,
+            CovidRecipe::Response => 19,
+            CovidRecipe::Search => 424,
+            CovidRecipe::Weather => 9,
+            CovidRecipe::Surveil => 7,
+        }
+    }
+
+    /// Missing rate from Table II.
+    pub fn missing_rate(&self) -> f64 {
+        match self {
+            CovidRecipe::Trial => 0.0963,
+            CovidRecipe::Emergency => 0.6269,
+            CovidRecipe::Response => 0.0566,
+            CovidRecipe::Search => 0.8135,
+            CovidRecipe::Weather => 0.2156,
+            CovidRecipe::Surveil => 0.4762,
+        }
+    }
+
+    /// The paper's per-dataset initial sample size `n0` (§VI
+    /// "Implementation details" / Figure 4 optima).
+    pub fn paper_n0(&self) -> usize {
+        match self {
+            CovidRecipe::Trial | CovidRecipe::Emergency => 500,
+            CovidRecipe::Response => 2_000,
+            CovidRecipe::Search => 6_000,
+            CovidRecipe::Weather | CovidRecipe::Surveil => 20_000,
+        }
+    }
+
+    /// Number of categorical columns in the synthetic stand-in (clinical /
+    /// policy tables are categorical-heavy; search/weather are continuous).
+    fn categorical_cols(&self) -> usize {
+        match self {
+            CovidRecipe::Trial => 4,
+            CovidRecipe::Emergency => 12,
+            CovidRecipe::Response => 6,
+            CovidRecipe::Search => 0,
+            CovidRecipe::Weather => 0,
+            CovidRecipe::Surveil => 5,
+        }
+    }
+
+    /// Generates the incomplete dataset (MCAR at Table II's rate) at
+    /// `scale ∈ (0, 1]` of the full sample count.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn generate(&self, scale: f64, seed: u64) -> RecipeInstance {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let n = ((self.full_samples() as f64 * scale).round() as usize).max(64);
+        let n0 = ((self.paper_n0() as f64 * scale).round() as usize).clamp(32, n);
+        let d = self.features();
+        let cfg = SynthConfig {
+            n_samples: n,
+            n_features: d,
+            latent_dim: (d / 3).clamp(2, 16),
+            n_categorical: self.categorical_cols(),
+            categorical_levels: 4,
+            noise_std: 0.05,
+        };
+        let mut rng = Rng64::seed_from_u64(seed ^ self.seed_salt());
+        let SynthData { complete, kinds } = generate(&cfg, &mut rng);
+        let dataset = inject(
+            &complete,
+            kinds,
+            Mechanism::Mcar { rate: self.missing_rate() },
+            &mut rng,
+        );
+        RecipeInstance { dataset, ground_truth: complete, n0 }
+    }
+
+    fn seed_salt(&self) -> u64 {
+        match self {
+            CovidRecipe::Trial => 0x7261_6900,
+            CovidRecipe::Emergency => 0x656d_6500,
+            CovidRecipe::Response => 0x7265_7300,
+            CovidRecipe::Search => 0x7365_6100,
+            CovidRecipe::Weather => 0x7765_6100,
+            CovidRecipe::Surveil => 0x7375_7200,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shapes_are_faithful() {
+        assert_eq!(CovidRecipe::Trial.full_samples(), 6_433);
+        assert_eq!(CovidRecipe::Search.features(), 424);
+        assert!((CovidRecipe::Surveil.missing_rate() - 0.4762).abs() < 1e-9);
+        assert_eq!(CovidRecipe::Weather.paper_n0(), 20_000);
+    }
+
+    #[test]
+    fn scaled_generation_matches_recipe() {
+        let inst = CovidRecipe::Trial.generate(0.1, 42);
+        assert_eq!(inst.dataset.n_samples(), 643);
+        assert_eq!(inst.dataset.n_features(), 9);
+        assert!((inst.dataset.missing_rate() - 0.0963).abs() < 0.02);
+        assert_eq!(inst.n0, 50);
+        assert_eq!(inst.ground_truth.shape(), (643, 9));
+    }
+
+    #[test]
+    fn high_missing_rate_recipe() {
+        let inst = CovidRecipe::Emergency.generate(0.05, 7);
+        assert!((inst.dataset.missing_rate() - 0.6269).abs() < 0.03);
+        assert_eq!(inst.dataset.n_features(), 22);
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_recipes() {
+        let a = CovidRecipe::Trial.generate(0.02, 1);
+        let b = CovidRecipe::Trial.generate(0.02, 1);
+        assert_eq!(a.ground_truth, b.ground_truth);
+        let c = CovidRecipe::Surveil.generate(0.0001, 1);
+        assert_ne!(a.ground_truth.shape(), c.ground_truth.shape());
+    }
+
+    #[test]
+    fn n0_is_clamped_into_sample_range() {
+        // tiny scale: n0 would round below 32
+        let inst = CovidRecipe::Trial.generate(0.01, 3);
+        assert!(inst.n0 >= 32 && inst.n0 <= inst.dataset.n_samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn rejects_zero_scale() {
+        let _ = CovidRecipe::Trial.generate(0.0, 1);
+    }
+}

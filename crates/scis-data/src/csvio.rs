@@ -1,0 +1,186 @@
+//! Minimal CSV I/O for numeric incomplete tables.
+//!
+//! Format: one header row (`c0,c1,…` on write; any header accepted on
+//! read), numeric cells, *empty* cells mean missing. This is enough to
+//! round-trip every dataset in the reproduction and to export imputed
+//! matrices for external analysis.
+
+use crate::dataset::Dataset;
+use scis_tensor::Matrix;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A data row had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// A non-empty cell failed to parse as a float.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column.
+        col: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// The file had no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {}", e),
+            CsvError::RaggedRow { line, got, expected } => {
+                write!(f, "line {}: {} fields, expected {}", line, got, expected)
+            }
+            CsvError::BadNumber { line, col, text } => {
+                write!(f, "line {}, col {}: cannot parse {:?}", line, col, text)
+            }
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a dataset as CSV: missing cells become empty fields.
+pub fn write_dataset(path: &Path, ds: &Dataset) -> Result<(), CsvError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let d = ds.n_features();
+    for j in 0..d {
+        if j > 0 {
+            write!(w, ",")?;
+        }
+        write!(w, "c{}", j)?;
+    }
+    writeln!(w)?;
+    for i in 0..ds.n_samples() {
+        for j in 0..d {
+            if j > 0 {
+                write!(w, ",")?;
+            }
+            let v = ds.values[(i, j)];
+            if !v.is_nan() {
+                write!(w, "{}", v)?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV with a header row into a [`Dataset`]; empty cells → missing.
+pub fn read_dataset(path: &Path) -> Result<Dataset, CsvError> {
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Err(CsvError::Empty),
+    };
+    let d = header.split(',').count();
+    let mut data: Vec<f64> = Vec::new();
+    let mut rows = 0usize;
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != d {
+            return Err(CsvError::RaggedRow { line: lineno + 2, got: fields.len(), expected: d });
+        }
+        for (col, f) in fields.iter().enumerate() {
+            let t = f.trim();
+            if t.is_empty() {
+                data.push(f64::NAN);
+            } else {
+                let v: f64 = t.parse().map_err(|_| CsvError::BadNumber {
+                    line: lineno + 2,
+                    col,
+                    text: t.to_string(),
+                })?;
+                data.push(v);
+            }
+        }
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(CsvError::Empty);
+    }
+    Ok(Dataset::from_values(Matrix::from_vec(rows, d, data)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("scis_csv_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_values_and_missingness() {
+        let v = Matrix::from_rows(&[&[1.5, f64::NAN, 3.0], &[f64::NAN, -2.25, 0.0]]);
+        let ds = Dataset::from_values(v);
+        let path = tmp("roundtrip.csv");
+        write_dataset(&path, &ds).unwrap();
+        let back = read_dataset(&path).unwrap();
+        assert_eq!(back.n_samples(), 2);
+        assert_eq!(back.n_features(), 3);
+        assert_eq!(back.values[(0, 0)], 1.5);
+        assert!(back.values[(0, 1)].is_nan());
+        assert_eq!(back.values[(1, 1)], -2.25);
+        assert_eq!(back.mask, ds.mask);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ragged_row_is_an_error() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "a,b\n1,2\n3\n").unwrap();
+        match read_dataset(&path) {
+            Err(CsvError::RaggedRow { line: 3, got: 1, expected: 2 }) => {}
+            other => panic!("unexpected {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let path = tmp("badnum.csv");
+        std::fs::write(&path, "a\nxyz\n").unwrap();
+        assert!(matches!(read_dataset(&path), Err(CsvError::BadNumber { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let path = tmp("empty.csv");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(read_dataset(&path), Err(CsvError::Empty)));
+        std::fs::write(&path, "a,b\n").unwrap();
+        assert!(matches!(read_dataset(&path), Err(CsvError::Empty)));
+        std::fs::remove_file(&path).ok();
+    }
+}

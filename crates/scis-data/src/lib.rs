@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! `scis-data` — incomplete-dataset substrate for the SCIS reproduction.
+//!
+//! Provides everything the imputers and experiment harness consume:
+//!
+//! * [`mask`] — bit-packed mask matrices (`1` = observed), memory-efficient
+//!   enough for the paper's 22.5M-row Surveil recipe;
+//! * [`dataset`] — the `(values, mask)` pair with the paper's merge rule
+//!   `X̂ = M ⊙ X + (1−M) ⊙ X̄` (Definition 1);
+//! * [`missing`] — MCAR / MAR / MNAR missingness injectors;
+//! * [`normalize`] — min–max scaling to `[0,1]` fitted on observed cells;
+//! * [`synth`] — latent-factor mixed-type synthetic data generator;
+//! * [`corpus`] — recipes reproducing the shapes of the six COVID-19
+//!   datasets in the paper's Table II (sample count, feature count, missing
+//!   rate), with a scale knob for laptop-sized runs;
+//! * [`split`] — the validation / initial / minimum-sample sampling of
+//!   Algorithm 1;
+//! * [`metrics`] — held-out RMSE (the paper's evaluation protocol), MAE,
+//!   AUC;
+//! * [`csvio`] — minimal CSV round-trip with empty-cell missing values.
+
+pub mod corpus;
+pub mod csvio;
+pub mod dataset;
+pub mod mask;
+pub mod metrics;
+pub mod missing;
+pub mod normalize;
+pub mod split;
+pub mod synth;
+
+pub use corpus::CovidRecipe;
+pub use dataset::{ColumnKind, Dataset};
+pub use mask::MaskMatrix;
+pub use metrics::Holdout;
+pub use missing::Mechanism;
+pub use normalize::MinMaxScaler;

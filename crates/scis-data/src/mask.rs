@@ -1,0 +1,254 @@
+//! Bit-packed mask matrices.
+//!
+//! The paper's mask matrix `M` has `m_ij = 1` iff cell `(i,j)` is observed.
+//! At the Surveil scale (22.5M × 7) a `Vec<f64>` mask costs 1.26 GB; this
+//! bit-packed representation costs 20 MB. Dense `f64` views are
+//! materialized per mini-batch only ([`MaskMatrix::to_dense_rows`]).
+
+use scis_tensor::Matrix;
+
+/// A `rows x cols` bitmap; bit set = cell observed.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MaskMatrix {
+    rows: usize,
+    cols: usize,
+    words: Vec<u64>,
+}
+
+impl MaskMatrix {
+    /// All-observed mask.
+    pub fn all_observed(rows: usize, cols: usize) -> Self {
+        let bits = rows * cols;
+        let mut words = vec![u64::MAX; bits.div_ceil(64)];
+        // clear the slack bits in the last word so counts stay exact
+        let slack = words.len() * 64 - bits;
+        if slack > 0 {
+            if let Some(last) = words.last_mut() {
+                *last >>= slack;
+            }
+        }
+        Self { rows, cols, words }
+    }
+
+    /// All-missing mask.
+    pub fn all_missing(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, words: vec![0; (rows * cols).div_ceil(64)] }
+    }
+
+    /// Builds a mask from a dense 0/1 matrix (anything > 0.5 is observed).
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut out = Self::all_missing(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                if m[(i, j)] > 0.5 {
+                    out.set(i, j, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the mask implied by NaN cells in `values` (NaN = missing).
+    pub fn from_nan_pattern(values: &Matrix) -> Self {
+        let mut out = Self::all_missing(values.rows(), values.cols());
+        for i in 0..values.rows() {
+            for j in 0..values.cols() {
+                if !values[(i, j)].is_nan() {
+                    out.set(i, j, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn bit_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.rows && j < self.cols, "mask index out of bounds");
+        i * self.cols + j
+    }
+
+    /// Whether cell `(i, j)` is observed.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        let b = self.bit_index(i, j);
+        (self.words[b / 64] >> (b % 64)) & 1 == 1
+    }
+
+    /// Sets the observed flag of cell `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, observed: bool) {
+        let b = self.bit_index(i, j);
+        if observed {
+            self.words[b / 64] |= 1 << (b % 64);
+        } else {
+            self.words[b / 64] &= !(1 << (b % 64));
+        }
+    }
+
+    /// Count of observed cells.
+    pub fn count_observed(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of missing cells — the paper's "missing rate".
+    pub fn missing_rate(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.count_observed() as f64 / total as f64
+        }
+    }
+
+    /// Count of observed cells in column `j`.
+    pub fn col_observed_count(&self, j: usize) -> usize {
+        (0..self.rows).filter(|&i| self.get(i, j)).count()
+    }
+
+    /// Count of observed cells in row `i`.
+    pub fn row_observed_count(&self, i: usize) -> usize {
+        (0..self.cols).filter(|&j| self.get(i, j)).count()
+    }
+
+    /// Dense `f64` (0/1) materialization of the whole mask.
+    pub fn to_dense(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |i, j| if self.get(i, j) { 1.0 } else { 0.0 })
+    }
+
+    /// Dense `f64` materialization of the rows at `indices` (mini-batching).
+    pub fn to_dense_rows(&self, indices: &[usize]) -> Matrix {
+        Matrix::from_fn(indices.len(), self.cols, |k, j| {
+            if self.get(indices[k], j) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Sub-mask of the rows at `indices` (indices may repeat).
+    pub fn select_rows(&self, indices: &[usize]) -> MaskMatrix {
+        let mut out = MaskMatrix::all_missing(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            for j in 0..self.cols {
+                if self.get(i, j) {
+                    out.set(k, j, true);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MaskMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MaskMatrix {}x{} ({} observed, missing rate {:.2}%)",
+            self.rows,
+            self.cols,
+            self.count_observed(),
+            self.missing_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_observed_counts() {
+        let m = MaskMatrix::all_observed(10, 7);
+        assert_eq!(m.count_observed(), 70);
+        assert_eq!(m.missing_rate(), 0.0);
+        assert!(m.get(9, 6));
+    }
+
+    #[test]
+    fn all_observed_no_slack_bits() {
+        // 3*5 = 15 bits, far from word boundary
+        let m = MaskMatrix::all_observed(3, 5);
+        assert_eq!(m.count_observed(), 15);
+        // 8*8 = 64 bits, exactly one word
+        let m = MaskMatrix::all_observed(8, 8);
+        assert_eq!(m.count_observed(), 64);
+        // 65 bits: second word has 1 valid bit
+        let m = MaskMatrix::all_observed(13, 5);
+        assert_eq!(m.count_observed(), 65);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = MaskMatrix::all_missing(4, 4);
+        m.set(2, 3, true);
+        assert!(m.get(2, 3));
+        assert!(!m.get(3, 2));
+        assert_eq!(m.count_observed(), 1);
+        m.set(2, 3, false);
+        assert_eq!(m.count_observed(), 0);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 0.0]]);
+        let m = MaskMatrix::from_dense(&d);
+        assert_eq!(m.to_dense(), d);
+        assert_eq!(m.count_observed(), 3);
+    }
+
+    #[test]
+    fn nan_pattern() {
+        let v = Matrix::from_rows(&[&[1.0, f64::NAN], &[f64::NAN, 4.0]]);
+        let m = MaskMatrix::from_nan_pattern(&v);
+        assert!(m.get(0, 0));
+        assert!(!m.get(0, 1));
+        assert!(!m.get(1, 0));
+        assert!(m.get(1, 1));
+        assert_eq!(m.missing_rate(), 0.5);
+    }
+
+    #[test]
+    fn row_and_col_counts() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[0.0, 0.0]]);
+        let m = MaskMatrix::from_dense(&d);
+        assert_eq!(m.col_observed_count(0), 2);
+        assert_eq!(m.col_observed_count(1), 1);
+        assert_eq!(m.row_observed_count(0), 1);
+        assert_eq!(m.row_observed_count(2), 0);
+    }
+
+    #[test]
+    fn select_rows_with_repeats() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let m = MaskMatrix::from_dense(&d);
+        let s = m.select_rows(&[1, 1, 0]);
+        assert_eq!(s.rows(), 3);
+        assert!(s.get(0, 1) && s.get(1, 1) && s.get(2, 0));
+        assert!(!s.get(0, 0) && !s.get(2, 1));
+    }
+
+    #[test]
+    fn to_dense_rows_batches() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let m = MaskMatrix::from_dense(&d);
+        let batch = m.to_dense_rows(&[2, 0]);
+        assert_eq!(batch, Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 0.0]]));
+    }
+
+    #[test]
+    fn memory_is_bit_packed() {
+        let m = MaskMatrix::all_missing(1000, 100);
+        assert_eq!(m.words.len(), (1000 * 100usize).div_ceil(64));
+    }
+}

@@ -1,0 +1,219 @@
+//! Evaluation metrics and the paper's held-out protocol.
+//!
+//! The paper (§VI "Metrics"): *"we randomly remove 20% observed values
+//! during training for imputation, and thus we use these observed values as
+//! the ground-truth"*. [`make_holdout`] implements exactly that: it hides a
+//! fraction of the observed cells and remembers their true values; RMSE is
+//! then computed on those hidden cells only.
+
+use crate::dataset::Dataset;
+use scis_tensor::{Matrix, Rng64};
+
+/// Hidden-cell ground truth produced by [`make_holdout`].
+#[derive(Debug, Clone)]
+pub struct Holdout {
+    /// `(row, col)` positions of hidden cells.
+    pub positions: Vec<(usize, usize)>,
+    /// True values at those positions, same order.
+    pub truth: Vec<f64>,
+}
+
+impl Holdout {
+    /// RMSE of an imputed matrix at the hidden positions.
+    pub fn rmse(&self, imputed: &Matrix) -> f64 {
+        assert!(!self.positions.is_empty(), "Holdout::rmse: empty holdout");
+        let mut acc = 0.0;
+        for (&(i, j), &t) in self.positions.iter().zip(&self.truth) {
+            let d = (*imputed)[(i, j)] - t;
+            acc += d * d;
+        }
+        (acc / self.positions.len() as f64).sqrt()
+    }
+
+    /// MAE of an imputed matrix at the hidden positions.
+    pub fn mae(&self, imputed: &Matrix) -> f64 {
+        assert!(!self.positions.is_empty(), "Holdout::mae: empty holdout");
+        let mut acc = 0.0;
+        for (&(i, j), &t) in self.positions.iter().zip(&self.truth) {
+            acc += ((*imputed)[(i, j)] - t).abs();
+        }
+        acc / self.positions.len() as f64
+    }
+
+    /// Number of hidden cells.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the holdout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Hides `frac` of the observed cells of `ds` (marking them missing) and
+/// returns the reduced dataset plus the ground truth of the hidden cells.
+pub fn make_holdout(ds: &Dataset, frac: f64, rng: &mut Rng64) -> (Dataset, Holdout) {
+    assert!((0.0..1.0).contains(&frac), "make_holdout: frac must be in [0,1)");
+    let observed: Vec<(usize, usize)> = ds
+        .observed_cells()
+        .map(|(i, j, _)| (i, j))
+        .collect();
+    let k = ((observed.len() as f64) * frac).round() as usize;
+    let chosen = rng.sample_indices(observed.len(), k);
+    let mut reduced = ds.clone();
+    let mut positions = Vec::with_capacity(k);
+    let mut truth = Vec::with_capacity(k);
+    for &c in &chosen {
+        let (i, j) = observed[c];
+        positions.push((i, j));
+        truth.push(ds.values[(i, j)]);
+        reduced.values[(i, j)] = f64::NAN;
+        reduced.mask.set(i, j, false);
+    }
+    (reduced, Holdout { positions, truth })
+}
+
+/// RMSE over all *originally missing* cells against a known complete ground
+/// truth (available for synthetic data only).
+pub fn rmse_vs_ground_truth(ds: &Dataset, ground_truth: &Matrix, imputed: &Matrix) -> f64 {
+    assert_eq!(ground_truth.shape(), imputed.shape(), "rmse: shape mismatch");
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for i in 0..ds.n_samples() {
+        for j in 0..ds.n_features() {
+            if !ds.mask.get(i, j) {
+                let d = (*imputed)[(i, j)] - (*ground_truth)[(i, j)];
+                acc += d * d;
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (acc / n as f64).sqrt()
+    }
+}
+
+/// Area under the ROC curve via the rank statistic (ties get midranks).
+/// `scores` are real-valued; `labels` are 0/1.
+pub fn auc(scores: &[f64], labels: &[u8]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l == 1).count();
+    let n_neg = labels.len() - n_pos;
+    assert!(n_pos > 0 && n_neg > 0, "auc: need both classes");
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    // midranks
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let mid = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = mid;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l == 1)
+        .map(|(&r, _)| r)
+        .sum();
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut rng = Rng64::seed_from_u64(1);
+        let v = Matrix::from_fn(50, 4, |_, _| rng.uniform());
+        let mut ds = Dataset::from_values(v);
+        // knock out some cells
+        for i in (0..50).step_by(5) {
+            ds.values[(i, 2)] = f64::NAN;
+            ds.mask.set(i, 2, false);
+        }
+        ds
+    }
+
+    #[test]
+    fn holdout_hides_requested_fraction() {
+        let ds = toy();
+        let observed_before = ds.mask.count_observed();
+        let mut rng = Rng64::seed_from_u64(2);
+        let (reduced, holdout) = make_holdout(&ds, 0.2, &mut rng);
+        let expect = (observed_before as f64 * 0.2).round() as usize;
+        assert_eq!(holdout.len(), expect);
+        assert_eq!(reduced.mask.count_observed(), observed_before - expect);
+        // hidden cells are NaN in the reduced set and remembered exactly
+        for (&(i, j), &t) in holdout.positions.iter().zip(&holdout.truth) {
+            assert!(reduced.values[(i, j)].is_nan());
+            assert_eq!(ds.values[(i, j)], t);
+        }
+    }
+
+    #[test]
+    fn rmse_zero_for_perfect_imputation() {
+        let ds = toy();
+        let mut rng = Rng64::seed_from_u64(3);
+        let (_, holdout) = make_holdout(&ds, 0.25, &mut rng);
+        // impute with the truth itself
+        let mut imputed = ds.values.clone();
+        imputed.map_inplace(|v| if v.is_nan() { 0.0 } else { v });
+        assert_eq!(holdout.rmse(&imputed), 0.0);
+        assert_eq!(holdout.mae(&imputed), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_constant_error() {
+        let ds = toy();
+        let mut rng = Rng64::seed_from_u64(4);
+        let (_, holdout) = make_holdout(&ds, 0.25, &mut rng);
+        let mut imputed = ds.values.clone();
+        imputed.map_inplace(|v| if v.is_nan() { 0.0 } else { v });
+        let shifted = imputed.map(|v| v + 0.5);
+        assert!((holdout.rmse(&shifted) - 0.5).abs() < 1e-12);
+        assert!((holdout.mae(&shifted) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_truth_rmse_counts_missing_cells_only() {
+        let v = Matrix::from_rows(&[&[1.0, f64::NAN], &[f64::NAN, 4.0]]);
+        let ds = Dataset::from_values(v);
+        let gt = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let imputed = Matrix::from_rows(&[&[1.0, 3.0], &[3.0, 4.0]]); // off by 1 at (0,1)
+        let r = rmse_vs_ground_truth(&ds, &gt, &imputed);
+        assert!((r - (0.5f64).sqrt()).abs() < 1e-12, "rmse {}", r);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let labels = [0u8, 0, 1, 1];
+        assert_eq!(auc(&[0.1, 0.2, 0.8, 0.9], &labels), 1.0);
+        assert_eq!(auc(&[0.9, 0.8, 0.2, 0.1], &labels), 0.0);
+        // all scores tied → 0.5 via midranks
+        assert_eq!(auc(&[0.5, 0.5, 0.5, 0.5], &labels), 0.5);
+    }
+
+    #[test]
+    fn auc_handles_partial_overlap() {
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        let labels = [0u8, 0, 1, 1];
+        // pairs: (0.35 vs 0.1 ✓), (0.35 vs 0.4 ✗), (0.8 vs both ✓✓) → 3/4
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "need both classes")]
+    fn auc_rejects_single_class() {
+        let _ = auc(&[0.1, 0.2], &[1, 1]);
+    }
+}

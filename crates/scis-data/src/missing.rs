@@ -1,0 +1,230 @@
+//! Missingness mechanisms.
+//!
+//! The paper's experiments assume MCAR (its Example 1 and SSE analysis are
+//! stated under MCAR), but its conclusion names MAR/MNAR as future work —
+//! we implement all three so the benches can probe robustness beyond the
+//! paper's setting.
+
+use crate::dataset::{ColumnKind, Dataset};
+use crate::mask::MaskMatrix;
+use scis_tensor::{Matrix, Rng64};
+
+/// How cells are removed from a complete matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Mechanism {
+    /// Missing Completely At Random: each cell dropped independently with
+    /// probability `rate`.
+    Mcar {
+        /// Per-cell drop probability.
+        rate: f64,
+    },
+    /// Missing At Random: the drop probability of a cell depends on the
+    /// value of the row's *first* feature (which always stays observed):
+    /// rows whose driver is above its column median get `2·rate`, others
+    /// approach `0` such that the overall rate is ≈ `rate`.
+    Mar {
+        /// Target overall drop rate.
+        rate: f64,
+    },
+    /// Missing Not At Random: the drop probability of a cell depends on the
+    /// cell's *own* value — values above the column median are dropped with
+    /// `2·rate`, values below with ~0, overall ≈ `rate`.
+    Mnar {
+        /// Target overall drop rate.
+        rate: f64,
+    },
+}
+
+impl Mechanism {
+    fn rate(&self) -> f64 {
+        match *self {
+            Mechanism::Mcar { rate } | Mechanism::Mar { rate } | Mechanism::Mnar { rate } => rate,
+        }
+    }
+}
+
+fn col_medians(complete: &Matrix) -> Vec<f64> {
+    (0..complete.cols())
+        .map(|j| scis_tensor::stats::nan_median(&complete.col(j)).unwrap_or(0.0))
+        .collect()
+}
+
+/// Drops cells from a complete matrix according to `mechanism`, producing an
+/// incomplete [`Dataset`] whose ground truth is the input.
+///
+/// # Panics
+/// Panics if the rate is outside `[0, 1)`.
+pub fn inject(
+    complete: &Matrix,
+    kinds: Vec<ColumnKind>,
+    mechanism: Mechanism,
+    rng: &mut Rng64,
+) -> Dataset {
+    let rate = mechanism.rate();
+    assert!((0.0..1.0).contains(&rate), "inject: rate must be in [0,1)");
+    let (n, d) = complete.shape();
+    let mut mask = MaskMatrix::all_observed(n, d);
+    match mechanism {
+        Mechanism::Mcar { rate } => {
+            for i in 0..n {
+                for j in 0..d {
+                    if rng.bernoulli(rate) {
+                        mask.set(i, j, false);
+                    }
+                }
+            }
+        }
+        Mechanism::Mar { rate } => {
+            let medians = col_medians(complete);
+            for i in 0..n {
+                let driver_high = complete[(i, 0)] > medians[0];
+                let p = if driver_high { (2.0 * rate).min(0.95) } else { 0.0 };
+                for j in 1..d {
+                    if rng.bernoulli(p) {
+                        mask.set(i, j, false);
+                    }
+                }
+            }
+        }
+        Mechanism::Mnar { rate } => {
+            let medians = col_medians(complete);
+            for i in 0..n {
+                for j in 0..d {
+                    let p = if complete[(i, j)] > medians[j] {
+                        (2.0 * rate).min(0.95)
+                    } else {
+                        0.0
+                    };
+                    if rng.bernoulli(p) {
+                        mask.set(i, j, false);
+                    }
+                }
+            }
+        }
+    }
+    Dataset::from_complete(complete, mask, kinds)
+}
+
+/// MCAR convenience wrapper with all-continuous columns.
+pub fn inject_mcar(complete: &Matrix, rate: f64, rng: &mut Rng64) -> Dataset {
+    inject(
+        complete,
+        vec![ColumnKind::Continuous; complete.cols()],
+        Mechanism::Mcar { rate },
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Rng64::seed_from_u64(seed);
+        Matrix::from_fn(n, d, |_, _| rng.uniform())
+    }
+
+    #[test]
+    fn mcar_hits_target_rate() {
+        let c = complete(2000, 5, 1);
+        let mut rng = Rng64::seed_from_u64(2);
+        let ds = inject_mcar(&c, 0.3, &mut rng);
+        assert!((ds.missing_rate() - 0.3).abs() < 0.02, "rate {}", ds.missing_rate());
+    }
+
+    #[test]
+    fn mcar_zero_rate_keeps_everything() {
+        let c = complete(50, 3, 3);
+        let mut rng = Rng64::seed_from_u64(4);
+        let ds = inject_mcar(&c, 0.0, &mut rng);
+        assert_eq!(ds.missing_rate(), 0.0);
+    }
+
+    #[test]
+    fn mar_driver_column_stays_observed() {
+        let c = complete(500, 4, 5);
+        let mut rng = Rng64::seed_from_u64(6);
+        let ds = inject(
+            &c,
+            vec![ColumnKind::Continuous; 4],
+            Mechanism::Mar { rate: 0.4 },
+            &mut rng,
+        );
+        assert_eq!(ds.mask.col_observed_count(0), 500);
+        assert!(ds.missing_rate() > 0.1);
+    }
+
+    #[test]
+    fn mar_missingness_depends_on_driver() {
+        let c = complete(2000, 3, 7);
+        let mut rng = Rng64::seed_from_u64(8);
+        let ds = inject(
+            &c,
+            vec![ColumnKind::Continuous; 3],
+            Mechanism::Mar { rate: 0.3 },
+            &mut rng,
+        );
+        let median = scis_tensor::stats::nan_median(&c.col(0)).unwrap();
+        let (mut miss_high, mut n_high, mut miss_low, mut n_low) = (0, 0, 0, 0);
+        for i in 0..2000 {
+            let high = c[(i, 0)] > median;
+            for j in 1..3 {
+                if high {
+                    n_high += 1;
+                    if !ds.mask.get(i, j) {
+                        miss_high += 1;
+                    }
+                } else {
+                    n_low += 1;
+                    if !ds.mask.get(i, j) {
+                        miss_low += 1;
+                    }
+                }
+            }
+        }
+        let rate_high = miss_high as f64 / n_high as f64;
+        let rate_low = miss_low as f64 / n_low as f64;
+        assert!(rate_high > 0.5, "high-driver rate {}", rate_high);
+        assert_eq!(rate_low, 0.0, "low-driver rate {}", rate_low);
+    }
+
+    #[test]
+    fn mnar_drops_high_values_preferentially() {
+        let c = complete(2000, 2, 9);
+        let mut rng = Rng64::seed_from_u64(10);
+        let ds = inject(
+            &c,
+            vec![ColumnKind::Continuous; 2],
+            Mechanism::Mnar { rate: 0.3 },
+            &mut rng,
+        );
+        // every dropped cell had a value above its column median
+        let medians = super::col_medians(&c);
+        for i in 0..2000 {
+            for j in 0..2 {
+                if !ds.mask.get(i, j) {
+                    assert!(c[(i, j)] > medians[j]);
+                }
+            }
+        }
+        assert!((ds.missing_rate() - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn injection_is_deterministic_under_seed() {
+        let c = complete(100, 4, 11);
+        let mut r1 = Rng64::seed_from_u64(42);
+        let mut r2 = Rng64::seed_from_u64(42);
+        let d1 = inject_mcar(&c, 0.25, &mut r1);
+        let d2 = inject_mcar(&c, 0.25, &mut r2);
+        assert_eq!(d1.mask, d2.mask);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn rejects_invalid_rate() {
+        let c = complete(5, 2, 12);
+        let mut rng = Rng64::seed_from_u64(13);
+        let _ = inject_mcar(&c, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,140 @@
+//! Min–max normalization to `[0, 1]`, fitted on observed cells only.
+//!
+//! The paper normalizes inputs to `[0,1]^d` (its Theorem 1 uses `|X| = 1`
+//! and Lipschitz constant 1 for the squared cost). The scaler must be fitted
+//! on *observed* values only — missing cells are NaN — and must round-trip
+//! exactly for the post-imputation denormalization step.
+
+use crate::dataset::Dataset;
+use scis_tensor::stats::nan_min_max;
+use scis_tensor::Matrix;
+
+/// Per-column min–max scaler.
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    spans: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits column ranges on the observed (non-NaN) cells of `values`.
+    /// Columns with no observed cells or constant value get span 1 (they
+    /// map to 0 and back losslessly).
+    pub fn fit(values: &Matrix) -> Self {
+        let mut mins = Vec::with_capacity(values.cols());
+        let mut spans = Vec::with_capacity(values.cols());
+        for j in 0..values.cols() {
+            let (lo, hi) = nan_min_max(&values.col(j)).unwrap_or((0.0, 0.0));
+            mins.push(lo);
+            let span = hi - lo;
+            spans.push(if span > 0.0 { span } else { 1.0 });
+        }
+        Self { mins, spans }
+    }
+
+    /// Applies the transform; NaN cells stay NaN.
+    pub fn transform(&self, values: &Matrix) -> Matrix {
+        assert_eq!(values.cols(), self.mins.len(), "transform: column mismatch");
+        Matrix::from_fn(values.rows(), values.cols(), |i, j| {
+            let v = (*values)[(i, j)];
+            if v.is_nan() {
+                f64::NAN
+            } else {
+                (v - self.mins[j]) / self.spans[j]
+            }
+        })
+    }
+
+    /// Inverse transform; NaN cells stay NaN.
+    pub fn inverse_transform(&self, values: &Matrix) -> Matrix {
+        assert_eq!(values.cols(), self.mins.len(), "inverse_transform: column mismatch");
+        Matrix::from_fn(values.rows(), values.cols(), |i, j| {
+            let v = (*values)[(i, j)];
+            if v.is_nan() {
+                f64::NAN
+            } else {
+                v * self.spans[j] + self.mins[j]
+            }
+        })
+    }
+
+    /// Fits on a dataset and returns the normalized dataset plus the scaler.
+    pub fn fit_transform_dataset(ds: &Dataset) -> (Dataset, MinMaxScaler) {
+        let scaler = MinMaxScaler::fit(&ds.values);
+        let values = scaler.transform(&ds.values);
+        (
+            Dataset { values, mask: ds.mask.clone(), kinds: ds.kinds.clone() },
+            scaler,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scis_tensor::Rng64;
+
+    #[test]
+    fn normalizes_observed_to_unit_interval() {
+        let v = Matrix::from_rows(&[&[0.0, 10.0], &[5.0, 20.0], &[10.0, 30.0]]);
+        let s = MinMaxScaler::fit(&v);
+        let t = s.transform(&v);
+        assert_eq!(t[(0, 0)], 0.0);
+        assert_eq!(t[(2, 0)], 1.0);
+        assert_eq!(t[(1, 1)], 0.5);
+        assert!(t.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn roundtrip_is_exact_within_fp() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let v = Matrix::from_fn(50, 4, |_, _| rng.normal_with(100.0, 37.0));
+        let s = MinMaxScaler::fit(&v);
+        let back = s.inverse_transform(&s.transform(&v));
+        for (a, b) in v.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn nan_preserved_and_ignored_in_fit() {
+        let v = Matrix::from_rows(&[&[f64::NAN, 2.0], &[1.0, f64::NAN], &[3.0, 6.0]]);
+        let s = MinMaxScaler::fit(&v);
+        let t = s.transform(&v);
+        assert!(t[(0, 0)].is_nan());
+        assert!(t[(1, 1)].is_nan());
+        // observed min/max map to 0/1 (fit ignored the NaNs)
+        assert_eq!(t[(1, 0)], 0.0);
+        assert_eq!(t[(2, 0)], 1.0);
+        assert_eq!(t[(0, 1)], 0.0);
+        assert_eq!(t[(2, 1)], 1.0);
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let v = Matrix::from_rows(&[&[7.0], &[7.0]]);
+        let s = MinMaxScaler::fit(&v);
+        let t = s.transform(&v);
+        assert_eq!(t[(0, 0)], 0.0);
+        let back = s.inverse_transform(&t);
+        assert_eq!(back[(0, 0)], 7.0);
+    }
+
+    #[test]
+    fn all_missing_column_is_tolerated() {
+        let v = Matrix::from_rows(&[&[f64::NAN], &[f64::NAN]]);
+        let s = MinMaxScaler::fit(&v);
+        let t = s.transform(&v);
+        assert!(t[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn dataset_fit_transform_keeps_mask() {
+        let v = Matrix::from_rows(&[&[10.0, f64::NAN], &[20.0, 5.0]]);
+        let ds = Dataset::from_values(v);
+        let (norm, _) = MinMaxScaler::fit_transform_dataset(&ds);
+        assert_eq!(norm.mask, ds.mask);
+        assert_eq!(norm.values[(0, 0)], 0.0);
+        assert_eq!(norm.values[(1, 0)], 1.0);
+    }
+}

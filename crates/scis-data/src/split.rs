@@ -1,0 +1,103 @@
+//! Sampling steps of Algorithm 1 (line 1 and line 5).
+//!
+//! SCIS first draws a size-`Nv` validation set and a size-`n0` initial set
+//! from disjoint rows of `X`; later, when SSE returns `n* > n0`, it draws a
+//! size-`n*` training set from the full dataset.
+
+use crate::dataset::Dataset;
+use scis_tensor::Rng64;
+
+/// Result of the Algorithm 1 line-1 sampling.
+#[derive(Debug, Clone)]
+pub struct InitialSplit {
+    /// The validation dataset `Xv` (size `Nv`).
+    pub validation: Dataset,
+    /// The initial training dataset `X0` (size `n0`), disjoint from `Xv`.
+    pub initial: Dataset,
+    /// Row indices of `Xv` in the source dataset.
+    pub validation_indices: Vec<usize>,
+    /// Row indices of `X0` in the source dataset.
+    pub initial_indices: Vec<usize>,
+}
+
+/// Samples the validation and initial sets from disjoint rows.
+///
+/// # Panics
+/// Panics if `n_v + n_0` exceeds the number of samples.
+pub fn sample_initial_split(ds: &Dataset, n_v: usize, n_0: usize, rng: &mut Rng64) -> InitialSplit {
+    let n = ds.n_samples();
+    assert!(
+        n_v + n_0 <= n,
+        "sample_initial_split: Nv + n0 = {} exceeds N = {}",
+        n_v + n_0,
+        n
+    );
+    let mut idx = rng.sample_indices(n, n_v + n_0);
+    let initial_indices = idx.split_off(n_v);
+    let validation_indices = idx;
+    InitialSplit {
+        validation: ds.select_rows(&validation_indices),
+        initial: ds.select_rows(&initial_indices),
+        validation_indices,
+        initial_indices,
+    }
+}
+
+/// Samples a size-`n` training set `X*` from the full dataset (Algorithm 1
+/// line 5). Distinct rows, uniformly at random.
+pub fn sample_training_set(ds: &Dataset, n: usize, rng: &mut Rng64) -> Dataset {
+    assert!(n <= ds.n_samples(), "sample_training_set: n exceeds N");
+    let idx = rng.sample_indices(ds.n_samples(), n);
+    ds.select_rows(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scis_tensor::Matrix;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::from_values(Matrix::from_fn(n, 3, |i, j| (i * 3 + j) as f64))
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let ds = toy(100);
+        let mut rng = Rng64::seed_from_u64(1);
+        let split = sample_initial_split(&ds, 20, 30, &mut rng);
+        assert_eq!(split.validation.n_samples(), 20);
+        assert_eq!(split.initial.n_samples(), 30);
+        let vset: std::collections::HashSet<_> = split.validation_indices.iter().collect();
+        assert!(split.initial_indices.iter().all(|i| !vset.contains(i)));
+    }
+
+    #[test]
+    fn split_rows_carry_correct_values() {
+        let ds = toy(50);
+        let mut rng = Rng64::seed_from_u64(2);
+        let split = sample_initial_split(&ds, 5, 5, &mut rng);
+        for (k, &i) in split.validation_indices.iter().enumerate() {
+            assert_eq!(split.validation.values[(k, 0)], (i * 3) as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds N")]
+    fn split_rejects_oversubscription() {
+        let ds = toy(10);
+        let mut rng = Rng64::seed_from_u64(3);
+        let _ = sample_initial_split(&ds, 6, 5, &mut rng);
+    }
+
+    #[test]
+    fn training_set_sampling() {
+        let ds = toy(40);
+        let mut rng = Rng64::seed_from_u64(4);
+        let t = sample_training_set(&ds, 15, &mut rng);
+        assert_eq!(t.n_samples(), 15);
+        // rows are distinct (values col 0 encodes original index ×3)
+        let set: std::collections::HashSet<u64> =
+            (0..15).map(|k| t.values[(k, 0)] as u64).collect();
+        assert_eq!(set.len(), 15);
+    }
+}

@@ -1,0 +1,155 @@
+//! Gradient-boosted-stump imputer — the "Baran" table row.
+//!
+//! The real Baran (Mahdavi & Abedjan) is an error-correction system with
+//! transfer learning over external corpora, which cannot be reproduced
+//! offline; DESIGN.md §4 documents this stand-in: per incomplete column, an
+//! L2 gradient-boosting ensemble of depth-1 regression trees (stumps) over
+//! the remaining columns, playing the same "slow, accurate ML baseline"
+//! role in Table III (Baran uses AdaBoost as its prediction model).
+
+use crate::traits::Imputer;
+use crate::tree::{RegressionTree, TreeConfig};
+use scis_data::Dataset;
+use scis_tensor::stats::nan_mean;
+use scis_tensor::{Matrix, Rng64};
+
+/// Boosted-stump imputer (Baran stand-in).
+#[derive(Debug, Clone)]
+pub struct BoostImputer {
+    /// Boosting rounds per column (paper's ML settings use 100 iterations).
+    pub n_rounds: usize,
+    /// Shrinkage / learning rate (paper's ML settings use 0.3).
+    pub learning_rate: f64,
+    /// Depth of each weak learner.
+    pub depth: usize,
+}
+
+impl Default for BoostImputer {
+    fn default() -> Self {
+        Self { n_rounds: 100, learning_rate: 0.3, depth: 1 }
+    }
+}
+
+struct BoostedModel {
+    base: f64,
+    trees: Vec<RegressionTree>,
+    lr: f64,
+}
+
+impl BoostedModel {
+    fn fit(x: &Matrix, y: &[f64], rounds: usize, lr: f64, depth: usize, rng: &mut Rng64) -> Self {
+        let base = y.iter().sum::<f64>() / y.len().max(1) as f64;
+        let mut residual: Vec<f64> = y.iter().map(|&v| v - base).collect();
+        let cfg = TreeConfig { max_depth: depth, min_leaf: 2, ..Default::default() };
+        let mut trees = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let tree = RegressionTree::fit(x, &residual, &cfg, rng);
+            let preds = tree.predict(x);
+            for (r, p) in residual.iter_mut().zip(&preds) {
+                *r -= lr * p;
+            }
+            trees.push(tree);
+        }
+        Self { base, trees, lr }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        self.base + self.lr * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+    }
+}
+
+impl Imputer for BoostImputer {
+    fn name(&self) -> &'static str {
+        "Baran"
+    }
+
+    fn impute(&mut self, ds: &Dataset, rng: &mut Rng64) -> Matrix {
+        let (n, d) = ds.values.shape();
+        let means: Vec<f64> = (0..d)
+            .map(|j| nan_mean(&ds.values.col(j)).unwrap_or(0.5))
+            .collect();
+        let x_filled = Matrix::from_fn(n, d, |i, j| {
+            let v = ds.values[(i, j)];
+            if v.is_nan() {
+                means[j]
+            } else {
+                v
+            }
+        });
+        let mut out = x_filled.clone();
+        for j in 0..d {
+            let obs_rows: Vec<usize> = (0..n).filter(|&i| ds.mask.get(i, j)).collect();
+            let mis_rows: Vec<usize> = (0..n).filter(|&i| !ds.mask.get(i, j)).collect();
+            if mis_rows.is_empty() || obs_rows.len() < 4 {
+                continue;
+            }
+            let other: Vec<usize> = (0..d).filter(|&c| c != j).collect();
+            let x_obs = x_filled.select_cols(&other).select_rows(&obs_rows);
+            let y_obs: Vec<f64> = obs_rows.iter().map(|&i| ds.values[(i, j)]).collect();
+            let model =
+                BoostedModel::fit(&x_obs, &y_obs, self.n_rounds, self.learning_rate, self.depth, rng);
+            let x_mis = x_filled.select_cols(&other).select_rows(&mis_rows);
+            for (&i, row) in mis_rows.iter().zip(x_mis.rows_iter()) {
+                out[(i, j)] = model.predict_row(row);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scis_data::metrics::rmse_vs_ground_truth;
+    use scis_data::missing::inject_mcar;
+
+    fn table(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, 3);
+        for i in 0..n {
+            let x = rng.uniform();
+            m[(i, 0)] = x;
+            m[(i, 1)] = 0.3 * x + 0.4;
+            m[(i, 2)] = if x > 0.6 { 0.8 } else { 0.2 };
+        }
+        m
+    }
+
+    #[test]
+    fn boosting_recovers_structure() {
+        let complete = table(300, 1);
+        let mut rng = Rng64::seed_from_u64(2);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let out = BoostImputer { n_rounds: 50, ..Default::default() }.impute(&ds, &mut rng);
+        let err = rmse_vs_ground_truth(&ds, &complete, &out);
+        let mean_err = rmse_vs_ground_truth(
+            &ds,
+            &complete,
+            &crate::mean::MeanImputer.impute(&ds, &mut rng),
+        );
+        assert!(err < mean_err * 0.5, "boost {} vs mean {}", err, mean_err);
+    }
+
+    #[test]
+    fn more_rounds_fit_tighter_on_train_relationships() {
+        let complete = table(300, 3);
+        let mut rng = Rng64::seed_from_u64(4);
+        let ds = inject_mcar(&complete, 0.2, &mut rng);
+        let weak = BoostImputer { n_rounds: 2, ..Default::default() }.impute(&ds, &mut rng);
+        let strong = BoostImputer { n_rounds: 80, ..Default::default() }.impute(&ds, &mut rng);
+        let e_weak = rmse_vs_ground_truth(&ds, &complete, &weak);
+        let e_strong = rmse_vs_ground_truth(&ds, &complete, &strong);
+        assert!(e_strong < e_weak, "strong {} vs weak {}", e_strong, e_weak);
+    }
+
+    #[test]
+    fn observed_cells_pass_through() {
+        let complete = table(100, 5);
+        let mut rng = Rng64::seed_from_u64(6);
+        let ds = inject_mcar(&complete, 0.3, &mut rng);
+        let out = BoostImputer::default().impute(&ds, &mut rng);
+        for (i, j, v) in ds.observed_cells() {
+            assert_eq!(out[(i, j)], v);
+        }
+    }
+}

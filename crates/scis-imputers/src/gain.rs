@@ -1,0 +1,360 @@
+//! GAIN — Generative Adversarial Imputation Nets (Yoon, Jordon & van der
+//! Schaar, ICML'18). The paper's primary GAN baseline and the default model
+//! SCIS wraps.
+//!
+//! Faithful ingredients:
+//! * generator `G([x̃, m]) → x̄` and discriminator `D([x̂, h]) → per-cell
+//!   real/fake probability`, both 2-layer fully connected nets (paper §VI);
+//! * noise `z ~ U(0, 0.01)` filling missing cells of `x̃`;
+//! * the hint mechanism `h = b ⊙ m + ½(1 − b)`, `b ~ Ber(hint_rate)`;
+//! * discriminator BCE toward the true mask; generator adversarial loss on
+//!   missing cells plus `α ·` observed-cell reconstruction MSE.
+
+use crate::traits::{impute_with_generator, AdversarialImputer, Imputer, TrainConfig};
+use scis_data::Dataset;
+use scis_nn::loss::{masked_bce_prob, weighted_mse};
+use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
+use scis_tensor::{Matrix, Rng64};
+
+/// GAIN hyper-parameters and state.
+pub struct GainImputer {
+    /// Shared deep-learning hyper-parameters.
+    pub config: TrainConfig,
+    /// Hint rate (original GAIN default 0.9).
+    pub hint_rate: f64,
+    /// Reconstruction weight α (original GAIN default 10).
+    pub alpha: f64,
+    generator: Option<Mlp>,
+    discriminator: Option<Mlp>,
+    n_features: usize,
+}
+
+impl GainImputer {
+    /// Creates an untrained GAIN with the given schedule.
+    pub fn new(config: TrainConfig) -> Self {
+        Self {
+            config,
+            hint_rate: 0.9,
+            alpha: 10.0,
+            generator: None,
+            discriminator: None,
+            n_features: 0,
+        }
+    }
+
+    /// Noise value used for deterministic reconstruction (mean of U(0,0.01)).
+    const DET_NOISE: f64 = 0.005;
+
+    /// Architecture descriptor of the generator (for model persistence).
+    pub fn generator_spec(&self) -> scis_nn::MlpSpec {
+        let d = self.n_features;
+        scis_nn::MlpSpec {
+            in_dim: 2 * d,
+            layers: vec![
+                scis_nn::SpecLayer::Dense { out: d, act: Activation::Relu },
+                scis_nn::SpecLayer::Dense { out: d, act: Activation::Sigmoid },
+            ],
+        }
+    }
+
+    /// Saves the trained generator to `path` (see [`scis_nn::save_mlp`]).
+    pub fn save_generator(&mut self, path: &std::path::Path) -> Result<(), scis_nn::serialize::ModelIoError> {
+        let spec = self.generator_spec();
+        scis_nn::save_mlp(path, self.generator_mut(), &spec)
+    }
+
+    /// Loads a generator saved by [`GainImputer::save_generator`]; the
+    /// imputer becomes ready to `reconstruct` without retraining.
+    pub fn load_generator(&mut self, path: &std::path::Path) -> Result<(), scis_nn::serialize::ModelIoError> {
+        let (net, spec) = scis_nn::load_mlp(path)?;
+        assert_eq!(spec.in_dim % 2, 0, "generator input must be 2·d");
+        let d = spec.in_dim / 2;
+        if !self.is_initialized(d) {
+            // discriminator gets fresh weights; only reconstruction needs
+            // the generator
+            let mut rng = Rng64::seed_from_u64(0);
+            self.init_networks(d, &mut rng);
+        }
+        self.generator = Some(net);
+        self.n_features = d;
+        Ok(())
+    }
+
+    fn hint(&self, mask: &Matrix, rng: &mut Rng64) -> Matrix {
+        Matrix::from_fn(mask.rows(), mask.cols(), |i, j| {
+            if rng.bernoulli(self.hint_rate) {
+                (*mask)[(i, j)]
+            } else {
+                0.5
+            }
+        })
+    }
+
+    /// One adversarial step on a batch: D update then G update.
+    /// Returns `(d_loss, g_loss)`.
+    pub fn train_batch(
+        &mut self,
+        x: &Matrix,
+        mask: &Matrix,
+        opt_g: &mut Adam,
+        opt_d: &mut Adam,
+        rng: &mut Rng64,
+    ) -> (f64, f64) {
+        let d_feats = x.cols();
+        assert!(self.is_initialized(d_feats), "GainImputer: networks not initialized");
+
+        // x̃ = m⊙x + (1−m)⊙z
+        let z = Matrix::from_fn(x.rows(), d_feats, |_, _| rng.uniform_range(0.0, 0.01));
+        let x_tilde = mask.hadamard(x).add(&mask.map(|m| 1.0 - m).hadamard(&z));
+        let g_in = x_tilde.hcat(mask);
+
+        // --- discriminator step ---
+        let (d_loss, xbar_detached) = {
+            let generator = self.generator.as_mut().expect("init");
+            let xbar = generator.forward(&g_in, Mode::Train, rng);
+            let x_hat = mask.hadamard(x).add(&mask.map(|m| 1.0 - m).hadamard(&xbar));
+            let h = self.hint(mask, rng);
+            let d_in = x_hat.hcat(&h);
+            let discriminator = self.discriminator.as_mut().expect("init");
+            let d_out = discriminator.forward(&d_in, Mode::Train, rng);
+            let all = Matrix::ones(d_out.rows(), d_out.cols());
+            let (d_loss, grad) = masked_bce_prob(&d_out, mask, &all);
+            discriminator.zero_grad();
+            discriminator.backward(&grad);
+            opt_d.step(discriminator);
+            (d_loss, xbar)
+        };
+        let _ = xbar_detached;
+
+        // --- generator step (fresh forward through updated D) ---
+        let h = self.hint(mask, rng);
+        let generator = self.generator.as_mut().expect("init");
+        let xbar = generator.forward(&g_in, Mode::Train, rng);
+        let x_hat = mask.hadamard(x).add(&mask.map(|m| 1.0 - m).hadamard(&xbar));
+        let d_in = x_hat.hcat(&h);
+        let discriminator = self.discriminator.as_mut().expect("init");
+        let d_out = discriminator.forward(&d_in, Mode::Train, rng);
+
+        // adversarial: make D say "observed" (1) on the missing cells
+        let inv_mask = mask.map(|m| 1.0 - m);
+        let target_ones = Matrix::ones(d_out.rows(), d_out.cols());
+        let (adv_loss, adv_grad_dout) = masked_bce_prob(&d_out, &target_ones, &inv_mask);
+        discriminator.zero_grad();
+        let grad_d_in = discriminator.backward(&adv_grad_dout);
+        discriminator.zero_grad(); // D params must not move on the G step
+        // slice x̂ part, route through x̂ = … + (1−m)⊙x̄
+        let grad_xhat = grad_d_in.select_cols(&(0..d_feats).collect::<Vec<_>>());
+        let mut grad_xbar = grad_xhat.hadamard(&inv_mask);
+
+        // reconstruction: α · MSE(m⊙x, m⊙x̄)
+        let (rec_loss, rec_grad) = weighted_mse(&xbar, x, mask);
+        grad_xbar.axpy(self.alpha, &rec_grad);
+
+        generator.zero_grad();
+        generator.backward(&grad_xbar);
+        opt_g.step(generator);
+
+        (d_loss, adv_loss + self.alpha * rec_loss)
+    }
+}
+
+impl Imputer for GainImputer {
+    fn name(&self) -> &'static str {
+        "GAIN"
+    }
+
+    fn impute(&mut self, ds: &Dataset, rng: &mut Rng64) -> Matrix {
+        self.train_native(ds, rng);
+        impute_with_generator(self, ds, rng)
+    }
+}
+
+impl AdversarialImputer for GainImputer {
+    fn init_networks(&mut self, n_features: usize, rng: &mut Rng64) {
+        let d = n_features;
+        // paper §VI: both G and D are 2-layer fully connected nets
+        self.generator = Some(
+            Mlp::builder(2 * d)
+                .dense(d, Activation::Relu)
+                .dense(d, Activation::Sigmoid)
+                .build(rng),
+        );
+        self.discriminator = Some(
+            Mlp::builder(2 * d)
+                .dense(d, Activation::Relu)
+                .dense(d, Activation::Sigmoid)
+                .build(rng),
+        );
+        self.n_features = d;
+    }
+
+    fn is_initialized(&self, n_features: usize) -> bool {
+        self.generator.is_some() && self.n_features == n_features
+    }
+
+    fn generator_mut(&mut self) -> &mut Mlp {
+        self.generator.as_mut().expect("GainImputer: generator not initialized")
+    }
+
+    fn reconstruct(&mut self, values: &Matrix, mask: &Matrix) -> Matrix {
+        assert!(self.is_initialized(values.cols()), "GainImputer: not initialized");
+        let noise = Matrix::full(values.rows(), values.cols(), Self::DET_NOISE);
+        let x_tilde = mask.hadamard(values).add(&mask.map(|m| 1.0 - m).hadamard(&noise));
+        let g_in = x_tilde.hcat(mask);
+        // eval mode: deterministic
+        let mut throwaway = Rng64::seed_from_u64(0);
+        self.generator
+            .as_mut()
+            .expect("init")
+            .forward(&g_in, Mode::Eval, &mut throwaway)
+    }
+
+    fn generator_input(&self, values: &Matrix, mask: &Matrix, rng: &mut Rng64) -> Matrix {
+        let z = Matrix::from_fn(values.rows(), values.cols(), |_, _| rng.uniform_range(0.0, 0.01));
+        let x_tilde = mask.hadamard(values).add(&mask.map(|m| 1.0 - m).hadamard(&z));
+        x_tilde.hcat(mask)
+    }
+
+    fn train_native(&mut self, ds: &Dataset, rng: &mut Rng64) {
+        let d = ds.n_features();
+        if !self.is_initialized(d) {
+            self.init_networks(d, rng);
+        }
+        let n = ds.n_samples();
+        let x = ds.values_filled(0.0);
+        let mask = ds.dense_mask();
+        let mut opt_g = Adam::new(self.config.learning_rate);
+        let mut opt_d = Adam::new(self.config.learning_rate);
+        let bs = self.config.batch_size.min(n);
+        for _epoch in 0..self.config.epochs {
+            let order = rng.permutation(n);
+            for chunk in order.chunks(bs) {
+                let xb = x.select_rows(chunk);
+                let mb = mask.select_rows(chunk);
+                self.train_batch(&xb, &mb, &mut opt_g, &mut opt_d, rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::correlated_table;
+    use scis_data::metrics::rmse_vs_ground_truth;
+    use scis_data::missing::inject_mcar;
+
+    fn fast() -> GainImputer {
+        GainImputer::new(TrainConfig {
+            epochs: 120,
+            batch_size: 64,
+            learning_rate: 0.005,
+            dropout: 0.0,
+        })
+    }
+
+    #[test]
+    fn gain_beats_mean_on_correlated_data() {
+        let complete = correlated_table(400, 41);
+        let mut rng = Rng64::seed_from_u64(42);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let out = fast().impute(&ds, &mut rng);
+        let e = rmse_vs_ground_truth(&ds, &complete, &out);
+        let e_mean = rmse_vs_ground_truth(
+            &ds,
+            &complete,
+            &crate::mean::MeanImputer.impute(&ds, &mut rng),
+        );
+        assert!(e < e_mean, "gain {} vs mean {}", e, e_mean);
+    }
+
+    #[test]
+    fn observed_cells_pass_through() {
+        let complete = correlated_table(150, 43);
+        let mut rng = Rng64::seed_from_u64(44);
+        let ds = inject_mcar(&complete, 0.3, &mut rng);
+        let out = fast().impute(&ds, &mut rng);
+        for (i, j, v) in ds.observed_cells() {
+            assert_eq!(out[(i, j)], v);
+        }
+        assert!(!out.has_nan());
+    }
+
+    #[test]
+    fn reconstruct_is_deterministic() {
+        let complete = correlated_table(60, 45);
+        let mut rng = Rng64::seed_from_u64(46);
+        let ds = inject_mcar(&complete, 0.2, &mut rng);
+        let mut g = fast();
+        g.init_networks(ds.n_features(), &mut rng);
+        let x = ds.values_filled(0.0);
+        let m = ds.dense_mask();
+        let a = g.reconstruct(&x, &m);
+        let b = g.reconstruct(&x, &m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generator_params_roundtrip_through_flat_vector() {
+        let mut rng = Rng64::seed_from_u64(47);
+        let mut g = fast();
+        g.init_networks(4, &mut rng);
+        let flat = g.generator_mut().param_vector();
+        assert_eq!(flat.len(), g.generator_mut().num_params());
+        // 2-layer net on d=4: (8·4+4) + (4·4+4) = 56
+        assert_eq!(flat.len(), 56);
+    }
+
+    #[test]
+    fn generator_save_load_roundtrip_preserves_imputation() {
+        let complete = correlated_table(150, 52);
+        let mut rng = Rng64::seed_from_u64(53);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut g = fast();
+        g.train_native(&ds, &mut rng);
+        let before = impute_with_generator(&mut g, &ds, &mut rng);
+        let mut path = std::env::temp_dir();
+        path.push(format!("scis_gain_{}.model", std::process::id()));
+        g.save_generator(&path).unwrap();
+        let mut g2 = fast();
+        g2.load_generator(&path).unwrap();
+        let after = impute_with_generator(&mut g2, &ds, &mut rng);
+        assert_eq!(before, after);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn discriminator_learns_to_spot_fakes_early() {
+        let complete = correlated_table(200, 48);
+        let mut rng = Rng64::seed_from_u64(49);
+        let ds = inject_mcar(&complete, 0.3, &mut rng);
+        let mut g = fast();
+        g.init_networks(ds.n_features(), &mut rng);
+        let x = ds.values_filled(0.0);
+        let m = ds.dense_mask();
+        let mut opt_g = Adam::new(0.005);
+        let mut opt_d = Adam::new(0.005);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let (d_loss, _) = g.train_batch(&x, &m, &mut opt_g, &mut opt_d, &mut rng);
+            first.get_or_insert(d_loss);
+            last = d_loss;
+        }
+        assert!(last < first.unwrap(), "D loss {} -> {}", first.unwrap(), last);
+    }
+
+    #[test]
+    fn untrained_generator_imputes_poorly_vs_trained() {
+        let complete = correlated_table(300, 50);
+        let mut rng = Rng64::seed_from_u64(51);
+        let ds = inject_mcar(&complete, 0.3, &mut rng);
+        let mut fresh = fast();
+        fresh.init_networks(ds.n_features(), &mut rng);
+        let untrained = impute_with_generator(&mut fresh, &ds, &mut rng);
+        let trained = fast().impute(&ds, &mut rng);
+        let e_untrained = rmse_vs_ground_truth(&ds, &complete, &untrained);
+        let e_trained = rmse_vs_ground_truth(&ds, &complete, &trained);
+        assert!(e_trained < e_untrained, "{} vs {}", e_trained, e_untrained);
+    }
+}

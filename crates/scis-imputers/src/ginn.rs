@@ -1,0 +1,355 @@
+//! GINN — graph imputation neural network (Spinelli et al.), simplified.
+//!
+//! The original GINN trains a GCN autoencoder adversarially on a similarity
+//! graph over samples. We retain its *systems profile* (DESIGN.md §4):
+//!
+//! * an O(N²·d) kNN similarity-graph construction over mean-filled rows —
+//!   this is the step the paper blames for GINN failing to finish on the
+//!   Search/Surveil datasets, and we reproduce that cost honestly;
+//! * graph convolution as neighbourhood smoothing of the generator input;
+//! * an adversarial game with a 3-layer discriminator trained 5 times per
+//!   generator step (paper §VI implementation details).
+
+use crate::traits::{impute_with_generator, AdversarialImputer, Imputer, TrainConfig};
+use scis_data::Dataset;
+use scis_nn::loss::{masked_bce_prob, weighted_mse};
+use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
+use scis_tensor::ops::sq_dist;
+use scis_tensor::{Matrix, Rng64};
+
+/// Fingerprint of a reconstruction input: (rows, cols, value-sum bits).
+type GraphKey = (usize, usize, u64);
+/// kNN adjacency: neighbour indices per row.
+type Adjacency = Vec<Vec<usize>>;
+
+/// GINN hyper-parameters and state.
+pub struct GinnImputer {
+    /// Shared deep-learning hyper-parameters.
+    pub config: TrainConfig,
+    /// Neighbours per node in the similarity graph.
+    pub k_neighbors: usize,
+    /// Smoothing strength γ: input = (1−γ)·x + γ·neighbour mean.
+    pub gamma: f64,
+    /// Discriminator steps per generator step (paper: 5).
+    pub d_steps: usize,
+    /// Reconstruction weight.
+    pub alpha: f64,
+    generator: Option<Mlp>,
+    discriminator: Option<Mlp>,
+    n_features: usize,
+    /// kNN adjacency (row → neighbour indices), built during training.
+    neighbors: Vec<Vec<usize>>,
+    /// Small cache of graphs built for reconstruction inputs, keyed by a
+    /// cheap fingerprint (rows, cols, value-sum bits) — SSE calls
+    /// `reconstruct` on the same validation matrix many times.
+    graph_cache: Vec<(GraphKey, Adjacency)>,
+}
+
+impl GinnImputer {
+    /// Creates an untrained GINN.
+    pub fn new(config: TrainConfig) -> Self {
+        Self {
+            config,
+            k_neighbors: 5,
+            gamma: 0.5,
+            d_steps: 5,
+            alpha: 10.0,
+            generator: None,
+            discriminator: None,
+            n_features: 0,
+            neighbors: Vec::new(),
+            graph_cache: Vec::new(),
+        }
+    }
+
+    /// Builds the kNN similarity graph (O(N²·d) — intentionally the
+    /// bottleneck that makes GINN infeasible at million scale).
+    pub fn build_graph(x_filled: &Matrix, k: usize) -> Vec<Vec<usize>> {
+        let n = x_filled.rows();
+        let mut neighbors = Vec::with_capacity(n);
+        for i in 0..n {
+            let ri = x_filled.row(i);
+            let mut dists: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (sq_dist(ri, x_filled.row(j)), j))
+                .collect();
+            let kk = k.min(dists.len());
+            if kk > 0 && kk < dists.len() {
+                dists.select_nth_unstable_by(kk - 1, |a, b| {
+                    a.0.partial_cmp(&b.0).expect("no NaN distances")
+                });
+            }
+            dists.truncate(kk);
+            neighbors.push(dists.into_iter().map(|(_, j)| j).collect());
+        }
+        neighbors
+    }
+
+    /// Neighbourhood smoothing: `(1−γ)·x + γ·mean(neighbours)`.
+    fn smooth(&self, x: &Matrix, rows: &[usize], full: &Matrix) -> Matrix {
+        self.smooth_with(x, rows, full, &self.neighbors)
+    }
+
+    /// [`GinnImputer::smooth`] with an explicit adjacency (batch-local
+    /// graphs during DIM training, cached graphs at reconstruction).
+    fn smooth_with(
+        &self,
+        x: &Matrix,
+        rows: &[usize],
+        full: &Matrix,
+        neighbors: &[Vec<usize>],
+    ) -> Matrix {
+        let d = x.cols();
+        let mut out = x.scale(1.0 - self.gamma);
+        for (bi, &i) in rows.iter().enumerate() {
+            let neigh = &neighbors[i];
+            if neigh.is_empty() {
+                // no neighbours: keep the original row unsmoothed
+                for j in 0..d {
+                    out[(bi, j)] += self.gamma * x[(bi, j)];
+                }
+                continue;
+            }
+            let w = self.gamma / neigh.len() as f64;
+            for &p in neigh {
+                let prow = full.row(p);
+                for j in 0..d {
+                    out[(bi, j)] += w * prow[j];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Imputer for GinnImputer {
+    fn name(&self) -> &'static str {
+        "GINN"
+    }
+
+    fn impute(&mut self, ds: &Dataset, rng: &mut Rng64) -> Matrix {
+        self.train_native(ds, rng);
+        impute_with_generator(self, ds, rng)
+    }
+}
+
+impl AdversarialImputer for GinnImputer {
+    fn init_networks(&mut self, n_features: usize, rng: &mut Rng64) {
+        let d = n_features;
+        self.generator = Some(
+            Mlp::builder(2 * d)
+                .dense(d, Activation::Relu)
+                .dense(d, Activation::Sigmoid)
+                .build(rng),
+        );
+        // 3-layer feed-forward discriminator (paper §VI)
+        self.discriminator = Some(
+            Mlp::builder(2 * d)
+                .dense(d, Activation::Relu)
+                .dense(d, Activation::Relu)
+                .dense(d, Activation::Sigmoid)
+                .build(rng),
+        );
+        self.n_features = d;
+        self.neighbors.clear();
+        self.graph_cache.clear();
+    }
+
+    fn is_initialized(&self, n_features: usize) -> bool {
+        self.generator.is_some() && self.n_features == n_features
+    }
+
+    fn generator_mut(&mut self) -> &mut Mlp {
+        self.generator.as_mut().expect("GinnImputer: generator not initialized")
+    }
+
+    fn reconstruct(&mut self, values: &Matrix, mask: &Matrix) -> Matrix {
+        assert!(self.is_initialized(values.cols()), "GinnImputer: not initialized");
+        let x_tilde = mask.hadamard(values);
+        let rows: Vec<usize> = (0..values.rows()).collect();
+        let g_in = if self.neighbors.len() == values.rows() {
+            self.smooth(&x_tilde, &rows, &x_tilde).hcat(mask)
+        } else {
+            // the O(N²) graph build is GINN's defining cost and follows it
+            // into SCIS (paper Table IV: SCIS-GINN ≫ SCIS-GAIN in time);
+            // a tiny cache covers SSE's repeated validation reconstructions
+            let key = (
+                values.rows(),
+                values.cols(),
+                values.as_slice().iter().sum::<f64>().to_bits(),
+            );
+            let graph = match self.graph_cache.iter().find(|(k, _)| *k == key) {
+                Some((_, g)) => g.clone(),
+                None => {
+                    let k_n = self.k_neighbors.min(values.rows().saturating_sub(1));
+                    let g = Self::build_graph(&x_tilde, k_n);
+                    if self.graph_cache.len() >= 4 {
+                        self.graph_cache.remove(0);
+                    }
+                    self.graph_cache.push((key, g.clone()));
+                    g
+                }
+            };
+            self.smooth_with(&x_tilde, &rows, &x_tilde, &graph).hcat(mask)
+        };
+        let mut throwaway = Rng64::seed_from_u64(0);
+        self.generator
+            .as_mut()
+            .expect("init")
+            .forward(&g_in, Mode::Eval, &mut throwaway)
+    }
+
+    fn generator_input(&self, values: &Matrix, mask: &Matrix, rng: &mut Rng64) -> Matrix {
+        let z = Matrix::from_fn(values.rows(), values.cols(), |_, _| rng.uniform_range(0.0, 0.01));
+        let x_tilde = mask.hadamard(values).add(&mask.map(|m| 1.0 - m).hadamard(&z));
+        // batch-local similarity graph: GINN's graph convolution carries
+        // into DIM training, where only the batch is visible
+        let k_n = self.k_neighbors.min(values.rows().saturating_sub(1));
+        if k_n == 0 {
+            return x_tilde.hcat(mask);
+        }
+        let graph = Self::build_graph(&x_tilde, k_n);
+        let rows: Vec<usize> = (0..values.rows()).collect();
+        self.smooth_with(&x_tilde, &rows, &x_tilde, &graph).hcat(mask)
+    }
+
+    fn train_native(&mut self, ds: &Dataset, rng: &mut Rng64) {
+        let d = ds.n_features();
+        if !self.is_initialized(d) {
+            self.init_networks(d, rng);
+        }
+        let n = ds.n_samples();
+        let x = ds.values_filled(0.0);
+        let mask = ds.dense_mask();
+        // the expensive graph construction
+        self.neighbors = Self::build_graph(&ds.values_filled(0.5), self.k_neighbors);
+
+        let mut opt_g = Adam::new(self.config.learning_rate);
+        let mut opt_d = Adam::new(self.config.learning_rate);
+        let bs = self.config.batch_size.min(n);
+        for _epoch in 0..self.config.epochs {
+            let order = rng.permutation(n);
+            for chunk in order.chunks(bs) {
+                let xb = x.select_rows(chunk);
+                let mb = mask.select_rows(chunk);
+                let inv_mb = mb.map(|m| 1.0 - m);
+                let z = Matrix::from_fn(xb.rows(), d, |_, _| rng.uniform_range(0.0, 0.01));
+                let x_tilde = mb.hadamard(&xb).add(&inv_mb.hadamard(&z));
+                let smoothed = self.smooth(&x_tilde, chunk, &x);
+                let g_in = smoothed.hcat(&mb);
+
+                // --- D steps (5 per G step) ---
+                for _ in 0..self.d_steps {
+                    let generator = self.generator.as_mut().expect("init");
+                    let xbar = generator.forward(&g_in, Mode::Train, rng);
+                    let x_hat = mb.hadamard(&xb).add(&inv_mb.hadamard(&xbar));
+                    let d_in = x_hat.hcat(&mb);
+                    let discriminator = self.discriminator.as_mut().expect("init");
+                    let d_out = discriminator.forward(&d_in, Mode::Train, rng);
+                    let all = Matrix::ones(d_out.rows(), d_out.cols());
+                    let (_, grad) = masked_bce_prob(&d_out, &mb, &all);
+                    discriminator.zero_grad();
+                    discriminator.backward(&grad);
+                    opt_d.step(discriminator);
+                }
+
+                // --- G step ---
+                let generator = self.generator.as_mut().expect("init");
+                let xbar = generator.forward(&g_in, Mode::Train, rng);
+                let x_hat = mb.hadamard(&xb).add(&inv_mb.hadamard(&xbar));
+                let d_in = x_hat.hcat(&mb);
+                let discriminator = self.discriminator.as_mut().expect("init");
+                let d_out = discriminator.forward(&d_in, Mode::Train, rng);
+                let target_ones = Matrix::ones(d_out.rows(), d_out.cols());
+                let (_, adv_grad) = masked_bce_prob(&d_out, &target_ones, &inv_mb);
+                discriminator.zero_grad();
+                let grad_d_in = discriminator.backward(&adv_grad);
+                discriminator.zero_grad();
+                let grad_xhat = grad_d_in.select_cols(&(0..d).collect::<Vec<_>>());
+                let mut grad_xbar = grad_xhat.hadamard(&inv_mb);
+                let (_, rec_grad) = weighted_mse(&xbar, &xb, &mb);
+                grad_xbar.axpy(self.alpha, &rec_grad);
+                generator.zero_grad();
+                generator.backward(&grad_xbar);
+                opt_g.step(generator);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::correlated_table;
+    use scis_data::metrics::rmse_vs_ground_truth;
+    use scis_data::missing::inject_mcar;
+
+    fn fast() -> GinnImputer {
+        let mut g = GinnImputer::new(TrainConfig {
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 0.005,
+            dropout: 0.0,
+        });
+        g.d_steps = 2; // keep tests quick; paper default is 5
+        g
+    }
+
+    #[test]
+    fn knn_graph_has_k_neighbors_each() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let x = Matrix::from_fn(20, 3, |_, _| rng.uniform());
+        let g = GinnImputer::build_graph(&x, 4);
+        assert_eq!(g.len(), 20);
+        for (i, neigh) in g.iter().enumerate() {
+            assert_eq!(neigh.len(), 4);
+            assert!(!neigh.contains(&i), "self-loop at {}", i);
+        }
+    }
+
+    #[test]
+    fn knn_graph_links_nearby_points() {
+        // two tight clusters: neighbours must stay within a cluster
+        let mut rng = Rng64::seed_from_u64(2);
+        let x = Matrix::from_fn(20, 2, |i, _| {
+            let c = if i < 10 { 0.1 } else { 0.9 };
+            c + rng.normal_with(0.0, 0.01)
+        });
+        let g = GinnImputer::build_graph(&x, 3);
+        for (i, neigh) in g.iter().enumerate() {
+            for &j in neigh {
+                assert_eq!(i < 10, j < 10, "cross-cluster edge {}-{}", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn ginn_beats_mean_on_correlated_data() {
+        let complete = correlated_table(300, 61);
+        let mut rng = Rng64::seed_from_u64(62);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        // dedicated training stream: adversarial training has noticeable
+        // seed-to-seed variance, so the test pins the stream it validates
+        let mut train_rng = Rng64::seed_from_u64(63);
+        let out = fast().impute(&ds, &mut train_rng);
+        let e = rmse_vs_ground_truth(&ds, &complete, &out);
+        let e_mean = rmse_vs_ground_truth(
+            &ds,
+            &complete,
+            &crate::mean::MeanImputer.impute(&ds, &mut rng),
+        );
+        assert!(e < e_mean, "ginn {} vs mean {}", e, e_mean);
+    }
+
+    #[test]
+    fn observed_cells_pass_through() {
+        let complete = correlated_table(120, 63);
+        let mut rng = Rng64::seed_from_u64(64);
+        let ds = inject_mcar(&complete, 0.3, &mut rng);
+        let out = fast().impute(&ds, &mut rng);
+        for (i, j, v) in ds.observed_cells() {
+            assert_eq!(out[(i, j)], v);
+        }
+    }
+}
+

@@ -1,0 +1,177 @@
+//! k-nearest-neighbour imputation.
+//!
+//! For each row with missing cells, distances to all other rows are computed
+//! over the *commonly observed* dimensions (normalized by overlap size so
+//! sparse overlaps don't look artificially close); each missing cell is
+//! filled with the distance-weighted average of the k nearest rows that
+//! observe that cell, falling back to the column mean.
+
+use crate::traits::Imputer;
+use scis_data::Dataset;
+use scis_tensor::stats::nan_mean;
+use scis_tensor::{Matrix, Rng64};
+
+/// kNN imputer.
+#[derive(Debug, Clone)]
+pub struct KnnImputer {
+    /// Number of neighbours.
+    pub k: usize,
+    /// Cap on candidate rows scanned per query (keeps the method usable on
+    /// medium tables; the paper's tables show this family timing out on the
+    /// million-row datasets, which the harness reproduces via budgets).
+    pub max_candidates: usize,
+}
+
+impl Default for KnnImputer {
+    fn default() -> Self {
+        Self { k: 5, max_candidates: 5_000 }
+    }
+}
+
+/// Mean squared distance over commonly observed dims; `None` if no overlap.
+fn overlap_distance(
+    a: &[f64],
+    b: &[f64],
+) -> Option<f64> {
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        if !x.is_nan() && !y.is_nan() {
+            let d = x - y;
+            acc += d * d;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(acc / n as f64)
+    }
+}
+
+impl Imputer for KnnImputer {
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+
+    fn impute(&mut self, ds: &Dataset, rng: &mut Rng64) -> Matrix {
+        assert!(self.k > 0, "KnnImputer: k must be positive");
+        let n = ds.n_samples();
+        let d = ds.n_features();
+        let col_means: Vec<f64> = (0..d)
+            .map(|j| nan_mean(&ds.values.col(j)).unwrap_or(0.5))
+            .collect();
+
+        // candidate pool (subsampled for large n)
+        let pool: Vec<usize> = if n > self.max_candidates {
+            rng.sample_indices(n, self.max_candidates)
+        } else {
+            (0..n).collect()
+        };
+
+        let mut out = ds.values.clone();
+        for i in 0..n {
+            if ds.mask.row_observed_count(i) == d {
+                continue; // complete row
+            }
+            let qrow = ds.values.row(i).to_vec();
+            // collect (distance, row) over pool
+            let mut neigh: Vec<(f64, usize)> = Vec::with_capacity(pool.len());
+            for &p in &pool {
+                if p == i {
+                    continue;
+                }
+                if let Some(dist) = overlap_distance(&qrow, ds.values.row(p)) {
+                    neigh.push((dist, p));
+                }
+            }
+            neigh.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN distances"));
+            for j in 0..d {
+                if !ds.mask.get(i, j) {
+                    // distance-weighted mean of nearest k rows observing j
+                    let mut wsum = 0.0;
+                    let mut acc = 0.0;
+                    let mut taken = 0;
+                    for &(dist, p) in &neigh {
+                        if taken == self.k {
+                            break;
+                        }
+                        let v = ds.values[(p, j)];
+                        if v.is_nan() {
+                            continue;
+                        }
+                        let w = 1.0 / (dist + 1e-6);
+                        wsum += w;
+                        acc += w * v;
+                        taken += 1;
+                    }
+                    out[(i, j)] = if taken > 0 { acc / wsum } else { col_means[j] };
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_identical_neighbour() {
+        // two identical groups of rows; missing cell should be recovered
+        let v = Matrix::from_rows(&[
+            &[0.0, 0.0, 0.0],
+            &[0.0, 0.0, 0.0],
+            &[1.0, 1.0, 1.0],
+            &[1.0, 1.0, f64::NAN],
+        ]);
+        let ds = Dataset::from_values(v);
+        let mut rng = Rng64::seed_from_u64(1);
+        let out = KnnImputer { k: 1, ..Default::default() }.impute(&ds, &mut rng);
+        assert!((out[(3, 2)] - 1.0).abs() < 1e-9, "got {}", out[(3, 2)]);
+    }
+
+    #[test]
+    fn beats_mean_on_clustered_data() {
+        // two clusters at 0.2 and 0.8; mean imputation would give 0.5
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut rng = Rng64::seed_from_u64(2);
+        for i in 0..60 {
+            let c = if i % 2 == 0 { 0.2 } else { 0.8 };
+            rows.push((0..4).map(|_| c + rng.normal_with(0.0, 0.02)).collect());
+        }
+        let complete = Matrix::from_vec(60, 4, rows.concat());
+        let ds = scis_data::missing::inject_mcar(&complete, 0.2, &mut rng);
+        let knn_out = KnnImputer::default().impute(&ds, &mut rng);
+        let mean_out = crate::mean::MeanImputer.impute(&ds, &mut rng);
+        let knn_err = scis_data::metrics::rmse_vs_ground_truth(&ds, &complete, &knn_out);
+        let mean_err = scis_data::metrics::rmse_vs_ground_truth(&ds, &complete, &mean_out);
+        assert!(knn_err < mean_err * 0.5, "knn {} vs mean {}", knn_err, mean_err);
+    }
+
+    #[test]
+    fn row_with_nothing_observed_gets_column_means() {
+        let v = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[f64::NAN, f64::NAN],
+        ]);
+        let ds = Dataset::from_values(v);
+        let mut rng = Rng64::seed_from_u64(3);
+        let out = KnnImputer::default().impute(&ds, &mut rng);
+        assert_eq!(out[(2, 0)], 2.0);
+        assert_eq!(out[(2, 1)], 3.0);
+    }
+
+    #[test]
+    fn observed_cells_untouched() {
+        let v = Matrix::from_rows(&[&[1.0, f64::NAN], &[0.9, 7.0], &[1.1, 7.5]]);
+        let ds = Dataset::from_values(v);
+        let mut rng = Rng64::seed_from_u64(4);
+        let out = KnnImputer::default().impute(&ds, &mut rng);
+        assert_eq!(out[(0, 0)], 1.0);
+        assert_eq!(out[(1, 1)], 7.0);
+        assert!(!out.has_nan());
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! `scis-imputers` — the thirteen imputation methods compared in the paper.
+//!
+//! | Family | Methods | Paper row |
+//! |---|---|---|
+//! | statistical | [`mean::MeanImputer`], [`mean::MedianImputer`] | (reference) |
+//! | machine learning | [`knn::KnnImputer`], [`mice::MiceImputer`], [`missforest::MissForestImputer`], [`boost::BoostImputer`] (Baran stand-in, see DESIGN.md) | MissF / Baran / MICE |
+//! | MLP-based | [`datawig::DataWigImputer`], [`rrsi::RrsiImputer`] | DataWig / RRSI |
+//! | AE-based | [`midae::MidaeImputer`], [`vaei::VaeImputer`], [`miwae::MiwaeImputer`], [`eddi::EddiImputer`], [`hivae::HivaeImputer`] | MIDAE / VAEI / MIWAE / EDDI / HIVAE |
+//! | GAN-based | [`gain::GainImputer`], [`ginn::GinnImputer`] | GAIN / GINN |
+//!
+//! All methods implement [`traits::Imputer`]; the two adversarial methods
+//! also implement [`traits::AdversarialImputer`], the interface SCIS's DIM
+//! module needs to retrain them under the masking Sinkhorn loss.
+//!
+//! Inputs are assumed min–max normalized to `[0,1]` (the paper's protocol);
+//! every `impute` returns the *merged* matrix of Definition 1's Eq. 1 —
+//! observed cells pass through bit-exactly.
+
+pub mod boost;
+pub mod datawig;
+pub mod eddi;
+pub mod gain;
+pub mod ginn;
+pub mod hivae;
+pub mod knn;
+pub mod mean;
+pub mod mice;
+pub mod midae;
+pub mod miwae;
+pub mod missforest;
+pub mod rrsi;
+pub mod traits;
+pub mod tree;
+pub mod vaei;
+
+pub use gain::GainImputer;
+pub use ginn::GinnImputer;
+pub use traits::{AdversarialImputer, Imputer, TrainConfig};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use scis_tensor::{Matrix, Rng64};
+
+    /// Four strongly correlated [0,1] columns driven by one latent factor —
+    /// the regime where every model-based imputer should beat mean fill.
+    pub(crate) fn correlated_table(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, 4);
+        for i in 0..n {
+            let t = rng.uniform();
+            m[(i, 0)] = t;
+            m[(i, 1)] = (0.8 * t + 0.1 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+            m[(i, 2)] = (1.0 - t + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+            m[(i, 3)] = (0.5 * t + 0.25 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        }
+        m
+    }
+}

@@ -1,0 +1,97 @@
+//! Statistical imputers: column mean and column median.
+//!
+//! The weakest baselines — they ignore cross-feature structure entirely.
+//! Every model-based imputer in the suite is expected to beat them on
+//! correlated data (an invariant the integration tests enforce).
+
+use crate::traits::Imputer;
+use scis_data::Dataset;
+use scis_tensor::stats::{nan_mean, nan_median};
+use scis_tensor::{Matrix, Rng64};
+
+/// Fills each missing cell with its column's observed mean.
+#[derive(Debug, Default, Clone)]
+pub struct MeanImputer;
+
+/// Fills each missing cell with its column's observed median.
+#[derive(Debug, Default, Clone)]
+pub struct MedianImputer;
+
+fn fill_with(ds: &Dataset, stat: impl Fn(&[f64]) -> Option<f64>) -> Matrix {
+    let fills: Vec<f64> = (0..ds.n_features())
+        .map(|j| stat(&ds.values.col(j)).unwrap_or(0.5))
+        .collect();
+    Matrix::from_fn(ds.n_samples(), ds.n_features(), |i, j| {
+        let v = ds.values[(i, j)];
+        if v.is_nan() {
+            fills[j]
+        } else {
+            v
+        }
+    })
+}
+
+impl Imputer for MeanImputer {
+    fn name(&self) -> &'static str {
+        "Mean"
+    }
+
+    fn impute(&mut self, ds: &Dataset, _rng: &mut Rng64) -> Matrix {
+        fill_with(ds, nan_mean)
+    }
+}
+
+impl Imputer for MedianImputer {
+    fn name(&self) -> &'static str {
+        "Median"
+    }
+
+    fn impute(&mut self, ds: &Dataset, _rng: &mut Rng64) -> Matrix {
+        fill_with(ds, nan_median)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let v = Matrix::from_rows(&[
+            &[1.0, 10.0],
+            &[3.0, f64::NAN],
+            &[f64::NAN, 40.0],
+            &[5.0, 100.0],
+        ]);
+        Dataset::from_values(v)
+    }
+
+    #[test]
+    fn mean_fills_column_mean() {
+        let ds = toy();
+        let mut rng = Rng64::seed_from_u64(0);
+        let out = MeanImputer.impute(&ds, &mut rng);
+        assert_eq!(out[(2, 0)], 3.0); // mean of 1,3,5
+        assert_eq!(out[(1, 1)], 50.0); // mean of 10,40,100
+        // observed pass through
+        assert_eq!(out[(0, 0)], 1.0);
+        assert!(!out.has_nan());
+    }
+
+    #[test]
+    fn median_fills_column_median() {
+        let ds = toy();
+        let mut rng = Rng64::seed_from_u64(0);
+        let out = MedianImputer.impute(&ds, &mut rng);
+        assert_eq!(out[(2, 0)], 3.0);
+        assert_eq!(out[(1, 1)], 40.0); // median of 10,40,100
+    }
+
+    #[test]
+    fn all_missing_column_gets_fallback() {
+        let v = Matrix::from_rows(&[&[f64::NAN], &[f64::NAN]]);
+        let ds = Dataset::from_values(v);
+        let mut rng = Rng64::seed_from_u64(0);
+        let out = MeanImputer.impute(&ds, &mut rng);
+        assert_eq!(out[(0, 0)], 0.5);
+    }
+}

@@ -1,0 +1,192 @@
+//! MICE — Multivariate Imputation by Chained Equations (Royston & White).
+//!
+//! Each incomplete column is regressed (ridge) on all other columns over the
+//! rows where it is observed; missing entries are replaced by predictions
+//! (plus residual noise for the stochastic draws of multiple imputation).
+//! The cycle repeats `n_cycles` times; `n_imputations` independent chains
+//! are averaged — the paper's setting uses 20 imputations.
+
+use crate::traits::Imputer;
+use scis_data::Dataset;
+use scis_tensor::linalg::ridge_fit;
+use scis_tensor::stats::nan_mean;
+use scis_tensor::{Matrix, Rng64};
+
+/// MICE imputer with ridge-regression conditional models.
+#[derive(Debug, Clone)]
+pub struct MiceImputer {
+    /// Gibbs-style cycles per chain.
+    pub n_cycles: usize,
+    /// Independent chains averaged ("imputation times" in the paper: 20).
+    pub n_imputations: usize,
+    /// Ridge penalty for the per-column regressions.
+    pub ridge: f64,
+    /// Std of residual noise added to each draw (0 = deterministic
+    /// regression imputation).
+    pub noise: f64,
+}
+
+impl Default for MiceImputer {
+    fn default() -> Self {
+        Self { n_cycles: 5, n_imputations: 20, ridge: 1e-3, noise: 0.02 }
+    }
+}
+
+impl MiceImputer {
+    fn run_chain(&self, ds: &Dataset, rng: &mut Rng64) -> Matrix {
+        let (n, d) = ds.values.shape();
+        // init: column means
+        let means: Vec<f64> = (0..d)
+            .map(|j| nan_mean(&ds.values.col(j)).unwrap_or(0.5))
+            .collect();
+        let mut x = Matrix::from_fn(n, d, |i, j| {
+            let v = ds.values[(i, j)];
+            if v.is_nan() {
+                means[j]
+            } else {
+                v
+            }
+        });
+
+        let incomplete_cols: Vec<usize> =
+            (0..d).filter(|&j| ds.mask.col_observed_count(j) < n).collect();
+
+        for _cycle in 0..self.n_cycles {
+            for &j in &incomplete_cols {
+                let obs_rows: Vec<usize> = (0..n).filter(|&i| ds.mask.get(i, j)).collect();
+                if obs_rows.len() < 2 {
+                    continue; // keep mean fill
+                }
+                // design: other columns + intercept, over observed rows
+                let other: Vec<usize> = (0..d).filter(|&c| c != j).collect();
+                let mut xt = x.select_cols(&other).select_rows(&obs_rows);
+                xt = xt.hcat(&Matrix::ones(obs_rows.len(), 1));
+                let y: Vec<f64> = obs_rows.iter().map(|&i| ds.values[(i, j)]).collect();
+                let Ok(w) = ridge_fit(&xt, &y, self.ridge) else {
+                    continue;
+                };
+                // predict missing rows
+                for i in 0..n {
+                    if !ds.mask.get(i, j) {
+                        let mut pred = w[other.len()]; // intercept
+                        for (k, &c) in other.iter().enumerate() {
+                            pred += w[k] * x[(i, c)];
+                        }
+                        if self.noise > 0.0 {
+                            pred += rng.normal_with(0.0, self.noise);
+                        }
+                        x[(i, j)] = pred;
+                    }
+                }
+            }
+        }
+        x
+    }
+}
+
+impl Imputer for MiceImputer {
+    fn name(&self) -> &'static str {
+        "MICE"
+    }
+
+    fn impute(&mut self, ds: &Dataset, rng: &mut Rng64) -> Matrix {
+        assert!(self.n_imputations > 0, "MiceImputer: need at least one imputation");
+        let (n, d) = ds.values.shape();
+        let mut acc = Matrix::zeros(n, d);
+        for _ in 0..self.n_imputations {
+            acc.axpy(1.0, &self.run_chain(ds, rng));
+        }
+        let avg = acc.scale(1.0 / self.n_imputations as f64);
+        ds.merge_imputed(&avg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scis_data::metrics::rmse_vs_ground_truth;
+    use scis_data::missing::inject_mcar;
+
+    /// Linearly dependent columns: y = 2x + 0.1, z = -x + 0.9.
+    fn linear_table(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, 3);
+        for i in 0..n {
+            let x = rng.uniform();
+            m[(i, 0)] = x;
+            m[(i, 1)] = 2.0 * x + 0.1 + rng.normal_with(0.0, 0.01);
+            m[(i, 2)] = -x + 0.9 + rng.normal_with(0.0, 0.01);
+        }
+        m
+    }
+
+    /// Hide exactly one random cell in `frac` of the rows, so every missing
+    /// cell is recoverable from the rest of its row.
+    fn one_cell_per_row_missing(complete: &Matrix, frac: f64, rng: &mut Rng64) -> Dataset {
+        let mut ds = Dataset::from_values(complete.clone());
+        for i in 0..complete.rows() {
+            if rng.bernoulli(frac) {
+                let j = rng.gen_range(complete.cols());
+                ds.values[(i, j)] = f64::NAN;
+                ds.mask.set(i, j, false);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn recovers_linear_relationships() {
+        let complete = linear_table(300, 1);
+        let mut rng = Rng64::seed_from_u64(2);
+        let ds = one_cell_per_row_missing(&complete, 0.5, &mut rng);
+        let out = MiceImputer { noise: 0.0, ..Default::default() }.impute(&ds, &mut rng);
+        let err = rmse_vs_ground_truth(&ds, &complete, &out);
+        assert!(err < 0.05, "rmse {}", err);
+    }
+
+    #[test]
+    fn beats_mean_imputation_substantially() {
+        let complete = linear_table(300, 3);
+        let mut rng = Rng64::seed_from_u64(4);
+        let ds = inject_mcar(&complete, 0.3, &mut rng);
+        let mice_out = MiceImputer::default().impute(&ds, &mut rng);
+        let mean_out = crate::mean::MeanImputer.impute(&ds, &mut rng);
+        let e_mice = rmse_vs_ground_truth(&ds, &complete, &mice_out);
+        let e_mean = rmse_vs_ground_truth(&ds, &complete, &mean_out);
+        assert!(e_mice < e_mean * 0.3, "mice {} vs mean {}", e_mice, e_mean);
+    }
+
+    #[test]
+    fn averaging_reduces_noise_of_multiple_imputations() {
+        let complete = linear_table(200, 5);
+        let mut rng = Rng64::seed_from_u64(6);
+        let ds = inject_mcar(&complete, 0.3, &mut rng);
+        let single = MiceImputer { n_imputations: 1, noise: 0.1, ..Default::default() }
+            .impute(&ds, &mut rng);
+        let multi = MiceImputer { n_imputations: 20, noise: 0.1, ..Default::default() }
+            .impute(&ds, &mut rng);
+        let e1 = rmse_vs_ground_truth(&ds, &complete, &single);
+        let e20 = rmse_vs_ground_truth(&ds, &complete, &multi);
+        assert!(e20 < e1, "single {} vs averaged {}", e1, e20);
+    }
+
+    #[test]
+    fn observed_cells_pass_through() {
+        let complete = linear_table(100, 7);
+        let mut rng = Rng64::seed_from_u64(8);
+        let ds = inject_mcar(&complete, 0.2, &mut rng);
+        let out = MiceImputer::default().impute(&ds, &mut rng);
+        for (i, j, v) in ds.observed_cells() {
+            assert_eq!(out[(i, j)], v);
+        }
+    }
+
+    #[test]
+    fn handles_fully_observed_dataset() {
+        let complete = linear_table(50, 9);
+        let ds = Dataset::from_values(complete.clone());
+        let mut rng = Rng64::seed_from_u64(10);
+        let out = MiceImputer::default().impute(&ds, &mut rng);
+        assert_eq!(out, complete);
+    }
+}

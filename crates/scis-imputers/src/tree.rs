@@ -1,0 +1,308 @@
+//! CART regression trees and random forests — the substrate for the
+//! MissForest baseline (Stekhoven & Bühlmann), built from scratch.
+//!
+//! Trees use variance-reduction splits over a random feature subset
+//! (`mtry`), with candidate thresholds at feature quantiles for O(n·mtry·q)
+//! split search per node. Forests bag rows with replacement.
+
+use scis_tensor::{Matrix, Rng64};
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// index of the left child in `nodes`; right child is `left + 1`… no:
+        /// children are stored explicitly to keep construction simple.
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Tree growth hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_leaf: usize,
+    /// Number of candidate features per split (`None` = all).
+    pub mtry: Option<usize>,
+    /// Candidate thresholds per feature (quantile grid).
+    pub n_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 8, min_leaf: 3, mtry: None, n_thresholds: 10 }
+    }
+}
+
+fn mean_of(idx: &[usize], y: &[f64]) -> f64 {
+    idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len().max(1) as f64
+}
+
+fn sse_of(idx: &[usize], y: &[f64]) -> f64 {
+    let m = mean_of(idx, y);
+    idx.iter().map(|&i| (y[i] - m) * (y[i] - m)).sum()
+}
+
+impl RegressionTree {
+    /// Fits a tree on rows `x` (features) and targets `y`.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` disagree in length or are empty.
+    pub fn fit(x: &Matrix, y: &[f64], cfg: &TreeConfig, rng: &mut Rng64) -> Self {
+        assert_eq!(x.rows(), y.len(), "RegressionTree::fit: length mismatch");
+        assert!(!y.is_empty(), "RegressionTree::fit: empty training set");
+        let mut nodes = Vec::new();
+        let all: Vec<usize> = (0..x.rows()).collect();
+        Self::grow(&mut nodes, x, y, all, 0, cfg, rng);
+        Self { nodes }
+    }
+
+    fn grow(
+        nodes: &mut Vec<Node>,
+        x: &Matrix,
+        y: &[f64],
+        idx: Vec<usize>,
+        depth: usize,
+        cfg: &TreeConfig,
+        rng: &mut Rng64,
+    ) -> usize {
+        let node_id = nodes.len();
+        nodes.push(Node::Leaf { value: mean_of(&idx, y) });
+        if depth >= cfg.max_depth || idx.len() < 2 * cfg.min_leaf {
+            return node_id;
+        }
+        let parent_sse = sse_of(&idx, y);
+        if parent_sse < 1e-12 {
+            return node_id;
+        }
+
+        let d = x.cols();
+        let mtry = cfg.mtry.unwrap_or(d).min(d);
+        let features = if mtry < d {
+            rng.sample_indices(d, mtry)
+        } else {
+            (0..d).collect()
+        };
+
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &f in &features {
+            let mut vals: Vec<f64> = idx.iter().map(|&i| x[(i, f)]).collect();
+            vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let step = (vals.len() as f64 / (cfg.n_thresholds + 1) as f64).max(1.0);
+            let mut t = step;
+            while (t as usize) < vals.len() {
+                let lo = vals[t as usize - 1];
+                let hi = vals[t as usize];
+                let threshold = (lo + hi) / 2.0;
+                let (mut nl, mut sl, mut ql) = (0usize, 0.0, 0.0);
+                let (mut nr, mut sr, mut qr) = (0usize, 0.0, 0.0);
+                for &i in &idx {
+                    if x[(i, f)] <= threshold {
+                        nl += 1;
+                        sl += y[i];
+                        ql += y[i] * y[i];
+                    } else {
+                        nr += 1;
+                        sr += y[i];
+                        qr += y[i] * y[i];
+                    }
+                }
+                if nl >= cfg.min_leaf && nr >= cfg.min_leaf {
+                    let sse = (ql - sl * sl / nl as f64) + (qr - sr * sr / nr as f64);
+                    let gain = parent_sse - sse;
+                    if best.map(|b| gain > b.0).unwrap_or(gain > 1e-12) {
+                        best = Some((gain, f, threshold));
+                    }
+                }
+                t += step;
+            }
+        }
+
+        if let Some((_, feature, threshold)) = best {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| x[(i, feature)] <= threshold);
+            let left = Self::grow(nodes, x, y, left_idx, depth + 1, cfg, rng);
+            let right = Self::grow(nodes, x, y, right_idx, depth + 1, cfg, rng);
+            nodes[node_id] = Node::Split { feature, threshold, left, right };
+        }
+        node_id
+    }
+
+    /// Predicts the target for one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut cur = 0usize;
+        loop {
+            match &self.nodes[cur] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    cur = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicts for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.rows_iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Node count (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Bagged random forest of regression trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits `n_trees` trees on bootstrap samples, each with
+    /// `mtry = ceil(sqrt(d))` features per split (MissForest's default).
+    pub fn fit(x: &Matrix, y: &[f64], n_trees: usize, cfg: &TreeConfig, rng: &mut Rng64) -> Self {
+        assert!(n_trees > 0, "RandomForest::fit: need at least one tree");
+        let n = x.rows();
+        let d = x.cols();
+        let cfg = TreeConfig {
+            mtry: cfg.mtry.or(Some(((d as f64).sqrt().ceil() as usize).max(1))),
+            ..*cfg
+        };
+        let trees = (0..n_trees)
+            .map(|_| {
+                let boot: Vec<usize> = (0..n).map(|_| rng.gen_range(n)).collect();
+                let xb = x.select_rows(&boot);
+                let yb: Vec<f64> = boot.iter().map(|&i| y[i]).collect();
+                RegressionTree::fit(&xb, &yb, &cfg, rng)
+            })
+            .collect();
+        Self { trees }
+    }
+
+    /// Mean of the per-tree predictions for one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predicts for every row of `x`.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        x.rows_iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let x = Matrix::from_fn(n, 2, |_, _| rng.uniform());
+        let y: Vec<f64> = (0..n)
+            .map(|i| if x[(i, 0)] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn tree_learns_a_step_function() {
+        let (x, y) = step_data(400, 1);
+        let mut rng = Rng64::seed_from_u64(2);
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng);
+        let preds = tree.predict(&x);
+        let err: f64 =
+            preds.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        assert!(err < 0.01, "mse {}", err);
+        assert!(tree.n_nodes() >= 3);
+    }
+
+    #[test]
+    fn depth_zero_tree_is_the_mean() {
+        let (x, y) = step_data(100, 3);
+        let mut rng = Rng64::seed_from_u64(4);
+        let cfg = TreeConfig { max_depth: 0, ..Default::default() };
+        let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert_eq!(tree.n_nodes(), 1);
+        assert!((tree.predict_row(x.row(0)) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_leaf_is_respected() {
+        let (x, y) = step_data(20, 5);
+        let mut rng = Rng64::seed_from_u64(6);
+        let cfg = TreeConfig { min_leaf: 15, ..Default::default() };
+        let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
+        // cannot split 20 rows into two leaves of ≥15
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn predictions_bounded_by_training_targets() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let x = Matrix::from_fn(200, 3, |_, _| rng.uniform());
+        let y: Vec<f64> = (0..200).map(|_| rng.uniform_range(2.0, 5.0)).collect();
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng);
+        let probe = Matrix::from_fn(50, 3, |_, _| rng.uniform_range(-10.0, 10.0));
+        for p in tree.predict(&probe) {
+            assert!((2.0..=5.0).contains(&p), "prediction {} out of target range", p);
+        }
+    }
+
+    #[test]
+    fn forest_smoother_than_single_tree_on_noise() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let n = 300;
+        let x = Matrix::from_fn(n, 2, |_, _| rng.uniform());
+        let y: Vec<f64> = (0..n)
+            .map(|i| (x[(i, 0)] * 6.0).sin() * 0.5 + 0.5 + rng.normal_with(0.0, 0.15))
+            .collect();
+        let truth = |r: &[f64]| (r[0] * 6.0).sin() * 0.5 + 0.5;
+        let cfg = TreeConfig { max_depth: 10, min_leaf: 2, ..Default::default() };
+        let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
+        let forest = RandomForest::fit(&x, &y, 30, &cfg, &mut rng);
+        let probe = Matrix::from_fn(200, 2, |_, _| rng.uniform());
+        let (mut e_tree, mut e_forest) = (0.0, 0.0);
+        for r in probe.rows_iter() {
+            let t = truth(r);
+            e_tree += (tree.predict_row(r) - t).powi(2);
+            e_forest += (forest.predict_row(r) - t).powi(2);
+        }
+        assert!(e_forest < e_tree, "forest {} vs tree {}", e_forest, e_tree);
+        assert_eq!(forest.n_trees(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fit_rejects_mismatched_lengths() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let _ = RegressionTree::fit(
+            &Matrix::zeros(3, 2),
+            &[1.0, 2.0],
+            &TreeConfig::default(),
+            &mut rng,
+        );
+    }
+}

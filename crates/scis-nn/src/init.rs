@@ -1,0 +1,56 @@
+//! Weight initialization schemes.
+
+use scis_tensor::{Matrix, Rng64};
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The default for every dense layer,
+/// matching the reference GAIN implementation.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut Rng64) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform_range(-a, a))
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2 / fan_in))` — preferred for
+/// deep ReLU stacks (used by the optional deeper predictor in Table VII).
+pub fn he_normal(fan_in: usize, fan_out: usize, rng: &mut Rng64) -> Matrix {
+    let std = (2.0 / fan_in as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.normal_with(0.0, std))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let w = xavier_uniform(100, 50, &mut rng);
+        let a = (6.0f64 / 150.0).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= a));
+        // not degenerate
+        assert!(w.as_slice().iter().any(|&v| v.abs() > a * 0.5));
+    }
+
+    #[test]
+    fn xavier_variance_close_to_theory() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let w = xavier_uniform(200, 200, &mut rng);
+        let mean = w.mean();
+        let var =
+            w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w.len() as f64;
+        // Var(U(-a,a)) = a²/3 = (6/400)/3
+        let expect = (6.0 / 400.0) / 3.0;
+        assert!((var - expect).abs() / expect < 0.1, "{} vs {}", var, expect);
+    }
+
+    #[test]
+    fn he_normal_std() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let w = he_normal(128, 128, &mut rng);
+        let mean = w.mean();
+        let var =
+            w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w.len() as f64;
+        let expect = 2.0 / 128.0;
+        assert!((var - expect).abs() / expect < 0.15, "{} vs {}", var, expect);
+    }
+}

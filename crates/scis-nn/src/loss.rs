@@ -1,0 +1,323 @@
+//! Loss functions, each returning `(value, d value / d prediction)`.
+//!
+//! Conventions: losses are *means* over all elements, and the returned
+//! gradient matrix is already scaled accordingly, so `net.backward(&grad)`
+//! needs no further normalization.
+
+use scis_tensor::Matrix;
+
+/// Mean squared error `mean((pred − target)²)` and its gradient.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    let n = pred.len().max(1) as f64;
+    let diff = pred.sub(target);
+    let loss = diff.as_slice().iter().map(|v| v * v).sum::<f64>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Weighted MSE: elements with weight 0 contribute nothing (used by GAIN's
+/// reconstruction term, which only scores *observed* cells).
+/// Normalizes by the total weight, not the element count.
+pub fn weighted_mse(pred: &Matrix, target: &Matrix, weight: &Matrix) -> (f64, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "weighted_mse: shape mismatch");
+    assert_eq!(pred.shape(), weight.shape(), "weighted_mse: weight shape mismatch");
+    let wsum: f64 = weight.sum();
+    let denom = if wsum > 0.0 { wsum } else { 1.0 };
+    let diff = pred.sub(target).hadamard(weight);
+    let loss = diff
+        .as_slice()
+        .iter()
+        .zip(weight.as_slice())
+        .map(|(&d, &w)| if w > 0.0 { d * d / w } else { 0.0 })
+        .sum::<f64>()
+        / denom;
+    // d/dpred [ w (p-t)² / denom ] = 2 w (p-t) / denom
+    let grad = pred.sub(target).hadamard(weight).scale(2.0 / denom);
+    (loss, grad)
+}
+
+/// Binary cross-entropy on *probabilities* (outputs of a sigmoid), clamped
+/// for numerical safety: `-mean(t·log p + (1−t)·log(1−p))`.
+pub fn bce_prob(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "bce_prob: shape mismatch");
+    let n = pred.len().max(1) as f64;
+    const EPS: f64 = 1e-8;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    for (k, (&p, &t)) in pred.as_slice().iter().zip(target.as_slice()).enumerate() {
+        let p = p.clamp(EPS, 1.0 - EPS);
+        loss -= t * p.ln() + (1.0 - t) * (1.0 - p).ln();
+        grad.as_mut_slice()[k] = (p - t) / (p * (1.0 - p)) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Masked BCE on probabilities: only positions with `mask > 0` contribute,
+/// normalized by the mask sum. Used by GAIN's discriminator/generator games
+/// where only some entries carry a label.
+pub fn masked_bce_prob(pred: &Matrix, target: &Matrix, mask: &Matrix) -> (f64, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "masked_bce_prob: shape mismatch");
+    assert_eq!(pred.shape(), mask.shape(), "masked_bce_prob: mask shape mismatch");
+    const EPS: f64 = 1e-8;
+    let denom = {
+        let s = mask.sum();
+        if s > 0.0 {
+            s
+        } else {
+            1.0
+        }
+    };
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    for (k, ((&p, &t), &w)) in pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .zip(mask.as_slice())
+        .enumerate()
+    {
+        if w <= 0.0 {
+            continue;
+        }
+        let p = p.clamp(EPS, 1.0 - EPS);
+        loss -= w * (t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+        grad.as_mut_slice()[k] = w * (p - t) / (p * (1.0 - p)) / denom;
+    }
+    (loss / denom, grad)
+}
+
+/// Binary cross-entropy on raw *logits* (numerically stable softplus form).
+pub fn bce_logits(logits: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(logits.shape(), target.shape(), "bce_logits: shape mismatch");
+    let n = logits.len().max(1) as f64;
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    for (k, (&z, &t)) in logits.as_slice().iter().zip(target.as_slice()).enumerate() {
+        // log(1 + e^z) computed stably
+        let softplus = if z > 0.0 { z + (-z).exp().ln_1p() } else { z.exp().ln_1p() };
+        loss += softplus - t * z;
+        let sigma = 1.0 / (1.0 + (-z).exp());
+        grad.as_mut_slice()[k] = (sigma - t) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Softmax cross-entropy over `k`-way logits for a *slice* of columns:
+/// `logits` is `batch x k`, `target_idx[i] ∈ 0..k` the true class.
+/// Returns the mean loss and the gradient w.r.t. the logits
+/// (`softmax − onehot`, scaled by 1/batch). Used by the heterogeneous
+/// likelihood heads (HIVAE's categorical columns).
+pub fn softmax_cross_entropy(logits: &Matrix, target_idx: &[usize]) -> (f64, Matrix) {
+    assert_eq!(logits.rows(), target_idx.len(), "softmax_ce: batch mismatch");
+    let (b, k) = logits.shape();
+    assert!(k > 0, "softmax_ce: zero classes");
+    let mut grad = Matrix::zeros(b, k);
+    let mut loss = 0.0;
+    for (i, &t) in target_idx.iter().enumerate() {
+        let row = logits.row(i);
+        assert!(t < k, "softmax_ce: class {} out of {}", t, k);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let sum_exp: f64 = row.iter().map(|&z| (z - max).exp()).sum();
+        let log_z = max + sum_exp.ln();
+        loss += log_z - row[t];
+        let grow = grad.row_mut(i);
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = (row[j] - max).exp() / sum_exp;
+            *g = (p - if j == t { 1.0 } else { 0.0 }) / b as f64;
+        }
+    }
+    (loss / b as f64, grad)
+}
+
+/// Row-wise softmax probabilities (inference companion to
+/// [`softmax_cross_entropy`]).
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let (b, k) = logits.shape();
+    let mut out = Matrix::zeros(b, k);
+    for i in 0..b {
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for j in 0..k {
+            let e = (row[j] - max).exp();
+            out[(i, j)] = e;
+            sum += e;
+        }
+        for j in 0..k {
+            out[(i, j)] /= sum;
+        }
+    }
+    out
+}
+
+/// Mean absolute error (reported in Table VII's regression rows).
+pub fn mae_value(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "mae_value: shape mismatch");
+    let n = pred.len().max(1) as f64;
+    pred.as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| (p - t).abs())
+        .sum::<f64>()
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(
+        f: impl Fn(&Matrix) -> (f64, Matrix),
+        at: &Matrix,
+        tol: f64,
+    ) {
+        let (_, grad) = f(at);
+        let h = 1e-6;
+        for k in 0..at.len() {
+            let mut plus = at.clone();
+            plus.as_mut_slice()[k] += h;
+            let mut minus = at.clone();
+            minus.as_mut_slice()[k] -= h;
+            let numeric = (f(&plus).0 - f(&minus).0) / (2.0 * h);
+            let analytic = grad.as_slice()[k];
+            assert!(
+                (numeric - analytic).abs() < tol,
+                "grad[{}]: numeric {} vs analytic {}",
+                k,
+                numeric,
+                analytic
+            );
+        }
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let pred = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let (loss, _) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-12);
+        let t = target.clone();
+        fd_check(|p| mse(p, &t), &pred, 1e-5);
+    }
+
+    #[test]
+    fn weighted_mse_ignores_zero_weight() {
+        let pred = Matrix::from_rows(&[&[1.0, 100.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 0.0]]);
+        let w = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (loss, grad) = weighted_mse(&pred, &target, &w);
+        assert!((loss - 1.0).abs() < 1e-12);
+        assert_eq!(grad.as_slice()[1], 0.0);
+        let (t2, w2) = (target.clone(), w.clone());
+        fd_check(|p| weighted_mse(p, &t2, &w2), &pred, 1e-4);
+    }
+
+    #[test]
+    fn bce_prob_matches_entropy_at_half() {
+        let pred = Matrix::from_rows(&[&[0.5]]);
+        let target = Matrix::from_rows(&[&[1.0]]);
+        let (loss, _) = bce_prob(&pred, &target);
+        assert!((loss - 0.5f64.ln().abs()).abs() < 1e-9);
+        let t = Matrix::from_rows(&[&[1.0, 0.0, 1.0]]);
+        let p = Matrix::from_rows(&[&[0.3, 0.6, 0.9]]);
+        fd_check(|q| bce_prob(q, &t), &p, 1e-4);
+    }
+
+    #[test]
+    fn bce_logits_agrees_with_prob_form() {
+        let z = Matrix::from_rows(&[&[-1.5, 0.0, 2.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 1.0, 1.0]]);
+        let probs = z.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let (l1, _) = bce_logits(&z, &t);
+        let (l2, _) = bce_prob(&probs, &t);
+        assert!((l1 - l2).abs() < 1e-9, "{} vs {}", l1, l2);
+        fd_check(|q| bce_logits(q, &t), &z, 1e-5);
+    }
+
+    #[test]
+    fn bce_logits_stable_at_extreme_values() {
+        let z = Matrix::from_rows(&[&[-500.0, 500.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let (loss, grad) = bce_logits(&z, &t);
+        assert!(loss.is_finite() && loss.abs() < 1e-6);
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn masked_bce_skips_unlabeled() {
+        let p = Matrix::from_rows(&[&[0.9, 0.1]]);
+        let t = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let m = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let (loss, grad) = masked_bce_prob(&p, &t, &m);
+        assert!((loss - (-(0.9f64).ln())).abs() < 1e-9);
+        assert_eq!(grad.as_slice()[1], 0.0);
+        let (t2, m2) = (t.clone(), m.clone());
+        fd_check(|q| masked_bce_prob(q, &t2, &m2), &p, 1e-4);
+    }
+
+    #[test]
+    fn softmax_ce_value_and_gradient() {
+        let logits = Matrix::from_rows(&[&[2.0, 0.5, -1.0], &[0.0, 0.0, 0.0]]);
+        let targets = [0usize, 2];
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+        assert!(loss > 0.0 && loss.is_finite());
+        // uniform logits → loss contribution ln(3)
+        let (l_uniform, _) = softmax_cross_entropy(
+            &Matrix::from_rows(&[&[0.0, 0.0, 0.0]]),
+            &[1],
+        );
+        assert!((l_uniform - 3.0f64.ln()).abs() < 1e-12);
+        // gradient rows sum to zero (softmax − onehot property)
+        for i in 0..2 {
+            let s: f64 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-12, "row {} grad sum {}", i, s);
+        }
+        // finite-difference check
+        let h = 1e-6;
+        for k in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[k] += h;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[k] -= h;
+            let numeric = (softmax_cross_entropy(&plus, &targets).0
+                - softmax_cross_entropy(&minus, &targets).0)
+                / (2.0 * h);
+            assert!(
+                (numeric - grad.as_slice()[k]).abs() < 1e-5,
+                "grad[{}]: {} vs {}",
+                k,
+                numeric,
+                grad.as_slice()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_ce_stable_at_large_logits() {
+        let logits = Matrix::from_rows(&[&[1000.0, -1000.0]]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.abs() < 1e-9);
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let logits = Matrix::from_rows(&[&[3.0, 1.0, 0.2], &[-5.0, 0.0, 5.0]]);
+        let p = softmax_rows(&logits);
+        for i in 0..2 {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(p.row(i).iter().all(|&v| v > 0.0));
+        }
+        // ordering preserved
+        assert!(p[(0, 0)] > p[(0, 1)] && p[(0, 1)] > p[(0, 2)]);
+    }
+
+    #[test]
+    fn mae_basic() {
+        let p = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 1.0]]);
+        assert!((mae_value(&p, &t) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Sequential multi-layer perceptron with a builder API.
+//!
+//! ```
+//! use scis_nn::{Mlp, Activation};
+//! use scis_tensor::{Matrix, Rng64};
+//!
+//! let mut rng = Rng64::seed_from_u64(7);
+//! let mut net = Mlp::builder(4)
+//!     .dense(8, Activation::Relu)
+//!     .dense(1, Activation::Sigmoid)
+//!     .build(&mut rng);
+//! let x = Matrix::ones(2, 4);
+//! let y = net.forward(&x, scis_nn::Mode::Eval, &mut rng);
+//! assert_eq!(y.shape(), (2, 1));
+//! ```
+
+use crate::layer::{ActLayer, Activation, Dense, Dropout, Layer, Mode};
+use scis_tensor::{Matrix, Rng64};
+
+/// A stack of layers applied in sequence.
+pub struct Mlp {
+    layers: Vec<Box<dyn Layer>>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Builder for [`Mlp`]; records the architecture, materializes weights on
+/// [`MlpBuilder::build`].
+pub struct MlpBuilder {
+    in_dim: usize,
+    specs: Vec<LayerSpec>,
+}
+
+enum LayerSpec {
+    Dense { out: usize, act: Activation },
+    Dropout { p: f64 },
+}
+
+impl Mlp {
+    /// Starts building a network whose input has `in_dim` features.
+    pub fn builder(in_dim: usize) -> MlpBuilder {
+        MlpBuilder { in_dim, specs: Vec::new() }
+    }
+
+    /// Input feature count.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature count.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Full forward pass.
+    pub fn forward(&mut self, x: &Matrix, mode: Mode, rng: &mut Rng64) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, mode, rng);
+        }
+        h
+    }
+
+    /// Full backward pass from the loss gradient w.r.t. the network output;
+    /// accumulates parameter gradients and returns the gradient w.r.t. the
+    /// network input.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Visits all `(param, grad)` slice pairs in a stable order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Flattens all parameters into a single vector (stable order).
+    pub fn param_vector(&mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.visit_params(&mut |p, _| out.extend_from_slice(p));
+        out
+    }
+
+    /// Flattens all accumulated gradients into a single vector (same order
+    /// as [`Mlp::param_vector`]).
+    pub fn grad_vector(&mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.visit_params(&mut |_, g| out.extend_from_slice(g));
+        out
+    }
+
+    /// Restores parameters from a flat vector produced by
+    /// [`Mlp::param_vector`].
+    ///
+    /// # Panics
+    /// Panics if the vector length differs from [`Mlp::num_params`].
+    pub fn set_param_vector(&mut self, flat: &[f64]) {
+        assert_eq!(
+            flat.len(),
+            self.num_params(),
+            "set_param_vector: expected {} values, got {}",
+            self.num_params(),
+            flat.len()
+        );
+        let mut offset = 0;
+        self.visit_params(&mut |p, _| {
+            p.copy_from_slice(&flat[offset..offset + p.len()]);
+            offset += p.len();
+        });
+    }
+}
+
+impl MlpBuilder {
+    /// Appends a dense layer of `out` units followed by `act`.
+    pub fn dense(mut self, out: usize, act: Activation) -> Self {
+        self.specs.push(LayerSpec::Dense { out, act });
+        self
+    }
+
+    /// Appends a dropout layer with drop probability `p`.
+    pub fn dropout(mut self, p: f64) -> Self {
+        self.specs.push(LayerSpec::Dropout { p });
+        self
+    }
+
+    /// Materializes the network, drawing initial weights from `rng`.
+    ///
+    /// # Panics
+    /// Panics if no dense layer was added.
+    pub fn build(self, rng: &mut Rng64) -> Mlp {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut cur = self.in_dim;
+        let mut out_dim = self.in_dim;
+        for spec in self.specs {
+            match spec {
+                LayerSpec::Dense { out, act } => {
+                    layers.push(Box::new(Dense::new(cur, out, rng)));
+                    if act != Activation::Identity {
+                        layers.push(Box::new(ActLayer::new(act)));
+                    }
+                    cur = out;
+                    out_dim = out;
+                }
+                LayerSpec::Dropout { p } => {
+                    layers.push(Box::new(Dropout::new(p)));
+                }
+            }
+        }
+        assert!(!layers.is_empty(), "MlpBuilder::build: empty network");
+        Mlp { layers, in_dim: self.in_dim, out_dim }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Rng64 {
+        Rng64::seed_from_u64(99)
+    }
+
+    fn small_net(rng: &mut Rng64) -> Mlp {
+        Mlp::builder(3)
+            .dense(5, Activation::Tanh)
+            .dense(2, Activation::Sigmoid)
+            .build(rng)
+    }
+
+    #[test]
+    fn forward_shape_and_sigmoid_range() {
+        let mut r = rng();
+        let mut net = small_net(&mut r);
+        let x = Matrix::from_fn(7, 3, |i, j| (i as f64 - j as f64) * 0.3);
+        let y = net.forward(&x, Mode::Eval, &mut r);
+        assert_eq!(y.shape(), (7, 2));
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn param_vector_roundtrip() {
+        let mut r = rng();
+        let mut net = small_net(&mut r);
+        let x = Matrix::ones(2, 3);
+        let y0 = net.forward(&x, Mode::Eval, &mut r);
+        let flat = net.param_vector();
+        assert_eq!(flat.len(), net.num_params());
+        assert_eq!(net.num_params(), 3 * 5 + 5 + 5 * 2 + 2);
+
+        // perturb then restore
+        let perturbed: Vec<f64> = flat.iter().map(|v| v + 1.0).collect();
+        net.set_param_vector(&perturbed);
+        let y1 = net.forward(&x, Mode::Eval, &mut r);
+        assert_ne!(y0, y1);
+        net.set_param_vector(&flat);
+        let y2 = net.forward(&x, Mode::Eval, &mut r);
+        for (a, b) in y0.as_slice().iter().zip(y2.as_slice()) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected")]
+    fn set_param_vector_rejects_wrong_len() {
+        let mut r = rng();
+        let mut net = small_net(&mut r);
+        net.set_param_vector(&[0.0; 3]);
+    }
+
+    #[test]
+    fn backward_produces_input_gradient_of_right_shape() {
+        let mut r = rng();
+        let mut net = small_net(&mut r);
+        let x = Matrix::ones(4, 3);
+        let y = net.forward(&x, Mode::Train, &mut r);
+        let gin = net.backward(&Matrix::ones(y.rows(), y.cols()));
+        assert_eq!(gin.shape(), (4, 3));
+        assert!(net.grad_vector().iter().any(|&g| g != 0.0));
+        net.zero_grad();
+        assert!(net.grad_vector().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn identical_seeds_build_identical_networks() {
+        let mut r1 = Rng64::seed_from_u64(31);
+        let mut r2 = Rng64::seed_from_u64(31);
+        let mut a = small_net(&mut r1);
+        let mut b = small_net(&mut r2);
+        assert_eq!(a.param_vector(), b.param_vector());
+    }
+
+    #[test]
+    fn grad_vector_matches_visit_order() {
+        let mut r = rng();
+        let mut net = small_net(&mut r);
+        let x = Matrix::ones(3, 3);
+        let y = net.forward(&x, Mode::Train, &mut r);
+        net.backward(&Matrix::ones(y.rows(), y.cols()));
+        let flat = net.grad_vector();
+        let mut concat = Vec::new();
+        net.visit_params(&mut |_, g| concat.extend_from_slice(g));
+        assert_eq!(flat, concat);
+    }
+
+    #[test]
+    fn builder_with_dropout_has_no_extra_params() {
+        let mut r = rng();
+        let mut with = Mlp::builder(4).dropout(0.5).dense(3, Activation::Relu).build(&mut r);
+        let mut r2 = rng();
+        let mut without = Mlp::builder(4).dense(3, Activation::Relu).build(&mut r2);
+        assert_eq!(with.num_params(), without.num_params());
+        assert_eq!(with.param_vector().len(), without.param_vector().len());
+    }
+
+    #[test]
+    fn training_reduces_mse_on_toy_regression() {
+        let mut r = rng();
+        let mut net = Mlp::builder(1)
+            .dense(16, Activation::Tanh)
+            .dense(1, Activation::Identity)
+            .build(&mut r);
+        let x = Matrix::from_fn(64, 1, |i, _| i as f64 / 64.0 * 2.0 - 1.0);
+        let target = x.map(|v| (v * 2.0).sin());
+        let mut opt = crate::optim::Adam::new(0.01);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..300 {
+            let pred = net.forward(&x, Mode::Train, &mut r);
+            let (loss, grad) = crate::loss::mse(&pred, &target);
+            net.zero_grad();
+            net.backward(&grad);
+            crate::optim::Optimizer::step(&mut opt, &mut net);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.1, "loss {} -> {}", first.unwrap(), last);
+    }
+}

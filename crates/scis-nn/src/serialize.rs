@@ -1,0 +1,328 @@
+//! Model persistence: a small self-describing text format for MLPs.
+//!
+//! Format (line-oriented, versioned):
+//!
+//! ```text
+//! scis-mlp v1
+//! in <in_dim>
+//! dense <out> <activation>
+//! dropout <p>
+//! …
+//! params <count>
+//! <one f64 per line, hex bits for lossless round-trip>
+//! ```
+//!
+//! The architecture lines mirror the [`crate::mlp::MlpBuilder`] calls, so a
+//! loaded model is reconstructed through the same code path that built the
+//! original. Parameters are stored as hexadecimal IEEE-754 bit patterns —
+//! bit-exact round-trips, no decimal parsing surprises.
+
+use crate::layer::Activation;
+use crate::mlp::{Mlp, MlpBuilder};
+use scis_tensor::Rng64;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from model load/save.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file.
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "io error: {}", e),
+            ModelIoError::Format { line, message } => {
+                write!(f, "line {}: {}", line, message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+fn act_name(a: Activation) -> &'static str {
+    match a {
+        Activation::Relu => "relu",
+        Activation::LeakyRelu => "leaky_relu",
+        Activation::Sigmoid => "sigmoid",
+        Activation::Tanh => "tanh",
+        Activation::Identity => "identity",
+    }
+}
+
+fn act_from(name: &str, line: usize) -> Result<Activation, ModelIoError> {
+    Ok(match name {
+        "relu" => Activation::Relu,
+        "leaky_relu" => Activation::LeakyRelu,
+        "sigmoid" => Activation::Sigmoid,
+        "tanh" => Activation::Tanh,
+        "identity" => Activation::Identity,
+        other => {
+            return Err(ModelIoError::Format {
+                line,
+                message: format!("unknown activation {:?}", other),
+            })
+        }
+    })
+}
+
+/// Architecture descriptor recorded alongside the parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpSpec {
+    /// Input feature count.
+    pub in_dim: usize,
+    /// Layer entries in builder order.
+    pub layers: Vec<SpecLayer>,
+}
+
+/// One builder step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecLayer {
+    /// `dense(out, act)`.
+    Dense {
+        /// Output units.
+        out: usize,
+        /// Trailing activation.
+        act: Activation,
+    },
+    /// `dropout(p)`.
+    Dropout {
+        /// Drop probability.
+        p: f64,
+    },
+}
+
+impl MlpSpec {
+    /// Materializes the network described by this spec (fresh weights; use
+    /// [`load_mlp`] to also restore parameters).
+    pub fn build(&self, rng: &mut Rng64) -> Mlp {
+        let mut b: MlpBuilder = Mlp::builder(self.in_dim);
+        for l in &self.layers {
+            b = match *l {
+                SpecLayer::Dense { out, act } => b.dense(out, act),
+                SpecLayer::Dropout { p } => b.dropout(p),
+            };
+        }
+        b.build(rng)
+    }
+}
+
+/// Saves an MLP (architecture + parameters) to `path`.
+pub fn save_mlp(path: &Path, net: &mut Mlp, spec: &MlpSpec) -> Result<(), ModelIoError> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "scis-mlp v1")?;
+    writeln!(w, "in {}", spec.in_dim)?;
+    for l in &spec.layers {
+        match *l {
+            SpecLayer::Dense { out, act } => writeln!(w, "dense {} {}", out, act_name(act))?,
+            SpecLayer::Dropout { p } => writeln!(w, "dropout {}", p)?,
+        }
+    }
+    let params = net.param_vector();
+    writeln!(w, "params {}", params.len())?;
+    for p in params {
+        writeln!(w, "{:016x}", p.to_bits())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads an MLP saved by [`save_mlp`]; weights restored bit-exactly.
+pub fn load_mlp(path: &Path) -> Result<(Mlp, MlpSpec), ModelIoError> {
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    let mut lines = reader.lines().enumerate();
+    let mut next = |expect: &str| -> Result<(usize, String), ModelIoError> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(ModelIoError::Format {
+                line: i + 1,
+                message: format!("read error: {}", e),
+            }),
+            None => Err(ModelIoError::Format {
+                line: 0,
+                message: format!("unexpected end of file (expected {})", expect),
+            }),
+        }
+    };
+
+    let (l1, header) = next("header")?;
+    if header.trim() != "scis-mlp v1" {
+        return Err(ModelIoError::Format { line: l1, message: "bad header".into() });
+    }
+    let (l2, in_line) = next("in <dim>")?;
+    let in_dim: usize = in_line
+        .strip_prefix("in ")
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or(ModelIoError::Format { line: l2, message: "expected `in <dim>`".into() })?;
+
+    let mut layers = Vec::new();
+    let mut n_params = None;
+    loop {
+        let (ln, line) = next("layer or params")?;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["dense", out, act] => {
+                let out: usize = out.parse().map_err(|_| ModelIoError::Format {
+                    line: ln,
+                    message: "bad dense width".into(),
+                })?;
+                layers.push(SpecLayer::Dense { out, act: act_from(act, ln)? });
+            }
+            ["dropout", p] => {
+                let p: f64 = p.parse().map_err(|_| ModelIoError::Format {
+                    line: ln,
+                    message: "bad dropout p".into(),
+                })?;
+                layers.push(SpecLayer::Dropout { p });
+            }
+            ["params", count] => {
+                n_params = Some(count.parse::<usize>().map_err(|_| ModelIoError::Format {
+                    line: ln,
+                    message: "bad params count".into(),
+                })?);
+                break;
+            }
+            _ => {
+                return Err(ModelIoError::Format {
+                    line: ln,
+                    message: format!("unrecognized line {:?}", line),
+                })
+            }
+        }
+    }
+    let n_params = n_params.expect("loop breaks only after params");
+    let mut params = Vec::with_capacity(n_params);
+    for _ in 0..n_params {
+        let (ln, line) = next("parameter")?;
+        let bits = u64::from_str_radix(line.trim(), 16).map_err(|_| ModelIoError::Format {
+            line: ln,
+            message: "bad parameter hex".into(),
+        })?;
+        params.push(f64::from_bits(bits));
+    }
+
+    let spec = MlpSpec { in_dim, layers };
+    let mut rng = Rng64::seed_from_u64(0); // weights are overwritten below
+    let mut net = spec.build(&mut rng);
+    if net.num_params() != n_params {
+        return Err(ModelIoError::Format {
+            line: 0,
+            message: format!(
+                "parameter count {} does not match architecture ({} expected)",
+                n_params,
+                net.num_params()
+            ),
+        });
+    }
+    net.set_param_vector(&params);
+    Ok((net, spec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use scis_tensor::Matrix;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("scis_mlp_{}_{}", std::process::id(), name));
+        p
+    }
+
+    fn spec() -> MlpSpec {
+        MlpSpec {
+            in_dim: 4,
+            layers: vec![
+                SpecLayer::Dense { out: 8, act: Activation::Relu },
+                SpecLayer::Dropout { p: 0.5 },
+                SpecLayer::Dense { out: 2, act: Activation::Sigmoid },
+            ],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bit_exact() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let s = spec();
+        let mut net = s.build(&mut rng);
+        let path = tmp("roundtrip");
+        save_mlp(&path, &mut net, &s).unwrap();
+        let (mut loaded, loaded_spec) = load_mlp(&path).unwrap();
+        assert_eq!(loaded_spec, s);
+        assert_eq!(loaded.param_vector(), net.param_vector());
+        // identical deterministic forward pass
+        let x = Matrix::from_fn(3, 4, |i, j| (i as f64 - j as f64) * 0.3);
+        let mut r = Rng64::seed_from_u64(0);
+        assert_eq!(
+            loaded.forward(&x, Mode::Eval, &mut r),
+            net.forward(&x, Mode::Eval, &mut r)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn special_float_values_survive() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let s = MlpSpec {
+            in_dim: 1,
+            layers: vec![SpecLayer::Dense { out: 2, act: Activation::Identity }],
+        };
+        let mut net = s.build(&mut rng);
+        // force awkward values: subnormal, negative zero, exact thirds
+        net.set_param_vector(&[1.0 / 3.0, -0.0, 5e-324, 1e300]);
+        let path = tmp("special");
+        save_mlp(&path, &mut net, &s).unwrap();
+        let (mut loaded, _) = load_mlp(&path).unwrap();
+        let p = loaded.param_vector();
+        assert_eq!(p[0].to_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(p[1].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(p[2].to_bits(), 5e-324f64.to_bits());
+        assert_eq!(p[3], 1e300);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_files_are_rejected() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, "not a model\n").unwrap();
+        assert!(matches!(load_mlp(&path), Err(ModelIoError::Format { .. })));
+        std::fs::write(&path, "scis-mlp v1\nin 2\ndense 2 relu\nparams 99\n").unwrap();
+        assert!(load_mlp(&path).is_err());
+        std::fs::write(&path, "scis-mlp v1\nin 2\ndense 2 flux\nparams 6\n").unwrap();
+        assert!(matches!(load_mlp(&path), Err(ModelIoError::Format { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn param_count_mismatch_is_detected() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let s = spec();
+        let mut net = s.build(&mut rng);
+        let path = tmp("mismatch");
+        save_mlp(&path, &mut net, &s).unwrap();
+        // truncate one parameter line
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = content.lines().collect();
+        lines.pop();
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        assert!(load_mlp(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,106 @@
+//! Masked squared-Euclidean cost matrices (paper Definition 2).
+
+use scis_tensor::Matrix;
+
+/// Builds the masking cost matrix between two row sets:
+/// `C[i][j] = ‖ma_i ⊙ a_i − mb_j ⊙ b_j‖²`.
+///
+/// In the paper's Definition 2 both sides share the batch's mask matrix
+/// (`a = X̄`, `b = X`, `ma = mb = M`); the two-mask form is also used by the
+/// RRSI baseline, which compares two different batches.
+///
+/// # Panics
+/// Panics if feature dimensions disagree or masks don't match their data.
+pub fn masked_sq_cost(a: &Matrix, ma: &Matrix, b: &Matrix, mb: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), ma.shape(), "masked_sq_cost: a/mask shape mismatch");
+    assert_eq!(b.shape(), mb.shape(), "masked_sq_cost: b/mask shape mismatch");
+    assert_eq!(a.cols(), b.cols(), "masked_sq_cost: feature dim mismatch");
+    let (n, m) = (a.rows(), b.rows());
+    let d = a.cols();
+    let mut out = Matrix::zeros(n, m);
+    // Pre-mask both sides once (O(nd + md)) so the O(n·m·d) loop is a plain
+    // squared distance.
+    let am = a.hadamard(ma);
+    let bm = b.hadamard(mb);
+    for i in 0..n {
+        let ai = am.row(i);
+        let row = out.row_mut(i);
+        for (j, o) in row.iter_mut().enumerate() {
+            let bj = bm.row(j);
+            let mut acc = 0.0;
+            for k in 0..d {
+                let diff = ai[k] - bj[k];
+                acc += diff * diff;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Self cost `C[i][j] = ‖m_i ⊙ x_i − m_j ⊙ x_j‖²` within one masked set.
+pub fn masked_self_cost(x: &Matrix, m: &Matrix) -> Matrix {
+    masked_sq_cost(x, m, x, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmasked_reduces_to_plain_sq_dist() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let ones_a = Matrix::ones(2, 2);
+        let ones_b = Matrix::ones(1, 2);
+        let c = masked_sq_cost(&a, &ones_a, &b, &ones_b);
+        assert_eq!(c.shape(), (2, 1));
+        assert_eq!(c[(0, 0)], 25.0);
+        assert_eq!(c[(1, 0)], 13.0);
+    }
+
+    #[test]
+    fn mask_zeroes_out_missing_dimensions() {
+        let a = Matrix::from_rows(&[&[100.0, 1.0]]);
+        let ma = Matrix::from_rows(&[&[0.0, 1.0]]); // first dim missing
+        let b = Matrix::from_rows(&[&[0.0, 3.0]]);
+        let mb = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let c = masked_sq_cost(&a, &ma, &b, &mb);
+        // masked a = (0,1); masked b = (0,3) → dist² = 4
+        assert_eq!(c[(0, 0)], 4.0);
+    }
+
+    #[test]
+    fn self_cost_symmetric_zero_diagonal() {
+        let x = Matrix::from_fn(4, 3, |i, j| ((i * 5 + j * 3) % 7) as f64);
+        let m = Matrix::from_fn(4, 3, |i, j| ((i + j) % 2) as f64);
+        let c = masked_self_cost(&x, &m);
+        for i in 0..4 {
+            assert_eq!(c[(i, i)], 0.0);
+            for j in 0..4 {
+                assert_eq!(c[(i, j)], c[(j, i)]);
+                assert!(c[(i, j)] >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_masked_rows_have_zero_cost() {
+        let a = Matrix::from_rows(&[&[5.0, -2.0]]);
+        let z = Matrix::zeros(1, 2);
+        let b = Matrix::from_rows(&[&[9.0, 9.0]]);
+        let c = masked_sq_cost(&a, &z, &b, &z.clone());
+        assert_eq!(c[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_mismatched_mask() {
+        let _ = masked_sq_cost(
+            &Matrix::zeros(2, 3),
+            &Matrix::zeros(2, 2),
+            &Matrix::zeros(2, 3),
+            &Matrix::zeros(2, 3),
+        );
+    }
+}

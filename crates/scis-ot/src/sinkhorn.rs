@@ -1,0 +1,444 @@
+//! Log-domain Sinkhorn iterations for entropic optimal transport.
+//!
+//! Solves the masking regularized optimal transport problem of the paper's
+//! Definition 3:
+//!
+//! ```text
+//! OT_λ(a, b) = min_{P ∈ Γ(a,b)} ⟨P, C⟩ + λ Σ_ij P_ij log P_ij
+//! ```
+//!
+//! The iterations run entirely on dual potentials `(f, g)` with log-sum-exp
+//! reductions, so they are stable for any `λ > 0` — including the λ = 130 the
+//! paper uses on [0,1]-normalized data *and* tiny λ where the kernel
+//! `exp(−C/λ)` would underflow in the primal domain.
+
+use scis_tensor::Matrix;
+
+/// Tuning knobs for the Sinkhorn solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SinkhornOptions {
+    /// Entropic regularization strength λ (paper hyper-parameter; 130 in the
+    /// experiments).
+    pub lambda: f64,
+    /// Maximum number of (f, g) sweeps.
+    pub max_iters: usize,
+    /// Convergence threshold on the L1 marginal violation of the plan.
+    pub tol: f64,
+}
+
+impl Default for SinkhornOptions {
+    fn default() -> Self {
+        Self { lambda: 130.0, max_iters: 500, tol: 1e-9 }
+    }
+}
+
+impl SinkhornOptions {
+    /// Convenience constructor fixing λ, keeping default iteration limits.
+    pub fn with_lambda(lambda: f64) -> Self {
+        Self { lambda, ..Self::default() }
+    }
+}
+
+/// Output of a Sinkhorn solve.
+#[derive(Debug, Clone)]
+pub struct SinkhornResult {
+    /// Dual potential on the first marginal (length `n`).
+    pub f: Vec<f64>,
+    /// Dual potential on the second marginal (length `m`).
+    pub g: Vec<f64>,
+    /// Optimal transport plan `P` (`n x m`, rows sum to `a`, cols to `b`).
+    pub plan: Matrix,
+    /// Sharp transport cost `⟨P, C⟩`.
+    pub transport_cost: f64,
+    /// Regularized objective `⟨P, C⟩ + λ Σ P log P` (Definition 3's value).
+    pub reg_value: f64,
+    /// Number of sweeps performed.
+    pub iterations: usize,
+    /// Whether the marginal tolerance was met within `max_iters`.
+    pub converged: bool,
+}
+
+/// Numerically stable `log Σ exp(v_k + w_k)`.
+#[inline]
+fn log_sum_exp(terms: impl Iterator<Item = f64> + Clone) -> f64 {
+    let max = terms.clone().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = terms.map(|t| (t - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Runs log-domain Sinkhorn for marginals `a` (len n) and `b` (len m) and
+/// cost matrix `cost` (`n x m`).
+///
+/// ```
+/// use scis_ot::{sinkhorn, SinkhornOptions};
+/// use scis_tensor::Matrix;
+///
+/// let cost = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// let r = sinkhorn(&cost, &[0.5, 0.5], &[0.5, 0.5],
+///                  &SinkhornOptions { lambda: 0.05, max_iters: 1000, tol: 1e-9 });
+/// assert!(r.converged);
+/// // identity matching is free -> transport cost near zero
+/// assert!(r.transport_cost < 1e-3);
+/// ```
+///
+/// # Panics
+/// Panics on dimension mismatch, non-positive λ, or weights that do not
+/// form probability vectors (up to 1e-6).
+pub fn sinkhorn(cost: &Matrix, a: &[f64], b: &[f64], opts: &SinkhornOptions) -> SinkhornResult {
+    sinkhorn_impl(cost, a, b, vec![0.0; a.len()], vec![0.0; b.len()], opts)
+}
+
+fn sinkhorn_impl(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    f_init: Vec<f64>,
+    g_init: Vec<f64>,
+    opts: &SinkhornOptions,
+) -> SinkhornResult {
+    let (n, m) = cost.shape();
+    assert_eq!(a.len(), n, "sinkhorn: first marginal length mismatch");
+    assert_eq!(b.len(), m, "sinkhorn: second marginal length mismatch");
+    assert_eq!(f_init.len(), n, "sinkhorn: f potential length mismatch");
+    assert_eq!(g_init.len(), m, "sinkhorn: g potential length mismatch");
+    assert!(opts.lambda > 0.0, "sinkhorn: lambda must be positive");
+    debug_assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-6, "a must sum to 1");
+    debug_assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-6, "b must sum to 1");
+
+    let lam = opts.lambda;
+    let log_a: Vec<f64> = a.iter().map(|&w| if w > 0.0 { w.ln() } else { f64::NEG_INFINITY }).collect();
+    let log_b: Vec<f64> = b.iter().map(|&w| if w > 0.0 { w.ln() } else { f64::NEG_INFINITY }).collect();
+
+    let mut f = f_init;
+    let mut g = g_init;
+    let mut iterations = 0;
+    let mut converged = false;
+
+    // cost transposed view avoided: we walk columns through strided access,
+    // fine for the batch sizes (≤ a few hundred) Sinkhorn sees per step.
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        // f_i ← −λ LSE_j [ log b_j + (g_j − C_ij)/λ ]
+        for (i, fi) in f.iter_mut().enumerate() {
+            let row = cost.row(i);
+            let lse = log_sum_exp(
+                (0..m).map(|j| log_b[j] + (g[j] - row[j]) / lam),
+            );
+            *fi = -lam * lse;
+        }
+        // g_j ← −λ LSE_i [ log a_i + (f_i − C_ij)/λ ]
+        for j in 0..m {
+            let lse = log_sum_exp(
+                (0..n).map(|i| log_a[i] + (f[i] - cost[(i, j)]) / lam),
+            );
+            g[j] = -lam * lse;
+        }
+        // After a g-update, column marginals are exact; check row marginals.
+        let mut violation = 0.0;
+        for i in 0..n {
+            let row = cost.row(i);
+            let mut row_sum = 0.0;
+            for j in 0..m {
+                row_sum += (log_a[i] + log_b[j] + (f[i] + g[j] - row[j]) / lam).exp();
+            }
+            violation += (row_sum - a[i]).abs();
+        }
+        if violation < opts.tol {
+            converged = true;
+            break;
+        }
+    }
+
+    // materialize plan and objective values
+    let mut plan = Matrix::zeros(n, m);
+    let mut transport_cost = 0.0;
+    let mut neg_entropy = 0.0;
+    for i in 0..n {
+        let crow = cost.row(i);
+        let prow = plan.row_mut(i);
+        for (j, p) in prow.iter_mut().enumerate() {
+            let log_p = log_a[i] + log_b[j] + (f[i] + g[j] - crow[j]) / lam;
+            let val = log_p.exp();
+            *p = val;
+            if val > 0.0 {
+                transport_cost += val * crow[j];
+                neg_entropy += val * val.ln();
+            }
+        }
+    }
+    let reg_value = transport_cost + lam * neg_entropy;
+
+    SinkhornResult { f, g, plan, transport_cost, reg_value, iterations, converged }
+}
+
+/// Sinkhorn with uniform marginals `a = b = 1/n` — the empirical-measure
+/// setting of the paper (`Γ_{n,n}` in Definition 2).
+pub fn sinkhorn_uniform(cost: &Matrix, opts: &SinkhornOptions) -> SinkhornResult {
+    let (n, m) = cost.shape();
+    let a = vec![1.0 / n as f64; n];
+    let b = vec![1.0 / m as f64; m];
+    sinkhorn(cost, &a, &b, opts)
+}
+
+/// Log-domain Sinkhorn continued from given dual potentials (warm start).
+/// Identical to [`sinkhorn`] except for the initialization of `(f, g)`.
+pub fn sinkhorn_warm(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    f0: Vec<f64>,
+    g0: Vec<f64>,
+    opts: &SinkhornOptions,
+) -> SinkhornResult {
+    sinkhorn_impl(cost, a, b, f0, g0, opts)
+}
+
+/// ε-scaling (annealed) Sinkhorn: solves a geometric sequence of
+/// regularization levels `λ_0 > λ_1 > … > λ`, warm-starting the dual
+/// potentials at each stage. For small target λ this converges in a small
+/// fraction of the iterations cold-start Sinkhorn needs — the classic
+/// trick from Schmitzer (2019); exactness is unchanged because only the
+/// final stage's fixed point is reported.
+pub fn sinkhorn_eps_scaling(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    opts: &SinkhornOptions,
+    n_stages: usize,
+) -> SinkhornResult {
+    assert!(n_stages >= 1, "sinkhorn_eps_scaling: need at least one stage");
+    let max_cost = cost.max().max(opts.lambda);
+    // start near the cost scale (plans ~ product measure, trivially solved)
+    let lambda_start = max_cost.max(opts.lambda);
+    let ratio = if n_stages > 1 {
+        (opts.lambda / lambda_start).powf(1.0 / (n_stages - 1) as f64)
+    } else {
+        1.0
+    };
+    let mut f = vec![0.0; a.len()];
+    let mut g = vec![0.0; b.len()];
+    let mut lambda = lambda_start;
+    let mut result = None;
+    for stage in 0..n_stages {
+        if stage + 1 == n_stages {
+            lambda = opts.lambda;
+        }
+        let stage_opts = SinkhornOptions {
+            lambda,
+            // intermediate stages only need rough potentials
+            max_iters: if stage + 1 == n_stages { opts.max_iters } else { opts.max_iters / 4 + 1 },
+            tol: if stage + 1 == n_stages { opts.tol } else { opts.tol * 100.0 },
+        };
+        let r = sinkhorn_impl(cost, a, b, f, g, &stage_opts);
+        f = r.f.clone();
+        g = r.g.clone();
+        result = Some(r);
+        lambda *= ratio;
+    }
+    result.expect("at least one stage ran")
+}
+
+/// Uniform-marginal convenience wrapper for [`sinkhorn_eps_scaling`].
+pub fn sinkhorn_eps_scaling_uniform(
+    cost: &Matrix,
+    opts: &SinkhornOptions,
+    n_stages: usize,
+) -> SinkhornResult {
+    let (n, m) = cost.shape();
+    let a = vec![1.0 / n as f64; n];
+    let b = vec![1.0 / m as f64; m];
+    sinkhorn_eps_scaling(cost, &a, &b, opts, n_stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_cost() -> Matrix {
+        Matrix::from_rows(&[&[0.0, 1.0, 4.0], &[1.0, 0.0, 1.0], &[4.0, 1.0, 0.0]])
+    }
+
+    #[test]
+    fn plan_satisfies_marginals() {
+        let c = toy_cost();
+        let r = sinkhorn_uniform(
+            &c,
+            &SinkhornOptions { lambda: 0.1, max_iters: 20_000, tol: 1e-8 },
+        );
+        assert!(r.converged, "not converged after {} iterations", r.iterations);
+        let rows = r.plan.row_sums();
+        let cols = r.plan.col_sums();
+        for v in rows.iter().chain(cols.iter()) {
+            assert!((v - 1.0 / 3.0).abs() < 1e-7, "marginal {}", v);
+        }
+        assert!(r.plan.as_slice().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn small_lambda_approaches_unregularized_ot() {
+        // cost with a perfect matching of cost 0 on the diagonal
+        let c = toy_cost();
+        let r = sinkhorn_uniform(&c, &SinkhornOptions { lambda: 0.005, max_iters: 5000, tol: 1e-10 });
+        // unregularized OT = 0 (identity assignment)
+        assert!(r.transport_cost < 0.01, "cost {}", r.transport_cost);
+        // plan concentrates on the diagonal
+        for i in 0..3 {
+            assert!(r.plan[(i, i)] > 0.3, "P[{0}][{0}] = {1}", i, r.plan[(i, i)]);
+        }
+    }
+
+    #[test]
+    fn large_lambda_spreads_the_plan_to_product_measure() {
+        let c = toy_cost();
+        let r = sinkhorn_uniform(&c, &SinkhornOptions::with_lambda(1e4));
+        for p in r.plan.as_slice() {
+            assert!((p - 1.0 / 9.0).abs() < 1e-3, "plan entry {}", p);
+        }
+    }
+
+    #[test]
+    fn handles_nonuniform_marginals() {
+        let c = Matrix::from_rows(&[&[0.0, 2.0], &[2.0, 0.0]]);
+        let a = [0.7, 0.3];
+        let b = [0.4, 0.6];
+        let r = sinkhorn(&c, &a, &b, &SinkhornOptions::with_lambda(0.05));
+        let rows = r.plan.row_sums();
+        let cols = r.plan.col_sums();
+        assert!((rows[0] - 0.7).abs() < 1e-6);
+        assert!((rows[1] - 0.3).abs() < 1e-6);
+        assert!((cols[0] - 0.4).abs() < 1e-6);
+        assert!((cols[1] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rectangular_problems_supported() {
+        let c = Matrix::from_fn(4, 7, |i, j| ((i as f64) - (j as f64) * 0.5).powi(2));
+        let r = sinkhorn_uniform(&c, &SinkhornOptions::with_lambda(0.2));
+        assert!(r.converged);
+        assert_eq!(r.plan.shape(), (4, 7));
+        for v in r.plan.row_sums() {
+            assert!((v - 0.25).abs() < 1e-7);
+        }
+        for v in r.plan.col_sums() {
+            assert!((v - 1.0 / 7.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn stable_under_paper_scale_lambda() {
+        // λ = 130 (the paper's setting) with [0,1]-normalized data costs
+        let c = Matrix::from_fn(16, 16, |i, j| ((i as f64 - j as f64) / 16.0).powi(2));
+        let r = sinkhorn_uniform(&c, &SinkhornOptions::default());
+        assert!(r.converged);
+        assert!(r.transport_cost.is_finite());
+        assert!(r.reg_value.is_finite());
+    }
+
+    #[test]
+    fn stable_under_tiny_lambda_large_costs() {
+        // would underflow e^{-C/λ} in the primal domain: C up to 1e4, λ=1e-3
+        let c = Matrix::from_fn(5, 5, |i, j| (i as f64 - j as f64).powi(2) * 400.0);
+        let r = sinkhorn_uniform(&c, &SinkhornOptions { lambda: 1e-3, max_iters: 2000, tol: 1e-8 });
+        assert!(r.transport_cost.is_finite());
+        assert!(r.plan.as_slice().iter().all(|p| p.is_finite()));
+        // identity matching is optimal
+        assert!(r.transport_cost < 1.0);
+    }
+
+    #[test]
+    fn identical_points_give_zero_cost() {
+        let c = Matrix::zeros(4, 4);
+        let r = sinkhorn_uniform(&c, &SinkhornOptions::with_lambda(0.5));
+        assert!(r.transport_cost.abs() < 1e-12);
+    }
+
+    #[test]
+    fn reg_value_includes_entropy_term() {
+        let c = Matrix::zeros(2, 2);
+        let r = sinkhorn_uniform(&c, &SinkhornOptions::with_lambda(1.0));
+        // zero cost → plan is product measure 1/4 each; Σ p log p = −log 4
+        assert!((r.reg_value - (-(4.0f64).ln())).abs() < 1e-9, "{}", r.reg_value);
+    }
+
+    #[test]
+    #[should_panic(expected = "marginal length mismatch")]
+    fn rejects_bad_marginal_length() {
+        let _ = sinkhorn(&Matrix::zeros(2, 2), &[1.0], &[0.5, 0.5], &SinkhornOptions::default());
+    }
+}
+
+#[cfg(test)]
+mod eps_scaling_tests {
+    use super::*;
+
+    fn clustered_cost(n: usize) -> Matrix {
+        // two clusters → hard for cold-start small-λ Sinkhorn
+        Matrix::from_fn(n, n, |i, j| {
+            let ci = (i < n / 2) as u8;
+            let cj = (j < n / 2) as u8;
+            if ci == cj {
+                0.001 * ((i + 2 * j) % 7) as f64
+            } else {
+                1.0 + 0.001 * ((i * j) % 5) as f64
+            }
+        })
+    }
+
+    #[test]
+    fn eps_scaling_matches_cold_start_value() {
+        let c = clustered_cost(20);
+        let opts = SinkhornOptions { lambda: 0.01, max_iters: 20_000, tol: 1e-10 };
+        let cold = sinkhorn_uniform(&c, &opts);
+        let warm = sinkhorn_eps_scaling_uniform(&c, &opts, 5);
+        assert!(warm.converged);
+        assert!(
+            (warm.reg_value - cold.reg_value).abs() < 1e-6,
+            "{} vs {}",
+            warm.reg_value,
+            cold.reg_value
+        );
+        // plans agree
+        for (p, q) in warm.plan.as_slice().iter().zip(cold.plan.as_slice()) {
+            assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eps_scaling_final_stage_never_needs_more_iterations() {
+        let c = clustered_cost(30);
+        let opts = SinkhornOptions { lambda: 0.005, max_iters: 50_000, tol: 1e-9 };
+        let cold = sinkhorn_uniform(&c, &opts);
+        let warm = sinkhorn_eps_scaling_uniform(&c, &opts, 6);
+        assert!(warm.converged && cold.converged);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {} final-stage iterations",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!((warm.reg_value - cold.reg_value).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_from_exact_potentials_is_instant() {
+        let c = clustered_cost(12);
+        let opts = SinkhornOptions { lambda: 0.05, max_iters: 10_000, tol: 1e-10 };
+        let r1 = sinkhorn_uniform(&c, &opts);
+        let a = vec![1.0 / 12.0; 12];
+        let r2 = sinkhorn_warm(&c, &a, &a, r1.f.clone(), r1.g.clone(), &opts);
+        assert!(r2.converged);
+        assert!(r2.iterations <= 2, "took {} iterations from exact start", r2.iterations);
+    }
+
+    #[test]
+    fn single_stage_equals_plain_sinkhorn() {
+        let c = clustered_cost(10);
+        let opts = SinkhornOptions { lambda: 0.5, max_iters: 2000, tol: 1e-10 };
+        let a = sinkhorn_uniform(&c, &opts);
+        let b = sinkhorn_eps_scaling_uniform(&c, &opts, 1);
+        assert!((a.reg_value - b.reg_value).abs() < 1e-9);
+    }
+}

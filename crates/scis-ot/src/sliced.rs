@@ -1,0 +1,205 @@
+//! Masked sliced-Wasserstein distance — an ablation alternative to the
+//! masking Sinkhorn divergence.
+//!
+//! `SW²(ν̂, μ̂) = E_θ[ W²₂(θ·ν̂, θ·μ̂) ]` over random unit directions θ;
+//! each 1-D `W²₂` is the rank-matched mean squared difference of sorted
+//! projections. Like the MS divergence it is differentiable a.e. and zero
+//! iff the masked empirical measures coincide (as the number of
+//! projections grows); unlike Sinkhorn it needs no iterative solver —
+//! `O(T · n log n)` per evaluation. The `dim_critic` ablation uses it to
+//! quantify what the *transport-plan* structure of the MS divergence buys.
+
+use scis_tensor::{Matrix, Rng64};
+
+/// Sliced-Wasserstein settings.
+#[derive(Debug, Clone, Copy)]
+pub struct SlicedOptions {
+    /// Number of random projection directions `T`.
+    pub n_projections: usize,
+    /// Seed for the (fixed) projection directions — fixing them makes the
+    /// loss a deterministic function, so gradients are well defined.
+    pub seed: u64,
+}
+
+impl Default for SlicedOptions {
+    fn default() -> Self {
+        Self { n_projections: 32, seed: 0x51CE }
+    }
+}
+
+fn unit_directions(d: usize, opts: &SlicedOptions) -> Vec<Vec<f64>> {
+    let mut rng = Rng64::seed_from_u64(opts.seed);
+    (0..opts.n_projections)
+        .map(|_| {
+            let mut v: Vec<f64> = (0..d).map(|_| rng.normal()).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            for x in &mut v {
+                *x /= norm;
+            }
+            v
+        })
+        .collect()
+}
+
+/// Computes the masked sliced-W² loss `SW²/(2)` and its gradient w.r.t.
+/// `xbar` (zero on masked-out cells by construction).
+pub fn sliced_w2_loss_grad(
+    xbar: &Matrix,
+    x: &Matrix,
+    mask: &Matrix,
+    opts: &SlicedOptions,
+) -> (f64, Matrix) {
+    assert_eq!(xbar.shape(), x.shape(), "sliced_w2: data shape mismatch");
+    assert_eq!(x.shape(), mask.shape(), "sliced_w2: mask shape mismatch");
+    let (n, d) = x.shape();
+    assert!(n > 0, "sliced_w2: empty batch");
+    let dirs = unit_directions(d, opts);
+    let t = dirs.len().max(1) as f64;
+
+    let a = xbar.hadamard(mask);
+    let b = x.hadamard(mask);
+    let mut loss = 0.0;
+    let mut grad = Matrix::zeros(n, d);
+
+    for theta in &dirs {
+        // project
+        let mut pa: Vec<(f64, usize)> = (0..n)
+            .map(|i| (a.row(i).iter().zip(theta).map(|(&v, &w)| v * w).sum(), i))
+            .collect();
+        let mut pb: Vec<f64> = (0..n)
+            .map(|j| b.row(j).iter().zip(theta).map(|(&v, &w)| v * w).sum())
+            .collect();
+        pa.sort_by(|u, v| u.0.partial_cmp(&v.0).expect("finite projections"));
+        pb.sort_by(|u, v| u.partial_cmp(v).expect("finite projections"));
+        // rank matching
+        for (rank, &(proj_a, i)) in pa.iter().enumerate() {
+            let diff = proj_a - pb[rank];
+            loss += diff * diff / (n as f64 * t);
+            let coeff = 2.0 * diff / (n as f64 * t);
+            let grow = grad.row_mut(i);
+            let mrow = mask.row(i);
+            for k in 0..d {
+                grow[k] += coeff * theta[k] * mrow[k];
+            }
+        }
+    }
+    (loss / 2.0, grad.scale(0.5))
+}
+
+/// Value-only convenience wrapper.
+pub fn sliced_w2_loss(xbar: &Matrix, x: &Matrix, mask: &Matrix, opts: &SlicedOptions) -> f64 {
+    sliced_w2_loss_grad(xbar, x, mask, opts).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> SlicedOptions {
+        SlicedOptions { n_projections: 64, seed: 7 }
+    }
+
+    #[test]
+    fn zero_on_identical_batches() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let x = Matrix::from_fn(12, 4, |_, _| rng.uniform());
+        let m = Matrix::from_fn(12, 4, |_, _| if rng.bernoulli(0.7) { 1.0 } else { 0.0 });
+        let (loss, grad) = sliced_w2_loss_grad(&x, &x, &m, &opts());
+        assert!(loss.abs() < 1e-15);
+        assert!(grad.frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn positive_and_growing_with_separation() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let x = Matrix::from_fn(16, 3, |_, _| rng.uniform() * 0.1);
+        let m = Matrix::ones(16, 3);
+        let near = x.map(|v| v + 0.05);
+        let far = x.map(|v| v + 0.5);
+        let o = opts();
+        let l_near = sliced_w2_loss(&near, &x, &m, &o);
+        let l_far = sliced_w2_loss(&far, &x, &m, &o);
+        assert!(l_near > 0.0);
+        assert!(l_far > l_near, "{} vs {}", l_far, l_near);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let n = 6;
+        let d = 3;
+        let x = Matrix::from_fn(n, d, |_, _| rng.uniform());
+        let xbar = Matrix::from_fn(n, d, |_, _| rng.uniform());
+        let m = Matrix::from_fn(n, d, |_, _| if rng.bernoulli(0.8) { 1.0 } else { 0.0 });
+        let o = opts();
+        let (_, grad) = sliced_w2_loss_grad(&xbar, &x, &m, &o);
+        let h = 1e-6;
+        for idx in 0..(n * d) {
+            let (i, k) = (idx / d, idx % d);
+            let mut plus = xbar.clone();
+            plus[(i, k)] += h;
+            let mut minus = xbar.clone();
+            minus[(i, k)] -= h;
+            let numeric =
+                (sliced_w2_loss(&plus, &x, &m, &o) - sliced_w2_loss(&minus, &x, &m, &o))
+                    / (2.0 * h);
+            assert!(
+                (numeric - grad[(i, k)]).abs() < 1e-6 + 1e-3 * numeric.abs(),
+                "grad[{},{}]: {} vs {}",
+                i,
+                k,
+                numeric,
+                grad[(i, k)]
+            );
+        }
+    }
+
+    #[test]
+    fn masked_cells_have_zero_gradient() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let x = Matrix::from_fn(8, 2, |_, _| rng.uniform());
+        let xbar = Matrix::from_fn(8, 2, |_, _| rng.uniform());
+        let m = Matrix::from_fn(8, 2, |i, j| if (i + j) % 2 == 0 { 1.0 } else { 0.0 });
+        let (_, grad) = sliced_w2_loss_grad(&xbar, &x, &m, &opts());
+        for i in 0..8 {
+            for j in 0..2 {
+                if m[(i, j)] == 0.0 {
+                    assert_eq!(grad[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let x = Matrix::from_fn(10, 3, |_, _| rng.uniform());
+        let y = Matrix::from_fn(10, 3, |_, _| rng.uniform());
+        let m = Matrix::ones(10, 3);
+        let o = opts();
+        assert_eq!(sliced_w2_loss(&x, &y, &m, &o), sliced_w2_loss(&x, &y, &m, &o));
+        // different seed → different (but finite) value
+        let o2 = SlicedOptions { seed: 99, ..o };
+        let v2 = sliced_w2_loss(&x, &y, &m, &o2);
+        assert!(v2.is_finite());
+    }
+
+    #[test]
+    fn agrees_with_exact_w2_in_one_dimension() {
+        // d = 1: sliced W² along ±e1 equals the exact 1-D W² (rank match)
+        let a = Matrix::from_vec(4, 1, vec![0.1, 0.4, 0.2, 0.3]);
+        let b = Matrix::from_vec(4, 1, vec![0.15, 0.35, 0.25, 0.45]);
+        let m = Matrix::ones(4, 1);
+        let o = SlicedOptions { n_projections: 8, seed: 11 };
+        let sw = sliced_w2_loss(&a, &b, &m, &o) * 2.0; // undo the /2
+        // exact: sort both, mean squared rank difference
+        let exact = {
+            let mut sa = [0.1, 0.2, 0.3, 0.4];
+            let mut sb = [0.15, 0.25, 0.35, 0.45];
+            sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            sa.iter().zip(&sb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / 4.0
+        };
+        assert!((sw - exact).abs() < 1e-12, "{} vs {}", sw, exact);
+    }
+}

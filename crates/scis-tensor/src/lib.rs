@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! `scis-tensor` — dense numerical substrate for the SCIS reproduction.
+//!
+//! This crate provides the row-major [`Matrix`] type together with the
+//! linear-algebra, random-number and statistics helpers every other crate in
+//! the workspace builds on. It is deliberately dependency-free: the PRNG is
+//! a self-contained xoshiro256++ implementation so that every experiment in
+//! the paper reproduction is bit-for-bit deterministic under a fixed seed.
+//!
+//! # Modules
+//! * [`matrix`] — the dense row-major `f64` matrix with shape-checked ops.
+//! * [`ops`] — matrix multiplication kernels (naive + blocked) and
+//!   broadcast helpers.
+//! * [`linalg`] — Cholesky factorization and ridge solvers used by the MICE
+//!   baseline and the SSE module.
+//! * [`rng`] — deterministic xoshiro256++ PRNG with Gaussian sampling.
+//! * [`stats`] — column statistics (mean, variance, quantiles).
+
+pub mod linalg;
+pub mod matrix;
+pub mod ops;
+pub mod par;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use rng::Rng64;

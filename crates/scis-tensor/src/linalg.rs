@@ -1,0 +1,260 @@
+//! Small dense linear-algebra kernels.
+//!
+//! The reproduction needs exact solves in two places: ridge regression inside
+//! the MICE baseline (normal equations, SPD systems) and general small solves
+//! in tests. Cholesky covers the SPD path; a partially pivoted LU covers the
+//! general path.
+
+use crate::matrix::Matrix;
+use crate::ops::{matmul_at, matvec};
+
+/// Error type for factorization failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not positive definite (Cholesky pivot ≤ 0).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// The matrix is singular to working precision (LU pivot ~ 0).
+    Singular {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite at pivot {}", pivot)
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix singular at pivot {}", pivot)
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// `a` must be symmetric positive definite; only its lower triangle is read.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    assert_eq!(a.rows(), a.cols(), "cholesky: matrix must be square");
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for SPD `A` via Cholesky.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let l = cholesky(a)?;
+    let n = l.rows();
+    assert_eq!(b.len(), n, "solve_spd: rhs length mismatch");
+    // forward: L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // backward: Lᵀ x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Solves the ridge-regression normal equations
+/// `(XᵀX + ridge·I) w = Xᵀ y` and returns `w`.
+///
+/// This is the workhorse of the MICE chained-equation baseline; `ridge > 0`
+/// guarantees the system is SPD regardless of collinearity.
+pub fn ridge_fit(x: &Matrix, y: &[f64], ridge: f64) -> Result<Vec<f64>, LinalgError> {
+    assert_eq!(x.rows(), y.len(), "ridge_fit: sample count mismatch");
+    assert!(ridge >= 0.0, "ridge_fit: negative ridge");
+    let mut gram = matmul_at(x, x);
+    for i in 0..gram.rows() {
+        gram[(i, i)] += ridge;
+    }
+    let ym = Matrix::from_vec(y.len(), 1, y.to_vec());
+    let xty = matmul_at(x, &ym);
+    solve_spd(&gram, xty.as_slice())
+}
+
+/// Solves `A x = b` for general square `A` via LU with partial pivoting.
+pub fn solve_lu(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    assert_eq!(a.rows(), a.cols(), "solve_lu: matrix must be square");
+    let n = a.rows();
+    assert_eq!(b.len(), n, "solve_lu: rhs length mismatch");
+    let mut lu = a.clone();
+    let mut x = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for k in 0..n {
+        // partial pivot
+        let mut p = k;
+        let mut max = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            if lu[(i, k)].abs() > max {
+                max = lu[(i, k)].abs();
+                p = i;
+            }
+        }
+        if max < 1e-14 {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                let t = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = t;
+            }
+            x.swap(k, p);
+            perm.swap(k, p);
+        }
+        for i in (k + 1)..n {
+            let f = lu[(i, k)] / lu[(k, k)];
+            lu[(i, k)] = f;
+            for j in (k + 1)..n {
+                lu[(i, j)] -= f * lu[(k, j)];
+            }
+            x[i] -= f * x[k];
+        }
+    }
+    // back substitution
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for j in (i + 1)..n {
+            sum -= lu[(i, j)] * x[j];
+        }
+        x[i] = sum / lu[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Residual `‖A x − b‖₂` — used by tests to validate solvers.
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = matvec(a, x);
+    ax.iter()
+        .zip(b)
+        .map(|(&p, &q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul;
+    use crate::rng::Rng64;
+
+    fn random_spd(n: usize, rng: &mut Rng64) -> Matrix {
+        let b = Matrix::from_fn(n, n, |_, _| rng.normal());
+        let mut a = matmul_at(&b, &b);
+        for i in 0..n {
+            a[(i, i)] += n as f64; // well-conditioned
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let a = random_spd(6, &mut rng);
+        let l = cholesky(&a).unwrap();
+        let llt = matmul(&l, &l.transpose());
+        for (x, y) in a.as_slice().iter().zip(llt.as_slice()) {
+            assert!((x - y).abs() < 1e-9, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigvals 3, -1
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_spd_residual_small() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let a = random_spd(8, &mut rng);
+        let b: Vec<f64> = (0..8).map(|_| rng.normal()).collect();
+        let x = solve_spd(&a, &b).unwrap();
+        assert!(residual_norm(&a, &x, &b) < 1e-8);
+    }
+
+    #[test]
+    fn solve_lu_residual_small_and_handles_pivoting() {
+        // leading zero forces a row swap
+        let a = Matrix::from_rows(&[
+            &[0.0, 2.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[2.0, 0.0, 3.0],
+        ]);
+        let b = vec![5.0, 6.0, 13.0];
+        let x = solve_lu(&a, &b).unwrap();
+        assert!(residual_norm(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn solve_lu_rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(solve_lu(&a, &[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn ridge_recovers_weights_on_clean_data() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let n = 200;
+        let d = 4;
+        let w_true = [1.5, -2.0, 0.5, 3.0];
+        let x = Matrix::from_fn(n, d, |_, _| rng.normal());
+        let y: Vec<f64> = (0..n)
+            .map(|i| x.row(i).iter().zip(&w_true).map(|(&a, &b)| a * b).sum())
+            .collect();
+        let w = ridge_fit(&x, &y, 1e-6).unwrap();
+        for (got, want) in w.iter().zip(&w_true) {
+            assert!((got - want).abs() < 1e-4, "{} vs {}", got, want);
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let x = Matrix::from_fn(50, 3, |_, _| rng.normal());
+        let y: Vec<f64> = (0..50).map(|i| x[(i, 0)] * 2.0 + rng.normal() * 0.1).collect();
+        let w_small = ridge_fit(&x, &y, 1e-6).unwrap();
+        let w_big = ridge_fit(&x, &y, 1e6).unwrap();
+        assert!(w_big[0].abs() < w_small[0].abs());
+        assert!(w_big.iter().all(|w| w.abs() < 1e-3));
+    }
+}

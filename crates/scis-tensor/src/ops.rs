@@ -1,0 +1,205 @@
+//! Matrix multiplication kernels and pairwise-distance helpers.
+//!
+//! The hot loops of the reproduction are (a) GEMM inside the neural nets and
+//! (b) pairwise squared distances inside Sinkhorn cost matrices and kNN. Both
+//! live here. The GEMM uses the classic `ikj` loop order so the innermost
+//! loop streams both operands contiguously, which the compiler can
+//! auto-vectorize; a transposed-B variant covers the backward passes without
+//! materializing transposes.
+
+use crate::matrix::Matrix;
+
+/// `A · B` for `A: m x k`, `B: k x n`.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimension mismatch {:?} · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue; // masks and dropout produce many structural zeros
+            }
+            let brow = b.row(p);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+        let _ = k;
+    }
+    out
+}
+
+/// `A · Bᵀ` for `A: m x k`, `B: n x k`, without materializing `Bᵀ`.
+pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_bt: inner dimension mismatch {:?} · {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// `Aᵀ · B` for `A: k x m`, `B: k x n`, without materializing `Aᵀ`.
+pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at: inner dimension mismatch {:?}ᵀ · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, n) = (a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for p in 0..a.rows() {
+        let arow = a.row(p);
+        let brow = b.row(p);
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = out.row_mut(i);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    let _ = (m, n);
+    out
+}
+
+/// Matrix-vector product `A · v`.
+pub fn matvec(a: &Matrix, v: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), v.len(), "matvec: dimension mismatch");
+    a.rows_iter()
+        .map(|row| row.iter().zip(v).map(|(&x, &y)| x * y).sum())
+        .collect()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut acc = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc
+}
+
+/// All-pairs squared distances: `D[i][j] = ||a_i - b_j||²` for row sets
+/// `a: m x d`, `b: n x d`.
+pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists: feature dim mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = sq_dist(arow, b.row(j));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 3 + j) as f64);
+        assert!(approx_eq(&matmul(&a, &Matrix::eye(4)), &a, 1e-12));
+        assert!(approx_eq(&matmul(&Matrix::eye(4), &a), &a, 1e-12));
+    }
+
+    #[test]
+    fn transposed_variants_agree_with_explicit_transpose() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i as f64 - 0.3 * j as f64).sin());
+        let b = Matrix::from_fn(4, 5, |i, j| (0.7 * i as f64 + j as f64).cos());
+        assert!(approx_eq(&matmul_bt(&a, &b), &matmul(&a, &b.transpose()), 1e-12));
+
+        let c = Matrix::from_fn(5, 3, |i, j| (i + 2 * j) as f64 * 0.1);
+        let d = Matrix::from_fn(5, 4, |i, j| (2 * i + j) as f64 * 0.2);
+        assert!(approx_eq(&matmul_at(&c, &d), &matmul(&c.transpose(), &d), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_rejects_mismatch() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i + j) as f64);
+        let v = vec![1.0, -1.0, 2.0, 0.5];
+        let got = matvec(&a, &v);
+        let vm = Matrix::from_vec(4, 1, v);
+        let want = matmul(&a, &vm);
+        for (g, w) in got.iter().zip(want.as_slice()) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pairwise_distances_are_symmetric_with_zero_diag() {
+        let x = Matrix::from_fn(5, 3, |i, j| ((i * 7 + j * 13) % 11) as f64);
+        let d = pairwise_sq_dists(&x, &x);
+        for i in 0..5 {
+            assert_eq!(d[(i, i)], 0.0);
+            for j in 0..5 {
+                assert_eq!(d[(i, j)], d[(j, i)]);
+                assert!(d[(i, j)] >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dist_simple() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Scoped-thread parallel kernels.
+//!
+//! The library is single-threaded by default (determinism first — the
+//! experiment harness measures per-method times), but the two biggest
+//! dense kernels have drop-in parallel variants for users who want
+//! wall-clock speed on large tables: rows are partitioned across
+//! `std::thread::scope` workers, so results are bit-identical to the
+//! serial kernels (each output row is produced by exactly one worker from
+//! read-only inputs).
+
+use crate::matrix::Matrix;
+use crate::ops::sq_dist;
+
+/// Number of worker threads used by the parallel kernels: the machine's
+/// available parallelism, capped to keep memory-bandwidth contention sane.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Parallel `A · B` over row blocks of `A`. Bit-identical to
+/// [`crate::ops::matmul`].
+pub fn matmul_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_par: inner dimension mismatch {:?} · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, n) = (a.rows(), b.cols());
+    let threads = threads.max(1).min(m.max(1));
+    if threads == 1 || m < 64 {
+        return crate::ops::matmul(a, b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    let chunk = m.div_ceil(threads);
+    let out_slice = out.as_mut_slice();
+    std::thread::scope(|scope| {
+        for (block_idx, out_block) in out_slice.chunks_mut(chunk * n).enumerate() {
+            let row0 = block_idx * chunk;
+            scope.spawn(move || {
+                for (local_i, orow) in out_block.chunks_mut(n).enumerate() {
+                    let arow = a.row(row0 + local_i);
+                    for (p, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = b.row(p);
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Parallel all-pairs squared distances over row blocks of `a`.
+/// Bit-identical to [`crate::ops::pairwise_sq_dists`].
+pub fn pairwise_sq_dists_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists_par: feature dim mismatch");
+    let (m, n) = (a.rows(), b.rows());
+    let threads = threads.max(1).min(m.max(1));
+    if threads == 1 || m < 64 {
+        return crate::ops::pairwise_sq_dists(a, b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    let chunk = m.div_ceil(threads);
+    let out_slice = out.as_mut_slice();
+    std::thread::scope(|scope| {
+        for (block_idx, out_block) in out_slice.chunks_mut(chunk * n).enumerate() {
+            let row0 = block_idx * chunk;
+            scope.spawn(move || {
+                for (local_i, orow) in out_block.chunks_mut(n).enumerate() {
+                    let arow = a.row(row0 + local_i);
+                    for (j, o) in orow.iter_mut().enumerate() {
+                        *o = sq_dist(arow, b.row(j));
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, pairwise_sq_dists};
+    use crate::rng::Rng64;
+
+    #[test]
+    fn matmul_par_matches_serial_bit_exactly() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let a = Matrix::from_fn(130, 17, |_, _| rng.normal());
+        let b = Matrix::from_fn(17, 23, |_, _| rng.normal());
+        for threads in [1, 2, 3, 8] {
+            let par = matmul_par(&a, &b, threads);
+            assert_eq!(par, matmul(&a, &b), "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn pairwise_par_matches_serial_bit_exactly() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let a = Matrix::from_fn(100, 6, |_, _| rng.uniform());
+        let b = Matrix::from_fn(70, 6, |_, _| rng.uniform());
+        for threads in [1, 2, 5] {
+            let par = pairwise_sq_dists_par(&a, &b, threads);
+            assert_eq!(par, pairwise_sq_dists(&a, &b), "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_serial() {
+        let a = Matrix::ones(4, 4);
+        let b = Matrix::eye(4);
+        assert_eq!(matmul_par(&a, &b, 8), a);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let a = Matrix::from_fn(65, 3, |_, _| rng.normal());
+        let b = Matrix::from_fn(3, 3, |_, _| rng.normal());
+        let got = matmul_par(&a, &b, 1000);
+        assert_eq!(got, matmul(&a, &b));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

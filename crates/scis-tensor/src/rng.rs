@@ -1,0 +1,263 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! A self-contained xoshiro256++ generator seeded through SplitMix64. Every
+//! stochastic component in the workspace (missingness injection, mini-batch
+//! shuffling, weight init, SSE parameter sampling) draws from an explicitly
+//! passed [`Rng64`], so a run is fully determined by its seed — a requirement
+//! for reproducing the paper's tables under `--seed`.
+
+/// xoshiro256++ PRNG with convenience samplers.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    s: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()], spare_normal: None }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_range: empty range");
+        // Lemire-style rejection-free for our purposes: modulo bias is
+        // negligible for n ≪ 2^64 but we still use the widening trick.
+        let x = self.next_u64();
+        (((x as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal via Box–Muller (with spare caching).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // u1 in (0,1] to avoid ln(0)
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+
+    /// Fills `slice` with i.i.d. `U[lo, hi)` draws.
+    pub fn fill_uniform(&mut self, slice: &mut [f64], lo: f64, hi: f64) {
+        for v in slice {
+            *v = self.uniform_range(lo, hi);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx
+    }
+
+    /// Samples `k` distinct indices from `0..n` (first `k` of a permutation
+    /// for `k` close to `n`, Floyd's algorithm otherwise).
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k={} > n={}", k, n);
+        if k * 3 >= n {
+            let mut p = self.permutation(n);
+            p.truncate(k);
+            p
+        } else {
+            // Floyd's algorithm: O(k) expected draws, then shuffle for a
+            // uniformly random *order* as well as set.
+            let mut chosen = std::collections::HashSet::with_capacity(k);
+            let mut out = Vec::with_capacity(k);
+            for j in (n - k)..n {
+                let t = self.gen_range(j + 1);
+                if chosen.insert(t) {
+                    out.push(t);
+                } else {
+                    chosen.insert(j);
+                    out.push(j);
+                }
+            }
+            self.shuffle(&mut out);
+            out
+        }
+    }
+
+    /// Forks a statistically independent child generator (for per-thread or
+    /// per-component streams).
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval_with_sane_mean() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {}", mean);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let z = rng.normal();
+            sum += z;
+            sum_sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {}", mean);
+        assert!((var - 1.0).abs() < 0.03, "var {}", var);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = Rng64::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(rng.gen_range(7) < 7);
+        }
+        // every residue reachable
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.gen_range(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let p = rng.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Rng64::seed_from_u64(9);
+        for &(n, k) in &[(100usize, 5usize), (100, 90), (10, 10), (1000, 2)] {
+            let s = rng.sample_indices(n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "duplicates for n={} k={}", n, k);
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = Rng64::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {}", rate);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng64::seed_from_u64(1);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        let same = (0..16).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 2);
+    }
+}

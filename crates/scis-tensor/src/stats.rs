@@ -1,0 +1,212 @@
+//! Scalar and per-column statistics, NaN-aware.
+//!
+//! Missing cells are encoded as NaN throughout the workspace, so every
+//! statistic here skips NaNs — `nan_mean` of a column is exactly the
+//! "observed mean" the statistical imputers need.
+
+use crate::matrix::Matrix;
+
+/// Mean of the non-NaN entries (`None` if all entries are NaN or empty).
+pub fn nan_mean(values: &[f64]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &v in values {
+        if !v.is_nan() {
+            sum += v;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Population variance of the non-NaN entries (`None` if fewer than 1 value).
+pub fn nan_var(values: &[f64]) -> Option<f64> {
+    let mean = nan_mean(values)?;
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for &v in values {
+        if !v.is_nan() {
+            let d = v - mean;
+            acc += d * d;
+            n += 1;
+        }
+    }
+    Some(acc / n as f64)
+}
+
+/// Standard deviation of the non-NaN entries.
+pub fn nan_std(values: &[f64]) -> Option<f64> {
+    nan_var(values).map(f64::sqrt)
+}
+
+/// Median of the non-NaN entries.
+pub fn nan_median(values: &[f64]) -> Option<f64> {
+    quantile(values, 0.5)
+}
+
+/// Linear-interpolation quantile (`q` in `[0,1]`) of the non-NaN entries.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile: q out of [0,1]");
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+/// Min and max of the non-NaN entries.
+pub fn nan_min_max(values: &[f64]) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut seen = false;
+    for &v in values {
+        if !v.is_nan() {
+            seen = true;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if seen {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+/// Per-column observed means of a matrix; columns with no observed value get
+/// `fallback`.
+pub fn col_nan_means(m: &Matrix, fallback: f64) -> Vec<f64> {
+    (0..m.cols())
+        .map(|j| nan_mean(&m.col(j)).unwrap_or(fallback))
+        .collect()
+}
+
+/// Pearson correlation of two equal-length slices over positions where both
+/// are observed.
+pub fn nan_pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "nan_pearson: length mismatch");
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| !a.is_nan() && !b.is_nan())
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    if pairs.len() < 2 {
+        return None;
+    }
+    let n = pairs.len() as f64;
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (a, b) in pairs {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        None
+    } else {
+        Some(sxy / (sxx.sqrt() * syy.sqrt()))
+    }
+}
+
+/// Mean and sample standard deviation of a slice (no NaN handling) —
+/// the "RMSE (± bias)" aggregation used in the paper's tables.
+pub fn mean_and_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAN: f64 = f64::NAN;
+
+    #[test]
+    fn nan_mean_skips_missing() {
+        assert_eq!(nan_mean(&[1.0, NAN, 3.0]), Some(2.0));
+        assert_eq!(nan_mean(&[NAN, NAN]), None);
+        assert_eq!(nan_mean(&[]), None);
+    }
+
+    #[test]
+    fn nan_var_and_std() {
+        let v = [2.0, 4.0, NAN, 4.0, 4.0, 5.0, 5.0, NAN, 7.0, 9.0];
+        // classic example: population var of 2,4,4,4,5,5,7,9 is 4
+        assert!((nan_var(&v).unwrap() - 4.0).abs() < 1e-12);
+        assert!((nan_std(&v).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert_eq!(nan_median(&[5.0, NAN, 1.0, 3.0]), Some(3.0));
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        assert_eq!(nan_min_max(&[NAN, 2.0, -1.0, NAN]), Some((-1.0, 2.0)));
+        assert_eq!(nan_min_max(&[NAN]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((nan_pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let yneg = [-2.0, -4.0, -6.0, -8.0];
+        assert!((nan_pearson(&x, &yneg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_skips_nan_pairs() {
+        let x = [1.0, 2.0, NAN, 4.0, 100.0];
+        let y = [2.0, 4.0, 6.0, 8.0, NAN];
+        // Only (1,2),(2,4),(4,8) pairs survive → perfectly correlated.
+        assert!((nan_pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_none() {
+        assert_eq!(nan_pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(nan_pearson(&[NAN, 1.0], &[1.0, NAN]), None);
+    }
+
+    #[test]
+    fn mean_and_std_basic() {
+        let (m, s) = mean_and_std(&[1.0, 2.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(mean_and_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_and_std(&[5.0]), (5.0, 0.0));
+    }
+
+    #[test]
+    fn col_nan_means_with_fallback() {
+        let m = Matrix::from_rows(&[&[1.0, NAN], &[3.0, NAN]]);
+        assert_eq!(col_nan_means(&m, 0.5), vec![2.0, 0.5]);
+    }
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Folds the bench_results/logs/*.log outputs into EXPERIMENTS.md at the
+<!-- XXX-RESULTS --> placeholders, as fenced measured blocks."""
+import os, re
+
+LOGS = "bench_results/logs"
+MAP = {
+    "TABLE3-RESULTS": "table3.log",
+    "TABLE4-RESULTS": "table4.log",
+    "FIG2-RESULTS": "fig2.log",
+    "FIG3-RESULTS": "fig3.log",
+    "FIG4-RESULTS": "fig4.log",
+    "TABLE5-RESULTS": "table5.log",  # table5 + table6 share the section
+    "TABLE7-RESULTS": "table7.log",
+    "FIGDIV-RESULTS": "fig_divergence.log",
+}
+
+def load(name):
+    p = os.path.join(LOGS, name)
+    if not os.path.exists(p):
+        return None
+    txt = open(p, encoding="utf-8").read()
+    # drop the per-method progress chatter, keep headers + tables
+    lines = [l for l in txt.splitlines() if not l.startswith("  ") or "done (" not in l]
+    return "\n".join(lines).strip()
+
+s = open("EXPERIMENTS.md", encoding="utf-8").read()
+for marker, log in MAP.items():
+    content = load(log)
+    if content is None:
+        continue
+    extra = ""
+    if marker == "TABLE5-RESULTS":
+        t6 = load("table6.log")
+        if t6:
+            extra = "\n\nTable VI (large recipes):\n\n```text\n" + t6 + "\n```"
+    block = f"Measured:\n\n```text\n{content}\n```{extra}"
+    s = s.replace(f"<!-- {marker} -->", block)
+open("EXPERIMENTS.md", "w", encoding="utf-8").write(s)
+print("filled")

@@ -1,0 +1,167 @@
+//! `scis-impute` — command-line imputation for numeric CSV files.
+//!
+//! ```sh
+//! cargo run --release --bin scis-impute -- INPUT.csv OUTPUT.csv [options]
+//! ```
+//!
+//! The input is a numeric CSV with a header row; empty cells are missing.
+//! The output is the same table with every cell filled. Options:
+//!
+//! * `--method <scis-gain|gain|ginn|mice|missforest|knn|mean|vae>`
+//!   (default `scis-gain`)
+//! * `--epsilon <f64>`   SSE error bound (default 0.001, scis-gain only)
+//! * `--n0 <usize>`      initial sample size (default min(500, N/3))
+//! * `--epochs <usize>`  training epochs (default 100)
+//! * `--seed <u64>`      RNG seed (default 42)
+//! * `--save-model <path>` persist the trained generator (scis-gain)
+//! * `--load-model <path>` impute with a previously saved generator,
+//!   skipping training entirely (scis-gain)
+
+use scis_core::dim::DimConfig;
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_data::csvio::{read_dataset, write_dataset};
+use scis_data::normalize::MinMaxScaler;
+use scis_data::Dataset;
+use scis_imputers::knn::KnnImputer;
+use scis_imputers::mean::MeanImputer;
+use scis_imputers::mice::MiceImputer;
+use scis_imputers::missforest::MissForestImputer;
+use scis_imputers::vaei::VaeImputer;
+use scis_imputers::{GainImputer, GinnImputer, Imputer, TrainConfig};
+use scis_tensor::{Matrix, Rng64};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    input: PathBuf,
+    output: PathBuf,
+    method: String,
+    epsilon: f64,
+    n0: Option<usize>,
+    epochs: usize,
+    seed: u64,
+    save_model: Option<PathBuf>,
+    load_model: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let input = PathBuf::from(args.next().ok_or("missing INPUT.csv")?);
+    let output = PathBuf::from(args.next().ok_or("missing OUTPUT.csv")?);
+    let mut parsed = Args {
+        input,
+        output,
+        method: "scis-gain".into(),
+        epsilon: 0.001,
+        n0: None,
+        epochs: 100,
+        seed: 42,
+        save_model: None,
+        load_model: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{} needs a value", flag));
+        match flag.as_str() {
+            "--method" => parsed.method = value()?,
+            "--epsilon" => {
+                parsed.epsilon = value()?.parse().map_err(|e| format!("--epsilon: {}", e))?
+            }
+            "--n0" => parsed.n0 = Some(value()?.parse().map_err(|e| format!("--n0: {}", e))?),
+            "--epochs" => {
+                parsed.epochs = value()?.parse().map_err(|e| format!("--epochs: {}", e))?
+            }
+            "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("--seed: {}", e))?,
+            "--save-model" => parsed.save_model = Some(PathBuf::from(value()?)),
+            "--load-model" => parsed.load_model = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag {}", other)),
+        }
+    }
+    Ok(parsed)
+}
+
+fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<Matrix, String> {
+    let train = TrainConfig { epochs: args.epochs, ..TrainConfig::default() };
+    match args.method.as_str() {
+        "scis-gain" => {
+            let mut gain = GainImputer::new(train);
+            if let Some(path) = &args.load_model {
+                // pre-trained generator: skip Algorithm 1, just impute
+                gain.load_generator(path).map_err(|e| format!("loading model: {}", e))?;
+                eprintln!("scis-impute: loaded generator from {:?}", path);
+                return Ok(scis_imputers::traits::impute_with_generator_chunked(
+                    &mut gain, ds, 65_536,
+                ));
+            }
+            let n = ds.n_samples();
+            let n0 = args.n0.unwrap_or_else(|| 500.min(n / 3).max(8));
+            if 2 * n0 > n {
+                return Err(format!("n0 = {} too large for {} rows", n0, n));
+            }
+            let mut config =
+                ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+            config.sse.epsilon = args.epsilon;
+            let outcome = Scis::new(config).run(&mut gain, ds, n0, rng);
+            eprintln!(
+                "scis-impute: trained on n* = {} of {} rows (R_t = {:.2}%), SSE {:.2}s",
+                outcome.n_star,
+                outcome.n_total,
+                outcome.training_sample_rate() * 100.0,
+                outcome.sse_time.as_secs_f64()
+            );
+            if let Some(path) = &args.save_model {
+                gain.save_generator(path).map_err(|e| format!("saving model: {}", e))?;
+                eprintln!("scis-impute: saved generator to {:?}", path);
+            }
+            Ok(outcome.imputed)
+        }
+        "gain" => Ok(GainImputer::new(train).impute(ds, rng)),
+        "ginn" => Ok(GinnImputer::new(train).impute(ds, rng)),
+        "mice" => Ok(MiceImputer::default().impute(ds, rng)),
+        "missforest" => Ok(MissForestImputer::default().impute(ds, rng)),
+        "knn" => Ok(KnnImputer::default().impute(ds, rng)),
+        "mean" => Ok(MeanImputer.impute(ds, rng)),
+        "vae" => Ok(VaeImputer { config: train, ..Default::default() }.impute(ds, rng)),
+        other => Err(format!(
+            "unknown method {:?} (try scis-gain, gain, ginn, mice, missforest, knn, mean, vae)",
+            other
+        )),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args().map_err(|e| {
+        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--seed s]", e)
+    })?;
+    let mut ds = read_dataset(&args.input).map_err(|e| format!("reading {:?}: {}", args.input, e))?;
+    // detect ordinal-coded categorical columns so methods with
+    // heterogeneous heads treat them properly
+    ds.kinds = scis_data::dataset::infer_kinds(&ds.values, 16);
+    eprintln!(
+        "scis-impute: {} rows x {} cols, {:.2}% missing, method {}",
+        ds.n_samples(),
+        ds.n_features(),
+        ds.missing_rate() * 100.0,
+        args.method
+    );
+    if ds.missing_rate() == 0.0 {
+        eprintln!("scis-impute: nothing to do (no missing cells); copying through");
+    }
+    let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&ds);
+    let mut rng = Rng64::seed_from_u64(args.seed);
+    let imputed_norm = impute(&args, &norm, &mut rng)?;
+    let imputed = scaler.inverse_transform(&imputed_norm);
+    let out_ds = Dataset::from_values(imputed);
+    write_dataset(&args.output, &out_ds).map_err(|e| format!("writing {:?}: {}", args.output, e))?;
+    eprintln!("scis-impute: wrote {:?}", args.output);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+
+//! SCIS reproduction facade crate.
+pub use scis_core as core;
+pub use scis_data as data;
+pub use scis_imputers as imputers;
+pub use scis_nn as nn;
+pub use scis_ot as ot;
+pub use scis_tensor as tensor;

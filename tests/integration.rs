@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the full SCIS stack — corpus recipe →
+//! normalization → Algorithm 1 → metrics — plus determinism and the
+//! method-zoo sanity sweep.
+
+use scis_core::dim::{DimConfig, LambdaMode};
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_core::sse::SseConfig;
+use scis_data::metrics::{make_holdout, rmse_vs_ground_truth};
+use scis_data::normalize::MinMaxScaler;
+use scis_data::CovidRecipe;
+use scis_imputers::{GainImputer, Imputer, TrainConfig};
+use scis_tensor::Rng64;
+
+fn fast_scis_config() -> ScisConfig {
+    ScisConfig {
+        dim: DimConfig {
+            train: TrainConfig { epochs: 20, batch_size: 64, learning_rate: 0.005, dropout: 0.0 },
+            lambda: LambdaMode::Relative(0.1),
+            max_sinkhorn_iters: 100,
+            alpha: 10.0,
+            critic: None,
+            loss: scis_core::dim::GenerativeLoss::MaskedSinkhorn,
+        },
+        sse: SseConfig { epsilon: 0.02, ..Default::default() },
+    }
+}
+
+#[test]
+fn full_pipeline_on_trial_recipe() {
+    let inst = CovidRecipe::Trial.generate(0.1, 42);
+    let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
+    let gt_norm = scaler.transform(&inst.ground_truth);
+
+    let mut rng = Rng64::seed_from_u64(42);
+    let config = fast_scis_config();
+    let mut gain = GainImputer::new(config.dim.train);
+    let outcome = Scis::new(config).run(&mut gain, &norm, inst.n0, &mut rng);
+
+    // structural invariants
+    assert_eq!(outcome.imputed.shape(), norm.values.shape());
+    assert!(!outcome.imputed.has_nan());
+    for (i, j, v) in norm.observed_cells() {
+        assert_eq!(outcome.imputed[(i, j)], v, "observed cell modified at ({},{})", i, j);
+    }
+    assert!(outcome.n_star >= outcome.n0);
+    assert!(outcome.n_star <= outcome.n_total);
+
+    // quality: better than mean fill on this correlated recipe
+    let e = rmse_vs_ground_truth(&norm, &gt_norm, &outcome.imputed);
+    let mut mean = scis_imputers::mean::MeanImputer;
+    let e_mean = rmse_vs_ground_truth(&norm, &gt_norm, &mean.impute(&norm, &mut rng));
+    assert!(e < e_mean, "SCIS-GAIN rmse {} vs mean {}", e, e_mean);
+}
+
+#[test]
+fn pipeline_is_deterministic_under_fixed_seed() {
+    let inst = CovidRecipe::Emergency.generate(0.05, 7);
+    let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
+    let run = || {
+        let mut rng = Rng64::seed_from_u64(123);
+        let config = fast_scis_config();
+        let mut gain = GainImputer::new(config.dim.train);
+        Scis::new(config).run(&mut gain, &norm, inst.n0.min(norm.n_samples() / 3), &mut rng)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.n_star, b.n_star);
+    assert_eq!(a.imputed, b.imputed);
+}
+
+#[test]
+fn holdout_protocol_matches_paper_semantics() {
+    // hiding 20% of observed cells must leave the original missing cells
+    // missing and reduce the observed count by exactly the holdout size
+    let inst = CovidRecipe::Response.generate(0.002, 5);
+    let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
+    let before = norm.mask.count_observed();
+    let mut rng = Rng64::seed_from_u64(5);
+    let (reduced, holdout) = make_holdout(&norm, 0.2, &mut rng);
+    assert_eq!(reduced.mask.count_observed() + holdout.len(), before);
+    // a perfect oracle gets RMSE 0
+    let mut oracle = norm.values.clone();
+    oracle.map_inplace(|v| if v.is_nan() { 0.0 } else { v });
+    assert_eq!(holdout.rmse(&oracle), 0.0);
+}
+
+#[test]
+fn deep_imputers_beat_mean_on_a_correlated_recipe() {
+    use scis_imputers::midae::MidaeImputer;
+    use scis_imputers::vaei::VaeImputer;
+
+    let inst = CovidRecipe::Trial.generate(0.05, 11);
+    let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
+    let gt_norm = scaler.transform(&inst.ground_truth);
+    let mut rng = Rng64::seed_from_u64(11);
+    let mut mean = scis_imputers::mean::MeanImputer;
+    let e_mean = rmse_vs_ground_truth(&norm, &gt_norm, &mean.impute(&norm, &mut rng));
+
+    let train = TrainConfig { epochs: 40, batch_size: 64, learning_rate: 0.005, dropout: 0.1 };
+    let mut midae = MidaeImputer { config: train, hidden: 32, n_imputations: 3 };
+    let e_midae = rmse_vs_ground_truth(&norm, &gt_norm, &midae.impute(&norm, &mut rng));
+    assert!(e_midae < e_mean, "midae {} vs mean {}", e_midae, e_mean);
+
+    let mut vae = VaeImputer { config: train, latent: 4, hidden: 16, beta: 1e-4 };
+    let e_vae = rmse_vs_ground_truth(&norm, &gt_norm, &vae.impute(&norm, &mut rng));
+    assert!(e_vae < e_mean, "vaei {} vs mean {}", e_vae, e_mean);
+}
+
+#[test]
+fn scis_uses_fewer_training_samples_than_full_on_large_recipe() {
+    // the headline claim at small scale: n* ≪ N on a big, redundant dataset
+    let inst = CovidRecipe::Response.generate(0.02, 13); // ~4000 rows
+    let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
+    let mut rng = Rng64::seed_from_u64(13);
+    let mut config = fast_scis_config();
+    config.sse.epsilon = 0.01;
+    let mut gain = GainImputer::new(config.dim.train);
+    let outcome = Scis::new(config).run(&mut gain, &norm, inst.n0, &mut rng);
+    assert!(
+        outcome.training_sample_rate() < 0.8,
+        "expected n* well below N, got R_t = {:.1}%",
+        outcome.training_sample_rate() * 100.0
+    );
+}
+
+#[test]
+fn normalization_roundtrip_through_imputation() {
+    let inst = CovidRecipe::Emergency.generate(0.03, 17);
+    let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
+    let mut rng = Rng64::seed_from_u64(17);
+    let mut mean = scis_imputers::mean::MeanImputer;
+    let imputed = mean.impute(&norm, &mut rng);
+    let back = scaler.inverse_transform(&imputed);
+    // observed cells come back to their original (pre-normalization) values
+    for (i, j, v) in inst.dataset.observed_cells() {
+        assert!((back[(i, j)] - v).abs() < 1e-9, "({},{}): {} vs {}", i, j, back[(i, j)], v);
+    }
+}
