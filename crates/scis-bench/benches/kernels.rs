@@ -1,46 +1,67 @@
-//! Criterion microbenchmarks for the hot kernels: Sinkhorn solves at the
-//! paper's batch size, the MS-divergence gradient, GAIN adversarial steps,
-//! and the GINN graph build whose O(N²) growth explains the paper's
-//! Table IV dashes.
+//! Microbenchmarks for the hot kernels: Sinkhorn solves at the paper's
+//! batch size, the MS-divergence gradient, GAIN adversarial steps, and the
+//! GINN graph build whose O(N²) growth explains the paper's Table IV dashes.
+//!
+//! The container has no cargo registry access, so this is a self-contained
+//! `harness = false` binary with wall-clock timing instead of criterion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use scis_imputers::{AdversarialImputer, GainImputer, GinnImputer, TrainConfig};
 use scis_nn::Adam;
 use scis_ot::{ms_loss_grad, sinkhorn_uniform, SinkhornOptions};
 use scis_tensor::{Matrix, Rng64};
 
-fn bench_sinkhorn(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sinkhorn_solve");
+/// Times `body` over `iters` runs after one warm-up, printing mean per-run.
+fn bench<R>(name: &str, iters: usize, mut body: impl FnMut() -> R) {
+    black_box(body());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(body());
+    }
+    let mean = start.elapsed().as_secs_f64() / iters as f64;
+    let (value, unit) = if mean >= 1e-3 {
+        (mean * 1e3, "ms")
+    } else {
+        (mean * 1e6, "µs")
+    };
+    println!("{name:<32} {value:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+fn bench_sinkhorn() {
     for &n in &[32usize, 64, 128] {
         let mut rng = Rng64::seed_from_u64(1);
         let cost = Matrix::from_fn(n, n, |_, _| rng.uniform());
-        let opts = SinkhornOptions { lambda: 0.1, max_iters: 200, tol: 1e-8 };
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| sinkhorn_uniform(std::hint::black_box(&cost), &opts))
+        let opts = SinkhornOptions {
+            lambda: 0.1,
+            max_iters: 200,
+            tol: 1e-8,
+        };
+        bench(&format!("sinkhorn_solve/{n}"), 20, || {
+            sinkhorn_uniform(black_box(&cost), &opts)
         });
     }
-    group.finish();
 }
 
-fn bench_ms_gradient(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ms_loss_grad");
+fn bench_ms_gradient() {
     for &(n, d) in &[(64usize, 8usize), (128, 8), (128, 32)] {
         let mut rng = Rng64::seed_from_u64(2);
         let x = Matrix::from_fn(n, d, |_, _| rng.uniform());
         let xbar = Matrix::from_fn(n, d, |_, _| rng.uniform());
         let mask = Matrix::from_fn(n, d, |_, _| if rng.bernoulli(0.7) { 1.0 } else { 0.0 });
-        let opts = SinkhornOptions { lambda: 0.1, max_iters: 100, tol: 1e-7 };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{}x{}", n, d)),
-            &n,
-            |b, _| b.iter(|| ms_loss_grad(&xbar, &x, &mask, &opts)),
-        );
+        let opts = SinkhornOptions {
+            lambda: 0.1,
+            max_iters: 100,
+            tol: 1e-7,
+        };
+        bench(&format!("ms_loss_grad/{n}x{d}"), 10, || {
+            ms_loss_grad(&xbar, &x, &mask, &opts)
+        });
     }
-    group.finish();
 }
 
-fn bench_gain_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gain_adversarial_step");
+fn bench_gain_step() {
     for &d in &[8usize, 32] {
         let mut rng = Rng64::seed_from_u64(3);
         let n = 128;
@@ -50,31 +71,25 @@ fn bench_gain_step(c: &mut Criterion) {
         gain.init_networks(d, &mut rng);
         let mut opt_g = Adam::new(0.001);
         let mut opt_d = Adam::new(0.001);
-        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
-            b.iter(|| gain.train_batch(&x, &mask, &mut opt_g, &mut opt_d, &mut rng))
+        bench(&format!("gain_adversarial_step/{d}"), 20, || {
+            gain.train_batch(&x, &mask, &mut opt_g, &mut opt_d, &mut rng)
         });
     }
-    group.finish();
 }
 
-fn bench_ginn_graph(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ginn_graph_build");
-    group.sample_size(10);
+fn bench_ginn_graph() {
     for &n in &[500usize, 1000, 2000] {
         let mut rng = Rng64::seed_from_u64(4);
         let x = Matrix::from_fn(n, 8, |_, _| rng.uniform());
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| GinnImputer::build_graph(std::hint::black_box(&x), 5))
+        bench(&format!("ginn_graph_build/{n}"), 5, || {
+            GinnImputer::build_graph(black_box(&x), 5)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_sinkhorn,
-    bench_ms_gradient,
-    bench_gain_step,
-    bench_ginn_graph
-);
-criterion_main!(benches);
+fn main() {
+    bench_sinkhorn();
+    bench_ms_gradient();
+    bench_gain_step();
+    bench_ginn_graph();
+}

@@ -31,7 +31,10 @@ fn main() {
         cfg.budget.as_secs(),
         cfg.epochs
     );
-    let scale = cfg.scale.min(cfg.max_rows as f64 / CovidRecipe::Trial.full_samples() as f64).min(1.0);
+    let scale = cfg
+        .scale
+        .min(cfg.max_rows as f64 / CovidRecipe::Trial.full_samples() as f64)
+        .min(1.0);
     let inst = CovidRecipe::Trial.generate(scale, 55);
     let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
     let mut rng = Rng64::seed_from_u64(55);
@@ -52,31 +55,56 @@ fn main() {
         let ds = train_ds.clone();
         let mut r = rng.fork();
         let t = Instant::now();
-        let out = run_with_budget(cfg.budget, move || GainImputer::new(train).impute(&ds, &mut r));
-        report("GAIN (native JS)", out.map(|m| holdout.rmse(&m)), t.elapsed().as_secs_f64());
+        let out = run_with_budget(cfg.budget, move || {
+            GainImputer::new(train).impute(&ds, &mut r)
+        });
+        report(
+            "GAIN (native JS)",
+            out.map(|m| holdout.rmse(&m)),
+            t.elapsed().as_secs_f64(),
+        );
     }
 
     // DIM variants
     let variants: Vec<(String, DimConfig)> = vec![
         (
             "DIM data-space (rel 0.1)".into(),
-            DimConfig { train, ..Default::default() },
+            DimConfig {
+                train,
+                ..Default::default()
+            },
         ),
         (
             "DIM critic".into(),
-            DimConfig { train, critic: Some(CriticConfig::default()), ..Default::default() },
+            DimConfig {
+                train,
+                critic: Some(CriticConfig::default()),
+                ..Default::default()
+            },
         ),
         (
             "DIM data-space (rel 0.02)".into(),
-            DimConfig { train, lambda: LambdaMode::Relative(0.02), ..Default::default() },
+            DimConfig {
+                train,
+                lambda: LambdaMode::Relative(0.02),
+                ..Default::default()
+            },
         ),
         (
             "DIM data-space (rel 0.5)".into(),
-            DimConfig { train, lambda: LambdaMode::Relative(0.5), ..Default::default() },
+            DimConfig {
+                train,
+                lambda: LambdaMode::Relative(0.5),
+                ..Default::default()
+            },
         ),
         (
             "DIM data-space (abs 130)".into(),
-            DimConfig { train, lambda: LambdaMode::Absolute(130.0), ..Default::default() },
+            DimConfig {
+                train,
+                lambda: LambdaMode::Absolute(130.0),
+                ..Default::default()
+            },
         ),
         (
             "DIM sliced-Wasserstein".into(),
@@ -96,7 +124,11 @@ fn main() {
             let _ = train_dim(&mut gain, &ds, &dim, &mut r);
             impute_with_generator(&mut gain, &ds, &mut r)
         });
-        report(&name, out.map(|m| holdout.rmse(&m)), t.elapsed().as_secs_f64());
+        report(
+            &name,
+            out.map(|m| holdout.rmse(&m)),
+            t.elapsed().as_secs_f64(),
+        );
     }
     finish_process();
 }

@@ -26,7 +26,12 @@ fn main() {
     let cfg = BenchConfig::from_env(1.0, 1, 900);
     let mut rng = Rng64::seed_from_u64(321);
     let synth = generate(
-        &SynthConfig { n_samples: 4_000, n_features: 10, latent_dim: 3, ..Default::default() },
+        &SynthConfig {
+            n_samples: 4_000,
+            n_features: 10,
+            latent_dim: 3,
+            ..Default::default()
+        },
         &mut rng,
     );
     println!(
@@ -63,8 +68,13 @@ fn main() {
         let ds2 = norm.clone();
         let mut r2 = Rng64::seed_from_u64(11);
         let scis = run_with_budget(cfg.budget, move || {
-            let config =
-                ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+            let config = ScisConfig {
+                dim: DimConfig {
+                    train,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
             let mut gain = GainImputer::new(train);
             let outcome = Scis::new(config).run(&mut gain, &ds2, 300, &mut r2);
             let rt = outcome.training_sample_rate();

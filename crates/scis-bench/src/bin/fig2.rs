@@ -28,9 +28,16 @@ fn main() {
         cfg.epochs
     );
 
-    let default = [CovidRecipe::Trial, CovidRecipe::Emergency, CovidRecipe::Response];
+    let default = [
+        CovidRecipe::Trial,
+        CovidRecipe::Emergency,
+        CovidRecipe::Response,
+    ];
     for recipe in recipes_from_env(&default) {
-        let scale = cfg.scale.min(cfg.max_rows as f64 / recipe.full_samples() as f64).min(1.0);
+        let scale = cfg
+            .scale
+            .min(cfg.max_rows as f64 / recipe.full_samples() as f64)
+            .min(1.0);
         let inst = recipe.generate(scale, 77);
         let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
         println!(
@@ -71,8 +78,13 @@ fn main() {
             let n0 = inst.n0.min(train_ds.n_samples() / 3);
             let t = Instant::now();
             let scis_res = run_with_budget(cfg.budget, move || {
-                let config =
-                    ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+                let config = ScisConfig {
+                    dim: DimConfig {
+                        train,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
                 let mut gain = GainImputer::new(train);
                 let outcome = Scis::new(config).run(&mut gain, &ds2, n0, &mut rng2);
                 let rt = outcome.training_sample_rate();

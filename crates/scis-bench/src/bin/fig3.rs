@@ -25,9 +25,16 @@ fn main() {
         cfg.epochs
     );
 
-    let default = [CovidRecipe::Trial, CovidRecipe::Emergency, CovidRecipe::Response];
+    let default = [
+        CovidRecipe::Trial,
+        CovidRecipe::Emergency,
+        CovidRecipe::Response,
+    ];
     for recipe in recipes_from_env(&default) {
-        let scale = cfg.scale.min(cfg.max_rows as f64 / recipe.full_samples() as f64).min(1.0);
+        let scale = cfg
+            .scale
+            .min(cfg.max_rows as f64 / recipe.full_samples() as f64)
+            .min(1.0);
         let inst = recipe.generate(scale, 88);
         let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
         let mut rng = Rng64::seed_from_u64(600);
@@ -55,7 +62,10 @@ fn main() {
         let mut rng_u = rng.fork();
         let r_u = run_with_budget(cfg.budget, move || {
             let mut gain = GainImputer::new(train);
-            let dim = DimConfig { train, ..Default::default() };
+            let dim = DimConfig {
+                train,
+                ..Default::default()
+            };
             let _ = train_dim(&mut gain, &ds_u, &dim, &mut rng_u);
             impute_with_generator(&mut gain, &ds_u, &mut rng_u)
         })
@@ -75,13 +85,19 @@ fn main() {
                     let t = std::time::Instant::now();
                     let res = run_with_budget(cfg.budget, move || {
                         let mut config = ScisConfig {
-                            dim: DimConfig { train, ..Default::default() },
+                            dim: DimConfig {
+                                train,
+                                ..Default::default()
+                            },
                             ..Default::default()
                         };
                         config.sse.epsilon = eps;
                         let mut gain = GainImputer::new(train);
                         let outcome = Scis::new(config).run(&mut gain, &ds_s, n0, &mut rng_s);
-                        { let rt = outcome.training_sample_rate(); (outcome.imputed, rt) }
+                        {
+                            let rt = outcome.training_sample_rate();
+                            (outcome.imputed, rt)
+                        }
                     });
                     match res {
                         Some((imputed, r2)) => println!(

@@ -25,9 +25,16 @@ fn main() {
         cfg.epochs
     );
 
-    let default = [CovidRecipe::Trial, CovidRecipe::Emergency, CovidRecipe::Response];
+    let default = [
+        CovidRecipe::Trial,
+        CovidRecipe::Emergency,
+        CovidRecipe::Response,
+    ];
     for recipe in recipes_from_env(&default) {
-        let scale = cfg.scale.min(cfg.max_rows as f64 / recipe.full_samples() as f64).min(1.0);
+        let scale = cfg
+            .scale
+            .min(cfg.max_rows as f64 / recipe.full_samples() as f64)
+            .min(1.0);
         let inst = recipe.generate(scale, 99);
         let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
         let mut rng = Rng64::seed_from_u64(700);
@@ -52,11 +59,19 @@ fn main() {
             let mut run_rng = rng.fork();
             let t = std::time::Instant::now();
             let res = run_with_budget(cfg.budget, move || {
-                let config =
-                    ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+                let config = ScisConfig {
+                    dim: DimConfig {
+                        train,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
                 let mut gain = GainImputer::new(train);
                 let outcome = Scis::new(config).run(&mut gain, &ds, n0, &mut run_rng);
-                { let rt = outcome.training_sample_rate(); (outcome.imputed, rt, outcome.n_star) }
+                {
+                    let rt = outcome.training_sample_rate();
+                    (outcome.imputed, rt, outcome.n_star)
+                }
             });
             match res {
                 Some((imputed, rt, n_star)) => println!(

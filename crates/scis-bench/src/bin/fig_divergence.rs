@@ -24,7 +24,11 @@ fn main() {
     let mask = Matrix::from_fn(n, 1, |_, _| if rng.bernoulli(q) { 1.0 } else { 0.0 });
     let q_emp = mask.mean();
     let x0 = Matrix::zeros(n, 1);
-    let opts = SinkhornOptions { lambda, max_iters: 20_000, tol: 1e-11 };
+    let opts = SinkhornOptions {
+        lambda,
+        max_iters: 20_000,
+        tol: 1e-11,
+    };
     let entropy_const = lambda * ((1.0 - q_emp) * (1.0 - q_emp).ln() + q_emp * q_emp.ln());
 
     println!("Example 1: p0 = δ_0 vs p_θ = δ_θ, MCAR mask ~ Ber({q}), λ = {lambda}");

@@ -51,16 +51,22 @@ fn main() {
         let ds1 = train_ds.clone();
         let mut r1 = rng.fork();
         let t = Instant::now();
-        let gain_res =
-            run_with_budget(cfg.budget, move || GainImputer::new(train).impute(&ds1, &mut r1));
+        let gain_res = run_with_budget(cfg.budget, move || {
+            GainImputer::new(train).impute(&ds1, &mut r1)
+        });
         let gain_time = t.elapsed().as_secs_f64();
 
         let ds2 = train_ds.clone();
         let mut r2 = rng.fork();
         let t = Instant::now();
         let scis_res = run_with_budget(cfg.budget, move || {
-            let config =
-                ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+            let config = ScisConfig {
+                dim: DimConfig {
+                    train,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
             let mut gain = GainImputer::new(train);
             let outcome = Scis::new(config).run(&mut gain, &ds2, n0, &mut r2);
             let rt = outcome.training_sample_rate();

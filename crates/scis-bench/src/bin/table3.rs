@@ -23,7 +23,11 @@ fn main() {
     );
     let csv = results_dir().join("table3.csv");
 
-    for recipe in [CovidRecipe::Trial, CovidRecipe::Emergency, CovidRecipe::Response] {
+    for recipe in [
+        CovidRecipe::Trial,
+        CovidRecipe::Emergency,
+        CovidRecipe::Response,
+    ] {
         let (dataset, n0) = load_recipe(recipe, &cfg, 1000 + recipe.features() as u64);
         println!(
             "\n[{}] {} x {} @ {:.2}% missing, n0 = {}",
@@ -36,7 +40,11 @@ fn main() {
         let mut rows = Vec::new();
         for id in MethodId::TABLE3 {
             let out = evaluate_method(id, &dataset, n0, &cfg, 42);
-            println!("  {} done ({})", id.name(), if out.finished { "ok" } else { "—" });
+            println!(
+                "  {} done ({})",
+                id.name(),
+                if out.finished { "ok" } else { "—" }
+            );
             rows.push(out);
         }
         print_table(recipe.name(), &rows);

@@ -24,7 +24,11 @@ fn main() {
     );
     let csv = results_dir().join("table4.csv");
 
-    for recipe in [CovidRecipe::Search, CovidRecipe::Weather, CovidRecipe::Surveil] {
+    for recipe in [
+        CovidRecipe::Search,
+        CovidRecipe::Weather,
+        CovidRecipe::Surveil,
+    ] {
         let (dataset, n0) = load_recipe(recipe, &cfg, 2000 + recipe.features() as u64);
         println!(
             "\n[{}] {} x {} @ {:.2}% missing, n0 = {}",
@@ -37,7 +41,11 @@ fn main() {
         let mut rows = Vec::new();
         for id in MethodId::TABLE4 {
             let out = evaluate_method(id, &dataset, n0, &cfg, 43);
-            println!("  {} done ({})", id.name(), if out.finished { "ok" } else { "—" });
+            println!(
+                "  {} done ({})",
+                id.name(),
+                if out.finished { "ok" } else { "—" }
+            );
             rows.push(out);
         }
         print_table(recipe.name(), &rows);

@@ -22,13 +22,26 @@ fn main() {
     );
     let csv = results_dir().join("table5.csv");
 
-    for recipe in [CovidRecipe::Trial, CovidRecipe::Emergency, CovidRecipe::Response] {
+    for recipe in [
+        CovidRecipe::Trial,
+        CovidRecipe::Emergency,
+        CovidRecipe::Response,
+    ] {
         let (dataset, n0) = load_recipe(recipe, &cfg, 3000 + recipe.features() as u64);
-        println!("\n[{}] {} rows, n0 = {}", recipe.name(), dataset.n_samples(), n0);
+        println!(
+            "\n[{}] {} rows, n0 = {}",
+            recipe.name(),
+            dataset.n_samples(),
+            n0
+        );
         let mut rows = Vec::new();
         for id in MethodId::ABLATION {
             let out = evaluate_method(id, &dataset, n0, &cfg, 44);
-            println!("  {} done ({})", id.name(), if out.finished { "ok" } else { "—" });
+            println!(
+                "  {} done ({})",
+                id.name(),
+                if out.finished { "ok" } else { "—" }
+            );
             rows.push(out);
         }
         print_table(recipe.name(), &rows);

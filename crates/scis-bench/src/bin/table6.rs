@@ -23,13 +23,26 @@ fn main() {
     );
     let csv = results_dir().join("table6.csv");
 
-    for recipe in [CovidRecipe::Search, CovidRecipe::Weather, CovidRecipe::Surveil] {
+    for recipe in [
+        CovidRecipe::Search,
+        CovidRecipe::Weather,
+        CovidRecipe::Surveil,
+    ] {
         let (dataset, n0) = load_recipe(recipe, &cfg, 4000 + recipe.features() as u64);
-        println!("\n[{}] {} rows, n0 = {}", recipe.name(), dataset.n_samples(), n0);
+        println!(
+            "\n[{}] {} rows, n0 = {}",
+            recipe.name(),
+            dataset.n_samples(),
+            n0
+        );
         let mut rows = Vec::new();
         for id in MethodId::ABLATION {
             let out = evaluate_method(id, &dataset, n0, &cfg, 45);
-            println!("  {} done ({})", id.name(), if out.finished { "ok" } else { "—" });
+            println!(
+                "  {} done ({})",
+                id.name(),
+                if out.finished { "ok" } else { "—" }
+            );
             rows.push(out);
         }
         print_table(recipe.name(), &rows);

@@ -37,12 +37,36 @@ fn main() {
         cfg.epochs
     );
     let tasks = [
-        Task { recipe: CovidRecipe::Trial, classification: true, scale_override: None },
-        Task { recipe: CovidRecipe::Surveil, classification: true, scale_override: Some(0.002) },
-        Task { recipe: CovidRecipe::Emergency, classification: false, scale_override: None },
-        Task { recipe: CovidRecipe::Response, classification: false, scale_override: Some(0.02) },
-        Task { recipe: CovidRecipe::Search, classification: false, scale_override: Some(0.005) },
-        Task { recipe: CovidRecipe::Weather, classification: false, scale_override: Some(0.002) },
+        Task {
+            recipe: CovidRecipe::Trial,
+            classification: true,
+            scale_override: None,
+        },
+        Task {
+            recipe: CovidRecipe::Surveil,
+            classification: true,
+            scale_override: Some(0.002),
+        },
+        Task {
+            recipe: CovidRecipe::Emergency,
+            classification: false,
+            scale_override: None,
+        },
+        Task {
+            recipe: CovidRecipe::Response,
+            classification: false,
+            scale_override: Some(0.02),
+        },
+        Task {
+            recipe: CovidRecipe::Search,
+            classification: false,
+            scale_override: Some(0.005),
+        },
+        Task {
+            recipe: CovidRecipe::Weather,
+            classification: false,
+            scale_override: Some(0.002),
+        },
     ];
 
     println!(
@@ -52,7 +76,9 @@ fn main() {
     println!("{}", "-".repeat(46));
     for task in &tasks {
         let scale = task.scale_override.unwrap_or(cfg.scale);
-        let scale = scale.min(cfg.max_rows as f64 / task.recipe.full_samples() as f64).min(1.0);
+        let scale = scale
+            .min(cfg.max_rows as f64 / task.recipe.full_samples() as f64)
+            .min(1.0);
         let inst = task.recipe.generate(scale, 111);
         let d = inst.dataset.n_features();
         let target_col = d - 1;
@@ -74,7 +100,10 @@ fn main() {
                 }
                 m
             },
-            kinds: feature_cols.iter().map(|&j| inst.dataset.kinds[j].clone()).collect(),
+            kinds: feature_cols
+                .iter()
+                .map(|&j| inst.dataset.kinds[j].clone())
+                .collect(),
         };
         let (norm, _) = MinMaxScaler::fit_transform_dataset(&fds);
         let target: Vec<f64> = inst.ground_truth.col(target_col);
@@ -93,8 +122,13 @@ fn main() {
         let ds2 = norm.clone();
         let mut r2 = rng.fork();
         let scis_imp = run_with_budget(cfg.budget, move || {
-            let config =
-                ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+            let config = ScisConfig {
+                dim: DimConfig {
+                    train,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
             let mut gain = GainImputer::new(train);
             Scis::new(config).run(&mut gain, &ds2, n0, &mut r2).imputed
         });

@@ -38,11 +38,19 @@ impl BenchConfig {
     pub fn from_env(default_scale: f64, default_seeds: u64, default_budget_s: u64) -> Self {
         let get = |k: &str| std::env::var(k).ok();
         Self {
-            scale: get("SCALE").and_then(|v| v.parse().ok()).unwrap_or(default_scale),
-            max_rows: get("MAXROWS").and_then(|v| v.parse().ok()).unwrap_or(usize::MAX),
-            seeds: get("SEEDS").and_then(|v| v.parse().ok()).unwrap_or(default_seeds),
+            scale: get("SCALE")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_scale),
+            max_rows: get("MAXROWS")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(usize::MAX),
+            seeds: get("SEEDS")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_seeds),
             budget: Duration::from_secs(
-                get("BUDGET").and_then(|v| v.parse().ok()).unwrap_or(default_budget_s),
+                get("BUDGET")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(default_budget_s),
             ),
             epochs: get("EPOCHS").and_then(|v| v.parse().ok()).unwrap_or(30),
             holdout_frac: 0.2,
@@ -52,7 +60,10 @@ impl BenchConfig {
     /// Training schedule derived from this config (paper defaults
     /// otherwise: batch 128, lr 0.001, dropout 0.5).
     pub fn train_config(&self) -> TrainConfig {
-        TrainConfig { epochs: self.epochs, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: self.epochs,
+            ..TrainConfig::default()
+        }
     }
 }
 
@@ -145,7 +156,14 @@ pub fn evaluate_method(
     let (rmse_mean, rmse_std) = mean_and_std(&rmses);
     let (time_s, _) = mean_and_std(&times);
     let (rt_percent, _) = mean_and_std(&rts);
-    RunOutcome { method: id.name(), rmse_mean, rmse_std, time_s, rt_percent, finished: true }
+    RunOutcome {
+        method: id.name(),
+        rmse_mean,
+        rmse_std,
+        time_s,
+        rt_percent,
+        finished: true,
+    }
 }
 
 /// Parses the `RECIPES` env var (comma-separated names) into recipes,

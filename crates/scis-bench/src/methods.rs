@@ -14,8 +14,8 @@ use scis_imputers::knn::KnnImputer;
 use scis_imputers::mean::{MeanImputer, MedianImputer};
 use scis_imputers::mice::MiceImputer;
 use scis_imputers::midae::MidaeImputer;
-use scis_imputers::miwae::MiwaeImputer;
 use scis_imputers::missforest::MissForestImputer;
+use scis_imputers::miwae::MiwaeImputer;
 use scis_imputers::rrsi::RrsiImputer;
 use scis_imputers::traits::impute_with_generator;
 use scis_imputers::vaei::VaeImputer;
@@ -142,58 +142,117 @@ impl MethodId {
             MethodId::MissF => {
                 // forest size scaled down from the paper's 100 trees to keep
                 // laptop runs feasible; the family-level ordering holds
-                let mut m = MissForestImputer { n_trees: 30, max_iter: 3, ..Default::default() };
+                let mut m = MissForestImputer {
+                    n_trees: 30,
+                    max_iter: 3,
+                    ..Default::default()
+                };
                 (m.impute(ds, rng), 1.0)
             }
             MethodId::Baran => (BoostImputer::default().impute(ds, rng), 1.0),
             MethodId::Mice => (MiceImputer::default().impute(ds, rng), 1.0),
-            MethodId::DataWig => {
-                (DataWigImputer { config: train, ..Default::default() }.impute(ds, rng), 1.0)
-            }
-            MethodId::Rrsi => {
-                (RrsiImputer { config: train, ..Default::default() }.impute(ds, rng), 1.0)
-            }
-            MethodId::Midae => {
-                (MidaeImputer { config: train, ..Default::default() }.impute(ds, rng), 1.0)
-            }
-            MethodId::Vaei => {
-                (VaeImputer { config: train, ..Default::default() }.impute(ds, rng), 1.0)
-            }
-            MethodId::Miwae => {
-                (MiwaeImputer { config: train, ..Default::default() }.impute(ds, rng), 1.0)
-            }
-            MethodId::Eddi => {
-                (EddiImputer { config: train, ..Default::default() }.impute(ds, rng), 1.0)
-            }
-            MethodId::Hivae => {
-                (HivaeImputer { config: train, ..Default::default() }.impute(ds, rng), 1.0)
-            }
+            MethodId::DataWig => (
+                DataWigImputer {
+                    config: train,
+                    ..Default::default()
+                }
+                .impute(ds, rng),
+                1.0,
+            ),
+            MethodId::Rrsi => (
+                RrsiImputer {
+                    config: train,
+                    ..Default::default()
+                }
+                .impute(ds, rng),
+                1.0,
+            ),
+            MethodId::Midae => (
+                MidaeImputer {
+                    config: train,
+                    ..Default::default()
+                }
+                .impute(ds, rng),
+                1.0,
+            ),
+            MethodId::Vaei => (
+                VaeImputer {
+                    config: train,
+                    ..Default::default()
+                }
+                .impute(ds, rng),
+                1.0,
+            ),
+            MethodId::Miwae => (
+                MiwaeImputer {
+                    config: train,
+                    ..Default::default()
+                }
+                .impute(ds, rng),
+                1.0,
+            ),
+            MethodId::Eddi => (
+                EddiImputer {
+                    config: train,
+                    ..Default::default()
+                }
+                .impute(ds, rng),
+                1.0,
+            ),
+            MethodId::Hivae => (
+                HivaeImputer {
+                    config: train,
+                    ..Default::default()
+                }
+                .impute(ds, rng),
+                1.0,
+            ),
             MethodId::Gain => (GainImputer::new(train).impute(ds, rng), 1.0),
             MethodId::Ginn => (GinnImputer::new(train).impute(ds, rng), 1.0),
             MethodId::ScisGain => {
-                let config = ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+                let config = ScisConfig {
+                    dim: DimConfig {
+                        train,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
                 let mut gain = GainImputer::new(train);
                 let outcome = Scis::new(config).run(&mut gain, ds, n0, rng);
                 let rt = outcome.training_sample_rate();
                 (outcome.imputed, rt)
             }
             MethodId::ScisGinn => {
-                let config = ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+                let config = ScisConfig {
+                    dim: DimConfig {
+                        train,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
                 let mut ginn = GinnImputer::new(train);
                 let outcome = Scis::new(config).run(&mut ginn, ds, n0, rng);
                 let rt = outcome.training_sample_rate();
                 (outcome.imputed, rt)
             }
             MethodId::DimGain => {
-                let cfg = DimConfig { train, ..Default::default() };
+                let cfg = DimConfig {
+                    train,
+                    ..Default::default()
+                };
                 let mut gain = GainImputer::new(train);
                 let _ = train_dim(&mut gain, ds, &cfg, rng);
                 (impute_with_generator(&mut gain, ds, rng), 1.0)
             }
             MethodId::FixedDimGain => {
-                let cfg = DimConfig { train, ..Default::default() };
+                let cfg = DimConfig {
+                    train,
+                    ..Default::default()
+                };
                 let frac = 0.10; // the paper's fixed 10% sample
-                let n = ((ds.n_samples() as f64 * frac) as usize).max(16).min(ds.n_samples());
+                let n = ((ds.n_samples() as f64 * frac) as usize)
+                    .max(16)
+                    .min(ds.n_samples());
                 let sample = sample_training_set(ds, n, rng);
                 let mut gain = GainImputer::new(train);
                 let _ = train_dim(&mut gain, &sample, &cfg, rng);
@@ -213,7 +272,12 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(1);
         let complete = Matrix::from_fn(150, 4, |_, _| rng.uniform());
         let ds = inject_mcar(&complete, 0.2, &mut rng);
-        let train = TrainConfig { epochs: 2, batch_size: 32, learning_rate: 0.01, dropout: 0.1 };
+        let train = TrainConfig {
+            epochs: 2,
+            batch_size: 32,
+            learning_rate: 0.01,
+            dropout: 0.1,
+        };
         let all = [
             MethodId::Mean,
             MethodId::Median,

@@ -25,12 +25,22 @@ pub struct PredictorConfig {
 
 impl Default for PredictorConfig {
     fn default() -> Self {
-        Self { epochs: 30, learning_rate: 0.005, dropout: 0.5, batch_size: 128, hidden: 32 }
+        Self {
+            epochs: 30,
+            learning_rate: 0.005,
+            dropout: 0.5,
+            batch_size: 128,
+            hidden: 32,
+        }
     }
 }
 
 fn build(d: usize, cfg: &PredictorConfig, classifier: bool, rng: &mut Rng64) -> Mlp {
-    let head = if classifier { Activation::Sigmoid } else { Activation::Identity };
+    let head = if classifier {
+        Activation::Sigmoid
+    } else {
+        Activation::Identity
+    };
     Mlp::builder(d)
         .dense(cfg.hidden, Activation::Relu)
         .dropout(cfg.dropout)
@@ -57,8 +67,11 @@ fn train_eval(
             let xb = x_train.select_rows(chunk);
             let yb = y_train.select_rows(chunk);
             let pred = net.forward(&xb, Mode::Train, rng);
-            let (_, grad) =
-                if classifier { bce_prob(&pred, &yb) } else { mse(&pred, &yb) };
+            let (_, grad) = if classifier {
+                bce_prob(&pred, &yb)
+            } else {
+                mse(&pred, &yb)
+            };
             net.zero_grad();
             net.backward(&grad);
             opt.step(&mut net);
@@ -76,7 +89,11 @@ pub fn classification_auc(
     cfg: &PredictorConfig,
     rng: &mut Rng64,
 ) -> f64 {
-    assert_eq!(x.rows(), labels.len(), "classification_auc: length mismatch");
+    assert_eq!(
+        x.rows(),
+        labels.len(),
+        "classification_auc: length mismatch"
+    );
     let n = x.rows();
     let perm = rng.permutation(n);
     let n_train = ((n as f64) * train_frac) as usize;
@@ -119,7 +136,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> PredictorConfig {
-        PredictorConfig { epochs: 40, hidden: 16, dropout: 0.1, ..Default::default() }
+        PredictorConfig {
+            epochs: 40,
+            hidden: 16,
+            dropout: 0.1,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -37,9 +37,15 @@ pub fn write_csv(path: &Path, dataset: &str, rows: &[RunOutcome]) -> std::io::Re
         std::fs::create_dir_all(parent)?;
     }
     let new = !path.exists();
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
     if new {
-        writeln!(f, "dataset,method,rmse_mean,rmse_std,time_s,rt_percent,finished")?;
+        writeln!(
+            f,
+            "dataset,method,rmse_mean,rmse_std,time_s,rt_percent,finished"
+        )?;
     }
     for r in rows {
         writeln!(

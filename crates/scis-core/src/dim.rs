@@ -17,12 +17,16 @@
 //!   while the generator descends it. Costlier and noisier — kept as an
 //!   ablation (see DESIGN.md §3 and the `dim_critic` bench).
 
+use crate::error::{FailureReason, TrainPhase, TrainingError};
+use crate::guard::{GuardConfig, GuardStats, GuardVerdict, TrainingGuard};
 use scis_data::Dataset;
 use scis_imputers::{AdversarialImputer, TrainConfig};
 use scis_nn::loss::weighted_mse;
 use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
 use scis_ot::grad::{cross_ot_grad, self_ot_grad};
-use scis_ot::{ms_loss_grad, sinkhorn_uniform, sliced_w2_loss_grad, SinkhornOptions, SlicedOptions};
+use scis_ot::{
+    ms_loss_grad_tracked, sinkhorn_uniform, sliced_w2_loss_grad, SinkhornOptions, SlicedOptions,
+};
 use scis_tensor::ops::pairwise_sq_dists;
 use scis_tensor::{Matrix, Rng64};
 
@@ -49,7 +53,11 @@ pub struct CriticConfig {
 
 impl Default for CriticConfig {
     fn default() -> Self {
-        Self { embed_dim: 16, hidden: 32, learning_rate: 1e-3 }
+        Self {
+            embed_dim: 16,
+            hidden: 32,
+            learning_rate: 1e-3,
+        }
     }
 }
 
@@ -112,7 +120,11 @@ impl DimConfig {
     }
 
     fn sinkhorn_options(&self, lambda: f64) -> SinkhornOptions {
-        SinkhornOptions { lambda, max_iters: self.max_sinkhorn_iters, tol: 1e-8 }
+        SinkhornOptions {
+            lambda,
+            max_iters: self.max_sinkhorn_iters,
+            tol: 1e-8,
+        }
     }
 }
 
@@ -146,19 +158,59 @@ impl Critic {
             .dense(cfg.hidden, Activation::LeakyRelu)
             .dense(cfg.embed_dim, Activation::Identity)
             .build(rng);
-        Self { net, opt: Adam::new(cfg.learning_rate) }
+        Self {
+            net,
+            opt: Adam::new(cfg.learning_rate),
+        }
     }
 }
 
 /// Trains (or continues training) the generator of `imp` on `ds` under the
 /// MS-divergence loss. Networks must already be initialized if you want a
 /// warm start; otherwise they are initialized here.
+///
+/// Thin wrapper over [`train_dim_guarded`] with the default guard; panics
+/// with the structured error when even the guard cannot recover.
 pub fn train_dim(
     imp: &mut dyn AdversarialImputer,
     ds: &Dataset,
     cfg: &DimConfig,
     rng: &mut Rng64,
 ) -> DimReport {
+    let mut stats = GuardStats::default();
+    train_dim_guarded(
+        imp,
+        ds,
+        cfg,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        rng,
+    )
+    .unwrap_or_else(|e| panic!("train_dim: {e}"))
+}
+
+fn all_finite(m: &Matrix) -> bool {
+    m.as_slice().iter().all(|v| v.is_finite())
+}
+
+/// Fault-tolerant DIM training (see [`crate::guard`] module docs for the
+/// three recovery rings).
+///
+/// On the healthy path this is *bit-identical* to the historical
+/// `train_dim`: the guard only reads losses and parameters, never the RNG,
+/// so seeds reproduce. Recovery accounting accumulates into `stats`;
+/// a terminal failure returns a [`TrainingError`] with the generator left
+/// on its best snapshot.
+pub fn train_dim_guarded(
+    imp: &mut dyn AdversarialImputer,
+    ds: &Dataset,
+    cfg: &DimConfig,
+    guard_cfg: &GuardConfig,
+    phase: TrainPhase,
+    stats: &mut GuardStats,
+    rng: &mut Rng64,
+) -> Result<DimReport, TrainingError> {
     let start = std::time::Instant::now();
     let d = ds.n_features();
     if !imp.is_initialized(d) {
@@ -168,18 +220,22 @@ pub fn train_dim(
     let x = ds.values_filled(0.0);
     let mask = ds.dense_mask();
     let mut opt_g = Adam::new(cfg.train.learning_rate);
-    let mut critic = cfg
-        .critic
-        .as_ref()
-        .map(|c| Critic::new(2 * d, c, rng));
+    let mut critic = cfg.critic.as_ref().map(|c| Critic::new(2 * d, c, rng));
     let bs = cfg.train.batch_size.min(n).max(2);
 
+    let mut guard = TrainingGuard::new(
+        *guard_cfg,
+        imp.generator_mut().param_vector(),
+        cfg.train.learning_rate,
+    );
     let mut epoch_losses = Vec::with_capacity(cfg.train.epochs);
     let mut last_lambda = f64::NAN;
-    for _epoch in 0..cfg.train.epochs {
+    let mut epoch = 0usize;
+    while epoch < cfg.train.epochs {
         let order = rng.permutation(n);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
+        let mut failure: Option<FailureReason> = None;
         for chunk in order.chunks(bs) {
             if chunk.len() < 2 {
                 continue;
@@ -189,27 +245,60 @@ pub fn train_dim(
             let g_in = imp.generator_input(&xb, &mb, rng);
             let generator = imp.generator_mut();
             let xbar = generator.forward(&g_in, Mode::Train, rng);
+            if !all_finite(&xbar) {
+                // a poisoned reconstruction would turn the cost matrix (and
+                // the whole Sinkhorn plan) non-finite — drop the batch
+                stats.nan_batches_skipped += 1;
+                continue;
+            }
 
-            let (loss, mut grad_xbar, lambda) = match (critic.as_mut(), cfg.loss) {
+            let step = match (critic.as_mut(), cfg.loss) {
                 (None, GenerativeLoss::MaskedSinkhorn) => {
                     let cost = scis_ot::masked_sq_cost(&xbar, &mb, &xb, &mb);
                     let lambda = cfg.resolve_lambda(&cost);
                     let opts = cfg.sinkhorn_options(lambda);
-                    let (loss, grad) = ms_loss_grad(&xbar, &xb, &mb, &opts);
-                    (loss, grad, lambda)
+                    match ms_loss_grad_tracked(
+                        &xbar,
+                        &xb,
+                        &mb,
+                        &opts,
+                        &guard_cfg.sinkhorn_escalation,
+                    ) {
+                        Ok((loss, grad, solve_stats)) => {
+                            stats.sinkhorn.absorb(solve_stats);
+                            Some((loss, grad, lambda))
+                        }
+                        Err(_) => None,
+                    }
                 }
                 (None, GenerativeLoss::SlicedWasserstein { n_projections }) => {
-                    let opts = SlicedOptions { n_projections, seed: 0x51CE };
+                    let opts = SlicedOptions {
+                        n_projections,
+                        seed: 0x51CE,
+                    };
                     let (loss, grad) = sliced_w2_loss_grad(&xbar, &xb, &mb, &opts);
-                    (loss, grad, f64::NAN)
+                    Some((loss, grad, f64::NAN))
                 }
                 (Some(c), _) => critic_step(c, &xbar, &xb, &mb, cfg, rng),
             };
+            let Some((loss, mut grad_xbar, lambda)) = step else {
+                stats.nan_batches_skipped += 1;
+                continue;
+            };
+            if !loss.is_finite() || !all_finite(&grad_xbar) {
+                stats.nan_batches_skipped += 1;
+                continue;
+            }
             last_lambda = lambda;
 
             // reconstruction anchor on observed cells
             let (rec_loss, rec_grad) = weighted_mse(&xbar, &xb, &mb);
             grad_xbar.axpy(cfg.alpha, &rec_grad);
+            let grad_norm = grad_xbar.frobenius_norm();
+            if !grad_norm.is_finite() || grad_norm > guard_cfg.max_grad_norm {
+                failure = Some(FailureReason::ExplodingGradient { norm: grad_norm });
+                break;
+            }
 
             let generator = imp.generator_mut();
             // re-forward so the generator's caches match this batch (the
@@ -222,14 +311,55 @@ pub fn train_dim(
             epoch_loss += loss + cfg.alpha * rec_loss;
             batches += 1;
         }
-        epoch_losses.push(epoch_loss / batches.max(1) as f64);
+
+        let mean_loss = epoch_loss / batches.max(1) as f64;
+        if failure.is_none() && batches == 0 {
+            failure = Some(FailureReason::AllBatchesSkipped);
+        }
+        if failure.is_none() && !mean_loss.is_finite() {
+            failure = Some(FailureReason::NonFiniteLoss);
+        }
+        match failure {
+            None => {
+                epoch_losses.push(mean_loss);
+                guard.accept_epoch(mean_loss, &imp.generator_mut().param_vector());
+                epoch += 1;
+            }
+            Some(reason) => {
+                imp.generator_mut().set_param_vector(guard.best_params());
+                stats.rollbacks += 1;
+                match guard.reject_epoch() {
+                    GuardVerdict::GiveUp => {
+                        return Err(TrainingError {
+                            phase,
+                            epoch,
+                            retries: guard.retries() - 1,
+                            reason,
+                        });
+                    }
+                    _ => {
+                        // retry the epoch from the snapshot at a gentler LR
+                        // (fresh optimizer: stale moments reference the
+                        // pre-rollback trajectory)
+                        stats.lr_backoffs += 1;
+                        opt_g = Adam::new(guard.lr());
+                    }
+                }
+            }
+        }
     }
 
-    DimReport { epoch_losses, last_lambda, duration: start.elapsed() }
+    Ok(DimReport {
+        epoch_losses,
+        last_lambda,
+        duration: start.elapsed(),
+    })
 }
 
 /// One critic-mode step: updates φ by ascent on `S_m^φ` and returns the
 /// generator's loss value, the gradient w.r.t. `xbar`, and the λ used.
+/// Returns `None` when the critic's embeddings are non-finite (a diverged
+/// φ must not feed the Sinkhorn solver); the caller skips the batch.
 fn critic_step(
     critic: &mut Critic,
     xbar: &Matrix,
@@ -237,12 +367,15 @@ fn critic_step(
     mb: &Matrix,
     cfg: &DimConfig,
     rng: &mut Rng64,
-) -> (f64, Matrix, f64) {
+) -> Option<(f64, Matrix, f64)> {
     let d = xb.cols();
     let in_a = xbar.hadamard(mb).hcat(mb);
     let in_b = xb.hadamard(mb).hcat(mb);
     let ea = critic.net.forward(&in_a, Mode::Eval, rng);
     let eb = critic.net.forward(&in_b, Mode::Eval, rng);
+    if !all_finite(&ea) || !all_finite(&eb) {
+        return None;
+    }
 
     let cost_ab = pairwise_sq_dists(&ea, &eb);
     let lambda = cfg.resolve_lambda(&cost_ab);
@@ -274,6 +407,9 @@ fn critic_step(
     // --- generator gradient through the *updated* critic ---
     let ea2 = critic.net.forward(&in_a, Mode::Eval, rng);
     let eb2 = critic.net.forward(&in_b, Mode::Eval, rng);
+    if !all_finite(&ea2) || !all_finite(&eb2) {
+        return None;
+    }
     let cost2 = pairwise_sq_dists(&ea2, &eb2);
     let cross2 = sinkhorn_uniform(&cost2, &opts);
     let self_a2 = sinkhorn_uniform(&pairwise_sq_dists(&ea2, &ea2), &opts);
@@ -288,7 +424,7 @@ fn critic_step(
     // input was x̄ ⊙ m ⇒ chain through the mask
     let grad_xbar = grad_xbar_masked.hadamard(mb);
 
-    (value, grad_xbar, lambda)
+    Some((value, grad_xbar, lambda))
 }
 
 #[cfg(test)]
@@ -314,7 +450,12 @@ mod tests {
 
     fn fast_cfg() -> DimConfig {
         DimConfig {
-            train: TrainConfig { epochs: 60, batch_size: 64, learning_rate: 0.005, dropout: 0.0 },
+            train: TrainConfig {
+                epochs: 60,
+                batch_size: 64,
+                learning_rate: 0.005,
+                dropout: 0.0,
+            },
             lambda: LambdaMode::Relative(0.1),
             max_sinkhorn_iters: 200,
             alpha: 10.0,
@@ -394,12 +535,18 @@ mod tests {
 
     #[test]
     fn relative_lambda_scales_with_cost() {
-        let cfg = DimConfig { lambda: LambdaMode::Relative(0.5), ..Default::default() };
+        let cfg = DimConfig {
+            lambda: LambdaMode::Relative(0.5),
+            ..Default::default()
+        };
         let small = Matrix::full(4, 4, 0.1);
         let large = Matrix::full(4, 4, 10.0);
         assert!((cfg.resolve_lambda(&small) - 0.05).abs() < 1e-12);
         assert!((cfg.resolve_lambda(&large) - 5.0).abs() < 1e-12);
-        let abs = DimConfig { lambda: LambdaMode::Absolute(130.0), ..Default::default() };
+        let abs = DimConfig {
+            lambda: LambdaMode::Absolute(130.0),
+            ..Default::default()
+        };
         assert_eq!(abs.resolve_lambda(&small), 130.0);
     }
 
@@ -412,11 +559,14 @@ mod tests {
         cfg.train.epochs = 10;
         let mut gain = GainImputer::new(cfg.train);
         let _ = train_dim(&mut gain, &ds, &cfg, &mut rng);
-        let theta_after_first = scis_imputers::AdversarialImputer::generator_mut(&mut gain)
-            .param_vector();
+        let theta_after_first =
+            scis_imputers::AdversarialImputer::generator_mut(&mut gain).param_vector();
         let _ = train_dim(&mut gain, &ds, &cfg, &mut rng);
         let theta_after_second =
             scis_imputers::AdversarialImputer::generator_mut(&mut gain).param_vector();
-        assert_ne!(theta_after_first, theta_after_second, "second run was a no-op");
+        assert_ne!(
+            theta_after_first, theta_after_second,
+            "second run was a no-op"
+        );
     }
 }

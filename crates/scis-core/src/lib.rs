@@ -32,9 +32,13 @@
 //! ```
 
 pub mod dim;
+pub mod error;
+pub mod guard;
 pub mod pipeline;
 pub mod sse;
 
-pub use dim::{DimConfig, DimReport};
-pub use pipeline::{Scis, ScisConfig, ScisOutcome};
+pub use dim::{train_dim, train_dim_guarded, DimConfig, DimReport};
+pub use error::{FailureReason, ScisError, TrainPhase, TrainingError};
+pub use guard::{GuardConfig, GuardStats, TrainingGuard};
+pub use pipeline::{RunAnomalies, Scis, ScisConfig, ScisOutcome};
 pub use sse::{SseConfig, SseResult};

@@ -9,23 +9,92 @@
 //! 6-7: X̄ = M*(X); X̂ = M ⊙ X + (1−M) ⊙ X̄
 //! ```
 
-use crate::dim::{train_dim, DimConfig};
+use crate::dim::{train_dim_guarded, DimConfig};
+use crate::error::{ScisError, TrainPhase};
+use crate::guard::{GuardConfig, GuardStats};
 use crate::sse::{fisher_diagonal, model_distance, SseConfig, SseEstimator, SseResult};
 use scis_data::split::{sample_initial_split, sample_training_set};
 use scis_data::Dataset;
 use scis_imputers::traits::impute_with_generator;
-use scis_imputers::AdversarialImputer;
+use scis_imputers::{AdversarialImputer, Imputer};
 use scis_ot::SinkhornOptions;
 use scis_tensor::{Matrix, Rng64};
 use std::time::{Duration, Instant};
 
-/// Full SCIS configuration: DIM + SSE knobs.
+/// Full SCIS configuration: DIM + SSE + fault-tolerance knobs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScisConfig {
     /// DIM (MS-divergence training) settings.
     pub dim: DimConfig,
     /// SSE (sample-size estimation) settings.
     pub sse: SseConfig,
+    /// Training-guard settings (rollback, LR backoff, Sinkhorn escalation).
+    pub guard: GuardConfig,
+}
+
+/// Everything the fault-tolerant runtime caught and recovered from during
+/// one run. A clean run has all counters zero, all lists empty, and both
+/// flags false.
+#[derive(Debug, Clone, Default)]
+pub struct RunAnomalies {
+    /// Training batches dropped for non-finite values.
+    pub nan_batches_skipped: usize,
+    /// Epoch rollbacks to a parameter snapshot.
+    pub rollbacks: usize,
+    /// Learning-rate backoffs applied.
+    pub lr_backoffs: usize,
+    /// Sinkhorn solves that needed ε-scaling escalation.
+    pub sinkhorn_escalations: usize,
+    /// Sinkhorn solves left unconverged even after escalation.
+    pub sinkhorn_unconverged: usize,
+    /// Columns with zero observed cells (from `Dataset::validate`).
+    pub all_missing_columns: Vec<usize>,
+    /// Columns whose observed cells are constant.
+    pub constant_columns: Vec<usize>,
+    /// Initial DIM training failed terminally → the whole output fell back
+    /// to mean imputation.
+    pub mean_fallback: bool,
+    /// SSE calibration sibling failed → raw (uncalibrated) SSE was used.
+    pub calibration_skipped: bool,
+    /// Retraining on `X*` failed → the initial model `M0` was kept.
+    pub retrain_failed: bool,
+    /// Non-finite imputed cells patched from the mean imputer at the end.
+    pub non_finite_cells_patched: usize,
+    /// Human-readable recovery notes, in order of occurrence.
+    pub notes: Vec<String>,
+}
+
+impl RunAnomalies {
+    /// True when the run needed no recovery at all.
+    pub fn is_clean(&self) -> bool {
+        self.nan_batches_skipped == 0
+            && self.rollbacks == 0
+            && self.lr_backoffs == 0
+            && self.sinkhorn_escalations == 0
+            && self.sinkhorn_unconverged == 0
+            && self.all_missing_columns.is_empty()
+            && self.constant_columns.is_empty()
+            && !self.mean_fallback
+            && !self.calibration_skipped
+            && !self.retrain_failed
+            && self.non_finite_cells_patched == 0
+    }
+
+    /// Whether the output quality is degraded (not just recovered): the
+    /// run fell back to mean imputation, kept `M0` after a failed retrain,
+    /// or had to patch non-finite cells.
+    pub fn is_degraded(&self) -> bool {
+        self.mean_fallback || self.retrain_failed || self.non_finite_cells_patched > 0
+    }
+
+    /// Folds a guarded-training stats record into the counters.
+    pub fn absorb_guard(&mut self, stats: &GuardStats) {
+        self.nan_batches_skipped += stats.nan_batches_skipped;
+        self.rollbacks += stats.rollbacks;
+        self.lr_backoffs += stats.lr_backoffs;
+        self.sinkhorn_escalations += stats.sinkhorn.escalations;
+        self.sinkhorn_unconverged += stats.sinkhorn.unconverged;
+    }
 }
 
 /// Everything Algorithm 1 returns, plus the accounting the paper's tables
@@ -50,6 +119,8 @@ pub struct ScisOutcome {
     pub retrain_time: Duration,
     /// Total wall-clock of the run.
     pub total_time: Duration,
+    /// Everything the fault-tolerant runtime caught and recovered from.
+    pub anomalies: RunAnomalies,
 }
 
 impl ScisOutcome {
@@ -89,8 +160,12 @@ impl Scis {
     /// Runs Algorithm 1 on `ds` with initial sample size `n0`
     /// (`Nv = n0`, as in the paper's experiments).
     ///
+    /// Thin wrapper over [`Scis::try_run`] keeping the legacy panic
+    /// contract.
+    ///
     /// # Panics
-    /// Panics if `2·n0` exceeds the dataset size.
+    /// Panics on any [`ScisError`] — in particular when `2·n0` exceeds the
+    /// dataset size.
     pub fn run(
         &self,
         imp: &mut dyn AdversarialImputer,
@@ -98,15 +173,58 @@ impl Scis {
         n0: usize,
         rng: &mut Rng64,
     ) -> ScisOutcome {
+        self.try_run(imp, ds, n0, rng)
+            .unwrap_or_else(|e| panic!("Scis::run: {e}"))
+    }
+
+    /// Fault-tolerant Algorithm 1: validates inputs up front, trains every
+    /// DIM phase under the [`crate::guard`] runtime, escalates non-converged
+    /// Sinkhorn solves, and degrades gracefully instead of returning NaN:
+    ///
+    /// * terminal failure of the *initial* training falls back to mean
+    ///   imputation (`anomalies.mean_fallback`);
+    /// * a failed calibration sibling skips calibration
+    ///   (`anomalies.calibration_skipped`);
+    /// * a failed retrain keeps the initial model `M0`
+    ///   (`anomalies.retrain_failed`);
+    /// * any non-finite cell left in the final output is patched from the
+    ///   mean imputer (`anomalies.non_finite_cells_patched`).
+    ///
+    /// `Err` is reserved for states with no useful output at all: bad data,
+    /// bad configuration, an oversized `n0`.
+    pub fn try_run(
+        &self,
+        imp: &mut dyn AdversarialImputer,
+        ds: &Dataset,
+        n0: usize,
+        rng: &mut Rng64,
+    ) -> Result<ScisOutcome, ScisError> {
         let t_start = Instant::now();
         let n_total = ds.n_samples();
         let n_v = n0; // paper §VI: Nv = n0
-        assert!(
-            n_v + n0 <= n_total,
-            "Scis::run: Nv + n0 = {} exceeds N = {}",
-            n_v + n0,
-            n_total
-        );
+        let data_report = ds.validate()?;
+        if n_v + n0 > n_total {
+            return Err(ScisError::OversizedInitialSample {
+                requested: n_v + n0,
+                n_total,
+            });
+        }
+        if n0 == 0 {
+            return Err(ScisError::InvalidConfig {
+                message: "initial sample size n0 must be at least 1".into(),
+            });
+        }
+        if self.config.dim.train.epochs == 0 {
+            return Err(ScisError::InvalidConfig {
+                message: "dim.train.epochs must be at least 1".into(),
+            });
+        }
+        let mut anomalies = RunAnomalies {
+            all_missing_columns: data_report.all_missing_columns,
+            constant_columns: data_report.constant_columns,
+            ..Default::default()
+        };
+        let guard = &self.config.guard;
 
         // line 1: sample validation + initial sets
         let split = sample_initial_split(ds, n_v, n0, rng);
@@ -118,8 +236,39 @@ impl Scis {
         let init_seed = rng.next_u64();
         let t0 = Instant::now();
         imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
-        let _report = train_dim(imp, &split.initial, &self.config.dim, rng);
+        let mut guard_stats = GuardStats::default();
+        let initial = train_dim_guarded(
+            imp,
+            &split.initial,
+            &self.config.dim,
+            guard,
+            TrainPhase::Initial,
+            &mut guard_stats,
+            rng,
+        );
         let initial_train_time = t0.elapsed();
+        anomalies.absorb_guard(&guard_stats);
+        if let Err(e) = initial {
+            // graceful degradation: the adversarial model is unusable, but
+            // mean imputation always produces a finite answer
+            anomalies.mean_fallback = true;
+            anomalies
+                .notes
+                .push(format!("initial {e}; fell back to mean imputation"));
+            let imputed = scis_imputers::mean::MeanImputer.impute(ds, rng);
+            return Ok(ScisOutcome {
+                imputed,
+                n_star: n0,
+                n_total,
+                n0,
+                sse: SseResult::skipped(n0),
+                initial_train_time,
+                sse_time: Duration::ZERO,
+                retrain_time: Duration::ZERO,
+                total_time: t_start.elapsed(),
+                anomalies,
+            });
+        }
 
         // line 3: SSE
         let t1 = Instant::now();
@@ -147,13 +296,36 @@ impl Scis {
             let theta0 = imp.generator_mut().param_vector();
             let sibling_set = sample_training_set(ds, n0, rng);
             imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
-            let _ = train_dim(imp, &sibling_set, &self.config.dim, rng);
-            let theta_sibling = imp.generator_mut().param_vector();
-            imp.generator_mut().set_param_vector(&theta0);
-            let d_obs = model_distance(imp, &split.validation, &theta0, &theta_sibling);
-            let d_ref = estimator.reference_mc_distance(imp, &split.validation);
-            if d_obs > 1e-12 && d_ref > 1e-12 {
-                estimator.set_calibration(d_obs / d_ref);
+            let mut sibling_stats = GuardStats::default();
+            let sibling = train_dim_guarded(
+                imp,
+                &sibling_set,
+                &self.config.dim,
+                guard,
+                TrainPhase::Calibration,
+                &mut sibling_stats,
+                rng,
+            );
+            anomalies.absorb_guard(&sibling_stats);
+            match sibling {
+                Ok(_) => {
+                    let theta_sibling = imp.generator_mut().param_vector();
+                    imp.generator_mut().set_param_vector(&theta0);
+                    let d_obs = model_distance(imp, &split.validation, &theta0, &theta_sibling);
+                    let d_ref = estimator.reference_mc_distance(imp, &split.validation);
+                    if d_obs > 1e-12 && d_ref > 1e-12 {
+                        estimator.set_calibration(d_obs / d_ref);
+                    }
+                }
+                Err(e) => {
+                    // SSE still works uncalibrated (Theorem 1's raw
+                    // constant); restore θ0 and carry on
+                    imp.generator_mut().set_param_vector(&theta0);
+                    anomalies.calibration_skipped = true;
+                    anomalies
+                        .notes
+                        .push(format!("calibration {e}; using uncalibrated SSE"));
+                }
             }
         }
         let sse = estimator.estimate(imp, &split.validation);
@@ -163,16 +335,53 @@ impl Scis {
         let retrain_time = if sse.n_star > n0 {
             let t2 = Instant::now();
             let x_star = sample_training_set(ds, sse.n_star, rng);
-            let _ = train_dim(imp, &x_star, &self.config.dim, rng);
+            let mut retrain_stats = GuardStats::default();
+            let retrain = train_dim_guarded(
+                imp,
+                &x_star,
+                &self.config.dim,
+                guard,
+                TrainPhase::Retrain,
+                &mut retrain_stats,
+                rng,
+            );
+            anomalies.absorb_guard(&retrain_stats);
+            if let Err(e) = retrain {
+                // the guarded trainer already restored its best snapshot
+                // (at worst the warm-start θ0 = M0) — keep it
+                anomalies.retrain_failed = true;
+                anomalies
+                    .notes
+                    .push(format!("retrain {e}; keeping the initial model M0"));
+            }
             t2.elapsed()
         } else {
             Duration::ZERO
         };
 
         // lines 6-7: impute the full dataset
-        let imputed = impute_with_generator(imp, ds, rng);
+        let mut imputed = impute_with_generator(imp, ds, rng);
+        let bad_cells = imputed.as_slice().iter().filter(|v| !v.is_finite()).count();
+        if bad_cells > 0 {
+            // last ring of defense: never hand back NaN — patch from the
+            // mean imputer (observed cells are untouched; they were
+            // validated finite and pass through the Eq.-1 merge)
+            let fallback = scis_imputers::mean::MeanImputer.impute(ds, rng);
+            imputed = Matrix::from_fn(imputed.rows(), imputed.cols(), |i, j| {
+                let v = imputed[(i, j)];
+                if v.is_finite() {
+                    v
+                } else {
+                    fallback[(i, j)]
+                }
+            });
+            anomalies.non_finite_cells_patched = bad_cells;
+            anomalies.notes.push(format!(
+                "patched {bad_cells} non-finite imputed cells from the mean imputer"
+            ));
+        }
 
-        ScisOutcome {
+        Ok(ScisOutcome {
             imputed,
             n_star: sse.n_star,
             n_total,
@@ -182,7 +391,8 @@ impl Scis {
             sse_time,
             retrain_time,
             total_time: t_start.elapsed(),
-        }
+            anomalies,
+        })
     }
 }
 
@@ -196,7 +406,10 @@ fn estimate_sse_lambda(
 ) -> f64 {
     let n = initial.n_samples();
     let bs = dim.train.batch_size.min(n).max(2);
-    let idx: Vec<usize> = (0..bs).collect();
+    // a *random* batch, not rows 0..bs — the initial set is sampled but
+    // callers may pass datasets with ordered structure (sorted CSVs), and
+    // a prefix batch would bias the λ scale
+    let idx = rng.sample_indices(n, bs.min(n));
     let xb = initial.values_filled(0.0).select_rows(&idx);
     let mb = initial.dense_mask().select_rows(&idx);
     let g_in = imp.generator_input(&xb, &mb, rng);
@@ -242,7 +455,11 @@ mod tests {
                 critic: None,
                 loss: GenerativeLoss::MaskedSinkhorn,
             },
-            sse: SseConfig { epsilon: 0.02, ..Default::default() },
+            sse: SseConfig {
+                epsilon: 0.02,
+                ..Default::default()
+            },
+            guard: GuardConfig::default(),
         }
     }
 

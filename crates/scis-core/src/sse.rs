@@ -115,6 +115,20 @@ pub struct SseResult {
     pub duration: std::time::Duration,
 }
 
+impl SseResult {
+    /// A placeholder for runs where SSE never happened (the pipeline
+    /// degraded before reaching it): `n* = n0`, zero probes.
+    pub fn skipped(n0: usize) -> Self {
+        Self {
+            n_star: n0,
+            prob_at_n_star: 0.0,
+            probes: 0,
+            calibration: 1.0,
+            duration: std::time::Duration::ZERO,
+        }
+    }
+}
+
 /// Estimates the diagonal of the Gauss–Newton/empirical-Fisher matrix of
 /// the MS-divergence loss at the current generator parameters, from batches
 /// of the initial training set.
@@ -145,10 +159,17 @@ pub fn fisher_diagonal(
         let g_in = imp.generator_input(&xb, &mb, rng);
         let generator = imp.generator_mut();
         let xbar = generator.forward(&g_in, scis_nn::Mode::Eval, rng);
+        if xbar.as_slice().iter().any(|v| !v.is_finite()) {
+            // a poisoned batch would contaminate the whole diagonal
+            continue;
+        }
         let (_, grad_xbar) = ms_loss_grad(&xbar, &xb, &mb, sinkhorn);
         generator.zero_grad();
         generator.backward(&grad_xbar);
         let g = generator.grad_vector();
+        if g.iter().any(|v| !v.is_finite()) {
+            continue;
+        }
         for (acc, gv) in diag.iter_mut().zip(&g) {
             *acc += gv * gv;
         }
@@ -219,8 +240,10 @@ impl SseEstimator {
         let zeta = cfg.zeta(d_features);
 
         // relative structure from H⁻¹ᐟ²…
-        let mut scale: Vec<f64> =
-            fisher_diag.iter().map(|&h| 1.0 / (h + cfg.fisher_ridge).sqrt()).collect();
+        let mut scale: Vec<f64> = fisher_diag
+            .iter()
+            .map(|&h| 1.0 / (h + cfg.fisher_ridge).sqrt())
+            .collect();
         // …normalized so the median probe at η_ref = ζ/n0 equals probe_std
         // (keeps the network in its linear-response regime; absolute scale
         // is later fixed by the calibration factor γ)
@@ -233,10 +256,12 @@ impl SseEstimator {
             *s = (*s * norm).min(median * norm * 1e3); // cap extreme outliers
         }
 
-        let draws_n: Vec<Vec<f64>> =
-            (0..cfg.k).map(|_| (0..p).map(|_| rng.normal()).collect()).collect();
-        let draws_gap: Vec<Vec<f64>> =
-            (0..cfg.k).map(|_| (0..p).map(|_| rng.normal()).collect()).collect();
+        let draws_n: Vec<Vec<f64>> = (0..cfg.k)
+            .map(|_| (0..p).map(|_| rng.normal()).collect())
+            .collect();
+        let draws_gap: Vec<Vec<f64>> = (0..cfg.k)
+            .map(|_| (0..p).map(|_| rng.normal()).collect())
+            .collect();
 
         Self {
             theta0,
@@ -258,7 +283,10 @@ impl SseEstimator {
 
     /// Sets the empirical calibration factor γ (see module docs).
     pub fn set_calibration(&mut self, gamma: f64) {
-        assert!(gamma.is_finite() && gamma > 0.0, "calibration must be positive");
+        assert!(
+            gamma.is_finite() && gamma > 0.0,
+            "calibration must be positive"
+        );
         self.calibration = gamma;
     }
 
@@ -325,19 +353,12 @@ impl SseEstimator {
 
     /// Binary search for the minimum `n*` whose empirical probability
     /// clears the Proposition-2 threshold (Algorithm 1 line 3).
-    pub fn estimate(
-        &self,
-        imp: &mut dyn AdversarialImputer,
-        validation: &Dataset,
-    ) -> SseResult {
+    pub fn estimate(&self, imp: &mut dyn AdversarialImputer, validation: &Dataset) -> SseResult {
         let start = std::time::Instant::now();
         let threshold = self.cfg.acceptance_threshold();
         let mut probes = 0usize;
         let mut cache: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
-        let mut prob_at = |n: usize,
-                           imp: &mut dyn AdversarialImputer,
-                           probes: &mut usize|
-         -> f64 {
+        let mut prob_at = |n: usize, imp: &mut dyn AdversarialImputer, probes: &mut usize| -> f64 {
             if let Some(&pr) = cache.get(&n) {
                 return pr;
             }
@@ -411,7 +432,11 @@ mod tests {
     }
 
     fn diag_for(gain: &mut GainImputer, ds: &Dataset, rng: &mut Rng64) -> Vec<f64> {
-        let opts = SinkhornOptions { lambda: 0.1, max_iters: 100, tol: 1e-7 };
+        let opts = SinkhornOptions {
+            lambda: 0.1,
+            max_iters: 100,
+            tol: 1e-7,
+        };
         fisher_diagonal(gain, ds, &opts, 64, rng)
     }
 
@@ -423,7 +448,10 @@ mod tests {
         let expect = (6.0f64 / 130.0).exp() * (1.0 + 130.0f64.powi(-4)).powi(2);
         assert!((z - expect).abs() < 1e-12);
         // tiny λ explodes but is capped
-        let tiny = SseConfig { zeta_lambda: 0.1, ..Default::default() };
+        let tiny = SseConfig {
+            zeta_lambda: 0.1,
+            ..Default::default()
+        };
         assert_eq!(tiny.zeta(20), 1e12);
     }
 
@@ -432,7 +460,10 @@ mod tests {
         let cfg = SseConfig::default();
         assert_eq!(cfg.acceptance_threshold(), 1.0);
         // a generous k makes the threshold drop below 1
-        let big_k = SseConfig { k: 2000, ..Default::default() };
+        let big_k = SseConfig {
+            k: 2000,
+            ..Default::default()
+        };
         assert!(big_k.acceptance_threshold() < 1.0);
     }
 
@@ -473,7 +504,10 @@ mod tests {
     fn loose_epsilon_accepts_the_initial_size() {
         let (mut gain, ds, mut rng) = setup(3);
         let diag = diag_for(&mut gain, &ds, &mut rng);
-        let cfg = SseConfig { epsilon: 10.0, ..Default::default() }; // anything passes
+        let cfg = SseConfig {
+            epsilon: 10.0,
+            ..Default::default()
+        }; // anything passes
         let res = estimate_min_sample_size(&mut gain, &ds, &diag, 50, 300, &cfg, &mut rng);
         assert_eq!(res.n_star, 50);
         assert_eq!(res.prob_at_n_star, 1.0);
@@ -485,12 +519,19 @@ mod tests {
         let diag = diag_for(&mut gain, &ds, &mut rng);
         let mut sizes = Vec::new();
         for eps in [3e-2, 3e-3, 3e-4] {
-            let cfg = SseConfig { epsilon: eps, ..Default::default() };
+            let cfg = SseConfig {
+                epsilon: eps,
+                ..Default::default()
+            };
             sizes.push(
                 estimate_min_sample_size(&mut gain, &ds, &diag, 50, 300, &cfg, &mut rng).n_star,
             );
         }
-        assert!(sizes[0] <= sizes[1] && sizes[1] <= sizes[2], "sizes {:?}", sizes);
+        assert!(
+            sizes[0] <= sizes[1] && sizes[1] <= sizes[2],
+            "sizes {:?}",
+            sizes
+        );
         // the sweep actually exercises the interior, not just endpoints
         assert!(sizes[0] < 300, "loosest ε already saturated: {:?}", sizes);
     }
@@ -499,7 +540,10 @@ mod tests {
     fn calibration_scales_the_distances() {
         let (mut gain, ds, mut rng) = setup(5);
         let diag = diag_for(&mut gain, &ds, &mut rng);
-        let cfg = SseConfig { epsilon: 5e-3, ..Default::default() };
+        let cfg = SseConfig {
+            epsilon: 5e-3,
+            ..Default::default()
+        };
         let mut est = SseEstimator::new(&mut gain, &diag, 50, 300, 4, cfg, &mut rng);
         let n_star_raw = est.estimate(&mut gain, &ds).n_star;
         // a huge γ makes every distance exceed ε → n* = N
@@ -529,7 +573,10 @@ mod tests {
         let (mut gain, ds, mut rng) = setup(7);
         let diag = diag_for(&mut gain, &ds, &mut rng);
         let before = scis_imputers::AdversarialImputer::generator_mut(&mut gain).param_vector();
-        let cfg = SseConfig { epsilon: 0.01, ..Default::default() };
+        let cfg = SseConfig {
+            epsilon: 0.01,
+            ..Default::default()
+        };
         let _ = estimate_min_sample_size(&mut gain, &ds, &diag, 50, 300, &cfg, &mut rng);
         let after = scis_imputers::AdversarialImputer::generator_mut(&mut gain).param_vector();
         assert_eq!(before, after);
@@ -540,9 +587,17 @@ mod tests {
         let (mut gain, ds, mut rng) = setup(8);
         let diag = diag_for(&mut gain, &ds, &mut rng);
         for &eps in &[1e-6, 1e-3, 1e-2, 1.0] {
-            let cfg = SseConfig { epsilon: eps, ..Default::default() };
+            let cfg = SseConfig {
+                epsilon: eps,
+                ..Default::default()
+            };
             let res = estimate_min_sample_size(&mut gain, &ds, &diag, 40, 300, &cfg, &mut rng);
-            assert!((40..=300).contains(&res.n_star), "n* = {} for ε = {}", res.n_star, eps);
+            assert!(
+                (40..=300).contains(&res.n_star),
+                "n* = {} for ε = {}",
+                res.n_star,
+                eps
+            );
         }
     }
 
@@ -550,12 +605,21 @@ mod tests {
     fn probability_is_monotone_in_n() {
         let (mut gain, ds, mut rng) = setup(9);
         let diag = diag_for(&mut gain, &ds, &mut rng);
-        let cfg = SseConfig { epsilon: 0.005, ..Default::default() };
+        let cfg = SseConfig {
+            epsilon: 0.005,
+            ..Default::default()
+        };
         let est = SseEstimator::new(&mut gain, &diag, 40, 400, 4, cfg, &mut rng);
         let mut prev = -1.0;
         for n in [40usize, 80, 160, 320, 400] {
             let p = est.prob_within_epsilon(&mut gain, &ds, n);
-            assert!(p >= prev - 1e-12, "P̂ not monotone at n={}: {} < {}", n, p, prev);
+            assert!(
+                p >= prev - 1e-12,
+                "P̂ not monotone at n={}: {} < {}",
+                n,
+                p,
+                prev
+            );
             prev = p;
         }
     }

@@ -146,10 +146,16 @@ impl CovidRecipe {
         let dataset = inject(
             &complete,
             kinds,
-            Mechanism::Mcar { rate: self.missing_rate() },
+            Mechanism::Mcar {
+                rate: self.missing_rate(),
+            },
             &mut rng,
         );
-        RecipeInstance { dataset, ground_truth: complete, n0 }
+        RecipeInstance {
+            dataset,
+            ground_truth: complete,
+            n0,
+        }
     }
 
     fn seed_salt(&self) -> u64 {

@@ -41,7 +41,11 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "io error: {}", e),
-            CsvError::RaggedRow { line, got, expected } => {
+            CsvError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {}: {} fields, expected {}", line, got, expected)
             }
             CsvError::BadNumber { line, col, text } => {
@@ -105,7 +109,11 @@ pub fn read_dataset(path: &Path) -> Result<Dataset, CsvError> {
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != d {
-            return Err(CsvError::RaggedRow { line: lineno + 2, got: fields.len(), expected: d });
+            return Err(CsvError::RaggedRow {
+                line: lineno + 2,
+                got: fields.len(),
+                expected: d,
+            });
         }
         for (col, f) in fields.iter().enumerate() {
             let t = f.trim();
@@ -160,7 +168,11 @@ mod tests {
         let path = tmp("ragged.csv");
         std::fs::write(&path, "a,b\n1,2\n3\n").unwrap();
         match read_dataset(&path) {
-            Err(CsvError::RaggedRow { line: 3, got: 1, expected: 2 }) => {}
+            Err(CsvError::RaggedRow {
+                line: 3,
+                got: 1,
+                expected: 2,
+            }) => {}
             other => panic!("unexpected {:?}", other.map(|_| ())),
         }
         std::fs::remove_file(&path).ok();
@@ -170,7 +182,10 @@ mod tests {
     fn bad_number_is_an_error() {
         let path = tmp("badnum.csv");
         std::fs::write(&path, "a\nxyz\n").unwrap();
-        assert!(matches!(read_dataset(&path), Err(CsvError::BadNumber { .. })));
+        assert!(matches!(
+            read_dataset(&path),
+            Err(CsvError::BadNumber { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

@@ -49,7 +49,9 @@ pub fn infer_kinds(values: &Matrix, max_levels: usize) -> Vec<ColumnKind> {
             }
             if any && categorical && distinct.len() >= 2 {
                 let levels = (*distinct.iter().max().expect("non-empty") as usize) + 1;
-                ColumnKind::Categorical { levels: levels.max(2) }
+                ColumnKind::Categorical {
+                    levels: levels.max(2),
+                }
             } else {
                 ColumnKind::Continuous
             }
@@ -87,7 +89,11 @@ impl Dataset {
     pub fn from_values(values: Matrix) -> Self {
         let mask = MaskMatrix::from_nan_pattern(&values);
         let kinds = vec![ColumnKind::Continuous; values.cols()];
-        Self { values, mask, kinds }
+        Self {
+            values,
+            mask,
+            kinds,
+        }
     }
 
     /// Builds a dataset from a *complete* matrix and an explicit mask:
@@ -95,7 +101,11 @@ impl Dataset {
     pub fn from_complete(complete: &Matrix, mask: MaskMatrix, kinds: Vec<ColumnKind>) -> Self {
         assert_eq!(mask.rows(), complete.rows(), "from_complete: row mismatch");
         assert_eq!(mask.cols(), complete.cols(), "from_complete: col mismatch");
-        assert_eq!(kinds.len(), complete.cols(), "from_complete: kinds len mismatch");
+        assert_eq!(
+            kinds.len(),
+            complete.cols(),
+            "from_complete: kinds len mismatch"
+        );
         let values = Matrix::from_fn(complete.rows(), complete.cols(), |i, j| {
             if mask.get(i, j) {
                 (*complete)[(i, j)]
@@ -103,7 +113,11 @@ impl Dataset {
                 f64::NAN
             }
         });
-        Self { values, mask, kinds }
+        Self {
+            values,
+            mask,
+            kinds,
+        }
     }
 
     /// Number of samples `N`.
@@ -126,7 +140,11 @@ impl Dataset {
     /// Observed cells are passed through *exactly*; missing cells are filled
     /// from the reconstruction `xbar`.
     pub fn merge_imputed(&self, xbar: &Matrix) -> Matrix {
-        assert_eq!(xbar.shape(), self.values.shape(), "merge_imputed: shape mismatch");
+        assert_eq!(
+            xbar.shape(),
+            self.values.shape(),
+            "merge_imputed: shape mismatch"
+        );
         Matrix::from_fn(self.values.rows(), self.values.cols(), |i, j| {
             if self.mask.get(i, j) {
                 self.values[(i, j)]
@@ -261,6 +279,9 @@ mod tests {
     fn observed_cells_iterator() {
         let ds = toy();
         let cells: Vec<_> = ds.observed_cells().collect();
-        assert_eq!(cells, vec![(0, 0, 1.0), (1, 1, 4.0), (2, 0, 5.0), (2, 1, 6.0)]);
+        assert_eq!(
+            cells,
+            vec![(0, 0, 1.0), (1, 1, 4.0), (2, 0, 5.0), (2, 1, 6.0)]
+        );
     }
 }

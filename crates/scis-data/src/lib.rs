@@ -18,7 +18,9 @@
 //!   Algorithm 1;
 //! * [`metrics`] — held-out RMSE (the paper's evaluation protocol), MAE,
 //!   AUC;
-//! * [`csvio`] — minimal CSV round-trip with empty-cell missing values.
+//! * [`csvio`] — minimal CSV round-trip with empty-cell missing values;
+//! * [`validate`] — dataset defect checks (non-finite observed cells,
+//!   all-missing / constant columns) feeding the fault-tolerant pipeline.
 
 pub mod corpus;
 pub mod csvio;
@@ -29,6 +31,7 @@ pub mod missing;
 pub mod normalize;
 pub mod split;
 pub mod synth;
+pub mod validate;
 
 pub use corpus::CovidRecipe;
 pub use dataset::{ColumnKind, Dataset};
@@ -36,3 +39,4 @@ pub use mask::MaskMatrix;
 pub use metrics::Holdout;
 pub use missing::Mechanism;
 pub use normalize::MinMaxScaler;
+pub use validate::{DataError, DataReport};

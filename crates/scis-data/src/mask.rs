@@ -32,7 +32,11 @@ impl MaskMatrix {
 
     /// All-missing mask.
     pub fn all_missing(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, words: vec![0; (rows * cols).div_ceil(64)] }
+        Self {
+            rows,
+            cols,
+            words: vec![0; (rows * cols).div_ceil(64)],
+        }
     }
 
     /// Builds a mask from a dense 0/1 matrix (anything > 0.5 is observed).
@@ -122,7 +126,11 @@ impl MaskMatrix {
 
     /// Dense `f64` (0/1) materialization of the whole mask.
     pub fn to_dense(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |i, j| if self.get(i, j) { 1.0 } else { 0.0 })
+        Matrix::from_fn(
+            self.rows,
+            self.cols,
+            |i, j| if self.get(i, j) { 1.0 } else { 0.0 },
+        )
     }
 
     /// Dense `f64` materialization of the rows at `indices` (mini-batching).

@@ -54,11 +54,11 @@ impl Holdout {
 /// Hides `frac` of the observed cells of `ds` (marking them missing) and
 /// returns the reduced dataset plus the ground truth of the hidden cells.
 pub fn make_holdout(ds: &Dataset, frac: f64, rng: &mut Rng64) -> (Dataset, Holdout) {
-    assert!((0.0..1.0).contains(&frac), "make_holdout: frac must be in [0,1)");
-    let observed: Vec<(usize, usize)> = ds
-        .observed_cells()
-        .map(|(i, j, _)| (i, j))
-        .collect();
+    assert!(
+        (0.0..1.0).contains(&frac),
+        "make_holdout: frac must be in [0,1)"
+    );
+    let observed: Vec<(usize, usize)> = ds.observed_cells().map(|(i, j, _)| (i, j)).collect();
     let k = ((observed.len() as f64) * frac).round() as usize;
     let chosen = rng.sample_indices(observed.len(), k);
     let mut reduced = ds.clone();
@@ -77,7 +77,11 @@ pub fn make_holdout(ds: &Dataset, frac: f64, rng: &mut Rng64) -> (Dataset, Holdo
 /// RMSE over all *originally missing* cells against a known complete ground
 /// truth (available for synthetic data only).
 pub fn rmse_vs_ground_truth(ds: &Dataset, ground_truth: &Matrix, imputed: &Matrix) -> f64 {
-    assert_eq!(ground_truth.shape(), imputed.shape(), "rmse: shape mismatch");
+    assert_eq!(
+        ground_truth.shape(),
+        imputed.shape(),
+        "rmse: shape mismatch"
+    );
     let mut acc = 0.0;
     let mut n = 0usize;
     for i in 0..ds.n_samples() {

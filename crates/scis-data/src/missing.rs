@@ -78,7 +78,11 @@ pub fn inject(
             let medians = col_medians(complete);
             for i in 0..n {
                 let driver_high = complete[(i, 0)] > medians[0];
-                let p = if driver_high { (2.0 * rate).min(0.95) } else { 0.0 };
+                let p = if driver_high {
+                    (2.0 * rate).min(0.95)
+                } else {
+                    0.0
+                };
                 for j in 1..d {
                     if rng.bernoulli(p) {
                         mask.set(i, j, false);
@@ -129,7 +133,11 @@ mod tests {
         let c = complete(2000, 5, 1);
         let mut rng = Rng64::seed_from_u64(2);
         let ds = inject_mcar(&c, 0.3, &mut rng);
-        assert!((ds.missing_rate() - 0.3).abs() < 0.02, "rate {}", ds.missing_rate());
+        assert!(
+            (ds.missing_rate() - 0.3).abs() < 0.02,
+            "rate {}",
+            ds.missing_rate()
+        );
     }
 
     #[test]

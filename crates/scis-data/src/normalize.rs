@@ -18,16 +18,26 @@ pub struct MinMaxScaler {
 
 impl MinMaxScaler {
     /// Fits column ranges on the observed (non-NaN) cells of `values`.
-    /// Columns with no observed cells or constant value get span 1 (they
-    /// map to 0 and back losslessly).
+    ///
+    /// Degenerate columns fall back to the *identity map* (min 0, span 1),
+    /// which round-trips losslessly:
+    /// * no observed cells, or a constant value → zero range;
+    /// * an infinite observed value → non-finite range (such data is
+    ///   rejected upstream by `Dataset::validate`, but the scaler must not
+    ///   emit NaN even when called directly).
     pub fn fit(values: &Matrix) -> Self {
         let mut mins = Vec::with_capacity(values.cols());
         let mut spans = Vec::with_capacity(values.cols());
         for j in 0..values.cols() {
             let (lo, hi) = nan_min_max(&values.col(j)).unwrap_or((0.0, 0.0));
-            mins.push(lo);
             let span = hi - lo;
-            spans.push(if span > 0.0 { span } else { 1.0 });
+            if lo.is_finite() && span.is_finite() {
+                mins.push(lo);
+                spans.push(if span > 0.0 { span } else { 1.0 });
+            } else {
+                mins.push(0.0);
+                spans.push(1.0);
+            }
         }
         Self { mins, spans }
     }
@@ -47,7 +57,11 @@ impl MinMaxScaler {
 
     /// Inverse transform; NaN cells stay NaN.
     pub fn inverse_transform(&self, values: &Matrix) -> Matrix {
-        assert_eq!(values.cols(), self.mins.len(), "inverse_transform: column mismatch");
+        assert_eq!(
+            values.cols(),
+            self.mins.len(),
+            "inverse_transform: column mismatch"
+        );
         Matrix::from_fn(values.rows(), values.cols(), |i, j| {
             let v = (*values)[(i, j)];
             if v.is_nan() {
@@ -63,7 +77,11 @@ impl MinMaxScaler {
         let scaler = MinMaxScaler::fit(&ds.values);
         let values = scaler.transform(&ds.values);
         (
-            Dataset { values, mask: ds.mask.clone(), kinds: ds.kinds.clone() },
+            Dataset {
+                values,
+                mask: ds.mask.clone(),
+                kinds: ds.kinds.clone(),
+            },
             scaler,
         )
     }
@@ -126,6 +144,35 @@ mod tests {
         let s = MinMaxScaler::fit(&v);
         let t = s.transform(&v);
         assert!(t[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn infinite_values_fall_back_to_identity() {
+        // zero-range and non-finite-range columns both take the documented
+        // identity fallback: finite output, exact round-trip of finite cells
+        let v = Matrix::from_rows(&[&[1.0, 5.0], &[f64::INFINITY, 5.0], &[3.0, 5.0]]);
+        let s = MinMaxScaler::fit(&v);
+        let t = s.transform(&v);
+        assert_eq!(t[(0, 0)], 1.0, "identity map leaves finite values alone");
+        assert_eq!(t[(2, 0)], 3.0);
+        assert_eq!(t[(0, 1)], 0.0, "constant column maps to 0");
+        assert!(
+            t[(1, 0)].is_infinite(),
+            "the bad cell itself passes through"
+        );
+        let back = s.inverse_transform(&t);
+        assert_eq!(back[(0, 0)], 1.0);
+        assert_eq!(back[(2, 0)], 3.0);
+        assert_eq!(back[(0, 1)], 5.0);
+    }
+
+    #[test]
+    fn negative_infinity_min_falls_back_to_identity() {
+        let v = Matrix::from_rows(&[&[f64::NEG_INFINITY], &[2.0]]);
+        let s = MinMaxScaler::fit(&v);
+        let t = s.transform(&v);
+        assert_eq!(t[(1, 0)], 2.0);
+        assert!(!t[(1, 0)].is_nan());
     }
 
     #[test]

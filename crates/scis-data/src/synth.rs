@@ -60,13 +60,18 @@ pub struct SynthData {
 /// # Panics
 /// Panics if `n_categorical > n_features` or `latent_dim == 0`.
 pub fn generate(cfg: &SynthConfig, rng: &mut Rng64) -> SynthData {
-    assert!(cfg.n_categorical <= cfg.n_features, "more categorical than features");
+    assert!(
+        cfg.n_categorical <= cfg.n_features,
+        "more categorical than features"
+    );
     assert!(cfg.latent_dim > 0, "latent_dim must be positive");
     let (n, d, k) = (cfg.n_samples, cfg.n_features, cfg.latent_dim);
     let hidden = (2 * k).max(4);
 
     let z = Matrix::from_fn(n, k, |_, _| rng.normal());
-    let w1 = Matrix::from_fn(k, hidden, |_, _| rng.normal_with(0.0, 1.0 / (k as f64).sqrt()));
+    let w1 = Matrix::from_fn(k, hidden, |_, _| {
+        rng.normal_with(0.0, 1.0 / (k as f64).sqrt())
+    });
     let w2 = Matrix::from_fn(hidden, d, |_, _| {
         rng.normal_with(0.0, 1.0 / (hidden as f64).sqrt())
     });
@@ -184,7 +189,12 @@ mod tests {
             assert!(*v == 0.0 || *v == 1.0 || *v == 2.0, "level {}", v);
         }
         // roughly balanced levels (quantile binning)
-        let zeros = data.complete.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let zeros = data
+            .complete
+            .as_slice()
+            .iter()
+            .filter(|&&v| v == 0.0)
+            .count();
         let frac = zeros as f64 / data.complete.len() as f64;
         assert!((frac - 1.0 / 3.0).abs() < 0.1, "level-0 fraction {}", frac);
     }
@@ -200,7 +210,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "more categorical than features")]
     fn rejects_too_many_categoricals() {
-        let cfg = SynthConfig { n_features: 2, n_categorical: 3, ..Default::default() };
+        let cfg = SynthConfig {
+            n_features: 2,
+            n_categorical: 3,
+            ..Default::default()
+        };
         let _ = generate(&cfg, &mut Rng64::seed_from_u64(1));
     }
 }

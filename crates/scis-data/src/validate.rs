@@ -1,0 +1,179 @@
+//! Input validation for incomplete datasets.
+//!
+//! The fault-tolerant pipeline ([`Scis::try_run`] in `scis-core`) refuses to
+//! train on data that would poison the Sinkhorn solves: an observed cell
+//! holding NaN or ±Inf enters the masked cost matrix directly and turns the
+//! whole plan non-finite. Degenerate-but-harmless structure (all-missing or
+//! constant columns) is *reported*, not rejected — the mean imputer and the
+//! min–max scaler both have documented fallbacks for it.
+//!
+//! [`Scis::try_run`]: https://docs.rs/scis-core
+
+use crate::dataset::Dataset;
+use std::fmt;
+
+/// A dataset defect that makes adversarial training unsafe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An *observed* cell (mask = 1) holds a NaN or infinite value.
+    NonFiniteObserved {
+        /// Row of the offending cell.
+        row: usize,
+        /// Column of the offending cell.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The dataset has no rows or no columns.
+    Empty,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::NonFiniteObserved { row, col, value } => write!(
+                f,
+                "observed cell ({row}, {col}) holds non-finite value {value}"
+            ),
+            DataError::Empty => write!(f, "dataset has no rows or no columns"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Structural findings from [`Dataset::validate`]: degenerate columns that
+/// are safe to train on but worth surfacing in the run's anomaly record.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataReport {
+    /// Columns with zero observed cells (the imputer can only guess a
+    /// constant for them; [`crate::normalize::MinMaxScaler`] maps them
+    /// through the identity).
+    pub all_missing_columns: Vec<usize>,
+    /// Columns whose observed cells all hold one value (zero range; the
+    /// scaler falls back to span 1 so they round-trip losslessly).
+    pub constant_columns: Vec<usize>,
+}
+
+impl DataReport {
+    /// True when no degenerate structure was found.
+    pub fn is_clean(&self) -> bool {
+        self.all_missing_columns.is_empty() && self.constant_columns.is_empty()
+    }
+}
+
+impl Dataset {
+    /// Checks the dataset for defects that would poison training.
+    ///
+    /// Returns `Err` on the first observed cell holding a non-finite value
+    /// (missing cells are NaN *by design* and are skipped), and otherwise a
+    /// [`DataReport`] flagging all-missing and constant columns.
+    pub fn validate(&self) -> Result<DataReport, DataError> {
+        if self.n_samples() == 0 || self.n_features() == 0 {
+            return Err(DataError::Empty);
+        }
+        let mut report = DataReport::default();
+        for j in 0..self.n_features() {
+            let mut first: Option<f64> = None;
+            let mut constant = true;
+            for i in 0..self.n_samples() {
+                if !self.mask.get(i, j) {
+                    continue;
+                }
+                let v = self.values[(i, j)];
+                if !v.is_finite() {
+                    return Err(DataError::NonFiniteObserved {
+                        row: i,
+                        col: j,
+                        value: v,
+                    });
+                }
+                match first {
+                    None => first = Some(v),
+                    Some(f0) if f0 != v => constant = false,
+                    Some(_) => {}
+                }
+            }
+            match first {
+                None => report.all_missing_columns.push(j),
+                Some(_) if constant => report.constant_columns.push(j),
+                Some(_) => {}
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scis_tensor::Matrix;
+
+    #[test]
+    fn clean_dataset_reports_clean() {
+        let ds = Dataset::from_values(Matrix::from_rows(&[
+            &[1.0, f64::NAN],
+            &[2.0, 4.0],
+            &[3.0, 5.0],
+        ]));
+        let report = ds.validate().unwrap();
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn observed_nan_is_rejected() {
+        // a NaN value whose mask bit claims "observed" — inconsistent input
+        let complete = Matrix::from_rows(&[&[1.0, f64::NAN], &[2.0, 3.0]]);
+        let mask = crate::mask::MaskMatrix::all_observed(2, 2);
+        let ds = Dataset {
+            values: complete,
+            mask,
+            kinds: vec![crate::ColumnKind::Continuous; 2],
+        };
+        match ds.validate() {
+            Err(DataError::NonFiniteObserved { row: 0, col: 1, .. }) => {}
+            other => panic!("expected NonFiniteObserved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observed_infinity_is_rejected() {
+        let ds = Dataset::from_values(Matrix::from_rows(&[&[1.0], &[f64::INFINITY]]));
+        assert!(matches!(
+            ds.validate(),
+            Err(DataError::NonFiniteObserved { row: 1, col: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_columns_are_flagged_not_rejected() {
+        let ds = Dataset::from_values(Matrix::from_rows(&[
+            &[1.0, f64::NAN, 7.0],
+            &[2.0, f64::NAN, 7.0],
+            &[3.0, f64::NAN, 7.0],
+        ]));
+        let report = ds.validate().unwrap();
+        assert_eq!(report.all_missing_columns, vec![1]);
+        assert_eq!(report.constant_columns, vec![2]);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let ds = Dataset::from_values(Matrix::zeros(0, 3));
+        assert_eq!(ds.validate(), Err(DataError::Empty));
+    }
+
+    #[test]
+    fn error_messages_name_the_cell() {
+        let e = DataError::NonFiniteObserved {
+            row: 3,
+            col: 1,
+            value: f64::INFINITY,
+        };
+        assert_eq!(
+            e.to_string(),
+            "observed cell (3, 1) holds non-finite value inf"
+        );
+    }
+}

@@ -26,7 +26,11 @@ pub struct BoostImputer {
 
 impl Default for BoostImputer {
     fn default() -> Self {
-        Self { n_rounds: 100, learning_rate: 0.3, depth: 1 }
+        Self {
+            n_rounds: 100,
+            learning_rate: 0.3,
+            depth: 1,
+        }
     }
 }
 
@@ -40,7 +44,11 @@ impl BoostedModel {
     fn fit(x: &Matrix, y: &[f64], rounds: usize, lr: f64, depth: usize, rng: &mut Rng64) -> Self {
         let base = y.iter().sum::<f64>() / y.len().max(1) as f64;
         let mut residual: Vec<f64> = y.iter().map(|&v| v - base).collect();
-        let cfg = TreeConfig { max_depth: depth, min_leaf: 2, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: depth,
+            min_leaf: 2,
+            ..Default::default()
+        };
         let mut trees = Vec::with_capacity(rounds);
         for _ in 0..rounds {
             let tree = RegressionTree::fit(x, &residual, &cfg, rng);
@@ -86,8 +94,14 @@ impl Imputer for BoostImputer {
             let other: Vec<usize> = (0..d).filter(|&c| c != j).collect();
             let x_obs = x_filled.select_cols(&other).select_rows(&obs_rows);
             let y_obs: Vec<f64> = obs_rows.iter().map(|&i| ds.values[(i, j)]).collect();
-            let model =
-                BoostedModel::fit(&x_obs, &y_obs, self.n_rounds, self.learning_rate, self.depth, rng);
+            let model = BoostedModel::fit(
+                &x_obs,
+                &y_obs,
+                self.n_rounds,
+                self.learning_rate,
+                self.depth,
+                rng,
+            );
             let x_mis = x_filled.select_cols(&other).select_rows(&mis_rows);
             for (&i, row) in mis_rows.iter().zip(x_mis.rows_iter()) {
                 out[(i, j)] = model.predict_row(row);
@@ -120,7 +134,11 @@ mod tests {
         let complete = table(300, 1);
         let mut rng = Rng64::seed_from_u64(2);
         let ds = inject_mcar(&complete, 0.25, &mut rng);
-        let out = BoostImputer { n_rounds: 50, ..Default::default() }.impute(&ds, &mut rng);
+        let out = BoostImputer {
+            n_rounds: 50,
+            ..Default::default()
+        }
+        .impute(&ds, &mut rng);
         let err = rmse_vs_ground_truth(&ds, &complete, &out);
         let mean_err = rmse_vs_ground_truth(
             &ds,
@@ -135,8 +153,16 @@ mod tests {
         let complete = table(300, 3);
         let mut rng = Rng64::seed_from_u64(4);
         let ds = inject_mcar(&complete, 0.2, &mut rng);
-        let weak = BoostImputer { n_rounds: 2, ..Default::default() }.impute(&ds, &mut rng);
-        let strong = BoostImputer { n_rounds: 80, ..Default::default() }.impute(&ds, &mut rng);
+        let weak = BoostImputer {
+            n_rounds: 2,
+            ..Default::default()
+        }
+        .impute(&ds, &mut rng);
+        let strong = BoostImputer {
+            n_rounds: 80,
+            ..Default::default()
+        }
+        .impute(&ds, &mut rng);
         let e_weak = rmse_vs_ground_truth(&ds, &complete, &weak);
         let e_strong = rmse_vs_ground_truth(&ds, &complete, &strong);
         assert!(e_strong < e_weak, "strong {} vs weak {}", e_strong, e_weak);

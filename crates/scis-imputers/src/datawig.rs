@@ -20,7 +20,10 @@ pub struct DataWigImputer {
 
 impl Default for DataWigImputer {
     fn default() -> Self {
-        Self { config: TrainConfig::default(), hidden: 32 }
+        Self {
+            config: TrainConfig::default(),
+            hidden: 32,
+        }
     }
 }
 
@@ -110,7 +113,10 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(2);
         let ds = inject_mcar(&complete, 0.25, &mut rng);
         let mut dw = DataWigImputer {
-            config: TrainConfig { epochs: 60, ..TrainConfig::fast_test() },
+            config: TrainConfig {
+                epochs: 60,
+                ..TrainConfig::fast_test()
+            },
             hidden: 16,
         };
         let out = dw.impute(&ds, &mut rng);

@@ -27,7 +27,12 @@ pub struct EddiImputer {
 
 impl Default for EddiImputer {
     fn default() -> Self {
-        Self { config: TrainConfig::default(), latent: 10, hidden: 32, beta: 1e-3 }
+        Self {
+            config: TrainConfig::default(),
+            latent: 10,
+            hidden: 32,
+            beta: 1e-3,
+        }
     }
 }
 
@@ -44,8 +49,14 @@ impl Imputer for EddiImputer {
         let enc_input = x_zero.hadamard(&mask).hcat(&mask);
 
         let hidden = [self.hidden];
-        let mut core =
-            VaeCore::new(2 * d, self.latent.min((2 * d).max(2)), &hidden, &hidden, d, rng);
+        let mut core = VaeCore::new(
+            2 * d,
+            self.latent.min((2 * d).max(2)),
+            &hidden,
+            &hidden,
+            d,
+            rng,
+        );
         let mut opt_e = Adam::new(self.config.learning_rate);
         let mut opt_d = Adam::new(self.config.learning_rate);
         let bs = self.config.batch_size.min(n);
@@ -72,7 +83,12 @@ mod tests {
 
     fn fast() -> EddiImputer {
         EddiImputer {
-            config: TrainConfig { epochs: 80, batch_size: 64, learning_rate: 0.005, dropout: 0.0 },
+            config: TrainConfig {
+                epochs: 80,
+                batch_size: 64,
+                learning_rate: 0.005,
+                dropout: 0.0,
+            },
             latent: 4,
             hidden: 24,
             beta: 1e-4,

@@ -51,21 +51,33 @@ impl GainImputer {
         scis_nn::MlpSpec {
             in_dim: 2 * d,
             layers: vec![
-                scis_nn::SpecLayer::Dense { out: d, act: Activation::Relu },
-                scis_nn::SpecLayer::Dense { out: d, act: Activation::Sigmoid },
+                scis_nn::SpecLayer::Dense {
+                    out: d,
+                    act: Activation::Relu,
+                },
+                scis_nn::SpecLayer::Dense {
+                    out: d,
+                    act: Activation::Sigmoid,
+                },
             ],
         }
     }
 
     /// Saves the trained generator to `path` (see [`scis_nn::save_mlp`]).
-    pub fn save_generator(&mut self, path: &std::path::Path) -> Result<(), scis_nn::serialize::ModelIoError> {
+    pub fn save_generator(
+        &mut self,
+        path: &std::path::Path,
+    ) -> Result<(), scis_nn::serialize::ModelIoError> {
         let spec = self.generator_spec();
         scis_nn::save_mlp(path, self.generator_mut(), &spec)
     }
 
     /// Loads a generator saved by [`GainImputer::save_generator`]; the
     /// imputer becomes ready to `reconstruct` without retraining.
-    pub fn load_generator(&mut self, path: &std::path::Path) -> Result<(), scis_nn::serialize::ModelIoError> {
+    pub fn load_generator(
+        &mut self,
+        path: &std::path::Path,
+    ) -> Result<(), scis_nn::serialize::ModelIoError> {
         let (net, spec) = scis_nn::load_mlp(path)?;
         assert_eq!(spec.in_dim % 2, 0, "generator input must be 2·d");
         let d = spec.in_dim / 2;
@@ -101,7 +113,10 @@ impl GainImputer {
         rng: &mut Rng64,
     ) -> (f64, f64) {
         let d_feats = x.cols();
-        assert!(self.is_initialized(d_feats), "GainImputer: networks not initialized");
+        assert!(
+            self.is_initialized(d_feats),
+            "GainImputer: networks not initialized"
+        );
 
         // x̃ = m⊙x + (1−m)⊙z
         let z = Matrix::from_fn(x.rows(), d_feats, |_, _| rng.uniform_range(0.0, 0.01));
@@ -142,7 +157,7 @@ impl GainImputer {
         discriminator.zero_grad();
         let grad_d_in = discriminator.backward(&adv_grad_dout);
         discriminator.zero_grad(); // D params must not move on the G step
-        // slice x̂ part, route through x̂ = … + (1−m)⊙x̄
+                                   // slice x̂ part, route through x̂ = … + (1−m)⊙x̄
         let grad_xhat = grad_d_in.select_cols(&(0..d_feats).collect::<Vec<_>>());
         let mut grad_xbar = grad_xhat.hadamard(&inv_mask);
 
@@ -193,13 +208,20 @@ impl AdversarialImputer for GainImputer {
     }
 
     fn generator_mut(&mut self) -> &mut Mlp {
-        self.generator.as_mut().expect("GainImputer: generator not initialized")
+        self.generator
+            .as_mut()
+            .expect("GainImputer: generator not initialized")
     }
 
     fn reconstruct(&mut self, values: &Matrix, mask: &Matrix) -> Matrix {
-        assert!(self.is_initialized(values.cols()), "GainImputer: not initialized");
+        assert!(
+            self.is_initialized(values.cols()),
+            "GainImputer: not initialized"
+        );
         let noise = Matrix::full(values.rows(), values.cols(), Self::DET_NOISE);
-        let x_tilde = mask.hadamard(values).add(&mask.map(|m| 1.0 - m).hadamard(&noise));
+        let x_tilde = mask
+            .hadamard(values)
+            .add(&mask.map(|m| 1.0 - m).hadamard(&noise));
         let g_in = x_tilde.hcat(mask);
         // eval mode: deterministic
         let mut throwaway = Rng64::seed_from_u64(0);
@@ -210,8 +232,12 @@ impl AdversarialImputer for GainImputer {
     }
 
     fn generator_input(&self, values: &Matrix, mask: &Matrix, rng: &mut Rng64) -> Matrix {
-        let z = Matrix::from_fn(values.rows(), values.cols(), |_, _| rng.uniform_range(0.0, 0.01));
-        let x_tilde = mask.hadamard(values).add(&mask.map(|m| 1.0 - m).hadamard(&z));
+        let z = Matrix::from_fn(values.rows(), values.cols(), |_, _| {
+            rng.uniform_range(0.0, 0.01)
+        });
+        let x_tilde = mask
+            .hadamard(values)
+            .add(&mask.map(|m| 1.0 - m).hadamard(&z));
         x_tilde.hcat(mask)
     }
 
@@ -341,7 +367,12 @@ mod tests {
             first.get_or_insert(d_loss);
             last = d_loss;
         }
-        assert!(last < first.unwrap(), "D loss {} -> {}", first.unwrap(), last);
+        assert!(
+            last < first.unwrap(),
+            "D loss {} -> {}",
+            first.unwrap(),
+            last
+        );
     }
 
     #[test]

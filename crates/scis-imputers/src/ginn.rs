@@ -160,11 +160,16 @@ impl AdversarialImputer for GinnImputer {
     }
 
     fn generator_mut(&mut self) -> &mut Mlp {
-        self.generator.as_mut().expect("GinnImputer: generator not initialized")
+        self.generator
+            .as_mut()
+            .expect("GinnImputer: generator not initialized")
     }
 
     fn reconstruct(&mut self, values: &Matrix, mask: &Matrix) -> Matrix {
-        assert!(self.is_initialized(values.cols()), "GinnImputer: not initialized");
+        assert!(
+            self.is_initialized(values.cols()),
+            "GinnImputer: not initialized"
+        );
         let x_tilde = mask.hadamard(values);
         let rows: Vec<usize> = (0..values.rows()).collect();
         let g_in = if self.neighbors.len() == values.rows() {
@@ -190,7 +195,8 @@ impl AdversarialImputer for GinnImputer {
                     g
                 }
             };
-            self.smooth_with(&x_tilde, &rows, &x_tilde, &graph).hcat(mask)
+            self.smooth_with(&x_tilde, &rows, &x_tilde, &graph)
+                .hcat(mask)
         };
         let mut throwaway = Rng64::seed_from_u64(0);
         self.generator
@@ -200,8 +206,12 @@ impl AdversarialImputer for GinnImputer {
     }
 
     fn generator_input(&self, values: &Matrix, mask: &Matrix, rng: &mut Rng64) -> Matrix {
-        let z = Matrix::from_fn(values.rows(), values.cols(), |_, _| rng.uniform_range(0.0, 0.01));
-        let x_tilde = mask.hadamard(values).add(&mask.map(|m| 1.0 - m).hadamard(&z));
+        let z = Matrix::from_fn(values.rows(), values.cols(), |_, _| {
+            rng.uniform_range(0.0, 0.01)
+        });
+        let x_tilde = mask
+            .hadamard(values)
+            .add(&mask.map(|m| 1.0 - m).hadamard(&z));
         // batch-local similarity graph: GINN's graph convolution carries
         // into DIM training, where only the batch is visible
         let k_n = self.k_neighbors.min(values.rows().saturating_sub(1));
@@ -210,7 +220,8 @@ impl AdversarialImputer for GinnImputer {
         }
         let graph = Self::build_graph(&x_tilde, k_n);
         let rows: Vec<usize> = (0..values.rows()).collect();
-        self.smooth_with(&x_tilde, &rows, &x_tilde, &graph).hcat(mask)
+        self.smooth_with(&x_tilde, &rows, &x_tilde, &graph)
+            .hcat(mask)
     }
 
     fn train_native(&mut self, ds: &Dataset, rng: &mut Rng64) {
@@ -352,4 +363,3 @@ mod tests {
         }
     }
 }
-

@@ -117,8 +117,7 @@ impl HivaeImputer {
                 ColumnKind::Categorical { levels } => {
                     let l = (*levels).max(2);
                     // gather observed rows and their target classes
-                    let rows: Vec<usize> =
-                        (0..b).filter(|&i| mb[(i, j)] > 0.5).collect();
+                    let rows: Vec<usize> = (0..b).filter(|&i| mb[(i, j)] > 0.5).collect();
                     if rows.is_empty() {
                         continue;
                     }
@@ -135,8 +134,7 @@ impl HivaeImputer {
                     loss += self.categorical_weight * ce;
                     for (k, &i) in rows.iter().enumerate() {
                         for c in 0..w {
-                            grad[(i, off + c)] +=
-                                self.categorical_weight * ce_grad[(k, c)];
+                            grad[(i, off + c)] += self.categorical_weight * ce_grad[(k, c)];
                         }
                     }
                 }
@@ -242,7 +240,12 @@ mod tests {
 
     fn fast() -> HivaeImputer {
         HivaeImputer {
-            config: TrainConfig { epochs: 80, batch_size: 64, learning_rate: 0.005, dropout: 0.0 },
+            config: TrainConfig {
+                epochs: 80,
+                batch_size: 64,
+                learning_rate: 0.005,
+                dropout: 0.0,
+            },
             latent: 4,
             hidden: 16,
             beta: 1e-4,
@@ -313,7 +316,10 @@ mod tests {
                 }
             }),
             mask,
-            kinds: vec![ColumnKind::Continuous, ColumnKind::Categorical { levels: 3 }],
+            kinds: vec![
+                ColumnKind::Continuous,
+                ColumnKind::Categorical { levels: 3 },
+            ],
         };
         let mut imp = fast();
         imp.argmax_categorical = true;

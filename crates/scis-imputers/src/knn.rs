@@ -24,15 +24,15 @@ pub struct KnnImputer {
 
 impl Default for KnnImputer {
     fn default() -> Self {
-        Self { k: 5, max_candidates: 5_000 }
+        Self {
+            k: 5,
+            max_candidates: 5_000,
+        }
     }
 }
 
 /// Mean squared distance over commonly observed dims; `None` if no overlap.
-fn overlap_distance(
-    a: &[f64],
-    b: &[f64],
-) -> Option<f64> {
+fn overlap_distance(a: &[f64], b: &[f64]) -> Option<f64> {
     let mut acc = 0.0;
     let mut n = 0usize;
     for (&x, &y) in a.iter().zip(b) {
@@ -128,7 +128,11 @@ mod tests {
         ]);
         let ds = Dataset::from_values(v);
         let mut rng = Rng64::seed_from_u64(1);
-        let out = KnnImputer { k: 1, ..Default::default() }.impute(&ds, &mut rng);
+        let out = KnnImputer {
+            k: 1,
+            ..Default::default()
+        }
+        .impute(&ds, &mut rng);
         assert!((out[(3, 2)] - 1.0).abs() < 1e-9, "got {}", out[(3, 2)]);
     }
 
@@ -147,16 +151,17 @@ mod tests {
         let mean_out = crate::mean::MeanImputer.impute(&ds, &mut rng);
         let knn_err = scis_data::metrics::rmse_vs_ground_truth(&ds, &complete, &knn_out);
         let mean_err = scis_data::metrics::rmse_vs_ground_truth(&ds, &complete, &mean_out);
-        assert!(knn_err < mean_err * 0.5, "knn {} vs mean {}", knn_err, mean_err);
+        assert!(
+            knn_err < mean_err * 0.5,
+            "knn {} vs mean {}",
+            knn_err,
+            mean_err
+        );
     }
 
     #[test]
     fn row_with_nothing_observed_gets_column_means() {
-        let v = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[f64::NAN, f64::NAN],
-        ]);
+        let v = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[f64::NAN, f64::NAN]]);
         let ds = Dataset::from_values(v);
         let mut rng = Rng64::seed_from_u64(3);
         let out = KnnImputer::default().impute(&ds, &mut rng);

@@ -28,8 +28,8 @@ pub mod knn;
 pub mod mean;
 pub mod mice;
 pub mod midae;
-pub mod miwae;
 pub mod missforest;
+pub mod miwae;
 pub mod rrsi;
 pub mod traits;
 pub mod tree;

@@ -72,7 +72,7 @@ mod tests {
         let out = MeanImputer.impute(&ds, &mut rng);
         assert_eq!(out[(2, 0)], 3.0); // mean of 1,3,5
         assert_eq!(out[(1, 1)], 50.0); // mean of 10,40,100
-        // observed pass through
+                                       // observed pass through
         assert_eq!(out[(0, 0)], 1.0);
         assert!(!out.has_nan());
     }

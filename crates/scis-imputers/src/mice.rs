@@ -28,7 +28,12 @@ pub struct MiceImputer {
 
 impl Default for MiceImputer {
     fn default() -> Self {
-        Self { n_cycles: 5, n_imputations: 20, ridge: 1e-3, noise: 0.02 }
+        Self {
+            n_cycles: 5,
+            n_imputations: 20,
+            ridge: 1e-3,
+            noise: 0.02,
+        }
     }
 }
 
@@ -48,8 +53,9 @@ impl MiceImputer {
             }
         });
 
-        let incomplete_cols: Vec<usize> =
-            (0..d).filter(|&j| ds.mask.col_observed_count(j) < n).collect();
+        let incomplete_cols: Vec<usize> = (0..d)
+            .filter(|&j| ds.mask.col_observed_count(j) < n)
+            .collect();
 
         for _cycle in 0..self.n_cycles {
             for &j in &incomplete_cols {
@@ -90,7 +96,10 @@ impl Imputer for MiceImputer {
     }
 
     fn impute(&mut self, ds: &Dataset, rng: &mut Rng64) -> Matrix {
-        assert!(self.n_imputations > 0, "MiceImputer: need at least one imputation");
+        assert!(
+            self.n_imputations > 0,
+            "MiceImputer: need at least one imputation"
+        );
         let (n, d) = ds.values.shape();
         let mut acc = Matrix::zeros(n, d);
         for _ in 0..self.n_imputations {
@@ -139,7 +148,11 @@ mod tests {
         let complete = linear_table(300, 1);
         let mut rng = Rng64::seed_from_u64(2);
         let ds = one_cell_per_row_missing(&complete, 0.5, &mut rng);
-        let out = MiceImputer { noise: 0.0, ..Default::default() }.impute(&ds, &mut rng);
+        let out = MiceImputer {
+            noise: 0.0,
+            ..Default::default()
+        }
+        .impute(&ds, &mut rng);
         let err = rmse_vs_ground_truth(&ds, &complete, &out);
         assert!(err < 0.05, "rmse {}", err);
     }
@@ -161,10 +174,18 @@ mod tests {
         let complete = linear_table(200, 5);
         let mut rng = Rng64::seed_from_u64(6);
         let ds = inject_mcar(&complete, 0.3, &mut rng);
-        let single = MiceImputer { n_imputations: 1, noise: 0.1, ..Default::default() }
-            .impute(&ds, &mut rng);
-        let multi = MiceImputer { n_imputations: 20, noise: 0.1, ..Default::default() }
-            .impute(&ds, &mut rng);
+        let single = MiceImputer {
+            n_imputations: 1,
+            noise: 0.1,
+            ..Default::default()
+        }
+        .impute(&ds, &mut rng);
+        let multi = MiceImputer {
+            n_imputations: 20,
+            noise: 0.1,
+            ..Default::default()
+        }
+        .impute(&ds, &mut rng);
         let e1 = rmse_vs_ground_truth(&ds, &complete, &single);
         let e20 = rmse_vs_ground_truth(&ds, &complete, &multi);
         assert!(e20 < e1, "single {} vs averaged {}", e1, e20);

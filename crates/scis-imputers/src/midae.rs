@@ -23,7 +23,11 @@ pub struct MidaeImputer {
 
 impl Default for MidaeImputer {
     fn default() -> Self {
-        Self { config: TrainConfig::default(), hidden: 128, n_imputations: 5 }
+        Self {
+            config: TrainConfig::default(),
+            hidden: 128,
+            n_imputations: 5,
+        }
     }
 }
 
@@ -93,7 +97,12 @@ mod tests {
 
     fn fast() -> MidaeImputer {
         MidaeImputer {
-            config: TrainConfig { epochs: 60, batch_size: 64, learning_rate: 0.005, dropout: 0.2 },
+            config: TrainConfig {
+                epochs: 60,
+                batch_size: 64,
+                learning_rate: 0.005,
+                dropout: 0.2,
+            },
             hidden: 32,
             n_imputations: 5,
         }

@@ -28,14 +28,23 @@ pub struct MissForestImputer {
 
 impl Default for MissForestImputer {
     fn default() -> Self {
-        Self { n_trees: 100, max_iter: 5, tol: 1e-5, tree_config: TreeConfig::default() }
+        Self {
+            n_trees: 100,
+            max_iter: 5,
+            tol: 1e-5,
+            tree_config: TreeConfig::default(),
+        }
     }
 }
 
 impl MissForestImputer {
     /// A small configuration for tests and tiny datasets.
     pub fn small() -> Self {
-        Self { n_trees: 10, max_iter: 3, ..Default::default() }
+        Self {
+            n_trees: 10,
+            max_iter: 3,
+            ..Default::default()
+        }
     }
 }
 
@@ -59,8 +68,9 @@ impl Imputer for MissForestImputer {
         });
 
         // visit columns in increasing missing-count order (MissForest's rule)
-        let mut cols: Vec<usize> =
-            (0..d).filter(|&j| ds.mask.col_observed_count(j) < n).collect();
+        let mut cols: Vec<usize> = (0..d)
+            .filter(|&j| ds.mask.col_observed_count(j) < n)
+            .collect();
         cols.sort_by_key(|&j| n - ds.mask.col_observed_count(j));
 
         for _iter in 0..self.max_iter {
@@ -75,7 +85,8 @@ impl Imputer for MissForestImputer {
                 let other: Vec<usize> = (0..d).filter(|&c| c != j).collect();
                 let x_obs = x.select_cols(&other).select_rows(&obs_rows);
                 let y_obs: Vec<f64> = obs_rows.iter().map(|&i| ds.values[(i, j)]).collect();
-                let forest = RandomForest::fit(&x_obs, &y_obs, self.n_trees, &self.tree_config, rng);
+                let forest =
+                    RandomForest::fit(&x_obs, &y_obs, self.n_trees, &self.tree_config, rng);
                 let x_mis = x.select_cols(&other).select_rows(&mis_rows);
                 let preds = forest.predict(&x_mis);
                 for (&i, p) in mis_rows.iter().zip(preds) {
@@ -146,7 +157,12 @@ mod tests {
         let mean = crate::mean::MeanImputer.impute(&ds, &mut rng);
         let e_mf = rmse_vs_ground_truth(&ds, &complete, &mf);
         let e_mean = rmse_vs_ground_truth(&ds, &complete, &mean);
-        assert!(e_mf < e_mean * 0.5, "missforest {} vs mean {}", e_mf, e_mean);
+        assert!(
+            e_mf < e_mean * 0.5,
+            "missforest {} vs mean {}",
+            e_mf,
+            e_mean
+        );
     }
 
     #[test]

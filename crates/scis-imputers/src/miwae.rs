@@ -146,7 +146,12 @@ mod tests {
 
     fn fast() -> MiwaeImputer {
         MiwaeImputer {
-            config: TrainConfig { epochs: 80, batch_size: 64, learning_rate: 0.005, dropout: 0.0 },
+            config: TrainConfig {
+                epochs: 80,
+                batch_size: 64,
+                learning_rate: 0.005,
+                dropout: 0.0,
+            },
             latent: 4,
             hidden: 24,
             beta: 1e-4,

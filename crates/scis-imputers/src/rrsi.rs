@@ -36,7 +36,11 @@ impl Default for RrsiImputer {
     fn default() -> Self {
         Self {
             config: TrainConfig::default(),
-            sinkhorn: SinkhornOptions { lambda: 0.002, max_iters: 500, tol: 1e-7 },
+            sinkhorn: SinkhornOptions {
+                lambda: 0.002,
+                max_iters: 500,
+                tol: 1e-7,
+            },
             init_noise: 0.1,
             step_size: 100.0,
         }
@@ -71,7 +75,15 @@ impl Imputer for RrsiImputer {
             .collect();
         // free parameters: one slot per missing cell
         let missing: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| (0..d).filter_map(move |j| if ds.mask.get(i, j) { None } else { Some((i, j)) }))
+            .flat_map(|i| {
+                (0..d).filter_map(move |j| {
+                    if ds.mask.get(i, j) {
+                        None
+                    } else {
+                        Some((i, j))
+                    }
+                })
+            })
             .collect();
         let mut x = Matrix::from_fn(n, d, |i, j| {
             let v = ds.values[(i, j)];
@@ -156,8 +168,16 @@ mod tests {
 
     fn fast() -> RrsiImputer {
         RrsiImputer {
-            config: TrainConfig { epochs: 60, batch_size: 32, ..TrainConfig::fast_test() },
-            sinkhorn: SinkhornOptions { lambda: 0.002, max_iters: 300, tol: 1e-6 },
+            config: TrainConfig {
+                epochs: 60,
+                batch_size: 32,
+                ..TrainConfig::fast_test()
+            },
+            sinkhorn: SinkhornOptions {
+                lambda: 0.002,
+                max_iters: 300,
+                tol: 1e-6,
+            },
             init_noise: 0.1,
             step_size: 100.0,
         }
@@ -207,4 +227,3 @@ mod tests {
         }
     }
 }
-

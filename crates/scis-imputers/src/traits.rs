@@ -20,14 +20,24 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 100, batch_size: 128, learning_rate: 0.001, dropout: 0.5 }
+        Self {
+            epochs: 100,
+            batch_size: 128,
+            learning_rate: 0.001,
+            dropout: 0.5,
+        }
     }
 }
 
 impl TrainConfig {
     /// A fast configuration for unit tests.
     pub fn fast_test() -> Self {
-        Self { epochs: 15, batch_size: 64, learning_rate: 0.01, dropout: 0.3 }
+        Self {
+            epochs: 15,
+            batch_size: 64,
+            learning_rate: 0.01,
+            dropout: 0.3,
+        }
     }
 }
 

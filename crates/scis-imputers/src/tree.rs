@@ -43,7 +43,12 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 8, min_leaf: 3, mtry: None, n_thresholds: 10 }
+        Self {
+            max_depth: 8,
+            min_leaf: 3,
+            mtry: None,
+            n_thresholds: 10,
+        }
     }
 }
 
@@ -80,7 +85,9 @@ impl RegressionTree {
         rng: &mut Rng64,
     ) -> usize {
         let node_id = nodes.len();
-        nodes.push(Node::Leaf { value: mean_of(&idx, y) });
+        nodes.push(Node::Leaf {
+            value: mean_of(&idx, y),
+        });
         if depth >= cfg.max_depth || idx.len() < 2 * cfg.min_leaf {
             return node_id;
         }
@@ -140,7 +147,12 @@ impl RegressionTree {
                 idx.iter().partition(|&&i| x[(i, feature)] <= threshold);
             let left = Self::grow(nodes, x, y, left_idx, depth + 1, cfg, rng);
             let right = Self::grow(nodes, x, y, right_idx, depth + 1, cfg, rng);
-            nodes[node_id] = Node::Split { feature, threshold, left, right };
+            nodes[node_id] = Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            };
         }
         node_id
     }
@@ -151,8 +163,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[cur] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    cur = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    cur = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -183,7 +204,9 @@ impl RandomForest {
         let n = x.rows();
         let d = x.cols();
         let cfg = TreeConfig {
-            mtry: cfg.mtry.or(Some(((d as f64).sqrt().ceil() as usize).max(1))),
+            mtry: cfg
+                .mtry
+                .or(Some(((d as f64).sqrt().ceil() as usize).max(1))),
             ..*cfg
         };
         let trees = (0..n_trees)
@@ -232,8 +255,12 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(2);
         let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng);
         let preds = tree.predict(&x);
-        let err: f64 =
-            preds.iter().zip(&y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64;
+        let err: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
         assert!(err < 0.01, "mse {}", err);
         assert!(tree.n_nodes() >= 3);
     }
@@ -242,7 +269,10 @@ mod tests {
     fn depth_zero_tree_is_the_mean() {
         let (x, y) = step_data(100, 3);
         let mut rng = Rng64::seed_from_u64(4);
-        let cfg = TreeConfig { max_depth: 0, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
         let mean = y.iter().sum::<f64>() / y.len() as f64;
         assert_eq!(tree.n_nodes(), 1);
@@ -253,7 +283,10 @@ mod tests {
     fn min_leaf_is_respected() {
         let (x, y) = step_data(20, 5);
         let mut rng = Rng64::seed_from_u64(6);
-        let cfg = TreeConfig { min_leaf: 15, ..Default::default() };
+        let cfg = TreeConfig {
+            min_leaf: 15,
+            ..Default::default()
+        };
         let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
         // cannot split 20 rows into two leaves of ≥15
         assert_eq!(tree.n_nodes(), 1);
@@ -267,7 +300,11 @@ mod tests {
         let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng);
         let probe = Matrix::from_fn(50, 3, |_, _| rng.uniform_range(-10.0, 10.0));
         for p in tree.predict(&probe) {
-            assert!((2.0..=5.0).contains(&p), "prediction {} out of target range", p);
+            assert!(
+                (2.0..=5.0).contains(&p),
+                "prediction {} out of target range",
+                p
+            );
         }
     }
 
@@ -280,7 +317,11 @@ mod tests {
             .map(|i| (x[(i, 0)] * 6.0).sin() * 0.5 + 0.5 + rng.normal_with(0.0, 0.15))
             .collect();
         let truth = |r: &[f64]| (r[0] * 6.0).sin() * 0.5 + 0.5;
-        let cfg = TreeConfig { max_depth: 10, min_leaf: 2, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 10,
+            min_leaf: 2,
+            ..Default::default()
+        };
         let tree = RegressionTree::fit(&x, &y, &cfg, &mut rng);
         let forest = RandomForest::fit(&x, &y, 30, &cfg, &mut rng);
         let probe = Matrix::from_fn(200, 2, |_, _| rng.uniform());

@@ -32,7 +32,15 @@ impl VaeCore {
         out_dim: usize,
         rng: &mut Rng64,
     ) -> Self {
-        Self::with_head(input_dim, latent, enc_hidden, dec_hidden, out_dim, Activation::Sigmoid, rng)
+        Self::with_head(
+            input_dim,
+            latent,
+            enc_hidden,
+            dec_hidden,
+            out_dim,
+            Activation::Sigmoid,
+            rng,
+        )
     }
 
     /// Like [`VaeCore::new`] but with an explicit decoder head activation
@@ -57,7 +65,11 @@ impl VaeCore {
             db = db.dense(h, Activation::Relu);
         }
         let decoder = db.dense(out_dim, head).build(rng);
-        Self { encoder, decoder, latent }
+        Self {
+            encoder,
+            decoder,
+            latent,
+        }
     }
 
     /// One ELBO gradient step on a batch. `target`/`weight` define the
@@ -151,7 +163,12 @@ pub struct VaeImputer {
 
 impl Default for VaeImputer {
     fn default() -> Self {
-        Self { config: TrainConfig::default(), latent: 10, hidden: 20, beta: 1e-3 }
+        Self {
+            config: TrainConfig::default(),
+            latent: 10,
+            hidden: 20,
+            beta: 1e-3,
+        }
     }
 }
 
@@ -203,7 +220,12 @@ mod tests {
 
     fn fast_vae() -> VaeImputer {
         VaeImputer {
-            config: TrainConfig { epochs: 80, batch_size: 64, learning_rate: 0.005, dropout: 0.0 },
+            config: TrainConfig {
+                epochs: 80,
+                batch_size: 64,
+                learning_rate: 0.005,
+                dropout: 0.0,
+            },
             latent: 4,
             hidden: 16,
             beta: 1e-4,
@@ -242,7 +264,12 @@ mod tests {
             first.get_or_insert(l);
             last = l;
         }
-        assert!(last < first.unwrap() * 0.8, "{} -> {}", first.unwrap(), last);
+        assert!(
+            last < first.unwrap() * 0.8,
+            "{} -> {}",
+            first.unwrap(),
+            last
+        );
     }
 
     #[test]

@@ -77,7 +77,11 @@ pub fn check_network_gradients(
         checked += 1;
     }
     net.set_param_vector(&theta);
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel, checked }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+        checked,
+    }
 }
 
 #[cfg(test)]
@@ -95,8 +99,7 @@ mod tests {
             .build(&mut rng);
         let x = Matrix::from_fn(6, 4, |i, j| ((i + 2 * j) as f64 * 0.37).sin());
         let target = Matrix::from_fn(6, 3, |i, j| ((i * j) as f64 * 0.11).cos());
-        let report =
-            check_network_gradients(&mut net, &x, |p| mse(p, &target), 200, &mut rng);
+        let report = check_network_gradients(&mut net, &x, |p| mse(p, &target), 200, &mut rng);
         assert!(report.checked > 10);
         assert!(report.passes(1e-4), "report {:?}", report);
     }
@@ -110,8 +113,7 @@ mod tests {
             .build(&mut rng);
         let x = Matrix::from_fn(10, 3, |i, j| ((i * 7 + j) % 5) as f64 / 5.0 - 0.4);
         let target = Matrix::from_fn(10, 1, |i, _| (i % 2) as f64);
-        let report =
-            check_network_gradients(&mut net, &x, |p| bce_prob(p, &target), 200, &mut rng);
+        let report = check_network_gradients(&mut net, &x, |p| bce_prob(p, &target), 200, &mut rng);
         assert!(report.passes(1e-3), "report {:?}", report);
     }
 
@@ -126,8 +128,7 @@ mod tests {
         // doesn't straddle the ReLU kink
         let x = Matrix::from_fn(8, 2, |i, j| 1.0 + ((i + j) % 3) as f64);
         let target = Matrix::zeros(8, 2);
-        let report =
-            check_network_gradients(&mut net, &x, |p| mse(p, &target), 100, &mut rng);
+        let report = check_network_gradients(&mut net, &x, |p| mse(p, &target), 100, &mut rng);
         assert!(report.passes(1e-3), "report {:?}", report);
     }
 

@@ -36,8 +36,12 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(2);
         let w = xavier_uniform(200, 200, &mut rng);
         let mean = w.mean();
-        let var =
-            w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w.len() as f64;
+        let var = w
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / w.len() as f64;
         // Var(U(-a,a)) = a²/3 = (6/400)/3
         let expect = (6.0 / 400.0) / 3.0;
         assert!((var - expect).abs() / expect < 0.1, "{} vs {}", var, expect);
@@ -48,9 +52,18 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(3);
         let w = he_normal(128, 128, &mut rng);
         let mean = w.mean();
-        let var =
-            w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / w.len() as f64;
+        let var = w
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / w.len() as f64;
         let expect = 2.0 / 128.0;
-        assert!((var - expect).abs() / expect < 0.15, "{} vs {}", var, expect);
+        assert!(
+            (var - expect).abs() / expect < 0.15,
+            "{} vs {}",
+            var,
+            expect
+        );
     }
 }

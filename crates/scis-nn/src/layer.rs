@@ -184,7 +184,11 @@ pub struct ActLayer {
 impl ActLayer {
     /// Wraps an [`Activation`] as a layer.
     pub fn new(act: Activation) -> Self {
-        Self { act, cached_in: None, cached_out: None }
+        Self {
+            act,
+            cached_in: None,
+            cached_out: None,
+        }
     }
 }
 
@@ -197,8 +201,14 @@ impl Layer for ActLayer {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self.cached_in.as_ref().expect("ActLayer::backward before forward");
-        let y = self.cached_out.as_ref().expect("ActLayer::backward before forward");
+        let x = self
+            .cached_in
+            .as_ref()
+            .expect("ActLayer::backward before forward");
+        let y = self
+            .cached_out
+            .as_ref()
+            .expect("ActLayer::backward before forward");
         let mut grad = grad_out.clone();
         let act = self.act;
         for ((g, &xv), &yv) in grad

@@ -21,7 +21,11 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
 /// Normalizes by the total weight, not the element count.
 pub fn weighted_mse(pred: &Matrix, target: &Matrix, weight: &Matrix) -> (f64, Matrix) {
     assert_eq!(pred.shape(), target.shape(), "weighted_mse: shape mismatch");
-    assert_eq!(pred.shape(), weight.shape(), "weighted_mse: weight shape mismatch");
+    assert_eq!(
+        pred.shape(),
+        weight.shape(),
+        "weighted_mse: weight shape mismatch"
+    );
     let wsum: f64 = weight.sum();
     let denom = if wsum > 0.0 { wsum } else { 1.0 };
     let diff = pred.sub(target).hadamard(weight);
@@ -57,8 +61,16 @@ pub fn bce_prob(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
 /// normalized by the mask sum. Used by GAIN's discriminator/generator games
 /// where only some entries carry a label.
 pub fn masked_bce_prob(pred: &Matrix, target: &Matrix, mask: &Matrix) -> (f64, Matrix) {
-    assert_eq!(pred.shape(), target.shape(), "masked_bce_prob: shape mismatch");
-    assert_eq!(pred.shape(), mask.shape(), "masked_bce_prob: mask shape mismatch");
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "masked_bce_prob: shape mismatch"
+    );
+    assert_eq!(
+        pred.shape(),
+        mask.shape(),
+        "masked_bce_prob: mask shape mismatch"
+    );
     const EPS: f64 = 1e-8;
     let denom = {
         let s = mask.sum();
@@ -95,7 +107,11 @@ pub fn bce_logits(logits: &Matrix, target: &Matrix) -> (f64, Matrix) {
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
     for (k, (&z, &t)) in logits.as_slice().iter().zip(target.as_slice()).enumerate() {
         // log(1 + e^z) computed stably
-        let softplus = if z > 0.0 { z + (-z).exp().ln_1p() } else { z.exp().ln_1p() };
+        let softplus = if z > 0.0 {
+            z + (-z).exp().ln_1p()
+        } else {
+            z.exp().ln_1p()
+        };
         loss += softplus - t * z;
         let sigma = 1.0 / (1.0 + (-z).exp());
         grad.as_mut_slice()[k] = (sigma - t) / n;
@@ -109,7 +125,11 @@ pub fn bce_logits(logits: &Matrix, target: &Matrix) -> (f64, Matrix) {
 /// (`softmax − onehot`, scaled by 1/batch). Used by the heterogeneous
 /// likelihood heads (HIVAE's categorical columns).
 pub fn softmax_cross_entropy(logits: &Matrix, target_idx: &[usize]) -> (f64, Matrix) {
-    assert_eq!(logits.rows(), target_idx.len(), "softmax_ce: batch mismatch");
+    assert_eq!(
+        logits.rows(),
+        target_idx.len(),
+        "softmax_ce: batch mismatch"
+    );
     let (b, k) = logits.shape();
     assert!(k > 0, "softmax_ce: zero classes");
     let mut grad = Matrix::zeros(b, k);
@@ -167,11 +187,7 @@ pub fn mae_value(pred: &Matrix, target: &Matrix) -> f64 {
 mod tests {
     use super::*;
 
-    fn fd_check(
-        f: impl Fn(&Matrix) -> (f64, Matrix),
-        at: &Matrix,
-        tol: f64,
-    ) {
+    fn fd_check(f: impl Fn(&Matrix) -> (f64, Matrix), at: &Matrix, tol: f64) {
         let (_, grad) = f(at);
         let h = 1e-6;
         for k in 0..at.len() {
@@ -263,10 +279,7 @@ mod tests {
         let (loss, grad) = softmax_cross_entropy(&logits, &targets);
         assert!(loss > 0.0 && loss.is_finite());
         // uniform logits → loss contribution ln(3)
-        let (l_uniform, _) = softmax_cross_entropy(
-            &Matrix::from_rows(&[&[0.0, 0.0, 0.0]]),
-            &[1],
-        );
+        let (l_uniform, _) = softmax_cross_entropy(&Matrix::from_rows(&[&[0.0, 0.0, 0.0]]), &[1]);
         assert!((l_uniform - 3.0f64.ln()).abs() < 1e-12);
         // gradient rows sum to zero (softmax − onehot property)
         for i in 0..2 {

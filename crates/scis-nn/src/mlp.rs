@@ -39,7 +39,10 @@ enum LayerSpec {
 impl Mlp {
     /// Starts building a network whose input has `in_dim` features.
     pub fn builder(in_dim: usize) -> MlpBuilder {
-        MlpBuilder { in_dim, specs: Vec::new() }
+        MlpBuilder {
+            in_dim,
+            specs: Vec::new(),
+        }
     }
 
     /// Input feature count.
@@ -164,7 +167,11 @@ impl MlpBuilder {
             }
         }
         assert!(!layers.is_empty(), "MlpBuilder::build: empty network");
-        Mlp { layers, in_dim: self.in_dim, out_dim }
+        Mlp {
+            layers,
+            in_dim: self.in_dim,
+            out_dim,
+        }
     }
 }
 
@@ -261,7 +268,10 @@ mod tests {
     #[test]
     fn builder_with_dropout_has_no_extra_params() {
         let mut r = rng();
-        let mut with = Mlp::builder(4).dropout(0.5).dense(3, Activation::Relu).build(&mut r);
+        let mut with = Mlp::builder(4)
+            .dropout(0.5)
+            .dense(3, Activation::Relu)
+            .build(&mut r);
         let mut r2 = rng();
         let mut without = Mlp::builder(4).dense(3, Activation::Relu).build(&mut r2);
         assert_eq!(with.num_params(), without.num_params());
@@ -289,6 +299,11 @@ mod tests {
             first.get_or_insert(loss);
             last = loss;
         }
-        assert!(last < first.unwrap() * 0.1, "loss {} -> {}", first.unwrap(), last);
+        assert!(
+            last < first.unwrap() * 0.1,
+            "loss {} -> {}",
+            first.unwrap(),
+            last
+        );
     }
 }

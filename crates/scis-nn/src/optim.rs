@@ -71,7 +71,15 @@ impl Adam {
     pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> Self {
         assert!(lr > 0.0, "Adam: learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Self { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Resets step count and moment estimates (used when a network is
@@ -130,7 +138,12 @@ impl RmsProp {
     /// Creates RMSprop with the conventional `decay = 0.9, ε = 1e-8`.
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0, "RmsProp: learning rate must be positive");
-        Self { lr, decay: 0.9, eps: 1e-8, v: Vec::new() }
+        Self {
+            lr,
+            decay: 0.9,
+            eps: 1e-8,
+            v: Vec::new(),
+        }
     }
 }
 
@@ -218,7 +231,9 @@ mod tests {
 
     fn quadratic_problem() -> (Mlp, Matrix, Matrix, Rng64) {
         let mut rng = Rng64::seed_from_u64(21);
-        let net = Mlp::builder(2).dense(1, Activation::Identity).build(&mut rng);
+        let net = Mlp::builder(2)
+            .dense(1, Activation::Identity)
+            .build(&mut rng);
         let x = Matrix::from_fn(32, 2, |i, j| ((i * 3 + j * 5) % 17) as f64 / 17.0 - 0.5);
         let target = Matrix::from_fn(32, 1, |i, _| x[(i, 0)] * 3.0 - x[(i, 1)] * 1.5 + 0.25);
         (net, x, target, rng)
@@ -315,7 +330,11 @@ mod tests {
 
     #[test]
     fn step_decay_schedule() {
-        let s = StepDecay { base_lr: 0.1, factor: 0.5, every: 10 };
+        let s = StepDecay {
+            base_lr: 0.1,
+            factor: 0.5,
+            every: 10,
+        };
         assert_eq!(s.at(0), 0.1);
         assert_eq!(s.at(9), 0.1);
         assert_eq!(s.at(10), 0.05);

@@ -163,17 +163,22 @@ pub fn load_mlp(path: &Path) -> Result<(Mlp, MlpSpec), ModelIoError> {
 
     let (l1, header) = next("header")?;
     if header.trim() != "scis-mlp v1" {
-        return Err(ModelIoError::Format { line: l1, message: "bad header".into() });
+        return Err(ModelIoError::Format {
+            line: l1,
+            message: "bad header".into(),
+        });
     }
     let (l2, in_line) = next("in <dim>")?;
     let in_dim: usize = in_line
         .strip_prefix("in ")
         .and_then(|v| v.trim().parse().ok())
-        .ok_or(ModelIoError::Format { line: l2, message: "expected `in <dim>`".into() })?;
+        .ok_or(ModelIoError::Format {
+            line: l2,
+            message: "expected `in <dim>`".into(),
+        })?;
 
     let mut layers = Vec::new();
-    let mut n_params = None;
-    loop {
+    let n_params = loop {
         let (ln, line) = next("layer or params")?;
         let fields: Vec<&str> = line.split_whitespace().collect();
         match fields.as_slice() {
@@ -182,7 +187,10 @@ pub fn load_mlp(path: &Path) -> Result<(Mlp, MlpSpec), ModelIoError> {
                     line: ln,
                     message: "bad dense width".into(),
                 })?;
-                layers.push(SpecLayer::Dense { out, act: act_from(act, ln)? });
+                layers.push(SpecLayer::Dense {
+                    out,
+                    act: act_from(act, ln)?,
+                });
             }
             ["dropout", p] => {
                 let p: f64 = p.parse().map_err(|_| ModelIoError::Format {
@@ -192,11 +200,10 @@ pub fn load_mlp(path: &Path) -> Result<(Mlp, MlpSpec), ModelIoError> {
                 layers.push(SpecLayer::Dropout { p });
             }
             ["params", count] => {
-                n_params = Some(count.parse::<usize>().map_err(|_| ModelIoError::Format {
+                break count.parse::<usize>().map_err(|_| ModelIoError::Format {
                     line: ln,
                     message: "bad params count".into(),
-                })?);
-                break;
+                })?;
             }
             _ => {
                 return Err(ModelIoError::Format {
@@ -205,8 +212,7 @@ pub fn load_mlp(path: &Path) -> Result<(Mlp, MlpSpec), ModelIoError> {
                 })
             }
         }
-    }
-    let n_params = n_params.expect("loop breaks only after params");
+    };
     let mut params = Vec::with_capacity(n_params);
     for _ in 0..n_params {
         let (ln, line) = next("parameter")?;
@@ -250,9 +256,15 @@ mod tests {
         MlpSpec {
             in_dim: 4,
             layers: vec![
-                SpecLayer::Dense { out: 8, act: Activation::Relu },
+                SpecLayer::Dense {
+                    out: 8,
+                    act: Activation::Relu,
+                },
                 SpecLayer::Dropout { p: 0.5 },
-                SpecLayer::Dense { out: 2, act: Activation::Sigmoid },
+                SpecLayer::Dense {
+                    out: 2,
+                    act: Activation::Sigmoid,
+                },
             ],
         }
     }
@@ -282,7 +294,10 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(2);
         let s = MlpSpec {
             in_dim: 1,
-            layers: vec![SpecLayer::Dense { out: 2, act: Activation::Identity }],
+            layers: vec![SpecLayer::Dense {
+                out: 2,
+                act: Activation::Identity,
+            }],
         };
         let mut net = s.build(&mut rng);
         // force awkward values: subnormal, negative zero, exact thirds

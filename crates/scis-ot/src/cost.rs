@@ -12,8 +12,16 @@ use scis_tensor::Matrix;
 /// # Panics
 /// Panics if feature dimensions disagree or masks don't match their data.
 pub fn masked_sq_cost(a: &Matrix, ma: &Matrix, b: &Matrix, mb: &Matrix) -> Matrix {
-    assert_eq!(a.shape(), ma.shape(), "masked_sq_cost: a/mask shape mismatch");
-    assert_eq!(b.shape(), mb.shape(), "masked_sq_cost: b/mask shape mismatch");
+    assert_eq!(
+        a.shape(),
+        ma.shape(),
+        "masked_sq_cost: a/mask shape mismatch"
+    );
+    assert_eq!(
+        b.shape(),
+        mb.shape(),
+        "masked_sq_cost: b/mask shape mismatch"
+    );
     assert_eq!(a.cols(), b.cols(), "masked_sq_cost: feature dim mismatch");
     let (n, m) = (a.rows(), b.rows());
     let d = a.cols();

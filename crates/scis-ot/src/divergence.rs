@@ -35,8 +35,16 @@ pub fn ms_divergence(
     mask: &Matrix,
     opts: &SinkhornOptions,
 ) -> MsDivergenceValue {
-    assert_eq!(xbar.shape(), x.shape(), "ms_divergence: data shape mismatch");
-    assert_eq!(x.shape(), mask.shape(), "ms_divergence: mask shape mismatch");
+    assert_eq!(
+        xbar.shape(),
+        x.shape(),
+        "ms_divergence: data shape mismatch"
+    );
+    assert_eq!(
+        x.shape(),
+        mask.shape(),
+        "ms_divergence: mask shape mismatch"
+    );
 
     let cross_cost = masked_sq_cost(xbar, mask, x, mask);
     let self_a_cost = masked_self_cost(xbar, mask);
@@ -47,7 +55,12 @@ pub fn ms_divergence(
     let self_b = sinkhorn_uniform(&self_b_cost, opts);
 
     let value = 2.0 * cross.reg_value - self_a.reg_value - self_b.reg_value;
-    MsDivergenceValue { value, cross, self_a, self_b }
+    MsDivergenceValue {
+        value,
+        cross,
+        self_a,
+        self_b,
+    }
 }
 
 /// The paper's imputation loss `L_s(X, M) = S_m(ν̂ ‖ μ̂) / (2n)`.
@@ -62,7 +75,11 @@ mod tests {
     use scis_tensor::Rng64;
 
     fn opts(lambda: f64) -> SinkhornOptions {
-        SinkhornOptions { lambda, max_iters: 2000, tol: 1e-10 }
+        SinkhornOptions {
+            lambda,
+            max_iters: 2000,
+            tol: 1e-10,
+        }
     }
 
     #[test]
@@ -129,9 +146,12 @@ mod tests {
         let q_emp = m.mean(); // realized missing-ness
         let x0 = Matrix::zeros(n, 1);
         let lambda = 0.01;
-        let o = SinkhornOptions { lambda, max_iters: 20_000, tol: 1e-11 };
-        let entropy_const =
-            lambda * ((1.0 - q_emp) * (1.0 - q_emp).ln() + q_emp * q_emp.ln());
+        let o = SinkhornOptions {
+            lambda,
+            max_iters: 20_000,
+            tol: 1e-11,
+        };
+        let entropy_const = lambda * ((1.0 - q_emp) * (1.0 - q_emp).ln() + q_emp * q_emp.ln());
         let mut prev = -1.0;
         for &theta in &[0.5f64, 0.8, 1.2] {
             let xt = Matrix::full(n, 1, theta);

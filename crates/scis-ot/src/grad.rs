@@ -16,13 +16,20 @@
 //! against central finite differences of the actual Sinkhorn values.
 
 use crate::cost::{masked_self_cost, masked_sq_cost};
-use crate::sinkhorn::{sinkhorn_uniform, SinkhornOptions};
+use crate::sinkhorn::{
+    sinkhorn_uniform, try_sinkhorn_uniform_escalated, EscalationPolicy, SinkhornError,
+    SinkhornOptions, SolveStats,
+};
 use scis_tensor::Matrix;
 
 /// Gradient of the *cross* entropic OT value `OT_λ^m(x̄, x)` w.r.t. `x̄`.
 pub fn cross_ot_grad(xbar: &Matrix, x: &Matrix, mask: &Matrix, plan: &Matrix) -> Matrix {
     let (n, d) = xbar.shape();
-    assert_eq!(plan.shape(), (n, x.rows()), "cross_ot_grad: plan shape mismatch");
+    assert_eq!(
+        plan.shape(),
+        (n, x.rows()),
+        "cross_ot_grad: plan shape mismatch"
+    );
     let mut grad = Matrix::zeros(n, d);
     for i in 0..n {
         let mi = mask.row(i);
@@ -82,6 +89,42 @@ pub fn ms_loss_grad(
     (loss, grad.scale(1.0 / (2.0 * n)))
 }
 
+/// Fault-tolerant variant of [`ms_loss_grad`]: validates every Sinkhorn
+/// input (surfacing poisoned batches as [`SinkhornError`] instead of NaN
+/// propagation or panics) and escalates non-converged solves through
+/// ε-scaling per `policy`, reporting the retry accounting.
+pub fn ms_loss_grad_tracked(
+    xbar: &Matrix,
+    x: &Matrix,
+    mask: &Matrix,
+    opts: &SinkhornOptions,
+    policy: &EscalationPolicy,
+) -> Result<(f64, Matrix, SolveStats), SinkhornError> {
+    assert_eq!(xbar.shape(), x.shape(), "ms_loss_grad: data shape mismatch");
+    assert_eq!(x.shape(), mask.shape(), "ms_loss_grad: mask shape mismatch");
+    let n = x.rows().max(1) as f64;
+    let mut stats = SolveStats::default();
+
+    let cross_cost = masked_sq_cost(xbar, mask, x, mask);
+    let self_a_cost = masked_self_cost(xbar, mask);
+    let self_b_cost = masked_self_cost(x, mask);
+    let (cross, s1) = try_sinkhorn_uniform_escalated(&cross_cost, opts, policy)?;
+    let (self_a, s2) = try_sinkhorn_uniform_escalated(&self_a_cost, opts, policy)?;
+    let (self_b, s3) = try_sinkhorn_uniform_escalated(&self_b_cost, opts, policy)?;
+    stats.absorb(s1);
+    stats.absorb(s2);
+    stats.absorb(s3);
+
+    let value = 2.0 * cross.reg_value - self_a.reg_value - self_b.reg_value;
+    let loss = value / (2.0 * n);
+
+    let g_cross = cross_ot_grad(xbar, x, mask, &cross.plan);
+    let g_self = self_ot_grad(xbar, mask, &self_a.plan);
+    let mut grad = g_cross.scale(2.0);
+    grad.axpy(-1.0, &g_self);
+    Ok((loss, grad.scale(1.0 / (2.0 * n)), stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,7 +132,11 @@ mod tests {
     use scis_tensor::Rng64;
 
     fn opts() -> SinkhornOptions {
-        SinkhornOptions { lambda: 0.5, max_iters: 5000, tol: 1e-12 }
+        SinkhornOptions {
+            lambda: 0.5,
+            max_iters: 5000,
+            tol: 1e-12,
+        }
     }
 
     #[test]
@@ -99,8 +146,7 @@ mod tests {
         let d = 3;
         let x = Matrix::from_fn(n, d, |_, _| rng.uniform());
         let xbar = Matrix::from_fn(n, d, |_, _| rng.uniform());
-        let mask =
-            Matrix::from_fn(n, d, |_, _| if rng.bernoulli(0.7) { 1.0 } else { 0.0 });
+        let mask = Matrix::from_fn(n, d, |_, _| if rng.bernoulli(0.7) { 1.0 } else { 0.0 });
         let o = opts();
         let (_, grad) = ms_loss_grad(&xbar, &x, &mask, &o);
 
@@ -111,8 +157,8 @@ mod tests {
             plus[(i, k)] += h;
             let mut minus = xbar.clone();
             minus[(i, k)] -= h;
-            let numeric = (ms_loss(&plus, &x, &mask, &o) - ms_loss(&minus, &x, &mask, &o))
-                / (2.0 * h);
+            let numeric =
+                (ms_loss(&plus, &x, &mask, &o) - ms_loss(&minus, &x, &mask, &o)) / (2.0 * h);
             let analytic = grad[(i, k)];
             assert!(
                 (numeric - analytic).abs() < 1e-5 + 0.02 * numeric.abs(),
@@ -149,7 +195,11 @@ mod tests {
         let (loss, grad) = ms_loss_grad(&x, &x, &mask, &opts());
         assert!(loss.abs() < 1e-8);
         // at ν̂ = μ̂ the cross and self plans coincide, so 2g_cross = g_self
-        assert!(grad.frobenius_norm() < 1e-6, "‖grad‖ = {}", grad.frobenius_norm());
+        assert!(
+            grad.frobenius_norm() < 1e-6,
+            "‖grad‖ = {}",
+            grad.frobenius_norm()
+        );
     }
 
     #[test]
@@ -164,7 +214,11 @@ mod tests {
         let x0 = Matrix::zeros(n, 1);
         // λ ≪ θ² so the plans sit in the block-diagonal regime where the
         // paper's closed form S = 2qθ² + const holds.
-        let o = SinkhornOptions { lambda: 0.01, max_iters: 20_000, tol: 1e-12 };
+        let o = SinkhornOptions {
+            lambda: 0.01,
+            max_iters: 20_000,
+            tol: 1e-12,
+        };
         let grad_at = |theta: f64| {
             let xt = Matrix::full(n, 1, theta);
             let (_, g) = ms_loss_grad(&xt, &x0, &mask, &o);

@@ -23,6 +23,10 @@ pub mod sliced;
 
 pub use cost::masked_sq_cost;
 pub use divergence::{ms_divergence, ms_loss, MsDivergenceValue};
-pub use grad::ms_loss_grad;
-pub use sinkhorn::{sinkhorn, sinkhorn_uniform, SinkhornOptions, SinkhornResult};
+pub use grad::{ms_loss_grad, ms_loss_grad_tracked};
+pub use sinkhorn::{
+    sinkhorn, sinkhorn_uniform, try_sinkhorn, try_sinkhorn_escalated, try_sinkhorn_uniform,
+    try_sinkhorn_uniform_escalated, EscalationPolicy, SinkhornError, SinkhornOptions,
+    SinkhornResult, SolveStats,
+};
 pub use sliced::{sliced_w2_loss, sliced_w2_loss_grad, SlicedOptions};

@@ -28,14 +28,21 @@ pub struct SinkhornOptions {
 
 impl Default for SinkhornOptions {
     fn default() -> Self {
-        Self { lambda: 130.0, max_iters: 500, tol: 1e-9 }
+        Self {
+            lambda: 130.0,
+            max_iters: 500,
+            tol: 1e-9,
+        }
     }
 }
 
 impl SinkhornOptions {
     /// Convenience constructor fixing λ, keeping default iteration limits.
     pub fn with_lambda(lambda: f64) -> Self {
-        Self { lambda, ..Self::default() }
+        Self {
+            lambda,
+            ..Self::default()
+        }
     }
 }
 
@@ -56,6 +63,149 @@ pub struct SinkhornResult {
     pub iterations: usize,
     /// Whether the marginal tolerance was met within `max_iters`.
     pub converged: bool,
+}
+
+/// Structured failure from a fallible Sinkhorn solve.
+///
+/// Every condition here was previously an `assert!`/`debug_assert!` panic;
+/// [`try_sinkhorn`] surfaces them as values so callers embedded in long
+/// training runs can degrade gracefully instead of aborting the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SinkhornError {
+    /// A marginal or potential vector length disagrees with the cost shape.
+    DimensionMismatch {
+        /// Which input was mis-sized.
+        what: &'static str,
+        /// Length found.
+        got: usize,
+        /// Length required by the cost matrix.
+        expected: usize,
+    },
+    /// λ ≤ 0 or non-finite — the entropic problem is undefined.
+    BadLambda {
+        /// The offending λ.
+        lambda: f64,
+    },
+    /// A marginal is not a probability vector (negative/non-finite entries,
+    /// or mass not summing to 1 within tolerance).
+    BadMarginal {
+        /// `"a"` or `"b"`.
+        side: &'static str,
+        /// Human-readable diagnosis.
+        reason: &'static str,
+    },
+    /// The cost matrix contains a NaN/Inf entry — typically a poisoned
+    /// generator batch upstream.
+    NonFiniteCost {
+        /// Row of the first offending entry.
+        row: usize,
+        /// Column of the first offending entry.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for SinkhornError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SinkhornError::DimensionMismatch {
+                what,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "sinkhorn: {} length mismatch ({} vs expected {})",
+                    what, got, expected
+                )
+            }
+            SinkhornError::BadLambda { lambda } => {
+                write!(
+                    f,
+                    "sinkhorn: lambda must be positive and finite, got {}",
+                    lambda
+                )
+            }
+            SinkhornError::BadMarginal { side, reason } => {
+                write!(
+                    f,
+                    "sinkhorn: marginal {:?} is not a probability vector ({})",
+                    side, reason
+                )
+            }
+            SinkhornError::NonFiniteCost { row, col } => {
+                write!(f, "sinkhorn: non-finite cost entry at ({}, {})", row, col)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SinkhornError {}
+
+/// Validates solver inputs, returning the first structural defect found.
+fn validate_inputs(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    opts: &SinkhornOptions,
+) -> Result<(), SinkhornError> {
+    let (n, m) = cost.shape();
+    if a.len() != n {
+        return Err(SinkhornError::DimensionMismatch {
+            what: "first marginal",
+            got: a.len(),
+            expected: n,
+        });
+    }
+    if b.len() != m {
+        return Err(SinkhornError::DimensionMismatch {
+            what: "second marginal",
+            got: b.len(),
+            expected: m,
+        });
+    }
+    if !(opts.lambda.is_finite() && opts.lambda > 0.0) {
+        return Err(SinkhornError::BadLambda {
+            lambda: opts.lambda,
+        });
+    }
+    for (side, w) in [("a", a), ("b", b)] {
+        let mut sum = 0.0;
+        for &v in w {
+            if !v.is_finite() {
+                return Err(SinkhornError::BadMarginal {
+                    side,
+                    reason: "non-finite entry",
+                });
+            }
+            if v < 0.0 {
+                return Err(SinkhornError::BadMarginal {
+                    side,
+                    reason: "negative entry",
+                });
+            }
+            sum += v;
+        }
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(SinkhornError::BadMarginal {
+                side,
+                reason: "mass does not sum to 1",
+            });
+        }
+        if w.iter().all(|&v| v == 0.0) {
+            return Err(SinkhornError::BadMarginal {
+                side,
+                reason: "all entries zero",
+            });
+        }
+    }
+    for i in 0..n {
+        for (j, &c) in cost.row(i).iter().enumerate() {
+            if !c.is_finite() {
+                return Err(SinkhornError::NonFiniteCost { row: i, col: j });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Numerically stable `log Σ exp(v_k + w_k)`.
@@ -86,9 +236,29 @@ fn log_sum_exp(terms: impl Iterator<Item = f64> + Clone) -> f64 {
 ///
 /// # Panics
 /// Panics on dimension mismatch, non-positive λ, or weights that do not
-/// form probability vectors (up to 1e-6).
+/// form probability vectors (up to 1e-6). Use [`try_sinkhorn`] for a
+/// fallible variant that reports these as [`SinkhornError`] values.
 pub fn sinkhorn(cost: &Matrix, a: &[f64], b: &[f64], opts: &SinkhornOptions) -> SinkhornResult {
-    sinkhorn_impl(cost, a, b, vec![0.0; a.len()], vec![0.0; b.len()], opts)
+    try_sinkhorn(cost, a, b, opts).unwrap_or_else(|e| panic!("{}", e))
+}
+
+/// Fallible Sinkhorn solve: validates the cost matrix, marginals, and λ up
+/// front and returns a structured [`SinkhornError`] instead of panicking.
+pub fn try_sinkhorn(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    opts: &SinkhornOptions,
+) -> Result<SinkhornResult, SinkhornError> {
+    validate_inputs(cost, a, b, opts)?;
+    Ok(sinkhorn_impl(
+        cost,
+        a,
+        b,
+        vec![0.0; a.len()],
+        vec![0.0; b.len()],
+        opts,
+    ))
 }
 
 fn sinkhorn_impl(
@@ -100,17 +270,18 @@ fn sinkhorn_impl(
     opts: &SinkhornOptions,
 ) -> SinkhornResult {
     let (n, m) = cost.shape();
-    assert_eq!(a.len(), n, "sinkhorn: first marginal length mismatch");
-    assert_eq!(b.len(), m, "sinkhorn: second marginal length mismatch");
-    assert_eq!(f_init.len(), n, "sinkhorn: f potential length mismatch");
-    assert_eq!(g_init.len(), m, "sinkhorn: g potential length mismatch");
-    assert!(opts.lambda > 0.0, "sinkhorn: lambda must be positive");
-    debug_assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-6, "a must sum to 1");
-    debug_assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-6, "b must sum to 1");
+    debug_assert_eq!(f_init.len(), n, "sinkhorn: f potential length mismatch");
+    debug_assert_eq!(g_init.len(), m, "sinkhorn: g potential length mismatch");
 
     let lam = opts.lambda;
-    let log_a: Vec<f64> = a.iter().map(|&w| if w > 0.0 { w.ln() } else { f64::NEG_INFINITY }).collect();
-    let log_b: Vec<f64> = b.iter().map(|&w| if w > 0.0 { w.ln() } else { f64::NEG_INFINITY }).collect();
+    let log_a: Vec<f64> = a
+        .iter()
+        .map(|&w| if w > 0.0 { w.ln() } else { f64::NEG_INFINITY })
+        .collect();
+    let log_b: Vec<f64> = b
+        .iter()
+        .map(|&w| if w > 0.0 { w.ln() } else { f64::NEG_INFINITY })
+        .collect();
 
     let mut f = f_init;
     let mut g = g_init;
@@ -124,16 +295,12 @@ fn sinkhorn_impl(
         // f_i ← −λ LSE_j [ log b_j + (g_j − C_ij)/λ ]
         for (i, fi) in f.iter_mut().enumerate() {
             let row = cost.row(i);
-            let lse = log_sum_exp(
-                (0..m).map(|j| log_b[j] + (g[j] - row[j]) / lam),
-            );
+            let lse = log_sum_exp((0..m).map(|j| log_b[j] + (g[j] - row[j]) / lam));
             *fi = -lam * lse;
         }
         // g_j ← −λ LSE_i [ log a_i + (f_i − C_ij)/λ ]
         for j in 0..m {
-            let lse = log_sum_exp(
-                (0..n).map(|i| log_a[i] + (f[i] - cost[(i, j)]) / lam),
-            );
+            let lse = log_sum_exp((0..n).map(|i| log_a[i] + (f[i] - cost[(i, j)]) / lam));
             g[j] = -lam * lse;
         }
         // After a g-update, column marginals are exact; check row marginals.
@@ -171,7 +338,15 @@ fn sinkhorn_impl(
     }
     let reg_value = transport_cost + lam * neg_entropy;
 
-    SinkhornResult { f, g, plan, transport_cost, reg_value, iterations, converged }
+    SinkhornResult {
+        f,
+        g,
+        plan,
+        transport_cost,
+        reg_value,
+        iterations,
+        converged,
+    }
 }
 
 /// Sinkhorn with uniform marginals `a = b = 1/n` — the empirical-measure
@@ -181,6 +356,17 @@ pub fn sinkhorn_uniform(cost: &Matrix, opts: &SinkhornOptions) -> SinkhornResult
     let a = vec![1.0 / n as f64; n];
     let b = vec![1.0 / m as f64; m];
     sinkhorn(cost, &a, &b, opts)
+}
+
+/// Fallible uniform-marginal solve — see [`try_sinkhorn`].
+pub fn try_sinkhorn_uniform(
+    cost: &Matrix,
+    opts: &SinkhornOptions,
+) -> Result<SinkhornResult, SinkhornError> {
+    let (n, m) = cost.shape();
+    let a = vec![1.0 / n.max(1) as f64; n];
+    let b = vec![1.0 / m.max(1) as f64; m];
+    try_sinkhorn(cost, &a, &b, opts)
 }
 
 /// Log-domain Sinkhorn continued from given dual potentials (warm start).
@@ -193,6 +379,19 @@ pub fn sinkhorn_warm(
     g0: Vec<f64>,
     opts: &SinkhornOptions,
 ) -> SinkhornResult {
+    if let Err(e) = validate_inputs(cost, a, b, opts) {
+        panic!("{}", e);
+    }
+    assert_eq!(
+        f0.len(),
+        a.len(),
+        "sinkhorn_warm: f potential length mismatch"
+    );
+    assert_eq!(
+        g0.len(),
+        b.len(),
+        "sinkhorn_warm: g potential length mismatch"
+    );
     sinkhorn_impl(cost, a, b, f0, g0, opts)
 }
 
@@ -209,7 +408,35 @@ pub fn sinkhorn_eps_scaling(
     opts: &SinkhornOptions,
     n_stages: usize,
 ) -> SinkhornResult {
-    assert!(n_stages >= 1, "sinkhorn_eps_scaling: need at least one stage");
+    if let Err(e) = validate_inputs(cost, a, b, opts) {
+        panic!("{}", e);
+    }
+    eps_scaling_impl(cost, a, b, opts, n_stages)
+}
+
+/// Fallible ε-scaling solve — see [`sinkhorn_eps_scaling`].
+pub fn try_sinkhorn_eps_scaling(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    opts: &SinkhornOptions,
+    n_stages: usize,
+) -> Result<SinkhornResult, SinkhornError> {
+    validate_inputs(cost, a, b, opts)?;
+    Ok(eps_scaling_impl(cost, a, b, opts, n_stages))
+}
+
+fn eps_scaling_impl(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    opts: &SinkhornOptions,
+    n_stages: usize,
+) -> SinkhornResult {
+    assert!(
+        n_stages >= 1,
+        "sinkhorn_eps_scaling: need at least one stage"
+    );
     let max_cost = cost.max().max(opts.lambda);
     // start near the cost scale (plans ~ product measure, trivially solved)
     let lambda_start = max_cost.max(opts.lambda);
@@ -229,8 +456,16 @@ pub fn sinkhorn_eps_scaling(
         let stage_opts = SinkhornOptions {
             lambda,
             // intermediate stages only need rough potentials
-            max_iters: if stage + 1 == n_stages { opts.max_iters } else { opts.max_iters / 4 + 1 },
-            tol: if stage + 1 == n_stages { opts.tol } else { opts.tol * 100.0 },
+            max_iters: if stage + 1 == n_stages {
+                opts.max_iters
+            } else {
+                opts.max_iters / 4 + 1
+            },
+            tol: if stage + 1 == n_stages {
+                opts.tol
+            } else {
+                opts.tol * 100.0
+            },
         };
         let r = sinkhorn_impl(cost, a, b, f, g, &stage_opts);
         f = r.f.clone();
@@ -253,6 +488,110 @@ pub fn sinkhorn_eps_scaling_uniform(
     sinkhorn_eps_scaling(cost, &a, &b, opts, n_stages)
 }
 
+/// Retry policy when a plain solve fails to reach the marginal tolerance:
+/// each escalation attempt re-solves with [`sinkhorn_eps_scaling`], doubling
+/// the number of annealing stages (starting from `base_stages`) and growing
+/// the iteration budget by `iter_growth` per attempt. Annealing alone cannot
+/// rescue an iteration-starved solve — each stage reuses the caller's
+/// `max_iters` — so the budget must grow with the stage count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EscalationPolicy {
+    /// Maximum number of ε-scaling retries after a failed plain solve.
+    pub max_attempts: usize,
+    /// Stage count of the first retry; attempt `i` uses `base_stages << i`.
+    pub base_stages: usize,
+    /// Iteration-budget multiplier: attempt `i` runs with
+    /// `max_iters * iter_growth^(i+1)`.
+    pub iter_growth: usize,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 2,
+            base_stages: 4,
+            iter_growth: 4,
+        }
+    }
+}
+
+impl EscalationPolicy {
+    /// A policy that never escalates (plain solve only).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 0,
+            base_stages: 4,
+            iter_growth: 1,
+        }
+    }
+}
+
+/// Per-solve accounting of the escalation ladder, merged upward into the
+/// pipeline's anomaly record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// ε-scaling retries performed across solves.
+    pub escalations: usize,
+    /// Solves that stayed unconverged even after the last retry.
+    pub unconverged: usize,
+}
+
+impl SolveStats {
+    /// Accumulates another stats record into this one.
+    pub fn absorb(&mut self, other: SolveStats) {
+        self.escalations += other.escalations;
+        self.unconverged += other.unconverged;
+    }
+}
+
+/// Sinkhorn with non-convergence escalation: runs a plain solve, then —
+/// while the marginal tolerance is unmet and attempts remain — re-solves
+/// with ε-scaling at a growing stage count. Returns the best result plus
+/// the retry accounting; never panics on bad inputs.
+pub fn try_sinkhorn_escalated(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    opts: &SinkhornOptions,
+    policy: &EscalationPolicy,
+) -> Result<(SinkhornResult, SolveStats), SinkhornError> {
+    validate_inputs(cost, a, b, opts)?;
+    let mut stats = SolveStats::default();
+    let mut result = sinkhorn_impl(cost, a, b, vec![0.0; a.len()], vec![0.0; b.len()], opts);
+    let mut stages = policy.base_stages.max(2);
+    let growth = policy.iter_growth.max(1);
+    let mut budget = opts.max_iters;
+    for _ in 0..policy.max_attempts {
+        if result.converged {
+            break;
+        }
+        stats.escalations += 1;
+        budget = budget.saturating_mul(growth);
+        let esc_opts = SinkhornOptions {
+            max_iters: budget,
+            ..*opts
+        };
+        result = eps_scaling_impl(cost, a, b, &esc_opts, stages);
+        stages *= 2;
+    }
+    if !result.converged {
+        stats.unconverged += 1;
+    }
+    Ok((result, stats))
+}
+
+/// Uniform-marginal convenience wrapper for [`try_sinkhorn_escalated`].
+pub fn try_sinkhorn_uniform_escalated(
+    cost: &Matrix,
+    opts: &SinkhornOptions,
+    policy: &EscalationPolicy,
+) -> Result<(SinkhornResult, SolveStats), SinkhornError> {
+    let (n, m) = cost.shape();
+    let a = vec![1.0 / n.max(1) as f64; n];
+    let b = vec![1.0 / m.max(1) as f64; m];
+    try_sinkhorn_escalated(cost, &a, &b, opts, policy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,9 +605,17 @@ mod tests {
         let c = toy_cost();
         let r = sinkhorn_uniform(
             &c,
-            &SinkhornOptions { lambda: 0.1, max_iters: 20_000, tol: 1e-8 },
+            &SinkhornOptions {
+                lambda: 0.1,
+                max_iters: 20_000,
+                tol: 1e-8,
+            },
         );
-        assert!(r.converged, "not converged after {} iterations", r.iterations);
+        assert!(
+            r.converged,
+            "not converged after {} iterations",
+            r.iterations
+        );
         let rows = r.plan.row_sums();
         let cols = r.plan.col_sums();
         for v in rows.iter().chain(cols.iter()) {
@@ -281,7 +628,14 @@ mod tests {
     fn small_lambda_approaches_unregularized_ot() {
         // cost with a perfect matching of cost 0 on the diagonal
         let c = toy_cost();
-        let r = sinkhorn_uniform(&c, &SinkhornOptions { lambda: 0.005, max_iters: 5000, tol: 1e-10 });
+        let r = sinkhorn_uniform(
+            &c,
+            &SinkhornOptions {
+                lambda: 0.005,
+                max_iters: 5000,
+                tol: 1e-10,
+            },
+        );
         // unregularized OT = 0 (identity assignment)
         assert!(r.transport_cost < 0.01, "cost {}", r.transport_cost);
         // plan concentrates on the diagonal
@@ -341,7 +695,14 @@ mod tests {
     fn stable_under_tiny_lambda_large_costs() {
         // would underflow e^{-C/λ} in the primal domain: C up to 1e4, λ=1e-3
         let c = Matrix::from_fn(5, 5, |i, j| (i as f64 - j as f64).powi(2) * 400.0);
-        let r = sinkhorn_uniform(&c, &SinkhornOptions { lambda: 1e-3, max_iters: 2000, tol: 1e-8 });
+        let r = sinkhorn_uniform(
+            &c,
+            &SinkhornOptions {
+                lambda: 1e-3,
+                max_iters: 2000,
+                tol: 1e-8,
+            },
+        );
         assert!(r.transport_cost.is_finite());
         assert!(r.plan.as_slice().iter().all(|p| p.is_finite()));
         // identity matching is optimal
@@ -360,13 +721,210 @@ mod tests {
         let c = Matrix::zeros(2, 2);
         let r = sinkhorn_uniform(&c, &SinkhornOptions::with_lambda(1.0));
         // zero cost → plan is product measure 1/4 each; Σ p log p = −log 4
-        assert!((r.reg_value - (-(4.0f64).ln())).abs() < 1e-9, "{}", r.reg_value);
+        assert!(
+            (r.reg_value - (-(4.0f64).ln())).abs() < 1e-9,
+            "{}",
+            r.reg_value
+        );
     }
 
     #[test]
     #[should_panic(expected = "marginal length mismatch")]
     fn rejects_bad_marginal_length() {
-        let _ = sinkhorn(&Matrix::zeros(2, 2), &[1.0], &[0.5, 0.5], &SinkhornOptions::default());
+        let _ = sinkhorn(
+            &Matrix::zeros(2, 2),
+            &[1.0],
+            &[0.5, 0.5],
+            &SinkhornOptions::default(),
+        );
+    }
+
+    #[test]
+    fn try_sinkhorn_reports_structured_errors() {
+        let opts = SinkhornOptions::default();
+        let half = [0.5, 0.5];
+        assert!(matches!(
+            try_sinkhorn(&Matrix::zeros(2, 2), &[1.0], &half, &opts),
+            Err(SinkhornError::DimensionMismatch {
+                what: "first marginal",
+                ..
+            })
+        ));
+        assert!(matches!(
+            try_sinkhorn(&Matrix::zeros(2, 2), &half, &[1.0, 2.0, 3.0], &opts),
+            Err(SinkhornError::DimensionMismatch {
+                what: "second marginal",
+                ..
+            })
+        ));
+        let bad_lambda = SinkhornOptions {
+            lambda: -1.0,
+            ..opts
+        };
+        assert!(matches!(
+            try_sinkhorn(&Matrix::zeros(2, 2), &half, &half, &bad_lambda),
+            Err(SinkhornError::BadLambda { .. })
+        ));
+        let nan_lambda = SinkhornOptions {
+            lambda: f64::NAN,
+            ..opts
+        };
+        assert!(matches!(
+            try_sinkhorn(&Matrix::zeros(2, 2), &half, &half, &nan_lambda),
+            Err(SinkhornError::BadLambda { .. })
+        ));
+        assert!(matches!(
+            try_sinkhorn(&Matrix::zeros(2, 2), &[0.9, 0.9], &half, &opts),
+            Err(SinkhornError::BadMarginal { side: "a", .. })
+        ));
+        assert!(matches!(
+            try_sinkhorn(&Matrix::zeros(2, 2), &half, &[-0.5, 1.5], &opts),
+            Err(SinkhornError::BadMarginal { side: "b", .. })
+        ));
+        let mut c = Matrix::zeros(2, 2);
+        c[(1, 0)] = f64::NAN;
+        assert_eq!(
+            try_sinkhorn(&c, &half, &half, &opts).unwrap_err(),
+            SinkhornError::NonFiniteCost { row: 1, col: 0 }
+        );
+    }
+
+    #[test]
+    fn try_sinkhorn_matches_panicking_solver_on_good_inputs() {
+        let c = toy_cost();
+        let opts = SinkhornOptions {
+            lambda: 0.2,
+            max_iters: 5000,
+            tol: 1e-9,
+        };
+        let a = sinkhorn_uniform(&c, &opts);
+        let b = try_sinkhorn_uniform(&c, &opts).expect("valid inputs");
+        assert_eq!(a.reg_value, b.reg_value);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn zero_weight_marginal_entries_are_supported() {
+        // a degenerate marginal with zero-mass entries must not yield NaN
+        let c = toy_cost();
+        let a = [0.5, 0.5, 0.0];
+        let b = [0.0, 0.5, 0.5];
+        let r = try_sinkhorn(&c, &a, &b, &SinkhornOptions::with_lambda(0.1)).unwrap();
+        assert!(r.plan.as_slice().iter().all(|p| p.is_finite() && *p >= 0.0));
+        let rows = r.plan.row_sums();
+        assert!(rows[2].abs() < 1e-12, "zero-mass row got mass {}", rows[2]);
+        assert!(r.transport_cost.is_finite());
+    }
+}
+
+#[cfg(test)]
+mod escalation_tests {
+    use super::*;
+
+    /// A cost landscape that a heavily iteration-capped plain solve cannot
+    /// finish: two tight clusters and a tiny λ.
+    fn hard_cost(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            let ci = (i < n / 2) as u8;
+            let cj = (j < n / 2) as u8;
+            if ci == cj {
+                0.001 * ((i + 2 * j) % 7) as f64
+            } else {
+                1.0 + 0.001 * ((i * j) % 5) as f64
+            }
+        })
+    }
+
+    /// Unstructured random cost: at small λ the plain solver needs far more
+    /// iterations than the starved budget below allows.
+    fn random_cost(n: usize, seed: u64) -> Matrix {
+        let mut s = seed | 1;
+        Matrix::from_fn(n, n, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        })
+    }
+
+    #[test]
+    fn escalation_recovers_a_non_converged_solve() {
+        let c = random_cost(24, 0x12345);
+        // deliberately starved plain solve
+        let opts = SinkhornOptions {
+            lambda: 1e-3,
+            max_iters: 30,
+            tol: 1e-9,
+        };
+        let plain = sinkhorn_uniform(&c, &opts);
+        assert!(
+            !plain.converged,
+            "test premise: plain solve must be starved"
+        );
+        let policy = EscalationPolicy {
+            max_attempts: 3,
+            base_stages: 4,
+            iter_growth: 4,
+        };
+        let (r, stats) = try_sinkhorn_uniform_escalated(&c, &opts, &policy).unwrap();
+        assert!(
+            r.converged,
+            "escalation did not recover convergence: {stats:?}"
+        );
+        assert!(stats.escalations >= 1, "recovery must have used a retry");
+        assert_eq!(stats.unconverged, 0);
+    }
+
+    #[test]
+    fn escalation_counts_attempts_on_starved_budget() {
+        let c = hard_cost(20);
+        // even the retries are starved (no budget growth) → every attempt is
+        // consumed
+        let opts = SinkhornOptions {
+            lambda: 0.005,
+            max_iters: 3,
+            tol: 1e-12,
+        };
+        let policy = EscalationPolicy {
+            max_attempts: 2,
+            base_stages: 4,
+            iter_growth: 1,
+        };
+        let (r, stats) = try_sinkhorn_uniform_escalated(&c, &opts, &policy).unwrap();
+        assert_eq!(stats.escalations, 2);
+        assert_eq!(stats.unconverged, 1);
+        // output is still finite — degraded, not poisoned
+        assert!(r.plan.as_slice().iter().all(|p| p.is_finite()));
+        assert!(r.reg_value.is_finite());
+    }
+
+    #[test]
+    fn converged_solve_never_escalates() {
+        let c = hard_cost(10);
+        let opts = SinkhornOptions {
+            lambda: 0.5,
+            max_iters: 5000,
+            tol: 1e-9,
+        };
+        let (r, stats) =
+            try_sinkhorn_uniform_escalated(&c, &opts, &EscalationPolicy::default()).unwrap();
+        assert!(r.converged);
+        assert_eq!(stats, SolveStats::default());
+    }
+
+    #[test]
+    fn none_policy_is_plain_sinkhorn() {
+        let c = hard_cost(12);
+        let opts = SinkhornOptions {
+            lambda: 0.05,
+            max_iters: 30,
+            tol: 1e-12,
+        };
+        let plain = sinkhorn_uniform(&c, &opts);
+        let (r, stats) =
+            try_sinkhorn_uniform_escalated(&c, &opts, &EscalationPolicy::none()).unwrap();
+        assert_eq!(r.reg_value, plain.reg_value);
+        assert_eq!(stats.escalations, 0);
     }
 }
 
@@ -390,7 +948,11 @@ mod eps_scaling_tests {
     #[test]
     fn eps_scaling_matches_cold_start_value() {
         let c = clustered_cost(20);
-        let opts = SinkhornOptions { lambda: 0.01, max_iters: 20_000, tol: 1e-10 };
+        let opts = SinkhornOptions {
+            lambda: 0.01,
+            max_iters: 20_000,
+            tol: 1e-10,
+        };
         let cold = sinkhorn_uniform(&c, &opts);
         let warm = sinkhorn_eps_scaling_uniform(&c, &opts, 5);
         assert!(warm.converged);
@@ -409,7 +971,11 @@ mod eps_scaling_tests {
     #[test]
     fn eps_scaling_final_stage_never_needs_more_iterations() {
         let c = clustered_cost(30);
-        let opts = SinkhornOptions { lambda: 0.005, max_iters: 50_000, tol: 1e-9 };
+        let opts = SinkhornOptions {
+            lambda: 0.005,
+            max_iters: 50_000,
+            tol: 1e-9,
+        };
         let cold = sinkhorn_uniform(&c, &opts);
         let warm = sinkhorn_eps_scaling_uniform(&c, &opts, 6);
         assert!(warm.converged && cold.converged);
@@ -425,18 +991,30 @@ mod eps_scaling_tests {
     #[test]
     fn warm_start_from_exact_potentials_is_instant() {
         let c = clustered_cost(12);
-        let opts = SinkhornOptions { lambda: 0.05, max_iters: 10_000, tol: 1e-10 };
+        let opts = SinkhornOptions {
+            lambda: 0.05,
+            max_iters: 10_000,
+            tol: 1e-10,
+        };
         let r1 = sinkhorn_uniform(&c, &opts);
         let a = vec![1.0 / 12.0; 12];
         let r2 = sinkhorn_warm(&c, &a, &a, r1.f.clone(), r1.g.clone(), &opts);
         assert!(r2.converged);
-        assert!(r2.iterations <= 2, "took {} iterations from exact start", r2.iterations);
+        assert!(
+            r2.iterations <= 2,
+            "took {} iterations from exact start",
+            r2.iterations
+        );
     }
 
     #[test]
     fn single_stage_equals_plain_sinkhorn() {
         let c = clustered_cost(10);
-        let opts = SinkhornOptions { lambda: 0.5, max_iters: 2000, tol: 1e-10 };
+        let opts = SinkhornOptions {
+            lambda: 0.5,
+            max_iters: 2000,
+            tol: 1e-10,
+        };
         let a = sinkhorn_uniform(&c, &opts);
         let b = sinkhorn_eps_scaling_uniform(&c, &opts, 1);
         assert!((a.reg_value - b.reg_value).abs() < 1e-9);

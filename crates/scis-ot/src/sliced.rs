@@ -23,7 +23,10 @@ pub struct SlicedOptions {
 
 impl Default for SlicedOptions {
     fn default() -> Self {
-        Self { n_projections: 32, seed: 0x51CE }
+        Self {
+            n_projections: 32,
+            seed: 0x51CE,
+        }
     }
 }
 
@@ -96,7 +99,10 @@ mod tests {
     use super::*;
 
     fn opts() -> SlicedOptions {
-        SlicedOptions { n_projections: 64, seed: 7 }
+        SlicedOptions {
+            n_projections: 64,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -140,9 +146,8 @@ mod tests {
             plus[(i, k)] += h;
             let mut minus = xbar.clone();
             minus[(i, k)] -= h;
-            let numeric =
-                (sliced_w2_loss(&plus, &x, &m, &o) - sliced_w2_loss(&minus, &x, &m, &o))
-                    / (2.0 * h);
+            let numeric = (sliced_w2_loss(&plus, &x, &m, &o) - sliced_w2_loss(&minus, &x, &m, &o))
+                / (2.0 * h);
             assert!(
                 (numeric - grad[(i, k)]).abs() < 1e-6 + 1e-3 * numeric.abs(),
                 "grad[{},{}]: {} vs {}",
@@ -177,7 +182,10 @@ mod tests {
         let y = Matrix::from_fn(10, 3, |_, _| rng.uniform());
         let m = Matrix::ones(10, 3);
         let o = opts();
-        assert_eq!(sliced_w2_loss(&x, &y, &m, &o), sliced_w2_loss(&x, &y, &m, &o));
+        assert_eq!(
+            sliced_w2_loss(&x, &y, &m, &o),
+            sliced_w2_loss(&x, &y, &m, &o)
+        );
         // different seed → different (but finite) value
         let o2 = SlicedOptions { seed: 99, ..o };
         let v2 = sliced_w2_loss(&x, &y, &m, &o2);
@@ -190,15 +198,22 @@ mod tests {
         let a = Matrix::from_vec(4, 1, vec![0.1, 0.4, 0.2, 0.3]);
         let b = Matrix::from_vec(4, 1, vec![0.15, 0.35, 0.25, 0.45]);
         let m = Matrix::ones(4, 1);
-        let o = SlicedOptions { n_projections: 8, seed: 11 };
+        let o = SlicedOptions {
+            n_projections: 8,
+            seed: 11,
+        };
         let sw = sliced_w2_loss(&a, &b, &m, &o) * 2.0; // undo the /2
-        // exact: sort both, mean squared rank difference
+                                                       // exact: sort both, mean squared rank difference
         let exact = {
             let mut sa = [0.1, 0.2, 0.3, 0.4];
             let mut sb = [0.15, 0.25, 0.35, 0.45];
             sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
             sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
-            sa.iter().zip(&sb).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / 4.0
+            sa.iter()
+                .zip(&sb)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                / 4.0
         };
         assert!((sw - exact).abs() < 1e-12, "{} vs {}", sw, exact);
     }

@@ -215,11 +215,7 @@ mod tests {
     #[test]
     fn solve_lu_residual_small_and_handles_pivoting() {
         // leading zero forces a row swap
-        let a = Matrix::from_rows(&[
-            &[0.0, 2.0, 1.0],
-            &[1.0, 1.0, 1.0],
-            &[2.0, 0.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, 1.0, 1.0], &[2.0, 0.0, 3.0]]);
         let b = vec![5.0, 6.0, 13.0];
         let x = solve_lu(&a, &b).unwrap();
         assert!(residual_norm(&a, &x, &b) < 1e-10);
@@ -228,7 +224,10 @@ mod tests {
     #[test]
     fn solve_lu_rejects_singular() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(solve_lu(&a, &[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            solve_lu(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -251,7 +250,9 @@ mod tests {
     fn ridge_shrinks_towards_zero() {
         let mut rng = Rng64::seed_from_u64(4);
         let x = Matrix::from_fn(50, 3, |_, _| rng.normal());
-        let y: Vec<f64> = (0..50).map(|i| x[(i, 0)] * 2.0 + rng.normal() * 0.1).collect();
+        let y: Vec<f64> = (0..50)
+            .map(|i| x[(i, 0)] * 2.0 + rng.normal() * 0.1)
+            .collect();
         let w_small = ridge_fit(&x, &y, 1e-6).unwrap();
         let w_big = ridge_fit(&x, &y, 1e6).unwrap();
         assert!(w_big[0].abs() < w_small[0].abs());

@@ -23,7 +23,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix of zeros.
@@ -70,7 +74,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` at every position.
@@ -134,14 +142,24 @@ impl Matrix {
     /// Borrow of row `i`.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
-        debug_assert!(i < self.rows, "row {} out of bounds ({} rows)", i, self.rows);
+        debug_assert!(
+            i < self.rows,
+            "row {} out of bounds ({} rows)",
+            i,
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Mutable borrow of row `i`.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        debug_assert!(i < self.rows, "row {} out of bounds ({} rows)", i, self.rows);
+        debug_assert!(
+            i < self.rows,
+            "row {} out of bounds ({} rows)",
+            i,
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -152,7 +170,12 @@ impl Matrix {
 
     /// Copies column `j` into a fresh vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "col {} out of bounds ({} cols)", j, self.cols);
+        assert!(
+            j < self.cols,
+            "col {} out of bounds ({} cols)",
+            j,
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -296,7 +319,11 @@ impl Matrix {
     /// Frobenius inner product `tr(selfᵀ · other)` — `⟨P, C⟩` in the paper.
     pub fn frobenius_dot(&self, other: &Matrix) -> f64 {
         self.assert_same_shape(other, "frobenius_dot");
-        self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Per-row sums as a vector of length `rows`.
@@ -350,7 +377,11 @@ impl Matrix {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns the columns in `cols_idx` as a new matrix (order preserved).

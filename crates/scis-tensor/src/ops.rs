@@ -117,7 +117,11 @@ pub fn sq_dist(x: &[f64], y: &[f64]) -> f64 {
 /// All-pairs squared distances: `D[i][j] = ||a_i - b_j||²` for row sets
 /// `a: m x d`, `b: n x d`.
 pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists: feature dim mismatch");
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "pairwise_sq_dists: feature dim mismatch"
+    );
     let mut out = Matrix::zeros(a.rows(), b.rows());
     for i in 0..a.rows() {
         let arow = a.row(i);
@@ -160,11 +164,19 @@ mod tests {
     fn transposed_variants_agree_with_explicit_transpose() {
         let a = Matrix::from_fn(3, 5, |i, j| (i as f64 - 0.3 * j as f64).sin());
         let b = Matrix::from_fn(4, 5, |i, j| (0.7 * i as f64 + j as f64).cos());
-        assert!(approx_eq(&matmul_bt(&a, &b), &matmul(&a, &b.transpose()), 1e-12));
+        assert!(approx_eq(
+            &matmul_bt(&a, &b),
+            &matmul(&a, &b.transpose()),
+            1e-12
+        ));
 
         let c = Matrix::from_fn(5, 3, |i, j| (i + 2 * j) as f64 * 0.1);
         let d = Matrix::from_fn(5, 4, |i, j| (2 * i + j) as f64 * 0.2);
-        assert!(approx_eq(&matmul_at(&c, &d), &matmul(&c.transpose(), &d), 1e-12));
+        assert!(approx_eq(
+            &matmul_at(&c, &d),
+            &matmul(&c.transpose(), &d),
+            1e-12
+        ));
     }
 
     #[test]

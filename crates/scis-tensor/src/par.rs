@@ -63,7 +63,11 @@ pub fn matmul_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 /// Parallel all-pairs squared distances over row blocks of `a`.
 /// Bit-identical to [`crate::ops::pairwise_sq_dists`].
 pub fn pairwise_sq_dists_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
-    assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists_par: feature dim mismatch");
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "pairwise_sq_dists_par: feature dim mismatch"
+    );
     let (m, n) = (a.rows(), b.rows());
     let threads = threads.max(1).min(m.max(1));
     if threads == 1 || m < 64 {

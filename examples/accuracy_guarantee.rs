@@ -32,7 +32,10 @@ fn main() {
     println!("{}", "-".repeat(50));
     for &eps in &[0.001, 0.003, 0.005, 0.007, 0.009] {
         let mut config = ScisConfig::default();
-        config.dim.train = TrainConfig { epochs: 30, ..TrainConfig::default() };
+        config.dim.train = TrainConfig {
+            epochs: 30,
+            ..TrainConfig::default()
+        };
         config.sse.epsilon = eps;
         let mut rng = Rng64::seed_from_u64(17);
         let mut gain = GainImputer::new(config.dim.train);

@@ -24,7 +24,10 @@ fn main() {
         Ok("surveil") => CovidRecipe::Surveil,
         _ => CovidRecipe::Response,
     };
-    let scale: f64 = std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.0625);
+    let scale: f64 = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0625);
 
     println!(
         "recipe {} at scale {} (paper shape: {} x {} @ {:.1}% missing)",
@@ -40,7 +43,10 @@ fn main() {
     println!("generated {} rows; n0 = {}", norm.n_samples(), inst.n0);
 
     // a shared, shorter schedule so the demo finishes in minutes
-    let train = TrainConfig { epochs: 30, ..TrainConfig::default() };
+    let train = TrainConfig {
+        epochs: 30,
+        ..TrainConfig::default()
+    };
 
     // --- plain GAIN on the full dataset ---
     let mut rng = Rng64::seed_from_u64(1);

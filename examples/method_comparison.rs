@@ -37,20 +37,44 @@ fn main() {
         holdout.len()
     );
 
-    let train = TrainConfig { epochs: 40, ..TrainConfig::default() };
+    let train = TrainConfig {
+        epochs: 40,
+        ..TrainConfig::default()
+    };
     let mut methods: Vec<Box<dyn Imputer>> = vec![
         Box::new(MeanImputer),
         Box::new(MedianImputer),
         Box::new(KnnImputer::default()),
         Box::new(MiceImputer::default()),
-        Box::new(MissForestImputer { n_trees: 30, ..MissForestImputer::default() }),
+        Box::new(MissForestImputer {
+            n_trees: 30,
+            ..MissForestImputer::default()
+        }),
         Box::new(BoostImputer::default()),
-        Box::new(DataWigImputer { config: train, ..DataWigImputer::default() }),
-        Box::new(RrsiImputer { config: train, ..RrsiImputer::default() }),
-        Box::new(MidaeImputer { config: train, ..MidaeImputer::default() }),
-        Box::new(VaeImputer { config: train, ..VaeImputer::default() }),
-        Box::new(EddiImputer { config: train, ..EddiImputer::default() }),
-        Box::new(HivaeImputer { config: train, ..HivaeImputer::default() }),
+        Box::new(DataWigImputer {
+            config: train,
+            ..DataWigImputer::default()
+        }),
+        Box::new(RrsiImputer {
+            config: train,
+            ..RrsiImputer::default()
+        }),
+        Box::new(MidaeImputer {
+            config: train,
+            ..MidaeImputer::default()
+        }),
+        Box::new(VaeImputer {
+            config: train,
+            ..VaeImputer::default()
+        }),
+        Box::new(EddiImputer {
+            config: train,
+            ..EddiImputer::default()
+        }),
+        Box::new(HivaeImputer {
+            config: train,
+            ..HivaeImputer::default()
+        }),
         Box::new(GainImputer::new(train)),
         Box::new(GinnImputer::new(train)),
     ];
@@ -62,6 +86,11 @@ fn main() {
         let t = Instant::now();
         let imputed = m.impute(&train_ds, &mut run_rng);
         let secs = t.elapsed().as_secs_f64();
-        println!("{:<10} {:>8.4} {:>10.2}", m.name(), holdout.rmse(&imputed), secs);
+        println!(
+            "{:<10} {:>8.4} {:>10.2}",
+            m.name(),
+            holdout.rmse(&imputed),
+            secs
+        );
     }
 }

@@ -17,7 +17,12 @@ fn main() {
 
     // 1. Build a 2,000 x 8 correlated table and drop 30% of its cells MCAR.
     let synth = generate(
-        &SynthConfig { n_samples: 2_000, n_features: 8, latent_dim: 3, ..Default::default() },
+        &SynthConfig {
+            n_samples: 2_000,
+            n_features: 8,
+            latent_dim: 3,
+            ..Default::default()
+        },
         &mut rng,
     );
     let ds = inject_mcar(&synth.complete, 0.3, &mut rng);

@@ -11,11 +11,17 @@
 //!   (default `scis-gain`)
 //! * `--epsilon <f64>`   SSE error bound (default 0.001, scis-gain only)
 //! * `--n0 <usize>`      initial sample size (default min(500, N/3))
-//! * `--epochs <usize>`  training epochs (default 100)
+//! * `--epochs <usize>`  training epochs (default 100; must be ≥ 1)
 //! * `--seed <u64>`      RNG seed (default 42)
-//! * `--save-model <path>` persist the trained generator (scis-gain)
+//! * `--save-model <path>` persist the trained generator (scis-gain only)
 //! * `--load-model <path>` impute with a previously saved generator,
-//!   skipping training entirely (scis-gain)
+//!   skipping training entirely (scis-gain only)
+//!
+//! Exit codes: `0` clean success, `1` error (bad arguments, unreadable
+//! input, non-finite observed values, training unrecoverable), `2`
+//! *degraded* success — the fault-tolerant runtime produced a complete
+//! output but had to fall back (mean imputation, kept `M0` after a failed
+//! retrain, or patched non-finite cells); details go to stderr.
 
 use scis_core::dim::DimConfig;
 use scis_core::pipeline::{Scis, ScisConfig};
@@ -76,31 +82,83 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {}", other)),
         }
     }
+    if parsed.epochs == 0 {
+        return Err("--epochs must be at least 1".into());
+    }
+    if parsed.method != "scis-gain" && (parsed.save_model.is_some() || parsed.load_model.is_some())
+    {
+        return Err(format!(
+            "--save-model/--load-model only apply to --method scis-gain (got {:?})",
+            parsed.method
+        ));
+    }
     Ok(parsed)
 }
 
-fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<Matrix, String> {
-    let train = TrainConfig { epochs: args.epochs, ..TrainConfig::default() };
+/// Prints the fault-tolerant runtime's recovery summary to stderr.
+fn report_anomalies(a: &scis_core::RunAnomalies) {
+    if a.is_clean() {
+        return;
+    }
+    eprintln!(
+        "scis-impute: anomalies — {} NaN batches skipped, {} rollbacks, {} LR backoffs, \
+         {} sinkhorn escalations ({} unconverged), {} non-finite cells patched",
+        a.nan_batches_skipped,
+        a.rollbacks,
+        a.lr_backoffs,
+        a.sinkhorn_escalations,
+        a.sinkhorn_unconverged,
+        a.non_finite_cells_patched,
+    );
+    if !a.all_missing_columns.is_empty() {
+        eprintln!(
+            "scis-impute: columns with no observed cells: {:?}",
+            a.all_missing_columns
+        );
+    }
+    if !a.constant_columns.is_empty() {
+        eprintln!("scis-impute: constant columns: {:?}", a.constant_columns);
+    }
+    for note in &a.notes {
+        eprintln!("scis-impute: recovery: {}", note);
+    }
+}
+
+/// Imputes under the chosen method. The returned flag is true when the
+/// fault-tolerant runtime had to degrade the output (exit code 2).
+fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), String> {
+    let train = TrainConfig {
+        epochs: args.epochs,
+        ..TrainConfig::default()
+    };
     match args.method.as_str() {
         "scis-gain" => {
             let mut gain = GainImputer::new(train);
             if let Some(path) = &args.load_model {
                 // pre-trained generator: skip Algorithm 1, just impute
-                gain.load_generator(path).map_err(|e| format!("loading model: {}", e))?;
+                gain.load_generator(path)
+                    .map_err(|e| format!("loading model: {}", e))?;
                 eprintln!("scis-impute: loaded generator from {:?}", path);
-                return Ok(scis_imputers::traits::impute_with_generator_chunked(
-                    &mut gain, ds, 65_536,
-                ));
+                let out =
+                    scis_imputers::traits::impute_with_generator_chunked(&mut gain, ds, 65_536);
+                return Ok((out, false));
             }
             let n = ds.n_samples();
             let n0 = args.n0.unwrap_or_else(|| 500.min(n / 3).max(8));
             if 2 * n0 > n {
                 return Err(format!("n0 = {} too large for {} rows", n0, n));
             }
-            let mut config =
-                ScisConfig { dim: DimConfig { train, ..Default::default() }, ..Default::default() };
+            let mut config = ScisConfig {
+                dim: DimConfig {
+                    train,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
             config.sse.epsilon = args.epsilon;
-            let outcome = Scis::new(config).run(&mut gain, ds, n0, rng);
+            let outcome = Scis::new(config)
+                .try_run(&mut gain, ds, n0, rng)
+                .map_err(|e| e.to_string())?;
             eprintln!(
                 "scis-impute: trained on n* = {} of {} rows (R_t = {:.2}%), SSE {:.2}s",
                 outcome.n_star,
@@ -108,19 +166,35 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<Matrix, String> 
                 outcome.training_sample_rate() * 100.0,
                 outcome.sse_time.as_secs_f64()
             );
+            report_anomalies(&outcome.anomalies);
             if let Some(path) = &args.save_model {
-                gain.save_generator(path).map_err(|e| format!("saving model: {}", e))?;
-                eprintln!("scis-impute: saved generator to {:?}", path);
+                if outcome.anomalies.mean_fallback {
+                    eprintln!(
+                        "scis-impute: not saving a model — training fell back to mean imputation"
+                    );
+                } else {
+                    gain.save_generator(path)
+                        .map_err(|e| format!("saving model: {}", e))?;
+                    eprintln!("scis-impute: saved generator to {:?}", path);
+                }
             }
-            Ok(outcome.imputed)
+            let degraded = outcome.anomalies.is_degraded();
+            Ok((outcome.imputed, degraded))
         }
-        "gain" => Ok(GainImputer::new(train).impute(ds, rng)),
-        "ginn" => Ok(GinnImputer::new(train).impute(ds, rng)),
-        "mice" => Ok(MiceImputer::default().impute(ds, rng)),
-        "missforest" => Ok(MissForestImputer::default().impute(ds, rng)),
-        "knn" => Ok(KnnImputer::default().impute(ds, rng)),
-        "mean" => Ok(MeanImputer.impute(ds, rng)),
-        "vae" => Ok(VaeImputer { config: train, ..Default::default() }.impute(ds, rng)),
+        "gain" => Ok((GainImputer::new(train).impute(ds, rng), false)),
+        "ginn" => Ok((GinnImputer::new(train).impute(ds, rng), false)),
+        "mice" => Ok((MiceImputer::default().impute(ds, rng), false)),
+        "missforest" => Ok((MissForestImputer::default().impute(ds, rng), false)),
+        "knn" => Ok((KnnImputer::default().impute(ds, rng), false)),
+        "mean" => Ok((MeanImputer.impute(ds, rng), false)),
+        "vae" => Ok((
+            VaeImputer {
+                config: train,
+                ..Default::default()
+            }
+            .impute(ds, rng),
+            false,
+        )),
         other => Err(format!(
             "unknown method {:?} (try scis-gain, gain, ginn, mice, missforest, knn, mean, vae)",
             other
@@ -128,11 +202,23 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<Matrix, String> 
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<bool, String> {
     let args = parse_args().map_err(|e| {
         format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--seed s]", e)
     })?;
-    let mut ds = read_dataset(&args.input).map_err(|e| format!("reading {:?}: {}", args.input, e))?;
+    let mut ds =
+        read_dataset(&args.input).map_err(|e| format!("reading {:?}: {}", args.input, e))?;
+    // reject unusable inputs before any training; degenerate (but usable)
+    // columns are only warned about here and recorded as anomalies later
+    let report = ds
+        .validate()
+        .map_err(|e| format!("validating {:?}: {}", args.input, e))?;
+    if !report.all_missing_columns.is_empty() {
+        eprintln!(
+            "scis-impute: warning: columns with no observed cells: {:?}",
+            report.all_missing_columns
+        );
+    }
     // detect ordinal-coded categorical columns so methods with
     // heterogeneous heads treat them properly
     ds.kinds = scis_data::dataset::infer_kinds(&ds.values, 16);
@@ -148,17 +234,22 @@ fn run() -> Result<(), String> {
     }
     let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&ds);
     let mut rng = Rng64::seed_from_u64(args.seed);
-    let imputed_norm = impute(&args, &norm, &mut rng)?;
+    let (imputed_norm, degraded) = impute(&args, &norm, &mut rng)?;
     let imputed = scaler.inverse_transform(&imputed_norm);
     let out_ds = Dataset::from_values(imputed);
-    write_dataset(&args.output, &out_ds).map_err(|e| format!("writing {:?}: {}", args.output, e))?;
+    write_dataset(&args.output, &out_ds)
+        .map_err(|e| format!("writing {:?}: {}", args.output, e))?;
     eprintln!("scis-impute: wrote {:?}", args.output);
-    Ok(())
+    if degraded {
+        eprintln!("scis-impute: run completed in DEGRADED mode (see recovery notes above)");
+    }
+    Ok(degraded)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::from(2),
         Err(e) => {
             eprintln!("error: {}", e);
             ExitCode::FAILURE

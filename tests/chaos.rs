@@ -1,0 +1,361 @@
+//! Fault-injection ("chaos") tests for the fault-tolerant training runtime:
+//! structured errors for unusable inputs, anomaly accounting for recoverable
+//! faults, and the graceful-degradation guarantee that [`Scis::try_run`]
+//! never hands back a non-finite cell.
+
+use std::cell::Cell;
+
+use scis_core::dim::{DimConfig, GenerativeLoss, LambdaMode};
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_core::sse::SseConfig;
+use scis_core::{train_dim_guarded, GuardConfig, GuardStats, ScisError, TrainPhase};
+use scis_data::missing::inject_mcar;
+use scis_data::Dataset;
+use scis_imputers::{AdversarialImputer, GainImputer, Imputer, TrainConfig};
+use scis_nn::Mlp;
+use scis_tensor::{Matrix, Rng64};
+
+fn correlated_table(n: usize, seed: u64) -> Matrix {
+    let mut rng = Rng64::seed_from_u64(seed);
+    Matrix::from_fn(n, 4, |_, j| {
+        let t = rng.uniform();
+        match j {
+            0 => t,
+            1 => (0.8 * t + 0.1).clamp(0.0, 1.0),
+            2 => (1.0 - t).clamp(0.0, 1.0),
+            _ => (0.5 * t + 0.25).clamp(0.0, 1.0),
+        }
+    })
+}
+
+fn chaos_dataset(n: usize, miss: f64, seed: u64) -> Dataset {
+    let complete = correlated_table(n, seed);
+    let mut rng = Rng64::seed_from_u64(seed ^ 0xdead);
+    inject_mcar(&complete, miss, &mut rng)
+}
+
+fn fast_config() -> ScisConfig {
+    ScisConfig {
+        dim: DimConfig {
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 32,
+                learning_rate: 0.005,
+                dropout: 0.0,
+            },
+            lambda: LambdaMode::Relative(0.1),
+            max_sinkhorn_iters: 100,
+            alpha: 10.0,
+            critic: None,
+            loss: GenerativeLoss::MaskedSinkhorn,
+        },
+        sse: SseConfig {
+            epsilon: 0.05,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// An adversarial imputer that NaN-poisons its generator on a schedule:
+/// every `poison_every`-th batch, the generator's last parameter (an
+/// output-layer bias) is set to NaN before the forward pass, simulating a
+/// numerically diverged update. A NaN *input* would not do — the hidden
+/// ReLU (`v.max(0.0)`) silently maps NaN to 0 — but a NaN bias reaches the
+/// sigmoid output unfiltered, so the reconstruction turns non-finite.
+///
+/// The batch schedule is armed in `generator_input` (called exactly once
+/// per batch) and applied in `generator_mut`; on unpoisoned batches the
+/// saved bias is restored so transient faults really are transient.
+struct PoisonedGain {
+    inner: GainImputer,
+    calls: Cell<usize>,
+    poison_every: usize,
+    armed: Cell<bool>,
+    saved_bias: Cell<f64>,
+}
+
+impl PoisonedGain {
+    fn new(train: TrainConfig, poison_every: usize) -> Self {
+        Self {
+            inner: GainImputer::new(train),
+            calls: Cell::new(0),
+            poison_every,
+            armed: Cell::new(false),
+            saved_bias: Cell::new(0.0),
+        }
+    }
+}
+
+impl Imputer for PoisonedGain {
+    fn name(&self) -> &'static str {
+        "poisoned-gain"
+    }
+    fn impute(&mut self, ds: &Dataset, rng: &mut Rng64) -> Matrix {
+        self.inner.impute(ds, rng)
+    }
+}
+
+impl AdversarialImputer for PoisonedGain {
+    fn init_networks(&mut self, n_features: usize, rng: &mut Rng64) {
+        self.inner.init_networks(n_features, rng);
+    }
+    fn is_initialized(&self, n_features: usize) -> bool {
+        self.inner.is_initialized(n_features)
+    }
+    fn generator_mut(&mut self) -> &mut Mlp {
+        let armed = self.armed.get();
+        let gen = self.inner.generator_mut();
+        let mut p = gen.param_vector();
+        let last = p.len() - 1;
+        if armed && p[last].is_finite() {
+            self.saved_bias.set(p[last]);
+            p[last] = f64::NAN;
+            gen.set_param_vector(&p);
+        } else if !armed && p[last].is_nan() {
+            p[last] = self.saved_bias.get();
+            gen.set_param_vector(&p);
+        }
+        self.inner.generator_mut()
+    }
+    fn reconstruct(&mut self, values: &Matrix, mask: &Matrix) -> Matrix {
+        self.inner.reconstruct(values, mask)
+    }
+    fn generator_input(&self, values: &Matrix, mask: &Matrix, rng: &mut Rng64) -> Matrix {
+        let k = self.calls.get();
+        self.calls.set(k + 1);
+        self.armed.set(k.is_multiple_of(self.poison_every));
+        self.inner.generator_input(values, mask, rng)
+    }
+    fn train_native(&mut self, ds: &Dataset, rng: &mut Rng64) {
+        self.inner.train_native(ds, rng);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// structured errors: states with no useful output
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oversized_n0_is_a_structured_error() {
+    let ds = chaos_dataset(40, 0.2, 1);
+    let mut rng = Rng64::seed_from_u64(1);
+    let mut gain = GainImputer::new(fast_config().dim.train);
+    let err = Scis::new(fast_config())
+        .try_run(&mut gain, &ds, 30, &mut rng)
+        .unwrap_err();
+    match &err {
+        ScisError::OversizedInitialSample { requested, n_total } => {
+            assert_eq!(*requested, 60);
+            assert_eq!(*n_total, 40);
+        }
+        other => panic!("expected OversizedInitialSample, got {other}"),
+    }
+    // legacy panic-message contract
+    assert!(err.to_string().contains("exceeds"), "message: {err}");
+}
+
+#[test]
+fn zero_n0_and_zero_epochs_are_invalid_config() {
+    let ds = chaos_dataset(40, 0.2, 2);
+    let mut rng = Rng64::seed_from_u64(2);
+    let mut gain = GainImputer::new(fast_config().dim.train);
+    let err = Scis::new(fast_config())
+        .try_run(&mut gain, &ds, 0, &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, ScisError::InvalidConfig { .. }), "got {err}");
+
+    let mut cfg = fast_config();
+    cfg.dim.train.epochs = 0;
+    let err = Scis::new(cfg)
+        .try_run(&mut gain, &ds, 10, &mut rng)
+        .unwrap_err();
+    assert!(matches!(err, ScisError::InvalidConfig { .. }), "got {err}");
+}
+
+#[test]
+fn non_finite_observed_cell_is_a_data_error() {
+    // NaN marks "missing", but an observed Inf is corrupt data and must be
+    // rejected before any training starts
+    let mut values = correlated_table(40, 3);
+    values[(7, 2)] = f64::INFINITY;
+    let ds = Dataset::from_values(values);
+    let mut rng = Rng64::seed_from_u64(3);
+    let mut gain = GainImputer::new(fast_config().dim.train);
+    let err = Scis::new(fast_config())
+        .try_run(&mut gain, &ds, 10, &mut rng)
+        .unwrap_err();
+    match &err {
+        ScisError::Data(e) => {
+            let msg = e.to_string();
+            assert!(msg.contains("(7, 2)"), "message: {msg}");
+        }
+        other => panic!("expected Data error, got {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// survivable pathologies: degraded or anomalous but finite output
+// ---------------------------------------------------------------------------
+
+#[test]
+fn degenerate_columns_are_flagged_and_survivable() {
+    let mut values = correlated_table(120, 4);
+    let mut rng = Rng64::seed_from_u64(4);
+    for i in 0..120 {
+        values[(i, 2)] = f64::NAN; // column 2: never observed
+        values[(i, 3)] = 0.5; // column 3: constant
+        if rng.bernoulli(0.15) {
+            values[(i, 0)] = f64::NAN;
+        }
+        if rng.bernoulli(0.15) {
+            values[(i, 1)] = f64::NAN;
+        }
+    }
+    let ds = Dataset::from_values(values);
+    let mut gain = GainImputer::new(fast_config().dim.train);
+    let outcome = Scis::new(fast_config())
+        .try_run(&mut gain, &ds, 24, &mut rng)
+        .unwrap();
+    assert!(
+        outcome.anomalies.all_missing_columns.contains(&2),
+        "{:?}",
+        outcome.anomalies
+    );
+    assert!(
+        outcome.anomalies.constant_columns.contains(&3),
+        "{:?}",
+        outcome.anomalies
+    );
+    assert!(outcome.imputed.as_slice().iter().all(|v| v.is_finite()));
+    for (i, j, v) in ds.observed_cells() {
+        assert_eq!(
+            outcome.imputed[(i, j)],
+            v,
+            "observed cell modified at ({i},{j})"
+        );
+    }
+}
+
+#[test]
+fn heavy_missingness_survives_with_finite_output() {
+    let ds = chaos_dataset(160, 0.95, 5);
+    let mut rng = Rng64::seed_from_u64(5);
+    let mut gain = GainImputer::new(fast_config().dim.train);
+    let outcome = Scis::new(fast_config())
+        .try_run(&mut gain, &ds, 24, &mut rng)
+        .unwrap();
+    assert!(outcome.imputed.as_slice().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn extreme_magnitudes_survive_with_finite_output() {
+    // unnormalized input at 1e6 scale — squared costs reach 1e12+
+    let values = correlated_table(120, 6).map(|v| v * 1.0e6);
+    let mut rng = Rng64::seed_from_u64(6);
+    let ds = inject_mcar(&values, 0.2, &mut rng);
+    let mut gain = GainImputer::new(fast_config().dim.train);
+    let outcome = Scis::new(fast_config())
+        .try_run(&mut gain, &ds, 24, &mut rng)
+        .unwrap();
+    assert!(outcome.imputed.as_slice().iter().all(|v| v.is_finite()));
+}
+
+// ---------------------------------------------------------------------------
+// injected faults: anomaly accounting and recovery rings
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_nan_batches_are_skipped_and_counted() {
+    let ds = chaos_dataset(160, 0.2, 7);
+    let cfg = fast_config();
+    let mut rng = Rng64::seed_from_u64(7);
+    // every 3rd generator input is NaN — each poisoned batch must be
+    // dropped, counted, and training must still complete all epochs
+    let mut poisoned = PoisonedGain::new(cfg.dim.train, 3);
+    let mut stats = GuardStats::default();
+    let report = train_dim_guarded(
+        &mut poisoned,
+        &ds,
+        &cfg.dim,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        &mut rng,
+    )
+    .expect("transient poisoning must be survivable");
+    assert_eq!(report.epoch_losses.len(), cfg.dim.train.epochs);
+    assert!(stats.nan_batches_skipped > 0, "no skips counted: {stats:?}");
+    assert!(report.final_loss().is_finite());
+}
+
+#[test]
+fn total_poisoning_degrades_to_mean_fallback() {
+    let ds = chaos_dataset(120, 0.2, 8);
+    let cfg = fast_config();
+    let mut rng = Rng64::seed_from_u64(8);
+    // every batch is poisoned: all three recovery rings fail and try_run
+    // must degrade to mean imputation rather than return NaN or panic
+    let mut poisoned = PoisonedGain::new(cfg.dim.train, 1);
+    let outcome = Scis::new(cfg)
+        .try_run(&mut poisoned, &ds, 24, &mut rng)
+        .unwrap();
+    assert!(outcome.anomalies.mean_fallback, "{:?}", outcome.anomalies);
+    assert!(outcome.anomalies.is_degraded());
+    assert!(!outcome.anomalies.is_clean());
+    assert!(outcome.anomalies.nan_batches_skipped > 0);
+    assert!(outcome.anomalies.rollbacks > 0);
+    assert!(!outcome.anomalies.notes.is_empty());
+    assert!(outcome.imputed.as_slice().iter().all(|v| v.is_finite()));
+    for (i, j, v) in ds.observed_cells() {
+        assert_eq!(
+            outcome.imputed[(i, j)],
+            v,
+            "observed cell modified at ({i},{j})"
+        );
+    }
+    // no retrain happened — the outcome reports the skipped SSE honestly
+    assert_eq!(outcome.n_star, 24);
+}
+
+#[test]
+fn starved_sinkhorn_budget_triggers_escalation() {
+    let ds = chaos_dataset(160, 0.2, 9);
+    let mut cfg = fast_config();
+    cfg.dim.max_sinkhorn_iters = 2; // far too few to converge at tol 1e-8
+    let mut rng = Rng64::seed_from_u64(9);
+    let mut gain = GainImputer::new(cfg.dim.train);
+    let mut stats = GuardStats::default();
+    let report = train_dim_guarded(
+        &mut gain,
+        &ds,
+        &cfg.dim,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        &mut rng,
+    )
+    .expect("starved sinkhorn must be survivable");
+    assert!(
+        stats.sinkhorn.escalations > 0,
+        "no escalations recorded: {stats:?}"
+    );
+    assert!(report.final_loss().is_finite());
+}
+
+#[test]
+fn clean_run_reports_no_anomalies() {
+    let ds = chaos_dataset(120, 0.15, 10);
+    let mut rng = Rng64::seed_from_u64(10);
+    let mut gain = GainImputer::new(fast_config().dim.train);
+    let outcome = Scis::new(fast_config())
+        .try_run(&mut gain, &ds, 24, &mut rng)
+        .unwrap();
+    assert!(!outcome.anomalies.is_degraded(), "{:?}", outcome.anomalies);
+    assert!(
+        outcome.anomalies.notes.is_empty(),
+        "{:?}",
+        outcome.anomalies.notes
+    );
+    assert!(outcome.imputed.as_slice().iter().all(|v| v.is_finite()));
+}

@@ -14,14 +14,23 @@ use scis_tensor::Rng64;
 fn fast_scis_config() -> ScisConfig {
     ScisConfig {
         dim: DimConfig {
-            train: TrainConfig { epochs: 20, batch_size: 64, learning_rate: 0.005, dropout: 0.0 },
+            train: TrainConfig {
+                epochs: 20,
+                batch_size: 64,
+                learning_rate: 0.005,
+                dropout: 0.0,
+            },
             lambda: LambdaMode::Relative(0.1),
             max_sinkhorn_iters: 100,
             alpha: 10.0,
             critic: None,
             loss: scis_core::dim::GenerativeLoss::MaskedSinkhorn,
         },
-        sse: SseConfig { epsilon: 0.02, ..Default::default() },
+        sse: SseConfig {
+            epsilon: 0.02,
+            ..Default::default()
+        },
+        ..Default::default()
     }
 }
 
@@ -40,7 +49,13 @@ fn full_pipeline_on_trial_recipe() {
     assert_eq!(outcome.imputed.shape(), norm.values.shape());
     assert!(!outcome.imputed.has_nan());
     for (i, j, v) in norm.observed_cells() {
-        assert_eq!(outcome.imputed[(i, j)], v, "observed cell modified at ({},{})", i, j);
+        assert_eq!(
+            outcome.imputed[(i, j)],
+            v,
+            "observed cell modified at ({},{})",
+            i,
+            j
+        );
     }
     assert!(outcome.n_star >= outcome.n0);
     assert!(outcome.n_star <= outcome.n_total);
@@ -60,7 +75,12 @@ fn pipeline_is_deterministic_under_fixed_seed() {
         let mut rng = Rng64::seed_from_u64(123);
         let config = fast_scis_config();
         let mut gain = GainImputer::new(config.dim.train);
-        Scis::new(config).run(&mut gain, &norm, inst.n0.min(norm.n_samples() / 3), &mut rng)
+        Scis::new(config).run(
+            &mut gain,
+            &norm,
+            inst.n0.min(norm.n_samples() / 3),
+            &mut rng,
+        )
     };
     let a = run();
     let b = run();
@@ -96,12 +116,26 @@ fn deep_imputers_beat_mean_on_a_correlated_recipe() {
     let mut mean = scis_imputers::mean::MeanImputer;
     let e_mean = rmse_vs_ground_truth(&norm, &gt_norm, &mean.impute(&norm, &mut rng));
 
-    let train = TrainConfig { epochs: 40, batch_size: 64, learning_rate: 0.005, dropout: 0.1 };
-    let mut midae = MidaeImputer { config: train, hidden: 32, n_imputations: 3 };
+    let train = TrainConfig {
+        epochs: 40,
+        batch_size: 64,
+        learning_rate: 0.005,
+        dropout: 0.1,
+    };
+    let mut midae = MidaeImputer {
+        config: train,
+        hidden: 32,
+        n_imputations: 3,
+    };
     let e_midae = rmse_vs_ground_truth(&norm, &gt_norm, &midae.impute(&norm, &mut rng));
     assert!(e_midae < e_mean, "midae {} vs mean {}", e_midae, e_mean);
 
-    let mut vae = VaeImputer { config: train, latent: 4, hidden: 16, beta: 1e-4 };
+    let mut vae = VaeImputer {
+        config: train,
+        latent: 4,
+        hidden: 16,
+        beta: 1e-4,
+    };
     let e_vae = rmse_vs_ground_truth(&norm, &gt_norm, &vae.impute(&norm, &mut rng));
     assert!(e_vae < e_mean, "vaei {} vs mean {}", e_vae, e_mean);
 }
@@ -133,6 +167,13 @@ fn normalization_roundtrip_through_imputation() {
     let back = scaler.inverse_transform(&imputed);
     // observed cells come back to their original (pre-normalization) values
     for (i, j, v) in inst.dataset.observed_cells() {
-        assert!((back[(i, j)] - v).abs() < 1e-9, "({},{}): {} vs {}", i, j, back[(i, j)], v);
+        assert!(
+            (back[(i, j)] - v).abs() < 1e-9,
+            "({},{}): {} vs {}",
+            i,
+            j,
+            back[(i, j)],
+            v
+        );
     }
 }

@@ -13,14 +13,23 @@ use scis_tensor::Rng64;
 fn config(epsilon: f64) -> ScisConfig {
     ScisConfig {
         dim: DimConfig {
-            train: TrainConfig { epochs: 15, batch_size: 64, learning_rate: 0.005, dropout: 0.0 },
+            train: TrainConfig {
+                epochs: 15,
+                batch_size: 64,
+                learning_rate: 0.005,
+                dropout: 0.0,
+            },
             lambda: LambdaMode::Relative(0.1),
             max_sinkhorn_iters: 100,
             alpha: 10.0,
             critic: None,
             loss: GenerativeLoss::MaskedSinkhorn,
         },
-        sse: SseConfig { epsilon, ..Default::default() },
+        sse: SseConfig {
+            epsilon,
+            ..Default::default()
+        },
+        ..Default::default()
     }
 }
 
