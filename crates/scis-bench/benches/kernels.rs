@@ -11,7 +11,8 @@ use std::time::Instant;
 use scis_imputers::{AdversarialImputer, GainImputer, GinnImputer, TrainConfig};
 use scis_nn::Adam;
 use scis_ot::{ms_loss_grad, sinkhorn_uniform, SinkhornOptions};
-use scis_tensor::{Matrix, Rng64};
+use scis_tensor::par::{matmul_exec, pairwise_sq_dists_exec};
+use scis_tensor::{ExecPolicy, Matrix, Rng64};
 
 /// Times `body` over `iters` runs after one warm-up, printing mean per-run.
 fn bench<R>(name: &str, iters: usize, mut body: impl FnMut() -> R) {
@@ -37,6 +38,7 @@ fn bench_sinkhorn() {
             lambda: 0.1,
             max_iters: 200,
             tol: 1e-8,
+            ..Default::default()
         };
         bench(&format!("sinkhorn_solve/{n}"), 20, || {
             sinkhorn_uniform(black_box(&cost), &opts)
@@ -54,6 +56,7 @@ fn bench_ms_gradient() {
             lambda: 0.1,
             max_iters: 100,
             tol: 1e-7,
+            ..Default::default()
         };
         bench(&format!("ms_loss_grad/{n}x{d}"), 10, || {
             ms_loss_grad(&xbar, &x, &mask, &opts)
@@ -77,6 +80,33 @@ fn bench_gain_step() {
     }
 }
 
+fn bench_par_kernels() {
+    let n = 512;
+    let mut rng = Rng64::seed_from_u64(5);
+    let a = Matrix::from_fn(n, n, |_, _| rng.uniform());
+    let b = Matrix::from_fn(n, n, |_, _| rng.uniform());
+    for &(label, exec) in &[
+        ("serial", ExecPolicy::Serial),
+        ("4 threads", ExecPolicy::threads(4)),
+    ] {
+        bench(&format!("matmul/{n} ({label})"), 5, || {
+            matmul_exec(black_box(&a), black_box(&b), exec)
+        });
+        bench(&format!("pairwise_sq_dists/{n} ({label})"), 5, || {
+            pairwise_sq_dists_exec(black_box(&a), black_box(&b), exec)
+        });
+    }
+    // the determinism contract the policies promise
+    assert_eq!(
+        matmul_exec(&a, &b, ExecPolicy::Serial),
+        matmul_exec(&a, &b, ExecPolicy::threads(4)),
+    );
+    assert_eq!(
+        pairwise_sq_dists_exec(&a, &b, ExecPolicy::Serial),
+        pairwise_sq_dists_exec(&a, &b, ExecPolicy::threads(4)),
+    );
+}
+
 fn bench_ginn_graph() {
     for &n in &[500usize, 1000, 2000] {
         let mut rng = Rng64::seed_from_u64(4);
@@ -91,5 +121,6 @@ fn main() {
     bench_sinkhorn();
     bench_ms_gradient();
     bench_gain_step();
+    bench_par_kernels();
     bench_ginn_graph();
 }

@@ -28,6 +28,7 @@ fn main() {
         lambda,
         max_iters: 20_000,
         tol: 1e-11,
+        ..Default::default()
     };
     let entropy_const = lambda * ((1.0 - q_emp) * (1.0 - q_emp).ln() + q_emp * q_emp.ln());
 

@@ -1,0 +1,70 @@
+//! Smoke test for the deterministic parallel execution engine: times the
+//! two hottest kernels (512×512 GEMM and pairwise squared distances) under
+//! `ExecPolicy::Serial` vs `ExecPolicy::threads(4)`, verifies bit-identical
+//! outputs, and writes the result to `bench_results/par_smoke.json`.
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin par_smoke
+//! SCIS_SMOKE_THREADS=8 cargo run -p scis-bench --release --bin par_smoke
+//! ```
+//!
+//! On a multi-core machine the parallel timings should show near-linear
+//! speedup; on a single core they degrade gracefully to ~1×. The parity
+//! assertions hold everywhere — that is the engine's contract.
+
+use scis_tensor::par::{matmul_exec, pairwise_sq_dists_exec};
+use scis_tensor::{ExecPolicy, Matrix, Rng64};
+use std::hint::black_box;
+use std::time::Instant;
+
+const N: usize = 512;
+const ITERS: usize = 5;
+
+/// Mean seconds per call after one warm-up run.
+fn time<R>(mut body: impl FnMut() -> R) -> f64 {
+    black_box(body());
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(body());
+    }
+    start.elapsed().as_secs_f64() / ITERS as f64
+}
+
+fn main() {
+    let threads: usize = std::env::var("SCIS_SMOKE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let par = ExecPolicy::threads(threads);
+    let mut rng = Rng64::seed_from_u64(7);
+    let a = Matrix::from_fn(N, N, |_, _| rng.uniform());
+    let b = Matrix::from_fn(N, N, |_, _| rng.uniform());
+
+    let mm_serial = time(|| matmul_exec(&a, &b, ExecPolicy::Serial));
+    let mm_par = time(|| matmul_exec(&a, &b, par));
+    let pw_serial = time(|| pairwise_sq_dists_exec(&a, &b, ExecPolicy::Serial));
+    let pw_par = time(|| pairwise_sq_dists_exec(&a, &b, par));
+
+    let mm_identical = matmul_exec(&a, &b, ExecPolicy::Serial) == matmul_exec(&a, &b, par);
+    let pw_identical =
+        pairwise_sq_dists_exec(&a, &b, ExecPolicy::Serial) == pairwise_sq_dists_exec(&a, &b, par);
+    assert!(mm_identical, "matmul parity violated");
+    assert!(pw_identical, "pairwise_sq_dists parity violated");
+
+    let mm_speedup = mm_serial / mm_par.max(1e-12);
+    let pw_speedup = pw_serial / pw_par.max(1e-12);
+    println!("matmul/{N}:            serial {mm_serial:.4}s, {threads} threads {mm_par:.4}s  ({mm_speedup:.2}x)");
+    println!("pairwise_sq_dists/{N}: serial {pw_serial:.4}s, {threads} threads {pw_par:.4}s  ({pw_speedup:.2}x)");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"size\": {N},\n  \"threads\": {threads},\n  \"available_cores\": {cores},\n  \
+         \"matmul_serial_s\": {mm_serial:.6},\n  \"matmul_par_s\": {mm_par:.6},\n  \
+         \"matmul_speedup\": {mm_speedup:.3},\n  \"matmul_bit_identical\": {mm_identical},\n  \
+         \"pairwise_serial_s\": {pw_serial:.6},\n  \"pairwise_par_s\": {pw_par:.6},\n  \
+         \"pairwise_speedup\": {pw_speedup:.3},\n  \"pairwise_bit_identical\": {pw_identical}\n}}\n"
+    );
+    std::fs::create_dir_all("bench_results").expect("creating bench_results/");
+    std::fs::write("bench_results/par_smoke.json", &json).expect("writing par_smoke.json");
+    println!("wrote bench_results/par_smoke.json");
+}

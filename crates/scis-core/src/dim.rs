@@ -25,10 +25,11 @@ use scis_nn::loss::weighted_mse;
 use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
 use scis_ot::grad::{cross_ot_grad, self_ot_grad};
 use scis_ot::{
-    ms_loss_grad_tracked, sinkhorn_uniform, sliced_w2_loss_grad, SinkhornOptions, SlicedOptions,
+    masked_sq_cost_with, ms_loss_grad_tracked, sinkhorn_uniform, sliced_w2_loss_grad,
+    SinkhornOptions, SlicedOptions,
 };
-use scis_tensor::ops::pairwise_sq_dists;
-use scis_tensor::{Matrix, Rng64};
+use scis_tensor::par::pairwise_sq_dists_exec;
+use scis_tensor::{ExecPolicy, Matrix, Rng64};
 
 /// How the Sinkhorn regularization λ is chosen per batch.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +93,9 @@ pub struct DimConfig {
     pub critic: Option<CriticConfig>,
     /// Distributional loss (ablation; default = the paper's MS divergence).
     pub loss: GenerativeLoss,
+    /// Execution policy for the generator's matmuls, cost builds, and
+    /// Sinkhorn sweeps. Bit-identical results under any policy.
+    pub exec: ExecPolicy,
 }
 
 impl Default for DimConfig {
@@ -103,6 +107,7 @@ impl Default for DimConfig {
             alpha: 10.0,
             critic: None,
             loss: GenerativeLoss::MaskedSinkhorn,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -124,7 +129,50 @@ impl DimConfig {
             lambda,
             max_iters: self.max_sinkhorn_iters,
             tol: 1e-8,
+            exec: self.exec,
         }
+    }
+
+    /// Fluent setter for [`DimConfig::train`].
+    pub fn train(mut self, train: TrainConfig) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Fluent setter for [`DimConfig::lambda`].
+    pub fn lambda(mut self, lambda: LambdaMode) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Fluent setter for [`DimConfig::max_sinkhorn_iters`].
+    pub fn max_sinkhorn_iters(mut self, max_iters: usize) -> Self {
+        self.max_sinkhorn_iters = max_iters;
+        self
+    }
+
+    /// Fluent setter for [`DimConfig::alpha`].
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Fluent setter for [`DimConfig::critic`].
+    pub fn critic(mut self, critic: Option<CriticConfig>) -> Self {
+        self.critic = critic;
+        self
+    }
+
+    /// Fluent setter for [`DimConfig::loss`].
+    pub fn loss(mut self, loss: GenerativeLoss) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Fluent setter for [`DimConfig::exec`].
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
     }
 }
 
@@ -216,11 +264,16 @@ pub fn train_dim_guarded(
     if !imp.is_initialized(d) {
         imp.init_networks(d, rng);
     }
+    imp.generator_mut().set_exec(cfg.exec);
     let n = ds.n_samples();
     let x = ds.values_filled(0.0);
     let mask = ds.dense_mask();
     let mut opt_g = Adam::new(cfg.train.learning_rate);
-    let mut critic = cfg.critic.as_ref().map(|c| Critic::new(2 * d, c, rng));
+    let mut critic = cfg.critic.as_ref().map(|c| {
+        let mut critic = Critic::new(2 * d, c, rng);
+        critic.net.set_exec(cfg.exec);
+        critic
+    });
     let bs = cfg.train.batch_size.min(n).max(2);
 
     let mut guard = TrainingGuard::new(
@@ -254,7 +307,7 @@ pub fn train_dim_guarded(
 
             let step = match (critic.as_mut(), cfg.loss) {
                 (None, GenerativeLoss::MaskedSinkhorn) => {
-                    let cost = scis_ot::masked_sq_cost(&xbar, &mb, &xb, &mb);
+                    let cost = masked_sq_cost_with(&xbar, &mb, &xb, &mb, cfg.exec);
                     let lambda = cfg.resolve_lambda(&cost);
                     let opts = cfg.sinkhorn_options(lambda);
                     match ms_loss_grad_tracked(
@@ -377,12 +430,12 @@ fn critic_step(
         return None;
     }
 
-    let cost_ab = pairwise_sq_dists(&ea, &eb);
+    let cost_ab = pairwise_sq_dists_exec(&ea, &eb, cfg.exec);
     let lambda = cfg.resolve_lambda(&cost_ab);
     let opts = cfg.sinkhorn_options(lambda);
     let cross = sinkhorn_uniform(&cost_ab, &opts);
-    let self_a = sinkhorn_uniform(&pairwise_sq_dists(&ea, &ea), &opts);
-    let self_b = sinkhorn_uniform(&pairwise_sq_dists(&eb, &eb), &opts);
+    let self_a = sinkhorn_uniform(&pairwise_sq_dists_exec(&ea, &ea, cfg.exec), &opts);
+    let self_b = sinkhorn_uniform(&pairwise_sq_dists_exec(&eb, &eb, cfg.exec), &opts);
     let n = xb.rows() as f64;
     let value = (2.0 * cross.reg_value - self_a.reg_value - self_b.reg_value) / (2.0 * n);
 
@@ -410,9 +463,9 @@ fn critic_step(
     if !all_finite(&ea2) || !all_finite(&eb2) {
         return None;
     }
-    let cost2 = pairwise_sq_dists(&ea2, &eb2);
+    let cost2 = pairwise_sq_dists_exec(&ea2, &eb2, cfg.exec);
     let cross2 = sinkhorn_uniform(&cost2, &opts);
-    let self_a2 = sinkhorn_uniform(&pairwise_sq_dists(&ea2, &ea2), &opts);
+    let self_a2 = sinkhorn_uniform(&pairwise_sq_dists_exec(&ea2, &ea2, cfg.exec), &opts);
     let mut g_ea2 = cross_ot_grad(&ea2, &eb2, &ones_a, &cross2.plan).scale(2.0);
     g_ea2.axpy(-1.0, &self_ot_grad(&ea2, &ones_a, &self_a2.plan));
     let g_ea2 = g_ea2.scale(1.0 / (2.0 * n));
@@ -461,6 +514,7 @@ mod tests {
             alpha: 10.0,
             critic: None,
             loss: GenerativeLoss::MaskedSinkhorn,
+            exec: ExecPolicy::default(),
         }
     }
 

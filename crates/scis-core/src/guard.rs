@@ -56,6 +56,38 @@ impl Default for GuardConfig {
     }
 }
 
+impl GuardConfig {
+    /// Fluent setter for [`GuardConfig::max_retries`].
+    pub fn max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Fluent setter for [`GuardConfig::lr_backoff`].
+    pub fn lr_backoff(mut self, lr_backoff: f64) -> Self {
+        self.lr_backoff = lr_backoff;
+        self
+    }
+
+    /// Fluent setter for [`GuardConfig::min_lr`].
+    pub fn min_lr(mut self, min_lr: f64) -> Self {
+        self.min_lr = min_lr;
+        self
+    }
+
+    /// Fluent setter for [`GuardConfig::max_grad_norm`].
+    pub fn max_grad_norm(mut self, max_grad_norm: f64) -> Self {
+        self.max_grad_norm = max_grad_norm;
+        self
+    }
+
+    /// Fluent setter for [`GuardConfig::sinkhorn_escalation`].
+    pub fn sinkhorn_escalation(mut self, policy: EscalationPolicy) -> Self {
+        self.sinkhorn_escalation = policy;
+        self
+    }
+}
+
 /// Recovery accounting of one guarded training run, merged upward into the
 /// pipeline's [`crate::pipeline::RunAnomalies`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

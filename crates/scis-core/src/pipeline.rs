@@ -18,10 +18,25 @@ use scis_data::Dataset;
 use scis_imputers::traits::impute_with_generator;
 use scis_imputers::{AdversarialImputer, Imputer};
 use scis_ot::SinkhornOptions;
-use scis_tensor::{Matrix, Rng64};
+use scis_tensor::{ExecPolicy, Matrix, Rng64};
 use std::time::{Duration, Instant};
 
 /// Full SCIS configuration: DIM + SSE + fault-tolerance knobs.
+///
+/// Builds fluently from the defaults:
+///
+/// ```
+/// use scis_core::pipeline::ScisConfig;
+/// use scis_tensor::ExecPolicy;
+///
+/// let cfg = ScisConfig::default()
+///     .exec(ExecPolicy::threads(8))
+///     .lambda(130.0)
+///     .epsilon(0.005);
+/// assert_eq!(cfg.exec, ExecPolicy::threads(8));
+/// assert_eq!(cfg.dim.exec, ExecPolicy::threads(8));
+/// assert_eq!(cfg.sse.zeta_lambda, 130.0);
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScisConfig {
     /// DIM (MS-divergence training) settings.
@@ -30,12 +45,60 @@ pub struct ScisConfig {
     pub sse: SseConfig,
     /// Training-guard settings (rollback, LR backoff, Sinkhorn escalation).
     pub guard: GuardConfig,
+    /// Execution policy for the whole pipeline. Kept in sync with
+    /// [`DimConfig::exec`] and [`SseConfig::exec`] by [`ScisConfig::exec`];
+    /// set the nested fields directly to give the phases different
+    /// policies.
+    pub exec: ExecPolicy,
+}
+
+impl ScisConfig {
+    /// Fluent setter for [`ScisConfig::dim`].
+    pub fn dim(mut self, dim: DimConfig) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Fluent setter for [`ScisConfig::sse`].
+    pub fn sse(mut self, sse: SseConfig) -> Self {
+        self.sse = sse;
+        self
+    }
+
+    /// Fluent setter for [`ScisConfig::guard`].
+    pub fn guard(mut self, guard: GuardConfig) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Sets the execution policy for every phase of the pipeline (DIM
+    /// training, Sinkhorn solves, and the SSE Monte-Carlo fan-out).
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self.dim.exec = exec;
+        self.sse.exec = exec;
+        self
+    }
+
+    /// Convenience for the paper's absolute λ: sets
+    /// [`SseConfig::zeta_lambda`] (default 130).
+    pub fn lambda(mut self, zeta_lambda: f64) -> Self {
+        self.sse.zeta_lambda = zeta_lambda;
+        self
+    }
+
+    /// Convenience for the user-tolerated error bound ε: sets
+    /// [`SseConfig::epsilon`] (default 0.001).
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.sse.epsilon = epsilon;
+        self
+    }
 }
 
 /// Everything the fault-tolerant runtime caught and recovered from during
 /// one run. A clean run has all counters zero, all lists empty, and both
 /// flags false.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunAnomalies {
     /// Training batches dropped for non-finite values.
     pub nan_batches_skipped: usize,
@@ -276,6 +339,7 @@ impl Scis {
             lambda: estimate_sse_lambda(&self.config.dim, &split.initial, imp, rng),
             max_iters: self.config.dim.max_sinkhorn_iters,
             tol: 1e-8,
+            exec: self.config.dim.exec,
         };
         let batch = self.config.dim.train.batch_size;
         let fisher = fisher_diagonal(imp, &split.initial, &sinkhorn, batch, rng);
@@ -415,7 +479,7 @@ fn estimate_sse_lambda(
     let g_in = imp.generator_input(&xb, &mb, rng);
     let generator = imp.generator_mut();
     let xbar = generator.forward(&g_in, scis_nn::Mode::Eval, rng);
-    let cost = scis_ot::masked_sq_cost(&xbar, &mb, &xb, &mb);
+    let cost = scis_ot::masked_sq_cost_with(&xbar, &mb, &xb, &mb, dim.exec);
     dim.resolve_lambda(&cost)
 }
 
@@ -454,12 +518,13 @@ mod tests {
                 alpha: 10.0,
                 critic: None,
                 loss: GenerativeLoss::MaskedSinkhorn,
+                ..Default::default()
             },
             sse: SseConfig {
                 epsilon: 0.02,
                 ..Default::default()
             },
-            guard: GuardConfig::default(),
+            ..Default::default()
         }
     }
 

@@ -40,7 +40,7 @@
 use scis_data::Dataset;
 use scis_imputers::AdversarialImputer;
 use scis_ot::{ms_loss_grad, SinkhornOptions};
-use scis_tensor::Rng64;
+use scis_tensor::{ExecPolicy, Rng64};
 
 /// SSE configuration (paper defaults from §VI).
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +64,11 @@ pub struct SseConfig {
     /// Whether the pipeline should calibrate against a sibling model
     /// (strongly recommended; `false` keeps Theorem 1's raw constant 1).
     pub calibrate: bool,
+    /// Execution policy for the Monte-Carlo distance evaluations: the `k`
+    /// draws fan out across worker threads, each on its own deep-copied
+    /// imputer ([`AdversarialImputer::clone_boxed`]). Results are
+    /// bit-identical to the serial evaluation.
+    pub exec: ExecPolicy,
 }
 
 impl Default for SseConfig {
@@ -77,11 +82,66 @@ impl Default for SseConfig {
             probe_std: 0.01,
             fisher_ridge: 1e-12,
             calibrate: true,
+            exec: ExecPolicy::default(),
         }
     }
 }
 
 impl SseConfig {
+    /// Fluent setter for [`SseConfig::epsilon`].
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Fluent setter for [`SseConfig::alpha`].
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Fluent setter for [`SseConfig::beta`].
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Fluent setter for [`SseConfig::k`].
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Fluent setter for [`SseConfig::zeta_lambda`].
+    pub fn zeta_lambda(mut self, zeta_lambda: f64) -> Self {
+        self.zeta_lambda = zeta_lambda;
+        self
+    }
+
+    /// Fluent setter for [`SseConfig::probe_std`].
+    pub fn probe_std(mut self, probe_std: f64) -> Self {
+        self.probe_std = probe_std;
+        self
+    }
+
+    /// Fluent setter for [`SseConfig::fisher_ridge`].
+    pub fn fisher_ridge(mut self, fisher_ridge: f64) -> Self {
+        self.fisher_ridge = fisher_ridge;
+        self
+    }
+
+    /// Fluent setter for [`SseConfig::calibrate`].
+    pub fn calibrate(mut self, calibrate: bool) -> Self {
+        self.calibrate = calibrate;
+        self
+    }
+
+    /// Fluent setter for [`SseConfig::exec`].
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// ζ(λ) from Theorem 1 for data dimension `d`.
     pub fn zeta(&self, d: usize) -> f64 {
         let l = self.zeta_lambda;
@@ -297,6 +357,13 @@ impl SseEstimator {
 
     /// Raw (uncalibrated) Monte-Carlo distances for a *pair variance*
     /// `eta_gap` and a *location variance* `eta_n` — one distance per draw.
+    ///
+    /// The `k` evaluations fan out across [`SseConfig::exec`] worker
+    /// threads when the imputer supports [`AdversarialImputer::clone_boxed`]
+    /// — each parameter pair is precomputed up front (no RNG in the
+    /// parallel region), each output slot is owned by exactly one worker,
+    /// and [`model_distance`] is deterministic, so the result vector is
+    /// bit-identical to the serial loop.
     fn mc_distances(
         &self,
         imp: &mut dyn AdversarialImputer,
@@ -305,20 +372,54 @@ impl SseEstimator {
         eta_gap: f64,
     ) -> Vec<f64> {
         let p = self.theta0.len();
-        let mut out = Vec::with_capacity(self.cfg.k);
-        for i in 0..self.cfg.k {
-            let mut theta_n = self.theta0.clone();
-            let mut theta_cap = self.theta0.clone();
-            for j in 0..p {
-                let s = self.unit_scale[j];
-                let dn = eta_n.sqrt() * s * self.draws_n[i][j];
-                let dg = eta_gap.sqrt() * s * self.draws_gap[i][j];
-                theta_n[j] += dn;
-                theta_cap[j] = theta_n[j] + dg;
+        let k = self.cfg.k;
+        let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..k)
+            .map(|i| {
+                let mut theta_n = self.theta0.clone();
+                let mut theta_cap = self.theta0.clone();
+                for j in 0..p {
+                    let s = self.unit_scale[j];
+                    let dn = eta_n.sqrt() * s * self.draws_n[i][j];
+                    let dg = eta_gap.sqrt() * s * self.draws_gap[i][j];
+                    theta_n[j] += dn;
+                    theta_cap[j] = theta_n[j] + dg;
+                }
+                (theta_n, theta_cap)
+            })
+            .collect();
+
+        let threads = self.cfg.exec.workers(k);
+        if threads > 1 {
+            if let Some(first) = imp.clone_boxed() {
+                let mut out = vec![0.0; k];
+                let chunk = k.div_ceil(threads);
+                std::thread::scope(|scope| {
+                    let mut spare = Some(first);
+                    for (block, slot) in out.chunks_mut(chunk).enumerate() {
+                        let lo = block * chunk;
+                        let pairs = &pairs;
+                        let mut worker = spare
+                            .take()
+                            .or_else(|| imp.clone_boxed())
+                            .expect("clone_boxed regressed mid-fan-out");
+                        // workers evaluate serially — the fan-out already
+                        // saturates the policy's thread budget
+                        worker.generator_mut().set_exec(ExecPolicy::Serial);
+                        scope.spawn(move || {
+                            for (off, d) in slot.iter_mut().enumerate() {
+                                let (ta, tb) = &pairs[lo + off];
+                                *d = model_distance(worker.as_mut(), validation, ta, tb);
+                            }
+                        });
+                    }
+                });
+                return out;
             }
-            out.push(model_distance(imp, validation, &theta_n, &theta_cap));
         }
-        out
+        pairs
+            .iter()
+            .map(|(ta, tb)| model_distance(imp, validation, ta, tb))
+            .collect()
     }
 
     /// Mean *uncalibrated* Monte-Carlo distance at the sibling reference
@@ -436,6 +537,7 @@ mod tests {
             lambda: 0.1,
             max_iters: 100,
             tol: 1e-7,
+            ..Default::default()
         };
         fisher_diagonal(gain, ds, &opts, 64, rng)
     }

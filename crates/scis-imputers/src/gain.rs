@@ -17,6 +17,7 @@ use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
 use scis_tensor::{Matrix, Rng64};
 
 /// GAIN hyper-parameters and state.
+#[derive(Clone)]
 pub struct GainImputer {
     /// Shared deep-learning hyper-parameters.
     pub config: TrainConfig,
@@ -185,6 +186,10 @@ impl Imputer for GainImputer {
 }
 
 impl AdversarialImputer for GainImputer {
+    fn clone_boxed(&self) -> Option<Box<dyn AdversarialImputer + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn init_networks(&mut self, n_features: usize, rng: &mut Rng64) {
         let d = n_features;
         // paper §VI: both G and D are 2-layer fully connected nets

@@ -23,6 +23,7 @@ type GraphKey = (usize, usize, u64);
 type Adjacency = Vec<Vec<usize>>;
 
 /// GINN hyper-parameters and state.
+#[derive(Clone)]
 pub struct GinnImputer {
     /// Shared deep-learning hyper-parameters.
     pub config: TrainConfig,
@@ -134,6 +135,10 @@ impl Imputer for GinnImputer {
 }
 
 impl AdversarialImputer for GinnImputer {
+    fn clone_boxed(&self) -> Option<Box<dyn AdversarialImputer + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn init_networks(&mut self, n_features: usize, rng: &mut Rng64) {
         let d = n_features;
         self.generator = Some(

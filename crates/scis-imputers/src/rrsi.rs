@@ -40,6 +40,7 @@ impl Default for RrsiImputer {
                 lambda: 0.002,
                 max_iters: 500,
                 tol: 1e-7,
+                ..Default::default()
             },
             init_noise: 0.1,
             step_size: 100.0,
@@ -177,6 +178,7 @@ mod tests {
                 lambda: 0.002,
                 max_iters: 300,
                 tol: 1e-6,
+                ..Default::default()
             },
             init_noise: 0.1,
             step_size: 100.0,

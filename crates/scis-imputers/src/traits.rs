@@ -39,6 +39,30 @@ impl TrainConfig {
             dropout: 0.3,
         }
     }
+
+    /// Fluent setter for [`TrainConfig::epochs`].
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Fluent setter for [`TrainConfig::batch_size`].
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Fluent setter for [`TrainConfig::learning_rate`].
+    pub fn learning_rate(mut self, learning_rate: f64) -> Self {
+        self.learning_rate = learning_rate;
+        self
+    }
+
+    /// Fluent setter for [`TrainConfig::dropout`].
+    pub fn dropout(mut self, dropout: f64) -> Self {
+        self.dropout = dropout;
+        self
+    }
 }
 
 /// A data imputation method (paper Definition 1).
@@ -81,6 +105,15 @@ pub trait AdversarialImputer: Imputer {
     /// Runs the method's *native* adversarial training (JS/BCE loss) on the
     /// given dataset. This is the baseline the paper calls "GAIN"/"GINN".
     fn train_native(&mut self, ds: &Dataset, rng: &mut Rng64);
+
+    /// Deep-copies the imputer for the parallel SSE Monte-Carlo fan-out:
+    /// each worker thread evaluates [`AdversarialImputer::reconstruct`]
+    /// (deterministic, RNG-free) on its own clone, so results are identical
+    /// to the serial evaluation. Returns `None` (the default) when the
+    /// imputer is not cloneable — callers then stay on the serial path.
+    fn clone_boxed(&self) -> Option<Box<dyn AdversarialImputer + Send>> {
+        None
+    }
 }
 
 /// Helper: run a generator forward pass and merge per Eq. 1.

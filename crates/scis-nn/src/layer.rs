@@ -4,8 +4,8 @@
 //! the calling convention is strict: one `backward` per `forward`, in reverse
 //! order — exactly what [`crate::mlp::Mlp`] enforces.
 
-use scis_tensor::ops::{matmul, matmul_at, matmul_bt};
-use scis_tensor::{Matrix, Rng64};
+use scis_tensor::par::{matmul_at_exec, matmul_bt_exec, matmul_exec};
+use scis_tensor::{ExecPolicy, Matrix, Rng64};
 
 /// Forward-pass mode: training enables dropout, evaluation disables it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,15 +34,26 @@ pub trait Layer: Send {
 
     /// Resets accumulated gradients to zero.
     fn zero_grad(&mut self);
+
+    /// Sets the execution policy for this layer's kernels. Parallelism never
+    /// changes results (the kernels are bit-identical to serial), so layers
+    /// without heavy kernels ignore this; the default is a no-op.
+    fn set_exec(&mut self, _policy: ExecPolicy) {}
+
+    /// Deep-copies the layer behind a fresh box (used to clone whole
+    /// networks for the parallel SSE Monte-Carlo fan-out).
+    fn clone_box(&self) -> Box<dyn Layer>;
 }
 
 /// Fully connected layer: `y = x · W + b` with `W: in x out`.
+#[derive(Clone)]
 pub struct Dense {
     weight: Matrix,
     bias: Vec<f64>,
     grad_w: Matrix,
     grad_b: Vec<f64>,
     cached_input: Option<Matrix>,
+    exec: ExecPolicy,
 }
 
 impl Dense {
@@ -55,6 +66,7 @@ impl Dense {
             grad_w: Matrix::zeros(in_dim, out_dim),
             grad_b: vec![0.0; out_dim],
             cached_input: None,
+            exec: ExecPolicy::default(),
         }
     }
 
@@ -84,7 +96,7 @@ impl Layer for Dense {
             self.weight.rows()
         );
         self.cached_input = Some(x.clone());
-        matmul(x, &self.weight).add_row_broadcast(&self.bias)
+        matmul_exec(x, &self.weight, self.exec).add_row_broadcast(&self.bias)
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -93,12 +105,12 @@ impl Layer for Dense {
             .as_ref()
             .expect("Dense::backward called before forward");
         // dW += xᵀ · grad_out ; db += column sums ; dx = grad_out · Wᵀ
-        let gw = matmul_at(x, grad_out);
+        let gw = matmul_at_exec(x, grad_out, self.exec);
         self.grad_w.axpy(1.0, &gw);
         for (b, s) in self.grad_b.iter_mut().zip(grad_out.col_sums()) {
             *b += s;
         }
-        matmul_bt(grad_out, &self.weight)
+        matmul_bt_exec(grad_out, &self.weight, self.exec)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
@@ -113,6 +125,14 @@ impl Layer for Dense {
     fn zero_grad(&mut self) {
         self.grad_w.as_mut_slice().fill(0.0);
         self.grad_b.fill(0.0);
+    }
+
+    fn set_exec(&mut self, policy: ExecPolicy) {
+        self.exec = policy;
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 }
 
@@ -175,6 +195,7 @@ impl Activation {
 }
 
 /// Stateless activation layer (caches input and output for backward).
+#[derive(Clone)]
 pub struct ActLayer {
     act: Activation,
     cached_in: Option<Matrix>,
@@ -229,10 +250,15 @@ impl Layer for ActLayer {
     }
 
     fn zero_grad(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 /// Inverted dropout: keeps each unit with probability `1 - p` during
 /// training and scales by `1/(1-p)`, identity at evaluation time.
+#[derive(Clone)]
 pub struct Dropout {
     p: f64,
     mask: Option<Matrix>,
@@ -284,6 +310,10 @@ impl Layer for Dropout {
     }
 
     fn zero_grad(&mut self) {}
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -15,13 +15,23 @@
 //! ```
 
 use crate::layer::{ActLayer, Activation, Dense, Dropout, Layer, Mode};
-use scis_tensor::{Matrix, Rng64};
+use scis_tensor::{ExecPolicy, Matrix, Rng64};
 
 /// A stack of layers applied in sequence.
 pub struct Mlp {
     layers: Vec<Box<dyn Layer>>,
     in_dim: usize,
     out_dim: usize,
+}
+
+impl Clone for Mlp {
+    fn clone(&self) -> Self {
+        Mlp {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+            in_dim: self.in_dim,
+            out_dim: self.out_dim,
+        }
+    }
 }
 
 /// Builder for [`Mlp`]; records the architecture, materializes weights on
@@ -91,6 +101,15 @@ impl Mlp {
     pub fn zero_grad(&mut self) {
         for layer in &mut self.layers {
             layer.zero_grad();
+        }
+    }
+
+    /// Propagates an execution policy to every layer. Parallelism only
+    /// affects wall-clock time — forward/backward results are bit-identical
+    /// under any policy.
+    pub fn set_exec(&mut self, policy: ExecPolicy) {
+        for layer in &mut self.layers {
+            layer.set_exec(policy);
         }
     }
 

@@ -1,6 +1,7 @@
 //! Masked squared-Euclidean cost matrices (paper Definition 2).
 
-use scis_tensor::Matrix;
+use scis_tensor::par::pairwise_sq_dists_exec;
+use scis_tensor::{ExecPolicy, Matrix};
 
 /// Builds the masking cost matrix between two row sets:
 /// `C[i][j] = ‖ma_i ⊙ a_i − mb_j ⊙ b_j‖²`.
@@ -9,9 +10,23 @@ use scis_tensor::Matrix;
 /// (`a = X̄`, `b = X`, `ma = mb = M`); the two-mask form is also used by the
 /// RRSI baseline, which compares two different batches.
 ///
+/// Serial convenience wrapper around [`masked_sq_cost_with`].
+///
 /// # Panics
 /// Panics if feature dimensions disagree or masks don't match their data.
 pub fn masked_sq_cost(a: &Matrix, ma: &Matrix, b: &Matrix, mb: &Matrix) -> Matrix {
+    masked_sq_cost_with(a, ma, b, mb, ExecPolicy::Serial)
+}
+
+/// Policy-aware [`masked_sq_cost`]: large cost matrices are built in
+/// parallel over row blocks, bit-identical to the serial build.
+pub fn masked_sq_cost_with(
+    a: &Matrix,
+    ma: &Matrix,
+    b: &Matrix,
+    mb: &Matrix,
+    exec: ExecPolicy,
+) -> Matrix {
     assert_eq!(
         a.shape(),
         ma.shape(),
@@ -23,32 +38,21 @@ pub fn masked_sq_cost(a: &Matrix, ma: &Matrix, b: &Matrix, mb: &Matrix) -> Matri
         "masked_sq_cost: b/mask shape mismatch"
     );
     assert_eq!(a.cols(), b.cols(), "masked_sq_cost: feature dim mismatch");
-    let (n, m) = (a.rows(), b.rows());
-    let d = a.cols();
-    let mut out = Matrix::zeros(n, m);
     // Pre-mask both sides once (O(nd + md)) so the O(n·m·d) loop is a plain
     // squared distance.
     let am = a.hadamard(ma);
     let bm = b.hadamard(mb);
-    for i in 0..n {
-        let ai = am.row(i);
-        let row = out.row_mut(i);
-        for (j, o) in row.iter_mut().enumerate() {
-            let bj = bm.row(j);
-            let mut acc = 0.0;
-            for k in 0..d {
-                let diff = ai[k] - bj[k];
-                acc += diff * diff;
-            }
-            *o = acc;
-        }
-    }
-    out
+    pairwise_sq_dists_exec(&am, &bm, exec)
 }
 
 /// Self cost `C[i][j] = ‖m_i ⊙ x_i − m_j ⊙ x_j‖²` within one masked set.
 pub fn masked_self_cost(x: &Matrix, m: &Matrix) -> Matrix {
     masked_sq_cost(x, m, x, m)
+}
+
+/// Policy-aware [`masked_self_cost`].
+pub fn masked_self_cost_with(x: &Matrix, m: &Matrix, exec: ExecPolicy) -> Matrix {
+    masked_sq_cost_with(x, m, x, m, exec)
 }
 
 #[cfg(test)]

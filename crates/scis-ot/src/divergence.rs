@@ -79,6 +79,7 @@ mod tests {
             lambda,
             max_iters: 2000,
             tol: 1e-10,
+            ..Default::default()
         }
     }
 
@@ -150,6 +151,7 @@ mod tests {
             lambda,
             max_iters: 20_000,
             tol: 1e-11,
+            ..Default::default()
         };
         let entropy_const = lambda * ((1.0 - q_emp) * (1.0 - q_emp).ln() + q_emp * q_emp.ln());
         let mut prev = -1.0;

@@ -15,15 +15,32 @@
 //! marginals; plan and cost are symmetric). Gradients here are verified
 //! against central finite differences of the actual Sinkhorn values.
 
-use crate::cost::{masked_self_cost, masked_sq_cost};
+use crate::cost::{masked_self_cost_with, masked_sq_cost_with};
 use crate::sinkhorn::{
     sinkhorn_uniform, try_sinkhorn_uniform_escalated, EscalationPolicy, SinkhornError,
     SinkhornOptions, SolveStats,
 };
-use scis_tensor::Matrix;
+use scis_tensor::exec::for_each_row;
+use scis_tensor::par::PAR_MIN_WORK;
+use scis_tensor::{ExecPolicy, Matrix};
 
 /// Gradient of the *cross* entropic OT value `OT_λ^m(x̄, x)` w.r.t. `x̄`.
+///
+/// Serial convenience wrapper around [`cross_ot_grad_with`].
 pub fn cross_ot_grad(xbar: &Matrix, x: &Matrix, mask: &Matrix, plan: &Matrix) -> Matrix {
+    cross_ot_grad_with(xbar, x, mask, plan, ExecPolicy::Serial)
+}
+
+/// Policy-aware [`cross_ot_grad`]: gradient rows are independent, so large
+/// batches are computed in parallel over row blocks, bit-identical to the
+/// serial loop.
+pub fn cross_ot_grad_with(
+    xbar: &Matrix,
+    x: &Matrix,
+    mask: &Matrix,
+    plan: &Matrix,
+    exec: ExecPolicy,
+) -> Matrix {
     let (n, d) = xbar.shape();
     assert_eq!(
         plan.shape(),
@@ -31,11 +48,18 @@ pub fn cross_ot_grad(xbar: &Matrix, x: &Matrix, mask: &Matrix, plan: &Matrix) ->
         "cross_ot_grad: plan shape mismatch"
     );
     let mut grad = Matrix::zeros(n, d);
-    for i in 0..n {
+    if d == 0 {
+        return grad;
+    }
+    let threads = if n * x.rows() * d < PAR_MIN_WORK {
+        1
+    } else {
+        exec.workers(n)
+    };
+    for_each_row(grad.as_mut_slice(), d, threads, |i, grow| {
         let mi = mask.row(i);
         let xi = xbar.row(i);
         let prow = plan.row(i);
-        let grow = grad.row_mut(i);
         for (j, &p) in prow.iter().enumerate() {
             if p == 0.0 {
                 continue;
@@ -46,7 +70,7 @@ pub fn cross_ot_grad(xbar: &Matrix, x: &Matrix, mask: &Matrix, plan: &Matrix) ->
                 grow[k] += p * 2.0 * (mi[k] * xi[k] - mj[k] * xj[k]) * mi[k];
             }
         }
-    }
+    });
     grad
 }
 
@@ -54,6 +78,11 @@ pub fn cross_ot_grad(xbar: &Matrix, x: &Matrix, mask: &Matrix, plan: &Matrix) ->
 /// (both marginals depend on `x̄`, hence the factor 2).
 pub fn self_ot_grad(xbar: &Matrix, mask: &Matrix, plan: &Matrix) -> Matrix {
     cross_ot_grad(xbar, xbar, mask, plan).scale(2.0)
+}
+
+/// Policy-aware [`self_ot_grad`].
+pub fn self_ot_grad_with(xbar: &Matrix, mask: &Matrix, plan: &Matrix, exec: ExecPolicy) -> Matrix {
+    cross_ot_grad_with(xbar, xbar, mask, plan, exec).scale(2.0)
 }
 
 /// Computes the MS-divergence imputation loss `L_s = S_m / (2n)` and its
@@ -71,9 +100,9 @@ pub fn ms_loss_grad(
     assert_eq!(x.shape(), mask.shape(), "ms_loss_grad: mask shape mismatch");
     let n = x.rows().max(1) as f64;
 
-    let cross_cost = masked_sq_cost(xbar, mask, x, mask);
-    let self_a_cost = masked_self_cost(xbar, mask);
-    let self_b_cost = masked_self_cost(x, mask);
+    let cross_cost = masked_sq_cost_with(xbar, mask, x, mask, opts.exec);
+    let self_a_cost = masked_self_cost_with(xbar, mask, opts.exec);
+    let self_b_cost = masked_self_cost_with(x, mask, opts.exec);
     let cross = sinkhorn_uniform(&cross_cost, opts);
     let self_a = sinkhorn_uniform(&self_a_cost, opts);
     let self_b = sinkhorn_uniform(&self_b_cost, opts);
@@ -81,8 +110,8 @@ pub fn ms_loss_grad(
     let value = 2.0 * cross.reg_value - self_a.reg_value - self_b.reg_value;
     let loss = value / (2.0 * n);
 
-    let g_cross = cross_ot_grad(xbar, x, mask, &cross.plan);
-    let g_self = self_ot_grad(xbar, mask, &self_a.plan);
+    let g_cross = cross_ot_grad_with(xbar, x, mask, &cross.plan, opts.exec);
+    let g_self = self_ot_grad_with(xbar, mask, &self_a.plan, opts.exec);
     // dS/dx̄ = 2·g_cross − g_self ; dL/dx̄ = dS/dx̄ / (2n)
     let mut grad = g_cross.scale(2.0);
     grad.axpy(-1.0, &g_self);
@@ -105,9 +134,9 @@ pub fn ms_loss_grad_tracked(
     let n = x.rows().max(1) as f64;
     let mut stats = SolveStats::default();
 
-    let cross_cost = masked_sq_cost(xbar, mask, x, mask);
-    let self_a_cost = masked_self_cost(xbar, mask);
-    let self_b_cost = masked_self_cost(x, mask);
+    let cross_cost = masked_sq_cost_with(xbar, mask, x, mask, opts.exec);
+    let self_a_cost = masked_self_cost_with(xbar, mask, opts.exec);
+    let self_b_cost = masked_self_cost_with(x, mask, opts.exec);
     let (cross, s1) = try_sinkhorn_uniform_escalated(&cross_cost, opts, policy)?;
     let (self_a, s2) = try_sinkhorn_uniform_escalated(&self_a_cost, opts, policy)?;
     let (self_b, s3) = try_sinkhorn_uniform_escalated(&self_b_cost, opts, policy)?;
@@ -118,8 +147,8 @@ pub fn ms_loss_grad_tracked(
     let value = 2.0 * cross.reg_value - self_a.reg_value - self_b.reg_value;
     let loss = value / (2.0 * n);
 
-    let g_cross = cross_ot_grad(xbar, x, mask, &cross.plan);
-    let g_self = self_ot_grad(xbar, mask, &self_a.plan);
+    let g_cross = cross_ot_grad_with(xbar, x, mask, &cross.plan, opts.exec);
+    let g_self = self_ot_grad_with(xbar, mask, &self_a.plan, opts.exec);
     let mut grad = g_cross.scale(2.0);
     grad.axpy(-1.0, &g_self);
     Ok((loss, grad.scale(1.0 / (2.0 * n)), stats))
@@ -136,6 +165,7 @@ mod tests {
             lambda: 0.5,
             max_iters: 5000,
             tol: 1e-12,
+            ..Default::default()
         }
     }
 
@@ -218,6 +248,7 @@ mod tests {
             lambda: 0.01,
             max_iters: 20_000,
             tol: 1e-12,
+            ..Default::default()
         };
         let grad_at = |theta: f64| {
             let xt = Matrix::full(n, 1, theta);

@@ -21,9 +21,9 @@ pub mod grad;
 pub mod sinkhorn;
 pub mod sliced;
 
-pub use cost::masked_sq_cost;
+pub use cost::{masked_self_cost, masked_self_cost_with, masked_sq_cost, masked_sq_cost_with};
 pub use divergence::{ms_divergence, ms_loss, MsDivergenceValue};
-pub use grad::{ms_loss_grad, ms_loss_grad_tracked};
+pub use grad::{cross_ot_grad_with, ms_loss_grad, ms_loss_grad_tracked, self_ot_grad_with};
 pub use sinkhorn::{
     sinkhorn, sinkhorn_uniform, try_sinkhorn, try_sinkhorn_escalated, try_sinkhorn_uniform,
     try_sinkhorn_uniform_escalated, EscalationPolicy, SinkhornError, SinkhornOptions,

@@ -12,7 +12,13 @@
 //! paper uses on [0,1]-normalized data *and* tiny λ where the kernel
 //! `exp(−C/λ)` would underflow in the primal domain.
 
-use scis_tensor::Matrix;
+use scis_tensor::exec::for_each_row;
+use scis_tensor::{ExecPolicy, Matrix};
+
+/// Minimum number of cost-matrix cells (`n · m`) before the per-iteration
+/// sweeps go parallel: below this, thread-spawn overhead dominates, and DIM's
+/// per-batch solves (≤ a few hundred rows) stay on the serial fast path.
+const PAR_MIN_CELLS: usize = 1 << 15;
 
 /// Tuning knobs for the Sinkhorn solver.
 #[derive(Debug, Clone, Copy)]
@@ -24,6 +30,10 @@ pub struct SinkhornOptions {
     pub max_iters: usize,
     /// Convergence threshold on the L1 marginal violation of the plan.
     pub tol: f64,
+    /// Execution policy for the row/column sweeps. Parallelism never changes
+    /// results — sweeps partition rows across workers with ordered
+    /// reductions, so solves are bit-identical under any policy.
+    pub exec: ExecPolicy,
 }
 
 impl Default for SinkhornOptions {
@@ -32,6 +42,7 @@ impl Default for SinkhornOptions {
             lambda: 130.0,
             max_iters: 500,
             tol: 1e-9,
+            exec: ExecPolicy::default(),
         }
     }
 }
@@ -43,6 +54,30 @@ impl SinkhornOptions {
             lambda,
             ..Self::default()
         }
+    }
+
+    /// Fluent setter for [`SinkhornOptions::lambda`].
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Fluent setter for [`SinkhornOptions::max_iters`].
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Fluent setter for [`SinkhornOptions::tol`].
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Fluent setter for [`SinkhornOptions::exec`].
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.exec = exec;
+        self
     }
 }
 
@@ -228,7 +263,7 @@ fn log_sum_exp(terms: impl Iterator<Item = f64> + Clone) -> f64 {
 ///
 /// let cost = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
 /// let r = sinkhorn(&cost, &[0.5, 0.5], &[0.5, 0.5],
-///                  &SinkhornOptions { lambda: 0.05, max_iters: 1000, tol: 1e-9 });
+///                  &SinkhornOptions::default().lambda(0.05).max_iters(1000));
 /// assert!(r.converged);
 /// // identity matching is free -> transport cost near zero
 /// assert!(r.transport_cost < 1e-3);
@@ -288,48 +323,78 @@ fn sinkhorn_impl(
     let mut iterations = 0;
     let mut converged = false;
 
+    // Sweeps partition independent rows (resp. columns) across scoped
+    // workers; each entry is produced by exactly one worker with the same
+    // arithmetic as the serial loop, so solves are bit-identical under any
+    // thread count. Small problems stay serial (see PAR_MIN_CELLS).
+    let threads = if n * m < PAR_MIN_CELLS {
+        1
+    } else {
+        opts.exec.resolve()
+    };
+    let mut row_violation = vec![0.0; n];
+
     // cost transposed view avoided: we walk columns through strided access,
     // fine for the batch sizes (≤ a few hundred) Sinkhorn sees per step.
     for it in 0..opts.max_iters {
         iterations = it + 1;
         // f_i ← −λ LSE_j [ log b_j + (g_j − C_ij)/λ ]
-        for (i, fi) in f.iter_mut().enumerate() {
-            let row = cost.row(i);
-            let lse = log_sum_exp((0..m).map(|j| log_b[j] + (g[j] - row[j]) / lam));
-            *fi = -lam * lse;
+        {
+            let g = &g;
+            for_each_row(&mut f, 1, threads, |i, fi| {
+                let row = cost.row(i);
+                let lse = log_sum_exp((0..m).map(|j| log_b[j] + (g[j] - row[j]) / lam));
+                fi[0] = -lam * lse;
+            });
         }
         // g_j ← −λ LSE_i [ log a_i + (f_i − C_ij)/λ ]
-        for j in 0..m {
-            let lse = log_sum_exp((0..n).map(|i| log_a[i] + (f[i] - cost[(i, j)]) / lam));
-            g[j] = -lam * lse;
+        {
+            let f = &f;
+            for_each_row(&mut g, 1, threads, |j, gj| {
+                let lse = log_sum_exp((0..n).map(|i| log_a[i] + (f[i] - cost[(i, j)]) / lam));
+                gj[0] = -lam * lse;
+            });
         }
         // After a g-update, column marginals are exact; check row marginals.
-        let mut violation = 0.0;
-        for i in 0..n {
-            let row = cost.row(i);
-            let mut row_sum = 0.0;
-            for j in 0..m {
-                row_sum += (log_a[i] + log_b[j] + (f[i] + g[j] - row[j]) / lam).exp();
-            }
-            violation += (row_sum - a[i]).abs();
+        // Per-row partials are summed in ascending row order below, so the
+        // reduction matches the serial accumulation bit for bit.
+        {
+            let (f, g) = (&f, &g);
+            for_each_row(&mut row_violation, 1, threads, |i, slot| {
+                let row = cost.row(i);
+                let mut row_sum = 0.0;
+                for j in 0..m {
+                    row_sum += (log_a[i] + log_b[j] + (f[i] + g[j] - row[j]) / lam).exp();
+                }
+                slot[0] = (row_sum - a[i]).abs();
+            });
         }
+        let violation: f64 = row_violation.iter().sum();
         if violation < opts.tol {
             converged = true;
             break;
         }
     }
 
-    // materialize plan and objective values
+    // materialize plan (rows in parallel), then reduce the objective terms
+    // serially in row-major order — the same summation chain as the serial
+    // reference, so reg_value is independent of the thread count
     let mut plan = Matrix::zeros(n, m);
+    {
+        let (f, g) = (&f, &g);
+        for_each_row(plan.as_mut_slice(), m, threads, |i, prow| {
+            let crow = cost.row(i);
+            for (j, p) in prow.iter_mut().enumerate() {
+                let log_p = log_a[i] + log_b[j] + (f[i] + g[j] - crow[j]) / lam;
+                *p = log_p.exp();
+            }
+        });
+    }
     let mut transport_cost = 0.0;
     let mut neg_entropy = 0.0;
     for i in 0..n {
         let crow = cost.row(i);
-        let prow = plan.row_mut(i);
-        for (j, p) in prow.iter_mut().enumerate() {
-            let log_p = log_a[i] + log_b[j] + (f[i] + g[j] - crow[j]) / lam;
-            let val = log_p.exp();
-            *p = val;
+        for (j, &val) in plan.row(i).iter().enumerate() {
             if val > 0.0 {
                 transport_cost += val * crow[j];
                 neg_entropy += val * val.ln();
@@ -466,6 +531,7 @@ fn eps_scaling_impl(
             } else {
                 opts.tol * 100.0
             },
+            exec: opts.exec,
         };
         let r = sinkhorn_impl(cost, a, b, f, g, &stage_opts);
         f = r.f.clone();
@@ -609,6 +675,7 @@ mod tests {
                 lambda: 0.1,
                 max_iters: 20_000,
                 tol: 1e-8,
+                ..Default::default()
             },
         );
         assert!(
@@ -634,6 +701,7 @@ mod tests {
                 lambda: 0.005,
                 max_iters: 5000,
                 tol: 1e-10,
+                ..Default::default()
             },
         );
         // unregularized OT = 0 (identity assignment)
@@ -701,6 +769,7 @@ mod tests {
                 lambda: 1e-3,
                 max_iters: 2000,
                 tol: 1e-8,
+                ..Default::default()
             },
         );
         assert!(r.transport_cost.is_finite());
@@ -796,6 +865,7 @@ mod tests {
             lambda: 0.2,
             max_iters: 5000,
             tol: 1e-9,
+            ..Default::default()
         };
         let a = sinkhorn_uniform(&c, &opts);
         let b = try_sinkhorn_uniform(&c, &opts).expect("valid inputs");
@@ -855,6 +925,7 @@ mod escalation_tests {
             lambda: 1e-3,
             max_iters: 30,
             tol: 1e-9,
+            ..Default::default()
         };
         let plain = sinkhorn_uniform(&c, &opts);
         assert!(
@@ -884,6 +955,7 @@ mod escalation_tests {
             lambda: 0.005,
             max_iters: 3,
             tol: 1e-12,
+            ..Default::default()
         };
         let policy = EscalationPolicy {
             max_attempts: 2,
@@ -905,6 +977,7 @@ mod escalation_tests {
             lambda: 0.5,
             max_iters: 5000,
             tol: 1e-9,
+            ..Default::default()
         };
         let (r, stats) =
             try_sinkhorn_uniform_escalated(&c, &opts, &EscalationPolicy::default()).unwrap();
@@ -919,6 +992,7 @@ mod escalation_tests {
             lambda: 0.05,
             max_iters: 30,
             tol: 1e-12,
+            ..Default::default()
         };
         let plain = sinkhorn_uniform(&c, &opts);
         let (r, stats) =
@@ -952,6 +1026,7 @@ mod eps_scaling_tests {
             lambda: 0.01,
             max_iters: 20_000,
             tol: 1e-10,
+            ..Default::default()
         };
         let cold = sinkhorn_uniform(&c, &opts);
         let warm = sinkhorn_eps_scaling_uniform(&c, &opts, 5);
@@ -975,6 +1050,7 @@ mod eps_scaling_tests {
             lambda: 0.005,
             max_iters: 50_000,
             tol: 1e-9,
+            ..Default::default()
         };
         let cold = sinkhorn_uniform(&c, &opts);
         let warm = sinkhorn_eps_scaling_uniform(&c, &opts, 6);
@@ -995,6 +1071,7 @@ mod eps_scaling_tests {
             lambda: 0.05,
             max_iters: 10_000,
             tol: 1e-10,
+            ..Default::default()
         };
         let r1 = sinkhorn_uniform(&c, &opts);
         let a = vec![1.0 / 12.0; 12];
@@ -1014,6 +1091,7 @@ mod eps_scaling_tests {
             lambda: 0.5,
             max_iters: 2000,
             tol: 1e-10,
+            ..Default::default()
         };
         let a = sinkhorn_uniform(&c, &opts);
         let b = sinkhorn_eps_scaling_uniform(&c, &opts, 1);

@@ -1,0 +1,158 @@
+//! Execution policy: who decides how many worker threads a kernel may use.
+//!
+//! Every compute layer in the workspace (tensor kernels, NN forward/backward,
+//! Sinkhorn sweeps, the SSE Monte-Carlo fan-out) takes an [`ExecPolicy`]
+//! instead of a raw thread count. The resolution order is
+//!
+//! 1. an **explicit policy** ([`ExecPolicy::Serial`] or
+//!    [`ExecPolicy::Threads`]) always wins;
+//! 2. [`ExecPolicy::Auto`] consults the **`SCIS_THREADS`** environment
+//!    variable (a positive integer; `1` forces serial);
+//! 3. if `SCIS_THREADS` is unset or unparsable, Auto falls back to
+//!    [`std::thread::available_parallelism`].
+//!
+//! # Determinism contract
+//!
+//! Parallelism never changes results. Every parallel path in the workspace
+//! partitions *output rows* across workers — each row is produced by exactly
+//! one worker from read-only inputs, with the same per-row arithmetic as the
+//! serial loop — and global reductions are computed as per-row partials
+//! summed in ascending row order. Consequently results are bit-identical for
+//! any thread count, and seeded experiments stay reproducible regardless of
+//! the machine or `SCIS_THREADS` setting.
+
+/// How a kernel or pipeline stage may use worker threads.
+///
+/// The default is [`ExecPolicy::Auto`], which defers to the `SCIS_THREADS`
+/// environment variable and then the machine's available parallelism. All
+/// variants produce bit-identical results; the policy only trades wall-clock
+/// time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecPolicy {
+    /// Single-threaded: never spawn workers.
+    Serial,
+    /// Exactly this many worker threads (clamped to at least 1).
+    Threads(usize),
+    /// Resolve from `SCIS_THREADS`, else `available_parallelism`.
+    #[default]
+    Auto,
+}
+
+impl ExecPolicy {
+    /// A policy with exactly `n` worker threads (`n` is clamped to ≥ 1).
+    pub fn threads(n: usize) -> Self {
+        ExecPolicy::Threads(n.max(1))
+    }
+
+    /// Resolves the policy to a concrete worker count (always ≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Threads(n) => n.max(1),
+            ExecPolicy::Auto => crate::par::default_threads(),
+        }
+    }
+
+    /// Worker count clamped to the number of independent work items
+    /// (spawning more threads than rows is pure overhead).
+    pub fn workers(self, items: usize) -> usize {
+        self.resolve().min(items.max(1))
+    }
+
+    /// True when the policy resolves to a single worker.
+    pub fn is_serial(self) -> bool {
+        self.resolve() <= 1
+    }
+}
+
+/// Runs `f(row_index, row)` for every `row_len`-sized row of `data`,
+/// partitioning rows into contiguous blocks across `threads` scoped workers.
+///
+/// Each row is visited by exactly one worker with exactly the arguments the
+/// serial loop would pass, so any per-row computation is bit-identical to
+/// its serial counterpart. With `threads <= 1` no threads are spawned.
+///
+/// # Panics
+/// Panics if `row_len` is zero or does not divide `data.len()`.
+pub fn for_each_row<F>(data: &mut [f64], row_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(row_len > 0, "for_each_row: row_len must be positive");
+    assert_eq!(data.len() % row_len, 0, "for_each_row: ragged rows");
+    let rows = data.len() / row_len;
+    let threads = threads.max(1).min(rows.max(1));
+    if threads == 1 {
+        for (i, row) in data.chunks_mut(row_len).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    let chunk = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (block_idx, block) in data.chunks_mut(chunk * row_len).enumerate() {
+            let row0 = block_idx * chunk;
+            let f = &f;
+            scope.spawn(move || {
+                for (local_i, row) in block.chunks_mut(row_len).enumerate() {
+                    f(row0 + local_i, row);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_constructor_clamps_to_one() {
+        assert_eq!(ExecPolicy::threads(0), ExecPolicy::Threads(1));
+        assert_eq!(ExecPolicy::threads(6), ExecPolicy::Threads(6));
+    }
+
+    #[test]
+    fn serial_resolves_to_one_worker() {
+        assert_eq!(ExecPolicy::Serial.resolve(), 1);
+        assert!(ExecPolicy::Serial.is_serial());
+        assert_eq!(ExecPolicy::Threads(8).resolve(), 8);
+        assert!(!ExecPolicy::Threads(8).is_serial());
+    }
+
+    #[test]
+    fn auto_resolves_positive() {
+        assert!(ExecPolicy::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn workers_clamps_to_item_count() {
+        assert_eq!(ExecPolicy::Threads(16).workers(3), 3);
+        assert_eq!(ExecPolicy::Threads(2).workers(100), 2);
+        assert_eq!(ExecPolicy::Threads(4).workers(0), 1);
+    }
+
+    #[test]
+    fn for_each_row_matches_serial_for_any_thread_count() {
+        let rows = 37;
+        let cols = 5;
+        let fill = |i: usize, row: &mut [f64]| {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = (i * 31 + j) as f64 * 0.25 - 3.0;
+            }
+        };
+        let mut want = vec![0.0; rows * cols];
+        for_each_row(&mut want, cols, 1, fill);
+        for threads in [2, 3, 7, 64] {
+            let mut got = vec![0.0; rows * cols];
+            for_each_row(&mut got, cols, threads, fill);
+            assert_eq!(got, want, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn for_each_row_handles_empty_input() {
+        let mut data: Vec<f64> = vec![];
+        for_each_row(&mut data, 4, 8, |_, _| panic!("no rows to visit"));
+    }
+}

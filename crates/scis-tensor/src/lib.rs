@@ -12,11 +12,15 @@
 //! * [`matrix`] — the dense row-major `f64` matrix with shape-checked ops.
 //! * [`ops`] — matrix multiplication kernels (naive + blocked) and
 //!   broadcast helpers.
+//! * [`exec`] — the [`ExecPolicy`] execution-policy type and the
+//!   deterministic row-block parallel helper.
+//! * [`par`] — policy-aware scoped-thread kernels (bit-identical to serial).
 //! * [`linalg`] — Cholesky factorization and ridge solvers used by the MICE
 //!   baseline and the SSE module.
 //! * [`rng`] — deterministic xoshiro256++ PRNG with Gaussian sampling.
 //! * [`stats`] — column statistics (mean, variance, quantiles).
 
+pub mod exec;
 pub mod linalg;
 pub mod matrix;
 pub mod ops;
@@ -24,5 +28,6 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 
+pub use exec::ExecPolicy;
 pub use matrix::Matrix;
 pub use rng::Rng64;

@@ -1,27 +1,173 @@
 //! Scoped-thread parallel kernels.
 //!
-//! The library is single-threaded by default (determinism first — the
-//! experiment harness measures per-method times), but the two biggest
-//! dense kernels have drop-in parallel variants for users who want
-//! wall-clock speed on large tables: rows are partitioned across
-//! `std::thread::scope` workers, so results are bit-identical to the
-//! serial kernels (each output row is produced by exactly one worker from
-//! read-only inputs).
+//! The serial kernels in [`crate::ops`] stay the reference implementation;
+//! every kernel here is a drop-in parallel variant that partitions *output
+//! rows* across `std::thread::scope` workers, so results are bit-identical
+//! to the serial kernels (each output row is produced by exactly one worker
+//! from read-only inputs, with the same per-row arithmetic).
+//!
+//! The `*_exec` entry points take an [`ExecPolicy`] and additionally apply a
+//! work threshold: small products fall back to the serial kernel so that
+//! per-batch NN matmuls do not pay thread-spawn overhead. Thread-count
+//! resolution order: explicit policy (`Serial`/`Threads(n)`) > `SCIS_THREADS`
+//! env var > [`std::thread::available_parallelism`].
 
+use crate::exec::{for_each_row, ExecPolicy};
 use crate::matrix::Matrix;
 use crate::ops::sq_dist;
 
-/// Number of worker threads used by the parallel kernels: the machine's
-/// available parallelism, capped to keep memory-bandwidth contention sane.
+/// Minimum number of inner-loop scalar operations (`m · k · n` for GEMM,
+/// `m · n · d` for pairwise distances) before a kernel goes parallel.
+/// Below this the thread-spawn cost dominates any speedup.
+pub const PAR_MIN_WORK: usize = 1 << 19;
+
+/// Number of worker threads used when a policy is [`ExecPolicy::Auto`]:
+/// the `SCIS_THREADS` environment variable if set to a positive integer
+/// (`SCIS_THREADS=1` forces serial), otherwise the machine's available
+/// parallelism. Fallback order: explicit policy > env > hardware.
 pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("SCIS_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(16)
 }
 
-/// Parallel `A · B` over row blocks of `A`. Bit-identical to
-/// [`crate::ops::matmul`].
+/// Policy-aware `A · B`. Bit-identical to [`crate::ops::matmul`]; goes
+/// parallel over row blocks of `A` when the policy allows more than one
+/// worker and the product is large enough to amortize thread spawns.
+pub fn matmul_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_exec: inner dimension mismatch {:?} · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if n == 0 || m * k * n < PAR_MIN_WORK {
+        return crate::ops::matmul(a, b);
+    }
+    let threads = policy.workers(m);
+    if threads == 1 {
+        return crate::ops::matmul(a, b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
+        let arow = a.row(i);
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue; // masks and dropout produce many structural zeros
+            }
+            let brow = b.row(p);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    });
+    out
+}
+
+/// Policy-aware `A · Bᵀ`. Bit-identical to [`crate::ops::matmul_bt`].
+pub fn matmul_bt_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_bt_exec: inner dimension mismatch {:?} · {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    if n == 0 || m * k * n < PAR_MIN_WORK {
+        return crate::ops::matmul_bt(a, b);
+    }
+    let threads = policy.workers(m);
+    if threads == 1 {
+        return crate::ops::matmul_bt(a, b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
+        let arow = a.row(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    });
+    out
+}
+
+/// Policy-aware `Aᵀ · B`. Bit-identical to [`crate::ops::matmul_at`]:
+/// output row `i` accumulates `a[(p, i)] · b.row(p)` over `p` in ascending
+/// order, exactly as the serial kernel does for that row.
+pub fn matmul_at_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_exec: inner dimension mismatch {:?}ᵀ · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    if n == 0 || m * k * n < PAR_MIN_WORK {
+        return crate::ops::matmul_at(a, b);
+    }
+    let threads = policy.workers(m);
+    if threads == 1 {
+        return crate::ops::matmul_at(a, b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
+        for p in 0..k {
+            let av = a.row(p)[i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    });
+    out
+}
+
+/// Policy-aware all-pairs squared distances. Bit-identical to
+/// [`crate::ops::pairwise_sq_dists`].
+pub fn pairwise_sq_dists_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "pairwise_sq_dists_exec: feature dim mismatch"
+    );
+    let (m, n, d) = (a.rows(), b.rows(), a.cols());
+    if n == 0 || m * n * d.max(1) < PAR_MIN_WORK {
+        return crate::ops::pairwise_sq_dists(a, b);
+    }
+    let threads = policy.workers(m);
+    if threads == 1 {
+        return crate::ops::pairwise_sq_dists(a, b);
+    }
+    let mut out = Matrix::zeros(m, n);
+    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
+        let arow = a.row(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = sq_dist(arow, b.row(j));
+        }
+    });
+    out
+}
+
+/// Parallel `A · B` over row blocks of `A` with an explicit thread count.
+/// Bit-identical to [`crate::ops::matmul`].
 pub fn matmul_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     assert_eq!(
         a.cols(),
@@ -32,36 +178,28 @@ pub fn matmul_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     );
     let (m, n) = (a.rows(), b.cols());
     let threads = threads.max(1).min(m.max(1));
-    if threads == 1 || m < 64 {
+    if threads == 1 || m < 64 || n == 0 {
         return crate::ops::matmul(a, b);
     }
     let mut out = Matrix::zeros(m, n);
-    let chunk = m.div_ceil(threads);
-    let out_slice = out.as_mut_slice();
-    std::thread::scope(|scope| {
-        for (block_idx, out_block) in out_slice.chunks_mut(chunk * n).enumerate() {
-            let row0 = block_idx * chunk;
-            scope.spawn(move || {
-                for (local_i, orow) in out_block.chunks_mut(n).enumerate() {
-                    let arow = a.row(row0 + local_i);
-                    for (p, &av) in arow.iter().enumerate() {
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let brow = b.row(p);
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += av * bv;
-                        }
-                    }
-                }
-            });
+    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
+        let arow = a.row(i);
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
         }
     });
     out
 }
 
-/// Parallel all-pairs squared distances over row blocks of `a`.
-/// Bit-identical to [`crate::ops::pairwise_sq_dists`].
+/// Parallel all-pairs squared distances over row blocks of `a` with an
+/// explicit thread count. Bit-identical to
+/// [`crate::ops::pairwise_sq_dists`].
 pub fn pairwise_sq_dists_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     assert_eq!(
         a.cols(),
@@ -70,23 +208,14 @@ pub fn pairwise_sq_dists_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     );
     let (m, n) = (a.rows(), b.rows());
     let threads = threads.max(1).min(m.max(1));
-    if threads == 1 || m < 64 {
+    if threads == 1 || m < 64 || n == 0 {
         return crate::ops::pairwise_sq_dists(a, b);
     }
     let mut out = Matrix::zeros(m, n);
-    let chunk = m.div_ceil(threads);
-    let out_slice = out.as_mut_slice();
-    std::thread::scope(|scope| {
-        for (block_idx, out_block) in out_slice.chunks_mut(chunk * n).enumerate() {
-            let row0 = block_idx * chunk;
-            scope.spawn(move || {
-                for (local_i, orow) in out_block.chunks_mut(n).enumerate() {
-                    let arow = a.row(row0 + local_i);
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o = sq_dist(arow, b.row(j));
-                    }
-                }
-            });
+    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
+        let arow = a.row(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            *o = sq_dist(arow, b.row(j));
         }
     });
     out
@@ -95,7 +224,7 @@ pub fn pairwise_sq_dists_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::{matmul, pairwise_sq_dists};
+    use crate::ops::{matmul, matmul_at, matmul_bt, pairwise_sq_dists};
     use crate::rng::Rng64;
 
     #[test]
@@ -118,6 +247,55 @@ mod tests {
             let par = pairwise_sq_dists_par(&a, &b, threads);
             assert_eq!(par, pairwise_sq_dists(&a, &b), "threads = {}", threads);
         }
+    }
+
+    #[test]
+    fn exec_kernels_match_serial_bit_exactly_above_threshold() {
+        let mut rng = Rng64::seed_from_u64(7);
+        // 128 * 96 * 128 = 1.5M > PAR_MIN_WORK, so the parallel path runs.
+        let a = Matrix::from_fn(128, 96, |_, _| rng.normal());
+        let b = Matrix::from_fn(96, 128, |_, _| rng.normal());
+        for policy in [
+            ExecPolicy::Serial,
+            ExecPolicy::threads(2),
+            ExecPolicy::threads(5),
+            ExecPolicy::Auto,
+        ] {
+            assert_eq!(matmul_exec(&a, &b, policy), matmul(&a, &b), "{:?}", policy);
+        }
+        let c = Matrix::from_fn(128, 96, |_, _| rng.normal());
+        for policy in [ExecPolicy::threads(3), ExecPolicy::Auto] {
+            assert_eq!(
+                matmul_bt_exec(&a, &c, policy),
+                matmul_bt(&a, &c),
+                "{:?}",
+                policy
+            );
+            assert_eq!(
+                matmul_at_exec(&a, &b.transpose(), policy),
+                matmul_at(&a, &b.transpose()),
+                "{:?}",
+                policy
+            );
+            assert_eq!(
+                pairwise_sq_dists_exec(&a, &c, policy),
+                pairwise_sq_dists(&a, &c),
+                "{:?}",
+                policy
+            );
+        }
+    }
+
+    #[test]
+    fn exec_kernels_fall_back_to_serial_below_threshold() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let a = Matrix::from_fn(12, 7, |_, _| rng.normal());
+        let b = Matrix::from_fn(7, 9, |_, _| rng.normal());
+        assert_eq!(matmul_exec(&a, &b, ExecPolicy::threads(8)), matmul(&a, &b));
+        assert_eq!(
+            pairwise_sq_dists_exec(&a, &a, ExecPolicy::threads(8)),
+            pairwise_sq_dists(&a, &a)
+        );
     }
 
     #[test]

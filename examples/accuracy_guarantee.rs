@@ -6,12 +6,10 @@
 //! cargo run --release --example accuracy_guarantee
 //! ```
 
-use scis_core::pipeline::{Scis, ScisConfig};
 use scis_data::metrics::rmse_vs_ground_truth;
 use scis_data::normalize::MinMaxScaler;
 use scis_data::CovidRecipe;
-use scis_imputers::{GainImputer, TrainConfig};
-use scis_tensor::Rng64;
+use scis_repro::prelude::*;
 
 fn main() {
     let inst = CovidRecipe::Emergency.generate(0.5, 5);
@@ -31,12 +29,9 @@ fn main() {
     );
     println!("{}", "-".repeat(50));
     for &eps in &[0.001, 0.003, 0.005, 0.007, 0.009] {
-        let mut config = ScisConfig::default();
-        config.dim.train = TrainConfig {
-            epochs: 30,
-            ..TrainConfig::default()
-        };
-        config.sse.epsilon = eps;
+        let config = ScisConfig::default()
+            .dim(DimConfig::default().train(TrainConfig::default().epochs(30)))
+            .epsilon(eps);
         let mut rng = Rng64::seed_from_u64(17);
         let mut gain = GainImputer::new(config.dim.train);
         let t = std::time::Instant::now();

@@ -7,12 +7,10 @@
 //! SCALE=0.25 RECIPE=weather cargo run --release --example covid_scale
 //! ```
 
-use scis_core::pipeline::{Scis, ScisConfig};
 use scis_data::metrics::rmse_vs_ground_truth;
 use scis_data::normalize::MinMaxScaler;
 use scis_data::CovidRecipe;
-use scis_imputers::{GainImputer, Imputer, TrainConfig};
-use scis_tensor::Rng64;
+use scis_repro::prelude::*;
 use std::time::Instant;
 
 fn main() {
@@ -43,10 +41,7 @@ fn main() {
     println!("generated {} rows; n0 = {}", norm.n_samples(), inst.n0);
 
     // a shared, shorter schedule so the demo finishes in minutes
-    let train = TrainConfig {
-        epochs: 30,
-        ..TrainConfig::default()
-    };
+    let train = TrainConfig::default().epochs(30);
 
     // --- plain GAIN on the full dataset ---
     let mut rng = Rng64::seed_from_u64(1);
@@ -63,8 +58,7 @@ fn main() {
 
     // --- SCIS-GAIN ---
     let mut rng = Rng64::seed_from_u64(1);
-    let mut config = ScisConfig::default();
-    config.dim.train = train;
+    let config = ScisConfig::default().dim(DimConfig::default().train(train));
     let t = Instant::now();
     let mut gain2 = GainImputer::new(train);
     let outcome = Scis::new(config).run(&mut gain2, &norm, inst.n0, &mut rng);

@@ -37,10 +37,7 @@ fn main() {
         holdout.len()
     );
 
-    let train = TrainConfig {
-        epochs: 40,
-        ..TrainConfig::default()
-    };
+    let train = TrainConfig::default().epochs(40);
     let mut methods: Vec<Box<dyn Imputer>> = vec![
         Box::new(MeanImputer),
         Box::new(MedianImputer),

@@ -4,13 +4,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use scis_core::pipeline::{Scis, ScisConfig};
 use scis_data::metrics::rmse_vs_ground_truth;
 use scis_data::missing::inject_mcar;
 use scis_data::normalize::MinMaxScaler;
 use scis_data::synth::{generate, SynthConfig};
-use scis_imputers::{GainImputer, Imputer};
-use scis_tensor::Rng64;
+use scis_repro::prelude::*;
 
 fn main() {
     let mut rng = Rng64::seed_from_u64(2024);
@@ -39,7 +37,9 @@ fn main() {
 
     // 3. Run Algorithm 1: DIM-train GAIN on an initial sample, let SSE pick
     //    the minimum training size, retrain if needed, impute everything.
-    let config = ScisConfig::default();
+    //    ExecPolicy::Auto fans the kernels out over SCIS_THREADS (or the
+    //    machine's cores) with bit-identical results to serial execution.
+    let config = ScisConfig::default().exec(ExecPolicy::Auto);
     let mut gain = GainImputer::new(config.dim.train);
     let outcome = Scis::new(config).run(&mut gain, &norm, 200, &mut rng);
 

@@ -12,6 +12,10 @@
 //! * `--epsilon <f64>`   SSE error bound (default 0.001, scis-gain only)
 //! * `--n0 <usize>`      initial sample size (default min(500, N/3))
 //! * `--epochs <usize>`  training epochs (default 100; must be ≥ 1)
+//! * `--threads <usize>` worker threads for the compute kernels (`0` =
+//!   serial). Defaults to the `SCIS_THREADS` environment variable, then to
+//!   the machine's available parallelism. Results are bit-identical for
+//!   any thread count.
 //! * `--seed <u64>`      RNG seed (default 42)
 //! * `--save-model <path>` persist the trained generator (scis-gain only)
 //! * `--load-model <path>` impute with a previously saved generator,
@@ -23,7 +27,6 @@
 //! output but had to fall back (mean imputation, kept `M0` after a failed
 //! retrain, or patched non-finite cells); details go to stderr.
 
-use scis_core::dim::DimConfig;
 use scis_core::pipeline::{Scis, ScisConfig};
 use scis_data::csvio::{read_dataset, write_dataset};
 use scis_data::normalize::MinMaxScaler;
@@ -34,6 +37,7 @@ use scis_imputers::mice::MiceImputer;
 use scis_imputers::missforest::MissForestImputer;
 use scis_imputers::vaei::VaeImputer;
 use scis_imputers::{GainImputer, GinnImputer, Imputer, TrainConfig};
+use scis_tensor::ExecPolicy;
 use scis_tensor::{Matrix, Rng64};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -45,6 +49,7 @@ struct Args {
     epsilon: f64,
     n0: Option<usize>,
     epochs: usize,
+    threads: Option<usize>,
     seed: u64,
     save_model: Option<PathBuf>,
     load_model: Option<PathBuf>,
@@ -61,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         epsilon: 0.001,
         n0: None,
         epochs: 100,
+        threads: None,
         seed: 42,
         save_model: None,
         load_model: None,
@@ -75,6 +81,9 @@ fn parse_args() -> Result<Args, String> {
             "--n0" => parsed.n0 = Some(value()?.parse().map_err(|e| format!("--n0: {}", e))?),
             "--epochs" => {
                 parsed.epochs = value()?.parse().map_err(|e| format!("--epochs: {}", e))?
+            }
+            "--threads" => {
+                parsed.threads = Some(value()?.parse().map_err(|e| format!("--threads: {}", e))?)
             }
             "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("--seed: {}", e))?,
             "--save-model" => parsed.save_model = Some(PathBuf::from(value()?)),
@@ -124,6 +133,17 @@ fn report_anomalies(a: &scis_core::RunAnomalies) {
     }
 }
 
+/// Resolves `--threads` to an [`ExecPolicy`]: `0` forces serial execution,
+/// `n ≥ 1` pins `n` workers, and an absent flag defers to `SCIS_THREADS` /
+/// the machine's available parallelism.
+fn exec_policy(args: &Args) -> ExecPolicy {
+    match args.threads {
+        Some(0) => ExecPolicy::Serial,
+        Some(n) => ExecPolicy::threads(n),
+        None => ExecPolicy::Auto,
+    }
+}
+
 /// Imputes under the chosen method. The returned flag is true when the
 /// fault-tolerant runtime had to degrade the output (exit code 2).
 fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), String> {
@@ -148,14 +168,10 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
             if 2 * n0 > n {
                 return Err(format!("n0 = {} too large for {} rows", n0, n));
             }
-            let mut config = ScisConfig {
-                dim: DimConfig {
-                    train,
-                    ..Default::default()
-                },
-                ..Default::default()
-            };
-            config.sse.epsilon = args.epsilon;
+            let config = ScisConfig::default()
+                .dim(scis_core::dim::DimConfig::default().train(train))
+                .epsilon(args.epsilon)
+                .exec(exec_policy(args));
             let outcome = Scis::new(config)
                 .try_run(&mut gain, ds, n0, rng)
                 .map_err(|e| e.to_string())?;
@@ -204,7 +220,7 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
 
 fn run() -> Result<bool, String> {
     let args = parse_args().map_err(|e| {
-        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--seed s]", e)
+        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s]", e)
     })?;
     let mut ds =
         read_dataset(&args.input).map_err(|e| format!("reading {:?}: {}", args.input, e))?;

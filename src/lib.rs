@@ -1,9 +1,34 @@
 #![warn(missing_docs)]
 
 //! SCIS reproduction facade crate.
+//!
+//! Most programs only need the [`prelude`]:
+//!
+//! ```
+//! use scis_repro::prelude::*;
+//!
+//! let cfg = ScisConfig::default().exec(ExecPolicy::threads(2));
+//! let scis = Scis::new(cfg);
+//! assert_eq!(scis.config().dim.exec, ExecPolicy::threads(2));
+//! ```
 pub use scis_core as core;
 pub use scis_data as data;
 pub use scis_imputers as imputers;
 pub use scis_nn as nn;
 pub use scis_ot as ot;
 pub use scis_tensor as tensor;
+
+/// One-stop imports for the common SCIS workflow: load a [`Dataset`],
+/// configure [`ScisConfig`] fluently (including the [`ExecPolicy`] used by
+/// every compute layer), wrap a GAN imputer, and run [`Scis`].
+pub mod prelude {
+    pub use scis_core::dim::{DimConfig, DimReport, GenerativeLoss, LambdaMode};
+    pub use scis_core::error::{ScisError, TrainingError};
+    pub use scis_core::guard::GuardConfig;
+    pub use scis_core::pipeline::{RunAnomalies, Scis, ScisConfig, ScisOutcome};
+    pub use scis_core::sse::{SseConfig, SseResult};
+    pub use scis_data::{Dataset, MaskMatrix};
+    pub use scis_imputers::{AdversarialImputer, GainImputer, GinnImputer, Imputer, TrainConfig};
+    pub use scis_ot::{SinkhornOptions, SinkhornResult};
+    pub use scis_tensor::{ExecPolicy, Matrix, Rng64};
+}

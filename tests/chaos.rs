@@ -48,6 +48,7 @@ fn fast_config() -> ScisConfig {
             alpha: 10.0,
             critic: None,
             loss: GenerativeLoss::MaskedSinkhorn,
+            ..Default::default()
         },
         sse: SseConfig {
             epsilon: 0.05,

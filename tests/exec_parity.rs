@@ -1,0 +1,143 @@
+//! Determinism contract of the execution engine: every parallel path must
+//! be *bit-identical* to serial execution, so an [`ExecPolicy`] choice can
+//! never change a result — only its wall-clock time.
+//!
+//! Covers the three layers individually (Sinkhorn sweeps above the
+//! parallelism threshold, MLP forward/backward over parallel GEMMs) and the
+//! whole Algorithm-1 pipeline end to end (imputed matrix, `n*`, and the
+//! fault-tolerance anomaly record all equal under Serial vs `threads(4)`).
+
+use scis_data::missing::inject_mcar;
+use scis_repro::prelude::*;
+
+fn correlated_table(n: usize, seed: u64) -> Matrix {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, 4);
+    for i in 0..n {
+        let t = rng.uniform();
+        m[(i, 0)] = t;
+        m[(i, 1)] = (0.8 * t + 0.1 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        m[(i, 2)] = (1.0 - t + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        m[(i, 3)] = (0.5 * t + 0.25 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+    }
+    m
+}
+
+/// One full seeded Algorithm-1 run under the given policy.
+fn run_pipeline(exec: ExecPolicy) -> (Matrix, usize, RunAnomalies) {
+    let complete = correlated_table(400, 11);
+    let mut rng = Rng64::seed_from_u64(12);
+    let ds = inject_mcar(&complete, 0.25, &mut rng);
+    let cfg = ScisConfig::default()
+        .dim(
+            DimConfig::default().train(
+                TrainConfig::default()
+                    .epochs(8)
+                    .batch_size(64)
+                    .learning_rate(0.005)
+                    .dropout(0.0),
+            ),
+        )
+        .epsilon(0.02)
+        .exec(exec);
+    let mut gain = GainImputer::new(cfg.dim.train);
+    let outcome = Scis::new(cfg).run(&mut gain, &ds, 80, &mut rng);
+    (outcome.imputed, outcome.n_star, outcome.anomalies)
+}
+
+#[test]
+fn full_pipeline_is_bit_identical_serial_vs_threads() {
+    let (imputed_s, n_star_s, anomalies_s) = run_pipeline(ExecPolicy::Serial);
+    let (imputed_p, n_star_p, anomalies_p) = run_pipeline(ExecPolicy::threads(4));
+    assert_eq!(imputed_s, imputed_p, "imputed matrices diverged");
+    assert_eq!(n_star_s, n_star_p, "SSE n* diverged");
+    assert_eq!(anomalies_s, anomalies_p, "anomaly records diverged");
+}
+
+#[test]
+fn sinkhorn_sweeps_are_bit_identical_above_threshold() {
+    // 200×200 = 40_000 cells clears the solver's parallelism threshold
+    let mut rng = Rng64::seed_from_u64(21);
+    let a = Matrix::from_fn(200, 6, |_, _| rng.uniform());
+    let b = Matrix::from_fn(200, 6, |_, _| rng.uniform());
+    let ones = Matrix::ones(200, 6);
+    let base = SinkhornOptions::default().lambda(0.05).max_iters(300);
+
+    let cost_s = scis_repro::ot::masked_sq_cost_with(&a, &ones, &b, &ones, ExecPolicy::Serial);
+    let serial = scis_repro::ot::sinkhorn_uniform(&cost_s, &base.exec(ExecPolicy::Serial));
+    for threads in [2usize, 3, 7] {
+        let exec = ExecPolicy::threads(threads);
+        let cost_p = scis_repro::ot::masked_sq_cost_with(&a, &ones, &b, &ones, exec);
+        assert_eq!(cost_s, cost_p, "cost matrix diverged at {threads} threads");
+        let par = scis_repro::ot::sinkhorn_uniform(&cost_p, &base.exec(exec));
+        assert_eq!(serial.plan, par.plan, "plan diverged at {threads} threads");
+        assert_eq!(
+            serial.reg_value.to_bits(),
+            par.reg_value.to_bits(),
+            "reg_value diverged at {threads} threads"
+        );
+        assert_eq!(serial.iterations, par.iterations);
+    }
+}
+
+#[test]
+fn mlp_forward_and_backward_are_bit_identical() {
+    use scis_repro::nn::{Activation, Mlp, Mode};
+
+    // 256×64 batches over 64-wide layers clear the GEMM work threshold
+    let build = || {
+        let mut rng = Rng64::seed_from_u64(31);
+        Mlp::builder(64)
+            .dense(64, Activation::Relu)
+            .dense(64, Activation::Sigmoid)
+            .build(&mut rng)
+    };
+    let mut rng = Rng64::seed_from_u64(32);
+    let x = Matrix::from_fn(256, 64, |_, _| rng.normal());
+    let grad_out = Matrix::from_fn(256, 64, |_, _| rng.normal());
+
+    let mut serial = build();
+    serial.set_exec(ExecPolicy::Serial);
+    let mut eval_rng = Rng64::seed_from_u64(33);
+    let out_s = serial.forward(&x, Mode::Eval, &mut eval_rng);
+    serial.zero_grad();
+    let dx_s = serial.backward(&grad_out);
+    let grads_s = serial.grad_vector();
+
+    for threads in [2usize, 4] {
+        let mut par = build();
+        par.set_exec(ExecPolicy::threads(threads));
+        let mut eval_rng = Rng64::seed_from_u64(33);
+        let out_p = par.forward(&x, Mode::Eval, &mut eval_rng);
+        par.zero_grad();
+        let dx_p = par.backward(&grad_out);
+        assert_eq!(out_s, out_p, "forward diverged at {threads} threads");
+        assert_eq!(dx_s, dx_p, "input gradient diverged at {threads} threads");
+        assert_eq!(
+            grads_s,
+            par.grad_vector(),
+            "parameter gradients diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sse_monte_carlo_fan_out_is_bit_identical() {
+    use scis_repro::core::sse::{estimate_min_sample_size, fisher_diagonal};
+
+    let complete = correlated_table(300, 41);
+    let mut rng = Rng64::seed_from_u64(42);
+    let ds = inject_mcar(&complete, 0.3, &mut rng);
+
+    let run = |exec: ExecPolicy| {
+        let mut rng = Rng64::seed_from_u64(43);
+        let mut gain = GainImputer::new(TrainConfig::fast_test());
+        gain.init_networks(4, &mut rng);
+        let opts = SinkhornOptions::default().lambda(0.1).max_iters(100);
+        let diag = fisher_diagonal(&mut gain, &ds, &opts, 64, &mut rng);
+        let cfg = SseConfig::default().epsilon(5e-3).exec(exec);
+        let res = estimate_min_sample_size(&mut gain, &ds, &diag, 50, 300, &cfg, &mut rng);
+        (res.n_star, res.prob_at_n_star, res.probes)
+    };
+    assert_eq!(run(ExecPolicy::Serial), run(ExecPolicy::threads(4)));
+}

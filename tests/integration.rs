@@ -25,6 +25,7 @@ fn fast_scis_config() -> ScisConfig {
             alpha: 10.0,
             critic: None,
             loss: scis_core::dim::GenerativeLoss::MaskedSinkhorn,
+            ..Default::default()
         },
         sse: SseConfig {
             epsilon: 0.02,

@@ -126,6 +126,7 @@ fn sinkhorn_plan_satisfies_marginals() {
             lambda,
             max_iters: 20_000,
             tol: 1e-9,
+            ..Default::default()
         };
         let res = scis_ot::sinkhorn::sinkhorn_eps_scaling_uniform(&cost, &opts, 5);
         let u = 1.0 / n as f64;
@@ -165,6 +166,7 @@ fn sinkhorn_rectangular_plans_satisfy_marginals() {
             lambda: 0.5,
             max_iters: 10_000,
             tol: 1e-10,
+            ..Default::default()
         };
         let res = scis_ot::sinkhorn(&cost, &a, &b, &opts);
         assert!(res.converged, "seed {}", seed);
@@ -203,6 +205,7 @@ fn sinkhorn_extreme_lambda_stays_finite_and_feasible() {
                 lambda,
                 max_iters: 500,
                 tol: 1e-9,
+                ..Default::default()
             };
             let res = scis_ot::sinkhorn_uniform(&cost, &opts);
             for p in res.plan.as_slice() {
@@ -258,6 +261,7 @@ fn sinkhorn_degenerate_marginals_confine_mass() {
             lambda: 0.3,
             max_iters: 5_000,
             tol: 1e-9,
+            ..Default::default()
         };
         let res = scis_ot::sinkhorn(&cost, &a, &b, &opts);
         for j in 0..n {
@@ -301,6 +305,7 @@ fn ms_divergence_nonnegative_and_zero_on_self() {
             lambda: 0.5,
             max_iters: 3000,
             tol: 1e-10,
+            ..Default::default()
         };
         let s_ab = ms_divergence(&a, &b, &mask, &opts).value;
         let s_aa = ms_divergence(&a, &a, &mask, &opts).value;

@@ -24,6 +24,7 @@ fn config(epsilon: f64) -> ScisConfig {
             alpha: 10.0,
             critic: None,
             loss: GenerativeLoss::MaskedSinkhorn,
+            ..Default::default()
         },
         sse: SseConfig {
             epsilon,
