@@ -7,8 +7,10 @@ use scis_data::metrics::make_holdout;
 use scis_data::normalize::MinMaxScaler;
 use scis_data::{CovidRecipe, Dataset};
 use scis_imputers::TrainConfig;
+use scis_telemetry::Telemetry;
 use scis_tensor::stats::mean_and_std;
 use scis_tensor::Rng64;
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -131,6 +133,7 @@ pub fn evaluate_method(
     seed_base: u64,
 ) -> RunOutcome {
     let (norm, _) = MinMaxScaler::fit_transform_dataset(dataset);
+    let trace_path = trace_jsonl_path();
     let mut rmses = Vec::new();
     let mut times = Vec::new();
     let mut rts = Vec::new();
@@ -140,15 +143,36 @@ pub fn evaluate_method(
         let train = cfg.train_config();
         let worker_ds = train_ds.clone();
         let mut worker_rng = rng.fork();
+        let tel = if trace_path.is_some() {
+            Telemetry::collecting()
+        } else {
+            Telemetry::off()
+        };
+        let worker_tel = tel.clone();
         let started = Instant::now();
         let result = run_with_budget(cfg.budget, move || {
-            id.run(&worker_ds, n0, train, &mut worker_rng)
+            id.run_traced(&worker_ds, n0, train, &worker_tel, &mut worker_rng)
         });
         match result {
-            Some((imputed, rt)) => {
-                rmses.push(holdout.rmse(&imputed));
-                times.push(started.elapsed().as_secs_f64());
+            Some((imputed, rt, run_report)) => {
+                let rmse = holdout.rmse(&imputed);
+                let elapsed = started.elapsed().as_secs_f64();
+                rmses.push(rmse);
+                times.push(elapsed);
                 rts.push(rt * 100.0);
+                if let Some(path) = &trace_path {
+                    if let Err(e) = crate::report::append_run_trace(
+                        path,
+                        id.name(),
+                        seed,
+                        rmse,
+                        elapsed,
+                        rt * 100.0,
+                        run_report.as_ref(),
+                    ) {
+                        eprintln!("scis-bench: failed to append run trace: {e}");
+                    }
+                }
             }
             None => return RunOutcome::dnf(id.name()),
         }
@@ -163,6 +187,19 @@ pub fn evaluate_method(
         time_s,
         rt_percent,
         finished: true,
+    }
+}
+
+/// The per-run trace sink, from the `SCIS_TRACE_JSONL` environment
+/// variable: when set (and non-empty), [`evaluate_method`] records every
+/// run with a collecting [`Telemetry`] and appends one JSON line per run
+/// ([`crate::report::append_run_trace`]) to the given path. Relative paths
+/// land under the working directory — e.g.
+/// `SCIS_TRACE_JSONL=bench_results/run_traces.jsonl`.
+pub fn trace_jsonl_path() -> Option<PathBuf> {
+    match std::env::var("SCIS_TRACE_JSONL") {
+        Ok(s) if !s.is_empty() => Some(PathBuf::from(s)),
+        _ => None,
     }
 }
 

@@ -2,8 +2,11 @@
 //! baselines, the two GAN models, their SCIS-wrapped versions, and the
 //! ablation variants of Tables V/VI.
 
-use scis_core::dim::{train_dim, DimConfig};
+use scis_core::dim::{train_dim_telemetered, DimConfig};
+use scis_core::error::TrainPhase;
+use scis_core::guard::{GuardConfig, GuardStats};
 use scis_core::pipeline::{Scis, ScisConfig};
+use scis_core::RunReport;
 use scis_data::split::sample_training_set;
 use scis_data::Dataset;
 use scis_imputers::boost::BoostImputer;
@@ -20,6 +23,7 @@ use scis_imputers::rrsi::RrsiImputer;
 use scis_imputers::traits::impute_with_generator;
 use scis_imputers::vaei::VaeImputer;
 use scis_imputers::{GainImputer, GinnImputer, Imputer, TrainConfig};
+use scis_telemetry::Telemetry;
 use scis_tensor::{Matrix, Rng64};
 
 /// Identifier for every method row across the paper's tables.
@@ -135,7 +139,24 @@ impl MethodId {
         train: TrainConfig,
         rng: &mut Rng64,
     ) -> (Matrix, f64) {
-        match self {
+        let (imputed, rt, _) = self.run_traced(ds, n0, train, &Telemetry::off(), rng);
+        (imputed, rt)
+    }
+
+    /// [`MethodId::run`] with telemetry: the SCIS pipeline methods record on
+    /// `tel` and return their structured [`RunReport`] (other methods return
+    /// `None`). SCIS/DIM training failures degrade gracefully (SCIS falls
+    /// back to mean imputation inside the pipeline; the DIM ablations keep
+    /// the guard's best snapshot) instead of panicking mid-benchmark.
+    pub fn run_traced(
+        &self,
+        ds: &Dataset,
+        n0: usize,
+        train: TrainConfig,
+        tel: &Telemetry,
+        rng: &mut Rng64,
+    ) -> (Matrix, f64, Option<RunReport>) {
+        let (imputed, rt) = match self {
             MethodId::Mean => (MeanImputer.impute(ds, rng), 1.0),
             MethodId::Median => (MedianImputer.impute(ds, rng), 1.0),
             MethodId::Knn => (KnnImputer::default().impute(ds, rng), 1.0),
@@ -210,55 +231,94 @@ impl MethodId {
             MethodId::Gain => (GainImputer::new(train).impute(ds, rng), 1.0),
             MethodId::Ginn => (GinnImputer::new(train).impute(ds, rng), 1.0),
             MethodId::ScisGain => {
-                let config = ScisConfig {
-                    dim: DimConfig {
-                        train,
-                        ..Default::default()
-                    },
-                    ..Default::default()
-                };
                 let mut gain = GainImputer::new(train);
-                let outcome = Scis::new(config).run(&mut gain, ds, n0, rng);
-                let rt = outcome.training_sample_rate();
-                (outcome.imputed, rt)
+                return run_scis(&mut gain, ds, n0, train, tel, rng);
             }
             MethodId::ScisGinn => {
-                let config = ScisConfig {
-                    dim: DimConfig {
-                        train,
-                        ..Default::default()
-                    },
-                    ..Default::default()
-                };
                 let mut ginn = GinnImputer::new(train);
-                let outcome = Scis::new(config).run(&mut ginn, ds, n0, rng);
-                let rt = outcome.training_sample_rate();
-                (outcome.imputed, rt)
+                return run_scis(&mut ginn, ds, n0, train, tel, rng);
             }
             MethodId::DimGain => {
-                let cfg = DimConfig {
-                    train,
-                    ..Default::default()
-                };
                 let mut gain = GainImputer::new(train);
-                let _ = train_dim(&mut gain, ds, &cfg, rng);
+                run_dim_ablation(&mut gain, ds, train, tel, rng);
                 (impute_with_generator(&mut gain, ds, rng), 1.0)
             }
             MethodId::FixedDimGain => {
-                let cfg = DimConfig {
-                    train,
-                    ..Default::default()
-                };
                 let frac = 0.10; // the paper's fixed 10% sample
                 let n = ((ds.n_samples() as f64 * frac) as usize)
                     .max(16)
                     .min(ds.n_samples());
                 let sample = sample_training_set(ds, n, rng);
                 let mut gain = GainImputer::new(train);
-                let _ = train_dim(&mut gain, &sample, &cfg, rng);
+                run_dim_ablation(&mut gain, &sample, train, tel, rng);
                 (impute_with_generator(&mut gain, ds, rng), frac)
             }
+        };
+        (imputed, rt, None)
+    }
+}
+
+/// Shared SCIS path for the wrapped methods: fallible pipeline entry with
+/// telemetry attached. An `Err` (bad data/configuration — should not happen
+/// with the bench's curated instances) degrades to mean imputation so a
+/// multi-row table run survives one broken cell.
+fn run_scis(
+    imp: &mut dyn scis_imputers::AdversarialImputer,
+    ds: &Dataset,
+    n0: usize,
+    train: TrainConfig,
+    tel: &Telemetry,
+    rng: &mut Rng64,
+) -> (Matrix, f64, Option<RunReport>) {
+    let config = ScisConfig {
+        dim: DimConfig {
+            train,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    match Scis::new(config)
+        .telemetry(tel.clone())
+        .try_run(imp, ds, n0, rng)
+    {
+        Ok(outcome) => {
+            let rt = outcome.training_sample_rate();
+            (outcome.imputed, rt, Some(outcome.report))
         }
+        Err(e) => {
+            eprintln!("scis-bench: SCIS run failed ({e}); falling back to mean imputation");
+            (MeanImputer.impute(ds, rng), 1.0, None)
+        }
+    }
+}
+
+/// Shared DIM path for the ablation rows: guarded, telemetered training
+/// that keeps the best parameter snapshot on terminal failure instead of
+/// panicking (the guarded trainer restores it before surfacing the error).
+fn run_dim_ablation(
+    imp: &mut dyn scis_imputers::AdversarialImputer,
+    ds: &Dataset,
+    train: TrainConfig,
+    tel: &Telemetry,
+    rng: &mut Rng64,
+) {
+    let cfg = DimConfig {
+        train,
+        ..Default::default()
+    };
+    imp.set_telemetry(tel.clone());
+    let mut stats = GuardStats::default();
+    if let Err(e) = train_dim_telemetered(
+        imp,
+        ds,
+        &cfg,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        tel,
+        rng,
+    ) {
+        eprintln!("scis-bench: DIM training failed ({e}); keeping the best snapshot");
     }
 }
 

@@ -3,7 +3,7 @@
 //! regression (MAE). Paper settings: 30 epochs, lr 0.005, dropout 0.5,
 //! batch size 128.
 
-use scis_data::metrics::auc;
+use scis_data::metrics::try_auc;
 use scis_nn::loss::{bce_prob, mse};
 use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
 use scis_tensor::{Matrix, Rng64};
@@ -103,7 +103,12 @@ pub fn classification_auc(
     let x_test = x.select_rows(te);
     let scores = train_eval(&x_train, &y_train, &x_test, cfg, true, rng);
     let y_test: Vec<u8> = te.iter().map(|&i| labels[i]).collect();
-    auc(&scores, &y_test)
+    // a destabilized predictor can emit NaN scores; report the cell as NaN
+    // ("—" downstream) instead of panicking mid-table
+    try_auc(&scores, &y_test).unwrap_or_else(|e| {
+        eprintln!("classification_auc: {e}; reporting NaN");
+        f64::NAN
+    })
 }
 
 /// Trains a regressor on `(x_train, target)` and returns the MAE on the

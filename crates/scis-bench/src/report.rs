@@ -1,6 +1,8 @@
 //! Table formatting and CSV export for the experiment binaries.
 
 use crate::harness::RunOutcome;
+use scis_core::RunReport;
+use scis_telemetry::json_f64;
 use std::io::Write;
 use std::path::Path;
 
@@ -64,6 +66,46 @@ pub fn results_dir() -> std::path::PathBuf {
     )
 }
 
+/// Appends one per-run record to a JSON-lines trace file (creating parent
+/// directories as needed): `{"method":…,"seed":…,"rmse":…,"time_s":…,
+/// "rt_percent":…,"report":{…}|null}`. The embedded report is the
+/// pipeline's full [`RunReport`] for SCIS rows, `null` for methods without
+/// one.
+#[allow(clippy::too_many_arguments)]
+pub fn append_run_trace(
+    path: &Path,
+    method: &str,
+    seed: u64,
+    rmse: f64,
+    time_s: f64,
+    rt_percent: f64,
+    report: Option<&RunReport>,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let report_json = match report {
+        Some(r) => r.to_json(),
+        None => "null".to_string(),
+    };
+    writeln!(
+        f,
+        "{{\"method\":\"{}\",\"seed\":{},\"rmse\":{},\"time_s\":{},\"rt_percent\":{},\"report\":{}}}",
+        scis_telemetry::json_escape(method),
+        seed,
+        json_f64(rmse),
+        json_f64(time_s),
+        json_f64(rt_percent),
+        report_json
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +135,37 @@ mod tests {
         assert!(s.contains("GINN"));
         assert!(s.contains("—"));
         assert!(!s.contains("NaN"));
+    }
+
+    #[test]
+    fn run_trace_appends_json_lines() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("scis_bench_trace_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_run_trace(&path, "Mean", 0, 0.25, 1.5, 100.0, None).unwrap();
+        let tel = scis_telemetry::Telemetry::collecting();
+        tel.incr(scis_telemetry::Counter::SseProbes);
+        let report = RunReport::assemble(
+            &tel.snapshot(),
+            100,
+            20,
+            40,
+            2.0,
+            Vec::new(),
+            &scis_core::RunAnomalies::default(),
+        );
+        append_run_trace(&path, "SCIS-GAIN", 1, 0.1, 9.0, 40.0, Some(&report)).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"report\":null"));
+        assert!(lines[1].contains("\"n_star\":40"));
+        assert!(lines[1].contains("\"sse_probes\":1"));
+        // every line is a self-contained object
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -26,10 +26,22 @@ use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
 use scis_ot::grad::{cross_ot_grad, self_ot_grad};
 use scis_ot::{
     masked_sq_cost_with, ms_loss_grad_tracked, sinkhorn_uniform, sliced_w2_loss_grad,
-    SinkhornOptions, SlicedOptions,
+    SinkhornOptions, SlicedOptions, SolveStats,
 };
+use scis_telemetry::{Counter, Telemetry};
 use scis_tensor::par::pairwise_sq_dists_exec;
 use scis_tensor::{ExecPolicy, Matrix, Rng64};
+
+/// Mirrors one batch's Sinkhorn solve accounting into the telemetry
+/// counters (the cross-layer channel; `GuardStats.sinkhorn` keeps the
+/// value-flow copy).
+pub(crate) fn record_solve_stats(tel: &Telemetry, s: SolveStats) {
+    tel.add(Counter::SinkhornSolves, s.solves as u64);
+    tel.add(Counter::SinkhornIterations, s.iterations as u64);
+    tel.add(Counter::SinkhornConverged, s.converged as u64);
+    tel.add(Counter::SinkhornEscalations, s.escalations as u64);
+    tel.add(Counter::SinkhornUnconverged, s.unconverged as u64);
+}
 
 /// How the Sinkhorn regularization λ is chosen per batch.
 #[derive(Debug, Clone, Copy)]
@@ -217,14 +229,29 @@ impl Critic {
 /// MS-divergence loss. Networks must already be initialized if you want a
 /// warm start; otherwise they are initialized here.
 ///
-/// Thin wrapper over [`train_dim_guarded`] with the default guard; panics
-/// with the structured error when even the guard cannot recover.
+/// Thin *panicking* wrapper over [`try_train_dim`], kept for callers that
+/// have no recovery strategy (doctests, quick scripts). Everything else —
+/// the pipeline, the CLI, the bench harness — goes through the fallible
+/// path so a terminal [`TrainingError`] can degrade gracefully instead of
+/// aborting the process.
 pub fn train_dim(
     imp: &mut dyn AdversarialImputer,
     ds: &Dataset,
     cfg: &DimConfig,
     rng: &mut Rng64,
 ) -> DimReport {
+    try_train_dim(imp, ds, cfg, rng).unwrap_or_else(|e| panic!("train_dim: {e}"))
+}
+
+/// Fallible [`train_dim`]: default guard, no telemetry, structured
+/// [`TrainingError`] on terminal failure (the generator is left on its best
+/// snapshot, so callers may still impute with it).
+pub fn try_train_dim(
+    imp: &mut dyn AdversarialImputer,
+    ds: &Dataset,
+    cfg: &DimConfig,
+    rng: &mut Rng64,
+) -> Result<DimReport, TrainingError> {
     let mut stats = GuardStats::default();
     train_dim_guarded(
         imp,
@@ -235,7 +262,6 @@ pub fn train_dim(
         &mut stats,
         rng,
     )
-    .unwrap_or_else(|e| panic!("train_dim: {e}"))
 }
 
 fn all_finite(m: &Matrix) -> bool {
@@ -257,6 +283,35 @@ pub fn train_dim_guarded(
     guard_cfg: &GuardConfig,
     phase: TrainPhase,
     stats: &mut GuardStats,
+    rng: &mut Rng64,
+) -> Result<DimReport, TrainingError> {
+    train_dim_telemetered(
+        imp,
+        ds,
+        cfg,
+        guard_cfg,
+        phase,
+        stats,
+        &Telemetry::off(),
+        rng,
+    )
+}
+
+/// [`train_dim_guarded`] with a telemetry collector: epochs, applied and
+/// skipped batches, guard events, and per-solve Sinkhorn accounting are
+/// mirrored into `tel`. Recording is determinism-neutral — it never reads
+/// the RNG or the numeric path, and every counted event happens at the same
+/// logical point under any [`ExecPolicy`], so counter totals are
+/// bit-identical between serial and threaded runs.
+#[allow(clippy::too_many_arguments)]
+pub fn train_dim_telemetered(
+    imp: &mut dyn AdversarialImputer,
+    ds: &Dataset,
+    cfg: &DimConfig,
+    guard_cfg: &GuardConfig,
+    phase: TrainPhase,
+    stats: &mut GuardStats,
+    tel: &Telemetry,
     rng: &mut Rng64,
 ) -> Result<DimReport, TrainingError> {
     let start = std::time::Instant::now();
@@ -302,6 +357,7 @@ pub fn train_dim_guarded(
                 // a poisoned reconstruction would turn the cost matrix (and
                 // the whole Sinkhorn plan) non-finite — drop the batch
                 stats.nan_batches_skipped += 1;
+                tel.incr(Counter::DimBatchesSkipped);
                 continue;
             }
 
@@ -319,6 +375,7 @@ pub fn train_dim_guarded(
                     ) {
                         Ok((loss, grad, solve_stats)) => {
                             stats.sinkhorn.absorb(solve_stats);
+                            record_solve_stats(tel, solve_stats);
                             Some((loss, grad, lambda))
                         }
                         Err(_) => None,
@@ -336,10 +393,12 @@ pub fn train_dim_guarded(
             };
             let Some((loss, mut grad_xbar, lambda)) = step else {
                 stats.nan_batches_skipped += 1;
+                tel.incr(Counter::DimBatchesSkipped);
                 continue;
             };
             if !loss.is_finite() || !all_finite(&grad_xbar) {
                 stats.nan_batches_skipped += 1;
+                tel.incr(Counter::DimBatchesSkipped);
                 continue;
             }
             last_lambda = lambda;
@@ -363,6 +422,7 @@ pub fn train_dim_guarded(
 
             epoch_loss += loss + cfg.alpha * rec_loss;
             batches += 1;
+            tel.incr(Counter::DimBatches);
         }
 
         let mean_loss = epoch_loss / batches.max(1) as f64;
@@ -377,10 +437,12 @@ pub fn train_dim_guarded(
                 epoch_losses.push(mean_loss);
                 guard.accept_epoch(mean_loss, &imp.generator_mut().param_vector());
                 epoch += 1;
+                tel.incr(Counter::DimEpochs);
             }
             Some(reason) => {
                 imp.generator_mut().set_param_vector(guard.best_params());
                 stats.rollbacks += 1;
+                tel.incr(Counter::GuardRollbacks);
                 match guard.reject_epoch() {
                     GuardVerdict::GiveUp => {
                         return Err(TrainingError {
@@ -395,6 +457,7 @@ pub fn train_dim_guarded(
                         // (fresh optimizer: stale moments reference the
                         // pre-rollback trajectory)
                         stats.lr_backoffs += 1;
+                        tel.incr(Counter::GuardLrBackoffs);
                         opt_g = Adam::new(guard.lr());
                     }
                 }

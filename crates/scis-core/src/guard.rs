@@ -112,9 +112,14 @@ impl GuardStats {
         self.sinkhorn.absorb(other.sinkhorn);
     }
 
-    /// True when no recovery machinery fired.
+    /// True when no recovery machinery fired. The always-on solve counters
+    /// inside [`GuardStats::sinkhorn`] (`solves`/`iterations`/`converged`)
+    /// are telemetry, not anomalies, and do not count against cleanliness.
     pub fn is_clean(&self) -> bool {
-        *self == GuardStats::default()
+        self.nan_batches_skipped == 0
+            && self.rollbacks == 0
+            && self.lr_backoffs == 0
+            && self.sinkhorn.is_clean()
     }
 }
 
@@ -257,5 +262,28 @@ mod tests {
         assert_eq!(a.lr_backoffs, 1);
         assert!(!a.is_clean());
         assert!(GuardStats::default().is_clean());
+    }
+
+    #[test]
+    fn healthy_solve_counters_do_not_taint_cleanliness() {
+        let healthy = GuardStats {
+            sinkhorn: SolveStats {
+                solves: 120,
+                iterations: 4800,
+                converged: 120,
+                escalations: 0,
+                unconverged: 0,
+            },
+            ..Default::default()
+        };
+        assert!(healthy.is_clean(), "telemetry counters are not anomalies");
+        let escalated = GuardStats {
+            sinkhorn: SolveStats {
+                escalations: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(!escalated.is_clean());
     }
 }

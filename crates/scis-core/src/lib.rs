@@ -35,10 +35,14 @@ pub mod dim;
 pub mod error;
 pub mod guard;
 pub mod pipeline;
+pub mod report;
 pub mod sse;
 
-pub use dim::{train_dim, train_dim_guarded, DimConfig, DimReport};
+pub use dim::{
+    train_dim, train_dim_guarded, train_dim_telemetered, try_train_dim, DimConfig, DimReport,
+};
 pub use error::{FailureReason, ScisError, TrainPhase, TrainingError};
 pub use guard::{GuardConfig, GuardStats, TrainingGuard};
 pub use pipeline::{RunAnomalies, Scis, ScisConfig, ScisOutcome};
-pub use sse::{SseConfig, SseResult};
+pub use report::{CounterValue, PhaseTiming, RunReport, RUN_REPORT_SCHEMA_VERSION};
+pub use sse::{SseConfig, SseProbe, SseResult};

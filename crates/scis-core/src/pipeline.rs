@@ -9,15 +9,17 @@
 //! 6-7: X̄ = M*(X); X̂ = M ⊙ X + (1−M) ⊙ X̄
 //! ```
 
-use crate::dim::{train_dim_guarded, DimConfig};
+use crate::dim::{train_dim_telemetered, DimConfig};
 use crate::error::{ScisError, TrainPhase};
 use crate::guard::{GuardConfig, GuardStats};
-use crate::sse::{fisher_diagonal, model_distance, SseConfig, SseEstimator, SseResult};
+use crate::report::RunReport;
+use crate::sse::{fisher_diagonal_tracked, model_distance, SseConfig, SseEstimator, SseResult};
 use scis_data::split::{sample_initial_split, sample_training_set};
 use scis_data::Dataset;
 use scis_imputers::traits::impute_with_generator;
 use scis_imputers::{AdversarialImputer, Imputer};
 use scis_ot::SinkhornOptions;
+use scis_telemetry::{SpanKind, Telemetry};
 use scis_tensor::{ExecPolicy, Matrix, Rng64};
 use std::time::{Duration, Instant};
 
@@ -184,6 +186,10 @@ pub struct ScisOutcome {
     pub total_time: Duration,
     /// Everything the fault-tolerant runtime caught and recovered from.
     pub anomalies: RunAnomalies,
+    /// Structured run report (sizes, phase timings, counter snapshot, SSE
+    /// trace). Phase/counter sections are empty unless the run was started
+    /// with [`Scis::telemetry`] set to a collecting handle.
+    pub report: RunReport,
 }
 
 impl ScisOutcome {
@@ -204,15 +210,29 @@ impl ScisOutcome {
 }
 
 /// The SCIS system.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Scis {
     config: ScisConfig,
+    telemetry: Telemetry,
 }
 
 impl Scis {
-    /// Creates a SCIS instance with the given configuration.
+    /// Creates a SCIS instance with the given configuration (telemetry
+    /// disabled — recording costs nothing until a collector is attached).
     pub fn new(config: ScisConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Attaches a telemetry collector: phase spans, solve/batch counters,
+    /// and guard events of the next run are recorded on it, and the run's
+    /// [`ScisOutcome::report`] carries the full snapshot. Recording never
+    /// perturbs the imputation output or the RNG streams.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Read access to the configuration.
@@ -263,8 +283,13 @@ impl Scis {
         rng: &mut Rng64,
     ) -> Result<ScisOutcome, ScisError> {
         let t_start = Instant::now();
+        let tel = self.telemetry.clone();
+        // forward the collector into the model so forward/backward passes
+        // are counted (no-op for an `off` handle)
+        imp.set_telemetry(tel.clone());
         let n_total = ds.n_samples();
         let n_v = n0; // paper §VI: Nv = n0
+        let span_validate = tel.span(SpanKind::Validate);
         let data_report = ds.validate()?;
         if n_v + n0 > n_total {
             return Err(ScisError::OversizedInitialSample {
@@ -291,6 +316,7 @@ impl Scis {
 
         // line 1: sample validation + initial sets
         let split = sample_initial_split(ds, n_v, n0, rng);
+        drop(span_validate);
 
         // line 2: DIM-train M0 on X0. The init seed is remembered so the
         // calibration sibling (below) starts from *identical* weights —
@@ -298,17 +324,20 @@ impl Scis {
         // re-initialization noise.
         let init_seed = rng.next_u64();
         let t0 = Instant::now();
+        let span_initial = tel.span(SpanKind::TrainInitial);
         imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
         let mut guard_stats = GuardStats::default();
-        let initial = train_dim_guarded(
+        let initial = train_dim_telemetered(
             imp,
             &split.initial,
             &self.config.dim,
             guard,
             TrainPhase::Initial,
             &mut guard_stats,
+            &tel,
             rng,
         );
+        drop(span_initial);
         let initial_train_time = t0.elapsed();
         anomalies.absorb_guard(&guard_stats);
         if let Err(e) = initial {
@@ -319,6 +348,16 @@ impl Scis {
                 .notes
                 .push(format!("initial {e}; fell back to mean imputation"));
             let imputed = scis_imputers::mean::MeanImputer.impute(ds, rng);
+            let total_time = t_start.elapsed();
+            let report = RunReport::assemble(
+                &tel.snapshot(),
+                n_total,
+                n0,
+                n0,
+                total_time.as_secs_f64(),
+                Vec::new(),
+                &anomalies,
+            );
             return Ok(ScisOutcome {
                 imputed,
                 n_star: n0,
@@ -328,13 +367,15 @@ impl Scis {
                 initial_train_time,
                 sse_time: Duration::ZERO,
                 retrain_time: Duration::ZERO,
-                total_time: t_start.elapsed(),
+                total_time,
                 anomalies,
+                report,
             });
         }
 
         // line 3: SSE
         let t1 = Instant::now();
+        let span_sse = tel.span(SpanKind::Sse);
         let sinkhorn = SinkhornOptions {
             lambda: estimate_sse_lambda(&self.config.dim, &split.initial, imp, rng),
             max_iters: self.config.dim.max_sinkhorn_iters,
@@ -342,7 +383,15 @@ impl Scis {
             exec: self.config.dim.exec,
         };
         let batch = self.config.dim.train.batch_size;
-        let fisher = fisher_diagonal(imp, &split.initial, &sinkhorn, batch, rng);
+        let fisher = fisher_diagonal_tracked(
+            imp,
+            &split.initial,
+            &sinkhorn,
+            batch,
+            &guard.sinkhorn_escalation,
+            &tel,
+            rng,
+        );
         let mut estimator = SseEstimator::new(
             imp,
             &fisher,
@@ -352,7 +401,9 @@ impl Scis {
             self.config.sse,
             rng,
         );
+        estimator.set_telemetry(tel.clone());
         if self.config.sse.calibrate {
+            let _span_cal = tel.span(SpanKind::Calibration);
             // anchor Theorem 1's hidden constant: train a sibling model on a
             // second size-n0 sample and match the Monte-Carlo prediction to
             // the *observed* model-to-model difference (module docs of
@@ -361,13 +412,14 @@ impl Scis {
             let sibling_set = sample_training_set(ds, n0, rng);
             imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
             let mut sibling_stats = GuardStats::default();
-            let sibling = train_dim_guarded(
+            let sibling = train_dim_telemetered(
                 imp,
                 &sibling_set,
                 &self.config.dim,
                 guard,
                 TrainPhase::Calibration,
                 &mut sibling_stats,
+                &tel,
                 rng,
             );
             anomalies.absorb_guard(&sibling_stats);
@@ -393,20 +445,23 @@ impl Scis {
             }
         }
         let sse = estimator.estimate(imp, &split.validation);
+        drop(span_sse);
         let sse_time = t1.elapsed();
 
         // lines 4-5: retrain on X* when n* > n0 (warm start from θ0)
         let retrain_time = if sse.n_star > n0 {
             let t2 = Instant::now();
+            let _span_retrain = tel.span(SpanKind::Retrain);
             let x_star = sample_training_set(ds, sse.n_star, rng);
             let mut retrain_stats = GuardStats::default();
-            let retrain = train_dim_guarded(
+            let retrain = train_dim_telemetered(
                 imp,
                 &x_star,
                 &self.config.dim,
                 guard,
                 TrainPhase::Retrain,
                 &mut retrain_stats,
+                &tel,
                 rng,
             );
             anomalies.absorb_guard(&retrain_stats);
@@ -424,6 +479,7 @@ impl Scis {
         };
 
         // lines 6-7: impute the full dataset
+        let span_impute = tel.span(SpanKind::Impute);
         let mut imputed = impute_with_generator(imp, ds, rng);
         let bad_cells = imputed.as_slice().iter().filter(|v| !v.is_finite()).count();
         if bad_cells > 0 {
@@ -444,7 +500,18 @@ impl Scis {
                 "patched {bad_cells} non-finite imputed cells from the mean imputer"
             ));
         }
+        drop(span_impute);
 
+        let total_time = t_start.elapsed();
+        let report = RunReport::assemble(
+            &tel.snapshot(),
+            n_total,
+            n0,
+            sse.n_star,
+            total_time.as_secs_f64(),
+            sse.trace.clone(),
+            &anomalies,
+        );
         Ok(ScisOutcome {
             imputed,
             n_star: sse.n_star,
@@ -454,8 +521,9 @@ impl Scis {
             initial_train_time,
             sse_time,
             retrain_time,
-            total_time: t_start.elapsed(),
+            total_time,
             anomalies,
+            report,
         })
     }
 }

@@ -1,0 +1,282 @@
+//! Structured run reports — the user-facing surface of the telemetry layer.
+//!
+//! A [`RunReport`] condenses one [`crate::pipeline::Scis::try_run`] into a
+//! schema-stable record: the Algorithm-1 sizes (`N`, `n0`, `n*`), per-phase
+//! wall-clock spans, the full counter snapshot, the SSE binary-search trace,
+//! and the anomaly summary of the fault-tolerant runtime. It serializes to
+//! JSON without any external dependency ([`RunReport::to_json`]) so the CLI
+//! `--trace-json` flag and the bench harness can persist it directly.
+//!
+//! Determinism contract: everything except the `secs` timing fields is
+//! reproducible bit-for-bit for a fixed seed and configuration, independent
+//! of the execution policy (DESIGN.md §11).
+
+use crate::pipeline::RunAnomalies;
+use crate::sse::SseProbe;
+use scis_telemetry::{json_escape, json_f64, Snapshot};
+
+/// Schema version stamped into every JSON report. Bump on breaking changes
+/// to the field layout.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Wall-clock aggregate of one pipeline phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Stable snake_case phase name (the [`scis_telemetry::SpanKind`] name).
+    pub name: &'static str,
+    /// Number of timed observations of this phase.
+    pub count: u64,
+    /// Total seconds across observations.
+    pub secs: f64,
+}
+
+/// One monotonic counter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterValue {
+    /// Stable snake_case counter name (the [`scis_telemetry::Counter`] name).
+    pub name: &'static str,
+    /// Final value at the end of the run.
+    pub value: u64,
+}
+
+/// Structured summary of one pipeline run (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Schema version ([`RUN_REPORT_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Dataset size `N`.
+    pub n_total: usize,
+    /// Initial sample size `n0`.
+    pub n0: usize,
+    /// Estimated minimum sample size `n*`.
+    pub n_star: usize,
+    /// Total wall-clock of the run, seconds.
+    pub total_secs: f64,
+    /// Per-phase wall-clock aggregates, in span-slot order. Empty when the
+    /// run was executed with a disabled collector.
+    pub phases: Vec<PhaseTiming>,
+    /// Final counter values, in counter-slot order. Empty when the run was
+    /// executed with a disabled collector.
+    pub counters: Vec<CounterValue>,
+    /// The SSE binary-search trace (every distinct probed size, in order).
+    pub sse_trace: Vec<SseProbe>,
+    /// True when no recovery machinery fired.
+    pub clean: bool,
+    /// True when output quality is degraded (mean fallback, kept `M0` after
+    /// a failed retrain, or patched non-finite cells).
+    pub degraded: bool,
+    /// Human-readable recovery notes, in order of occurrence.
+    pub notes: Vec<String>,
+}
+
+impl RunReport {
+    /// Assembles a report from the pipeline's accounting. `snapshot` should
+    /// be taken at the end of the run; from a disabled collector it yields
+    /// empty `phases`/`counters` (the structural fields are always filled).
+    pub fn assemble(
+        snapshot: &Snapshot,
+        n_total: usize,
+        n0: usize,
+        n_star: usize,
+        total_secs: f64,
+        sse_trace: Vec<SseProbe>,
+        anomalies: &RunAnomalies,
+    ) -> Self {
+        let (phases, counters) = if snapshot.is_empty() {
+            (Vec::new(), Vec::new())
+        } else {
+            (
+                snapshot
+                    .spans()
+                    .map(|(name, s)| PhaseTiming {
+                        name,
+                        count: s.count,
+                        secs: s.secs,
+                    })
+                    .collect(),
+                snapshot
+                    .counters()
+                    .map(|(name, value)| CounterValue { name, value })
+                    .collect(),
+            )
+        };
+        Self {
+            schema_version: RUN_REPORT_SCHEMA_VERSION,
+            n_total,
+            n0,
+            n_star,
+            total_secs,
+            phases,
+            counters,
+            sse_trace,
+            clean: anomalies.is_clean(),
+            degraded: anomalies.is_degraded(),
+            notes: anomalies.notes.clone(),
+        }
+    }
+
+    /// Looks up a counter value by its snake_case name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Serializes the report as a self-contained JSON object (no external
+    /// dependencies; counters are an object keyed by counter name).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        out.push_str(&format!("\"schema_version\":{}", self.schema_version));
+        out.push_str(&format!(",\"n_total\":{}", self.n_total));
+        out.push_str(&format!(",\"n0\":{}", self.n0));
+        out.push_str(&format!(",\"n_star\":{}", self.n_star));
+        out.push_str(&format!(",\"total_secs\":{}", json_f64(self.total_secs)));
+
+        out.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"count\":{},\"secs\":{}}}",
+                json_escape(p.name),
+                p.count,
+                json_f64(p.secs)
+            ));
+        }
+        out.push(']');
+
+        out.push_str(",\"counters\":{");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(c.name), c.value));
+        }
+        out.push('}');
+
+        out.push_str(",\"sse_trace\":[");
+        for (i, p) in self.sse_trace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"n\":{},\"prob\":{},\"accepted\":{}}}",
+                p.n,
+                json_f64(p.prob),
+                p.accepted
+            ));
+        }
+        out.push(']');
+
+        out.push_str(&format!(",\"clean\":{}", self.clean));
+        out.push_str(&format!(",\"degraded\":{}", self.degraded));
+
+        out.push_str(",\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(n)));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scis_telemetry::{Counter, SpanKind, Telemetry};
+
+    fn sample_report() -> RunReport {
+        let tel = Telemetry::collecting();
+        tel.add(Counter::SinkhornSolves, 12);
+        tel.add(Counter::SinkhornIterations, 480);
+        tel.record_span(SpanKind::TrainInitial, std::time::Duration::from_millis(25));
+        let anomalies = RunAnomalies {
+            notes: vec!["retrain err; keeping \"M0\"".into()],
+            retrain_failed: true,
+            ..Default::default()
+        };
+        RunReport::assemble(
+            &tel.snapshot(),
+            600,
+            100,
+            250,
+            1.25,
+            vec![
+                SseProbe {
+                    n: 100,
+                    prob: 0.2,
+                    accepted: false,
+                },
+                SseProbe {
+                    n: 600,
+                    prob: 1.0,
+                    accepted: true,
+                },
+            ],
+            &anomalies,
+        )
+    }
+
+    #[test]
+    fn assemble_fills_all_sections() {
+        let r = sample_report();
+        assert_eq!(r.schema_version, RUN_REPORT_SCHEMA_VERSION);
+        assert_eq!(r.counters.len(), Counter::ALL.len());
+        assert_eq!(r.phases.len(), SpanKind::ALL.len());
+        assert_eq!(r.counter("sinkhorn_iterations"), Some(480));
+        assert_eq!(r.counter("no_such_counter"), None);
+        assert!(!r.clean);
+        assert!(r.degraded);
+        assert_eq!(r.sse_trace.len(), 2);
+    }
+
+    #[test]
+    fn disabled_collector_yields_structural_fields_only() {
+        let r = RunReport::assemble(
+            &Telemetry::off().snapshot(),
+            10,
+            2,
+            2,
+            0.1,
+            Vec::new(),
+            &RunAnomalies::default(),
+        );
+        assert!(r.phases.is_empty());
+        assert!(r.counters.is_empty());
+        assert!(r.clean);
+        assert!(!r.degraded);
+        assert_eq!(r.n_total, 10);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let r = sample_report();
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"schema_version\":1"));
+        assert!(j.contains("\"n_star\":250"));
+        assert!(j.contains("\"sinkhorn_solves\":12"));
+        assert!(j.contains("\"train_initial\""));
+        assert!(j.contains("{\"n\":100,\"prob\":0.2,\"accepted\":false}"));
+        // the quote inside the note must be escaped
+        assert!(j.contains("keeping \\\"M0\\\""));
+        // crude structural balance check — every brace/bracket closes
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn non_finite_secs_serialize_as_null() {
+        let mut r = sample_report();
+        r.total_secs = f64::NAN;
+        assert!(r.to_json().contains("\"total_secs\":null"));
+    }
+}

@@ -39,7 +39,8 @@
 
 use scis_data::Dataset;
 use scis_imputers::AdversarialImputer;
-use scis_ot::{ms_loss_grad, SinkhornOptions};
+use scis_ot::{ms_loss_grad_tracked, EscalationPolicy, SinkhornOptions};
+use scis_telemetry::{Counter, Telemetry};
 use scis_tensor::{ExecPolicy, Rng64};
 
 /// SSE configuration (paper defaults from §VI).
@@ -159,6 +160,17 @@ impl SseConfig {
     }
 }
 
+/// One evaluated candidate size in the SSE binary search, in probe order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SseProbe {
+    /// The candidate sample size that was probed.
+    pub n: usize,
+    /// Empirical `P(D ≤ ε)` measured at `n`.
+    pub prob: f64,
+    /// Whether the probability cleared the Proposition-2 threshold.
+    pub accepted: bool,
+}
+
 /// Result of the SSE binary search.
 #[derive(Debug, Clone)]
 pub struct SseResult {
@@ -173,6 +185,9 @@ pub struct SseResult {
     /// Wall-clock duration of the estimation (excluding the pipeline's
     /// sibling-model training).
     pub duration: std::time::Duration,
+    /// The binary-search trace: every distinct candidate size evaluated,
+    /// in probe order (cache hits are not re-recorded).
+    pub trace: Vec<SseProbe>,
 }
 
 impl SseResult {
@@ -185,6 +200,7 @@ impl SseResult {
             probes: 0,
             calibration: 1.0,
             duration: std::time::Duration::ZERO,
+            trace: Vec::new(),
         }
     }
 }
@@ -200,6 +216,31 @@ pub fn fisher_diagonal(
     ds: &Dataset,
     sinkhorn: &SinkhornOptions,
     batch_size: usize,
+    rng: &mut Rng64,
+) -> Vec<f64> {
+    fisher_diagonal_tracked(
+        imp,
+        ds,
+        sinkhorn,
+        batch_size,
+        &EscalationPolicy::none(),
+        &Telemetry::off(),
+        rng,
+    )
+}
+
+/// [`fisher_diagonal`] with fault-tolerant Sinkhorn solves and telemetry:
+/// poisoned batches are *skipped* instead of panicking deep inside the
+/// solver, non-converged solves are escalated per `policy`, and the solve
+/// accounting is recorded on `tel`. With [`EscalationPolicy::none`] the
+/// per-batch numerics are identical to the historical plain-solve path.
+pub fn fisher_diagonal_tracked(
+    imp: &mut dyn AdversarialImputer,
+    ds: &Dataset,
+    sinkhorn: &SinkhornOptions,
+    batch_size: usize,
+    policy: &EscalationPolicy,
+    tel: &Telemetry,
     rng: &mut Rng64,
 ) -> Vec<f64> {
     let n = ds.n_samples();
@@ -223,7 +264,13 @@ pub fn fisher_diagonal(
             // a poisoned batch would contaminate the whole diagonal
             continue;
         }
-        let (_, grad_xbar) = ms_loss_grad(&xbar, &xb, &mb, sinkhorn);
+        let (grad_xbar, solve_stats) = match ms_loss_grad_tracked(&xbar, &xb, &mb, sinkhorn, policy)
+        {
+            Ok((_, grad, stats)) => (grad, stats),
+            // a rejected solve (non-finite cost) poisons only this batch
+            Err(_) => continue,
+        };
+        crate::dim::record_solve_stats(tel, solve_stats);
         generator.zero_grad();
         generator.backward(&grad_xbar);
         let g = generator.grad_vector();
@@ -280,6 +327,7 @@ pub struct SseEstimator {
     n_total: usize,
     cfg: SseConfig,
     calibration: f64,
+    telemetry: Telemetry,
 }
 
 impl SseEstimator {
@@ -333,7 +381,15 @@ impl SseEstimator {
             n_total,
             cfg,
             calibration: 1.0,
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attaches a telemetry collector: Monte-Carlo evaluations and binary-
+    /// search probes are counted on it. Recording never perturbs the
+    /// estimates or the RNG streams.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// ζ(λ) resolved for this estimator.
@@ -373,6 +429,7 @@ impl SseEstimator {
     ) -> Vec<f64> {
         let p = self.theta0.len();
         let k = self.cfg.k;
+        self.telemetry.add(Counter::SseMcEvals, k as u64);
         let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..k)
             .map(|i| {
                 let mut theta_n = self.theta0.clone();
@@ -458,20 +515,31 @@ impl SseEstimator {
         let start = std::time::Instant::now();
         let threshold = self.cfg.acceptance_threshold();
         let mut probes = 0usize;
+        let mut trace: Vec<SseProbe> = Vec::new();
         let mut cache: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
-        let mut prob_at = |n: usize, imp: &mut dyn AdversarialImputer, probes: &mut usize| -> f64 {
+        let mut prob_at = |n: usize,
+                           imp: &mut dyn AdversarialImputer,
+                           probes: &mut usize,
+                           trace: &mut Vec<SseProbe>|
+         -> f64 {
             if let Some(&pr) = cache.get(&n) {
                 return pr;
             }
             *probes += 1;
+            self.telemetry.incr(Counter::SseProbes);
             let pr = self.prob_within_epsilon(imp, validation, n);
             cache.insert(n, pr);
+            trace.push(SseProbe {
+                n,
+                prob: pr,
+                accepted: pr >= threshold,
+            });
             pr
         };
 
-        let (n_star, prob) = if prob_at(self.n0, imp, &mut probes) >= threshold {
+        let (n_star, prob) = if prob_at(self.n0, imp, &mut probes, &mut trace) >= threshold {
             (self.n0, cache[&self.n0])
-        } else if prob_at(self.n_total, imp, &mut probes) < threshold {
+        } else if prob_at(self.n_total, imp, &mut probes, &mut trace) < threshold {
             // even the full dataset misses ε — degrade to "use everything"
             (self.n_total, cache[&self.n_total])
         } else {
@@ -479,13 +547,13 @@ impl SseEstimator {
             let granularity = (self.n_total / 200).max(1);
             while hi - lo > granularity {
                 let mid = lo + (hi - lo) / 2;
-                if prob_at(mid, imp, &mut probes) >= threshold {
+                if prob_at(mid, imp, &mut probes, &mut trace) >= threshold {
                     hi = mid;
                 } else {
                     lo = mid;
                 }
             }
-            (hi, prob_at(hi, imp, &mut probes))
+            (hi, prob_at(hi, imp, &mut probes, &mut trace))
         };
 
         SseResult {
@@ -494,6 +562,7 @@ impl SseEstimator {
             probes,
             calibration: self.calibration,
             duration: start.elapsed(),
+            trace,
         }
     }
 }
@@ -656,6 +725,29 @@ mod tests {
         // a tiny γ makes everything pass → n* = n0
         est.set_calibration(1e-9);
         assert_eq!(est.estimate(&mut gain, &ds).n_star, 50);
+    }
+
+    #[test]
+    fn estimate_records_probe_trace_and_counters() {
+        let (mut gain, ds, mut rng) = setup(10);
+        let diag = diag_for(&mut gain, &ds, &mut rng);
+        let cfg = SseConfig {
+            epsilon: 5e-3,
+            ..Default::default()
+        };
+        let mut est = SseEstimator::new(&mut gain, &diag, 50, 300, 4, cfg, &mut rng);
+        let tel = scis_telemetry::Telemetry::collecting();
+        est.set_telemetry(tel.clone());
+        let res = est.estimate(&mut gain, &ds);
+        assert_eq!(res.trace.len(), res.probes, "one trace entry per probe");
+        assert!(!res.trace.is_empty());
+        // the chosen n* must have been probed (cache hits are not re-logged)
+        assert!(res.trace.iter().any(|p| p.n == res.n_star));
+        assert_eq!(tel.counter(Counter::SseProbes), res.probes as u64);
+        assert_eq!(
+            tel.counter(Counter::SseMcEvals),
+            (res.probes * cfg.k) as u64
+        );
     }
 
     #[test]

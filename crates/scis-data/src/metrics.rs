@@ -9,6 +9,52 @@
 use crate::dataset::Dataset;
 use scis_tensor::{Matrix, Rng64};
 
+/// Errors surfaced by the fallible metric constructors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsError {
+    /// `make_holdout` would hide zero cells: `frac` rounded `k` to 0 (or the
+    /// dataset has no observed cells), and an empty [`Holdout`] only fails
+    /// much later inside `rmse`/`mae`, far from the cause.
+    EmptyHoldout {
+        /// Number of observed cells in the source dataset.
+        observed: usize,
+        /// The requested holdout fraction.
+        frac: f64,
+    },
+    /// The holdout fraction is outside `[0, 1)`.
+    BadFraction(f64),
+    /// An AUC score is NaN or infinite and cannot be ranked.
+    NonFiniteScore {
+        /// Index of the offending score.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// AUC needs at least one positive and one negative label.
+    SingleClass,
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::EmptyHoldout { observed, frac } => write!(
+                f,
+                "holdout is empty: frac = {} of {} observed cells rounds to 0 hidden cells",
+                frac, observed
+            ),
+            MetricsError::BadFraction(frac) => {
+                write!(f, "holdout fraction {} outside [0, 1)", frac)
+            }
+            MetricsError::NonFiniteScore { index, value } => {
+                write!(f, "non-finite score {} at index {}", value, index)
+            }
+            MetricsError::SingleClass => write!(f, "need both classes"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
 /// Hidden-cell ground truth produced by [`make_holdout`].
 #[derive(Debug, Clone)]
 pub struct Holdout {
@@ -53,13 +99,37 @@ impl Holdout {
 
 /// Hides `frac` of the observed cells of `ds` (marking them missing) and
 /// returns the reduced dataset plus the ground truth of the hidden cells.
+///
+/// Thin panicking wrapper over [`try_make_holdout`]; an empty holdout is
+/// rejected *here*, at construction time, rather than surfacing much later
+/// as an assertion inside [`Holdout::rmse`] / [`Holdout::mae`].
+///
+/// # Panics
+/// Panics if `frac` is outside `[0, 1)` or if the holdout would be empty
+/// (small datasets / small `frac` can round the hidden-cell count to 0).
 pub fn make_holdout(ds: &Dataset, frac: f64, rng: &mut Rng64) -> (Dataset, Holdout) {
-    assert!(
-        (0.0..1.0).contains(&frac),
-        "make_holdout: frac must be in [0,1)"
-    );
+    try_make_holdout(ds, frac, rng).unwrap_or_else(|e| panic!("make_holdout: {}", e))
+}
+
+/// Fallible [`make_holdout`]: returns [`MetricsError::EmptyHoldout`] when
+/// `frac` rounds the hidden-cell count to 0 and
+/// [`MetricsError::BadFraction`] when `frac` is outside `[0, 1)`.
+pub fn try_make_holdout(
+    ds: &Dataset,
+    frac: f64,
+    rng: &mut Rng64,
+) -> Result<(Dataset, Holdout), MetricsError> {
+    if !(0.0..1.0).contains(&frac) {
+        return Err(MetricsError::BadFraction(frac));
+    }
     let observed: Vec<(usize, usize)> = ds.observed_cells().map(|(i, j, _)| (i, j)).collect();
     let k = ((observed.len() as f64) * frac).round() as usize;
+    if k == 0 {
+        return Err(MetricsError::EmptyHoldout {
+            observed: observed.len(),
+            frac,
+        });
+    }
     let chosen = rng.sample_indices(observed.len(), k);
     let mut reduced = ds.clone();
     let mut positions = Vec::with_capacity(k);
@@ -71,7 +141,7 @@ pub fn make_holdout(ds: &Dataset, frac: f64, rng: &mut Rng64) -> (Dataset, Holdo
         reduced.values[(i, j)] = f64::NAN;
         reduced.mask.set(i, j, false);
     }
-    (reduced, Holdout { positions, truth })
+    Ok((reduced, Holdout { positions, truth }))
 }
 
 /// RMSE over all *originally missing* cells against a known complete ground
@@ -102,13 +172,37 @@ pub fn rmse_vs_ground_truth(ds: &Dataset, ground_truth: &Matrix, imputed: &Matri
 
 /// Area under the ROC curve via the rank statistic (ties get midranks).
 /// `scores` are real-valued; `labels` are 0/1.
+///
+/// Thin panicking wrapper over [`try_auc`]. Scores are pre-validated, so a
+/// NaN surfaces as a clear "non-finite score at index i" message instead of
+/// a panic deep inside a sort comparator.
+///
+/// # Panics
+/// Panics on length mismatch, a single-class label vector, or a non-finite
+/// score.
 pub fn auc(scores: &[f64], labels: &[u8]) -> f64 {
+    try_auc(scores, labels).unwrap_or_else(|e| panic!("auc: {}", e))
+}
+
+/// Fallible [`auc`]: returns [`MetricsError::NonFiniteScore`] for NaN or
+/// infinite scores and [`MetricsError::SingleClass`] when `labels` lacks a
+/// positive or a negative example.
+pub fn try_auc(scores: &[f64], labels: &[u8]) -> Result<f64, MetricsError> {
     assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    // validate up front: a NaN must not reach the sort comparator below
+    for (index, &value) in scores.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(MetricsError::NonFiniteScore { index, value });
+        }
+    }
     let n_pos = labels.iter().filter(|&&l| l == 1).count();
     let n_neg = labels.len() - n_pos;
-    assert!(n_pos > 0 && n_neg > 0, "auc: need both classes");
+    if n_pos == 0 || n_neg == 0 {
+        return Err(MetricsError::SingleClass);
+    }
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    // total order is safe: every score was validated finite above
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     // midranks
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
@@ -129,7 +223,7 @@ pub fn auc(scores: &[f64], labels: &[u8]) -> f64 {
         .filter(|(_, &l)| l == 1)
         .map(|(&r, _)| r)
         .sum();
-    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+    Ok((rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64))
 }
 
 #[cfg(test)]
@@ -219,5 +313,54 @@ mod tests {
     #[should_panic(expected = "need both classes")]
     fn auc_rejects_single_class() {
         let _ = auc(&[0.1, 0.2], &[1, 1]);
+    }
+
+    #[test]
+    fn try_auc_surfaces_nan_scores_as_error() {
+        let labels = [0u8, 0, 1, 1];
+        let err = try_auc(&[0.1, f64::NAN, 0.8, 0.9], &labels).unwrap_err();
+        match err {
+            MetricsError::NonFiniteScore { index, value } => {
+                assert_eq!(index, 1);
+                assert!(value.is_nan());
+            }
+            other => panic!("wrong error: {:?}", other),
+        }
+        assert!(try_auc(&[0.1, f64::INFINITY, 0.8, 0.9], &labels).is_err());
+        // valid input still agrees with the panicking wrapper
+        let scores = [0.1, 0.4, 0.35, 0.8];
+        assert_eq!(try_auc(&scores, &labels).unwrap(), auc(&scores, &labels));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite score")]
+    fn auc_panics_with_clear_message_on_nan() {
+        let _ = auc(&[0.1, f64::NAN], &[0, 1]);
+    }
+
+    #[test]
+    fn try_make_holdout_rejects_empty_holdout() {
+        let ds = toy();
+        let mut rng = Rng64::seed_from_u64(6);
+        // frac small enough that k rounds to 0
+        let err = try_make_holdout(&ds, 0.001, &mut rng).unwrap_err();
+        match err {
+            MetricsError::EmptyHoldout { observed, .. } => assert!(observed > 0),
+            other => panic!("wrong error: {:?}", other),
+        }
+        assert_eq!(
+            try_make_holdout(&ds, 1.5, &mut rng).unwrap_err(),
+            MetricsError::BadFraction(1.5)
+        );
+        // a viable fraction still succeeds
+        assert!(try_make_holdout(&ds, 0.2, &mut rng).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "holdout is empty")]
+    fn make_holdout_panics_at_construction_not_in_rmse() {
+        let ds = toy();
+        let mut rng = Rng64::seed_from_u64(7);
+        let _ = make_holdout(&ds, 0.0, &mut rng);
     }
 }

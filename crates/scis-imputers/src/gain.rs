@@ -14,6 +14,7 @@ use crate::traits::{impute_with_generator, AdversarialImputer, Imputer, TrainCon
 use scis_data::Dataset;
 use scis_nn::loss::{masked_bce_prob, weighted_mse};
 use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
+use scis_telemetry::Telemetry;
 use scis_tensor::{Matrix, Rng64};
 
 /// GAIN hyper-parameters and state.
@@ -28,6 +29,7 @@ pub struct GainImputer {
     generator: Option<Mlp>,
     discriminator: Option<Mlp>,
     n_features: usize,
+    telemetry: Telemetry,
 }
 
 impl GainImputer {
@@ -40,6 +42,7 @@ impl GainImputer {
             generator: None,
             discriminator: None,
             n_features: 0,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -88,6 +91,8 @@ impl GainImputer {
             let mut rng = Rng64::seed_from_u64(0);
             self.init_networks(d, &mut rng);
         }
+        let mut net = net;
+        net.set_telemetry(self.telemetry.clone());
         self.generator = Some(net);
         self.n_features = d;
         Ok(())
@@ -190,21 +195,31 @@ impl AdversarialImputer for GainImputer {
         Some(Box::new(self.clone()))
     }
 
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(g) = &mut self.generator {
+            g.set_telemetry(telemetry.clone());
+        }
+        if let Some(d) = &mut self.discriminator {
+            d.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
     fn init_networks(&mut self, n_features: usize, rng: &mut Rng64) {
         let d = n_features;
         // paper §VI: both G and D are 2-layer fully connected nets
-        self.generator = Some(
-            Mlp::builder(2 * d)
-                .dense(d, Activation::Relu)
-                .dense(d, Activation::Sigmoid)
-                .build(rng),
-        );
-        self.discriminator = Some(
-            Mlp::builder(2 * d)
-                .dense(d, Activation::Relu)
-                .dense(d, Activation::Sigmoid)
-                .build(rng),
-        );
+        let mut generator = Mlp::builder(2 * d)
+            .dense(d, Activation::Relu)
+            .dense(d, Activation::Sigmoid)
+            .build(rng);
+        generator.set_telemetry(self.telemetry.clone());
+        let mut discriminator = Mlp::builder(2 * d)
+            .dense(d, Activation::Relu)
+            .dense(d, Activation::Sigmoid)
+            .build(rng);
+        discriminator.set_telemetry(self.telemetry.clone());
+        self.generator = Some(generator);
+        self.discriminator = Some(discriminator);
         self.n_features = d;
     }
 

@@ -14,6 +14,7 @@ use crate::traits::{impute_with_generator, AdversarialImputer, Imputer, TrainCon
 use scis_data::Dataset;
 use scis_nn::loss::{masked_bce_prob, weighted_mse};
 use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
+use scis_telemetry::Telemetry;
 use scis_tensor::ops::sq_dist;
 use scis_tensor::{Matrix, Rng64};
 
@@ -38,6 +39,7 @@ pub struct GinnImputer {
     generator: Option<Mlp>,
     discriminator: Option<Mlp>,
     n_features: usize,
+    telemetry: Telemetry,
     /// kNN adjacency (row → neighbour indices), built during training.
     neighbors: Vec<Vec<usize>>,
     /// Small cache of graphs built for reconstruction inputs, keyed by a
@@ -58,6 +60,7 @@ impl GinnImputer {
             generator: None,
             discriminator: None,
             n_features: 0,
+            telemetry: Telemetry::off(),
             neighbors: Vec::new(),
             graph_cache: Vec::new(),
         }
@@ -139,22 +142,32 @@ impl AdversarialImputer for GinnImputer {
         Some(Box::new(self.clone()))
     }
 
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let Some(g) = &mut self.generator {
+            g.set_telemetry(telemetry.clone());
+        }
+        if let Some(d) = &mut self.discriminator {
+            d.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
     fn init_networks(&mut self, n_features: usize, rng: &mut Rng64) {
         let d = n_features;
-        self.generator = Some(
-            Mlp::builder(2 * d)
-                .dense(d, Activation::Relu)
-                .dense(d, Activation::Sigmoid)
-                .build(rng),
-        );
+        let mut generator = Mlp::builder(2 * d)
+            .dense(d, Activation::Relu)
+            .dense(d, Activation::Sigmoid)
+            .build(rng);
+        generator.set_telemetry(self.telemetry.clone());
         // 3-layer feed-forward discriminator (paper §VI)
-        self.discriminator = Some(
-            Mlp::builder(2 * d)
-                .dense(d, Activation::Relu)
-                .dense(d, Activation::Relu)
-                .dense(d, Activation::Sigmoid)
-                .build(rng),
-        );
+        let mut discriminator = Mlp::builder(2 * d)
+            .dense(d, Activation::Relu)
+            .dense(d, Activation::Relu)
+            .dense(d, Activation::Sigmoid)
+            .build(rng);
+        discriminator.set_telemetry(self.telemetry.clone());
+        self.generator = Some(generator);
+        self.discriminator = Some(discriminator);
         self.n_features = d;
         self.neighbors.clear();
         self.graph_cache.clear();

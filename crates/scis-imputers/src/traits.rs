@@ -114,6 +114,12 @@ pub trait AdversarialImputer: Imputer {
     fn clone_boxed(&self) -> Option<Box<dyn AdversarialImputer + Send>> {
         None
     }
+
+    /// Attaches a telemetry collector; implementations forward it to their
+    /// networks so forward/backward passes are counted. Recording never
+    /// perturbs outputs or RNG streams. The default is a no-op for imputers
+    /// without instrumented internals.
+    fn set_telemetry(&mut self, _telemetry: scis_telemetry::Telemetry) {}
 }
 
 /// Helper: run a generator forward pass and merge per Eq. 1.

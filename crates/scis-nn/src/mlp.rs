@@ -15,6 +15,7 @@
 //! ```
 
 use crate::layer::{ActLayer, Activation, Dense, Dropout, Layer, Mode};
+use scis_telemetry::{Counter, Telemetry};
 use scis_tensor::{ExecPolicy, Matrix, Rng64};
 
 /// A stack of layers applied in sequence.
@@ -22,6 +23,7 @@ pub struct Mlp {
     layers: Vec<Box<dyn Layer>>,
     in_dim: usize,
     out_dim: usize,
+    telemetry: Telemetry,
 }
 
 impl Clone for Mlp {
@@ -30,6 +32,9 @@ impl Clone for Mlp {
             layers: self.layers.iter().map(|l| l.clone_box()).collect(),
             in_dim: self.in_dim,
             out_dim: self.out_dim,
+            // clones share the collector, so counts from worker-thread
+            // model copies (SSE fan-out) merge into one slab
+            telemetry: self.telemetry.clone(),
         }
     }
 }
@@ -67,6 +72,7 @@ impl Mlp {
 
     /// Full forward pass.
     pub fn forward(&mut self, x: &Matrix, mode: Mode, rng: &mut Rng64) -> Matrix {
+        self.telemetry.incr(Counter::NnForwards);
         let mut h = x.clone();
         for layer in &mut self.layers {
             h = layer.forward(&h, mode, rng);
@@ -78,11 +84,19 @@ impl Mlp {
     /// accumulates parameter gradients and returns the gradient w.r.t. the
     /// network input.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        self.telemetry.incr(Counter::NnBackwards);
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g);
         }
         g
+    }
+
+    /// Attaches a telemetry collector; forward/backward passes are counted
+    /// into it. Recording never touches the RNG or the numeric path, so
+    /// outputs are unchanged. The default is [`Telemetry::off`].
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Visits all `(param, grad)` slice pairs in a stable order.
@@ -190,6 +204,7 @@ impl MlpBuilder {
             layers,
             in_dim: self.in_dim,
             out_dim,
+            telemetry: Telemetry::off(),
         }
     }
 }

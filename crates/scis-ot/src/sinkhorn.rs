@@ -592,10 +592,21 @@ impl EscalationPolicy {
     }
 }
 
-/// Per-solve accounting of the escalation ladder, merged upward into the
-/// pipeline's anomaly record.
+/// Per-solve accounting of the escalating Sinkhorn entry points, merged
+/// upward into the pipeline's anomaly record and telemetry counters.
+///
+/// `solves`, `iterations` and `converged` track *all* tracked solves (the
+/// value-flow channel of the telemetry layer); `escalations` and
+/// `unconverged` keep their original meaning as recovery events.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
+    /// Solves attempted through the escalating entry points.
+    pub solves: usize,
+    /// Total Sinkhorn sweep iterations, summed over every attempt of every
+    /// solve (ε-scaling attempts report their final stage's sweeps).
+    pub iterations: usize,
+    /// Solves whose final attempt met the marginal tolerance.
+    pub converged: usize,
     /// ε-scaling retries performed across solves.
     pub escalations: usize,
     /// Solves that stayed unconverged even after the last retry.
@@ -605,8 +616,18 @@ pub struct SolveStats {
 impl SolveStats {
     /// Accumulates another stats record into this one.
     pub fn absorb(&mut self, other: SolveStats) {
+        self.solves += other.solves;
+        self.iterations += other.iterations;
+        self.converged += other.converged;
         self.escalations += other.escalations;
         self.unconverged += other.unconverged;
+    }
+
+    /// Whether any recovery event fired (escalation or final non-
+    /// convergence). The always-on `solves`/`iterations`/`converged`
+    /// counters do not make a run anomalous.
+    pub fn is_clean(&self) -> bool {
+        self.escalations == 0 && self.unconverged == 0
     }
 }
 
@@ -622,8 +643,12 @@ pub fn try_sinkhorn_escalated(
     policy: &EscalationPolicy,
 ) -> Result<(SinkhornResult, SolveStats), SinkhornError> {
     validate_inputs(cost, a, b, opts)?;
-    let mut stats = SolveStats::default();
+    let mut stats = SolveStats {
+        solves: 1,
+        ..SolveStats::default()
+    };
     let mut result = sinkhorn_impl(cost, a, b, vec![0.0; a.len()], vec![0.0; b.len()], opts);
+    stats.iterations += result.iterations;
     let mut stages = policy.base_stages.max(2);
     let growth = policy.iter_growth.max(1);
     let mut budget = opts.max_iters;
@@ -638,9 +663,12 @@ pub fn try_sinkhorn_escalated(
             ..*opts
         };
         result = eps_scaling_impl(cost, a, b, &esc_opts, stages);
+        stats.iterations += result.iterations;
         stages *= 2;
     }
-    if !result.converged {
+    if result.converged {
+        stats.converged += 1;
+    } else {
         stats.unconverged += 1;
     }
     Ok((result, stats))
@@ -982,7 +1010,38 @@ mod escalation_tests {
         let (r, stats) =
             try_sinkhorn_uniform_escalated(&c, &opts, &EscalationPolicy::default()).unwrap();
         assert!(r.converged);
-        assert_eq!(stats, SolveStats::default());
+        assert!(
+            stats.is_clean(),
+            "recovery events on a clean solve: {stats:?}"
+        );
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.converged, 1);
+        assert_eq!(stats.iterations, r.iterations, "single-attempt solve");
+        assert!(stats.iterations > 0);
+    }
+
+    #[test]
+    fn solve_stats_absorb_adds_all_fields() {
+        let mut a = SolveStats {
+            solves: 1,
+            iterations: 10,
+            converged: 1,
+            escalations: 0,
+            unconverged: 0,
+        };
+        a.absorb(SolveStats {
+            solves: 2,
+            iterations: 30,
+            converged: 1,
+            escalations: 3,
+            unconverged: 1,
+        });
+        assert_eq!(a.solves, 3);
+        assert_eq!(a.iterations, 40);
+        assert_eq!(a.converged, 2);
+        assert_eq!(a.escalations, 3);
+        assert_eq!(a.unconverged, 1);
+        assert!(!a.is_clean());
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! Dependency-free run telemetry: spans, monotonic counters, and timing
+//! aggregates for the SCIS pipeline.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Zero cost when disabled.** [`Telemetry::off`] carries no allocation
+//!    and every record method reduces to a single `Option` branch — safe to
+//!    call on per-batch and per-solve hot paths.
+//! 2. **Determinism-neutral.** Recording never touches the RNG, never
+//!    reorders floating-point work, and counter totals are policy-independent:
+//!    the deterministic execution engine (DESIGN.md §10) runs the *same*
+//!    logical events in serial and threaded modes, and atomic addition is
+//!    commutative, so a serial run and a `threads(4)` run report identical
+//!    counter values. Only wall-clock spans differ.
+//! 3. **Shared by clone.** [`Telemetry`] is a cheap handle over an
+//!    `Arc`-shared slab of atomics; cloning it (e.g. into the per-worker
+//!    model clones of the SSE Monte-Carlo fan-out) merges all counts into
+//!    one collector.
+//!
+//! Consumers record through fixed [`Counter`] and [`SpanKind`] slots — no
+//! string keys, no maps, no per-event allocation.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Monotonic event counters, one fixed slot each.
+///
+/// Counter totals are part of the determinism contract: for a fixed seed and
+/// configuration they must not depend on [`ExecPolicy`][exec] (thread count),
+/// because every counted event happens at the same logical program point in
+/// serial and parallel schedules.
+///
+/// [exec]: https://docs.rs/scis-tensor
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Sinkhorn solves attempted through the escalating entry points.
+    SinkhornSolves,
+    /// Total Sinkhorn sweep iterations across all solves.
+    SinkhornIterations,
+    /// Solves whose final attempt met the convergence tolerance.
+    SinkhornConverged,
+    /// ε-scaling escalation retries triggered by unconverged solves.
+    SinkhornEscalations,
+    /// Solves still unconverged after the full escalation ladder.
+    SinkhornUnconverged,
+    /// DIM training epochs completed (accepted or rolled back).
+    DimEpochs,
+    /// DIM mini-batches whose gradient step was applied.
+    DimBatches,
+    /// DIM mini-batches skipped by the numeric guards (NaN trips).
+    DimBatchesSkipped,
+    /// `TrainingGuard` epoch rollbacks to the best snapshot.
+    GuardRollbacks,
+    /// `TrainingGuard` learning-rate backoffs after a rollback.
+    GuardLrBackoffs,
+    /// SSE binary-search probes (distinct `n` values evaluated).
+    SseProbes,
+    /// SSE Monte-Carlo distance evaluations (`k` per probe).
+    SseMcEvals,
+    /// Neural-network forward passes.
+    NnForwards,
+    /// Neural-network backward passes.
+    NnBackwards,
+}
+
+impl Counter {
+    /// Every counter, in slot order.
+    pub const ALL: [Counter; 14] = [
+        Counter::SinkhornSolves,
+        Counter::SinkhornIterations,
+        Counter::SinkhornConverged,
+        Counter::SinkhornEscalations,
+        Counter::SinkhornUnconverged,
+        Counter::DimEpochs,
+        Counter::DimBatches,
+        Counter::DimBatchesSkipped,
+        Counter::GuardRollbacks,
+        Counter::GuardLrBackoffs,
+        Counter::SseProbes,
+        Counter::SseMcEvals,
+        Counter::NnForwards,
+        Counter::NnBackwards,
+    ];
+
+    /// Stable snake_case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SinkhornSolves => "sinkhorn_solves",
+            Counter::SinkhornIterations => "sinkhorn_iterations",
+            Counter::SinkhornConverged => "sinkhorn_converged",
+            Counter::SinkhornEscalations => "sinkhorn_escalations",
+            Counter::SinkhornUnconverged => "sinkhorn_unconverged",
+            Counter::DimEpochs => "dim_epochs",
+            Counter::DimBatches => "dim_batches",
+            Counter::DimBatchesSkipped => "dim_batches_skipped",
+            Counter::GuardRollbacks => "guard_rollbacks",
+            Counter::GuardLrBackoffs => "guard_lr_backoffs",
+            Counter::SseProbes => "sse_probes",
+            Counter::SseMcEvals => "sse_mc_evals",
+            Counter::NnForwards => "nn_forwards",
+            Counter::NnBackwards => "nn_backwards",
+        }
+    }
+}
+
+/// Timed pipeline phases (the span taxonomy, DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum SpanKind {
+    /// Input validation and the initial/validation split.
+    Validate,
+    /// Initial DIM training of `M0` on `n0` rows (Algorithm 1 line 2).
+    TrainInitial,
+    /// SSE sibling-calibration training and reference distance.
+    Calibration,
+    /// SSE binary search for `n*` (Monte-Carlo probes).
+    Sse,
+    /// Retraining on `n*` rows when `n* > n0`.
+    Retrain,
+    /// Final generator sweep `X̂ = M⊙X + (1−M)⊙X̄`.
+    Impute,
+}
+
+impl SpanKind {
+    /// Every span kind, in slot order.
+    pub const ALL: [SpanKind; 6] = [
+        SpanKind::Validate,
+        SpanKind::TrainInitial,
+        SpanKind::Calibration,
+        SpanKind::Sse,
+        SpanKind::Retrain,
+        SpanKind::Impute,
+    ];
+
+    /// Stable snake_case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Validate => "validate",
+            SpanKind::TrainInitial => "train_initial",
+            SpanKind::Calibration => "calibration",
+            SpanKind::Sse => "sse",
+            SpanKind::Retrain => "retrain",
+            SpanKind::Impute => "impute",
+        }
+    }
+}
+
+const N_COUNTERS: usize = Counter::ALL.len();
+const N_SPANS: usize = SpanKind::ALL.len();
+
+#[derive(Debug)]
+struct Inner {
+    counters: [AtomicU64; N_COUNTERS],
+    span_nanos: [AtomicU64; N_SPANS],
+    span_counts: [AtomicU64; N_SPANS],
+}
+
+/// A cheap, cloneable telemetry handle.
+///
+/// [`Telemetry::off`] (the default) is a `None` handle: every record method
+/// is a no-op branch with no allocation, no atomics touched. A
+/// [`Telemetry::collecting`] handle shares one `Arc` slab of atomics across
+/// all clones, so counts from worker-thread model clones merge automatically.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl Telemetry {
+    /// A disabled collector: all recording is a no-op, zero allocation.
+    pub fn off() -> Self {
+        Telemetry(None)
+    }
+
+    /// A live collector (one allocation, here, never on record paths).
+    pub fn collecting() -> Self {
+        Telemetry(Some(Arc::new(Inner {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        })))
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` to a counter slot (relaxed; totals are order-independent).
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        if let Some(inner) = &self.0 {
+            inner.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments a counter slot by one.
+    #[inline]
+    pub fn incr(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Current value of a counter (0 when disabled).
+    pub fn counter(&self, c: Counter) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.counters[c as usize].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Adds one timed observation of `kind`.
+    pub fn record_span(&self, kind: SpanKind, elapsed: Duration) {
+        if let Some(inner) = &self.0 {
+            inner.span_nanos[kind as usize].fetch_add(
+                elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
+            inner.span_counts[kind as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a span; the elapsed time is recorded when the guard drops.
+    /// When disabled the guard holds no clock and drop is a no-op.
+    pub fn span(&self, kind: SpanKind) -> SpanGuard<'_> {
+        SpanGuard {
+            tel: self,
+            kind,
+            start: self.0.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Accumulated seconds spent in `kind` (0 when disabled).
+    pub fn span_secs(&self, kind: SpanKind) -> f64 {
+        match &self.0 {
+            Some(inner) => inner.span_nanos[kind as usize].load(Ordering::Relaxed) as f64 * 1e-9,
+            None => 0.0,
+        }
+    }
+
+    /// Number of observations of `kind` (0 when disabled).
+    pub fn span_count(&self, kind: SpanKind) -> u64 {
+        match &self.0 {
+            Some(inner) => inner.span_counts[kind as usize].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// A point-in-time copy of all counters and span aggregates.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: Counter::ALL.map(|c| self.counter(c)),
+            spans: SpanKind::ALL.map(|k| SpanStat {
+                count: self.span_count(k),
+                secs: self.span_secs(k),
+            }),
+        }
+    }
+}
+
+/// RAII span timer returned by [`Telemetry::span`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tel: &'a Telemetry,
+    kind: SpanKind,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.tel.record_span(self.kind, start.elapsed());
+        }
+    }
+}
+
+/// Aggregate for one span kind inside a [`Snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStat {
+    /// Number of timed observations.
+    pub count: u64,
+    /// Total seconds across observations.
+    pub secs: f64,
+}
+
+/// Point-in-time copy of a collector, indexable by [`Counter`] / [`SpanKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    counters: [u64; N_COUNTERS],
+    spans: [SpanStat; N_SPANS],
+}
+
+impl Snapshot {
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Aggregate of one span kind.
+    pub fn span(&self, k: SpanKind) -> SpanStat {
+        self.spans[k as usize]
+    }
+
+    /// Iterates `(name, value)` over all counters, in slot order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Counter::ALL
+            .iter()
+            .map(move |&c| (c.name(), self.counter(c)))
+    }
+
+    /// Iterates `(name, stat)` over all span kinds, in slot order.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, SpanStat)> + '_ {
+        SpanKind::ALL.iter().map(move |&k| (k.name(), self.span(k)))
+    }
+
+    /// Whether every counter is zero and no span was observed (the shape of
+    /// a snapshot taken from a disabled collector).
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&v| v == 0) && self.spans.iter().all(|s| s.count == 0)
+    }
+
+    /// Counter values only — the policy-independent, bit-comparable part of
+    /// a snapshot (timings excluded by construction).
+    pub fn counter_values(&self) -> [u64; N_COUNTERS] {
+        self.counters
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{}", v)
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_records_nothing() {
+        let t = Telemetry::off();
+        assert!(!t.is_enabled());
+        t.incr(Counter::DimBatches);
+        t.add(Counter::SinkhornIterations, 100);
+        t.record_span(SpanKind::Sse, Duration::from_secs(1));
+        drop(t.span(SpanKind::Impute));
+        assert_eq!(t.counter(Counter::DimBatches), 0);
+        assert_eq!(t.span_count(SpanKind::Sse), 0);
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn collecting_accumulates() {
+        let t = Telemetry::collecting();
+        assert!(t.is_enabled());
+        t.incr(Counter::DimEpochs);
+        t.add(Counter::SinkhornIterations, 41);
+        t.incr(Counter::SinkhornIterations);
+        assert_eq!(t.counter(Counter::DimEpochs), 1);
+        assert_eq!(t.counter(Counter::SinkhornIterations), 42);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter(Counter::SinkhornIterations), 42);
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn clones_share_one_slab() {
+        let t = Telemetry::collecting();
+        let workers: Vec<Telemetry> = (0..4).map(|_| t.clone()).collect();
+        std::thread::scope(|scope| {
+            for w in &workers {
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        w.incr(Counter::NnForwards);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.counter(Counter::NnForwards), 4000);
+    }
+
+    #[test]
+    fn span_guard_times_once() {
+        let t = Telemetry::collecting();
+        {
+            let _g = t.span(SpanKind::TrainInitial);
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(t.span_count(SpanKind::TrainInitial), 1);
+        assert!(t.span_secs(SpanKind::TrainInitial) >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_counters_are_ordered_and_named() {
+        let t = Telemetry::collecting();
+        t.add(Counter::SseProbes, 7);
+        let snap = t.snapshot();
+        let pairs: Vec<_> = snap.counters().collect();
+        assert_eq!(pairs.len(), Counter::ALL.len());
+        assert!(pairs.contains(&("sse_probes", 7)));
+        // names are unique
+        let mut names: Vec<_> = pairs.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn json_helpers() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+}

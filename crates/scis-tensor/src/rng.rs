@@ -59,17 +59,33 @@ impl Rng64 {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)`, exactly unbiased.
+    ///
+    /// Full Lemire multiply-shift with the rejection step (Lemire 2019,
+    /// "Fast Random Integer Generation in an Interval"): the widening
+    /// product maps `2^64` raw outputs onto `n` buckets, and the low
+    /// 64 bits identify the `2^64 mod n` overhanging outputs that must be
+    /// redrawn to keep every bucket the same size. A redraw occurs with
+    /// probability `< n / 2^64`, so for the small `n` used throughout this
+    /// workspace the rejection loop virtually never fires and seeded
+    /// streams are unchanged from the earlier rejection-free variant
+    /// (see DESIGN.md §11).
     ///
     /// # Panics
     /// Panics if `n == 0`.
     #[inline]
     pub fn gen_range(&mut self, n: usize) -> usize {
         assert!(n > 0, "gen_range: empty range");
-        // Lemire-style rejection-free for our purposes: modulo bias is
-        // negligible for n ≪ 2^64 but we still use the widening trick.
-        let x = self.next_u64();
-        (((x as u128) * (n as u128)) >> 64) as usize
+        let n64 = n as u64;
+        let mut m = (self.next_u64() as u128) * (n64 as u128);
+        if (m as u64) < n64 {
+            // threshold = (2^64 - n) mod n, computed without 128-bit division
+            let threshold = n64.wrapping_neg() % n64;
+            while (m as u64) < threshold {
+                m = (self.next_u64() as u128) * (n64 as u128);
+            }
+        }
+        (m >> 64) as usize
     }
 
     /// Bernoulli draw with success probability `p`.
@@ -221,6 +237,55 @@ mod tests {
             seen[rng.gen_range(7)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_range_small_n_stream_matches_rejection_free_map() {
+        // For small n the Lemire rejection step fires with probability
+        // < n/2^64, so the stream must coincide with the plain widening
+        // multiply of the raw outputs — this pins the seeded streams that
+        // every other test in the workspace depends on.
+        let mut raw = Rng64::seed_from_u64(123);
+        let mut gen = Rng64::seed_from_u64(123);
+        for &n in &[2usize, 7, 100, 1000, 1 << 20] {
+            for _ in 0..200 {
+                let expect = (((raw.next_u64() as u128) * (n as u128)) >> 64) as usize;
+                assert_eq!(gen.gen_range(n), expect, "stream diverged at n={}", n);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_huge_n_in_bounds() {
+        // n close to 2^63: the rejection branch is actually reachable here;
+        // outputs must still land in [0, n).
+        let n = (1usize << 63) + 12345;
+        let mut rng = Rng64::seed_from_u64(17);
+        for _ in 0..10_000 {
+            assert!(rng.gen_range(n) < n);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_over_residues() {
+        // With true rejection every residue class is hit exactly
+        // uniformly in expectation; check a coarse chi-square-ish bound.
+        let n = 3;
+        let mut rng = Rng64::seed_from_u64(29);
+        let mut hits = [0usize; 3];
+        let draws = 30_000;
+        for _ in 0..draws {
+            hits[rng.gen_range(n)] += 1;
+        }
+        for (r, &h) in hits.iter().enumerate() {
+            let frac = h as f64 / draws as f64;
+            assert!(
+                (frac - 1.0 / 3.0).abs() < 0.02,
+                "residue {} frequency {}",
+                r,
+                frac
+            );
+        }
     }
 
     #[test]

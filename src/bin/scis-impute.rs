@@ -20,6 +20,11 @@
 //! * `--save-model <path>` persist the trained generator (scis-gain only)
 //! * `--load-model <path>` impute with a previously saved generator,
 //!   skipping training entirely (scis-gain only)
+//! * `--trace-json <path>` write a structured JSON run report (phase
+//!   wall-clock, solve/batch/guard counters, SSE search trace) after the
+//!   run (scis-gain only; incompatible with `--load-model`, which skips
+//!   the pipeline). Counter values are bit-identical for any `--threads`
+//!   setting; only timings vary.
 //!
 //! Exit codes: `0` clean success, `1` error (bad arguments, unreadable
 //! input, non-finite observed values, training unrecoverable), `2`
@@ -53,6 +58,7 @@ struct Args {
     seed: u64,
     save_model: Option<PathBuf>,
     load_model: Option<PathBuf>,
+    trace_json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         save_model: None,
         load_model: None,
+        trace_json: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{} needs a value", flag));
@@ -88,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("--seed: {}", e))?,
             "--save-model" => parsed.save_model = Some(PathBuf::from(value()?)),
             "--load-model" => parsed.load_model = Some(PathBuf::from(value()?)),
+            "--trace-json" => parsed.trace_json = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {}", other)),
         }
     }
@@ -100,6 +108,17 @@ fn parse_args() -> Result<Args, String> {
             "--save-model/--load-model only apply to --method scis-gain (got {:?})",
             parsed.method
         ));
+    }
+    if parsed.trace_json.is_some() {
+        if parsed.method != "scis-gain" {
+            return Err(format!(
+                "--trace-json only applies to --method scis-gain (got {:?})",
+                parsed.method
+            ));
+        }
+        if parsed.load_model.is_some() {
+            return Err("--trace-json is incompatible with --load-model (no pipeline runs)".into());
+        }
     }
     Ok(parsed)
 }
@@ -172,9 +191,18 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
                 .dim(scis_core::dim::DimConfig::default().train(train))
                 .epsilon(args.epsilon)
                 .exec(exec_policy(args));
-            let outcome = Scis::new(config)
+            let mut scis = Scis::new(config);
+            if args.trace_json.is_some() {
+                scis = scis.telemetry(scis_telemetry::Telemetry::collecting());
+            }
+            let outcome = scis
                 .try_run(&mut gain, ds, n0, rng)
                 .map_err(|e| e.to_string())?;
+            if let Some(path) = &args.trace_json {
+                std::fs::write(path, outcome.report.to_json())
+                    .map_err(|e| format!("writing trace {:?}: {}", path, e))?;
+                eprintln!("scis-impute: wrote run report to {:?}", path);
+            }
             eprintln!(
                 "scis-impute: trained on n* = {} of {} rows (R_t = {:.2}%), SSE {:.2}s",
                 outcome.n_star,
@@ -220,7 +248,7 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
 
 fn run() -> Result<bool, String> {
     let args = parse_args().map_err(|e| {
-        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s]", e)
+        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--trace-json path]", e)
     })?;
     let mut ds =
         read_dataset(&args.input).map_err(|e| format!("reading {:?}: {}", args.input, e))?;

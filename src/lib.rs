@@ -16,6 +16,7 @@ pub use scis_data as data;
 pub use scis_imputers as imputers;
 pub use scis_nn as nn;
 pub use scis_ot as ot;
+pub use scis_telemetry as telemetry;
 pub use scis_tensor as tensor;
 
 /// One-stop imports for the common SCIS workflow: load a [`Dataset`],
@@ -26,9 +27,11 @@ pub mod prelude {
     pub use scis_core::error::{ScisError, TrainingError};
     pub use scis_core::guard::GuardConfig;
     pub use scis_core::pipeline::{RunAnomalies, Scis, ScisConfig, ScisOutcome};
-    pub use scis_core::sse::{SseConfig, SseResult};
+    pub use scis_core::report::RunReport;
+    pub use scis_core::sse::{SseConfig, SseProbe, SseResult};
     pub use scis_data::{Dataset, MaskMatrix};
     pub use scis_imputers::{AdversarialImputer, GainImputer, GinnImputer, Imputer, TrainConfig};
     pub use scis_ot::{SinkhornOptions, SinkhornResult};
+    pub use scis_telemetry::{Counter, SpanKind, Telemetry};
     pub use scis_tensor::{ExecPolicy, Matrix, Rng64};
 }

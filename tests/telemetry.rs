@@ -1,0 +1,164 @@
+//! The telemetry layer's two contracts, end to end:
+//!
+//! 1. **Determinism-neutral.** Attaching a collector never changes the
+//!    imputation output, and counter totals are identical between serial
+//!    and threaded execution — every counted event happens at the same
+//!    logical program point regardless of [`ExecPolicy`] (only span
+//!    timings may differ).
+//! 2. **Structured reporting.** A collecting run returns a populated
+//!    [`RunReport`] (non-empty phases, consistent solve counters, an SSE
+//!    search trace) that serializes to well-formed JSON; a disabled run
+//!    returns the structural fields only.
+
+use scis_data::missing::inject_mcar;
+use scis_repro::prelude::*;
+
+fn correlated_table(n: usize, seed: u64) -> Matrix {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, 4);
+    for i in 0..n {
+        let t = rng.uniform();
+        m[(i, 0)] = t;
+        m[(i, 1)] = (0.8 * t + 0.1 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        m[(i, 2)] = (1.0 - t + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        m[(i, 3)] = (0.5 * t + 0.25 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+    }
+    m
+}
+
+fn fast_config(exec: ExecPolicy) -> ScisConfig {
+    ScisConfig::default()
+        .dim(
+            DimConfig::default().train(
+                TrainConfig::default()
+                    .epochs(8)
+                    .batch_size(64)
+                    .learning_rate(0.005)
+                    .dropout(0.0),
+            ),
+        )
+        .epsilon(0.02)
+        .exec(exec)
+}
+
+/// One seeded run; returns the imputed matrix and the (possibly empty)
+/// counter snapshot.
+fn run_pipeline(exec: ExecPolicy, tel: Telemetry) -> (Matrix, usize, [u64; 14]) {
+    let complete = correlated_table(400, 11);
+    let mut rng = Rng64::seed_from_u64(12);
+    let ds = inject_mcar(&complete, 0.25, &mut rng);
+    let mut gain = GainImputer::new(fast_config(exec).dim.train);
+    let outcome = Scis::new(fast_config(exec))
+        .telemetry(tel.clone())
+        .try_run(&mut gain, &ds, 80, &mut rng)
+        .expect("pipeline run failed");
+    (
+        outcome.imputed,
+        outcome.n_star,
+        tel.snapshot().counter_values(),
+    )
+}
+
+#[test]
+fn counters_are_identical_across_exec_policies() {
+    let (imp_s, n_s, counters_s) = run_pipeline(ExecPolicy::Serial, Telemetry::collecting());
+    let (imp_p, n_p, counters_p) = run_pipeline(ExecPolicy::threads(4), Telemetry::collecting());
+    assert_eq!(imp_s, imp_p, "imputed output diverged");
+    assert_eq!(n_s, n_p, "n* diverged");
+    assert_eq!(
+        counters_s, counters_p,
+        "counter totals must be policy-independent"
+    );
+    // the counters actually saw the run
+    assert!(counters_s.iter().any(|&v| v > 0), "all counters zero");
+}
+
+#[test]
+fn collecting_telemetry_does_not_perturb_the_output() {
+    let (imp_off, n_off, counters_off) = run_pipeline(ExecPolicy::Serial, Telemetry::off());
+    let (imp_on, n_on, _) = run_pipeline(ExecPolicy::Serial, Telemetry::collecting());
+    assert_eq!(imp_off, imp_on, "recording changed the imputation");
+    assert_eq!(n_off, n_on);
+    assert_eq!(counters_off, [0u64; 14], "off collector recorded something");
+}
+
+#[test]
+fn run_report_is_populated_and_consistent() {
+    let complete = correlated_table(400, 11);
+    let mut rng = Rng64::seed_from_u64(12);
+    let ds = inject_mcar(&complete, 0.25, &mut rng);
+    let cfg = fast_config(ExecPolicy::Serial);
+    let mut gain = GainImputer::new(cfg.dim.train);
+    let outcome = Scis::new(cfg)
+        .telemetry(Telemetry::collecting())
+        .try_run(&mut gain, &ds, 80, &mut rng)
+        .expect("pipeline run failed");
+    let r = &outcome.report;
+
+    assert_eq!(r.n_total, 400);
+    assert_eq!(r.n0, 80);
+    assert_eq!(r.n_star, outcome.n_star);
+    assert!(!r.phases.is_empty(), "phases must be recorded");
+    assert!(!r.counters.is_empty(), "counters must be recorded");
+    // every pipeline phase that must have happened was timed exactly once
+    for phase in ["validate", "train_initial", "sse", "impute"] {
+        let p = r
+            .phases
+            .iter()
+            .find(|p| p.name == phase)
+            .unwrap_or_else(|| panic!("missing phase {phase}"));
+        assert_eq!(p.count, 1, "phase {phase} timed {} times", p.count);
+    }
+    // solve accounting is internally consistent
+    let solves = r.counter("sinkhorn_solves").unwrap();
+    let converged = r.counter("sinkhorn_converged").unwrap();
+    let unconverged = r.counter("sinkhorn_unconverged").unwrap();
+    assert!(solves > 0, "no sinkhorn solves counted");
+    assert_eq!(solves, converged + unconverged, "solve outcomes must sum");
+    assert!(r.counter("sinkhorn_iterations").unwrap() >= solves);
+    assert!(r.counter("dim_epochs").unwrap() > 0);
+    assert!(r.counter("dim_batches").unwrap() > 0);
+    assert!(r.counter("nn_forwards").unwrap() > 0);
+    assert!(r.counter("nn_backwards").unwrap() > 0);
+    // SSE search trace matches the probe counter and the outcome
+    assert_eq!(r.sse_trace.len() as u64, r.counter("sse_probes").unwrap());
+    assert_eq!(r.sse_trace.len(), outcome.sse.probes);
+    assert!(r.sse_trace.iter().any(|p| p.n == outcome.n_star));
+    // JSON serialization is self-consistent
+    let json = r.to_json();
+    assert!(json.contains("\"schema_version\":1"));
+    assert!(json.contains(&format!("\"n_star\":{}", outcome.n_star)));
+    assert!(json.contains(&format!("\"sinkhorn_solves\":{solves}")));
+}
+
+#[test]
+fn disabled_telemetry_yields_structural_report_only() {
+    let complete = correlated_table(400, 11);
+    let mut rng = Rng64::seed_from_u64(12);
+    let ds = inject_mcar(&complete, 0.25, &mut rng);
+    let cfg = fast_config(ExecPolicy::Serial);
+    let mut gain = GainImputer::new(cfg.dim.train);
+    let outcome = Scis::new(cfg)
+        .try_run(&mut gain, &ds, 80, &mut rng)
+        .expect("pipeline run failed");
+    let r = &outcome.report;
+    assert!(r.phases.is_empty());
+    assert!(r.counters.is_empty());
+    // the structural fields are still filled
+    assert_eq!(r.n_total, 400);
+    assert_eq!(r.n_star, outcome.n_star);
+    assert_eq!(r.sse_trace.len(), outcome.sse.probes);
+}
+
+#[test]
+fn try_run_surfaces_oversized_n0_as_error() {
+    let complete = correlated_table(100, 9);
+    let mut rng = Rng64::seed_from_u64(10);
+    let ds = inject_mcar(&complete, 0.2, &mut rng);
+    let cfg = fast_config(ExecPolicy::Serial);
+    let mut gain = GainImputer::new(cfg.dim.train);
+    let err = Scis::new(cfg)
+        .try_run(&mut gain, &ds, 80, &mut rng)
+        .expect_err("2*n0 > N must be rejected");
+    assert!(err.to_string().contains("exceeds N"), "got: {err}");
+}

@@ -1,0 +1,81 @@
+//! Overhead contract of the disabled collector: `Telemetry::off` must add
+//! **zero heap allocations** on hot paths (per-batch, per-solve, per-span),
+//! so leaving telemetry hooks compiled into the kernels costs nothing in
+//! production runs.
+//!
+//! This test binary installs a counting wrapper around the system allocator
+//! (a `#[global_allocator]` is per-binary, which is why this lives in its
+//! own integration-test file) and drives every record method of a disabled
+//! handle.
+
+use scis_repro::telemetry::{Counter, SpanKind, Telemetry};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_collector_allocates_nothing_on_record_paths() {
+    let tel = Telemetry::off();
+    let clone = tel.clone(); // cloning a None handle is allocation-free too
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        tel.incr(Counter::DimBatches);
+        tel.add(Counter::SinkhornIterations, 37);
+        clone.incr(Counter::NnForwards);
+        tel.record_span(SpanKind::Sse, std::time::Duration::from_nanos(1));
+        let guard = tel.span(SpanKind::TrainInitial);
+        drop(guard);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled telemetry allocated {} times across 50k record calls",
+        after - before
+    );
+    // and recorded nothing, of course
+    assert_eq!(tel.counter(Counter::DimBatches), 0);
+    assert_eq!(tel.span_count(SpanKind::TrainInitial), 0);
+}
+
+#[test]
+fn collecting_allocates_only_at_construction() {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let tel = Telemetry::collecting();
+    let construction = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    assert!(construction >= 1, "slab must be heap-allocated");
+
+    let hot_before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        tel.incr(Counter::DimBatches);
+        tel.add(Counter::SinkhornIterations, 37);
+        tel.record_span(SpanKind::Sse, std::time::Duration::from_nanos(1));
+    }
+    let hot = ALLOCATIONS.load(Ordering::Relaxed) - hot_before;
+    assert_eq!(hot, 0, "record paths of a live collector allocated {hot}x");
+    assert_eq!(tel.counter(Counter::DimBatches), 10_000);
+}
