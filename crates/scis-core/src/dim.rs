@@ -25,8 +25,9 @@ use scis_nn::loss::weighted_mse;
 use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
 use scis_ot::grad::{cross_ot_grad, self_ot_grad};
 use scis_ot::{
-    masked_sq_cost_with, ms_loss_grad_tracked, sinkhorn_uniform, sliced_w2_loss_grad,
-    SinkhornOptions, SlicedOptions, SolveStats,
+    masked_sq_cost_decomposed, masked_sq_cost_with, ms_loss_grad_accel, ms_loss_grad_tracked,
+    sinkhorn_uniform, sliced_w2_loss_grad, AccelContext, DualCache, MaskedRows, SinkhornOptions,
+    SlicedOptions, SolveStats,
 };
 use scis_telemetry::{Counter, Telemetry};
 use scis_tensor::par::pairwise_sq_dists_exec;
@@ -41,6 +42,60 @@ pub(crate) fn record_solve_stats(tel: &Telemetry, s: SolveStats) {
     tel.add(Counter::SinkhornConverged, s.converged as u64);
     tel.add(Counter::SinkhornEscalations, s.escalations as u64);
     tel.add(Counter::SinkhornUnconverged, s.unconverged as u64);
+    tel.add(Counter::WarmStartHits, s.warm_starts as u64);
+    tel.add(Counter::ItersSaved, s.iters_saved as u64);
+}
+
+/// Sinkhorn hot-path acceleration knobs. All off by default — the default
+/// training path is bit-identical to the historical implementation; each
+/// flag trades that strict identity for speed while preserving correctness
+/// (results agree within the solver tolerance, and stay bit-identical across
+/// thread counts for a fixed configuration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccelConfig {
+    /// Warm-start each batch's Sinkhorn solves from the previous epoch's
+    /// dual potentials (row-keyed [`DualCache`]; invalidated on rollback).
+    pub warm_start: bool,
+    /// Build masked cost matrices with the decomposed GEMM kernel
+    /// (`‖aᵢ‖² + ‖bⱼ‖² − 2·(AM)(BM)ᵀ`) instead of the scalar distance loop,
+    /// caching the constant data side across epochs.
+    pub decomposed_cost: bool,
+    /// Anneal cold solves (first epoch, post-rollback) through ε-scaling.
+    pub eps_scale_cold: bool,
+}
+
+impl AccelConfig {
+    /// Everything on — the configuration the bench suite measures.
+    pub fn all() -> Self {
+        Self {
+            warm_start: true,
+            decomposed_cost: true,
+            eps_scale_cold: true,
+        }
+    }
+
+    /// Whether any acceleration is active (off → the historical hot path).
+    pub fn any(&self) -> bool {
+        self.warm_start || self.decomposed_cost || self.eps_scale_cold
+    }
+
+    /// Fluent setter for [`AccelConfig::warm_start`].
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm_start = on;
+        self
+    }
+
+    /// Fluent setter for [`AccelConfig::decomposed_cost`].
+    pub fn decomposed_cost(mut self, on: bool) -> Self {
+        self.decomposed_cost = on;
+        self
+    }
+
+    /// Fluent setter for [`AccelConfig::eps_scale_cold`].
+    pub fn eps_scale_cold(mut self, on: bool) -> Self {
+        self.eps_scale_cold = on;
+        self
+    }
 }
 
 /// How the Sinkhorn regularization λ is chosen per batch.
@@ -108,6 +163,9 @@ pub struct DimConfig {
     /// Execution policy for the generator's matmuls, cost builds, and
     /// Sinkhorn sweeps. Bit-identical results under any policy.
     pub exec: ExecPolicy,
+    /// Sinkhorn hot-path acceleration (warm-start dual cache, decomposed
+    /// cost kernel, ε-scaled cold solves). Off by default.
+    pub accel: AccelConfig,
 }
 
 impl Default for DimConfig {
@@ -120,6 +178,7 @@ impl Default for DimConfig {
             critic: None,
             loss: GenerativeLoss::MaskedSinkhorn,
             exec: ExecPolicy::default(),
+            accel: AccelConfig::default(),
         }
     }
 }
@@ -184,6 +243,12 @@ impl DimConfig {
     /// Fluent setter for [`DimConfig::exec`].
     pub fn exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Fluent setter for [`DimConfig::accel`].
+    pub fn accel(mut self, accel: AccelConfig) -> Self {
+        self.accel = accel;
         self
     }
 }
@@ -314,6 +379,31 @@ pub fn train_dim_telemetered(
     tel: &Telemetry,
     rng: &mut Rng64,
 ) -> Result<DimReport, TrainingError> {
+    let cache = if cfg.accel.warm_start {
+        DualCache::enabled()
+    } else {
+        DualCache::off()
+    };
+    train_dim_cached(imp, ds, cfg, guard_cfg, phase, stats, tel, &cache, rng)
+}
+
+/// [`train_dim_telemetered`] with an externally owned [`DualCache`], so the
+/// pipeline can hand the warm training-phase cache to the SSE Monte-Carlo
+/// fan-out for read-only reuse afterwards. The cache is invalidated here on
+/// every guard rollback: after the parameters rewind, cached duals describe
+/// a generator state that no longer exists.
+#[allow(clippy::too_many_arguments)]
+pub fn train_dim_cached(
+    imp: &mut dyn AdversarialImputer,
+    ds: &Dataset,
+    cfg: &DimConfig,
+    guard_cfg: &GuardConfig,
+    phase: TrainPhase,
+    stats: &mut GuardStats,
+    tel: &Telemetry,
+    cache: &DualCache,
+    rng: &mut Rng64,
+) -> Result<DimReport, TrainingError> {
     let start = std::time::Instant::now();
     let d = ds.n_features();
     if !imp.is_initialized(d) {
@@ -330,6 +420,12 @@ pub fn train_dim_telemetered(
         critic
     });
     let bs = cfg.train.batch_size.min(n).max(2);
+    // constant across epochs: only the generator side X̄ changes per batch,
+    // so the data side's masked rows + row norms are gathered, not rebuilt
+    let data_masked = cfg
+        .accel
+        .decomposed_cost
+        .then(|| MaskedRows::new(&x, &mask));
 
     let mut guard = TrainingGuard::new(
         *guard_cfg,
@@ -363,16 +459,40 @@ pub fn train_dim_telemetered(
 
             let step = match (critic.as_mut(), cfg.loss) {
                 (None, GenerativeLoss::MaskedSinkhorn) => {
-                    let cost = masked_sq_cost_with(&xbar, &mb, &xb, &mb, cfg.exec);
+                    // the cross cost doubles as the λ-resolution input, so it
+                    // is built once here and handed to the gradient pass
+                    let data_batch = data_masked.as_ref().map(|d| d.select(chunk));
+                    let cost = match &data_batch {
+                        Some(db) => {
+                            let gen_side = MaskedRows::new(&xbar, &mb);
+                            masked_sq_cost_decomposed(&gen_side, db, cfg.exec)
+                        }
+                        None => masked_sq_cost_with(&xbar, &mb, &xb, &mb, cfg.exec),
+                    };
                     let lambda = cfg.resolve_lambda(&cost);
                     let opts = cfg.sinkhorn_options(lambda);
-                    match ms_loss_grad_tracked(
-                        &xbar,
-                        &xb,
-                        &mb,
-                        &opts,
-                        &guard_cfg.sinkhorn_escalation,
-                    ) {
+                    let result = if cfg.accel.any() {
+                        let ctx = AccelContext {
+                            cache,
+                            rows: chunk,
+                            data_side: data_batch.as_ref(),
+                            decomposed_cost: cfg.accel.decomposed_cost,
+                            eps_scale_cold: cfg.accel.eps_scale_cold,
+                            store: true,
+                        };
+                        ms_loss_grad_accel(
+                            &xbar,
+                            &xb,
+                            &mb,
+                            &opts,
+                            &guard_cfg.sinkhorn_escalation,
+                            &ctx,
+                            Some(cost),
+                        )
+                    } else {
+                        ms_loss_grad_tracked(&xbar, &xb, &mb, &opts, &guard_cfg.sinkhorn_escalation)
+                    };
+                    match result {
                         Ok((loss, grad, solve_stats)) => {
                             stats.sinkhorn.absorb(solve_stats);
                             record_solve_stats(tel, solve_stats);
@@ -441,6 +561,9 @@ pub fn train_dim_telemetered(
             }
             Some(reason) => {
                 imp.generator_mut().set_param_vector(guard.best_params());
+                // parameters rewound → cached duals describe a dead
+                // generator state; drop them so retries solve from cold
+                cache.invalidate_all();
                 stats.rollbacks += 1;
                 tel.incr(Counter::GuardRollbacks);
                 match guard.reject_epoch() {
@@ -578,6 +701,7 @@ mod tests {
             critic: None,
             loss: GenerativeLoss::MaskedSinkhorn,
             exec: ExecPolicy::default(),
+            accel: AccelConfig::default(),
         }
     }
 
@@ -665,6 +789,83 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(abs.resolve_lambda(&small), 130.0);
+    }
+
+    #[test]
+    fn accel_training_warm_starts_and_saves_iterations() {
+        use crate::error::TrainPhase;
+        use crate::guard::{GuardConfig, GuardStats};
+
+        let complete = correlated_table(300, 31);
+        let mut rng = Rng64::seed_from_u64(32);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut cfg = fast_cfg();
+        cfg.train.epochs = 12;
+
+        let run = |accel: AccelConfig, seed: u64| {
+            let mut rng = Rng64::seed_from_u64(seed);
+            let mut gain = GainImputer::new(cfg.train);
+            let mut stats = GuardStats::default();
+            let tel = Telemetry::collecting();
+            let cfg = cfg.accel(accel);
+            let report = train_dim_telemetered(
+                &mut gain,
+                &ds,
+                &cfg,
+                &GuardConfig::default(),
+                TrainPhase::Initial,
+                &mut stats,
+                &tel,
+                &mut rng,
+            )
+            .expect("training failed");
+            (report, stats, tel)
+        };
+
+        let (cold_report, cold_stats, cold_tel) = run(AccelConfig::default(), 33);
+        let (warm_report, warm_stats, warm_tel) = run(AccelConfig::default().warm_start(true), 33);
+
+        assert_eq!(
+            warm_tel.counter(Counter::WarmStartHits),
+            warm_stats.sinkhorn.warm_starts as u64
+        );
+        assert!(
+            warm_stats.sinkhorn.warm_starts > 0,
+            "no warm starts after epoch 1"
+        );
+        assert_eq!(cold_tel.counter(Counter::WarmStartHits), 0);
+        assert!(
+            warm_stats.sinkhorn.iterations < cold_stats.sinkhorn.iterations,
+            "warm {} vs cold {} total iterations",
+            warm_stats.sinkhorn.iterations,
+            cold_stats.sinkhorn.iterations
+        );
+        // same fixed points within tol → the loss trajectories stay close
+        let last_cold = cold_report.final_loss();
+        let last_warm = warm_report.final_loss();
+        assert!(
+            (last_cold - last_warm).abs() < 0.05 * last_cold.abs().max(0.1),
+            "loss diverged: cold {} vs warm {}",
+            last_cold,
+            last_warm
+        );
+    }
+
+    #[test]
+    fn decomposed_cost_training_stays_healthy() {
+        let complete = correlated_table(250, 41);
+        let mut rng = Rng64::seed_from_u64(42);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let mut cfg = fast_cfg().accel(AccelConfig::all());
+        cfg.train.epochs = 15;
+        let mut gain = GainImputer::new(cfg.train);
+        let report = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        assert_eq!(report.epoch_losses.len(), 15);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(last < first, "loss {} -> {}", first, last);
+        let out = impute_with_generator(&mut gain, &ds, &mut rng);
+        assert!(!out.has_nan());
     }
 
     #[test]

@@ -271,8 +271,9 @@ mod tests {
                 solves: 120,
                 iterations: 4800,
                 converged: 120,
-                escalations: 0,
-                unconverged: 0,
+                warm_starts: 40,
+                iters_saved: 900,
+                ..SolveStats::default()
             },
             ..Default::default()
         };

@@ -39,7 +39,8 @@ pub mod report;
 pub mod sse;
 
 pub use dim::{
-    train_dim, train_dim_guarded, train_dim_telemetered, try_train_dim, DimConfig, DimReport,
+    train_dim, train_dim_cached, train_dim_guarded, train_dim_telemetered, try_train_dim,
+    AccelConfig, DimConfig, DimReport,
 };
 pub use error::{FailureReason, ScisError, TrainPhase, TrainingError};
 pub use guard::{GuardConfig, GuardStats, TrainingGuard};

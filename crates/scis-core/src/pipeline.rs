@@ -9,16 +9,16 @@
 //! 6-7: X̄ = M*(X); X̂ = M ⊙ X + (1−M) ⊙ X̄
 //! ```
 
-use crate::dim::{train_dim_telemetered, DimConfig};
+use crate::dim::{train_dim_cached, AccelConfig, DimConfig};
 use crate::error::{ScisError, TrainPhase};
 use crate::guard::{GuardConfig, GuardStats};
 use crate::report::RunReport;
-use crate::sse::{fisher_diagonal_tracked, model_distance, SseConfig, SseEstimator, SseResult};
+use crate::sse::{fisher_diagonal_cached, model_distance, SseConfig, SseEstimator, SseResult};
 use scis_data::split::{sample_initial_split, sample_training_set};
 use scis_data::Dataset;
 use scis_imputers::traits::impute_with_generator;
 use scis_imputers::{AdversarialImputer, Imputer};
-use scis_ot::SinkhornOptions;
+use scis_ot::{DualCache, SinkhornOptions};
 use scis_telemetry::{SpanKind, Telemetry};
 use scis_tensor::{ExecPolicy, Matrix, Rng64};
 use std::time::{Duration, Instant};
@@ -93,6 +93,15 @@ impl ScisConfig {
     /// [`SseConfig::epsilon`] (default 0.001).
     pub fn epsilon(mut self, epsilon: f64) -> Self {
         self.sse.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the hot-path acceleration flags ([`AccelConfig`]) for every
+    /// training phase and the SSE Fisher probe. All flags default to off,
+    /// which keeps the pipeline bit-identical to the unaccelerated
+    /// historical path.
+    pub fn accel(mut self, accel: AccelConfig) -> Self {
+        self.dim.accel = accel;
         self
     }
 }
@@ -327,7 +336,20 @@ impl Scis {
         let span_initial = tel.span(SpanKind::TrainInitial);
         imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
         let mut guard_stats = GuardStats::default();
-        let initial = train_dim_telemetered(
+        // Each training phase gets its *own* dual cache: entries are keyed
+        // by dataset-local row index, and the phases train on different row
+        // sets (X0, the sibling sample, X*), so sharing would alias
+        // unrelated rows. The initial-phase cache is reused read-only by
+        // the SSE Fisher probe, which iterates the same X0 rows.
+        let phase_cache = |accel: AccelConfig| {
+            if accel.warm_start {
+                DualCache::enabled()
+            } else {
+                DualCache::off()
+            }
+        };
+        let initial_cache = phase_cache(self.config.dim.accel);
+        let initial = train_dim_cached(
             imp,
             &split.initial,
             &self.config.dim,
@@ -335,6 +357,7 @@ impl Scis {
             TrainPhase::Initial,
             &mut guard_stats,
             &tel,
+            &initial_cache,
             rng,
         );
         drop(span_initial);
@@ -383,13 +406,19 @@ impl Scis {
             exec: self.config.dim.exec,
         };
         let batch = self.config.dim.train.batch_size;
-        let fisher = fisher_diagonal_tracked(
+        // read-only reuse of the initial-phase duals: the Fisher probe
+        // iterates the same X0 rows, and warm-starting its solves from the
+        // converged training potentials saves iterations without writing
+        // probe-state duals back into the cache
+        let fisher = fisher_diagonal_cached(
             imp,
             &split.initial,
             &sinkhorn,
             batch,
             &guard.sinkhorn_escalation,
             &tel,
+            &initial_cache,
+            self.config.dim.accel,
             rng,
         );
         let mut estimator = SseEstimator::new(
@@ -412,7 +441,7 @@ impl Scis {
             let sibling_set = sample_training_set(ds, n0, rng);
             imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
             let mut sibling_stats = GuardStats::default();
-            let sibling = train_dim_telemetered(
+            let sibling = train_dim_cached(
                 imp,
                 &sibling_set,
                 &self.config.dim,
@@ -420,6 +449,7 @@ impl Scis {
                 TrainPhase::Calibration,
                 &mut sibling_stats,
                 &tel,
+                &phase_cache(self.config.dim.accel),
                 rng,
             );
             anomalies.absorb_guard(&sibling_stats);
@@ -454,7 +484,7 @@ impl Scis {
             let _span_retrain = tel.span(SpanKind::Retrain);
             let x_star = sample_training_set(ds, sse.n_star, rng);
             let mut retrain_stats = GuardStats::default();
-            let retrain = train_dim_telemetered(
+            let retrain = train_dim_cached(
                 imp,
                 &x_star,
                 &self.config.dim,
@@ -462,6 +492,7 @@ impl Scis {
                 TrainPhase::Retrain,
                 &mut retrain_stats,
                 &tel,
+                &phase_cache(self.config.dim.accel),
                 rng,
             );
             anomalies.absorb_guard(&retrain_stats);

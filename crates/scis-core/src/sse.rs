@@ -39,7 +39,10 @@
 
 use scis_data::Dataset;
 use scis_imputers::AdversarialImputer;
-use scis_ot::{ms_loss_grad_tracked, EscalationPolicy, SinkhornOptions};
+use scis_ot::{
+    ms_loss_grad_accel, ms_loss_grad_tracked, AccelContext, DualCache, EscalationPolicy,
+    MaskedRows, SinkhornOptions,
+};
 use scis_telemetry::{Counter, Telemetry};
 use scis_tensor::{ExecPolicy, Rng64};
 
@@ -243,6 +246,38 @@ pub fn fisher_diagonal_tracked(
     tel: &Telemetry,
     rng: &mut Rng64,
 ) -> Vec<f64> {
+    fisher_diagonal_cached(
+        imp,
+        ds,
+        sinkhorn,
+        batch_size,
+        policy,
+        tel,
+        &DualCache::off(),
+        crate::dim::AccelConfig::default(),
+        rng,
+    )
+}
+
+/// [`fisher_diagonal_tracked`] with hot-path acceleration: Sinkhorn solves
+/// may warm-start from `cache` (read-only — the Fisher probe operates on
+/// perturbed parameters, so its duals are *not* written back and cannot
+/// pollute the training-epoch entries), and the batch cost matrix may be
+/// built with the decomposed GEMM kernel. With `DualCache::off()` and
+/// default [`crate::dim::AccelConfig`] this is bit-identical to
+/// [`fisher_diagonal_tracked`]'s historical path.
+#[allow(clippy::too_many_arguments)]
+pub fn fisher_diagonal_cached(
+    imp: &mut dyn AdversarialImputer,
+    ds: &Dataset,
+    sinkhorn: &SinkhornOptions,
+    batch_size: usize,
+    policy: &EscalationPolicy,
+    tel: &Telemetry,
+    cache: &DualCache,
+    accel: crate::dim::AccelConfig,
+    rng: &mut Rng64,
+) -> Vec<f64> {
     let n = ds.n_samples();
     let x = ds.values_filled(0.0);
     let mask = ds.dense_mask();
@@ -251,6 +286,7 @@ pub fn fisher_diagonal_tracked(
     let p = imp.generator_mut().num_params();
     let mut diag = vec![0.0; p];
     let mut batches = 0usize;
+    let data_masked = accel.decomposed_cost.then(|| MaskedRows::new(&x, &mask));
     for chunk in order.chunks(bs) {
         if chunk.len() < 2 {
             continue;
@@ -264,8 +300,21 @@ pub fn fisher_diagonal_tracked(
             // a poisoned batch would contaminate the whole diagonal
             continue;
         }
-        let (grad_xbar, solve_stats) = match ms_loss_grad_tracked(&xbar, &xb, &mb, sinkhorn, policy)
-        {
+        let solved = if accel.any() {
+            let data_batch = data_masked.as_ref().map(|d| d.select(chunk));
+            let ctx = AccelContext {
+                cache,
+                rows: chunk,
+                data_side: data_batch.as_ref(),
+                decomposed_cost: accel.decomposed_cost,
+                eps_scale_cold: accel.eps_scale_cold,
+                store: false,
+            };
+            ms_loss_grad_accel(&xbar, &xb, &mb, sinkhorn, policy, &ctx, None)
+        } else {
+            ms_loss_grad_tracked(&xbar, &xb, &mb, sinkhorn, policy)
+        };
+        let (grad_xbar, solve_stats) = match solved {
             Ok((_, grad, stats)) => (grad, stats),
             // a rejected solve (non-finite cost) poisons only this batch
             Err(_) => continue,
@@ -356,7 +405,7 @@ impl SseEstimator {
         // (keeps the network in its linear-response regime; absolute scale
         // is later fixed by the calibration factor γ)
         let mut sorted = scale.clone();
-        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite scales"));
+        sorted.sort_unstable_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2].max(1e-300);
         let eta_ref = (zeta / n0 as f64).max(1e-300);
         let norm = cfg.probe_std / (eta_ref.sqrt() * median);
@@ -609,6 +658,26 @@ mod tests {
             ..Default::default()
         };
         fisher_diagonal(gain, ds, &opts, 64, rng)
+    }
+
+    #[test]
+    fn nan_fisher_entries_do_not_panic_probe_scaling() {
+        // regression: a NaN in the Fisher diagonal (a pathological gradient
+        // that slipped past the batch filters) reached the probe-scale
+        // median sort, whose partial_cmp().expect("finite scales")
+        // comparator panicked. total_cmp sorts the NaN scale last; the
+        // median stays finite and the estimator still runs end to end.
+        let (mut gain, ds, mut rng) = setup(31);
+        let mut diag = diag_for(&mut gain, &ds, &mut rng);
+        diag[1] = f64::NAN;
+        let cfg = SseConfig {
+            k: 4,
+            calibrate: false,
+            ..Default::default()
+        };
+        let est = SseEstimator::new(&mut gain, &diag, 50, 300, 4, cfg, &mut rng);
+        let res = est.estimate(&mut gain, &ds);
+        assert!(res.n_star >= 50 && res.n_star <= 300);
     }
 
     #[test]

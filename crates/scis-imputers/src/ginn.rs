@@ -79,9 +79,9 @@ impl GinnImputer {
                 .collect();
             let kk = k.min(dists.len());
             if kk > 0 && kk < dists.len() {
-                dists.select_nth_unstable_by(kk - 1, |a, b| {
-                    a.0.partial_cmp(&b.0).expect("no NaN distances")
-                });
+                // total_cmp: NaN distances partition to the far side of the
+                // pivot, so the k nearest finite rows still win
+                dists.select_nth_unstable_by(kk - 1, |a, b| a.0.total_cmp(&b.0));
             }
             dists.truncate(kk);
             neighbors.push(dists.into_iter().map(|(_, j)| j).collect());
@@ -333,6 +333,28 @@ mod tests {
         for (i, neigh) in g.iter().enumerate() {
             assert_eq!(neigh.len(), 4);
             assert!(!neigh.contains(&i), "self-loop at {}", i);
+        }
+    }
+
+    #[test]
+    fn knn_graph_tolerates_nan_distances() {
+        // regression: a poisoned fill value (NaN row) made sq_dist return
+        // NaN and the old partial_cmp().expect() comparator panicked inside
+        // select_nth_unstable_by. With total_cmp the NaN distances
+        // partition to the far side and finite rows keep finite neighbours.
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut x = Matrix::from_fn(12, 3, |_, _| rng.uniform());
+        for j in 0..3 {
+            x[(5, j)] = f64::NAN;
+        }
+        let g = GinnImputer::build_graph(&x, 3);
+        assert_eq!(g.len(), 12);
+        for (i, neigh) in g.iter().enumerate() {
+            assert_eq!(neigh.len(), 3);
+            if i != 5 {
+                // 10 finite candidates exist, so the poisoned row loses
+                assert!(!neigh.contains(&5), "row {} linked the NaN row", i);
+            }
         }
     }
 

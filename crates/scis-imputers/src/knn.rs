@@ -82,10 +82,16 @@ impl Imputer for KnnImputer {
                     continue;
                 }
                 if let Some(dist) = overlap_distance(&qrow, ds.values.row(p)) {
-                    neigh.push((dist, p));
+                    // a NaN distance (inf − inf in the overlap) carries no
+                    // ordering information — and x86 yields *negative* NaN
+                    // here, which total_cmp would sort ahead of every
+                    // finite neighbour, so pre-filter instead
+                    if dist.is_finite() {
+                        neigh.push((dist, p));
+                    }
                 }
             }
-            neigh.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN distances"));
+            neigh.sort_by(|a, b| a.0.total_cmp(&b.0));
             for j in 0..d {
                 if !ds.mask.get(i, j) {
                     // distance-weighted mean of nearest k rows observing j
@@ -134,6 +140,29 @@ mod tests {
         }
         .impute(&ds, &mut rng);
         assert!((out[(3, 2)] - 1.0).abs() < 1e-9, "got {}", out[(3, 2)]);
+    }
+
+    #[test]
+    fn nan_distance_neighbour_sorts_last_instead_of_panicking() {
+        // regression: the query and a pool row both observing +inf in the
+        // same column produce a NaN overlap distance (inf − inf); the old
+        // partial_cmp().expect() comparator panicked here. The NaN (which
+        // x86 makes *negative*, so it would even sort first under
+        // total_cmp) is now filtered out and the finite zero-distance
+        // neighbour is chosen.
+        let v = Matrix::from_rows(&[
+            &[f64::NAN, 1.0, 7.0],
+            &[f64::INFINITY, 1.0, f64::NAN],
+            &[f64::INFINITY, 1.0, 0.5],
+        ]);
+        let ds = Dataset::from_values(v);
+        let mut rng = Rng64::seed_from_u64(5);
+        let out = KnnImputer {
+            k: 1,
+            ..Default::default()
+        }
+        .impute(&ds, &mut rng);
+        assert!((out[(1, 2)] - 7.0).abs() < 1e-9, "got {}", out[(1, 2)]);
     }
 
     #[test]

@@ -107,7 +107,10 @@ impl RegressionTree {
         let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
         for &f in &features {
             let mut vals: Vec<f64> = idx.iter().map(|&i| x[(i, f)]).collect();
-            vals.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+            // total_cmp: a NaN feature value sorts last; the threshold sweep
+            // below only produces NaN thresholds from the NaN tail, and
+            // those splits lose on gain instead of crashing the grower
+            vals.sort_unstable_by(f64::total_cmp);
             vals.dedup();
             if vals.len() < 2 {
                 continue;
@@ -263,6 +266,29 @@ mod tests {
             / y.len() as f64;
         assert!(err < 0.01, "mse {}", err);
         assert!(tree.n_nodes() >= 3);
+    }
+
+    #[test]
+    fn nan_feature_values_do_not_panic_the_grower() {
+        // regression: a NaN feature cell reached the threshold sweep's sort
+        // (partial_cmp().expect("NaN feature")) and panicked. total_cmp
+        // sorts the NaN to the tail; candidate splits built from it lose on
+        // gain (NaN comparisons are false) and the tree still fits the
+        // clean structure of the other feature.
+        let (mut x, y) = step_data(200, 7);
+        x[(3, 1)] = f64::NAN;
+        x[(17, 1)] = f64::NAN;
+        let mut rng = Rng64::seed_from_u64(8);
+        let tree = RegressionTree::fit(&x, &y, &TreeConfig::default(), &mut rng);
+        let preds = tree.predict(&x);
+        assert!(preds.iter().all(|p| p.is_finite()));
+        let err: f64 = preds
+            .iter()
+            .zip(&y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64;
+        assert!(err < 0.05, "mse {}", err);
     }
 
     #[test]

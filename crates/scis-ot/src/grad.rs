@@ -15,10 +15,14 @@
 //! marginals; plan and cost are symmetric). Gradients here are verified
 //! against central finite differences of the actual Sinkhorn values.
 
-use crate::cost::{masked_self_cost_with, masked_sq_cost_with};
+use crate::cache::{DualCache, SolveKind};
+use crate::cost::{
+    masked_self_cost_with, masked_sq_cost_decomposed, masked_sq_cost_with, MaskedRows,
+};
 use crate::sinkhorn::{
-    sinkhorn_uniform, try_sinkhorn_uniform_escalated, EscalationPolicy, SinkhornError,
-    SinkhornOptions, SolveStats,
+    sinkhorn_uniform, try_sinkhorn_uniform_eps_scaling, try_sinkhorn_uniform_escalated,
+    try_sinkhorn_uniform_warm_escalated, EscalationPolicy, SinkhornError, SinkhornOptions,
+    SinkhornResult, SolveStats,
 };
 use scis_tensor::exec::for_each_row;
 use scis_tensor::par::PAR_MIN_WORK;
@@ -154,6 +158,139 @@ pub fn ms_loss_grad_tracked(
     Ok((loss, grad.scale(1.0 / (2.0 * n)), stats))
 }
 
+/// Hot-path context for [`ms_loss_grad_accel`]: the shared dual cache, the
+/// dataset row identities of the batch, and the acceleration knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AccelContext<'a> {
+    /// Shared warm-start cache (may be [`DualCache::off`], in which case
+    /// every solve runs cold, exactly as in [`ms_loss_grad_tracked`]).
+    pub cache: &'a DualCache,
+    /// Dataset row indices backing this batch, in batch order — the cache
+    /// keys. Must have one entry per batch row.
+    pub rows: &'a [usize],
+    /// Pre-gathered data-side masked rows (`X ⊙ M` for this batch) when the
+    /// caller amortized the masking across epochs; `None` recomputes here.
+    /// Only consulted when `decomposed_cost` is set.
+    pub data_side: Option<&'a MaskedRows>,
+    /// Build costs with the decomposed GEMM kernel
+    /// ([`masked_sq_cost_decomposed`]) instead of the scalar distance loop.
+    pub decomposed_cost: bool,
+    /// Anneal *cold* solves through ε-scaling. A cache miss is exactly the
+    /// cold-start situation (first epoch, or right after an invalidation),
+    /// so the flag naturally applies only there.
+    pub eps_scale_cold: bool,
+    /// Store solved duals back into the cache. The SSE Monte-Carlo fan-out
+    /// sets this to `false` and reuses the training-phase cache read-only.
+    pub store: bool,
+}
+
+/// One uniform-marginal solve through the cache: warm-start on a full-row
+/// hit (degrading to cold if the cached potentials turn out stale), cold
+/// otherwise, recording warm/saved-iteration accounting.
+fn solve_cached(
+    cost: &Matrix,
+    kind: SolveKind,
+    ctx: &AccelContext<'_>,
+    opts: &SinkhornOptions,
+    policy: &EscalationPolicy,
+) -> Result<(SinkhornResult, SolveStats), SinkhornError> {
+    if let Some((f0, g0)) = ctx.cache.lookup(kind, ctx.rows, ctx.rows) {
+        // a failed warm attempt (stale shape, non-finite entry) degrades to
+        // the cold path below instead of aborting the guarded run
+        if let Ok((r, mut s)) = try_sinkhorn_uniform_warm_escalated(cost, f0, g0, opts, policy) {
+            if let Some(base) = ctx.cache.cold_baseline(kind) {
+                s.iters_saved = base.saturating_sub(r.iterations);
+            }
+            if ctx.store {
+                ctx.cache.store(kind, ctx.rows, ctx.rows, &r);
+            }
+            return Ok((r, s));
+        }
+    }
+    let (r, s) = if ctx.eps_scale_cold {
+        try_sinkhorn_uniform_eps_scaling(cost, opts, policy.base_stages.max(2))?
+    } else {
+        try_sinkhorn_uniform_escalated(cost, opts, policy)?
+    };
+    ctx.cache.note_cold_iters(kind, r.iterations);
+    if ctx.store {
+        ctx.cache.store(kind, ctx.rows, ctx.rows, &r);
+    }
+    Ok((r, s))
+}
+
+/// Accelerated [`ms_loss_grad_tracked`]: identical mathematics (same three
+/// solves, same envelope-theorem gradient) with the Sinkhorn hot path
+/// rerouted through the warm-start dual cache and, optionally, the
+/// decomposed GEMM cost kernel.
+///
+/// `cross_cost` lets the caller hand over an already-built cross cost matrix
+/// (DIM builds one anyway to resolve a relative λ) so it is not built twice;
+/// it must match the kernel selected by `ctx.decomposed_cost`.
+///
+/// Warm starts never change the fixed point — only the start — so results
+/// agree with the cold path within the solver tolerance, and remain
+/// bit-identical across thread counts for a fixed configuration.
+pub fn ms_loss_grad_accel(
+    xbar: &Matrix,
+    x: &Matrix,
+    mask: &Matrix,
+    opts: &SinkhornOptions,
+    policy: &EscalationPolicy,
+    ctx: &AccelContext<'_>,
+    cross_cost: Option<Matrix>,
+) -> Result<(f64, Matrix, SolveStats), SinkhornError> {
+    assert_eq!(xbar.shape(), x.shape(), "ms_loss_grad: data shape mismatch");
+    assert_eq!(x.shape(), mask.shape(), "ms_loss_grad: mask shape mismatch");
+    assert_eq!(
+        ctx.rows.len(),
+        x.rows(),
+        "ms_loss_grad_accel: row-key count must match the batch"
+    );
+    let n = x.rows().max(1) as f64;
+    let mut stats = SolveStats::default();
+
+    let (cross_cost, self_a_cost, self_b_cost) = if ctx.decomposed_cost {
+        let gen_side = MaskedRows::new(xbar, mask);
+        let data_owned;
+        let data_side = match ctx.data_side {
+            Some(d) => d,
+            None => {
+                data_owned = MaskedRows::new(x, mask);
+                &data_owned
+            }
+        };
+        (
+            cross_cost
+                .unwrap_or_else(|| masked_sq_cost_decomposed(&gen_side, data_side, opts.exec)),
+            masked_sq_cost_decomposed(&gen_side, &gen_side, opts.exec),
+            masked_sq_cost_decomposed(data_side, data_side, opts.exec),
+        )
+    } else {
+        (
+            cross_cost.unwrap_or_else(|| masked_sq_cost_with(xbar, mask, x, mask, opts.exec)),
+            masked_self_cost_with(xbar, mask, opts.exec),
+            masked_self_cost_with(x, mask, opts.exec),
+        )
+    };
+
+    let (cross, s1) = solve_cached(&cross_cost, SolveKind::Cross, ctx, opts, policy)?;
+    let (self_a, s2) = solve_cached(&self_a_cost, SolveKind::SelfA, ctx, opts, policy)?;
+    let (self_b, s3) = solve_cached(&self_b_cost, SolveKind::SelfB, ctx, opts, policy)?;
+    stats.absorb(s1);
+    stats.absorb(s2);
+    stats.absorb(s3);
+
+    let value = 2.0 * cross.reg_value - self_a.reg_value - self_b.reg_value;
+    let loss = value / (2.0 * n);
+
+    let g_cross = cross_ot_grad_with(xbar, x, mask, &cross.plan, opts.exec);
+    let g_self = self_ot_grad_with(xbar, mask, &self_a.plan, opts.exec);
+    let mut grad = g_cross.scale(2.0);
+    grad.axpy(-1.0, &g_self);
+    Ok((loss, grad.scale(1.0 / (2.0 * n)), stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +367,106 @@ mod tests {
             "‖grad‖ = {}",
             grad.frobenius_norm()
         );
+    }
+
+    #[test]
+    fn accel_off_cache_matches_tracked_exactly() {
+        // with the cache off and the loop kernel, the accel path must be
+        // bit-identical to ms_loss_grad_tracked (same solves, same order)
+        let mut rng = Rng64::seed_from_u64(21);
+        let n = 8;
+        let x = Matrix::from_fn(n, 3, |_, _| rng.uniform());
+        let xbar = Matrix::from_fn(n, 3, |_, _| rng.uniform());
+        let mask = Matrix::from_fn(n, 3, |_, _| if rng.bernoulli(0.7) { 1.0 } else { 0.0 });
+        let o = opts();
+        let policy = EscalationPolicy::default();
+        let (l1, g1, s1) = ms_loss_grad_tracked(&xbar, &x, &mask, &o, &policy).unwrap();
+        let rows: Vec<usize> = (0..n).collect();
+        let cache = crate::cache::DualCache::off();
+        let ctx = AccelContext {
+            cache: &cache,
+            rows: &rows,
+            data_side: None,
+            decomposed_cost: false,
+            eps_scale_cold: false,
+            store: true,
+        };
+        let (l2, g2, s2) = ms_loss_grad_accel(&xbar, &x, &mask, &o, &policy, &ctx, None).unwrap();
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn accel_warm_start_agrees_with_cold_within_tol() {
+        let mut rng = Rng64::seed_from_u64(22);
+        let n = 10;
+        let x = Matrix::from_fn(n, 3, |_, _| rng.uniform());
+        let xbar = Matrix::from_fn(n, 3, |_, _| rng.uniform());
+        let mask = Matrix::from_fn(n, 3, |_, _| if rng.bernoulli(0.7) { 1.0 } else { 0.0 });
+        let o = opts();
+        let policy = EscalationPolicy::default();
+        let (cold_loss, cold_grad, _) =
+            ms_loss_grad_tracked(&xbar, &x, &mask, &o, &policy).unwrap();
+
+        let rows: Vec<usize> = (0..n).collect();
+        let cache = crate::cache::DualCache::enabled();
+        let ctx = AccelContext {
+            cache: &cache,
+            rows: &rows,
+            data_side: None,
+            decomposed_cost: false,
+            eps_scale_cold: false,
+            store: true,
+        };
+        // first pass populates the cache (cold), second warm-starts
+        let (_, _, s_first) =
+            ms_loss_grad_accel(&xbar, &x, &mask, &o, &policy, &ctx, None).unwrap();
+        assert_eq!(s_first.warm_starts, 0);
+        let (warm_loss, warm_grad, s_warm) =
+            ms_loss_grad_accel(&xbar, &x, &mask, &o, &policy, &ctx, None).unwrap();
+        assert_eq!(s_warm.warm_starts, 3, "all three solves should warm-start");
+        assert!(
+            s_warm.iterations <= s_first.iterations,
+            "warm {} vs cold {} iterations",
+            s_warm.iterations,
+            s_first.iterations
+        );
+        assert!((warm_loss - cold_loss).abs() < 1e-6);
+        for (a, b) in warm_grad.as_slice().iter().zip(cold_grad.as_slice()) {
+            assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn accel_decomposed_cost_matches_loop_cost_closely() {
+        let mut rng = Rng64::seed_from_u64(23);
+        let n = 9;
+        let x = Matrix::from_fn(n, 4, |_, _| rng.uniform());
+        let xbar = Matrix::from_fn(n, 4, |_, _| rng.uniform());
+        let mask = Matrix::from_fn(n, 4, |_, _| if rng.bernoulli(0.6) { 1.0 } else { 0.0 });
+        let o = opts();
+        let policy = EscalationPolicy::default();
+        let (l_loop, g_loop, _) = ms_loss_grad_tracked(&xbar, &x, &mask, &o, &policy).unwrap();
+        let rows: Vec<usize> = (0..n).collect();
+        let cache = crate::cache::DualCache::off();
+        let data_side = MaskedRows::new(&x, &mask);
+        let ctx = AccelContext {
+            cache: &cache,
+            rows: &rows,
+            data_side: Some(&data_side),
+            decomposed_cost: true,
+            eps_scale_cold: false,
+            store: false,
+        };
+        let (l_dec, g_dec, _) =
+            ms_loss_grad_accel(&xbar, &x, &mask, &o, &policy, &ctx, None).unwrap();
+        assert!((l_loop - l_dec).abs() < 1e-7, "{} vs {}", l_loop, l_dec);
+        for (a, b) in g_loop.as_slice().iter().zip(g_dec.as_slice()) {
+            assert!((a - b).abs() < 1e-7, "{} vs {}", a, b);
+        }
     }
 
     #[test]

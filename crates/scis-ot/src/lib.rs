@@ -15,18 +15,27 @@
 //! * [`grad::ms_loss_grad`] — the barycentric-map gradient of Proposition 1,
 //!   verified against finite differences in tests.
 
+pub mod cache;
 pub mod cost;
 pub mod divergence;
 pub mod grad;
 pub mod sinkhorn;
 pub mod sliced;
 
-pub use cost::{masked_self_cost, masked_self_cost_with, masked_sq_cost, masked_sq_cost_with};
+pub use cache::{CacheStats, DualCache, SolveKind};
+pub use cost::{
+    masked_self_cost, masked_self_cost_with, masked_sq_cost, masked_sq_cost_decomposed,
+    masked_sq_cost_with, MaskedRows,
+};
 pub use divergence::{ms_divergence, ms_loss, MsDivergenceValue};
-pub use grad::{cross_ot_grad_with, ms_loss_grad, ms_loss_grad_tracked, self_ot_grad_with};
+pub use grad::{
+    cross_ot_grad_with, ms_loss_grad, ms_loss_grad_accel, ms_loss_grad_tracked, self_ot_grad_with,
+    AccelContext,
+};
 pub use sinkhorn::{
     sinkhorn, sinkhorn_uniform, try_sinkhorn, try_sinkhorn_escalated, try_sinkhorn_uniform,
-    try_sinkhorn_uniform_escalated, EscalationPolicy, SinkhornError, SinkhornOptions,
-    SinkhornResult, SolveStats,
+    try_sinkhorn_uniform_eps_scaling, try_sinkhorn_uniform_escalated,
+    try_sinkhorn_uniform_warm_escalated, try_sinkhorn_warm, try_sinkhorn_warm_escalated,
+    EscalationPolicy, SinkhornError, SinkhornOptions, SinkhornResult, SolveStats,
 };
 pub use sliced::{sliced_w2_loss, sliced_w2_loss_grad, SlicedOptions};

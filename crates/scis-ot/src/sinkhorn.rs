@@ -122,9 +122,10 @@ pub enum SinkhornError {
         lambda: f64,
     },
     /// A marginal is not a probability vector (negative/non-finite entries,
-    /// or mass not summing to 1 within tolerance).
+    /// or mass not summing to 1 within tolerance), or a warm-start potential
+    /// vector carries non-finite entries.
     BadMarginal {
-        /// `"a"` or `"b"`.
+        /// `"a"`, `"b"`, or `"warm-start potentials"`.
         side: &'static str,
         /// Human-readable diagnosis.
         reason: &'static str,
@@ -436,6 +437,10 @@ pub fn try_sinkhorn_uniform(
 
 /// Log-domain Sinkhorn continued from given dual potentials (warm start).
 /// Identical to [`sinkhorn`] except for the initialization of `(f, g)`.
+///
+/// # Panics
+/// Panics on invalid inputs or mis-sized potentials; use
+/// [`try_sinkhorn_warm`] for the fallible variant the dual cache relies on.
 pub fn sinkhorn_warm(
     cost: &Matrix,
     a: &[f64],
@@ -444,20 +449,46 @@ pub fn sinkhorn_warm(
     g0: Vec<f64>,
     opts: &SinkhornOptions,
 ) -> SinkhornResult {
-    if let Err(e) = validate_inputs(cost, a, b, opts) {
-        panic!("{}", e);
+    try_sinkhorn_warm(cost, a, b, f0, g0, opts).unwrap_or_else(|e| panic!("{}", e))
+}
+
+/// Fallible warm-started solve: validates inputs *and* the initial potential
+/// lengths, returning [`SinkhornError::DimensionMismatch`] instead of
+/// panicking. This lets the dual cache degrade to a cold solve when a stale
+/// entry no longer matches the batch shape, rather than aborting a guarded
+/// training run.
+pub fn try_sinkhorn_warm(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    f0: Vec<f64>,
+    g0: Vec<f64>,
+    opts: &SinkhornOptions,
+) -> Result<SinkhornResult, SinkhornError> {
+    validate_inputs(cost, a, b, opts)?;
+    if f0.len() != a.len() {
+        return Err(SinkhornError::DimensionMismatch {
+            what: "f potential",
+            got: f0.len(),
+            expected: a.len(),
+        });
     }
-    assert_eq!(
-        f0.len(),
-        a.len(),
-        "sinkhorn_warm: f potential length mismatch"
-    );
-    assert_eq!(
-        g0.len(),
-        b.len(),
-        "sinkhorn_warm: g potential length mismatch"
-    );
-    sinkhorn_impl(cost, a, b, f0, g0, opts)
+    if g0.len() != b.len() {
+        return Err(SinkhornError::DimensionMismatch {
+            what: "g potential",
+            got: g0.len(),
+            expected: b.len(),
+        });
+    }
+    for &v in f0.iter().chain(g0.iter()) {
+        if !v.is_finite() {
+            return Err(SinkhornError::BadMarginal {
+                side: "warm-start potentials",
+                reason: "non-finite entry",
+            });
+        }
+    }
+    Ok(sinkhorn_impl(cost, a, b, f0, g0, opts))
 }
 
 /// ε-scaling (annealed) Sinkhorn: solves a geometric sequence of
@@ -611,6 +642,12 @@ pub struct SolveStats {
     pub escalations: usize,
     /// Solves that stayed unconverged even after the last retry.
     pub unconverged: usize,
+    /// Solves that started from cached dual potentials instead of zeros.
+    pub warm_starts: usize,
+    /// Estimated sweeps avoided by warm-starting: per warm solve, the most
+    /// recent comparable cold solve's iteration count minus this solve's,
+    /// saturating at zero. An estimate for telemetry, not a measurement.
+    pub iters_saved: usize,
 }
 
 impl SolveStats {
@@ -621,11 +658,14 @@ impl SolveStats {
         self.converged += other.converged;
         self.escalations += other.escalations;
         self.unconverged += other.unconverged;
+        self.warm_starts += other.warm_starts;
+        self.iters_saved += other.iters_saved;
     }
 
     /// Whether any recovery event fired (escalation or final non-
     /// convergence). The always-on `solves`/`iterations`/`converged`
-    /// counters do not make a run anomalous.
+    /// counters — and the warm-start accounting, which is an optimization,
+    /// not a recovery — do not make a run anomalous.
     pub fn is_clean(&self) -> bool {
         self.escalations == 0 && self.unconverged == 0
     }
@@ -684,6 +724,91 @@ pub fn try_sinkhorn_uniform_escalated(
     let a = vec![1.0 / n.max(1) as f64; n];
     let b = vec![1.0 / m.max(1) as f64; m];
     try_sinkhorn_escalated(cost, &a, &b, opts, policy)
+}
+
+/// Warm-started variant of [`try_sinkhorn_escalated`]: the first attempt
+/// starts from the supplied `(f0, g0)` potentials (stats record one
+/// `warm_starts`); escalation retries — if the warm attempt misses the
+/// tolerance — fall back to the cold ε-scaling ladder, exactly as in the
+/// cold entry point. Returns a structured error (never panics) on mis-sized
+/// or non-finite potentials so the cache layer can degrade to a cold solve.
+pub fn try_sinkhorn_warm_escalated(
+    cost: &Matrix,
+    a: &[f64],
+    b: &[f64],
+    f0: Vec<f64>,
+    g0: Vec<f64>,
+    opts: &SinkhornOptions,
+    policy: &EscalationPolicy,
+) -> Result<(SinkhornResult, SolveStats), SinkhornError> {
+    let mut result = try_sinkhorn_warm(cost, a, b, f0, g0, opts)?;
+    let mut stats = SolveStats {
+        solves: 1,
+        warm_starts: 1,
+        iterations: result.iterations,
+        ..SolveStats::default()
+    };
+    let mut stages = policy.base_stages.max(2);
+    let growth = policy.iter_growth.max(1);
+    let mut budget = opts.max_iters;
+    for _ in 0..policy.max_attempts {
+        if result.converged {
+            break;
+        }
+        stats.escalations += 1;
+        budget = budget.saturating_mul(growth);
+        let esc_opts = SinkhornOptions {
+            max_iters: budget,
+            ..*opts
+        };
+        result = eps_scaling_impl(cost, a, b, &esc_opts, stages);
+        stats.iterations += result.iterations;
+        stages *= 2;
+    }
+    if result.converged {
+        stats.converged += 1;
+    } else {
+        stats.unconverged += 1;
+    }
+    Ok((result, stats))
+}
+
+/// Uniform-marginal convenience wrapper for [`try_sinkhorn_warm_escalated`].
+pub fn try_sinkhorn_uniform_warm_escalated(
+    cost: &Matrix,
+    f0: Vec<f64>,
+    g0: Vec<f64>,
+    opts: &SinkhornOptions,
+    policy: &EscalationPolicy,
+) -> Result<(SinkhornResult, SolveStats), SinkhornError> {
+    let (n, m) = cost.shape();
+    let a = vec![1.0 / n.max(1) as f64; n];
+    let b = vec![1.0 / m.max(1) as f64; m];
+    try_sinkhorn_warm_escalated(cost, &a, &b, f0, g0, opts, policy)
+}
+
+/// Uniform-marginal ε-scaling solve with [`SolveStats`] accounting — the
+/// cold-start path the accelerated layer uses for a batch's *first* solve
+/// when ε-scaling of cold solves is enabled. The reported iteration count is
+/// the final stage's sweeps (the comparable-budget number), matching how
+/// escalated solves report.
+pub fn try_sinkhorn_uniform_eps_scaling(
+    cost: &Matrix,
+    opts: &SinkhornOptions,
+    n_stages: usize,
+) -> Result<(SinkhornResult, SolveStats), SinkhornError> {
+    let (n, m) = cost.shape();
+    let a = vec![1.0 / n.max(1) as f64; n];
+    let b = vec![1.0 / m.max(1) as f64; m];
+    let result = try_sinkhorn_eps_scaling(cost, &a, &b, opts, n_stages)?;
+    let stats = SolveStats {
+        solves: 1,
+        iterations: result.iterations,
+        converged: result.converged as usize,
+        unconverged: (!result.converged) as usize,
+        ..SolveStats::default()
+    };
+    Ok((result, stats))
 }
 
 #[cfg(test)]
@@ -1028,6 +1153,8 @@ mod escalation_tests {
             converged: 1,
             escalations: 0,
             unconverged: 0,
+            warm_starts: 1,
+            iters_saved: 5,
         };
         a.absorb(SolveStats {
             solves: 2,
@@ -1035,13 +1162,31 @@ mod escalation_tests {
             converged: 1,
             escalations: 3,
             unconverged: 1,
+            warm_starts: 2,
+            iters_saved: 7,
         });
         assert_eq!(a.solves, 3);
         assert_eq!(a.iterations, 40);
         assert_eq!(a.converged, 2);
         assert_eq!(a.escalations, 3);
         assert_eq!(a.unconverged, 1);
+        assert_eq!(a.warm_starts, 3);
+        assert_eq!(a.iters_saved, 12);
         assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn warm_start_accounting_is_clean() {
+        // warm_starts/iters_saved are optimizations, not recovery events
+        let s = SolveStats {
+            solves: 4,
+            iterations: 40,
+            converged: 4,
+            warm_starts: 3,
+            iters_saved: 25,
+            ..SolveStats::default()
+        };
+        assert!(s.is_clean());
     }
 
     #[test]
@@ -1058,6 +1203,84 @@ mod escalation_tests {
             try_sinkhorn_uniform_escalated(&c, &opts, &EscalationPolicy::none()).unwrap();
         assert_eq!(r.reg_value, plain.reg_value);
         assert_eq!(stats.escalations, 0);
+    }
+
+    #[test]
+    fn try_warm_rejects_mismatched_potentials_without_panicking() {
+        let c = hard_cost(6);
+        let a = vec![1.0 / 6.0; 6];
+        let opts = SinkhornOptions::with_lambda(0.5);
+        // stale cache entry from a differently-sized batch
+        let err = try_sinkhorn_warm(&c, &a, &a, vec![0.0; 4], vec![0.0; 6], &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            SinkhornError::DimensionMismatch {
+                what: "f potential",
+                got: 4,
+                expected: 6,
+            }
+        ));
+        let err = try_sinkhorn_warm(&c, &a, &a, vec![0.0; 6], vec![0.0; 9], &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            SinkhornError::DimensionMismatch {
+                what: "g potential",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn try_warm_rejects_non_finite_potentials() {
+        let c = hard_cost(4);
+        let a = vec![0.25; 4];
+        let opts = SinkhornOptions::with_lambda(0.5);
+        let mut f0 = vec![0.0; 4];
+        f0[2] = f64::NAN;
+        let err = try_sinkhorn_warm(&c, &a, &a, f0, vec![0.0; 4], &opts).unwrap_err();
+        assert!(matches!(err, SinkhornError::BadMarginal { .. }));
+    }
+
+    #[test]
+    fn warm_escalated_matches_cold_plan_and_records_warm_start() {
+        let c = hard_cost(10);
+        let opts = SinkhornOptions {
+            lambda: 0.1,
+            max_iters: 10_000,
+            tol: 1e-9,
+            ..Default::default()
+        };
+        let policy = EscalationPolicy::default();
+        let (cold, cold_stats) = try_sinkhorn_uniform_escalated(&c, &opts, &policy).unwrap();
+        assert_eq!(cold_stats.warm_starts, 0);
+        let (warm, warm_stats) =
+            try_sinkhorn_uniform_warm_escalated(&c, cold.f.clone(), cold.g.clone(), &opts, &policy)
+                .unwrap();
+        assert_eq!(warm_stats.warm_starts, 1);
+        assert!(warm.converged);
+        // restarting from the fixed point must converge (much) faster …
+        assert!(warm.iterations <= cold.iterations);
+        // … to the same plan, up to the marginal tolerance
+        for (p, q) in warm.plan.as_slice().iter().zip(cold.plan.as_slice()) {
+            assert!((p - q).abs() < 1e-7, "{} vs {}", p, q);
+        }
+        assert!((warm.reg_value - cold.reg_value).abs() < 1e-7);
+    }
+
+    #[test]
+    fn eps_scaling_uniform_reports_stats() {
+        let c = hard_cost(8);
+        let opts = SinkhornOptions {
+            lambda: 0.05,
+            max_iters: 5_000,
+            tol: 1e-8,
+            ..Default::default()
+        };
+        let (r, stats) = try_sinkhorn_uniform_eps_scaling(&c, &opts, 4).unwrap();
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.iterations, r.iterations);
+        assert_eq!(stats.converged, r.converged as usize);
+        assert_eq!(stats.warm_starts, 0);
     }
 }
 

@@ -72,8 +72,11 @@ pub fn sliced_w2_loss_grad(
         let mut pb: Vec<f64> = (0..n)
             .map(|j| b.row(j).iter().zip(theta).map(|(&v, &w)| v * w).sum())
             .collect();
-        pa.sort_by(|u, v| u.0.partial_cmp(&v.0).expect("finite projections"));
-        pb.sort_by(|u, v| u.partial_cmp(v).expect("finite projections"));
+        // total_cmp: a NaN projection (poisoned batch upstream) sorts last
+        // instead of panicking mid-epoch — the guard layer rejects the
+        // resulting non-finite loss at the batch boundary
+        pa.sort_by(|u, v| u.0.total_cmp(&v.0));
+        pb.sort_by(|u, v| u.total_cmp(v));
         // rank matching
         for (rank, &(proj_a, i)) in pa.iter().enumerate() {
             let diff = proj_a - pb[rank];
@@ -113,6 +116,22 @@ mod tests {
         let (loss, grad) = sliced_w2_loss_grad(&x, &x, &m, &opts());
         assert!(loss.abs() < 1e-15);
         assert!(grad.frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn nan_projection_does_not_panic() {
+        // regression: the rank-matching sorts used partial_cmp().expect()
+        // and panicked deep inside the loss when a poisoned generator
+        // produced a NaN cell; total_cmp sorts it last and the non-finite
+        // loss is rejected at the guard layer instead
+        let mut rng = Rng64::seed_from_u64(9);
+        let mut xbar = Matrix::from_fn(10, 3, |_, _| rng.uniform());
+        let x = Matrix::from_fn(10, 3, |_, _| rng.uniform());
+        let m = Matrix::ones(10, 3);
+        xbar[(4, 1)] = f64::NAN;
+        let (loss, grad) = sliced_w2_loss_grad(&xbar, &x, &m, &opts());
+        assert!(!loss.is_finite(), "NaN input must surface in the loss");
+        assert_eq!(grad.rows(), 10);
     }
 
     #[test]
@@ -207,8 +226,8 @@ mod tests {
         let exact = {
             let mut sa = [0.1, 0.2, 0.3, 0.4];
             let mut sb = [0.15, 0.25, 0.35, 0.45];
-            sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
-            sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            sa.sort_by(f64::total_cmp);
+            sb.sort_by(f64::total_cmp);
             sa.iter()
                 .zip(&sb)
                 .map(|(x, y)| (x - y) * (x - y))

@@ -65,11 +65,16 @@ pub enum Counter {
     NnForwards,
     /// Neural-network backward passes.
     NnBackwards,
+    /// Sinkhorn solves warm-started from the dual cache.
+    WarmStartHits,
+    /// Estimated Sinkhorn sweeps avoided by warm-starting (vs the most
+    /// recent comparable cold solve; an estimate, not a measurement).
+    ItersSaved,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 16] = [
         Counter::SinkhornSolves,
         Counter::SinkhornIterations,
         Counter::SinkhornConverged,
@@ -84,6 +89,8 @@ impl Counter {
         Counter::SseMcEvals,
         Counter::NnForwards,
         Counter::NnBackwards,
+        Counter::WarmStartHits,
+        Counter::ItersSaved,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -103,6 +110,8 @@ impl Counter {
             Counter::SseMcEvals => "sse_mc_evals",
             Counter::NnForwards => "nn_forwards",
             Counter::NnBackwards => "nn_backwards",
+            Counter::WarmStartHits => "warm_start_hits",
+            Counter::ItersSaved => "iters_saved",
         }
     }
 }

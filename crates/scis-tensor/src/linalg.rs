@@ -158,6 +158,33 @@ pub fn solve_lu(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     Ok(x)
 }
 
+/// Squared Euclidean norm of every row of `m`.
+///
+/// Building block of the decomposed pairwise-distance kernel:
+/// `‖aᵢ − bⱼ‖² = ‖aᵢ‖² + ‖bⱼ‖² − 2·aᵢ·bⱼ`. The serial accumulation order is
+/// fixed (left-to-right over each row) so results are bit-identical across
+/// thread counts.
+pub fn row_sq_norms(m: &Matrix) -> Vec<f64> {
+    (0..m.rows())
+        .map(|i| m.row(i).iter().map(|&v| v * v).sum())
+        .collect()
+}
+
+/// Assembles squared pairwise distances from a cross Gram matrix and row
+/// norms: `D[i][j] = max(an[i] + bn[j] − 2·gram[i][j], 0)`.
+///
+/// `gram` must be the `a·bᵀ` inner-product matrix (e.g. from
+/// [`crate::par::matmul_bt_exec`]); `an`/`bn` the corresponding
+/// [`row_sq_norms`]. The clamp at zero guards against small negative values
+/// from catastrophic cancellation when `aᵢ ≈ bⱼ`.
+pub fn sq_dists_from_gram(gram: &Matrix, an: &[f64], bn: &[f64]) -> Matrix {
+    assert_eq!(gram.rows(), an.len(), "sq_dists_from_gram: an length");
+    assert_eq!(gram.cols(), bn.len(), "sq_dists_from_gram: bn length");
+    Matrix::from_fn(gram.rows(), gram.cols(), |i, j| {
+        (an[i] + bn[j] - 2.0 * gram[(i, j)]).max(0.0)
+    })
+}
+
 /// Residual `‖A x − b‖₂` — used by tests to validate solvers.
 pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
     let ax = matvec(a, x);
@@ -244,6 +271,51 @@ mod tests {
         for (got, want) in w.iter().zip(&w_true) {
             assert!((got - want).abs() < 1e-4, "{} vs {}", got, want);
         }
+    }
+
+    #[test]
+    fn row_sq_norms_matches_manual() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0], &[-1.0, 2.0]]);
+        assert_eq!(row_sq_norms(&m), vec![25.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn sq_dists_from_gram_matches_direct() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let a = Matrix::from_fn(7, 4, |_, _| rng.normal());
+        let b = Matrix::from_fn(5, 4, |_, _| rng.normal());
+        let gram = crate::par::matmul_bt_exec(&a, &b, crate::ExecPolicy::Serial);
+        let d = sq_dists_from_gram(&gram, &row_sq_norms(&a), &row_sq_norms(&b));
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let direct: f64 = a
+                    .row(i)
+                    .iter()
+                    .zip(b.row(j))
+                    .map(|(&x, &y)| (x - y) * (x - y))
+                    .sum();
+                assert!(
+                    (d[(i, j)] - direct).abs() < 1e-10,
+                    "({}, {}): {} vs {}",
+                    i,
+                    j,
+                    d[(i, j)],
+                    direct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sq_dists_from_gram_clamps_cancellation_to_zero() {
+        // identical rows: exact distance 0; the decomposition may produce a
+        // tiny negative before the clamp
+        let a = Matrix::from_rows(&[&[1e8, -1e8, 3.0]]);
+        let gram = crate::par::matmul_bt_exec(&a, &a, crate::ExecPolicy::Serial);
+        let n = row_sq_norms(&a);
+        let d = sq_dists_from_gram(&gram, &n, &n);
+        assert!(d[(0, 0)] >= 0.0);
+        assert_eq!(d[(0, 0)], 0.0);
     }
 
     #[test]

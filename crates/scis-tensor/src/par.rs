@@ -94,12 +94,7 @@ pub fn matmul_bt_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
     for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
         let arow = a.row(i);
         for (j, o) in orow.iter_mut().enumerate() {
-            let brow = b.row(j);
-            let mut acc = 0.0;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            *o = acc;
+            *o = crate::ops::dot(arow, b.row(j));
         }
     });
     out

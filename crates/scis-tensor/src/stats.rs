@@ -55,7 +55,9 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     if v.is_empty() {
         return None;
     }
-    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+    // NaNs are filtered above; total_cmp keeps this panic-free even if the
+    // filter invariant is ever broken by an upstream refactor
+    v.sort_unstable_by(f64::total_cmp);
     let pos = q * (v.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -155,6 +157,17 @@ mod tests {
         // classic example: population var of 2,4,4,4,5,5,7,9 is 4
         assert!((nan_var(&v).unwrap() - 4.0).abs() < 1e-12);
         assert!((nan_std(&v).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_survives_nan_heavy_input() {
+        // regression guard for the comparator sweep: the quantile sort no
+        // longer trusts the NaN pre-filter (partial_cmp().expect()), so a
+        // NaN-heavy slice — or a future refactor that drops the filter —
+        // cannot panic the sort
+        let v = [NAN, 3.0, NAN, 1.0, NAN, 2.0, NAN];
+        assert_eq!(quantile(&v, 0.5), Some(2.0));
+        assert_eq!(quantile(&[NAN, NAN], 0.5), None);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   the machine's available parallelism. Results are bit-identical for
 //!   any thread count.
 //! * `--seed <u64>`      RNG seed (default 42)
+//! * `--accel`           enable the Sinkhorn hot-path accelerations
+//!   (warm-start dual cache, decomposed GEMM cost kernel, ε-scaled cold
+//!   solves; scis-gain only). Off by default: the accelerated path solves
+//!   the same transport problems to the same tolerance but is not
+//!   bit-identical to the reference path.
 //! * `--save-model <path>` persist the trained generator (scis-gain only)
 //! * `--load-model <path>` impute with a previously saved generator,
 //!   skipping training entirely (scis-gain only)
@@ -59,6 +64,7 @@ struct Args {
     save_model: Option<PathBuf>,
     load_model: Option<PathBuf>,
     trace_json: Option<PathBuf>,
+    accel: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -77,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         save_model: None,
         load_model: None,
         trace_json: None,
+        accel: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{} needs a value", flag));
@@ -96,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
             "--save-model" => parsed.save_model = Some(PathBuf::from(value()?)),
             "--load-model" => parsed.load_model = Some(PathBuf::from(value()?)),
             "--trace-json" => parsed.trace_json = Some(PathBuf::from(value()?)),
+            "--accel" => parsed.accel = true,
             other => return Err(format!("unknown flag {}", other)),
         }
     }
@@ -106,6 +114,12 @@ fn parse_args() -> Result<Args, String> {
     {
         return Err(format!(
             "--save-model/--load-model only apply to --method scis-gain (got {:?})",
+            parsed.method
+        ));
+    }
+    if parsed.accel && parsed.method != "scis-gain" {
+        return Err(format!(
+            "--accel only applies to --method scis-gain (got {:?})",
             parsed.method
         ));
     }
@@ -187,10 +201,13 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
             if 2 * n0 > n {
                 return Err(format!("n0 = {} too large for {} rows", n0, n));
             }
-            let config = ScisConfig::default()
+            let mut config = ScisConfig::default()
                 .dim(scis_core::dim::DimConfig::default().train(train))
                 .epsilon(args.epsilon)
                 .exec(exec_policy(args));
+            if args.accel {
+                config = config.accel(scis_core::dim::AccelConfig::all());
+            }
             let mut scis = Scis::new(config);
             if args.trace_json.is_some() {
                 scis = scis.telemetry(scis_telemetry::Telemetry::collecting());
@@ -248,7 +265,7 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
 
 fn run() -> Result<bool, String> {
     let args = parse_args().map_err(|e| {
-        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--trace-json path]", e)
+        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--trace-json path]", e)
     })?;
     let mut ds =
         read_dataset(&args.input).map_err(|e| format!("reading {:?}: {}", args.input, e))?;

@@ -23,7 +23,7 @@ pub use scis_tensor as tensor;
 /// configure [`ScisConfig`] fluently (including the [`ExecPolicy`] used by
 /// every compute layer), wrap a GAN imputer, and run [`Scis`].
 pub mod prelude {
-    pub use scis_core::dim::{DimConfig, DimReport, GenerativeLoss, LambdaMode};
+    pub use scis_core::dim::{AccelConfig, DimConfig, DimReport, GenerativeLoss, LambdaMode};
     pub use scis_core::error::{ScisError, TrainingError};
     pub use scis_core::guard::GuardConfig;
     pub use scis_core::pipeline::{RunAnomalies, Scis, ScisConfig, ScisOutcome};

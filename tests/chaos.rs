@@ -345,6 +345,74 @@ fn starved_sinkhorn_budget_triggers_escalation() {
 }
 
 #[test]
+fn rollback_invalidates_the_dual_cache() {
+    use scis_core::{train_dim_cached, AccelConfig};
+    use scis_ot::DualCache;
+    use scis_telemetry::Telemetry;
+
+    let ds = chaos_dataset(160, 0.2, 11);
+    let mut cfg = fast_config();
+    cfg.dim.accel = AccelConfig::default().warm_start(true);
+    let mut rng = Rng64::seed_from_u64(11);
+    // every batch poisoned: each epoch is rejected and rolled back, and
+    // every rollback must drop the cached duals — they describe generator
+    // states that no longer exist after the parameter rewind
+    let mut poisoned = PoisonedGain::new(cfg.dim.train, 1);
+    let mut stats = GuardStats::default();
+    let cache = DualCache::enabled();
+    let result = train_dim_cached(
+        &mut poisoned,
+        &ds,
+        &cfg.dim,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        &Telemetry::off(),
+        &cache,
+        &mut rng,
+    );
+    assert!(result.is_err(), "total poisoning must exhaust the guard");
+    assert!(stats.rollbacks > 0, "no rollbacks recorded: {stats:?}");
+    let cs = cache.stats();
+    assert!(
+        cs.invalidations >= stats.rollbacks,
+        "rollbacks {} but only {} cache invalidations",
+        stats.rollbacks,
+        cs.invalidations
+    );
+}
+
+#[test]
+fn accelerated_training_survives_transient_poisoning() {
+    use scis_core::{train_dim_cached, AccelConfig};
+    use scis_ot::DualCache;
+    use scis_telemetry::Telemetry;
+
+    let ds = chaos_dataset(160, 0.2, 12);
+    let mut cfg = fast_config();
+    cfg.dim.accel = AccelConfig::all();
+    let mut rng = Rng64::seed_from_u64(12);
+    let mut poisoned = PoisonedGain::new(cfg.dim.train, 3);
+    let mut stats = GuardStats::default();
+    let cache = DualCache::enabled();
+    let report = train_dim_cached(
+        &mut poisoned,
+        &ds,
+        &cfg.dim,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        &Telemetry::off(),
+        &cache,
+        &mut rng,
+    )
+    .expect("transient poisoning must be survivable with accel on");
+    assert_eq!(report.epoch_losses.len(), cfg.dim.train.epochs);
+    assert!(stats.nan_batches_skipped > 0, "no skips counted: {stats:?}");
+    assert!(report.final_loss().is_finite());
+}
+
+#[test]
 fn clean_run_reports_no_anomalies() {
     let ds = chaos_dataset(120, 0.15, 10);
     let mut rng = Rng64::seed_from_u64(10);

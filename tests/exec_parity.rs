@@ -23,8 +23,9 @@ fn correlated_table(n: usize, seed: u64) -> Matrix {
     m
 }
 
-/// One full seeded Algorithm-1 run under the given policy.
-fn run_pipeline(exec: ExecPolicy) -> (Matrix, usize, RunAnomalies) {
+/// One full seeded Algorithm-1 run under the given policy and acceleration
+/// setting.
+fn run_pipeline_with(exec: ExecPolicy, accel: AccelConfig) -> (Matrix, usize, RunAnomalies) {
     let complete = correlated_table(400, 11);
     let mut rng = Rng64::seed_from_u64(12);
     let ds = inject_mcar(&complete, 0.25, &mut rng);
@@ -39,10 +40,16 @@ fn run_pipeline(exec: ExecPolicy) -> (Matrix, usize, RunAnomalies) {
             ),
         )
         .epsilon(0.02)
-        .exec(exec);
+        .exec(exec)
+        .accel(accel);
     let mut gain = GainImputer::new(cfg.dim.train);
     let outcome = Scis::new(cfg).run(&mut gain, &ds, 80, &mut rng);
     (outcome.imputed, outcome.n_star, outcome.anomalies)
+}
+
+/// One full seeded Algorithm-1 run under the given policy.
+fn run_pipeline(exec: ExecPolicy) -> (Matrix, usize, RunAnomalies) {
+    run_pipeline_with(exec, AccelConfig::default())
 }
 
 #[test]
@@ -52,6 +59,70 @@ fn full_pipeline_is_bit_identical_serial_vs_threads() {
     assert_eq!(imputed_s, imputed_p, "imputed matrices diverged");
     assert_eq!(n_star_s, n_star_p, "SSE n* diverged");
     assert_eq!(anomalies_s, anomalies_p, "anomaly records diverged");
+}
+
+#[test]
+fn accelerated_pipeline_is_bit_identical_serial_vs_threads() {
+    // The hot-path accelerations (warm-start dual cache + decomposed cost
+    // kernel) must obey the same determinism contract as everything else:
+    // an ExecPolicy choice never changes a result.
+    let (imputed_s, n_star_s, anomalies_s) =
+        run_pipeline_with(ExecPolicy::Serial, AccelConfig::all());
+    let (imputed_p, n_star_p, anomalies_p) =
+        run_pipeline_with(ExecPolicy::threads(4), AccelConfig::all());
+    assert_eq!(
+        imputed_s, imputed_p,
+        "accelerated imputed matrices diverged"
+    );
+    assert_eq!(n_star_s, n_star_p, "accelerated SSE n* diverged");
+    assert_eq!(
+        anomalies_s, anomalies_p,
+        "accelerated anomaly records diverged"
+    );
+}
+
+#[test]
+fn warm_start_cache_preserves_pipeline_quality() {
+    // Warm-starting changes how many Sinkhorn iterations each solve burns,
+    // not which transport plan it converges to, so the end-to-end pipeline
+    // must land on essentially the same imputation with the cache on or off.
+    let (imputed_off, n_star_off, anomalies_off) = run_pipeline(ExecPolicy::Serial);
+    let (imputed_on, n_star_on, anomalies_on) =
+        run_pipeline_with(ExecPolicy::Serial, AccelConfig::default().warm_start(true));
+
+    // Solver-effort counters (escalations) legitimately drop with the cache
+    // on — that is the feature — but health outcomes must not change.
+    assert!(
+        anomalies_on.sinkhorn_escalations <= anomalies_off.sinkhorn_escalations,
+        "cache increased escalations: {} -> {}",
+        anomalies_off.sinkhorn_escalations,
+        anomalies_on.sinkhorn_escalations
+    );
+    assert_eq!(anomalies_off.rollbacks, anomalies_on.rollbacks);
+    assert_eq!(anomalies_off.mean_fallback, anomalies_on.mean_fallback);
+    assert_eq!(anomalies_off.retrain_failed, anomalies_on.retrain_failed);
+    assert_eq!(
+        anomalies_off.non_finite_cells_patched,
+        anomalies_on.non_finite_cells_patched
+    );
+    assert!(imputed_on.as_slice().iter().all(|v| v.is_finite()));
+    let max_diff = imputed_off
+        .as_slice()
+        .iter()
+        .zip(imputed_on.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    // Data lives in [0, 1]; solves share the convergence tolerance, so the
+    // imputations must agree far below any visible difference.
+    assert!(
+        max_diff < 5e-2,
+        "cache on/off imputations diverged: max |diff| = {max_diff:.3e}"
+    );
+    let spread = (n_star_off as f64 - n_star_on as f64).abs();
+    assert!(
+        spread <= 40.0,
+        "cache on/off n* diverged: {n_star_off} vs {n_star_on}"
+    );
 }
 
 #[test]

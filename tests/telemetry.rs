@@ -43,7 +43,7 @@ fn fast_config(exec: ExecPolicy) -> ScisConfig {
 
 /// One seeded run; returns the imputed matrix and the (possibly empty)
 /// counter snapshot.
-fn run_pipeline(exec: ExecPolicy, tel: Telemetry) -> (Matrix, usize, [u64; 14]) {
+fn run_pipeline(exec: ExecPolicy, tel: Telemetry) -> (Matrix, usize, [u64; Counter::ALL.len()]) {
     let complete = correlated_table(400, 11);
     let mut rng = Rng64::seed_from_u64(12);
     let ds = inject_mcar(&complete, 0.25, &mut rng);
@@ -79,7 +79,11 @@ fn collecting_telemetry_does_not_perturb_the_output() {
     let (imp_on, n_on, _) = run_pipeline(ExecPolicy::Serial, Telemetry::collecting());
     assert_eq!(imp_off, imp_on, "recording changed the imputation");
     assert_eq!(n_off, n_on);
-    assert_eq!(counters_off, [0u64; 14], "off collector recorded something");
+    assert_eq!(
+        counters_off,
+        [0u64; Counter::ALL.len()],
+        "off collector recorded something"
+    );
 }
 
 #[test]
