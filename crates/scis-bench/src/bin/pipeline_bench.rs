@@ -1,0 +1,144 @@
+//! End-to-end pipeline benchmark: runs Algorithm 1 on a seeded synthetic
+//! table with the flight recorder attached and writes the repo-root
+//! `BENCH_pipeline.json` — the head of the whole-pipeline perf trajectory
+//! (phase wall times, Sinkhorn iteration totals, imputation RMSE).
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin pipeline_bench
+//! SCIS_PIPELINE_BENCH_ROWS=200 SCIS_PIPELINE_BENCH_EPOCHS=8 \
+//!     cargo run -p scis-bench --release --bin pipeline_bench
+//! ```
+//!
+//! Runs with the warm-start dual cache on, and asserts the per-epoch
+//! `warm_start_hit_rate` series is non-decreasing after each phase's first
+//! epoch (the first epoch of a phase always misses — its cache is empty),
+//! so a cache regression fails the bench smoke leg rather than silently
+//! shifting the iteration histogram right.
+
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_data::metrics::rmse_vs_ground_truth;
+use scis_data::missing::inject_mcar;
+use scis_imputers::{GainImputer, TrainConfig};
+use scis_telemetry::{json_f64, Counter, Telemetry};
+use scis_tensor::{ExecPolicy, Matrix, Rng64};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Low-rank correlated table: realistic structure for the imputer to learn.
+fn correlated_table(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, d);
+    for i in 0..n {
+        let t = rng.uniform();
+        for j in 0..d {
+            let w = 0.3 + 0.5 * (j as f64 / d.max(1) as f64);
+            m[(i, j)] = (w * t + 0.5 * (1.0 - w) + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        }
+    }
+    m
+}
+
+fn main() {
+    let rows = env_usize("SCIS_PIPELINE_BENCH_ROWS", 400);
+    let d = env_usize("SCIS_PIPELINE_BENCH_FEATURES", 4);
+    let epochs = env_usize("SCIS_PIPELINE_BENCH_EPOCHS", 20);
+    let n0 = env_usize("SCIS_PIPELINE_BENCH_N0", rows / 5);
+    assert!(2 * n0 <= rows, "n0 = {n0} too large for {rows} rows");
+
+    let complete = correlated_table(rows, d, 51);
+    let mut rng = Rng64::seed_from_u64(52);
+    let ds = inject_mcar(&complete, 0.25, &mut rng);
+
+    let train = TrainConfig {
+        epochs,
+        batch_size: rows, // full-batch: every epoch re-solves the same rows
+        learning_rate: 0.005,
+        dropout: 0.0,
+    };
+    let config = ScisConfig::default()
+        .dim(scis_core::dim::DimConfig::default().train(train))
+        .epsilon(0.02)
+        .exec(ExecPolicy::Serial)
+        .accel(scis_core::dim::AccelConfig::default().warm_start(true));
+    let mut gain = GainImputer::new(train);
+    let tel = Telemetry::collecting();
+    let outcome = Scis::new(config)
+        .telemetry(tel.clone())
+        .run(&mut gain, &ds, n0, &mut rng);
+    let rmse = rmse_vs_ground_truth(&ds, &complete, &outcome.imputed);
+
+    // cache-effectiveness contract: within each training phase (each phase
+    // owns a fresh dual cache), the per-epoch hit rate must not decrease
+    // once the cache is primed by the phase's first epoch
+    let hit_rate = tel.series(scis_telemetry::Series::WarmStartHitRate);
+    let phase = tel.series(scis_telemetry::Series::TrainPhase);
+    assert_eq!(hit_rate.len(), phase.len());
+    let mut seg_start = 0;
+    for e in 1..=hit_rate.len() {
+        if e == hit_rate.len() || phase[e] != phase[seg_start] {
+            for i in (seg_start + 2)..e {
+                assert!(
+                    hit_rate[i] >= hit_rate[i - 1] - 1e-12,
+                    "warm_start_hit_rate decreased after epoch 1 (phase {}, epoch {}): {} -> {}",
+                    phase[seg_start],
+                    i - seg_start + 1,
+                    hit_rate[i - 1],
+                    hit_rate[i],
+                );
+            }
+            seg_start = e;
+        }
+    }
+    println!(
+        "pipeline/{rows}x{d}x{epochs}: n* = {}, rmse {rmse:.4}, {} sinkhorn iters, \
+         {} warm hits, total {:.2}s",
+        outcome.n_star,
+        tel.counter(Counter::SinkhornIterations),
+        tel.counter(Counter::WarmStartHits),
+        outcome.total_time.as_secs_f64(),
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema_version\": 1,\n");
+    json.push_str(&format!(
+        "  \"config\": {{\n    \"rows\": {rows},\n    \"features\": {d},\n    \
+         \"epochs\": {epochs},\n    \"n0\": {n0}\n  }},\n"
+    ));
+    json.push_str("  \"phases\": {");
+    for (i, p) in outcome.report.phases.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\n    \"{}\": {:.6}", p.name, p.secs));
+    }
+    json.push_str("\n  },\n");
+    json.push_str(&format!(
+        "  \"sinkhorn\": {{\n    \"solves\": {},\n    \"iterations\": {},\n    \
+         \"warm_start_hits\": {},\n    \"iters_saved\": {}\n  }},\n",
+        tel.counter(Counter::SinkhornSolves),
+        tel.counter(Counter::SinkhornIterations),
+        tel.counter(Counter::WarmStartHits),
+        tel.counter(Counter::ItersSaved),
+    ));
+    json.push_str("  \"warm_start_hit_rate\": [");
+    for (i, v) in hit_rate.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&json_f64(*v));
+    }
+    json.push_str("],\n");
+    json.push_str(&format!(
+        "  \"n_star\": {},\n  \"rmse\": {},\n  \"total_s\": {:.3}\n}}\n",
+        outcome.n_star,
+        json_f64(rmse),
+        outcome.total_time.as_secs_f64(),
+    ));
+    std::fs::write("BENCH_pipeline.json", &json).expect("writing BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}

@@ -17,7 +17,7 @@
 //!   while the generator descends it. Costlier and noisier — kept as an
 //!   ablation (see DESIGN.md §3 and the `dim_critic` bench).
 
-use crate::error::{FailureReason, TrainPhase, TrainingError};
+use crate::error::{FailureReason, TrainPhase, TrainingError, POST_MORTEM_TAIL};
 use crate::guard::{GuardConfig, GuardStats, GuardVerdict, TrainingGuard};
 use scis_data::Dataset;
 use scis_imputers::{AdversarialImputer, TrainConfig};
@@ -29,13 +29,14 @@ use scis_ot::{
     sinkhorn_uniform, sliced_w2_loss_grad, AccelContext, DualCache, MaskedRows, SinkhornOptions,
     SlicedOptions, SolveStats,
 };
-use scis_telemetry::{Counter, Telemetry};
+use scis_telemetry::{Counter, Event, Hist, Series, Telemetry};
 use scis_tensor::par::pairwise_sq_dists_exec;
 use scis_tensor::{ExecPolicy, Matrix, Rng64};
 
 /// Mirrors one batch's Sinkhorn solve accounting into the telemetry
-/// counters (the cross-layer channel; `GuardStats.sinkhorn` keeps the
-/// value-flow copy).
+/// counters, the per-solve iteration histogram, and — when escalations
+/// fired — the flight-recorder event stream (the cross-layer channel;
+/// `GuardStats.sinkhorn` keeps the value-flow copy).
 pub(crate) fn record_solve_stats(tel: &Telemetry, s: SolveStats) {
     tel.add(Counter::SinkhornSolves, s.solves as u64);
     tel.add(Counter::SinkhornIterations, s.iterations as u64);
@@ -44,6 +45,14 @@ pub(crate) fn record_solve_stats(tel: &Telemetry, s: SolveStats) {
     tel.add(Counter::SinkhornUnconverged, s.unconverged as u64);
     tel.add(Counter::WarmStartHits, s.warm_starts as u64);
     tel.add(Counter::ItersSaved, s.iters_saved as u64);
+    for &iters in s.tracked_iters() {
+        tel.record_hist(Hist::SinkhornSolveIters, iters as u64);
+    }
+    if s.escalations > 0 {
+        tel.record_event(Event::SinkhornEscalation {
+            count: s.escalations as u64,
+        });
+    }
 }
 
 /// Sinkhorn hot-path acceleration knobs. All off by default — the default
@@ -436,14 +445,18 @@ pub fn train_dim_cached(
     let mut last_lambda = f64::NAN;
     let mut epoch = 0usize;
     while epoch < cfg.train.epochs {
+        let epoch_t0 = tel.is_enabled().then(std::time::Instant::now);
         let order = rng.permutation(n);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
+        let mut grad_norm_sum = 0.0;
+        let mut epoch_sink = SolveStats::default();
         let mut failure: Option<FailureReason> = None;
-        for chunk in order.chunks(bs) {
+        for (bi, chunk) in order.chunks(bs).enumerate() {
             if chunk.len() < 2 {
                 continue;
             }
+            let batch_t0 = tel.is_enabled().then(std::time::Instant::now);
             let xb = x.select_rows(chunk);
             let mb = mask.select_rows(chunk);
             let g_in = imp.generator_input(&xb, &mb, rng);
@@ -454,6 +467,10 @@ pub fn train_dim_cached(
                 // the whole Sinkhorn plan) non-finite — drop the batch
                 stats.nan_batches_skipped += 1;
                 tel.incr(Counter::DimBatchesSkipped);
+                tel.record_event(Event::BatchSkipped {
+                    epoch: epoch as u32,
+                    batch: bi as u32,
+                });
                 continue;
             }
 
@@ -495,6 +512,7 @@ pub fn train_dim_cached(
                     match result {
                         Ok((loss, grad, solve_stats)) => {
                             stats.sinkhorn.absorb(solve_stats);
+                            epoch_sink.absorb(solve_stats);
                             record_solve_stats(tel, solve_stats);
                             Some((loss, grad, lambda))
                         }
@@ -514,11 +532,19 @@ pub fn train_dim_cached(
             let Some((loss, mut grad_xbar, lambda)) = step else {
                 stats.nan_batches_skipped += 1;
                 tel.incr(Counter::DimBatchesSkipped);
+                tel.record_event(Event::BatchSkipped {
+                    epoch: epoch as u32,
+                    batch: bi as u32,
+                });
                 continue;
             };
             if !loss.is_finite() || !all_finite(&grad_xbar) {
                 stats.nan_batches_skipped += 1;
                 tel.incr(Counter::DimBatchesSkipped);
+                tel.record_event(Event::BatchSkipped {
+                    epoch: epoch as u32,
+                    batch: bi as u32,
+                });
                 continue;
             }
             last_lambda = lambda;
@@ -541,8 +567,12 @@ pub fn train_dim_cached(
             opt_g.step(generator);
 
             epoch_loss += loss + cfg.alpha * rec_loss;
+            grad_norm_sum += grad_norm;
             batches += 1;
             tel.incr(Counter::DimBatches);
+            if let Some(t0) = batch_t0 {
+                tel.record_hist_duration(Hist::BatchStepNanos, t0.elapsed());
+            }
         }
 
         let mean_loss = epoch_loss / batches.max(1) as f64;
@@ -552,11 +582,13 @@ pub fn train_dim_cached(
         if failure.is_none() && !mean_loss.is_finite() {
             failure = Some(FailureReason::NonFiniteLoss);
         }
+        let rolled_back = failure.is_some();
+        let mut lr_backed_off = false;
+        let mut give_up: Option<FailureReason> = None;
         match failure {
             None => {
                 epoch_losses.push(mean_loss);
                 guard.accept_epoch(mean_loss, &imp.generator_mut().param_vector());
-                epoch += 1;
                 tel.incr(Counter::DimEpochs);
             }
             Some(reason) => {
@@ -566,25 +598,74 @@ pub fn train_dim_cached(
                 cache.invalidate_all();
                 stats.rollbacks += 1;
                 tel.incr(Counter::GuardRollbacks);
+                tel.record_event(Event::Rollback {
+                    epoch: epoch as u32,
+                    retries: stats.rollbacks as u32,
+                });
+                if cfg.accel.warm_start {
+                    tel.record_event(Event::CacheInvalidation);
+                }
                 match guard.reject_epoch() {
-                    GuardVerdict::GiveUp => {
-                        return Err(TrainingError {
-                            phase,
-                            epoch,
-                            retries: guard.retries() - 1,
-                            reason,
-                        });
-                    }
+                    GuardVerdict::GiveUp => give_up = Some(reason),
                     _ => {
                         // retry the epoch from the snapshot at a gentler LR
                         // (fresh optimizer: stale moments reference the
                         // pre-rollback trajectory)
                         stats.lr_backoffs += 1;
+                        lr_backed_off = true;
                         tel.incr(Counter::GuardLrBackoffs);
                         opt_g = Adam::new(guard.lr());
+                        tel.record_event(Event::LrBackoff {
+                            epoch: epoch as u32,
+                            lr: guard.lr(),
+                        });
                     }
                 }
             }
+        }
+        if tel.is_enabled() {
+            // one entry per *attempted* epoch: rolled-back attempts are
+            // flagged rather than dropped so a loss spike stays visible.
+            // All values are deterministic — bit-identical per ExecPolicy.
+            let mean_grad = grad_norm_sum / batches.max(1) as f64;
+            let hit_rate = if epoch_sink.solves > 0 {
+                epoch_sink.warm_starts as f64 / epoch_sink.solves as f64
+            } else {
+                0.0
+            };
+            tel.push_series(Series::DimLoss, mean_loss);
+            tel.push_series(Series::GradNorm, mean_grad);
+            tel.push_series(Series::LearningRate, guard.lr());
+            tel.push_series(Series::SinkhornIters, epoch_sink.iterations as f64);
+            tel.push_series(Series::WarmStartHitRate, hit_rate);
+            tel.push_series(Series::ItersSaved, epoch_sink.iters_saved as f64);
+            tel.push_series(Series::RollbackFlag, rolled_back as u64 as f64);
+            tel.push_series(Series::LrBackoffFlag, lr_backed_off as u64 as f64);
+            tel.push_series(Series::TrainPhase, phase.code() as f64);
+            tel.record_event(Event::EpochEnd {
+                phase: phase.name(),
+                epoch: epoch as u32,
+                loss: mean_loss,
+                grad_norm: mean_grad,
+                lr: guard.lr(),
+                sinkhorn_iters: epoch_sink.iterations as u64,
+                warm_hit_rate: hit_rate,
+            });
+            if let Some(t0) = epoch_t0 {
+                tel.record_hist_duration(Hist::EpochWallNanos, t0.elapsed());
+            }
+        }
+        if let Some(reason) = give_up {
+            return Err(TrainingError {
+                phase,
+                epoch,
+                retries: guard.retries() - 1,
+                reason,
+                post_mortem: tel.event_tail(POST_MORTEM_TAIL),
+            });
+        }
+        if !rolled_back {
+            epoch += 1;
         }
     }
 

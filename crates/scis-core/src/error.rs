@@ -12,7 +12,12 @@
 //! error (which is why [`ScisError::OversizedInitialSample`] preserves the
 //! historical `"exceeds N"` message).
 
+use scis_telemetry::RecordedEvent;
 use std::fmt;
+
+/// How many trailing flight-recorder events a [`TrainingError`] (or a
+/// degraded pipeline outcome) carries as its post-mortem.
+pub const POST_MORTEM_TAIL: usize = 64;
 
 /// Which DIM training phase of Algorithm 1 an error came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +28,27 @@ pub enum TrainPhase {
     Calibration,
     /// Line 5: retraining on the size-`n*` sample `X*`.
     Retrain,
+}
+
+impl TrainPhase {
+    /// Stable snake_case slug used in flight-recorder events.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrainPhase::Initial => "initial",
+            TrainPhase::Calibration => "calibration",
+            TrainPhase::Retrain => "retrain",
+        }
+    }
+
+    /// Numeric code for the `train_phase` metric series
+    /// (0 = initial, 1 = calibration, 2 = retrain).
+    pub fn code(self) -> u8 {
+        match self {
+            TrainPhase::Initial => 0,
+            TrainPhase::Calibration => 1,
+            TrainPhase::Retrain => 2,
+        }
+    }
 }
 
 impl fmt::Display for TrainPhase {
@@ -79,6 +105,9 @@ pub struct TrainingError {
     pub retries: usize,
     /// The terminal failure.
     pub reason: FailureReason,
+    /// The last [`POST_MORTEM_TAIL`] flight-recorder events before the
+    /// failure (empty when telemetry was off — the recorder only observes).
+    pub post_mortem: Vec<RecordedEvent>,
 }
 
 impl fmt::Display for TrainingError {
@@ -213,11 +242,25 @@ mod tests {
             epoch: 7,
             retries: 3,
             reason: FailureReason::NonFiniteLoss,
+            post_mortem: Vec::new(),
         };
         let msg = e.to_string();
         assert!(msg.contains("retraining"), "{msg}");
         assert!(msg.contains("epoch 7"), "{msg}");
         assert!(msg.contains("non-finite"), "{msg}");
+    }
+
+    #[test]
+    fn train_phase_slugs_and_codes_are_distinct() {
+        let phases = [
+            TrainPhase::Initial,
+            TrainPhase::Calibration,
+            TrainPhase::Retrain,
+        ];
+        let names: Vec<_> = phases.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["initial", "calibration", "retrain"]);
+        let codes: Vec<_> = phases.iter().map(|p| p.code()).collect();
+        assert_eq!(codes, vec![0, 1, 2]);
     }
 
     #[test]

@@ -42,8 +42,10 @@ pub use dim::{
     train_dim, train_dim_cached, train_dim_guarded, train_dim_telemetered, try_train_dim,
     AccelConfig, DimConfig, DimReport,
 };
-pub use error::{FailureReason, ScisError, TrainPhase, TrainingError};
+pub use error::{FailureReason, ScisError, TrainPhase, TrainingError, POST_MORTEM_TAIL};
 pub use guard::{GuardConfig, GuardStats, TrainingGuard};
 pub use pipeline::{RunAnomalies, Scis, ScisConfig, ScisOutcome};
-pub use report::{CounterValue, PhaseTiming, RunReport, RUN_REPORT_SCHEMA_VERSION};
+pub use report::{
+    CounterValue, HistogramReport, PhaseTiming, RunReport, SeriesReport, RUN_REPORT_SCHEMA_VERSION,
+};
 pub use sse::{SseConfig, SseProbe, SseResult};

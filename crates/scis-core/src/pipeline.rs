@@ -10,7 +10,7 @@
 //! ```
 
 use crate::dim::{train_dim_cached, AccelConfig, DimConfig};
-use crate::error::{ScisError, TrainPhase};
+use crate::error::{ScisError, TrainPhase, POST_MORTEM_TAIL};
 use crate::guard::{GuardConfig, GuardStats};
 use crate::report::RunReport;
 use crate::sse::{fisher_diagonal_cached, model_distance, SseConfig, SseEstimator, SseResult};
@@ -19,7 +19,7 @@ use scis_data::Dataset;
 use scis_imputers::traits::impute_with_generator;
 use scis_imputers::{AdversarialImputer, Imputer};
 use scis_ot::{DualCache, SinkhornOptions};
-use scis_telemetry::{SpanKind, Telemetry};
+use scis_telemetry::{Event, RecordedEvent, SpanKind, Telemetry};
 use scis_tensor::{ExecPolicy, Matrix, Rng64};
 use std::time::{Duration, Instant};
 
@@ -199,6 +199,10 @@ pub struct ScisOutcome {
     /// trace). Phase/counter sections are empty unless the run was started
     /// with [`Scis::telemetry`] set to a collecting handle.
     pub report: RunReport,
+    /// The last [`POST_MORTEM_TAIL`] flight-recorder events, captured only
+    /// when the run degraded ([`RunAnomalies::is_degraded`]) and telemetry
+    /// was collecting. Clean runs (and telemetry-off runs) leave it empty.
+    pub flight_tail: Vec<RecordedEvent>,
 }
 
 impl ScisOutcome {
@@ -370,6 +374,10 @@ impl Scis {
             anomalies
                 .notes
                 .push(format!("initial {e}; fell back to mean imputation"));
+            tel.record_event(Event::Degraded {
+                reason: "mean_fallback",
+            });
+            let flight_tail = tel.event_tail(POST_MORTEM_TAIL);
             let imputed = scis_imputers::mean::MeanImputer.impute(ds, rng);
             let total_time = t_start.elapsed();
             let report = RunReport::assemble(
@@ -393,6 +401,7 @@ impl Scis {
                 total_time,
                 anomalies,
                 report,
+                flight_tail,
             });
         }
 
@@ -471,6 +480,9 @@ impl Scis {
                     anomalies
                         .notes
                         .push(format!("calibration {e}; using uncalibrated SSE"));
+                    tel.record_event(Event::Degraded {
+                        reason: "calibration_skipped",
+                    });
                 }
             }
         }
@@ -503,6 +515,9 @@ impl Scis {
                 anomalies
                     .notes
                     .push(format!("retrain {e}; keeping the initial model M0"));
+                tel.record_event(Event::Degraded {
+                    reason: "retrain_failed",
+                });
             }
             t2.elapsed()
         } else {
@@ -530,10 +545,18 @@ impl Scis {
             anomalies.notes.push(format!(
                 "patched {bad_cells} non-finite imputed cells from the mean imputer"
             ));
+            tel.record_event(Event::Degraded {
+                reason: "non_finite_cells_patched",
+            });
         }
         drop(span_impute);
 
         let total_time = t_start.elapsed();
+        let flight_tail = if anomalies.is_degraded() {
+            tel.event_tail(POST_MORTEM_TAIL)
+        } else {
+            Vec::new()
+        };
         let report = RunReport::assemble(
             &tel.snapshot(),
             n_total,
@@ -555,6 +578,7 @@ impl Scis {
             total_time,
             anomalies,
             report,
+            flight_tail,
         })
     }
 }

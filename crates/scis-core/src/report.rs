@@ -17,7 +17,13 @@ use scis_telemetry::{json_escape, json_f64, Snapshot};
 
 /// Schema version stamped into every JSON report. Bump on breaking changes
 /// to the field layout.
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 1;
+///
+/// v1 → v2: adds the flight-recorder sections — `histograms` (power-of-two
+/// bucket histograms as `[lo, hi, count]` triples), `series` (per-epoch
+/// metric series keyed by slot name), and `events_recorded` (total typed
+/// events captured). All v1 fields are unchanged; v1 consumers that ignore
+/// unknown keys keep working after updating their `schema_version` pin.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Wall-clock aggregate of one pipeline phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +45,28 @@ pub struct CounterValue {
     pub value: u64,
 }
 
+/// One power-of-two histogram, in the compact non-empty-bucket form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramReport {
+    /// Stable snake_case histogram name (the [`scis_telemetry::Hist`] name).
+    pub name: &'static str,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty buckets as `(lo, hi, count)` with inclusive value bounds.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// One per-epoch metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesReport {
+    /// Stable snake_case series name (the [`scis_telemetry::Series`] name).
+    pub name: &'static str,
+    /// Recorded values, in epoch (or probe) order.
+    pub values: Vec<f64>,
+}
+
 /// Structured summary of one pipeline run (see module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -58,6 +86,14 @@ pub struct RunReport {
     /// Final counter values, in counter-slot order. Empty when the run was
     /// executed with a disabled collector.
     pub counters: Vec<CounterValue>,
+    /// Power-of-two histograms, in hist-slot order (schema v2). Empty when
+    /// the run was executed with a disabled collector.
+    pub histograms: Vec<HistogramReport>,
+    /// Per-epoch metric series, in series-slot order (schema v2). Empty when
+    /// the run was executed with a disabled collector.
+    pub series: Vec<SeriesReport>,
+    /// Total typed events recorded into the flight recorder (schema v2).
+    pub events_recorded: u64,
     /// The SSE binary-search trace (every distinct probed size, in order).
     pub sse_trace: Vec<SseProbe>,
     /// True when no recovery machinery fired.
@@ -82,8 +118,8 @@ impl RunReport {
         sse_trace: Vec<SseProbe>,
         anomalies: &RunAnomalies,
     ) -> Self {
-        let (phases, counters) = if snapshot.is_empty() {
-            (Vec::new(), Vec::new())
+        let (phases, counters, histograms, series, events_recorded) = if snapshot.is_empty() {
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), 0)
         } else {
             (
                 snapshot
@@ -98,6 +134,23 @@ impl RunReport {
                     .counters()
                     .map(|(name, value)| CounterValue { name, value })
                     .collect(),
+                snapshot
+                    .hists()
+                    .map(|(name, h)| HistogramReport {
+                        name,
+                        count: h.count,
+                        sum: h.sum,
+                        buckets: h.nonzero_buckets().collect(),
+                    })
+                    .collect(),
+                snapshot
+                    .series_iter()
+                    .map(|(name, values)| SeriesReport {
+                        name,
+                        values: values.to_vec(),
+                    })
+                    .collect(),
+                snapshot.events_recorded(),
             )
         };
         Self {
@@ -108,6 +161,9 @@ impl RunReport {
             total_secs,
             phases,
             counters,
+            histograms,
+            series,
+            events_recorded,
             sse_trace,
             clean: anomalies.is_clean(),
             degraded: anomalies.is_degraded(),
@@ -121,6 +177,65 @@ impl RunReport {
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+    }
+
+    /// Looks up a metric series by its snake_case name.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        self.series
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.values.as_slice())
+    }
+
+    /// Looks up a histogram by its snake_case name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramReport> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders the phase timings as a text tree (the `--profile` output).
+    /// The hierarchy mirrors the span nesting in `Scis::try_run`: the SSE
+    /// calibration span runs inside the SSE span, everything else is a
+    /// top-level phase in pipeline order.
+    pub fn render_profile(&self) -> String {
+        // (phase, children) — static because the pipeline's nesting is fixed
+        const TREE: &[(&str, &[&str])] = &[
+            ("validate", &[]),
+            ("train_initial", &[]),
+            ("sse", &["calibration"]),
+            ("retrain", &[]),
+            ("impute", &[]),
+        ];
+        let timing = |name: &str| {
+            self.phases
+                .iter()
+                .find(|p| p.name == name)
+                .map(|p| (p.count, p.secs))
+                .unwrap_or((0, 0.0))
+        };
+        let mut out = format!("run profile (total {:.3}s)\n", self.total_secs);
+        let n_roots = TREE.len();
+        for (ri, (root, children)) in TREE.iter().enumerate() {
+            let (count, secs) = timing(root);
+            let last_root = ri + 1 == n_roots;
+            let branch = if last_root { "└─" } else { "├─" };
+            out.push_str(&format!("{branch} {root:<13} {secs:>9.3}s  ×{count}\n"));
+            let stem = if last_root { "   " } else { "│  " };
+            for (ci, child) in children.iter().enumerate() {
+                let (ccount, csecs) = timing(child);
+                let cbranch = if ci + 1 == children.len() {
+                    "└─"
+                } else {
+                    "├─"
+                };
+                out.push_str(&format!(
+                    "{stem}{cbranch} {child:<11} {csecs:>9.3}s  ×{ccount}\n"
+                ));
+            }
+        }
+        if self.events_recorded > 0 {
+            out.push_str(&format!("events recorded: {}\n", self.events_recorded));
+        }
+        out
     }
 
     /// Serializes the report as a self-contained JSON object (no external
@@ -156,6 +271,45 @@ impl RunReport {
             out.push_str(&format!("\"{}\":{}", json_escape(c.name), c.value));
         }
         out.push('}');
+
+        out.push_str(",\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                json_escape(h.name),
+                h.count,
+                h.sum
+            ));
+            for (j, (lo, hi, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{},{}]", lo, hi, c));
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+
+        out.push_str(",\"series\":{");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":[", json_escape(s.name)));
+            for (j, v) in s.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_f64(*v));
+            }
+            out.push(']');
+        }
+        out.push('}');
+
+        out.push_str(&format!(",\"events_recorded\":{}", self.events_recorded));
 
         out.push_str(",\"sse_trace\":[");
         for (i, p) in self.sse_trace.iter().enumerate() {
@@ -196,6 +350,11 @@ mod tests {
         tel.add(Counter::SinkhornSolves, 12);
         tel.add(Counter::SinkhornIterations, 480);
         tel.record_span(SpanKind::TrainInitial, std::time::Duration::from_millis(25));
+        tel.record_hist(scis_telemetry::Hist::SinkhornSolveIters, 40);
+        tel.record_hist(scis_telemetry::Hist::SinkhornSolveIters, 41);
+        tel.push_series(scis_telemetry::Series::DimLoss, 0.5);
+        tel.push_series(scis_telemetry::Series::DimLoss, 0.25);
+        tel.record_event(scis_telemetry::Event::CacheInvalidation);
         let anomalies = RunAnomalies {
             notes: vec!["retrain err; keeping \"M0\"".into()],
             retrain_failed: true,
@@ -234,6 +393,15 @@ mod tests {
         assert!(!r.clean);
         assert!(r.degraded);
         assert_eq!(r.sse_trace.len(), 2);
+        // v2 flight-recorder sections
+        assert_eq!(r.histograms.len(), scis_telemetry::Hist::ALL.len());
+        let h = r.histogram("sinkhorn_solve_iters").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 81);
+        assert_eq!(h.buckets, vec![(32, 63, 2)]);
+        assert_eq!(r.series("dim_loss"), Some(&[0.5, 0.25][..]));
+        assert!(r.series("no_such_series").is_none());
+        assert_eq!(r.events_recorded, 1);
     }
 
     #[test]
@@ -249,6 +417,9 @@ mod tests {
         );
         assert!(r.phases.is_empty());
         assert!(r.counters.is_empty());
+        assert!(r.histograms.is_empty());
+        assert!(r.series.is_empty());
+        assert_eq!(r.events_recorded, 0);
         assert!(r.clean);
         assert!(!r.degraded);
         assert_eq!(r.n_total, 10);
@@ -259,11 +430,17 @@ mod tests {
         let r = sample_report();
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
-        assert!(j.contains("\"schema_version\":1"));
+        assert!(j.contains("\"schema_version\":2"));
         assert!(j.contains("\"n_star\":250"));
         assert!(j.contains("\"sinkhorn_solves\":12"));
         assert!(j.contains("\"train_initial\""));
         assert!(j.contains("{\"n\":100,\"prob\":0.2,\"accepted\":false}"));
+        // v2 sections
+        assert!(
+            j.contains("\"sinkhorn_solve_iters\":{\"count\":2,\"sum\":81,\"buckets\":[[32,63,2]]}")
+        );
+        assert!(j.contains("\"dim_loss\":[0.5,0.25]"));
+        assert!(j.contains("\"events_recorded\":1"));
         // the quote inside the note must be escaped
         assert!(j.contains("keeping \\\"M0\\\""));
         // crude structural balance check — every brace/bracket closes
@@ -271,6 +448,24 @@ mod tests {
         let closes = j.matches('}').count();
         assert_eq!(opens, closes);
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn profile_tree_nests_calibration_under_sse() {
+        let r = sample_report();
+        let p = r.render_profile();
+        let lines: Vec<&str> = p.lines().collect();
+        assert!(lines[0].starts_with("run profile"));
+        let sse_idx = lines.iter().position(|l| l.contains("sse")).unwrap();
+        assert!(
+            lines[sse_idx + 1].contains("calibration"),
+            "calibration must sit under sse:\n{p}"
+        );
+        assert!(lines[sse_idx + 1].starts_with("│") || lines[sse_idx + 1].starts_with(" "));
+        for phase in ["validate", "train_initial", "retrain", "impute"] {
+            assert!(p.contains(phase), "missing {phase} in\n{p}");
+        }
+        assert!(p.contains("events recorded: 1"));
     }
 
     #[test]

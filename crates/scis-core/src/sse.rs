@@ -43,7 +43,7 @@ use scis_ot::{
     ms_loss_grad_accel, ms_loss_grad_tracked, AccelContext, DualCache, EscalationPolicy,
     MaskedRows, SinkhornOptions,
 };
-use scis_telemetry::{Counter, Telemetry};
+use scis_telemetry::{Counter, Event, Series, Telemetry};
 use scis_tensor::{ExecPolicy, Rng64};
 
 /// SSE configuration (paper defaults from §VI).
@@ -578,10 +578,18 @@ impl SseEstimator {
             self.telemetry.incr(Counter::SseProbes);
             let pr = self.prob_within_epsilon(imp, validation, n);
             cache.insert(n, pr);
+            let accepted = pr >= threshold;
+            self.telemetry.push_series(Series::SseProbeN, n as f64);
+            self.telemetry.push_series(Series::SseProbeProb, pr);
+            self.telemetry.record_event(Event::SseProbe {
+                n: n as u64,
+                prob: pr,
+                accepted,
+            });
             trace.push(SseProbe {
                 n,
                 prob: pr,
-                accepted: pr >= threshold,
+                accepted,
             });
             pr
         };

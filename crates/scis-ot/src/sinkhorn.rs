@@ -648,10 +648,23 @@ pub struct SolveStats {
     /// recent comparable cold solve's iteration count minus this solve's,
     /// saturating at zero. An estimate for telemetry, not a measurement.
     pub iters_saved: usize,
+    /// Per-solve iteration counts, retained for histogram emission. A
+    /// bounded scratch: the first [`TRACKED_SOLVE_CAP`] solves absorbed into
+    /// this record keep their individual counts (enough for the per-batch
+    /// records the telemetry layer reads; epoch-level aggregates saturate
+    /// and rely on `iterations` for the total).
+    pub solve_iters: [u32; TRACKED_SOLVE_CAP],
+    /// Number of valid entries in `solve_iters`.
+    pub tracked_solves: usize,
 }
 
+/// Capacity of the per-solve iteration scratch in [`SolveStats`] (an MS
+/// divergence evaluation performs 3 solves; 8 leaves headroom).
+pub const TRACKED_SOLVE_CAP: usize = 8;
+
 impl SolveStats {
-    /// Accumulates another stats record into this one.
+    /// Accumulates another stats record into this one. Per-solve iteration
+    /// entries are carried over until [`TRACKED_SOLVE_CAP`] is reached.
     pub fn absorb(&mut self, other: SolveStats) {
         self.solves += other.solves;
         self.iterations += other.iterations;
@@ -660,6 +673,23 @@ impl SolveStats {
         self.unconverged += other.unconverged;
         self.warm_starts += other.warm_starts;
         self.iters_saved += other.iters_saved;
+        for i in 0..other.tracked_solves {
+            self.note_solve_iters(other.solve_iters[i] as usize);
+        }
+    }
+
+    /// Records one solve's total iteration count into the per-solve scratch
+    /// (silently saturates past [`TRACKED_SOLVE_CAP`] entries).
+    pub fn note_solve_iters(&mut self, iters: usize) {
+        if self.tracked_solves < TRACKED_SOLVE_CAP {
+            self.solve_iters[self.tracked_solves] = iters.min(u32::MAX as usize) as u32;
+            self.tracked_solves += 1;
+        }
+    }
+
+    /// The retained per-solve iteration counts, in solve order.
+    pub fn tracked_iters(&self) -> &[u32] {
+        &self.solve_iters[..self.tracked_solves]
     }
 
     /// Whether any recovery event fired (escalation or final non-
@@ -711,6 +741,7 @@ pub fn try_sinkhorn_escalated(
     } else {
         stats.unconverged += 1;
     }
+    stats.note_solve_iters(stats.iterations);
     Ok((result, stats))
 }
 
@@ -770,6 +801,7 @@ pub fn try_sinkhorn_warm_escalated(
     } else {
         stats.unconverged += 1;
     }
+    stats.note_solve_iters(stats.iterations);
     Ok((result, stats))
 }
 
@@ -801,13 +833,14 @@ pub fn try_sinkhorn_uniform_eps_scaling(
     let a = vec![1.0 / n.max(1) as f64; n];
     let b = vec![1.0 / m.max(1) as f64; m];
     let result = try_sinkhorn_eps_scaling(cost, &a, &b, opts, n_stages)?;
-    let stats = SolveStats {
+    let mut stats = SolveStats {
         solves: 1,
         iterations: result.iterations,
         converged: result.converged as usize,
         unconverged: (!result.converged) as usize,
         ..SolveStats::default()
     };
+    stats.note_solve_iters(stats.iterations);
     Ok((result, stats))
 }
 
@@ -1155,8 +1188,10 @@ mod escalation_tests {
             unconverged: 0,
             warm_starts: 1,
             iters_saved: 5,
+            ..SolveStats::default()
         };
-        a.absorb(SolveStats {
+        a.note_solve_iters(10);
+        let mut b = SolveStats {
             solves: 2,
             iterations: 30,
             converged: 1,
@@ -1164,7 +1199,11 @@ mod escalation_tests {
             unconverged: 1,
             warm_starts: 2,
             iters_saved: 7,
-        });
+            ..SolveStats::default()
+        };
+        b.note_solve_iters(12);
+        b.note_solve_iters(18);
+        a.absorb(b);
         assert_eq!(a.solves, 3);
         assert_eq!(a.iterations, 40);
         assert_eq!(a.converged, 2);
@@ -1172,7 +1211,34 @@ mod escalation_tests {
         assert_eq!(a.unconverged, 1);
         assert_eq!(a.warm_starts, 3);
         assert_eq!(a.iters_saved, 12);
+        assert_eq!(a.tracked_iters(), &[10, 12, 18]);
         assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn solve_stats_per_solve_scratch_saturates() {
+        let mut s = SolveStats::default();
+        for i in 0..(TRACKED_SOLVE_CAP + 3) {
+            s.note_solve_iters(i + 1);
+        }
+        assert_eq!(s.tracked_solves, TRACKED_SOLVE_CAP);
+        assert_eq!(s.tracked_iters().len(), TRACKED_SOLVE_CAP);
+        assert_eq!(s.tracked_iters()[0], 1);
+    }
+
+    #[test]
+    fn escalated_solves_record_per_solve_iterations() {
+        let c = hard_cost(8);
+        let opts = SinkhornOptions {
+            lambda: 0.2,
+            max_iters: 10_000,
+            tol: 1e-9,
+            ..Default::default()
+        };
+        let (r, stats) =
+            try_sinkhorn_uniform_escalated(&c, &opts, &EscalationPolicy::default()).unwrap();
+        assert_eq!(stats.tracked_iters(), &[r.iterations as u32]);
+        assert_eq!(stats.iterations, r.iterations);
     }
 
     #[test]

@@ -19,11 +19,27 @@
 //!
 //! Consumers record through fixed [`Counter`] and [`SpanKind`] slots — no
 //! string keys, no maps, no per-event allocation.
+//!
+//! On top of the counter/span slab, the **flight recorder** (DESIGN.md §13)
+//! adds three primitives with the same off-is-free contract:
+//!
+//! - [`Series`]: fixed-slot per-epoch value series (loss curves, grad norms,
+//!   warm-start hit rates). Values are `f64` and part of the determinism
+//!   contract — bit-identical across [`ExecPolicy`][exec] for a fixed seed.
+//! - [`Event`]: a typed event stream captured in a bounded in-memory ring
+//!   ([`FLIGHT_RECORDER_CAP`] entries, monotonic sequence numbers so
+//!   truncation is detectable) and serializable as JSONL. The tail of the
+//!   ring ships with failures as a post-mortem.
+//! - [`Hist`]: power-of-two bucket histograms over `AtomicU64` slabs for
+//!   per-solve Sinkhorn iterations and step/epoch latencies. Iteration
+//!   histograms are deterministic; time histograms are explicitly not.
+//!
+//! [exec]: https://docs.rs/scis-tensor
 
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Monotonic event counters, one fixed slot each.
@@ -158,14 +174,391 @@ impl SpanKind {
     }
 }
 
+/// Fixed-slot per-epoch metric series (the flight recorder's value log).
+///
+/// One `f64` is appended per *attempted* DIM epoch (rolled-back attempts
+/// included, flagged by [`Series::RollbackFlag`]) for the training slots, and
+/// per binary-search probe for the SSE slots. All series values are part of
+/// the determinism contract: bit-identical across thread counts for a fixed
+/// seed and configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Series {
+    /// Mean DIM loss (MS divergence + anchor MSE) over applied batches.
+    DimLoss,
+    /// Mean generator gradient norm over applied batches.
+    GradNorm,
+    /// Learning rate in effect for the epoch (tracks guard backoffs).
+    LearningRate,
+    /// Total Sinkhorn sweep iterations spent in the epoch.
+    SinkhornIters,
+    /// Warm-start hit rate for the epoch: warm solves / total solves.
+    WarmStartHitRate,
+    /// Estimated Sinkhorn sweeps saved by warm starts in the epoch.
+    ItersSaved,
+    /// 1.0 when the epoch was rolled back by the guard, else 0.0.
+    RollbackFlag,
+    /// 1.0 when the rollback also triggered a learning-rate backoff.
+    LrBackoffFlag,
+    /// Training phase code: 0 = initial, 1 = calibration, 2 = retrain.
+    TrainPhase,
+    /// SSE binary-search probe size `n` (one entry per probe).
+    SseProbeN,
+    /// SSE acceptance probability estimate at the probe.
+    SseProbeProb,
+}
+
+impl Series {
+    /// Every series, in slot order.
+    pub const ALL: [Series; 11] = [
+        Series::DimLoss,
+        Series::GradNorm,
+        Series::LearningRate,
+        Series::SinkhornIters,
+        Series::WarmStartHitRate,
+        Series::ItersSaved,
+        Series::RollbackFlag,
+        Series::LrBackoffFlag,
+        Series::TrainPhase,
+        Series::SseProbeN,
+        Series::SseProbeProb,
+    ];
+
+    /// Stable snake_case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Series::DimLoss => "dim_loss",
+            Series::GradNorm => "grad_norm",
+            Series::LearningRate => "learning_rate",
+            Series::SinkhornIters => "sinkhorn_iters",
+            Series::WarmStartHitRate => "warm_start_hit_rate",
+            Series::ItersSaved => "iters_saved",
+            Series::RollbackFlag => "rollback_flag",
+            Series::LrBackoffFlag => "lr_backoff_flag",
+            Series::TrainPhase => "train_phase",
+            Series::SseProbeN => "sse_probe_n",
+            Series::SseProbeProb => "sse_probe_prob",
+        }
+    }
+}
+
+/// Power-of-two bucket histograms, one fixed `AtomicU64` slab each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Hist {
+    /// Sweep iterations of each individual Sinkhorn solve. Deterministic:
+    /// bucket counts are bit-identical across thread counts.
+    SinkhornSolveIters,
+    /// Wall time of each applied DIM batch step, in nanoseconds. Timing —
+    /// excluded from the determinism contract.
+    BatchStepNanos,
+    /// Wall time of each attempted DIM epoch, in nanoseconds. Timing —
+    /// excluded from the determinism contract.
+    EpochWallNanos,
+}
+
+impl Hist {
+    /// Every histogram, in slot order.
+    pub const ALL: [Hist; 3] = [
+        Hist::SinkhornSolveIters,
+        Hist::BatchStepNanos,
+        Hist::EpochWallNanos,
+    ];
+
+    /// Stable snake_case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SinkhornSolveIters => "sinkhorn_solve_iters",
+            Hist::BatchStepNanos => "batch_step_nanos",
+            Hist::EpochWallNanos => "epoch_wall_nanos",
+        }
+    }
+
+    /// Whether this histogram's bucket counts are part of the determinism
+    /// contract (value-flow histograms yes, wall-clock histograms no).
+    pub fn is_deterministic(self) -> bool {
+        matches!(self, Hist::SinkhornSolveIters)
+    }
+}
+
+/// A typed flight-recorder event. `Copy`, no owned strings — recording one
+/// never allocates (the ring buffer is preallocated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A pipeline phase span opened.
+    PhaseStart {
+        /// The phase being timed.
+        phase: SpanKind,
+    },
+    /// A pipeline phase span closed.
+    PhaseEnd {
+        /// The phase being timed.
+        phase: SpanKind,
+        /// Elapsed wall-clock seconds (not part of the determinism contract).
+        secs: f64,
+    },
+    /// A DIM training epoch finished (accepted or rolled back).
+    EpochEnd {
+        /// Training phase: "initial", "calibration", or "retrain".
+        phase: &'static str,
+        /// Zero-based epoch index within the phase.
+        epoch: u32,
+        /// Mean loss over applied batches (NaN if no batch applied).
+        loss: f64,
+        /// Mean generator gradient norm over applied batches.
+        grad_norm: f64,
+        /// Learning rate in effect.
+        lr: f64,
+        /// Total Sinkhorn sweep iterations in the epoch.
+        sinkhorn_iters: u64,
+        /// Warm-start hit rate over the epoch's solves.
+        warm_hit_rate: f64,
+    },
+    /// The numeric guards skipped a poisoned mini-batch.
+    BatchSkipped {
+        /// Zero-based epoch index.
+        epoch: u32,
+        /// Zero-based batch index within the epoch.
+        batch: u32,
+    },
+    /// The training guard rolled the model back to the best snapshot.
+    Rollback {
+        /// Zero-based epoch index that was rejected.
+        epoch: u32,
+        /// Rollback retries consumed so far (this one included).
+        retries: u32,
+    },
+    /// A rollback also backed off the learning rate.
+    LrBackoff {
+        /// Zero-based epoch index that triggered the backoff.
+        epoch: u32,
+        /// The new (reduced) learning rate.
+        lr: f64,
+    },
+    /// Unconverged Sinkhorn solves escalated through ε-scaling.
+    SinkhornEscalation {
+        /// Escalation retries in the batch that triggered the event.
+        count: u64,
+    },
+    /// The warm-start dual cache was invalidated (guard rollback).
+    CacheInvalidation,
+    /// One SSE binary-search probe was evaluated.
+    SseProbe {
+        /// Probe sample size `n`.
+        n: u64,
+        /// Estimated acceptance probability at `n`.
+        prob: f64,
+        /// Whether the probe met the acceptance threshold.
+        accepted: bool,
+    },
+    /// The pipeline degraded instead of failing (e.g. mean-imputation
+    /// fallback). `reason` is a static slug.
+    Degraded {
+        /// Static reason slug, e.g. `"mean_fallback"`.
+        reason: &'static str,
+    },
+}
+
+impl Event {
+    /// Stable snake_case type tag used in the JSONL stream.
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Event::PhaseStart { .. } => "phase_start",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::EpochEnd { .. } => "epoch_end",
+            Event::BatchSkipped { .. } => "batch_skipped",
+            Event::Rollback { .. } => "rollback",
+            Event::LrBackoff { .. } => "lr_backoff",
+            Event::SinkhornEscalation { .. } => "sinkhorn_escalation",
+            Event::CacheInvalidation => "cache_invalidation",
+            Event::SseProbe { .. } => "sse_probe",
+            Event::Degraded { .. } => "degraded",
+        }
+    }
+}
+
+/// An [`Event`] with its monotonic sequence number. Gaps in `seq` across a
+/// dumped stream mean the ring buffer wrapped (events were dropped).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordedEvent {
+    /// Monotonic per-collector sequence number, starting at 0.
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl RecordedEvent {
+    /// One JSONL line (no trailing newline): `{"seq":N,"type":...,...}`.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"type\":\"{}\"",
+            self.seq,
+            self.event.type_name()
+        );
+        match self.event {
+            Event::PhaseStart { phase } => {
+                s.push_str(&format!(",\"phase\":\"{}\"", phase.name()));
+            }
+            Event::PhaseEnd { phase, secs } => {
+                s.push_str(&format!(
+                    ",\"phase\":\"{}\",\"secs\":{}",
+                    phase.name(),
+                    json_f64(secs)
+                ));
+            }
+            Event::EpochEnd {
+                phase,
+                epoch,
+                loss,
+                grad_norm,
+                lr,
+                sinkhorn_iters,
+                warm_hit_rate,
+            } => {
+                s.push_str(&format!(
+                    ",\"phase\":\"{}\",\"epoch\":{},\"loss\":{},\"grad_norm\":{},\"lr\":{},\"sinkhorn_iters\":{},\"warm_hit_rate\":{}",
+                    json_escape(phase),
+                    epoch,
+                    json_f64(loss),
+                    json_f64(grad_norm),
+                    json_f64(lr),
+                    sinkhorn_iters,
+                    json_f64(warm_hit_rate)
+                ));
+            }
+            Event::BatchSkipped { epoch, batch } => {
+                s.push_str(&format!(",\"epoch\":{},\"batch\":{}", epoch, batch));
+            }
+            Event::Rollback { epoch, retries } => {
+                s.push_str(&format!(",\"epoch\":{},\"retries\":{}", epoch, retries));
+            }
+            Event::LrBackoff { epoch, lr } => {
+                s.push_str(&format!(",\"epoch\":{},\"lr\":{}", epoch, json_f64(lr)));
+            }
+            Event::SinkhornEscalation { count } => {
+                s.push_str(&format!(",\"count\":{}", count));
+            }
+            Event::CacheInvalidation => {}
+            Event::SseProbe { n, prob, accepted } => {
+                s.push_str(&format!(
+                    ",\"n\":{},\"prob\":{},\"accepted\":{}",
+                    n,
+                    json_f64(prob),
+                    accepted
+                ));
+            }
+            Event::Degraded { reason } => {
+                s.push_str(&format!(",\"reason\":\"{}\"", json_escape(reason)));
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
 const N_COUNTERS: usize = Counter::ALL.len();
 const N_SPANS: usize = SpanKind::ALL.len();
+const N_SERIES: usize = Series::ALL.len();
+const N_HISTS: usize = Hist::ALL.len();
+
+/// Number of power-of-two histogram buckets: bucket 0 holds the value 0,
+/// bucket `k ≥ 1` holds values in `[2^(k-1), 2^k)`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Capacity of the in-memory flight-recorder ring buffer. Oldest events are
+/// overwritten once full; sequence numbers stay monotonic so a dumped stream
+/// makes the truncation visible.
+pub const FLIGHT_RECORDER_CAP: usize = 1024;
+
+/// Bucket index for a histogram value: 0 for 0, else the bit width
+/// (`1 + floor(log2 v)`), so bucket `k` spans `[2^(k-1), 2^k)`.
+#[inline]
+pub fn hist_bucket(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive `(lo, hi)` value bounds of histogram bucket `idx`.
+pub fn hist_bucket_bounds(idx: usize) -> (u64, u64) {
+    if idx == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (idx - 1);
+        let hi = if idx >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        };
+        (lo, hi)
+    }
+}
+
+/// Bounded flight-recorder ring. The buffer is preallocated at construction
+/// so pushes never allocate.
+#[derive(Debug)]
+struct EventRing {
+    buf: Vec<RecordedEvent>,
+    head: usize,
+    next_seq: u64,
+    cap: usize,
+}
+
+impl EventRing {
+    fn with_capacity(cap: usize) -> Self {
+        EventRing {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+            next_seq: 0,
+            cap,
+        }
+    }
+
+    fn push(&mut self, event: Event) {
+        let rec = RecordedEvent {
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Last `n` retained events, oldest first.
+    fn tail(&self, n: usize) -> Vec<RecordedEvent> {
+        let len = self.buf.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let take = n.min(len);
+        let mut out = Vec::with_capacity(take);
+        for i in (len - take)..len {
+            out.push(self.buf[(self.head + i) % len]);
+        }
+        out
+    }
+}
+
+fn relock<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // a poisoned recorder keeps recording; telemetry must not compound a
+    // panic elsewhere with one of its own
+    r.unwrap_or_else(PoisonError::into_inner)
+}
 
 #[derive(Debug)]
 struct Inner {
     counters: [AtomicU64; N_COUNTERS],
     span_nanos: [AtomicU64; N_SPANS],
     span_counts: [AtomicU64; N_SPANS],
+    series: Mutex<[Vec<f64>; N_SERIES]>,
+    events: Mutex<EventRing>,
+    hist_buckets: [[AtomicU64; HIST_BUCKETS]; N_HISTS],
+    hist_counts: [AtomicU64; N_HISTS],
+    hist_sums: [AtomicU64; N_HISTS],
 }
 
 /// A cheap, cloneable telemetry handle.
@@ -183,12 +576,20 @@ impl Telemetry {
         Telemetry(None)
     }
 
-    /// A live collector (one allocation, here, never on record paths).
+    /// A live collector. The atomic slabs and the flight-recorder ring are
+    /// allocated here, once; counter/span/histogram/event record paths never
+    /// allocate afterwards (series pushes may grow their epoch-bounded
+    /// vectors).
     pub fn collecting() -> Self {
         Telemetry(Some(Arc::new(Inner {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             span_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
             span_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            series: Mutex::new(std::array::from_fn(|_| Vec::new())),
+            events: Mutex::new(EventRing::with_capacity(FLIGHT_RECORDER_CAP)),
+            hist_buckets: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            hist_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_sums: std::array::from_fn(|_| AtomicU64::new(0)),
         })))
     }
 
@@ -232,12 +633,81 @@ impl Telemetry {
     }
 
     /// Starts a span; the elapsed time is recorded when the guard drops.
-    /// When disabled the guard holds no clock and drop is a no-op.
+    /// When disabled the guard holds no clock and drop is a no-op. A live
+    /// span also emits [`Event::PhaseStart`]/[`Event::PhaseEnd`] into the
+    /// flight recorder.
     pub fn span(&self, kind: SpanKind) -> SpanGuard<'_> {
+        if self.0.is_some() {
+            self.record_event(Event::PhaseStart { phase: kind });
+        }
         SpanGuard {
             tel: self,
             kind,
             start: self.0.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Appends a typed event to the flight-recorder ring (no-op when off;
+    /// never allocates — the ring is preallocated).
+    pub fn record_event(&self, event: Event) {
+        if let Some(inner) = &self.0 {
+            relock(inner.events.lock()).push(event);
+        }
+    }
+
+    /// Last `n` retained events, oldest first (empty when disabled). This is
+    /// the post-mortem tail attached to failures.
+    pub fn event_tail(&self, n: usize) -> Vec<RecordedEvent> {
+        match &self.0 {
+            Some(inner) => relock(inner.events.lock()).tail(n),
+            None => Vec::new(),
+        }
+    }
+
+    /// All events still retained in the ring, oldest first.
+    pub fn events(&self) -> Vec<RecordedEvent> {
+        self.event_tail(FLIGHT_RECORDER_CAP)
+    }
+
+    /// Total events ever recorded (including ones the ring has dropped).
+    pub fn events_recorded(&self) -> u64 {
+        match &self.0 {
+            Some(inner) => relock(inner.events.lock()).next_seq,
+            None => 0,
+        }
+    }
+
+    /// Appends one value to a per-epoch series slot (no-op when off).
+    pub fn push_series(&self, s: Series, v: f64) {
+        if let Some(inner) = &self.0 {
+            relock(inner.series.lock())[s as usize].push(v);
+        }
+    }
+
+    /// Copy of one series (empty when disabled).
+    pub fn series(&self, s: Series) -> Vec<f64> {
+        match &self.0 {
+            Some(inner) => relock(inner.series.lock())[s as usize].clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records one observation into a power-of-two histogram (no-op when
+    /// off; three relaxed atomic adds when collecting).
+    #[inline]
+    pub fn record_hist(&self, h: Hist, v: u64) {
+        if let Some(inner) = &self.0 {
+            inner.hist_buckets[h as usize][hist_bucket(v)].fetch_add(1, Ordering::Relaxed);
+            inner.hist_counts[h as usize].fetch_add(1, Ordering::Relaxed);
+            inner.hist_sums[h as usize].fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a wall-clock duration (as nanoseconds) into a time histogram.
+    #[inline]
+    pub fn record_hist_duration(&self, h: Hist, d: Duration) {
+        if self.0.is_some() {
+            self.record_hist(h, d.as_nanos().min(u64::MAX as u128) as u64);
         }
     }
 
@@ -257,7 +727,22 @@ impl Telemetry {
         }
     }
 
-    /// A point-in-time copy of all counters and span aggregates.
+    /// Point-in-time copy of one histogram (empty when disabled).
+    pub fn hist(&self, h: Hist) -> HistSnapshot {
+        match &self.0 {
+            Some(inner) => HistSnapshot {
+                count: inner.hist_counts[h as usize].load(Ordering::Relaxed),
+                sum: inner.hist_sums[h as usize].load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|i| {
+                    inner.hist_buckets[h as usize][i].load(Ordering::Relaxed)
+                }),
+            },
+            None => HistSnapshot::empty(),
+        }
+    }
+
+    /// A point-in-time copy of all counters, span aggregates, series,
+    /// histograms, and the event count.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             counters: Counter::ALL.map(|c| self.counter(c)),
@@ -265,6 +750,9 @@ impl Telemetry {
                 count: self.span_count(k),
                 secs: self.span_secs(k),
             }),
+            series: Series::ALL.map(|s| self.series(s)),
+            hists: Hist::ALL.map(|h| self.hist(h)),
+            events_recorded: self.events_recorded(),
         }
     }
 }
@@ -280,7 +768,12 @@ pub struct SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            self.tel.record_span(self.kind, start.elapsed());
+            let elapsed = start.elapsed();
+            self.tel.record_span(self.kind, elapsed);
+            self.tel.record_event(Event::PhaseEnd {
+                phase: self.kind,
+                secs: elapsed.as_secs_f64(),
+            });
         }
     }
 }
@@ -294,11 +787,52 @@ pub struct SpanStat {
     pub secs: f64,
 }
 
-/// Point-in-time copy of a collector, indexable by [`Counter`] / [`SpanKind`].
+/// Point-in-time copy of one power-of-two histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating only if the u64 wraps — it won't
+    /// for iteration counts or nanosecond latencies at pipeline scale).
+    pub sum: u64,
+    /// Per-bucket observation counts; bucket `k` spans
+    /// [`hist_bucket_bounds`]`(k)`.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistSnapshot {
+    /// The all-zero histogram (shape of a disabled collector's snapshot).
+    pub fn empty() -> Self {
+        HistSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi, count)` with inclusive
+    /// value bounds — the compact form used in JSON reports.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = hist_bucket_bounds(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+/// Point-in-time copy of a collector, indexable by [`Counter`] / [`SpanKind`]
+/// / [`Series`] / [`Hist`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     counters: [u64; N_COUNTERS],
     spans: [SpanStat; N_SPANS],
+    series: [Vec<f64>; N_SERIES],
+    hists: [HistSnapshot; N_HISTS],
+    events_recorded: u64,
 }
 
 impl Snapshot {
@@ -324,16 +858,52 @@ impl Snapshot {
         SpanKind::ALL.iter().map(move |&k| (k.name(), self.span(k)))
     }
 
-    /// Whether every counter is zero and no span was observed (the shape of
-    /// a snapshot taken from a disabled collector).
+    /// Values of one series (empty from a disabled collector).
+    pub fn series(&self, s: Series) -> &[f64] {
+        &self.series[s as usize]
+    }
+
+    /// Iterates `(name, values)` over all series, in slot order.
+    pub fn series_iter(&self) -> impl Iterator<Item = (&'static str, &[f64])> + '_ {
+        Series::ALL.iter().map(move |&s| (s.name(), self.series(s)))
+    }
+
+    /// One histogram's snapshot.
+    pub fn hist(&self, h: Hist) -> &HistSnapshot {
+        &self.hists[h as usize]
+    }
+
+    /// Iterates `(name, histogram)` over all histograms, in slot order.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &HistSnapshot)> + '_ {
+        Hist::ALL.iter().map(move |&h| (h.name(), self.hist(h)))
+    }
+
+    /// Total events recorded into the flight recorder.
+    pub fn events_recorded(&self) -> u64 {
+        self.events_recorded
+    }
+
+    /// Whether every counter is zero, no span was observed, every series and
+    /// histogram is empty, and no event was recorded (the shape of a
+    /// snapshot taken from a disabled collector).
     pub fn is_empty(&self) -> bool {
-        self.counters.iter().all(|&v| v == 0) && self.spans.iter().all(|s| s.count == 0)
+        self.counters.iter().all(|&v| v == 0)
+            && self.spans.iter().all(|s| s.count == 0)
+            && self.series.iter().all(|s| s.is_empty())
+            && self.hists.iter().all(|h| h.count == 0)
+            && self.events_recorded == 0
     }
 
     /// Counter values only — the policy-independent, bit-comparable part of
     /// a snapshot (timings excluded by construction).
     pub fn counter_values(&self) -> [u64; N_COUNTERS] {
         self.counters
+    }
+
+    /// All series values, in slot order — like [`Snapshot::counter_values`],
+    /// part of the policy-independent determinism contract.
+    pub fn series_values(&self) -> &[Vec<f64>; N_SERIES] {
+        &self.series
     }
 }
 
@@ -443,5 +1013,231 @@ mod tests {
         assert_eq!(json_f64(1.5), "1.5");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn json_escape_covers_every_control_character() {
+        // regression: every code point below 0x20 must come out as an escape
+        // sequence, never as a raw control byte
+        for c in 0u32..0x20 {
+            let ch = char::from_u32(c).unwrap();
+            let escaped = json_escape(&ch.to_string());
+            assert!(
+                escaped.chars().all(|e| (e as u32) >= 0x20),
+                "raw control char {:#04x} leaked into {:?}",
+                c,
+                escaped
+            );
+            let expected = match ch {
+                '\n' => "\\n".to_string(),
+                '\r' => "\\r".to_string(),
+                '\t' => "\\t".to_string(),
+                _ => format!("\\u{:04x}", c),
+            };
+            assert_eq!(escaped, expected, "control char {:#04x}", c);
+        }
+        // a string mixing controls with ordinary text stays intact around them
+        assert_eq!(json_escape("a\u{0}b\u{1f}c"), "a\\u0000b\\u001fc");
+    }
+
+    #[test]
+    fn json_f64_round_trips_negative_zero_and_subnormals() {
+        let nz = json_f64(-0.0);
+        let parsed: f64 = nz.parse().unwrap();
+        assert_eq!(parsed.to_bits(), (-0.0f64).to_bits(), "-0.0 via {:?}", nz);
+        for v in [f64::MIN_POSITIVE / 2.0, 5e-324, f64::MIN_POSITIVE, 1e-300] {
+            let s = json_f64(v);
+            assert_ne!(s, "null");
+            let parsed: f64 = s.parse().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{} via {:?}", v, s);
+        }
+    }
+
+    #[test]
+    fn hist_bucket_math() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 1);
+        assert_eq!(hist_bucket(2), 2);
+        assert_eq!(hist_bucket(3), 2);
+        assert_eq!(hist_bucket(4), 3);
+        assert_eq!(hist_bucket(u64::MAX), 64);
+        // bounds are consistent with the index function
+        for idx in 0..HIST_BUCKETS {
+            let (lo, hi) = hist_bucket_bounds(idx);
+            assert_eq!(hist_bucket(lo), idx);
+            assert_eq!(hist_bucket(hi), idx);
+        }
+    }
+
+    #[test]
+    fn histograms_accumulate_and_snapshot() {
+        let t = Telemetry::collecting();
+        for v in [0u64, 1, 2, 3, 100] {
+            t.record_hist(Hist::SinkhornSolveIters, v);
+        }
+        let h = t.hist(Hist::SinkhornSolveIters);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 106);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[7], 1); // 100 ∈ [64,127]
+        let compact: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(compact, vec![(0, 0, 1), (1, 1, 1), (2, 3, 2), (64, 127, 1)]);
+        // off handle records nothing and snapshots empty
+        let off = Telemetry::off();
+        off.record_hist(Hist::BatchStepNanos, 7);
+        assert_eq!(off.hist(Hist::BatchStepNanos), HistSnapshot::empty());
+    }
+
+    #[test]
+    fn series_accumulate_per_slot() {
+        let t = Telemetry::collecting();
+        t.push_series(Series::DimLoss, 0.5);
+        t.push_series(Series::DimLoss, 0.25);
+        t.push_series(Series::LearningRate, 1e-3);
+        assert_eq!(t.series(Series::DimLoss), vec![0.5, 0.25]);
+        assert_eq!(t.series(Series::LearningRate), vec![1e-3]);
+        assert!(t.series(Series::GradNorm).is_empty());
+        let snap = t.snapshot();
+        assert_eq!(snap.series(Series::DimLoss), &[0.5, 0.25]);
+        assert!(!snap.is_empty());
+        // off handle: no-op, empty
+        let off = Telemetry::off();
+        off.push_series(Series::DimLoss, 1.0);
+        assert!(off.series(Series::DimLoss).is_empty());
+    }
+
+    #[test]
+    fn event_ring_wraps_with_monotonic_seq() {
+        let mut ring = EventRing::with_capacity(4);
+        for i in 0..6u64 {
+            ring.push(Event::SinkhornEscalation { count: i });
+        }
+        let tail = ring.tail(usize::MAX);
+        assert_eq!(tail.len(), 4, "ring must stay bounded");
+        let seqs: Vec<u64> = tail.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5], "oldest dropped, order preserved");
+        assert_eq!(ring.next_seq, 6);
+        // a shorter tail takes the newest entries
+        let last2 = ring.tail(2);
+        assert_eq!(last2[0].seq, 4);
+        assert_eq!(last2[1].seq, 5);
+    }
+
+    #[test]
+    fn events_record_and_tail_through_the_handle() {
+        let t = Telemetry::collecting();
+        assert!(t.events().is_empty());
+        t.record_event(Event::Rollback {
+            epoch: 3,
+            retries: 1,
+        });
+        t.record_event(Event::Degraded {
+            reason: "mean_fallback",
+        });
+        assert_eq!(t.events_recorded(), 2);
+        let tail = t.event_tail(8);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 0);
+        assert_eq!(
+            tail[0].event,
+            Event::Rollback {
+                epoch: 3,
+                retries: 1
+            }
+        );
+        assert_eq!(
+            tail[1].event,
+            Event::Degraded {
+                reason: "mean_fallback"
+            }
+        );
+        // off handle records nothing
+        let off = Telemetry::off();
+        off.record_event(Event::CacheInvalidation);
+        assert_eq!(off.events_recorded(), 0);
+        assert!(off.event_tail(8).is_empty());
+    }
+
+    #[test]
+    fn span_guard_emits_phase_events() {
+        let t = Telemetry::collecting();
+        {
+            let _g = t.span(SpanKind::Sse);
+            std::hint::black_box(0u64);
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].event,
+            Event::PhaseStart {
+                phase: SpanKind::Sse
+            }
+        );
+        assert!(matches!(
+            events[1].event,
+            Event::PhaseEnd { phase: SpanKind::Sse, secs } if secs >= 0.0
+        ));
+    }
+
+    #[test]
+    fn event_json_lines_are_well_formed() {
+        let cases = [
+            (
+                Event::PhaseStart {
+                    phase: SpanKind::Sse,
+                },
+                r#"{"seq":0,"type":"phase_start","phase":"sse"}"#,
+            ),
+            (
+                Event::EpochEnd {
+                    phase: "initial",
+                    epoch: 2,
+                    loss: 0.5,
+                    grad_norm: 1.25,
+                    lr: 0.001,
+                    sinkhorn_iters: 42,
+                    warm_hit_rate: 0.75,
+                },
+                r#"{"seq":0,"type":"epoch_end","phase":"initial","epoch":2,"loss":0.5,"grad_norm":1.25,"lr":0.001,"sinkhorn_iters":42,"warm_hit_rate":0.75}"#,
+            ),
+            (
+                Event::BatchSkipped { epoch: 1, batch: 7 },
+                r#"{"seq":0,"type":"batch_skipped","epoch":1,"batch":7}"#,
+            ),
+            (
+                Event::SseProbe {
+                    n: 120,
+                    prob: 0.9,
+                    accepted: true,
+                },
+                r#"{"seq":0,"type":"sse_probe","n":120,"prob":0.9,"accepted":true}"#,
+            ),
+            (
+                Event::CacheInvalidation,
+                r#"{"seq":0,"type":"cache_invalidation"}"#,
+            ),
+            (
+                Event::Degraded {
+                    reason: "mean_fallback",
+                },
+                r#"{"seq":0,"type":"degraded","reason":"mean_fallback"}"#,
+            ),
+        ];
+        for (event, expected) in cases {
+            let line = RecordedEvent { seq: 0, event }.to_json();
+            assert_eq!(line, expected);
+        }
+        // non-finite payloads become JSON null, not bare NaN tokens
+        let line = RecordedEvent {
+            seq: 9,
+            event: Event::LrBackoff {
+                epoch: 0,
+                lr: f64::NAN,
+            },
+        }
+        .to_json();
+        assert_eq!(line, r#"{"seq":9,"type":"lr_backoff","epoch":0,"lr":null}"#);
     }
 }

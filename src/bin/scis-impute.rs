@@ -26,10 +26,20 @@
 //! * `--load-model <path>` impute with a previously saved generator,
 //!   skipping training entirely (scis-gain only)
 //! * `--trace-json <path>` write a structured JSON run report (phase
-//!   wall-clock, solve/batch/guard counters, SSE search trace) after the
-//!   run (scis-gain only; incompatible with `--load-model`, which skips
-//!   the pipeline). Counter values are bit-identical for any `--threads`
-//!   setting; only timings vary.
+//!   wall-clock, solve/batch/guard counters, per-epoch metric series,
+//!   latency histograms, SSE search trace) after the run (scis-gain only;
+//!   incompatible with `--load-model`, which skips the pipeline). Counter,
+//!   series, and iteration-histogram values are bit-identical for any
+//!   `--threads` setting; only timings vary.
+//! * `--events <path>` write the flight recorder's typed event stream as
+//!   JSON Lines — one `{"seq":…,"type":…,…}` object per line — after the
+//!   run, *including* when the run fails (the tail doubles as a
+//!   post-mortem). The recorder is a bounded ring
+//!   ([`scis_telemetry::FLIGHT_RECORDER_CAP`] events); gaps in `seq`
+//!   reveal truncation. scis-gain only, incompatible with `--load-model`.
+//! * `--profile` print a hierarchical phase-timing tree (from the same
+//!   run report) to stderr after the run (scis-gain only, incompatible
+//!   with `--load-model`).
 //!
 //! Exit codes: `0` clean success, `1` error (bad arguments, unreadable
 //! input, non-finite observed values, training unrecoverable), `2`
@@ -64,6 +74,8 @@ struct Args {
     save_model: Option<PathBuf>,
     load_model: Option<PathBuf>,
     trace_json: Option<PathBuf>,
+    events: Option<PathBuf>,
+    profile: bool,
     accel: bool,
 }
 
@@ -83,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
         save_model: None,
         load_model: None,
         trace_json: None,
+        events: None,
+        profile: false,
         accel: false,
     };
     while let Some(flag) = args.next() {
@@ -103,6 +117,8 @@ fn parse_args() -> Result<Args, String> {
             "--save-model" => parsed.save_model = Some(PathBuf::from(value()?)),
             "--load-model" => parsed.load_model = Some(PathBuf::from(value()?)),
             "--trace-json" => parsed.trace_json = Some(PathBuf::from(value()?)),
+            "--events" => parsed.events = Some(PathBuf::from(value()?)),
+            "--profile" => parsed.profile = true,
             "--accel" => parsed.accel = true,
             other => return Err(format!("unknown flag {}", other)),
         }
@@ -123,15 +139,25 @@ fn parse_args() -> Result<Args, String> {
             parsed.method
         ));
     }
-    if parsed.trace_json.is_some() {
+    for (set, flag) in [
+        (parsed.trace_json.is_some(), "--trace-json"),
+        (parsed.events.is_some(), "--events"),
+        (parsed.profile, "--profile"),
+    ] {
+        if !set {
+            continue;
+        }
         if parsed.method != "scis-gain" {
             return Err(format!(
-                "--trace-json only applies to --method scis-gain (got {:?})",
-                parsed.method
+                "{} only applies to --method scis-gain (got {:?})",
+                flag, parsed.method
             ));
         }
         if parsed.load_model.is_some() {
-            return Err("--trace-json is incompatible with --load-model (no pipeline runs)".into());
+            return Err(format!(
+                "{} is incompatible with --load-model (no pipeline runs)",
+                flag
+            ));
         }
     }
     Ok(parsed)
@@ -164,6 +190,23 @@ fn report_anomalies(a: &scis_core::RunAnomalies) {
     for note in &a.notes {
         eprintln!("scis-impute: recovery: {}", note);
     }
+}
+
+/// Writes the flight recorder's buffered event stream as JSON Lines.
+fn write_events(path: &PathBuf, tel: &scis_telemetry::Telemetry) -> Result<(), String> {
+    let events = tel.events();
+    let mut out = String::new();
+    for ev in &events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| format!("writing events {:?}: {}", path, e))?;
+    eprintln!(
+        "scis-impute: wrote {} flight-recorder events to {:?}",
+        events.len(),
+        path
+    );
+    Ok(())
 }
 
 /// Resolves `--threads` to an [`ExecPolicy`]: `0` forces serial execution,
@@ -209,16 +252,29 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
                 config = config.accel(scis_core::dim::AccelConfig::all());
             }
             let mut scis = Scis::new(config);
-            if args.trace_json.is_some() {
-                scis = scis.telemetry(scis_telemetry::Telemetry::collecting());
+            let want_telemetry = args.trace_json.is_some() || args.events.is_some() || args.profile;
+            let tel = if want_telemetry {
+                scis_telemetry::Telemetry::collecting()
+            } else {
+                scis_telemetry::Telemetry::off()
+            };
+            if want_telemetry {
+                scis = scis.telemetry(tel.clone());
             }
-            let outcome = scis
-                .try_run(&mut gain, ds, n0, rng)
-                .map_err(|e| e.to_string())?;
+            let result = scis.try_run(&mut gain, ds, n0, rng);
+            // the event stream is most valuable on failure: flush it before
+            // surfacing any error so the JSONL doubles as a post-mortem
+            if let Some(path) = &args.events {
+                write_events(path, &tel)?;
+            }
+            let outcome = result.map_err(|e| e.to_string())?;
             if let Some(path) = &args.trace_json {
                 std::fs::write(path, outcome.report.to_json())
                     .map_err(|e| format!("writing trace {:?}: {}", path, e))?;
                 eprintln!("scis-impute: wrote run report to {:?}", path);
+            }
+            if args.profile {
+                eprint!("{}", outcome.report.render_profile());
             }
             eprintln!(
                 "scis-impute: trained on n* = {} of {} rows (R_t = {:.2}%), SSE {:.2}s",
@@ -265,7 +321,7 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
 
 fn run() -> Result<bool, String> {
     let args = parse_args().map_err(|e| {
-        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--trace-json path]", e)
+        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--trace-json path] [--events path] [--profile]", e)
     })?;
     let mut ds =
         read_dataset(&args.input).map_err(|e| format!("reading {:?}: {}", args.input, e))?;

@@ -32,6 +32,6 @@ pub mod prelude {
     pub use scis_data::{Dataset, MaskMatrix};
     pub use scis_imputers::{AdversarialImputer, GainImputer, GinnImputer, Imputer, TrainConfig};
     pub use scis_ot::{SinkhornOptions, SinkhornResult};
-    pub use scis_telemetry::{Counter, SpanKind, Telemetry};
+    pub use scis_telemetry::{Counter, Event, Hist, RecordedEvent, Series, SpanKind, Telemetry};
     pub use scis_tensor::{ExecPolicy, Matrix, Rng64};
 }

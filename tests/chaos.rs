@@ -413,6 +413,93 @@ fn accelerated_training_survives_transient_poisoning() {
 }
 
 #[test]
+fn degraded_run_carries_flight_recorder_tail() {
+    use scis_telemetry::{Event, Telemetry};
+
+    let ds = chaos_dataset(120, 0.2, 8);
+    let cfg = fast_config();
+    let mut rng = Rng64::seed_from_u64(8);
+    let mut poisoned = PoisonedGain::new(cfg.dim.train, 1);
+    let tel = Telemetry::collecting();
+    let outcome = Scis::new(cfg)
+        .telemetry(tel)
+        .try_run(&mut poisoned, &ds, 24, &mut rng)
+        .unwrap();
+    assert!(outcome.anomalies.mean_fallback, "{:?}", outcome.anomalies);
+    // the degraded outcome ships its own post-mortem: a non-empty event
+    // tail ending in the Degraded marker, with the rollbacks that led there
+    assert!(!outcome.flight_tail.is_empty(), "flight tail empty");
+    let last = outcome.flight_tail.last().unwrap();
+    assert!(
+        matches!(last.event, Event::Degraded { reason } if reason == "mean_fallback"),
+        "last event: {:?}",
+        last
+    );
+    assert!(
+        outcome
+            .flight_tail
+            .iter()
+            .any(|r| matches!(r.event, Event::Rollback { .. })),
+        "no rollback events in the tail"
+    );
+    // sequence numbers are monotonic, so truncation stays visible
+    for pair in outcome.flight_tail.windows(2) {
+        assert!(pair[1].seq > pair[0].seq);
+    }
+}
+
+#[test]
+fn training_error_carries_post_mortem_tail() {
+    use scis_core::{train_dim_cached, AccelConfig};
+    use scis_ot::DualCache;
+    use scis_telemetry::{Event, Telemetry};
+
+    let ds = chaos_dataset(120, 0.2, 13);
+    let mut cfg = fast_config();
+    cfg.dim.accel = AccelConfig::default();
+    let mut rng = Rng64::seed_from_u64(13);
+    let mut poisoned = PoisonedGain::new(cfg.dim.train, 1);
+    let mut stats = GuardStats::default();
+    let tel = Telemetry::collecting();
+    let err = train_dim_cached(
+        &mut poisoned,
+        &ds,
+        &cfg.dim,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        &tel,
+        &DualCache::off(),
+        &mut rng,
+    )
+    .expect_err("total poisoning must exhaust the guard");
+    assert!(!err.post_mortem.is_empty(), "post-mortem empty");
+    assert!(
+        err.post_mortem
+            .iter()
+            .any(|r| matches!(r.event, Event::Rollback { .. })),
+        "no rollback events in the post-mortem"
+    );
+    // with telemetry off the error still surfaces, just without the tail
+    let mut rng = Rng64::seed_from_u64(13);
+    let mut poisoned = PoisonedGain::new(cfg.dim.train, 1);
+    let mut stats = GuardStats::default();
+    let err = train_dim_cached(
+        &mut poisoned,
+        &ds,
+        &cfg.dim,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        &Telemetry::off(),
+        &DualCache::off(),
+        &mut rng,
+    )
+    .expect_err("total poisoning must exhaust the guard");
+    assert!(err.post_mortem.is_empty());
+}
+
+#[test]
 fn clean_run_reports_no_anomalies() {
     let ds = chaos_dataset(120, 0.15, 10);
     let mut rng = Rng64::seed_from_u64(10);

@@ -128,11 +128,66 @@ fn run_report_is_populated_and_consistent() {
     assert_eq!(r.sse_trace.len() as u64, r.counter("sse_probes").unwrap());
     assert_eq!(r.sse_trace.len(), outcome.sse.probes);
     assert!(r.sse_trace.iter().any(|p| p.n == outcome.n_star));
+    // flight-recorder sections (schema v2) saw the run
+    assert!(!r.histograms.is_empty(), "histograms must be recorded");
+    assert!(!r.series.is_empty(), "series must be recorded");
+    assert!(r.events_recorded > 0, "no flight-recorder events");
+    let solve_hist = r.histogram("sinkhorn_solve_iters").unwrap();
+    assert!(solve_hist.count > 0, "no per-solve iterations observed");
+    assert_eq!(
+        solve_hist.buckets.iter().map(|b| b.2).sum::<u64>(),
+        solve_hist.count
+    );
+    let loss = r.series("dim_loss").unwrap();
+    assert!(!loss.is_empty(), "no per-epoch loss series");
+    assert!(loss.iter().all(|v| v.is_finite()));
     // JSON serialization is self-consistent
     let json = r.to_json();
-    assert!(json.contains("\"schema_version\":1"));
+    assert!(json.contains("\"schema_version\":2"));
     assert!(json.contains(&format!("\"n_star\":{}", outcome.n_star)));
     assert!(json.contains(&format!("\"sinkhorn_solves\":{solves}")));
+    assert!(json.contains("\"histograms\""));
+    assert!(json.contains("\"series\""));
+    assert!(json.contains("\"events_recorded\""));
+}
+
+#[test]
+fn series_and_value_histograms_are_bit_identical_across_exec_policies() {
+    let tel_s = Telemetry::collecting();
+    let tel_p = Telemetry::collecting();
+    let (imp_s, ..) = run_pipeline(ExecPolicy::Serial, tel_s.clone());
+    let (imp_p, ..) = run_pipeline(ExecPolicy::threads(4), tel_p.clone());
+    assert_eq!(imp_s, imp_p, "imputed output diverged");
+    let snap_s = tel_s.snapshot();
+    let snap_p = tel_p.snapshot();
+    // every metric series, bit-for-bit (to_bits so a NaN regression would
+    // still compare, instead of vacuously failing NaN != NaN)
+    for ((name, a), (_, b)) in snap_s.series_iter().zip(snap_p.series_iter()) {
+        assert_eq!(a.len(), b.len(), "series {name} length diverged");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "series {name}[{i}] diverged: {x} vs {y}"
+            );
+        }
+    }
+    // the iteration-valued histogram is in the determinism contract,
+    // bucket for bucket; duration histograms only promise equal counts
+    for h in Hist::ALL {
+        let hs = snap_s.hist(h);
+        let hp = snap_p.hist(h);
+        assert_eq!(hs.count, hp.count, "hist {} count diverged", h.name());
+        if h.is_deterministic() {
+            assert_eq!(hs.sum, hp.sum, "hist {} sum diverged", h.name());
+            assert_eq!(hs.buckets, hp.buckets, "hist {} buckets diverged", h.name());
+        }
+    }
+    let solve = snap_s.hist(Hist::SinkhornSolveIters);
+    assert!(solve.count > 0, "no per-solve iterations observed");
+    // the typed event stream fires at the same logical points
+    assert_eq!(snap_s.events_recorded(), snap_p.events_recorded());
+    assert!(snap_s.events_recorded() > 0);
 }
 
 #[test]
@@ -148,6 +203,9 @@ fn disabled_telemetry_yields_structural_report_only() {
     let r = &outcome.report;
     assert!(r.phases.is_empty());
     assert!(r.counters.is_empty());
+    assert!(r.histograms.is_empty());
+    assert!(r.series.is_empty());
+    assert_eq!(r.events_recorded, 0);
     // the structural fields are still filled
     assert_eq!(r.n_total, 400);
     assert_eq!(r.n_star, outcome.n_star);

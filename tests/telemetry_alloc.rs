@@ -8,7 +8,7 @@
 //! own integration-test file) and drives every record method of a disabled
 //! handle.
 
-use scis_repro::telemetry::{Counter, SpanKind, Telemetry};
+use scis_repro::telemetry::{Counter, Event, Hist, Series, SpanKind, Telemetry};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -48,6 +48,15 @@ fn disabled_collector_allocates_nothing_on_record_paths() {
         tel.record_span(SpanKind::Sse, std::time::Duration::from_nanos(1));
         let guard = tel.span(SpanKind::TrainInitial);
         drop(guard);
+        // flight-recorder paths share the zero-alloc-when-off contract
+        tel.push_series(Series::DimLoss, 0.25);
+        tel.record_hist(Hist::SinkhornSolveIters, 37);
+        tel.record_hist_duration(Hist::BatchStepNanos, std::time::Duration::from_nanos(9));
+        tel.record_event(Event::CacheInvalidation);
+        clone.record_event(Event::Rollback {
+            epoch: 3,
+            retries: 1,
+        });
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
 
@@ -60,6 +69,9 @@ fn disabled_collector_allocates_nothing_on_record_paths() {
     // and recorded nothing, of course
     assert_eq!(tel.counter(Counter::DimBatches), 0);
     assert_eq!(tel.span_count(SpanKind::TrainInitial), 0);
+    assert!(tel.series(Series::DimLoss).is_empty());
+    assert_eq!(tel.hist(Hist::SinkhornSolveIters).count, 0);
+    assert_eq!(tel.events_recorded(), 0);
 }
 
 #[test]
@@ -74,8 +86,15 @@ fn collecting_allocates_only_at_construction() {
         tel.incr(Counter::DimBatches);
         tel.add(Counter::SinkhornIterations, 37);
         tel.record_span(SpanKind::Sse, std::time::Duration::from_nanos(1));
+        // histogram slabs are atomics, the event ring is preallocated —
+        // both stay allocation-free even while collecting (series pushes
+        // are excluded: they grow per epoch, not per batch/solve)
+        tel.record_hist(Hist::SinkhornSolveIters, 37);
+        tel.record_event(Event::CacheInvalidation);
     }
     let hot = ALLOCATIONS.load(Ordering::Relaxed) - hot_before;
     assert_eq!(hot, 0, "record paths of a live collector allocated {hot}x");
     assert_eq!(tel.counter(Counter::DimBatches), 10_000);
+    assert_eq!(tel.hist(Hist::SinkhornSolveIters).count, 10_000);
+    assert_eq!(tel.events_recorded(), 10_000);
 }
