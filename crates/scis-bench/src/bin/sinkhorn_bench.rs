@@ -84,12 +84,11 @@ fn main() {
     let xbar = x.map(|v| (v + 0.08).clamp(0.0, 1.0));
     let cost0 = masked_sq_cost_with(&xbar, &m, &x, &m, ExecPolicy::Serial);
     // λ relative to the cost scale, exactly as DIM training resolves it
-    let opts = SinkhornOptions {
-        lambda: 0.1 * cost0.mean(),
-        max_iters: 5000,
-        tol: 1e-8,
-        exec: ExecPolicy::Serial,
-    };
+    let opts = SinkhornOptions::default()
+        .lambda(0.1 * cost0.mean())
+        .max_iters(5000)
+        .tol(1e-8)
+        .exec(ExecPolicy::Serial);
     let r0 = sinkhorn_uniform(&cost0, &opts);
     // "next epoch": the generator moved one optimizer step, the data side
     // did not (perturbation sized like an Adam step's output movement)

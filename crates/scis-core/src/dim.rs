@@ -17,6 +17,7 @@
 //!   while the generator descends it. Costlier and noisier — kept as an
 //!   ablation (see DESIGN.md §3 and the `dim_critic` bench).
 
+use crate::checkpoint::{CheckpointPolicy, TrainCheckpoint};
 use crate::error::{FailureReason, TrainPhase, TrainingError, POST_MORTEM_TAIL};
 use crate::guard::{GuardConfig, GuardStats, GuardVerdict, TrainingGuard};
 use scis_data::Dataset;
@@ -31,7 +32,7 @@ use scis_ot::{
 };
 use scis_telemetry::{Counter, Event, Hist, Series, Telemetry};
 use scis_tensor::par::pairwise_sq_dists_exec;
-use scis_tensor::{ExecPolicy, Matrix, Rng64};
+use scis_tensor::{ExecPolicy, Matrix, Rng64, RunDeadline};
 
 /// Mirrors one batch's Sinkhorn solve accounting into the telemetry
 /// counters, the per-solve iteration histogram, and — when escalations
@@ -205,11 +206,15 @@ impl DimConfig {
     }
 
     fn sinkhorn_options(&self, lambda: f64) -> SinkhornOptions {
+        // `DimConfig` is `Copy`, so the (non-`Copy`) run deadline is not
+        // stored here — the train loop attaches it per solve via
+        // `SinkhornOptions::deadline`.
         SinkhornOptions {
             lambda,
             max_iters: self.max_sinkhorn_iters,
             tol: 1e-8,
             exec: self.exec,
+            deadline: scis_tensor::RunDeadline::none(),
         }
     }
 
@@ -413,6 +418,118 @@ pub fn train_dim_cached(
     cache: &DualCache,
     rng: &mut Rng64,
 ) -> Result<DimReport, TrainingError> {
+    train_dim_resumable(
+        imp,
+        ds,
+        cfg,
+        guard_cfg,
+        phase,
+        stats,
+        tel,
+        cache,
+        &TrainHooks::default(),
+        rng,
+    )
+}
+
+/// Robustness hooks for [`train_dim_resumable`]: periodic checkpointing,
+/// resume-from-checkpoint, and a cooperative run deadline. The default
+/// value disables all three, making the hot path identical to
+/// [`train_dim_cached`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainHooks<'a> {
+    /// Write a [`TrainCheckpoint`] at epoch boundaries under this policy,
+    /// plus an emergency checkpoint on terminal failure or deadline expiry.
+    pub checkpoint: Option<&'a CheckpointPolicy>,
+    /// Fast-forward to this checkpoint when its phase matches the phase
+    /// being trained (phases before it replay normally; the deterministic
+    /// replay regenerates their state bit-exactly).
+    pub resume: Option<&'a TrainCheckpoint>,
+    /// Cooperative cancellation, polled at epoch, batch, and Sinkhorn-sweep
+    /// boundaries. On expiry training stops gracefully: the generator is
+    /// rewound to the last completed epoch boundary (matching the emergency
+    /// checkpoint written at the same moment) and a partial report returns.
+    pub deadline: RunDeadline,
+}
+
+/// Snapshots the full train-loop state at an epoch boundary. Read-only —
+/// never draws from the RNG — so capturing is determinism-neutral.
+fn capture_boundary(
+    imp: &mut dyn AdversarialImputer,
+    phase: TrainPhase,
+    epoch: usize,
+    opt_g: &Adam,
+    guard: &TrainingGuard,
+    stats: &GuardStats,
+    rng: &Rng64,
+) -> TrainCheckpoint {
+    TrainCheckpoint {
+        phase,
+        epoch,
+        rng: rng.state(),
+        adam: opt_g.state(),
+        gen_params: imp.generator_mut().param_vector(),
+        disc_params: imp.discriminator_mut().map(|d| d.param_vector()),
+        guard_best_params: guard.best_params().to_vec(),
+        guard_best_loss: guard.best_loss(),
+        guard_lr: guard.lr(),
+        guard_retries: guard.retries(),
+        stats: *stats,
+    }
+}
+
+/// Writes a checkpoint, mirroring the outcome into telemetry. IO failure is
+/// counted ([`Counter::CheckpointFailures`]) but never aborts training — a
+/// full disk must not kill an otherwise healthy run.
+fn write_checkpoint(
+    policy: &CheckpointPolicy,
+    ckpt: &TrainCheckpoint,
+    emergency: bool,
+    tel: &Telemetry,
+) {
+    let outcome = if emergency {
+        policy.write_emergency(ckpt)
+    } else {
+        policy.write_periodic(ckpt)
+    };
+    match outcome {
+        Ok(_) => {
+            tel.incr(Counter::CheckpointsWritten);
+            tel.record_event(Event::Checkpoint {
+                phase: ckpt.phase.name(),
+                epoch: ckpt.epoch as u32,
+                emergency,
+            });
+        }
+        Err(_) => tel.incr(Counter::CheckpointFailures),
+    }
+}
+
+/// [`train_dim_cached`] plus the crash-safety hooks of [`TrainHooks`]:
+/// epoch-boundary checkpoints, resume fast-forward, and a cooperative run
+/// deadline (DESIGN.md §14).
+///
+/// **Resume contract** — resuming a checkpoint written at epoch `k`
+/// produces, for the remaining epochs, a parameter/RNG trajectory
+/// bit-identical to the uninterrupted run's: setup replays the same RNG
+/// draws as the original (network init, critic init), the checkpoint then
+/// restores parameters, Adam moments, guard state, and finally the RNG
+/// stream position, so epoch `k` onward recomputes the identical numbers.
+/// The contract holds for the default configuration (no critic — a critic's
+/// own optimizer state is not checkpointed).
+#[allow(clippy::too_many_arguments)]
+pub fn train_dim_resumable(
+    imp: &mut dyn AdversarialImputer,
+    ds: &Dataset,
+    cfg: &DimConfig,
+    guard_cfg: &GuardConfig,
+    phase: TrainPhase,
+    stats: &mut GuardStats,
+    tel: &Telemetry,
+    cache: &DualCache,
+    hooks: &TrainHooks<'_>,
+    rng: &mut Rng64,
+) -> Result<DimReport, TrainingError> {
     let start = std::time::Instant::now();
     let d = ds.n_features();
     if !imp.is_initialized(d) {
@@ -444,7 +561,60 @@ pub fn train_dim_cached(
     let mut epoch_losses = Vec::with_capacity(cfg.train.epochs);
     let mut last_lambda = f64::NAN;
     let mut epoch = 0usize;
+
+    // --- resume fast-forward -------------------------------------------
+    // Setup above consumed the same RNG draws as the original run; now
+    // overwrite everything the checkpoint captured. The RNG restore comes
+    // last so the stream continues exactly where the checkpoint cut it.
+    if let Some(ckpt) = hooks.resume.filter(|c| c.phase == phase) {
+        let expected = imp.generator_mut().param_vector().len();
+        if ckpt.gen_params.len() != expected {
+            return Err(TrainingError {
+                phase,
+                epoch: ckpt.epoch,
+                retries: 0,
+                reason: FailureReason::ResumeMismatch {
+                    expected,
+                    actual: ckpt.gen_params.len(),
+                },
+                post_mortem: tel.event_tail(POST_MORTEM_TAIL),
+            });
+        }
+        imp.generator_mut().set_param_vector(&ckpt.gen_params);
+        if let Some(saved) = &ckpt.disc_params {
+            if let Some(disc) = imp.discriminator_mut() {
+                if disc.param_vector().len() == saved.len() {
+                    disc.set_param_vector(saved);
+                }
+            }
+        }
+        opt_g = Adam::from_state(&ckpt.adam);
+        guard = TrainingGuard::restore(
+            *guard_cfg,
+            ckpt.guard_best_params.clone(),
+            ckpt.guard_best_loss,
+            ckpt.guard_lr,
+            ckpt.guard_retries,
+        );
+        *stats = ckpt.stats;
+        epoch = ckpt.epoch;
+        *rng = Rng64::from_state(ckpt.rng);
+    }
+
+    // The last clean epoch-boundary snapshot: what periodic checkpoints
+    // write, and what both the emergency checkpoint and the in-memory model
+    // rewind to when the deadline trips mid-epoch (state past the boundary
+    // may already be contaminated by deadline-shortened Sinkhorn solves).
+    let hooks_active = hooks.checkpoint.is_some() || hooks.deadline.is_some();
+    let mut boundary =
+        hooks_active.then(|| capture_boundary(imp, phase, epoch, &opt_g, &guard, stats, rng));
+    let mut deadline_stop = false;
+
     while epoch < cfg.train.epochs {
+        if hooks.deadline.expired() {
+            deadline_stop = true;
+            break;
+        }
         let epoch_t0 = tel.is_enabled().then(std::time::Instant::now);
         let order = rng.permutation(n);
         let mut epoch_loss = 0.0;
@@ -455,6 +625,10 @@ pub fn train_dim_cached(
         for (bi, chunk) in order.chunks(bs).enumerate() {
             if chunk.len() < 2 {
                 continue;
+            }
+            if hooks.deadline.expired() {
+                deadline_stop = true;
+                break;
             }
             let batch_t0 = tel.is_enabled().then(std::time::Instant::now);
             let xb = x.select_rows(chunk);
@@ -487,7 +661,9 @@ pub fn train_dim_cached(
                         None => masked_sq_cost_with(&xbar, &mb, &xb, &mb, cfg.exec),
                     };
                     let lambda = cfg.resolve_lambda(&cost);
-                    let opts = cfg.sinkhorn_options(lambda);
+                    let opts = cfg
+                        .sinkhorn_options(lambda)
+                        .deadline(hooks.deadline.clone());
                     let result = if cfg.accel.any() {
                         let ctx = AccelContext {
                             cache,
@@ -547,6 +723,12 @@ pub fn train_dim_cached(
                 });
                 continue;
             }
+            // a solve that raced the deadline may have been truncated
+            // mid-sweep — stop before applying a contaminated gradient
+            if hooks.deadline.expired() {
+                deadline_stop = true;
+                break;
+            }
             last_lambda = lambda;
 
             // reconstruction anchor on observed cells
@@ -575,6 +757,9 @@ pub fn train_dim_cached(
             }
         }
 
+        if deadline_stop {
+            break;
+        }
         let mean_loss = epoch_loss / batches.max(1) as f64;
         if failure.is_none() && batches == 0 {
             failure = Some(FailureReason::AllBatchesSkipped);
@@ -656,6 +841,12 @@ pub fn train_dim_cached(
             }
         }
         if let Some(reason) = give_up {
+            // leave a post-mortem checkpoint next to the structured error:
+            // the last clean boundary, with the generator on its best
+            // snapshot, is exactly the state a caller would resume from
+            if let (Some(policy), Some(b)) = (hooks.checkpoint, &boundary) {
+                write_checkpoint(policy, b, true, tel);
+            }
             return Err(TrainingError {
                 phase,
                 epoch,
@@ -666,6 +857,35 @@ pub fn train_dim_cached(
         }
         if !rolled_back {
             epoch += 1;
+        }
+        if hooks_active {
+            boundary = Some(capture_boundary(
+                imp, phase, epoch, &opt_g, &guard, stats, rng,
+            ));
+            if !rolled_back {
+                if let (Some(policy), Some(b)) = (hooks.checkpoint, &boundary) {
+                    if epoch.is_multiple_of(policy.every) {
+                        write_checkpoint(policy, b, false, tel);
+                    }
+                }
+            }
+        }
+    }
+
+    if deadline_stop {
+        if hooks.deadline.newly_expired() {
+            tel.record_event(Event::DeadlineHit {
+                phase: phase.name(),
+                epoch: epoch as u32,
+            });
+        }
+        if let Some(b) = &boundary {
+            // rewind to the last clean boundary so the in-memory model is
+            // exactly the state the emergency checkpoint records
+            imp.generator_mut().set_param_vector(&b.gen_params);
+            if let Some(policy) = hooks.checkpoint {
+                write_checkpoint(policy, b, true, tel);
+            }
         }
     }
 

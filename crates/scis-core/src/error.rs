@@ -74,6 +74,14 @@ pub enum FailureReason {
     },
     /// Every batch of the epoch was skipped as numerically poisoned.
     AllBatchesSkipped,
+    /// A resume checkpoint did not match the network it was applied to
+    /// (different architecture or dataset width).
+    ResumeMismatch {
+        /// Parameter count of the freshly initialized network.
+        expected: usize,
+        /// Parameter count recorded in the checkpoint.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for FailureReason {
@@ -85,6 +93,13 @@ impl fmt::Display for FailureReason {
             }
             FailureReason::AllBatchesSkipped => {
                 write!(f, "every batch was skipped as numerically poisoned")
+            }
+            FailureReason::ResumeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "resume checkpoint does not fit this model: network has {expected} \
+                     parameters, checkpoint records {actual}"
+                )
             }
         }
     }

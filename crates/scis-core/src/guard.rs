@@ -159,9 +159,33 @@ impl TrainingGuard {
         }
     }
 
+    /// Rebuilds a guard from checkpointed state (resume path). The fields
+    /// mirror the accessors; a restored guard behaves exactly as if it had
+    /// reached this state through `accept_epoch`/`reject_epoch`.
+    pub fn restore(
+        cfg: GuardConfig,
+        best_params: Vec<f64>,
+        best_loss: f64,
+        lr: f64,
+        retries: usize,
+    ) -> Self {
+        Self {
+            cfg,
+            best_params,
+            best_loss,
+            lr,
+            retries,
+        }
+    }
+
     /// The best snapshot to restore on rollback.
     pub fn best_params(&self) -> &[f64] {
         &self.best_params
+    }
+
+    /// The loss of the best snapshot (`+inf` until an epoch is accepted).
+    pub fn best_loss(&self) -> f64 {
+        self.best_loss
     }
 
     /// The current (possibly backed-off) learning rate.

@@ -31,6 +31,7 @@
 //! println!("n* = {} (R_t = {:.2}%)", outcome.n_star, outcome.training_sample_rate() * 100.0);
 //! ```
 
+pub mod checkpoint;
 pub mod dim;
 pub mod error;
 pub mod guard;
@@ -38,9 +39,10 @@ pub mod pipeline;
 pub mod report;
 pub mod sse;
 
+pub use checkpoint::{latest_checkpoint, CheckpointPolicy, TrainCheckpoint};
 pub use dim::{
-    train_dim, train_dim_cached, train_dim_guarded, train_dim_telemetered, try_train_dim,
-    AccelConfig, DimConfig, DimReport,
+    train_dim, train_dim_cached, train_dim_guarded, train_dim_resumable, train_dim_telemetered,
+    try_train_dim, AccelConfig, DimConfig, DimReport, TrainHooks,
 };
 pub use error::{FailureReason, ScisError, TrainPhase, TrainingError, POST_MORTEM_TAIL};
 pub use guard::{GuardConfig, GuardStats, TrainingGuard};

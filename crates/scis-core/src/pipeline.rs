@@ -9,7 +9,8 @@
 //! 6-7: X̄ = M*(X); X̂ = M ⊙ X + (1−M) ⊙ X̄
 //! ```
 
-use crate::dim::{train_dim_cached, AccelConfig, DimConfig};
+use crate::checkpoint::{CheckpointPolicy, TrainCheckpoint};
+use crate::dim::{train_dim_resumable, AccelConfig, DimConfig, TrainHooks};
 use crate::error::{ScisError, TrainPhase, POST_MORTEM_TAIL};
 use crate::guard::{GuardConfig, GuardStats};
 use crate::report::RunReport;
@@ -20,7 +21,7 @@ use scis_imputers::traits::impute_with_generator;
 use scis_imputers::{AdversarialImputer, Imputer};
 use scis_ot::{DualCache, SinkhornOptions};
 use scis_telemetry::{Event, RecordedEvent, SpanKind, Telemetry};
-use scis_tensor::{ExecPolicy, Matrix, Rng64};
+use scis_tensor::{ExecPolicy, Matrix, Rng64, RunDeadline};
 use std::time::{Duration, Instant};
 
 /// Full SCIS configuration: DIM + SSE + fault-tolerance knobs.
@@ -134,6 +135,10 @@ pub struct RunAnomalies {
     pub retrain_failed: bool,
     /// Non-finite imputed cells patched from the mean imputer at the end.
     pub non_finite_cells_patched: usize,
+    /// The run deadline expired: later phases were skipped and the output
+    /// comes from the best model trained before the cut. Not counted as
+    /// *degraded* — the model is healthy, just trained for less long.
+    pub deadline_exceeded: bool,
     /// Human-readable recovery notes, in order of occurrence.
     pub notes: Vec<String>,
 }
@@ -152,6 +157,7 @@ impl RunAnomalies {
             && !self.calibration_skipped
             && !self.retrain_failed
             && self.non_finite_cells_patched == 0
+            && !self.deadline_exceeded
     }
 
     /// Whether the output quality is degraded (not just recovered): the
@@ -200,8 +206,9 @@ pub struct ScisOutcome {
     /// with [`Scis::telemetry`] set to a collecting handle.
     pub report: RunReport,
     /// The last [`POST_MORTEM_TAIL`] flight-recorder events, captured only
-    /// when the run degraded ([`RunAnomalies::is_degraded`]) and telemetry
-    /// was collecting. Clean runs (and telemetry-off runs) leave it empty.
+    /// when the run degraded ([`RunAnomalies::is_degraded`]) or the run
+    /// deadline expired, and telemetry was collecting. Clean runs (and
+    /// telemetry-off runs) leave it empty.
     pub flight_tail: Vec<RecordedEvent>,
 }
 
@@ -227,6 +234,9 @@ impl ScisOutcome {
 pub struct Scis {
     config: ScisConfig,
     telemetry: Telemetry,
+    checkpoint: Option<CheckpointPolicy>,
+    deadline: RunDeadline,
+    resume: Option<TrainCheckpoint>,
 }
 
 impl Scis {
@@ -236,7 +246,39 @@ impl Scis {
         Self {
             config,
             telemetry: Telemetry::off(),
+            checkpoint: None,
+            deadline: RunDeadline::none(),
+            resume: None,
         }
+    }
+
+    /// Enables crash-safe checkpointing: every training phase writes
+    /// epoch-boundary checkpoints under `policy`, plus an emergency
+    /// checkpoint on terminal training failure or deadline expiry
+    /// (DESIGN.md §14).
+    pub fn checkpoints(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Attaches a run deadline. It is polled cooperatively (epoch, batch,
+    /// Sinkhorn-sweep, and SSE-probe boundaries); on expiry the run skips
+    /// the remaining phases, writes an emergency checkpoint (when
+    /// [`Scis::checkpoints`] is active), and finishes gracefully with the
+    /// best model so far, flagging [`RunAnomalies::deadline_exceeded`].
+    pub fn deadline(mut self, deadline: RunDeadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Resumes a previous run from `ckpt`. The pipeline replays
+    /// deterministically from the start (so the same seed must be used);
+    /// phases before the checkpoint's recompute bit-exactly, and the
+    /// checkpointed phase fast-forwards to the saved epoch. The final
+    /// imputation is bit-identical to the uninterrupted run's.
+    pub fn resume_from(mut self, ckpt: TrainCheckpoint) -> Self {
+        self.resume = Some(ckpt);
+        self
     }
 
     /// Attaches a telemetry collector: phase spans, solve/batch counters,
@@ -326,6 +368,11 @@ impl Scis {
             ..Default::default()
         };
         let guard = &self.config.guard;
+        let hooks = TrainHooks {
+            checkpoint: self.checkpoint.as_ref(),
+            resume: self.resume.as_ref(),
+            deadline: self.deadline.clone(),
+        };
 
         // line 1: sample validation + initial sets
         let split = sample_initial_split(ds, n_v, n0, rng);
@@ -353,7 +400,7 @@ impl Scis {
             }
         };
         let initial_cache = phase_cache(self.config.dim.accel);
-        let initial = train_dim_cached(
+        let initial = train_dim_resumable(
             imp,
             &split.initial,
             &self.config.dim,
@@ -362,6 +409,7 @@ impl Scis {
             &mut guard_stats,
             &tel,
             &initial_cache,
+            &hooks,
             rng,
         );
         drop(span_initial);
@@ -405,98 +453,108 @@ impl Scis {
             });
         }
 
-        // line 3: SSE
+        // line 3: SSE (skipped entirely when the deadline already expired
+        // during initial training — n* falls back to n0 and the run
+        // finishes with M0)
         let t1 = Instant::now();
-        let span_sse = tel.span(SpanKind::Sse);
-        let sinkhorn = SinkhornOptions {
-            lambda: estimate_sse_lambda(&self.config.dim, &split.initial, imp, rng),
-            max_iters: self.config.dim.max_sinkhorn_iters,
-            tol: 1e-8,
-            exec: self.config.dim.exec,
-        };
-        let batch = self.config.dim.train.batch_size;
-        // read-only reuse of the initial-phase duals: the Fisher probe
-        // iterates the same X0 rows, and warm-starting its solves from the
-        // converged training potentials saves iterations without writing
-        // probe-state duals back into the cache
-        let fisher = fisher_diagonal_cached(
-            imp,
-            &split.initial,
-            &sinkhorn,
-            batch,
-            &guard.sinkhorn_escalation,
-            &tel,
-            &initial_cache,
-            self.config.dim.accel,
-            rng,
-        );
-        let mut estimator = SseEstimator::new(
-            imp,
-            &fisher,
-            n0,
-            n_total,
-            ds.n_features(),
-            self.config.sse,
-            rng,
-        );
-        estimator.set_telemetry(tel.clone());
-        if self.config.sse.calibrate {
-            let _span_cal = tel.span(SpanKind::Calibration);
-            // anchor Theorem 1's hidden constant: train a sibling model on a
-            // second size-n0 sample and match the Monte-Carlo prediction to
-            // the *observed* model-to-model difference (module docs of
-            // `sse`). θ0 is restored afterwards.
-            let theta0 = imp.generator_mut().param_vector();
-            let sibling_set = sample_training_set(ds, n0, rng);
-            imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
-            let mut sibling_stats = GuardStats::default();
-            let sibling = train_dim_cached(
+        let (sse, sse_time) = if self.deadline.expired() {
+            (SseResult::skipped(n0), Duration::ZERO)
+        } else {
+            let span_sse = tel.span(SpanKind::Sse);
+            let sinkhorn = SinkhornOptions {
+                lambda: estimate_sse_lambda(&self.config.dim, &split.initial, imp, rng),
+                max_iters: self.config.dim.max_sinkhorn_iters,
+                tol: 1e-8,
+                exec: self.config.dim.exec,
+                deadline: self.deadline.clone(),
+            };
+            let batch = self.config.dim.train.batch_size;
+            // read-only reuse of the initial-phase duals: the Fisher probe
+            // iterates the same X0 rows, and warm-starting its solves from the
+            // converged training potentials saves iterations without writing
+            // probe-state duals back into the cache
+            let fisher = fisher_diagonal_cached(
                 imp,
-                &sibling_set,
-                &self.config.dim,
-                guard,
-                TrainPhase::Calibration,
-                &mut sibling_stats,
+                &split.initial,
+                &sinkhorn,
+                batch,
+                &guard.sinkhorn_escalation,
                 &tel,
-                &phase_cache(self.config.dim.accel),
+                &initial_cache,
+                self.config.dim.accel,
                 rng,
             );
-            anomalies.absorb_guard(&sibling_stats);
-            match sibling {
-                Ok(_) => {
-                    let theta_sibling = imp.generator_mut().param_vector();
-                    imp.generator_mut().set_param_vector(&theta0);
-                    let d_obs = model_distance(imp, &split.validation, &theta0, &theta_sibling);
-                    let d_ref = estimator.reference_mc_distance(imp, &split.validation);
-                    if d_obs > 1e-12 && d_ref > 1e-12 {
-                        estimator.set_calibration(d_obs / d_ref);
+            let mut estimator = SseEstimator::new(
+                imp,
+                &fisher,
+                n0,
+                n_total,
+                ds.n_features(),
+                self.config.sse,
+                rng,
+            );
+            estimator.set_telemetry(tel.clone());
+            estimator.set_deadline(self.deadline.clone());
+            if self.config.sse.calibrate && !self.deadline.expired() {
+                let _span_cal = tel.span(SpanKind::Calibration);
+                // anchor Theorem 1's hidden constant: train a sibling model on a
+                // second size-n0 sample and match the Monte-Carlo prediction to
+                // the *observed* model-to-model difference (module docs of
+                // `sse`). θ0 is restored afterwards.
+                let theta0 = imp.generator_mut().param_vector();
+                let sibling_set = sample_training_set(ds, n0, rng);
+                imp.init_networks(ds.n_features(), &mut Rng64::seed_from_u64(init_seed));
+                let mut sibling_stats = GuardStats::default();
+                let sibling = train_dim_resumable(
+                    imp,
+                    &sibling_set,
+                    &self.config.dim,
+                    guard,
+                    TrainPhase::Calibration,
+                    &mut sibling_stats,
+                    &tel,
+                    &phase_cache(self.config.dim.accel),
+                    &hooks,
+                    rng,
+                );
+                anomalies.absorb_guard(&sibling_stats);
+                match sibling {
+                    Ok(_) => {
+                        let theta_sibling = imp.generator_mut().param_vector();
+                        imp.generator_mut().set_param_vector(&theta0);
+                        let d_obs = model_distance(imp, &split.validation, &theta0, &theta_sibling);
+                        let d_ref = estimator.reference_mc_distance(imp, &split.validation);
+                        if d_obs > 1e-12 && d_ref > 1e-12 {
+                            estimator.set_calibration(d_obs / d_ref);
+                        }
+                    }
+                    Err(e) => {
+                        // SSE still works uncalibrated (Theorem 1's raw
+                        // constant); restore θ0 and carry on
+                        imp.generator_mut().set_param_vector(&theta0);
+                        anomalies.calibration_skipped = true;
+                        anomalies
+                            .notes
+                            .push(format!("calibration {e}; using uncalibrated SSE"));
+                        tel.record_event(Event::Degraded {
+                            reason: "calibration_skipped",
+                        });
                     }
                 }
-                Err(e) => {
-                    // SSE still works uncalibrated (Theorem 1's raw
-                    // constant); restore θ0 and carry on
-                    imp.generator_mut().set_param_vector(&theta0);
-                    anomalies.calibration_skipped = true;
-                    anomalies
-                        .notes
-                        .push(format!("calibration {e}; using uncalibrated SSE"));
-                    tel.record_event(Event::Degraded {
-                        reason: "calibration_skipped",
-                    });
-                }
             }
-        }
-        let sse = estimator.estimate(imp, &split.validation);
-        drop(span_sse);
-        let sse_time = t1.elapsed();
+            let sse = estimator.estimate(imp, &split.validation);
+            drop(span_sse);
+            (sse, t1.elapsed())
+        };
 
-        // lines 4-5: retrain on X* when n* > n0 (warm start from θ0)
-        let retrain_time = if sse.n_star > n0 {
+        // lines 4-5: retrain on X* when n* > n0 (warm start from θ0);
+        // skipped when the deadline has expired — M0 is the best we have
+        let retrain_time = if sse.n_star > n0 && !self.deadline.expired() {
             let t2 = Instant::now();
             let _span_retrain = tel.span(SpanKind::Retrain);
             let x_star = sample_training_set(ds, sse.n_star, rng);
             let mut retrain_stats = GuardStats::default();
-            let retrain = train_dim_cached(
+            let retrain = train_dim_resumable(
                 imp,
                 &x_star,
                 &self.config.dim,
@@ -505,6 +563,7 @@ impl Scis {
                 &mut retrain_stats,
                 &tel,
                 &phase_cache(self.config.dim.accel),
+                &hooks,
                 rng,
             );
             anomalies.absorb_guard(&retrain_stats);
@@ -551,8 +610,24 @@ impl Scis {
         }
         drop(span_impute);
 
+        if self.deadline.is_some() && self.deadline.expired() {
+            anomalies.deadline_exceeded = true;
+            anomalies
+                .notes
+                .push("run deadline expired; finished with the best model so far".into());
+            // the trainer records DeadlineHit when it observes the expiry;
+            // this covers a deadline that tripped between phases (the latch
+            // guarantees exactly one event per run)
+            if self.deadline.newly_expired() {
+                tel.record_event(Event::DeadlineHit {
+                    phase: "pipeline",
+                    epoch: 0,
+                });
+            }
+        }
+
         let total_time = t_start.elapsed();
-        let flight_tail = if anomalies.is_degraded() {
+        let flight_tail = if anomalies.is_degraded() || anomalies.deadline_exceeded {
             tel.event_tail(POST_MORTEM_TAIL)
         } else {
             Vec::new()

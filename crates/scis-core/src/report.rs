@@ -23,7 +23,11 @@ use scis_telemetry::{json_escape, json_f64, Snapshot};
 /// metric series keyed by slot name), and `events_recorded` (total typed
 /// events captured). All v1 fields are unchanged; v1 consumers that ignore
 /// unknown keys keep working after updating their `schema_version` pin.
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 2;
+///
+/// v2 → v3: adds `deadline_exceeded` (true when a `--deadline-secs` run
+/// deadline expired and the pipeline finished early with the best model so
+/// far). Earlier fields are unchanged.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// Wall-clock aggregate of one pipeline phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +105,10 @@ pub struct RunReport {
     /// True when output quality is degraded (mean fallback, kept `M0` after
     /// a failed retrain, or patched non-finite cells).
     pub degraded: bool,
+    /// True when the run deadline expired and the pipeline finished early
+    /// with the best model trained so far (schema v3). Not counted as
+    /// degradation.
+    pub deadline_exceeded: bool,
     /// Human-readable recovery notes, in order of occurrence.
     pub notes: Vec<String>,
 }
@@ -167,6 +175,7 @@ impl RunReport {
             sse_trace,
             clean: anomalies.is_clean(),
             degraded: anomalies.is_degraded(),
+            deadline_exceeded: anomalies.deadline_exceeded,
             notes: anomalies.notes.clone(),
         }
     }
@@ -327,6 +336,10 @@ impl RunReport {
 
         out.push_str(&format!(",\"clean\":{}", self.clean));
         out.push_str(&format!(",\"degraded\":{}", self.degraded));
+        out.push_str(&format!(
+            ",\"deadline_exceeded\":{}",
+            self.deadline_exceeded
+        ));
 
         out.push_str(",\"notes\":[");
         for (i, n) in self.notes.iter().enumerate() {
@@ -422,6 +435,7 @@ mod tests {
         assert_eq!(r.events_recorded, 0);
         assert!(r.clean);
         assert!(!r.degraded);
+        assert!(!r.deadline_exceeded);
         assert_eq!(r.n_total, 10);
     }
 
@@ -430,7 +444,8 @@ mod tests {
         let r = sample_report();
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
-        assert!(j.contains("\"schema_version\":2"));
+        assert!(j.contains("\"schema_version\":3"));
+        assert!(j.contains("\"deadline_exceeded\":false"));
         assert!(j.contains("\"n_star\":250"));
         assert!(j.contains("\"sinkhorn_solves\":12"));
         assert!(j.contains("\"train_initial\""));

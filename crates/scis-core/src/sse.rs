@@ -44,7 +44,7 @@ use scis_ot::{
     MaskedRows, SinkhornOptions,
 };
 use scis_telemetry::{Counter, Event, Series, Telemetry};
-use scis_tensor::{ExecPolicy, Rng64};
+use scis_tensor::{ExecPolicy, Rng64, RunDeadline};
 
 /// SSE configuration (paper defaults from §VI).
 #[derive(Debug, Clone, Copy)]
@@ -377,6 +377,7 @@ pub struct SseEstimator {
     cfg: SseConfig,
     calibration: f64,
     telemetry: Telemetry,
+    deadline: RunDeadline,
 }
 
 impl SseEstimator {
@@ -431,6 +432,7 @@ impl SseEstimator {
             cfg,
             calibration: 1.0,
             telemetry: Telemetry::off(),
+            deadline: RunDeadline::none(),
         }
     }
 
@@ -439,6 +441,13 @@ impl SseEstimator {
     /// estimates or the RNG streams.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a run deadline, polled at binary-search probe boundaries
+    /// and inside the Monte-Carlo fan-out. On expiry the search stops at
+    /// its current accepted candidate instead of refining further.
+    pub fn set_deadline(&mut self, deadline: RunDeadline) {
+        self.deadline = deadline;
     }
 
     /// ζ(λ) resolved for this estimator.
@@ -504,6 +513,7 @@ impl SseEstimator {
                     for (block, slot) in out.chunks_mut(chunk).enumerate() {
                         let lo = block * chunk;
                         let pairs = &pairs;
+                        let deadline = &self.deadline;
                         let mut worker = spare
                             .take()
                             .or_else(|| imp.clone_boxed())
@@ -513,6 +523,12 @@ impl SseEstimator {
                         worker.generator_mut().set_exec(ExecPolicy::Serial);
                         scope.spawn(move || {
                             for (off, d) in slot.iter_mut().enumerate() {
+                                // cooperative cancellation: unevaluated
+                                // draws stay at distance 0 (counted as
+                                // within ε — the graceful direction)
+                                if deadline.expired() {
+                                    break;
+                                }
                                 let (ta, tb) = &pairs[lo + off];
                                 *d = model_distance(worker.as_mut(), validation, ta, tb);
                             }
@@ -522,10 +538,14 @@ impl SseEstimator {
                 return out;
             }
         }
-        pairs
-            .iter()
-            .map(|(ta, tb)| model_distance(imp, validation, ta, tb))
-            .collect()
+        let mut out = vec![0.0; k];
+        for (d, (ta, tb)) in out.iter_mut().zip(&pairs) {
+            if self.deadline.expired() {
+                break;
+            }
+            *d = model_distance(imp, validation, ta, tb);
+        }
+        out
     }
 
     /// Mean *uncalibrated* Monte-Carlo distance at the sibling reference
@@ -603,6 +623,12 @@ impl SseEstimator {
             let (mut lo, mut hi) = (self.n0, self.n_total);
             let granularity = (self.n_total / 200).max(1);
             while hi - lo > granularity {
+                // deadline: stop refining and keep the smallest *accepted*
+                // candidate seen so far (`hi` is always accepted here, so
+                // the early answer stays conservative-correct)
+                if self.deadline.expired() {
+                    break;
+                }
                 let mid = lo + (hi - lo) / 2;
                 if prob_at(mid, imp, &mut probes, &mut trace) >= threshold {
                     hi = mid;

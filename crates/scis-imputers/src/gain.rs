@@ -69,11 +69,15 @@ impl GainImputer {
 
     /// Saves the trained generator to `path` (see [`scis_nn::save_mlp`]).
     pub fn save_generator(
-        &mut self,
+        &self,
         path: &std::path::Path,
     ) -> Result<(), scis_nn::serialize::ModelIoError> {
         let spec = self.generator_spec();
-        scis_nn::save_mlp(path, self.generator_mut(), &spec)
+        let net = self
+            .generator
+            .as_ref()
+            .expect("GainImputer: generator not initialized");
+        scis_nn::save_mlp(path, net, &spec)
     }
 
     /// Loads a generator saved by [`GainImputer::save_generator`]; the
@@ -231,6 +235,10 @@ impl AdversarialImputer for GainImputer {
         self.generator
             .as_mut()
             .expect("GainImputer: generator not initialized")
+    }
+
+    fn discriminator_mut(&mut self) -> Option<&mut Mlp> {
+        self.discriminator.as_mut()
     }
 
     fn reconstruct(&mut self, values: &Matrix, mask: &Matrix) -> Matrix {

@@ -93,6 +93,14 @@ pub trait AdversarialImputer: Imputer {
     /// SSE, optimizer steps for DIM).
     fn generator_mut(&mut self) -> &mut Mlp;
 
+    /// Mutable access to the discriminator network, if the method keeps one
+    /// (checkpointing captures its weights so a resumed adversarial run
+    /// continues from identical state). Defaults to `None` for methods
+    /// without a persistent discriminator.
+    fn discriminator_mut(&mut self) -> Option<&mut Mlp> {
+        None
+    }
+
     /// Deterministic reconstruction `X̄` for a batch: runs the generator in
     /// eval mode on `(values, mask)` with the method's canonical input
     /// encoding (noise replaced by its mean for determinism).

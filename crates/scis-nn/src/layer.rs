@@ -29,6 +29,11 @@ pub trait Layer: Send {
     /// the optimizers and the parameter flattener rely on that.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64]));
 
+    /// Read-only counterpart of [`Layer::visit_params`]: visits parameter
+    /// slices in the same stable order without requiring `&mut self`.
+    /// Parameter-free layers keep the default no-op.
+    fn visit_params_ref(&self, _f: &mut dyn FnMut(&[f64])) {}
+
     /// Total number of trainable parameters.
     fn num_params(&self) -> usize;
 
@@ -116,6 +121,11 @@ impl Layer for Dense {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
         f(self.weight.as_mut_slice(), self.grad_w.as_mut_slice());
         f(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn visit_params_ref(&self, f: &mut dyn FnMut(&[f64])) {
+        f(self.weight.as_slice());
+        f(&self.bias);
     }
 
     fn num_params(&self) -> usize {

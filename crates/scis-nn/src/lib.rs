@@ -24,5 +24,5 @@ pub mod serialize;
 
 pub use layer::{Activation, Dense, Dropout, Layer, Mode};
 pub use mlp::Mlp;
-pub use optim::{clip_grad_norm, Adam, Optimizer, RmsProp, Sgd, StepDecay};
-pub use serialize::{load_mlp, save_mlp, MlpSpec, SpecLayer};
+pub use optim::{clip_grad_norm, Adam, AdamState, Optimizer, RmsProp, Sgd, StepDecay};
+pub use serialize::{fnv1a64, load_mlp, save_mlp, write_atomic, MlpSpec, SpecLayer};

@@ -127,10 +127,25 @@ impl Mlp {
         }
     }
 
+    /// Read-only counterpart of [`Mlp::visit_params`]: visits parameter
+    /// slices in the same stable order without requiring `&mut self`.
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&[f64])) {
+        for layer in &self.layers {
+            layer.visit_params_ref(f);
+        }
+    }
+
     /// Flattens all parameters into a single vector (stable order).
     pub fn param_vector(&mut self) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.num_params());
         self.visit_params(&mut |p, _| out.extend_from_slice(p));
+        out
+    }
+
+    /// Like [`Mlp::param_vector`] but without requiring `&mut self`.
+    pub fn param_vector_ref(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.num_params());
+        self.visit_params_ref(&mut |p| out.extend_from_slice(p));
         out
     }
 
@@ -254,6 +269,17 @@ mod tests {
         for (a, b) in y0.as_slice().iter().zip(y2.as_slice()) {
             assert!((a - b).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn param_vector_ref_matches_mut_flattener() {
+        let mut r = rng();
+        let mut net = Mlp::builder(3)
+            .dense(5, Activation::Tanh)
+            .dropout(0.25)
+            .dense(2, Activation::Sigmoid)
+            .build(&mut r);
+        assert_eq!(net.param_vector_ref(), net.param_vector());
     }
 
     #[test]

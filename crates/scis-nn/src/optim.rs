@@ -89,6 +89,54 @@ impl Adam {
         self.m.clear();
         self.v.clear();
     }
+
+    /// Snapshots the full optimizer state (for checkpointing).
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores an optimizer from a snapshot taken via [`Adam::state`];
+    /// subsequent steps continue the moment estimates bit-exactly.
+    pub fn from_state(state: &AdamState) -> Self {
+        assert!(state.lr > 0.0, "Adam: learning rate must be positive");
+        Self {
+            lr: state.lr,
+            beta1: state.beta1,
+            beta2: state.beta2,
+            eps: state.eps,
+            t: state.t,
+            m: state.m.clone(),
+            v: state.v.clone(),
+        }
+    }
+}
+
+/// Exported [`Adam`] state: hyper-parameters, step count, and both moment
+/// vectors — everything needed to resume optimization bit-exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamState {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay β1.
+    pub beta1: f64,
+    /// Second-moment decay β2.
+    pub beta2: f64,
+    /// Numerical-stability epsilon.
+    pub eps: f64,
+    /// Step count (bias-correction exponent).
+    pub t: u64,
+    /// First-moment estimate per parameter.
+    pub m: Vec<f64>,
+    /// Second-moment estimate per parameter.
+    pub v: Vec<f64>,
 }
 
 impl Optimizer for Adam {
@@ -285,6 +333,40 @@ mod tests {
         adam.reset();
         assert_eq!(adam.t, 0);
         assert!(adam.m.is_empty());
+    }
+
+    #[test]
+    fn adam_state_roundtrip_continues_bit_exactly() {
+        // Train two optimizers in lockstep; snapshot/restore one midway and
+        // assert the parameter trajectories stay identical to the last bit.
+        let (mut net_a, x, target, mut rng_a) = quadratic_problem();
+        let (mut net_b, _, _, mut rng_b) = quadratic_problem();
+        let mut adam_a = Adam::new(0.01);
+        let mut adam_b = Adam::new(0.01);
+        let step = |net: &mut Mlp, opt: &mut Adam, rng: &mut Rng64| {
+            let pred = net.forward(&x, Mode::Train, rng);
+            let (_, grad) = mse(&pred, &target);
+            net.zero_grad();
+            net.backward(&grad);
+            opt.step(net);
+        };
+        for _ in 0..20 {
+            step(&mut net_a, &mut adam_a, &mut rng_a);
+            step(&mut net_b, &mut adam_b, &mut rng_b);
+        }
+        let snap = adam_b.state();
+        assert_eq!(snap.t, 20);
+        let mut adam_b = Adam::from_state(&snap);
+        for _ in 0..20 {
+            step(&mut net_a, &mut adam_a, &mut rng_a);
+            step(&mut net_b, &mut adam_b, &mut rng_b);
+        }
+        let pa = net_a.param_vector();
+        let pb = net_b.param_vector();
+        assert_eq!(pa.len(), pb.len());
+        for (a, b) in pa.iter().zip(pb.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

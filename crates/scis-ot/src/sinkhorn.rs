@@ -13,7 +13,7 @@
 //! `exp(−C/λ)` would underflow in the primal domain.
 
 use scis_tensor::exec::for_each_row;
-use scis_tensor::{ExecPolicy, Matrix};
+use scis_tensor::{ExecPolicy, Matrix, RunDeadline};
 
 /// Minimum number of cost-matrix cells (`n · m`) before the per-iteration
 /// sweeps go parallel: below this, thread-spawn overhead dominates, and DIM's
@@ -21,7 +21,7 @@ use scis_tensor::{ExecPolicy, Matrix};
 const PAR_MIN_CELLS: usize = 1 << 15;
 
 /// Tuning knobs for the Sinkhorn solver.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SinkhornOptions {
     /// Entropic regularization strength λ (paper hyper-parameter; 130 in the
     /// experiments).
@@ -34,6 +34,10 @@ pub struct SinkhornOptions {
     /// results — sweeps partition rows across workers with ordered
     /// reductions, so solves are bit-identical under any policy.
     pub exec: ExecPolicy,
+    /// Cooperative run deadline, polled at sweep boundaries. An expired
+    /// deadline stops the solve early (reported as unconverged); the default
+    /// token never expires.
+    pub deadline: RunDeadline,
 }
 
 impl Default for SinkhornOptions {
@@ -43,6 +47,7 @@ impl Default for SinkhornOptions {
             max_iters: 500,
             tol: 1e-9,
             exec: ExecPolicy::default(),
+            deadline: RunDeadline::none(),
         }
     }
 }
@@ -77,6 +82,12 @@ impl SinkhornOptions {
     /// Fluent setter for [`SinkhornOptions::exec`].
     pub fn exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Fluent setter for [`SinkhornOptions::deadline`].
+    pub fn deadline(mut self, deadline: RunDeadline) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -338,6 +349,11 @@ fn sinkhorn_impl(
     // cost transposed view avoided: we walk columns through strided access,
     // fine for the batch sizes (≤ a few hundred) Sinkhorn sees per step.
     for it in 0..opts.max_iters {
+        // Cooperative cancellation: stop at a sweep boundary, leaving the
+        // potentials from the completed sweeps (reported unconverged).
+        if opts.deadline.expired() {
+            break;
+        }
         iterations = it + 1;
         // f_i ← −λ LSE_j [ log b_j + (g_j − C_ij)/λ ]
         {
@@ -563,6 +579,7 @@ fn eps_scaling_impl(
                 opts.tol * 100.0
             },
             exec: opts.exec,
+            deadline: opts.deadline.clone(),
         };
         let r = sinkhorn_impl(cost, a, b, f, g, &stage_opts);
         f = r.f.clone();
@@ -730,7 +747,7 @@ pub fn try_sinkhorn_escalated(
         budget = budget.saturating_mul(growth);
         let esc_opts = SinkhornOptions {
             max_iters: budget,
-            ..*opts
+            ..opts.clone()
         };
         result = eps_scaling_impl(cost, a, b, &esc_opts, stages);
         stats.iterations += result.iterations;
@@ -790,7 +807,7 @@ pub fn try_sinkhorn_warm_escalated(
         budget = budget.saturating_mul(growth);
         let esc_opts = SinkhornOptions {
             max_iters: budget,
-            ..*opts
+            ..opts.clone()
         };
         result = eps_scaling_impl(cost, a, b, &esc_opts, stages);
         stats.iterations += result.iterations;
@@ -1014,7 +1031,7 @@ mod tests {
         ));
         let bad_lambda = SinkhornOptions {
             lambda: -1.0,
-            ..opts
+            ..opts.clone()
         };
         assert!(matches!(
             try_sinkhorn(&Matrix::zeros(2, 2), &half, &half, &bad_lambda),
@@ -1022,7 +1039,7 @@ mod tests {
         ));
         let nan_lambda = SinkhornOptions {
             lambda: f64::NAN,
-            ..opts
+            ..opts.clone()
         };
         assert!(matches!(
             try_sinkhorn(&Matrix::zeros(2, 2), &half, &half, &nan_lambda),

@@ -86,11 +86,15 @@ pub enum Counter {
     /// Estimated Sinkhorn sweeps avoided by warm-starting (vs the most
     /// recent comparable cold solve; an estimate, not a measurement).
     ItersSaved,
+    /// Training checkpoints successfully written to disk.
+    CheckpointsWritten,
+    /// Checkpoint writes that failed (training continues regardless).
+    CheckpointFailures,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 18] = [
         Counter::SinkhornSolves,
         Counter::SinkhornIterations,
         Counter::SinkhornConverged,
@@ -107,6 +111,8 @@ impl Counter {
         Counter::NnBackwards,
         Counter::WarmStartHits,
         Counter::ItersSaved,
+        Counter::CheckpointsWritten,
+        Counter::CheckpointFailures,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -128,6 +134,8 @@ impl Counter {
             Counter::NnBackwards => "nn_backwards",
             Counter::WarmStartHits => "warm_start_hits",
             Counter::ItersSaved => "iters_saved",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::CheckpointFailures => "checkpoint_failures",
         }
     }
 }
@@ -357,6 +365,25 @@ pub enum Event {
         /// Static reason slug, e.g. `"mean_fallback"`.
         reason: &'static str,
     },
+    /// The run deadline expired; the pipeline is winding down gracefully
+    /// with the best-so-far model. Recorded at most once per run.
+    DeadlineHit {
+        /// Training phase active when the deadline tripped ("initial",
+        /// "calibration", "retrain"), or "sse"/"pipeline" outside training.
+        phase: &'static str,
+        /// Zero-based epoch index reached in that phase (0 outside training).
+        epoch: u32,
+    },
+    /// A training checkpoint was written to disk.
+    Checkpoint {
+        /// Training phase the checkpoint belongs to.
+        phase: &'static str,
+        /// Next epoch to run when resuming from this checkpoint.
+        epoch: u32,
+        /// Whether this was an emergency checkpoint (training failure or
+        /// deadline expiry) rather than a periodic one.
+        emergency: bool,
+    },
 }
 
 impl Event {
@@ -373,6 +400,8 @@ impl Event {
             Event::CacheInvalidation => "cache_invalidation",
             Event::SseProbe { .. } => "sse_probe",
             Event::Degraded { .. } => "degraded",
+            Event::DeadlineHit { .. } => "deadline_hit",
+            Event::Checkpoint { .. } => "checkpoint",
         }
     }
 }
@@ -449,6 +478,25 @@ impl RecordedEvent {
             }
             Event::Degraded { reason } => {
                 s.push_str(&format!(",\"reason\":\"{}\"", json_escape(reason)));
+            }
+            Event::DeadlineHit { phase, epoch } => {
+                s.push_str(&format!(
+                    ",\"phase\":\"{}\",\"epoch\":{}",
+                    json_escape(phase),
+                    epoch
+                ));
+            }
+            Event::Checkpoint {
+                phase,
+                epoch,
+                emergency,
+            } => {
+                s.push_str(&format!(
+                    ",\"phase\":\"{}\",\"epoch\":{},\"emergency\":{}",
+                    json_escape(phase),
+                    epoch,
+                    emergency
+                ));
             }
         }
         s.push('}');
@@ -1223,6 +1271,21 @@ mod tests {
                     reason: "mean_fallback",
                 },
                 r#"{"seq":0,"type":"degraded","reason":"mean_fallback"}"#,
+            ),
+            (
+                Event::DeadlineHit {
+                    phase: "initial",
+                    epoch: 3,
+                },
+                r#"{"seq":0,"type":"deadline_hit","phase":"initial","epoch":3}"#,
+            ),
+            (
+                Event::Checkpoint {
+                    phase: "retrain",
+                    epoch: 10,
+                    emergency: false,
+                },
+                r#"{"seq":0,"type":"checkpoint","phase":"retrain","epoch":10,"emergency":false}"#,
             ),
         ];
         for (event, expected) in cases {

@@ -1,0 +1,164 @@
+//! Cooperative run-deadline token.
+//!
+//! [`RunDeadline`] is a cheap, cloneable cancellation token checked at
+//! coarse work boundaries (training batches/epochs, Sinkhorn sweeps, SSE
+//! Monte-Carlo chunks). It never aborts work mid-kernel: callers poll
+//! [`RunDeadline::expired`] and wind down gracefully, which is what keeps
+//! deadline-interrupted runs checkpointable and deterministic.
+//!
+//! Two expiry sources exist:
+//! * a wall-clock deadline ([`RunDeadline::after`]), the production path
+//!   behind `--deadline-secs`;
+//! * a deterministic check-countdown ([`RunDeadline::trip_after`]), used by
+//!   chaos tests to interrupt training at a reproducible point without any
+//!   timing dependence.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+enum Expiry {
+    /// Wall-clock: expired once `Instant::now() >= at`.
+    WallClock { at: Instant },
+    /// Deterministic: expires after `remaining` calls to `expired()`.
+    Countdown { remaining: AtomicU64 },
+}
+
+#[derive(Debug)]
+struct DeadlineInner {
+    expiry: Expiry,
+    /// Latch for `newly_expired`: set on the first observation of expiry.
+    reported: AtomicBool,
+}
+
+/// A shared cooperative-cancellation token; `None` means "no deadline" and
+/// every check is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct RunDeadline(Option<Arc<DeadlineInner>>);
+
+impl RunDeadline {
+    /// A token that never expires (the default).
+    pub const fn none() -> Self {
+        RunDeadline(None)
+    }
+
+    /// A wall-clock deadline `dur` from now.
+    pub fn after(dur: Duration) -> Self {
+        RunDeadline(Some(Arc::new(DeadlineInner {
+            expiry: Expiry::WallClock {
+                at: Instant::now() + dur,
+            },
+            reported: AtomicBool::new(false),
+        })))
+    }
+
+    /// A deterministic token that expires after `checks` calls to
+    /// [`RunDeadline::expired`] (across all clones). Test-injection hook:
+    /// lets chaos tests interrupt a run at an exactly reproducible point.
+    pub fn trip_after(checks: u64) -> Self {
+        RunDeadline(Some(Arc::new(DeadlineInner {
+            expiry: Expiry::Countdown {
+                remaining: AtomicU64::new(checks),
+            },
+            reported: AtomicBool::new(false),
+        })))
+    }
+
+    /// Whether any deadline is attached at all.
+    pub fn is_some(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Polls the deadline. Non-latching: keeps returning `true` once
+    /// expired. For countdown tokens every call decrements the budget.
+    pub fn expired(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(inner) => match &inner.expiry {
+                Expiry::WallClock { at } => Instant::now() >= *at,
+                Expiry::Countdown { remaining } => {
+                    // Saturating decrement: expired once the budget is gone.
+                    let prev = remaining
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                            Some(v.saturating_sub(1))
+                        })
+                        .unwrap_or(0);
+                    prev == 0
+                }
+            },
+        }
+    }
+
+    /// Like [`RunDeadline::expired`], but returns `true` exactly once per
+    /// token (across all clones) — the hook for emitting a single
+    /// `DeadlineHit` telemetry event.
+    pub fn newly_expired(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(inner) => self.expired() && !inner.reported.swap(true, Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = RunDeadline::none();
+        assert!(!d.is_some());
+        for _ in 0..100 {
+            assert!(!d.expired());
+            assert!(!d.newly_expired());
+        }
+    }
+
+    #[test]
+    fn countdown_trips_after_budget() {
+        let d = RunDeadline::trip_after(3);
+        assert!(d.is_some());
+        assert!(!d.expired()); // 3 -> 2
+        assert!(!d.expired()); // 2 -> 1
+        assert!(!d.expired()); // 1 -> 0
+        assert!(d.expired()); // exhausted
+        assert!(d.expired()); // stays expired
+    }
+
+    #[test]
+    fn countdown_is_shared_across_clones() {
+        let d = RunDeadline::trip_after(2);
+        let d2 = d.clone();
+        assert!(!d.expired());
+        assert!(!d2.expired());
+        assert!(d.expired());
+        assert!(d2.expired());
+    }
+
+    #[test]
+    fn newly_expired_latches_once() {
+        let d = RunDeadline::trip_after(0);
+        let d2 = d.clone();
+        assert!(d.newly_expired());
+        assert!(!d.newly_expired());
+        assert!(!d2.newly_expired());
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn wall_clock_deadline_expires() {
+        let d = RunDeadline::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(d.expired());
+        assert!(d.newly_expired());
+        assert!(!d.newly_expired());
+    }
+
+    #[test]
+    fn wall_clock_far_future_not_expired() {
+        let d = RunDeadline::after(Duration::from_secs(3600));
+        assert!(!d.expired());
+        assert!(!d.newly_expired());
+    }
+}

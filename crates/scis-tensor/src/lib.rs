@@ -19,7 +19,9 @@
 //!   baseline and the SSE module.
 //! * [`rng`] — deterministic xoshiro256++ PRNG with Gaussian sampling.
 //! * [`stats`] — column statistics (mean, variance, quantiles).
+//! * [`deadline`] — cooperative run-deadline token for graceful shutdown.
 
+pub mod deadline;
 pub mod exec;
 pub mod linalg;
 pub mod matrix;
@@ -28,6 +30,7 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 
+pub use deadline::RunDeadline;
 pub use exec::ExecPolicy;
 pub use matrix::Matrix;
-pub use rng::Rng64;
+pub use rng::{Rng64, RngState};

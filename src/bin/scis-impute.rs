@@ -40,14 +40,35 @@
 //! * `--profile` print a hierarchical phase-timing tree (from the same
 //!   run report) to stderr after the run (scis-gain only, incompatible
 //!   with `--load-model`).
+//! * `--checkpoint-dir <dir>` write crash-safe training checkpoints
+//!   (atomic rename, checksummed) into `<dir>` at epoch boundaries, and an
+//!   emergency checkpoint when training gives up or the deadline expires
+//!   (scis-gain only).
+//! * `--checkpoint-every <n>` checkpoint every `n` epochs (default 1;
+//!   requires `--checkpoint-dir`).
+//! * `--resume <path>` resume training from a checkpoint written by
+//!   `--checkpoint-dir`. The run replays deterministically up to the
+//!   checkpointed phase, fast-forwards to the recorded epoch, and produces
+//!   bit-identical final imputations to an uninterrupted run with the same
+//!   seed and configuration (scis-gain only, incompatible with
+//!   `--load-model`).
+//! * `--deadline-secs <f64>` cooperative run deadline: when the wall-clock
+//!   budget expires, training stops at the last clean epoch boundary,
+//!   writes an emergency checkpoint (if `--checkpoint-dir` is set), skips
+//!   any remaining SSE/retrain work, and finishes with the best model so
+//!   far (scis-gain only).
 //!
 //! Exit codes: `0` clean success, `1` error (bad arguments, unreadable
 //! input, non-finite observed values, training unrecoverable), `2`
 //! *degraded* success — the fault-tolerant runtime produced a complete
 //! output but had to fall back (mean imputation, kept `M0` after a failed
-//! retrain, or patched non-finite cells); details go to stderr.
+//! retrain, or patched non-finite cells); details go to stderr — and `3`
+//! *deadline-exceeded* success: the `--deadline-secs` budget expired and
+//! the output was produced by the best model trained so far (takes
+//! precedence over `2`).
 
 use scis_core::pipeline::{Scis, ScisConfig};
+use scis_core::{CheckpointPolicy, TrainCheckpoint};
 use scis_data::csvio::{read_dataset, write_dataset};
 use scis_data::normalize::MinMaxScaler;
 use scis_data::Dataset;
@@ -77,6 +98,10 @@ struct Args {
     events: Option<PathBuf>,
     profile: bool,
     accel: bool,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: Option<PathBuf>,
+    deadline_secs: Option<f64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -98,6 +123,10 @@ fn parse_args() -> Result<Args, String> {
         events: None,
         profile: false,
         accel: false,
+        checkpoint_dir: None,
+        checkpoint_every: 1,
+        resume: None,
+        deadline_secs: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{} needs a value", flag));
@@ -120,6 +149,20 @@ fn parse_args() -> Result<Args, String> {
             "--events" => parsed.events = Some(PathBuf::from(value()?)),
             "--profile" => parsed.profile = true,
             "--accel" => parsed.accel = true,
+            "--checkpoint-dir" => parsed.checkpoint_dir = Some(PathBuf::from(value()?)),
+            "--checkpoint-every" => {
+                parsed.checkpoint_every = value()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {}", e))?
+            }
+            "--resume" => parsed.resume = Some(PathBuf::from(value()?)),
+            "--deadline-secs" => {
+                parsed.deadline_secs = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--deadline-secs: {}", e))?,
+                )
+            }
             other => return Err(format!("unknown flag {}", other)),
         }
     }
@@ -139,10 +182,30 @@ fn parse_args() -> Result<Args, String> {
             parsed.method
         ));
     }
+    if parsed.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    if parsed.checkpoint_every != 1 && parsed.checkpoint_dir.is_none() {
+        return Err("--checkpoint-every requires --checkpoint-dir".into());
+    }
+    if parsed.resume.is_some() && parsed.load_model.is_some() {
+        return Err("--resume is incompatible with --load-model (no training runs)".into());
+    }
+    if let Some(d) = parsed.deadline_secs {
+        if !d.is_finite() || d <= 0.0 {
+            return Err(format!(
+                "--deadline-secs must be a positive finite number (got {})",
+                d
+            ));
+        }
+    }
     for (set, flag) in [
         (parsed.trace_json.is_some(), "--trace-json"),
         (parsed.events.is_some(), "--events"),
         (parsed.profile, "--profile"),
+        (parsed.checkpoint_dir.is_some(), "--checkpoint-dir"),
+        (parsed.resume.is_some(), "--resume"),
+        (parsed.deadline_secs.is_some(), "--deadline-secs"),
     ] {
         if !set {
             continue;
@@ -220,9 +283,19 @@ fn exec_policy(args: &Args) -> ExecPolicy {
     }
 }
 
-/// Imputes under the chosen method. The returned flag is true when the
-/// fault-tolerant runtime had to degrade the output (exit code 2).
-fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), String> {
+/// Outcome flags that decide the process exit code.
+#[derive(Default)]
+struct RunFlags {
+    /// The fault-tolerant runtime had to degrade the output (exit code 2).
+    degraded: bool,
+    /// The `--deadline-secs` budget expired; the output comes from the best
+    /// model trained so far (exit code 3, takes precedence over 2).
+    deadline_exceeded: bool,
+}
+
+/// Imputes under the chosen method, reporting the anomaly flags that decide
+/// the exit code.
+fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, RunFlags), String> {
     let train = TrainConfig {
         epochs: args.epochs,
         ..TrainConfig::default()
@@ -237,7 +310,7 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
                 eprintln!("scis-impute: loaded generator from {:?}", path);
                 let out =
                     scis_imputers::traits::impute_with_generator_chunked(&mut gain, ds, 65_536);
-                return Ok((out, false));
+                return Ok((out, RunFlags::default()));
             }
             let n = ds.n_samples();
             let n0 = args.n0.unwrap_or_else(|| 500.min(n / 3).max(8));
@@ -252,6 +325,25 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
                 config = config.accel(scis_core::dim::AccelConfig::all());
             }
             let mut scis = Scis::new(config);
+            if let Some(dir) = &args.checkpoint_dir {
+                scis = scis.checkpoints(CheckpointPolicy::new(dir).every(args.checkpoint_every));
+            }
+            if let Some(secs) = args.deadline_secs {
+                scis = scis.deadline(scis_tensor::RunDeadline::after(
+                    std::time::Duration::from_secs_f64(secs),
+                ));
+            }
+            if let Some(path) = &args.resume {
+                let ckpt = TrainCheckpoint::load(path)
+                    .map_err(|e| format!("loading checkpoint {:?}: {}", path, e))?;
+                eprintln!(
+                    "scis-impute: resuming {} training from epoch {} ({:?})",
+                    ckpt.phase.name(),
+                    ckpt.epoch,
+                    path
+                );
+                scis = scis.resume_from(ckpt);
+            }
             let want_telemetry = args.trace_json.is_some() || args.events.is_some() || args.profile;
             let tel = if want_telemetry {
                 scis_telemetry::Telemetry::collecting()
@@ -284,6 +376,11 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
                 outcome.sse_time.as_secs_f64()
             );
             report_anomalies(&outcome.anomalies);
+            if outcome.anomalies.deadline_exceeded {
+                eprintln!(
+                    "scis-impute: run deadline expired; output comes from the best model so far"
+                );
+            }
             if let Some(path) = &args.save_model {
                 if outcome.anomalies.mean_fallback {
                     eprintln!(
@@ -295,22 +392,28 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
                     eprintln!("scis-impute: saved generator to {:?}", path);
                 }
             }
-            let degraded = outcome.anomalies.is_degraded();
-            Ok((outcome.imputed, degraded))
+            let flags = RunFlags {
+                degraded: outcome.anomalies.is_degraded(),
+                deadline_exceeded: outcome.anomalies.deadline_exceeded,
+            };
+            Ok((outcome.imputed, flags))
         }
-        "gain" => Ok((GainImputer::new(train).impute(ds, rng), false)),
-        "ginn" => Ok((GinnImputer::new(train).impute(ds, rng), false)),
-        "mice" => Ok((MiceImputer::default().impute(ds, rng), false)),
-        "missforest" => Ok((MissForestImputer::default().impute(ds, rng), false)),
-        "knn" => Ok((KnnImputer::default().impute(ds, rng), false)),
-        "mean" => Ok((MeanImputer.impute(ds, rng), false)),
+        "gain" => Ok((GainImputer::new(train).impute(ds, rng), RunFlags::default())),
+        "ginn" => Ok((GinnImputer::new(train).impute(ds, rng), RunFlags::default())),
+        "mice" => Ok((MiceImputer::default().impute(ds, rng), RunFlags::default())),
+        "missforest" => Ok((
+            MissForestImputer::default().impute(ds, rng),
+            RunFlags::default(),
+        )),
+        "knn" => Ok((KnnImputer::default().impute(ds, rng), RunFlags::default())),
+        "mean" => Ok((MeanImputer.impute(ds, rng), RunFlags::default())),
         "vae" => Ok((
             VaeImputer {
                 config: train,
                 ..Default::default()
             }
             .impute(ds, rng),
-            false,
+            RunFlags::default(),
         )),
         other => Err(format!(
             "unknown method {:?} (try scis-gain, gain, ginn, mice, missforest, knn, mean, vae)",
@@ -319,9 +422,9 @@ fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, bool), 
     }
 }
 
-fn run() -> Result<bool, String> {
+fn run() -> Result<RunFlags, String> {
     let args = parse_args().map_err(|e| {
-        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--trace-json path] [--events path] [--profile]", e)
+        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--trace-json path] [--events path] [--profile] [--checkpoint-dir dir] [--checkpoint-every n] [--resume path] [--deadline-secs s]", e)
     })?;
     let mut ds =
         read_dataset(&args.input).map_err(|e| format!("reading {:?}: {}", args.input, e))?;
@@ -351,22 +454,26 @@ fn run() -> Result<bool, String> {
     }
     let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&ds);
     let mut rng = Rng64::seed_from_u64(args.seed);
-    let (imputed_norm, degraded) = impute(&args, &norm, &mut rng)?;
+    let (imputed_norm, flags) = impute(&args, &norm, &mut rng)?;
     let imputed = scaler.inverse_transform(&imputed_norm);
     let out_ds = Dataset::from_values(imputed);
     write_dataset(&args.output, &out_ds)
         .map_err(|e| format!("writing {:?}: {}", args.output, e))?;
     eprintln!("scis-impute: wrote {:?}", args.output);
-    if degraded {
+    if flags.degraded {
         eprintln!("scis-impute: run completed in DEGRADED mode (see recovery notes above)");
     }
-    Ok(degraded)
+    if flags.deadline_exceeded {
+        eprintln!("scis-impute: run completed under an EXPIRED deadline (exit code 3)");
+    }
+    Ok(flags)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(false) => ExitCode::SUCCESS,
-        Ok(true) => ExitCode::from(2),
+        Ok(flags) if flags.deadline_exceeded => ExitCode::from(3),
+        Ok(flags) if flags.degraded => ExitCode::from(2),
+        Ok(_) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {}", e);
             ExitCode::FAILURE

@@ -499,6 +499,237 @@ fn training_error_carries_post_mortem_tail() {
     assert!(err.post_mortem.is_empty());
 }
 
+// ---------------------------------------------------------------------------
+// crash-safe checkpointing, deadline watchdog, kill-and-resume determinism
+// ---------------------------------------------------------------------------
+
+/// A fresh per-test checkpoint directory under the system temp dir.
+fn ckpt_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("scis_chaos_{}_{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The resume determinism contract (DESIGN.md §14): interrupt training with
+/// a deterministic deadline trip, resume a *fresh* process-equivalent run
+/// from the emergency checkpoint, and the final imputations must be
+/// bit-identical to an uninterrupted run — at any thread count.
+#[test]
+fn kill_and_resume_is_bit_identical() {
+    use scis_core::{latest_checkpoint, CheckpointPolicy, TrainCheckpoint};
+    use scis_tensor::{ExecPolicy, RunDeadline};
+
+    for (pi, policy) in [ExecPolicy::Serial, ExecPolicy::threads(4)]
+        .into_iter()
+        .enumerate()
+    {
+        let ds = chaos_dataset(160, 0.2, 21);
+
+        // uninterrupted baseline
+        let mut rng = Rng64::seed_from_u64(21);
+        let mut gain = GainImputer::new(fast_config().dim.train);
+        let baseline = Scis::new(fast_config().exec(policy))
+            .try_run(&mut gain, &ds, 24, &mut rng)
+            .unwrap();
+
+        // interrupted run: the deadline trips mid-training, the trainer
+        // stops at the last clean epoch boundary and writes an emergency
+        // checkpoint
+        let dir = ckpt_dir(&format!("resume_{}", pi));
+        let mut rng = Rng64::seed_from_u64(21);
+        let mut gain = GainImputer::new(fast_config().dim.train);
+        let interrupted = Scis::new(fast_config().exec(policy))
+            .checkpoints(CheckpointPolicy::new(&dir))
+            .deadline(RunDeadline::trip_after(40))
+            .try_run(&mut gain, &ds, 24, &mut rng)
+            .unwrap();
+        assert!(
+            interrupted.anomalies.deadline_exceeded,
+            "deadline did not trip: {:?}",
+            interrupted.anomalies
+        );
+        assert!(
+            !interrupted.anomalies.is_degraded(),
+            "deadline expiry must not count as degradation: {:?}",
+            interrupted.anomalies
+        );
+        assert!(interrupted.imputed.as_slice().iter().all(|v| v.is_finite()));
+
+        let path = latest_checkpoint(&dir).expect("no checkpoint on disk");
+        let ckpt = TrainCheckpoint::load(&path).expect("checkpoint must load");
+        assert_eq!(ckpt.phase, TrainPhase::Initial);
+        assert!(
+            ckpt.epoch < fast_config().dim.train.epochs,
+            "trip landed after training finished (epoch {}); lower the budget",
+            ckpt.epoch
+        );
+
+        // fresh run resumed from the checkpoint: replays deterministically
+        // up to the checkpointed phase, fast-forwards, finishes the rest
+        let mut rng = Rng64::seed_from_u64(21);
+        let mut gain = GainImputer::new(fast_config().dim.train);
+        let resumed = Scis::new(fast_config().exec(policy))
+            .resume_from(ckpt)
+            .try_run(&mut gain, &ds, 24, &mut rng)
+            .unwrap();
+
+        assert_eq!(resumed.n_star, baseline.n_star, "n* diverged on resume");
+        let b = baseline.imputed.as_slice();
+        let r = resumed.imputed.as_slice();
+        assert_eq!(b.len(), r.len());
+        for (i, (x, y)) in b.iter().zip(r).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "imputation diverged at flat index {} ({:?}): {} vs {}",
+                i,
+                policy,
+                x,
+                y
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Deadline expiry is a graceful finish, not a failure: finite output from
+/// the best model so far, an emergency checkpoint on disk, and DeadlineHit/
+/// Checkpoint markers in the flight-recorder tail.
+#[test]
+fn deadline_expiry_finishes_gracefully() {
+    use scis_core::{latest_checkpoint, CheckpointPolicy};
+    use scis_telemetry::{Event, Telemetry};
+    use scis_tensor::RunDeadline;
+
+    let ds = chaos_dataset(160, 0.2, 22);
+    let dir = ckpt_dir("deadline");
+    let tel = Telemetry::collecting();
+    let mut rng = Rng64::seed_from_u64(22);
+    let mut gain = GainImputer::new(fast_config().dim.train);
+    let outcome = Scis::new(fast_config())
+        .checkpoints(CheckpointPolicy::new(&dir))
+        .deadline(RunDeadline::trip_after(40))
+        .telemetry(tel)
+        .try_run(&mut gain, &ds, 24, &mut rng)
+        .unwrap();
+    assert!(
+        outcome.anomalies.deadline_exceeded,
+        "{:?}",
+        outcome.anomalies
+    );
+    assert!(!outcome.anomalies.is_clean());
+    assert!(
+        !outcome.anomalies.is_degraded(),
+        "deadline expiry is not degradation: {:?}",
+        outcome.anomalies
+    );
+    assert!(outcome.imputed.as_slice().iter().all(|v| v.is_finite()));
+    assert!(
+        outcome
+            .anomalies
+            .notes
+            .iter()
+            .any(|n| n.contains("deadline")),
+        "no deadline note: {:?}",
+        outcome.anomalies.notes
+    );
+    // SSE was skipped — training sample stays at n0
+    assert_eq!(outcome.n_star, 24);
+    // an emergency checkpoint is on disk and loads cleanly
+    let path = latest_checkpoint(&dir).expect("no checkpoint on disk");
+    assert!(scis_core::TrainCheckpoint::load(&path).is_ok());
+    // the deadline-hit post-mortem rides in the flight tail
+    assert!(
+        outcome
+            .flight_tail
+            .iter()
+            .any(|r| matches!(r.event, Event::DeadlineHit { .. })),
+        "no DeadlineHit in the flight tail"
+    );
+    assert!(
+        outcome.flight_tail.iter().any(|r| matches!(
+            r.event,
+            Event::Checkpoint {
+                emergency: true,
+                ..
+            }
+        )),
+        "no emergency Checkpoint in the flight tail"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming with a checkpoint that does not fit the model is a typed,
+/// pre-training error — not a panic, not silent corruption.
+#[test]
+fn resume_mismatch_is_a_typed_error() {
+    use scis_core::{
+        latest_checkpoint, train_dim_resumable, CheckpointPolicy, FailureReason, TrainCheckpoint,
+        TrainHooks,
+    };
+    use scis_ot::DualCache;
+    use scis_telemetry::Telemetry;
+
+    let ds = chaos_dataset(80, 0.2, 23);
+    let cfg = fast_config();
+    let dir = ckpt_dir("mismatch");
+    let policy = CheckpointPolicy::new(&dir);
+
+    // produce a legitimate checkpoint
+    let mut rng = Rng64::seed_from_u64(23);
+    let mut gain = GainImputer::new(cfg.dim.train);
+    let mut stats = GuardStats::default();
+    let hooks = TrainHooks {
+        checkpoint: Some(&policy),
+        ..Default::default()
+    };
+    train_dim_resumable(
+        &mut gain,
+        &ds,
+        &cfg.dim,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        &Telemetry::off(),
+        &DualCache::off(),
+        &hooks,
+        &mut rng,
+    )
+    .expect("clean training must succeed");
+    let path = latest_checkpoint(&dir).expect("no checkpoint written");
+    let mut ckpt = TrainCheckpoint::load(&path).unwrap();
+
+    // truncate the parameter vector — as if the checkpoint came from a
+    // different architecture
+    ckpt.gen_params.pop();
+    let mut rng = Rng64::seed_from_u64(23);
+    let mut gain = GainImputer::new(cfg.dim.train);
+    let mut stats = GuardStats::default();
+    let hooks = TrainHooks {
+        resume: Some(&ckpt),
+        ..Default::default()
+    };
+    let err = train_dim_resumable(
+        &mut gain,
+        &ds,
+        &cfg.dim,
+        &GuardConfig::default(),
+        TrainPhase::Initial,
+        &mut stats,
+        &Telemetry::off(),
+        &DualCache::off(),
+        &hooks,
+        &mut rng,
+    )
+    .expect_err("mismatched checkpoint must be rejected");
+    assert!(
+        matches!(err.reason, FailureReason::ResumeMismatch { .. }),
+        "wrong reason: {}",
+        err.reason
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn clean_run_reports_no_anomalies() {
     let ds = chaos_dataset(120, 0.15, 10);

@@ -135,12 +135,12 @@ fn sinkhorn_sweeps_are_bit_identical_above_threshold() {
     let base = SinkhornOptions::default().lambda(0.05).max_iters(300);
 
     let cost_s = scis_repro::ot::masked_sq_cost_with(&a, &ones, &b, &ones, ExecPolicy::Serial);
-    let serial = scis_repro::ot::sinkhorn_uniform(&cost_s, &base.exec(ExecPolicy::Serial));
+    let serial = scis_repro::ot::sinkhorn_uniform(&cost_s, &base.clone().exec(ExecPolicy::Serial));
     for threads in [2usize, 3, 7] {
         let exec = ExecPolicy::threads(threads);
         let cost_p = scis_repro::ot::masked_sq_cost_with(&a, &ones, &b, &ones, exec);
         assert_eq!(cost_s, cost_p, "cost matrix diverged at {threads} threads");
-        let par = scis_repro::ot::sinkhorn_uniform(&cost_p, &base.exec(exec));
+        let par = scis_repro::ot::sinkhorn_uniform(&cost_p, &base.clone().exec(exec));
         assert_eq!(serial.plan, par.plan, "plan diverged at {threads} threads");
         assert_eq!(
             serial.reg_value.to_bits(),

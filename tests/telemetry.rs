@@ -143,7 +143,8 @@ fn run_report_is_populated_and_consistent() {
     assert!(loss.iter().all(|v| v.is_finite()));
     // JSON serialization is self-consistent
     let json = r.to_json();
-    assert!(json.contains("\"schema_version\":2"));
+    assert!(json.contains("\"schema_version\":3"));
+    assert!(json.contains("\"deadline_exceeded\":false"));
     assert!(json.contains(&format!("\"n_star\":{}", outcome.n_star)));
     assert!(json.contains(&format!("\"sinkhorn_solves\":{solves}")));
     assert!(json.contains("\"histograms\""));
