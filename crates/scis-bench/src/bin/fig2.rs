@@ -86,7 +86,9 @@ fn main() {
                     ..Default::default()
                 };
                 let mut gain = GainImputer::new(train);
-                let outcome = Scis::new(config).run(&mut gain, &ds2, n0, &mut rng2);
+                let outcome = Scis::new(config)
+                    .try_run(&mut gain, &ds2, n0, &mut rng2)
+                    .expect("pipeline run");
                 let rt = outcome.training_sample_rate();
                 let sse_t = outcome.sse_time.as_secs_f64();
                 (outcome.imputed, rt, sse_t)

@@ -7,7 +7,7 @@
 //! ```
 
 use scis_bench::harness::{finish_process, recipes_from_env, run_with_budget, BenchConfig};
-use scis_core::dim::{train_dim, DimConfig};
+use scis_core::dim::{try_train_dim, DimConfig};
 use scis_core::pipeline::{Scis, ScisConfig};
 use scis_data::metrics::make_holdout;
 use scis_data::normalize::MinMaxScaler;
@@ -66,7 +66,7 @@ fn main() {
                 train,
                 ..Default::default()
             };
-            let _ = train_dim(&mut gain, &ds_u, &dim, &mut rng_u);
+            let _ = try_train_dim(&mut gain, &ds_u, &dim, &mut rng_u).expect("dim training");
             impute_with_generator(&mut gain, &ds_u, &mut rng_u)
         })
         .map(|m| holdout.rmse(&m));
@@ -93,7 +93,9 @@ fn main() {
                         };
                         config.sse.epsilon = eps;
                         let mut gain = GainImputer::new(train);
-                        let outcome = Scis::new(config).run(&mut gain, &ds_s, n0, &mut rng_s);
+                        let outcome = Scis::new(config)
+                            .try_run(&mut gain, &ds_s, n0, &mut rng_s)
+                            .expect("pipeline run");
                         {
                             let rt = outcome.training_sample_rate();
                             (outcome.imputed, rt)

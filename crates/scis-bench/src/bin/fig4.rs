@@ -67,7 +67,9 @@ fn main() {
                     ..Default::default()
                 };
                 let mut gain = GainImputer::new(train);
-                let outcome = Scis::new(config).run(&mut gain, &ds, n0, &mut run_rng);
+                let outcome = Scis::new(config)
+                    .try_run(&mut gain, &ds, n0, &mut run_rng)
+                    .expect("pipeline run");
                 {
                     let rt = outcome.training_sample_rate();
                     (outcome.imputed, rt, outcome.n_star)

@@ -68,7 +68,9 @@ fn main() {
                 ..Default::default()
             };
             let mut gain = GainImputer::new(train);
-            let outcome = Scis::new(config).run(&mut gain, &ds2, n0, &mut r2);
+            let outcome = Scis::new(config)
+                .try_run(&mut gain, &ds2, n0, &mut r2)
+                .expect("pipeline run");
             let rt = outcome.training_sample_rate();
             (outcome.imputed, rt)
         });

@@ -69,7 +69,8 @@ fn main() {
     let tel = Telemetry::collecting();
     let outcome = Scis::new(config)
         .telemetry(tel.clone())
-        .run(&mut gain, &ds, n0, &mut rng);
+        .try_run(&mut gain, &ds, n0, &mut rng)
+        .expect("pipeline run");
     let rmse = rmse_vs_ground_truth(&ds, &complete, &outcome.imputed);
 
     // cache-effectiveness contract: within each training phase (each phase

@@ -130,7 +130,10 @@ fn main() {
                 ..Default::default()
             };
             let mut gain = GainImputer::new(train);
-            Scis::new(config).run(&mut gain, &ds2, n0, &mut r2).imputed
+            Scis::new(config)
+                .try_run(&mut gain, &ds2, n0, &mut r2)
+                .expect("pipeline run")
+                .imputed
         });
 
         let (Some(gain_x), Some(scis_x)) = (gain_imp, scis_imp) else {

@@ -450,17 +450,20 @@ impl CheckpointPolicy {
     }
 }
 
-/// Finds the most advanced checkpoint in `dir`: later phases win over
-/// earlier ones, higher epochs win within a phase, and a phase's emergency
-/// checkpoint (written last, at failure or deadline expiry) wins over its
-/// periodic ones. Returns `None` when the directory has no checkpoints.
+/// Finds the most advanced *loadable* checkpoint in `dir`: later phases win
+/// over earlier ones, higher epochs win within a phase, and a phase's
+/// emergency checkpoint (written last, at failure or deadline expiry) wins
+/// over its periodic ones. Candidates that fail [`TrainCheckpoint::load`]
+/// (truncated writes, checksum mismatches) are skipped rather than returned,
+/// so a corrupt emergency file never shadows a valid periodic checkpoint.
+/// Returns `None` when the directory has no loadable checkpoints.
 pub fn latest_checkpoint(dir: &Path) -> Option<PathBuf> {
     let phases = [
         TrainPhase::Initial,
         TrainPhase::Calibration,
         TrainPhase::Retrain,
     ];
-    let mut best: Option<((u8, usize), PathBuf)> = None;
+    let mut candidates: Vec<((u8, usize), PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir).ok()?.filter_map(|e| e.ok()) {
         let name = entry.file_name().to_string_lossy().to_string();
         for phase in phases {
@@ -473,13 +476,15 @@ pub fn latest_checkpoint(dir: &Path) -> Option<PathBuf> {
                     .map(|epoch| (phase.code(), epoch))
             };
             if let Some(rank) = rank {
-                if best.as_ref().is_none_or(|(b, _)| rank > *b) {
-                    best = Some((rank, entry.path()));
-                }
+                candidates.push((rank, entry.path()));
             }
         }
     }
-    best.map(|(_, path)| path)
+    candidates.sort_by(|(a, _), (b, _)| b.cmp(a));
+    candidates
+        .into_iter()
+        .find(|(_, path)| TrainCheckpoint::load(path).is_ok())
+        .map(|(_, path)| path)
 }
 
 #[cfg(test)]
@@ -665,6 +670,27 @@ mod tests {
     #[test]
     fn empty_dir_has_no_latest() {
         let dir = tmp_dir("empty");
+        assert!(latest_checkpoint(&dir).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_emergency_does_not_shadow_valid_periodic() {
+        let dir = tmp_dir("corrupt_shadow");
+        let policy = CheckpointPolicy::new(&dir);
+        let mut ckpt = sample_ckpt();
+        ckpt.epoch = 7;
+        policy.write_periodic(&ckpt).unwrap();
+        // a truncated emergency checkpoint outranks the periodic one by name,
+        // but must be skipped because it fails to load
+        let emergency = dir.join(CheckpointPolicy::emergency_name(TrainPhase::Initial));
+        let full = ckpt.to_bytes();
+        std::fs::write(&emergency, &full[..full.len() / 2]).unwrap();
+        assert!(TrainCheckpoint::load(&emergency).is_err());
+        let latest = latest_checkpoint(&dir).unwrap();
+        assert!(latest.ends_with("ckpt-initial-e00007.ckpt"));
+        // once every candidate is corrupt there is no latest checkpoint
+        std::fs::write(dir.join("ckpt-initial-e00007.ckpt"), b"scis-ckpt v1\n").unwrap();
         assert!(latest_checkpoint(&dir).is_none());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -313,6 +313,10 @@ impl Critic {
 /// the pipeline, the CLI, the bench harness — goes through the fallible
 /// path so a terminal [`TrainingError`] can degrade gracefully instead of
 /// aborting the process.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `try_train_dim` and handle the typed `TrainingError` instead of panicking"
+)]
 pub fn train_dim(
     imp: &mut dyn AdversarialImputer,
     ds: &Dataset,
@@ -1012,7 +1016,7 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(2);
         let ds = inject_mcar(&complete, 0.25, &mut rng);
         let mut gain = GainImputer::new(fast_cfg().train);
-        let report = train_dim(&mut gain, &ds, &fast_cfg(), &mut rng);
+        let report = try_train_dim(&mut gain, &ds, &fast_cfg(), &mut rng).expect("dim training");
         assert_eq!(report.epoch_losses.len(), 60);
         let first = report.epoch_losses[0];
         let last = report.final_loss();
@@ -1026,7 +1030,7 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(4);
         let ds = inject_mcar(&complete, 0.25, &mut rng);
         let mut gain = GainImputer::new(fast_cfg().train);
-        let _ = train_dim(&mut gain, &ds, &fast_cfg(), &mut rng);
+        let _ = try_train_dim(&mut gain, &ds, &fast_cfg(), &mut rng).expect("dim training");
         let out = impute_with_generator(&mut gain, &ds, &mut rng);
         let e = rmse_vs_ground_truth(&ds, &complete, &out);
 
@@ -1048,7 +1052,7 @@ mod tests {
         cfg.train.epochs = 20;
         cfg.critic = Some(CriticConfig::default());
         let mut gain = GainImputer::new(cfg.train);
-        let report = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        let report = try_train_dim(&mut gain, &ds, &cfg, &mut rng).expect("dim training");
         assert!(report.final_loss().is_finite());
         let out = impute_with_generator(&mut gain, &ds, &mut rng);
         assert!(!out.has_nan());
@@ -1062,7 +1066,7 @@ mod tests {
         let mut cfg = fast_cfg();
         cfg.loss = GenerativeLoss::SlicedWasserstein { n_projections: 24 };
         let mut gain = GainImputer::new(cfg.train);
-        let report = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        let report = try_train_dim(&mut gain, &ds, &cfg, &mut rng).expect("dim training");
         assert!(report.final_loss().is_finite());
         let out = impute_with_generator(&mut gain, &ds, &mut rng);
         let e = rmse_vs_ground_truth(&ds, &complete, &out);
@@ -1160,7 +1164,7 @@ mod tests {
         let mut cfg = fast_cfg().accel(AccelConfig::all());
         cfg.train.epochs = 15;
         let mut gain = GainImputer::new(cfg.train);
-        let report = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        let report = try_train_dim(&mut gain, &ds, &cfg, &mut rng).expect("dim training");
         assert_eq!(report.epoch_losses.len(), 15);
         let first = report.epoch_losses[0];
         let last = report.final_loss();
@@ -1177,10 +1181,10 @@ mod tests {
         let mut cfg = fast_cfg();
         cfg.train.epochs = 10;
         let mut gain = GainImputer::new(cfg.train);
-        let _ = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        let _ = try_train_dim(&mut gain, &ds, &cfg, &mut rng).expect("dim training");
         let theta_after_first =
             scis_imputers::AdversarialImputer::generator_mut(&mut gain).param_vector();
-        let _ = train_dim(&mut gain, &ds, &cfg, &mut rng);
+        let _ = try_train_dim(&mut gain, &ds, &cfg, &mut rng).expect("dim training");
         let theta_after_second =
             scis_imputers::AdversarialImputer::generator_mut(&mut gain).param_vector();
         assert_ne!(

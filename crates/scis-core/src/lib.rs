@@ -27,7 +27,7 @@
 //! let inst = CovidRecipe::Trial.generate(0.05, 7);
 //! let mut rng = Rng64::seed_from_u64(7);
 //! let mut gain = GainImputer::new(TrainConfig::default());
-//! let outcome = Scis::new(ScisConfig::default()).run(&mut gain, &inst.dataset, inst.n0, &mut rng);
+//! let outcome = Scis::new(ScisConfig::default()).try_run(&mut gain, &inst.dataset, inst.n0, &mut rng).unwrap();
 //! println!("n* = {} (R_t = {:.2}%)", outcome.n_star, outcome.training_sample_rate() * 100.0);
 //! ```
 
@@ -40,9 +40,11 @@ pub mod report;
 pub mod sse;
 
 pub use checkpoint::{latest_checkpoint, CheckpointPolicy, TrainCheckpoint};
+#[allow(deprecated)]
+pub use dim::train_dim;
 pub use dim::{
-    train_dim, train_dim_cached, train_dim_guarded, train_dim_resumable, train_dim_telemetered,
-    try_train_dim, AccelConfig, DimConfig, DimReport, TrainHooks,
+    train_dim_cached, train_dim_guarded, train_dim_resumable, train_dim_telemetered, try_train_dim,
+    AccelConfig, DimConfig, DimReport, TrainHooks,
 };
 pub use error::{FailureReason, ScisError, TrainPhase, TrainingError, POST_MORTEM_TAIL};
 pub use guard::{GuardConfig, GuardStats, TrainingGuard};

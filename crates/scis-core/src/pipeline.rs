@@ -304,6 +304,10 @@ impl Scis {
     /// # Panics
     /// Panics on any [`ScisError`] — in particular when `2·n0` exceeds the
     /// dataset size.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Scis::try_run` and handle the typed `ScisError` instead of panicking"
+    )]
     pub fn run(
         &self,
         imp: &mut dyn AdversarialImputer,
@@ -732,7 +736,9 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(2);
         let ds = inject_mcar(&complete, 0.25, &mut rng);
         let mut gain = GainImputer::new(fast_config().dim.train);
-        let outcome = Scis::new(fast_config()).run(&mut gain, &ds, 100, &mut rng);
+        let outcome = Scis::new(fast_config())
+            .try_run(&mut gain, &ds, 100, &mut rng)
+            .expect("pipeline run");
 
         assert_eq!(outcome.imputed.shape(), (600, 4));
         assert!(!outcome.imputed.has_nan());
@@ -751,7 +757,9 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(4);
         let ds = inject_mcar(&complete, 0.25, &mut rng);
         let mut gain = GainImputer::new(fast_config().dim.train);
-        let outcome = Scis::new(fast_config()).run(&mut gain, &ds, 100, &mut rng);
+        let outcome = Scis::new(fast_config())
+            .try_run(&mut gain, &ds, 100, &mut rng)
+            .expect("pipeline run");
         let e = rmse_vs_ground_truth(&ds, &complete, &outcome.imputed);
         let mut mean = scis_imputers::mean::MeanImputer;
         let e_mean = rmse_vs_ground_truth(&ds, &complete, &mean.impute(&ds, &mut rng));
@@ -766,7 +774,9 @@ mod tests {
         let mut cfg = fast_config();
         cfg.sse.epsilon = 100.0;
         let mut gain = GainImputer::new(cfg.dim.train);
-        let outcome = Scis::new(cfg).run(&mut gain, &ds, 80, &mut rng);
+        let outcome = Scis::new(cfg)
+            .try_run(&mut gain, &ds, 80, &mut rng)
+            .expect("pipeline run");
         assert_eq!(outcome.n_star, 80);
         assert_eq!(outcome.retrain_time, Duration::ZERO);
     }
@@ -777,18 +787,22 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(8);
         let ds = inject_mcar(&complete, 0.2, &mut rng);
         let mut gain = GainImputer::new(fast_config().dim.train);
-        let outcome = Scis::new(fast_config()).run(&mut gain, &ds, 80, &mut rng);
+        let outcome = Scis::new(fast_config())
+            .try_run(&mut gain, &ds, 80, &mut rng)
+            .expect("pipeline run");
         let f = outcome.sse_time_fraction();
         assert!((0.0..=1.0).contains(&f), "fraction {}", f);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds N")]
     fn rejects_oversized_n0() {
         let complete = correlated_table(100, 9);
         let mut rng = Rng64::seed_from_u64(10);
         let ds = inject_mcar(&complete, 0.2, &mut rng);
         let mut gain = GainImputer::new(fast_config().dim.train);
-        let _ = Scis::new(fast_config()).run(&mut gain, &ds, 80, &mut rng);
+        let err = Scis::new(fast_config())
+            .try_run(&mut gain, &ds, 80, &mut rng)
+            .unwrap_err();
+        assert!(err.to_string().contains("exceeds N"), "{}", err);
     }
 }

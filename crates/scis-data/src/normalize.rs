@@ -72,6 +72,46 @@ impl MinMaxScaler {
         })
     }
 
+    /// Reconstructs a scaler from exported parameters (see
+    /// [`MinMaxScaler::mins`]/[`MinMaxScaler::spans`]) — the model-bundle
+    /// round-trip. `mins` and `spans` must have equal length; spans must be
+    /// positive and finite so the inverse transform stays well-defined.
+    pub fn from_params(mins: Vec<f64>, spans: Vec<f64>) -> Result<Self, String> {
+        if mins.len() != spans.len() {
+            return Err(format!(
+                "scaler params: {} mins vs {} spans",
+                mins.len(),
+                spans.len()
+            ));
+        }
+        for (j, (&m, &s)) in mins.iter().zip(&spans).enumerate() {
+            if !m.is_finite() || !s.is_finite() || s <= 0.0 {
+                return Err(format!(
+                    "scaler params: column {} (min {}, span {})",
+                    j, m, s
+                ));
+            }
+        }
+        Ok(Self { mins, spans })
+    }
+
+    /// Per-column minimum of the fitted range (identity-fallback columns
+    /// report 0). Exported into model bundles.
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-column span of the fitted range (identity-fallback columns
+    /// report 1). Exported into model bundles.
+    pub fn spans(&self) -> &[f64] {
+        &self.spans
+    }
+
+    /// Number of columns the scaler was fitted on.
+    pub fn n_cols(&self) -> usize {
+        self.mins.len()
+    }
+
     /// Fits on a dataset and returns the normalized dataset plus the scaler.
     pub fn fit_transform_dataset(ds: &Dataset) -> (Dataset, MinMaxScaler) {
         let scaler = MinMaxScaler::fit(&ds.values);

@@ -47,7 +47,9 @@ impl GainImputer {
     }
 
     /// Noise value used for deterministic reconstruction (mean of U(0,0.01)).
-    const DET_NOISE: f64 = 0.005;
+    /// Public so online serving can reproduce [`GainImputer::reconstruct`]
+    /// bit-for-bit from a bare generator network.
+    pub const DET_NOISE: f64 = 0.005;
 
     /// Architecture descriptor of the generator (for model persistence).
     pub fn generator_spec(&self) -> scis_nn::MlpSpec {
@@ -87,7 +89,27 @@ impl GainImputer {
         path: &std::path::Path,
     ) -> Result<(), scis_nn::serialize::ModelIoError> {
         let (net, spec) = scis_nn::load_mlp(path)?;
-        assert_eq!(spec.in_dim % 2, 0, "generator input must be 2·d");
+        self.install_generator(net, &spec)
+    }
+
+    /// Installs an already-deserialized generator (e.g. from a model
+    /// bundle); the imputer becomes ready to `reconstruct` without
+    /// retraining. Rejects networks whose input width is not the `2·d`
+    /// GAIN encoding with a typed error instead of panicking.
+    pub fn install_generator(
+        &mut self,
+        net: scis_nn::Mlp,
+        spec: &scis_nn::MlpSpec,
+    ) -> Result<(), scis_nn::serialize::ModelIoError> {
+        if !spec.in_dim.is_multiple_of(2) {
+            return Err(scis_nn::serialize::ModelIoError::Format {
+                line: 0,
+                message: format!(
+                    "generator input width {} is not the 2·d GAIN encoding",
+                    spec.in_dim
+                ),
+            });
+        }
         let d = spec.in_dim / 2;
         if !self.is_initialized(d) {
             // discriminator gets fresh weights; only reconstruction needs

@@ -179,9 +179,11 @@ impl MlpSpec {
     }
 }
 
-/// Saves an MLP (architecture + parameters) to `path` atomically, with a
-/// trailing checksum line (format v2).
-pub fn save_mlp(path: &Path, net: &Mlp, spec: &MlpSpec) -> Result<(), ModelIoError> {
+/// Renders an MLP (architecture + parameters) to the v2 text format with a
+/// trailing checksum line — the exact bytes [`save_mlp`] writes. Container
+/// formats (model bundles, checkpoints) embed this string as their
+/// generator section and parse it back with [`mlp_from_str`].
+pub fn mlp_to_string(net: &Mlp, spec: &MlpSpec) -> String {
     use std::fmt::Write as _;
     let mut body = String::new();
     let _ = writeln!(body, "scis-mlp v2");
@@ -202,7 +204,13 @@ pub fn save_mlp(path: &Path, net: &Mlp, spec: &MlpSpec) -> Result<(), ModelIoErr
         let _ = writeln!(body, "{:016x}", p.to_bits());
     }
     let _ = writeln!(body, "checksum {:016x}", fnv1a64(body.as_bytes()));
-    write_atomic(path, body.as_bytes())?;
+    body
+}
+
+/// Saves an MLP (architecture + parameters) to `path` atomically, with a
+/// trailing checksum line (format v2).
+pub fn save_mlp(path: &Path, net: &Mlp, spec: &MlpSpec) -> Result<(), ModelIoError> {
+    write_atomic(path, mlp_to_string(net, spec).as_bytes())?;
     Ok(())
 }
 
@@ -211,6 +219,13 @@ pub fn save_mlp(path: &Path, net: &Mlp, spec: &MlpSpec) -> Result<(), ModelIoErr
 /// version is rejected with a typed error.
 pub fn load_mlp(path: &Path) -> Result<(Mlp, MlpSpec), ModelIoError> {
     let content = std::fs::read_to_string(path)?;
+    mlp_from_str(&content)
+}
+
+/// Parses the text produced by [`mlp_to_string`] (or read from a
+/// [`save_mlp`] file); weights restored bit-exactly. Accepts v1 (no
+/// checksum) and v2 (checksum verified) content.
+pub fn mlp_from_str(content: &str) -> Result<(Mlp, MlpSpec), ModelIoError> {
     let mut lines = content.lines().enumerate();
     let mut next = |expect: &str| -> Result<(usize, String), ModelIoError> {
         match lines.next() {

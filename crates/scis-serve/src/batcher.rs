@@ -1,0 +1,288 @@
+//! Request coalescing: many concurrent clients, one generator.
+//!
+//! Clients submit jobs into a *bounded* queue ([`std::sync::mpsc::sync_channel`]);
+//! a single batcher thread drains it, coalescing queued jobs into one
+//! policy-aware generator forward pass per flush. A flush happens when the
+//! accumulated batch reaches `max_batch_rows` or when `flush_micros` has
+//! elapsed since the first queued job — whichever comes first — so a lone
+//! request never waits longer than the flush deadline and a burst amortizes
+//! into one GEMM.
+//!
+//! Backpressure is the queue bound: when it is full, [`Batcher::submit`]
+//! fails immediately with [`SubmitError::QueueFull`] and the HTTP layer
+//! answers `503` + `Retry-After` instead of queueing unboundedly. If the
+//! batcher thread is gone (panic, shutdown), submissions fail with
+//! [`SubmitError::Unavailable`] and the server drops to the column-mean
+//! ladder.
+
+use crate::service::{ImputeResult, ImputeRow, ImputeService};
+use scis_telemetry::{Counter, Hist, Telemetry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Batching knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Bound on queued jobs (requests, not rows). Full queue → 503.
+    pub queue_cap: usize,
+    /// Flush when the coalesced batch reaches this many rows.
+    pub max_batch_rows: usize,
+    /// Flush when the oldest queued job has waited this long (µs).
+    pub flush_micros: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            queue_cap: 128,
+            max_batch_rows: 256,
+            flush_micros: 500,
+        }
+    }
+}
+
+struct Job {
+    rows: Vec<ImputeRow>,
+    enqueued: Instant,
+    reply: SyncSender<ImputeResult>,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — back off and retry.
+    QueueFull,
+    /// The batcher thread is no longer running.
+    Unavailable,
+}
+
+/// Handle to the batcher thread.
+pub struct Batcher {
+    tx: SyncSender<Job>,
+    alive: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawns the batcher thread owning `service`.
+    pub fn spawn(service: ImputeService, cfg: BatchConfig, telemetry: Telemetry) -> Batcher {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(cfg.queue_cap.max(1));
+        let alive = Arc::new(AtomicBool::new(true));
+        let alive_thread = alive.clone();
+        let join = std::thread::Builder::new()
+            .name("scis-serve-batcher".into())
+            .spawn(move || {
+                run_loop(service, cfg, telemetry, rx);
+                alive_thread.store(false, Ordering::SeqCst);
+            })
+            .expect("spawn batcher thread");
+        Batcher {
+            tx,
+            alive,
+            join: Some(join),
+        }
+    }
+
+    /// True while the batcher thread is draining the queue.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Submits validated rows; returns the channel the result arrives on.
+    pub fn submit(&self, rows: Vec<ImputeRow>) -> Result<Receiver<ImputeResult>, SubmitError> {
+        if !self.is_alive() {
+            return Err(SubmitError::Unavailable);
+        }
+        // rendezvous reply channel: the batcher's send never blocks because
+        // the submitting thread is already waiting on recv
+        let (reply, result_rx) = std::sync::mpsc::sync_channel(1);
+        let job = Job {
+            rows,
+            enqueued: Instant::now(),
+            reply,
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(result_rx),
+            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Unavailable),
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        // the recv loop ends when every sender is gone; self.tx outlives
+        // drop's body, so swap in a disconnected stand-in first, then join
+        // so queued jobs are answered before the process moves on
+        if let Some(join) = self.join.take() {
+            let (dead, _) = std::sync::mpsc::sync_channel(1);
+            self.tx = dead;
+            let _ = join.join();
+        }
+    }
+}
+
+fn run_loop(mut service: ImputeService, cfg: BatchConfig, telemetry: Telemetry, rx: Receiver<Job>) {
+    let flush = Duration::from_micros(cfg.flush_micros);
+    loop {
+        // block for the first job of the batch
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone
+        };
+        let mut jobs = vec![first];
+        let mut n_rows = jobs[0].rows.len();
+        let deadline = Instant::now() + flush;
+        // coalesce until the batch is full or the flush deadline passes
+        while n_rows < cfg.max_batch_rows {
+            let now = Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                break;
+            };
+            match rx.recv_timeout(left) {
+                Ok(job) => {
+                    n_rows += job.rows.len();
+                    jobs.push(job);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // one forward pass over every coalesced row
+        let all_rows: Vec<ImputeRow> = jobs.iter().flat_map(|j| j.rows.iter().cloned()).collect();
+        let result = service.impute_rows(&all_rows);
+        telemetry.incr(Counter::ServeBatches);
+        telemetry.record_hist(Hist::ServeBatchRows, all_rows.len() as u64);
+
+        // split the batch result back per job, preserving order
+        let mut offset = 0;
+        for job in jobs {
+            let take = job.rows.len();
+            let slice = ImputeResult {
+                rows: result.rows[offset..offset + take].to_vec(),
+                degraded: result.degraded,
+            };
+            offset += take;
+            telemetry.record_hist_duration(Hist::ServeRequestNanos, job.enqueued.elapsed());
+            // a vanished client (timed out, disconnected) is not an error
+            let _ = job.reply.send(slice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{ColumnMeta, ModelBundle};
+    use scis_core::dim::AccelConfig;
+    use scis_data::dataset::ColumnKind;
+    use scis_data::normalize::MinMaxScaler;
+    use scis_imputers::{AdversarialImputer, GainImputer, TrainConfig};
+    use scis_tensor::{ExecPolicy, Matrix, Rng64};
+
+    fn bundle(d: usize) -> ModelBundle {
+        let mut rng = Rng64::seed_from_u64(21);
+        let mut gain = GainImputer::new(TrainConfig::fast_test());
+        gain.init_networks(d, &mut rng);
+        let spec = gain.generator_spec();
+        let generator = gain.generator_mut().clone();
+        let values = Matrix::from_fn(30, d, |i, j| i as f64 * 0.1 + j as f64);
+        let scaler = MinMaxScaler::fit(&values);
+        let columns = (0..d)
+            .map(|j| ColumnMeta {
+                name: format!("c{}", j),
+                kind: ColumnKind::Continuous,
+                mean: j as f64,
+            })
+            .collect();
+        ModelBundle::new(generator, spec, scaler, columns, AccelConfig::default()).unwrap()
+    }
+
+    fn service(d: usize) -> crate::service::ImputeService {
+        crate::service::ImputeService::new(
+            bundle(d),
+            ExecPolicy::Serial,
+            scis_telemetry::Telemetry::off(),
+        )
+    }
+
+    #[test]
+    fn coalesced_results_match_direct_service_bitwise() {
+        let d = 3;
+        let mut direct = service(d);
+        let tel = scis_telemetry::Telemetry::collecting();
+        let batcher = Batcher::spawn(service(d), BatchConfig::default(), tel.clone());
+        let rows: Vec<ImputeRow> = (0..10)
+            .map(|i| vec![Some(i as f64), None, Some(0.25)])
+            .collect();
+        let expected = direct.impute_rows(&rows);
+        let handles: Vec<_> = rows
+            .iter()
+            .map(|r| batcher.submit(vec![r.clone()]).unwrap())
+            .collect();
+        for (i, rx) in handles.into_iter().enumerate() {
+            let got = rx.recv().unwrap();
+            for j in 0..d {
+                assert_eq!(
+                    got.rows[0][j].to_bits(),
+                    expected.rows[i][j].to_bits(),
+                    "row {} col {}",
+                    i,
+                    j
+                );
+            }
+        }
+        assert!(tel.counter(Counter::ServeBatches) >= 1);
+        drop(batcher);
+    }
+
+    #[test]
+    fn full_queue_reports_backpressure() {
+        // a 1-slot queue with a very long flush window: the first job parks
+        // the batcher in its coalescing wait, the second fills the queue,
+        // the third must bounce
+        let cfg = BatchConfig {
+            queue_cap: 1,
+            max_batch_rows: 1024,
+            flush_micros: 200_000,
+        };
+        let batcher = Batcher::spawn(service(2), cfg, scis_telemetry::Telemetry::off());
+        let row: ImputeRow = vec![Some(1.0), None];
+        let _first = batcher.submit(vec![row.clone()]).unwrap();
+        // give the batcher a moment to pull the first job into its batch
+        std::thread::sleep(Duration::from_millis(20));
+        let _second = batcher.submit(vec![row.clone()]).unwrap();
+        let mut saw_full = false;
+        for _ in 0..50 {
+            match batcher.submit(vec![row.clone()]) {
+                Err(SubmitError::QueueFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Ok(_) => continue,
+                Err(e) => panic!("unexpected {:?}", e),
+            }
+        }
+        assert!(saw_full, "bounded queue never reported backpressure");
+        drop(batcher);
+    }
+
+    #[test]
+    fn shutdown_answers_queued_jobs() {
+        let batcher = Batcher::spawn(
+            service(2),
+            BatchConfig::default(),
+            scis_telemetry::Telemetry::off(),
+        );
+        let rx = batcher.submit(vec![vec![None, Some(2.0)]]).unwrap();
+        drop(batcher); // joins the thread
+        let out = rx.recv().expect("queued job must still be answered");
+        assert_eq!(out.rows[0][1], 2.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Load generator for `scis serve`: hammers an in-process server with
+//! concurrent clients over real sockets and commits p50/p99 latency and
+//! throughput to `BENCH_serve.json`.
+//!
+//! Every request must eventually succeed — `503` answers are retried after
+//! the advertised `Retry-After` backoff (scaled down for bench pacing) and
+//! counted, so the headline numbers include backpressure. A request that
+//! never succeeds fails the run.
+//!
+//! Knobs (environment):
+//! * `SERVE_BENCH_CLIENTS`  — concurrent client threads (default 64)
+//! * `SERVE_BENCH_REQUESTS` — requests per client (default 32)
+//! * `SERVE_BENCH_ROWS`     — rows per request (default 4)
+//! * `SERVE_BENCH_COLS`     — model width (default 8)
+//! * `SERVE_BENCH_BUNDLE`   — serve this bundle file instead of a synthetic one
+//! * `SERVE_BENCH_EXEC`     — ExecPolicy (`serial`, `auto`, or a thread count)
+//! * `SERVE_BENCH_OUT`      — output path (default `BENCH_serve.json`)
+
+use scis_serve::bundle::{ColumnMeta, ModelBundle};
+use scis_serve::client;
+use scis_serve::server::{Server, ServerConfig};
+use scis_telemetry::{json_f64, Telemetry};
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// An untrained generator is latency-equivalent to a trained one — the
+/// forward pass does the same arithmetic either way — so the bench does
+/// not pay for a training run unless pointed at a real bundle.
+fn synthetic_bundle(d: usize) -> ModelBundle {
+    use scis_imputers::{AdversarialImputer, GainImputer, TrainConfig};
+    let mut rng = scis_tensor::Rng64::seed_from_u64(97);
+    let mut gain = GainImputer::new(TrainConfig::fast_test());
+    gain.init_networks(d, &mut rng);
+    let spec = gain.generator_spec();
+    let generator = gain.generator_mut().clone();
+    let values = scis_tensor::Matrix::from_fn(64, d, |i, j| (i as f64).sin() + j as f64);
+    let scaler = scis_data::normalize::MinMaxScaler::fit(&values);
+    let columns = (0..d)
+        .map(|j| ColumnMeta {
+            name: format!("f{}", j),
+            kind: scis_data::dataset::ColumnKind::Continuous,
+            mean: j as f64 * 0.5,
+        })
+        .collect();
+    ModelBundle::new(
+        generator,
+        spec,
+        scaler,
+        columns,
+        scis_core::dim::AccelConfig::default(),
+    )
+    .expect("synthetic bundle is well-formed")
+}
+
+fn request_body(cols: usize, rows: usize, salt: usize) -> String {
+    let mut body = String::from("{\"rows\":[");
+    for i in 0..rows {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for j in 0..cols {
+            if j > 0 {
+                body.push(',');
+            }
+            if (i + j + salt).is_multiple_of(3) {
+                body.push_str("null");
+            } else {
+                body.push_str(&json_f64((salt + i) as f64 * 0.01 + j as f64));
+            }
+        }
+        body.push(']');
+    }
+    body.push_str("]}");
+    body
+}
+
+fn main() {
+    let clients = env_usize("SERVE_BENCH_CLIENTS", 64);
+    let requests = env_usize("SERVE_BENCH_REQUESTS", 32);
+    let rows_per_request = env_usize("SERVE_BENCH_ROWS", 4);
+    let out_path =
+        std::env::var("SERVE_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let exec = std::env::var("SERVE_BENCH_EXEC")
+        .ok()
+        .map(|s| scis_tensor::ExecPolicy::parse(&s).expect("SERVE_BENCH_EXEC"))
+        .unwrap_or(scis_tensor::ExecPolicy::Auto);
+
+    let bundle = match std::env::var("SERVE_BENCH_BUNDLE") {
+        Ok(path) => ModelBundle::load(std::path::Path::new(&path)).unwrap_or_else(|e| {
+            eprintln!("serve_bench: cannot load bundle {}: {}", path, e);
+            std::process::exit(1);
+        }),
+        Err(_) => synthetic_bundle(env_usize("SERVE_BENCH_COLS", 8)),
+    };
+    let cols = bundle.n_features();
+
+    let cfg = ServerConfig {
+        exec,
+        ..ServerConfig::default()
+    };
+    let telemetry = Telemetry::collecting();
+    let mut server = Server::start(bundle, cfg, telemetry).expect("bind bench server");
+    let addr = server.local_addr();
+    eprintln!(
+        "serve_bench: {} clients x {} requests x {} rows against {} ({} cols)",
+        clients, requests, rows_per_request, addr, cols
+    );
+
+    let wall_start = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut latencies_us = Vec::with_capacity(requests);
+                let mut retried = 0u64;
+                for r in 0..requests {
+                    let body = request_body(cols, rows_per_request, c * 1000 + r);
+                    let start = Instant::now();
+                    loop {
+                        let resp = client::request(addr, "POST", "/impute", Some(&body))
+                            .expect("bench request io");
+                        match resp.status {
+                            200 => break,
+                            503 => {
+                                retried += 1;
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            other => panic!("unexpected status {}: {}", other, resp.body),
+                        }
+                    }
+                    latencies_us.push(start.elapsed().as_micros() as u64);
+                }
+                (latencies_us, retried)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(clients * requests);
+    let mut retried_503 = 0u64;
+    for w in workers {
+        let (lat, retried) = w.join().expect("bench worker");
+        latencies.extend(lat);
+        retried_503 += retried;
+    }
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    server.shutdown();
+
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        let idx = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[idx - 1]
+    };
+    let total_requests = latencies.len();
+    let total_rows = total_requests * rows_per_request;
+    let mean_us = latencies.iter().sum::<u64>() as f64 / total_requests as f64;
+
+    let report = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"scis-serve-bench-v1\",\n",
+            "  \"clients\": {},\n",
+            "  \"requests_per_client\": {},\n",
+            "  \"rows_per_request\": {},\n",
+            "  \"columns\": {},\n",
+            "  \"total_requests\": {},\n",
+            "  \"total_rows\": {},\n",
+            "  \"retried_503\": {},\n",
+            "  \"dropped_requests\": 0,\n",
+            "  \"wall_secs\": {},\n",
+            "  \"rows_per_sec\": {},\n",
+            "  \"requests_per_sec\": {},\n",
+            "  \"latency_micros\": {{ \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {} }}\n",
+            "}}\n"
+        ),
+        clients,
+        requests,
+        rows_per_request,
+        cols,
+        total_requests,
+        total_rows,
+        retried_503,
+        json_f64(wall_secs),
+        json_f64(total_rows as f64 / wall_secs),
+        json_f64(total_requests as f64 / wall_secs),
+        json_f64(mean_us),
+        quantile(0.50),
+        quantile(0.90),
+        quantile(0.99),
+        latencies.last().copied().unwrap_or(0),
+    );
+    scis_nn::write_atomic(std::path::Path::new(&out_path), report.as_bytes())
+        .expect("write bench report");
+    eprintln!(
+        "serve_bench: {} requests, p50 {}us p99 {}us, {:.0} rows/sec -> {}",
+        total_requests,
+        quantile(0.50),
+        quantile(0.99),
+        total_rows as f64 / wall_secs,
+        out_path
+    );
+}

@@ -1,0 +1,41 @@
+//! Online imputation serving for the SCIS pipeline.
+//!
+//! The batch CLI trains a GAIN generator and applies it to one file; this
+//! crate closes the train-once/apply-many loop the paper's scalability
+//! story implies. A trained generator plus everything needed to reproduce
+//! its preprocessing is captured in a [`ModelBundle`] artifact; `scis
+//! serve` loads it behind a dependency-free HTTP/1.1 server that answers
+//! JSON impute requests for single rows or micro-batches.
+//!
+//! Three properties carry over from the batch pipeline and are enforced by
+//! tests here:
+//!
+//! * **bit-identity** — a row's response is bit-identical whether it is
+//!   served alone, coalesced with strangers into a batch, or computed by a
+//!   direct in-process generator forward, at any
+//!   [`ExecPolicy`](scis_tensor::ExecPolicy);
+//! * **bounded memory** — concurrency is absorbed by a *bounded* queue; a
+//!   full queue answers `503` + `Retry-After` instead of growing a backlog;
+//! * **graceful degradation** — a poisoned generator or dead batcher drops
+//!   the response to training-time column means and marks it with
+//!   `X-Scis-Degraded: 1`, mirroring the batch CLI's exit-code-2 contract.
+//!
+//! Module map: [`bundle`] (artifact format), [`service`] (the impute
+//! math), [`batcher`] (request coalescing), [`http`]/[`server`] (the wire
+//! front end), [`client`] (test/bench client), [`json`] (request parsing).
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod bundle;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod service;
+
+pub use batcher::{BatchConfig, Batcher, SubmitError};
+pub use bundle::{BundleError, ColumnMeta, ModelBundle};
+pub use client::{request, HttpResponse};
+pub use server::{Server, ServerConfig};
+pub use service::{ImputeResult, ImputeRow, ImputeService, ServeError};

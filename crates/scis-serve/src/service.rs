@@ -1,0 +1,336 @@
+//! The serving-side impute engine: bundle in, filled rows out.
+//!
+//! [`ImputeService::impute_rows`] reproduces the batch CLI's math exactly —
+//! normalize with the bundle's scaler, run the generator's deterministic
+//! reconstruction (eval mode, noise pinned at
+//! [`GainImputer::DET_NOISE`]), inverse-transform — with one serving
+//! refinement: observed cells pass through *bit-exactly* (they never round
+//!-trip the scaler). Because every dense layer computes each output row
+//! from its input row alone, a row's response is bit-identical whether it
+//! was served alone or coalesced into a batch with strangers, at any
+//! [`ExecPolicy`].
+
+use crate::bundle::{BundleError, ModelBundle};
+use scis_imputers::GainImputer;
+use scis_nn::{Mlp, Mode};
+use scis_telemetry::Telemetry;
+use scis_tensor::{ExecPolicy, Matrix, Rng64};
+
+/// One request row: `None` marks a missing cell.
+pub type ImputeRow = Vec<Option<f64>>;
+
+/// Why a request could not be served. Maps to HTTP status codes at the
+/// server layer (400 for the first two, 500 for `Internal`).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Row width does not match the bundle schema.
+    WidthMismatch {
+        /// Columns the model was trained on.
+        expected: usize,
+        /// Columns the request row carried.
+        got: usize,
+    },
+    /// Request was structurally invalid (bad JSON, non-finite observed
+    /// value, empty row set).
+    BadRequest(String),
+    /// The serving pipeline itself failed (batcher gone, channel closed).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::WidthMismatch { expected, got } => write!(
+                f,
+                "row width {} does not match the model's {} columns",
+                got, expected
+            ),
+            ServeError::BadRequest(m) => write!(f, "bad request: {}", m),
+            ServeError::Internal(m) => write!(f, "internal: {}", m),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BundleError> for ServeError {
+    fn from(e: BundleError) -> Self {
+        match e {
+            BundleError::SchemaMismatch { expected, got } => {
+                ServeError::WidthMismatch { expected, got }
+            }
+            other => ServeError::Internal(other.to_string()),
+        }
+    }
+}
+
+/// The result of imputing a set of rows.
+#[derive(Debug, Clone)]
+pub struct ImputeResult {
+    /// Fully observed output rows, original units.
+    pub rows: Vec<Vec<f64>>,
+    /// True when any row was answered by the column-mean degradation
+    /// ladder instead of the generator.
+    pub degraded: bool,
+}
+
+/// A loaded bundle ready to answer impute requests.
+pub struct ImputeService {
+    columns: usize,
+    mins: Vec<f64>,
+    spans: Vec<f64>,
+    fallback: Vec<f64>,
+    generator: Mlp,
+    telemetry: Telemetry,
+}
+
+impl ImputeService {
+    /// Builds a service from a loaded bundle. The generator runs under
+    /// `exec` (results are bit-identical at any policy) and reports
+    /// forward-pass counts through `telemetry`.
+    pub fn new(bundle: ModelBundle, exec: ExecPolicy, telemetry: Telemetry) -> Self {
+        let mut generator = bundle.generator.clone();
+        generator.set_exec(exec);
+        generator.set_telemetry(telemetry.clone());
+        Self {
+            columns: bundle.n_features(),
+            mins: bundle.scaler.mins().to_vec(),
+            spans: bundle.scaler.spans().to_vec(),
+            fallback: bundle.fallback_row(),
+            generator,
+            telemetry,
+        }
+    }
+
+    /// Number of data columns the service imputes.
+    pub fn n_features(&self) -> usize {
+        self.columns
+    }
+
+    /// Validates one request row: width and observed-value finiteness.
+    pub fn validate_row(&self, row: &ImputeRow) -> Result<(), ServeError> {
+        if row.len() != self.columns {
+            return Err(ServeError::WidthMismatch {
+                expected: self.columns,
+                got: row.len(),
+            });
+        }
+        for (j, cell) in row.iter().enumerate() {
+            if let Some(v) = cell {
+                if !v.is_finite() {
+                    return Err(ServeError::BadRequest(format!(
+                        "non-finite observed value in column {}",
+                        j
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Imputes a batch of validated rows in one generator forward pass.
+    ///
+    /// Observed cells pass through bit-exactly; missing cells are the
+    /// generator's output mapped back to original units. Rows whose
+    /// generator output contains a non-finite value fall back to the
+    /// bundle's column means (degradation ladder) and flip `degraded`.
+    pub fn impute_rows(&mut self, rows: &[ImputeRow]) -> ImputeResult {
+        let n = rows.len();
+        let d = self.columns;
+        debug_assert!(rows.iter().all(|r| r.len() == d));
+        // normalized x (missing → 0.0) and mask, exactly as the batch
+        // pipeline builds them from `values_filled(0.0)` / `dense_mask()`
+        let x = Matrix::from_fn(n, d, |i, j| match rows[i][j] {
+            Some(v) => (v - self.mins[j]) / self.spans[j],
+            None => 0.0,
+        });
+        let mask = Matrix::from_fn(n, d, |i, j| if rows[i][j].is_some() { 1.0 } else { 0.0 });
+        let noise = Matrix::full(n, d, GainImputer::DET_NOISE);
+        let x_tilde = mask
+            .hadamard(&x)
+            .add(&mask.map(|m| 1.0 - m).hadamard(&noise));
+        let g_in = x_tilde.hcat(&mask);
+        let mut throwaway = Rng64::seed_from_u64(0);
+        let xbar = self.generator.forward(&g_in, Mode::Eval, &mut throwaway);
+
+        let mut degraded = false;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let row_finite = xbar.row(i).iter().all(|v| v.is_finite());
+            if !row_finite {
+                degraded = true;
+                self.telemetry.incr(scis_telemetry::Counter::ServeDegraded);
+            }
+            let mut filled = Vec::with_capacity(d);
+            for j in 0..d {
+                filled.push(match rows[i][j] {
+                    // observed cells never round-trip the scaler
+                    Some(v) => v,
+                    None if row_finite => xbar[(i, j)] * self.spans[j] + self.mins[j],
+                    None => self.fallback[j],
+                });
+            }
+            out.push(filled);
+        }
+        ImputeResult {
+            rows: out,
+            degraded,
+        }
+    }
+
+    /// The degradation ladder's bottom rung: fill missing cells with the
+    /// bundle's column means, no generator involved. Used when the batcher
+    /// is unavailable so the service can still answer.
+    pub fn impute_rows_mean(&self, rows: &[ImputeRow]) -> ImputeResult {
+        let rows = rows
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, cell)| cell.unwrap_or(self.fallback[j]))
+                    .collect()
+            })
+            .collect();
+        ImputeResult {
+            rows,
+            degraded: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::ColumnMeta;
+    use scis_core::dim::AccelConfig;
+    use scis_data::dataset::ColumnKind;
+    use scis_data::normalize::MinMaxScaler;
+    use scis_imputers::{AdversarialImputer, TrainConfig};
+
+    fn service(d: usize) -> (ImputeService, ModelBundle) {
+        let mut rng = Rng64::seed_from_u64(11);
+        let mut gain = GainImputer::new(TrainConfig::fast_test());
+        gain.init_networks(d, &mut rng);
+        let spec = gain.generator_spec();
+        let generator = gain.generator_mut().clone();
+        let values = Matrix::from_fn(30, d, |i, j| i as f64 * 0.1 + j as f64);
+        let scaler = MinMaxScaler::fit(&values);
+        let columns = (0..d)
+            .map(|j| ColumnMeta {
+                name: format!("c{}", j),
+                kind: ColumnKind::Continuous,
+                mean: 1.0 + j as f64,
+            })
+            .collect();
+        let bundle =
+            ModelBundle::new(generator, spec, scaler, columns, AccelConfig::default()).unwrap();
+        (
+            ImputeService::new(bundle.clone(), ExecPolicy::Serial, Telemetry::off()),
+            bundle,
+        )
+    }
+
+    #[test]
+    fn observed_cells_pass_through_bit_exactly() {
+        let (mut svc, _) = service(3);
+        let v = 0.1 + 0.2; // not exactly representable as 0.3
+        let rows = vec![vec![Some(v), None, Some(2.75)]];
+        let out = svc.impute_rows(&rows);
+        assert_eq!(out.rows[0][0].to_bits(), v.to_bits());
+        assert_eq!(out.rows[0][2].to_bits(), 2.75f64.to_bits());
+        assert!(out.rows[0][1].is_finite());
+        assert!(!out.degraded);
+    }
+
+    #[test]
+    fn batched_rows_match_singleton_rows_bitwise() {
+        let (mut svc, _) = service(4);
+        let rows: Vec<ImputeRow> = (0..16)
+            .map(|i| {
+                (0..4)
+                    .map(|j| {
+                        if (i + j) % 3 == 0 {
+                            None
+                        } else {
+                            Some(i as f64 * 0.3 + j as f64)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let batched = svc.impute_rows(&rows);
+        for (i, row) in rows.iter().enumerate() {
+            let single = svc.impute_rows(std::slice::from_ref(row));
+            for j in 0..4 {
+                assert_eq!(
+                    single.rows[0][j].to_bits(),
+                    batched.rows[i][j].to_bits(),
+                    "row {} col {}",
+                    i,
+                    j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exec_policy_does_not_change_results() {
+        let (mut serial, bundle) = service(4);
+        let mut par = ImputeService::new(bundle, ExecPolicy::threads(4), Telemetry::off());
+        let rows: Vec<ImputeRow> = (0..8)
+            .map(|i| vec![Some(i as f64), None, Some(0.5), None])
+            .collect();
+        let a = serial.impute_rows(&rows);
+        let b = par.impute_rows(&rows);
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            for (va, vb) in ra.iter().zip(rb) {
+                assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_width_row_is_rejected_typed() {
+        let (svc, _) = service(3);
+        match svc.validate_row(&vec![Some(1.0); 2]) {
+            Err(ServeError::WidthMismatch {
+                expected: 3,
+                got: 2,
+            }) => {}
+            other => panic!("expected WidthMismatch, got {:?}", other.is_ok()),
+        }
+        assert!(svc.validate_row(&vec![Some(1.0), None, Some(2.0)]).is_ok());
+    }
+
+    #[test]
+    fn non_finite_observed_value_is_rejected() {
+        let (svc, _) = service(2);
+        assert!(matches!(
+            svc.validate_row(&vec![Some(f64::NAN), None]),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn poisoned_generator_degrades_to_column_means() {
+        let (_, bundle) = service(2);
+        let mut poisoned = bundle;
+        let n = poisoned.generator.num_params();
+        poisoned.generator.set_param_vector(&vec![f64::NAN; n]);
+        let tel = Telemetry::collecting();
+        let mut svc = ImputeService::new(poisoned, ExecPolicy::Serial, tel.clone());
+        let out = svc.impute_rows(&[vec![Some(7.0), None]]);
+        assert!(out.degraded);
+        assert_eq!(out.rows[0][0], 7.0, "observed still passes through");
+        assert_eq!(out.rows[0][1], 2.0, "missing takes the column mean");
+        assert_eq!(tel.counter(scis_telemetry::Counter::ServeDegraded), 1);
+    }
+
+    #[test]
+    fn mean_ladder_fills_all_missing() {
+        let (svc, _) = service(3);
+        let out = svc.impute_rows_mean(&[vec![None, Some(5.0), None]]);
+        assert!(out.degraded);
+        assert_eq!(out.rows[0], vec![1.0, 5.0, 3.0]);
+    }
+}

@@ -90,11 +90,25 @@ pub enum Counter {
     CheckpointsWritten,
     /// Checkpoint writes that failed (training continues regardless).
     CheckpointFailures,
+    /// Imputation requests accepted by the serving layer (`/impute`).
+    ServeRequests,
+    /// Data rows imputed by the serving layer across all requests.
+    ServeRows,
+    /// Coalesced generator forward batches executed by the serve batcher.
+    ServeBatches,
+    /// Requests rejected with 503 backpressure (bounded queue full).
+    ServeRejected,
+    /// Requests that failed with a client or server error (4xx/5xx other
+    /// than backpressure 503s, which have their own counter).
+    ServeErrors,
+    /// Requests answered by the column-mean degradation ladder instead of
+    /// the generator (non-finite generator output).
+    ServeDegraded,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 24] = [
         Counter::SinkhornSolves,
         Counter::SinkhornIterations,
         Counter::SinkhornConverged,
@@ -113,6 +127,12 @@ impl Counter {
         Counter::ItersSaved,
         Counter::CheckpointsWritten,
         Counter::CheckpointFailures,
+        Counter::ServeRequests,
+        Counter::ServeRows,
+        Counter::ServeBatches,
+        Counter::ServeRejected,
+        Counter::ServeErrors,
+        Counter::ServeDegraded,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -136,6 +156,12 @@ impl Counter {
             Counter::ItersSaved => "iters_saved",
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::CheckpointFailures => "checkpoint_failures",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeRows => "serve_rows",
+            Counter::ServeBatches => "serve_batches",
+            Counter::ServeRejected => "serve_rejected",
+            Counter::ServeErrors => "serve_errors",
+            Counter::ServeDegraded => "serve_degraded",
         }
     }
 }
@@ -263,14 +289,23 @@ pub enum Hist {
     /// Wall time of each attempted DIM epoch, in nanoseconds. Timing —
     /// excluded from the determinism contract.
     EpochWallNanos,
+    /// End-to-end wall time of each served impute request (enqueue to
+    /// response ready), in nanoseconds. Timing — excluded from the
+    /// determinism contract.
+    ServeRequestNanos,
+    /// Rows per coalesced generator batch in the serve batcher. Depends on
+    /// request arrival timing — excluded from the determinism contract.
+    ServeBatchRows,
 }
 
 impl Hist {
     /// Every histogram, in slot order.
-    pub const ALL: [Hist; 3] = [
+    pub const ALL: [Hist; 5] = [
         Hist::SinkhornSolveIters,
         Hist::BatchStepNanos,
         Hist::EpochWallNanos,
+        Hist::ServeRequestNanos,
+        Hist::ServeBatchRows,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -279,6 +314,8 @@ impl Hist {
             Hist::SinkhornSolveIters => "sinkhorn_solve_iters",
             Hist::BatchStepNanos => "batch_step_nanos",
             Hist::EpochWallNanos => "epoch_wall_nanos",
+            Hist::ServeRequestNanos => "serve_request_nanos",
+            Hist::ServeBatchRows => "serve_batch_rows",
         }
     }
 

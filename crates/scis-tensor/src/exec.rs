@@ -63,6 +63,24 @@ impl ExecPolicy {
     pub fn is_serial(self) -> bool {
         self.resolve() <= 1
     }
+
+    /// Parses the CLI/bundle spelling of a policy: `"serial"`, `"auto"`, or
+    /// a positive thread count (`"4"`). `"0"` means serial, matching the
+    /// CLI's historical `--threads 0` convention.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "serial" => Ok(ExecPolicy::Serial),
+            "auto" => Ok(ExecPolicy::Auto),
+            n => match n.parse::<usize>() {
+                Ok(0) => Ok(ExecPolicy::Serial),
+                Ok(n) => Ok(ExecPolicy::Threads(n)),
+                Err(_) => Err(format!(
+                    "bad exec policy {:?} (expected serial, auto, or a thread count)",
+                    s
+                )),
+            },
+        }
+    }
 }
 
 /// Runs `f(row_index, row)` for every `row_len`-sized row of `data`,

@@ -35,7 +35,9 @@ fn main() {
         let mut rng = Rng64::seed_from_u64(17);
         let mut gain = GainImputer::new(config.dim.train);
         let t = std::time::Instant::now();
-        let outcome = Scis::new(config).run(&mut gain, &norm, inst.n0, &mut rng);
+        let outcome = Scis::new(config)
+            .try_run(&mut gain, &norm, inst.n0, &mut rng)
+            .expect("pipeline run");
         let rmse = rmse_vs_ground_truth(&norm, &gt_norm, &outcome.imputed);
         println!(
             "{:>8.3} {:>8} {:>9.2} {:>9.4} {:>10.2}",

@@ -61,7 +61,9 @@ fn main() {
     let config = ScisConfig::default().dim(DimConfig::default().train(train));
     let t = Instant::now();
     let mut gain2 = GainImputer::new(train);
-    let outcome = Scis::new(config).run(&mut gain2, &norm, inst.n0, &mut rng);
+    let outcome = Scis::new(config)
+        .try_run(&mut gain2, &norm, inst.n0, &mut rng)
+        .expect("pipeline run");
     let scis_time = t.elapsed();
     let scis_rmse = rmse_vs_ground_truth(&norm, &gt_norm, &outcome.imputed);
     println!(

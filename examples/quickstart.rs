@@ -41,7 +41,9 @@ fn main() {
     //    machine's cores) with bit-identical results to serial execution.
     let config = ScisConfig::default().exec(ExecPolicy::Auto);
     let mut gain = GainImputer::new(config.dim.train);
-    let outcome = Scis::new(config).run(&mut gain, &norm, 200, &mut rng);
+    let outcome = Scis::new(config)
+        .try_run(&mut gain, &norm, 200, &mut rng)
+        .expect("pipeline run");
 
     println!(
         "SCIS: n* = {} of {} rows (R_t = {:.2}%), init {:.2}s + SSE {:.2}s + retrain {:.2}s",

@@ -1,482 +1,24 @@
-//! `scis-impute` — command-line imputation for numeric CSV files.
+//! `scis-impute` — deprecated single-command CLI, kept for one release.
 //!
 //! ```sh
 //! cargo run --release --bin scis-impute -- INPUT.csv OUTPUT.csv [options]
 //! ```
 //!
-//! The input is a numeric CSV with a header row; empty cells are missing.
-//! The output is the same table with every cell filled. Options:
+//! This is now a compatibility shim over `scis train`: every flag, message,
+//! and exit code behaves exactly as before, plus a deprecation notice on
+//! stderr. New scripts should call the `scis` multitool instead:
 //!
-//! * `--method <scis-gain|gain|ginn|mice|missforest|knn|mean|vae>`
-//!   (default `scis-gain`)
-//! * `--epsilon <f64>`   SSE error bound (default 0.001, scis-gain only)
-//! * `--n0 <usize>`      initial sample size (default min(500, N/3))
-//! * `--epochs <usize>`  training epochs (default 100; must be ≥ 1)
-//! * `--threads <usize>` worker threads for the compute kernels (`0` =
-//!   serial). Defaults to the `SCIS_THREADS` environment variable, then to
-//!   the machine's available parallelism. Results are bit-identical for
-//!   any thread count.
-//! * `--seed <u64>`      RNG seed (default 42)
-//! * `--accel`           enable the Sinkhorn hot-path accelerations
-//!   (warm-start dual cache, decomposed GEMM cost kernel, ε-scaled cold
-//!   solves; scis-gain only). Off by default: the accelerated path solves
-//!   the same transport problems to the same tolerance but is not
-//!   bit-identical to the reference path.
-//! * `--save-model <path>` persist the trained generator (scis-gain only)
-//! * `--load-model <path>` impute with a previously saved generator,
-//!   skipping training entirely (scis-gain only)
-//! * `--trace-json <path>` write a structured JSON run report (phase
-//!   wall-clock, solve/batch/guard counters, per-epoch metric series,
-//!   latency histograms, SSE search trace) after the run (scis-gain only;
-//!   incompatible with `--load-model`, which skips the pipeline). Counter,
-//!   series, and iteration-histogram values are bit-identical for any
-//!   `--threads` setting; only timings vary.
-//! * `--events <path>` write the flight recorder's typed event stream as
-//!   JSON Lines — one `{"seq":…,"type":…,…}` object per line — after the
-//!   run, *including* when the run fails (the tail doubles as a
-//!   post-mortem). The recorder is a bounded ring
-//!   ([`scis_telemetry::FLIGHT_RECORDER_CAP`] events); gaps in `seq`
-//!   reveal truncation. scis-gain only, incompatible with `--load-model`.
-//! * `--profile` print a hierarchical phase-timing tree (from the same
-//!   run report) to stderr after the run (scis-gain only, incompatible
-//!   with `--load-model`).
-//! * `--checkpoint-dir <dir>` write crash-safe training checkpoints
-//!   (atomic rename, checksummed) into `<dir>` at epoch boundaries, and an
-//!   emergency checkpoint when training gives up or the deadline expires
-//!   (scis-gain only).
-//! * `--checkpoint-every <n>` checkpoint every `n` epochs (default 1;
-//!   requires `--checkpoint-dir`).
-//! * `--resume <path>` resume training from a checkpoint written by
-//!   `--checkpoint-dir`. The run replays deterministically up to the
-//!   checkpointed phase, fast-forwards to the recorded epoch, and produces
-//!   bit-identical final imputations to an uninterrupted run with the same
-//!   seed and configuration (scis-gain only, incompatible with
-//!   `--load-model`).
-//! * `--deadline-secs <f64>` cooperative run deadline: when the wall-clock
-//!   budget expires, training stops at the last clean epoch boundary,
-//!   writes an emergency checkpoint (if `--checkpoint-dir` is set), skips
-//!   any remaining SSE/retrain work, and finishes with the best model so
-//!   far (scis-gain only).
+//! ```sh
+//! scis train INPUT.csv OUTPUT.csv [options]     # this binary's behavior
+//! scis impute INPUT.csv OUTPUT.csv --model m    # apply-only runs
+//! ```
 //!
-//! Exit codes: `0` clean success, `1` error (bad arguments, unreadable
-//! input, non-finite observed values, training unrecoverable), `2`
-//! *degraded* success — the fault-tolerant runtime produced a complete
-//! output but had to fall back (mean imputation, kept `M0` after a failed
-//! retrain, or patched non-finite cells); details go to stderr — and `3`
-//! *deadline-exceeded* success: the `--deadline-secs` budget expired and
-//! the output was produced by the best model trained so far (takes
-//! precedence over `2`).
+//! The full flag reference lives on [`scis_repro::cli`]. Exit codes: `0`
+//! clean success, `1` error, `2` degraded success, `3` deadline-exceeded
+//! success.
 
-use scis_core::pipeline::{Scis, ScisConfig};
-use scis_core::{CheckpointPolicy, TrainCheckpoint};
-use scis_data::csvio::{read_dataset, write_dataset};
-use scis_data::normalize::MinMaxScaler;
-use scis_data::Dataset;
-use scis_imputers::knn::KnnImputer;
-use scis_imputers::mean::MeanImputer;
-use scis_imputers::mice::MiceImputer;
-use scis_imputers::missforest::MissForestImputer;
-use scis_imputers::vaei::VaeImputer;
-use scis_imputers::{GainImputer, GinnImputer, Imputer, TrainConfig};
-use scis_tensor::ExecPolicy;
-use scis_tensor::{Matrix, Rng64};
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-struct Args {
-    input: PathBuf,
-    output: PathBuf,
-    method: String,
-    epsilon: f64,
-    n0: Option<usize>,
-    epochs: usize,
-    threads: Option<usize>,
-    seed: u64,
-    save_model: Option<PathBuf>,
-    load_model: Option<PathBuf>,
-    trace_json: Option<PathBuf>,
-    events: Option<PathBuf>,
-    profile: bool,
-    accel: bool,
-    checkpoint_dir: Option<PathBuf>,
-    checkpoint_every: usize,
-    resume: Option<PathBuf>,
-    deadline_secs: Option<f64>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
-    let input = PathBuf::from(args.next().ok_or("missing INPUT.csv")?);
-    let output = PathBuf::from(args.next().ok_or("missing OUTPUT.csv")?);
-    let mut parsed = Args {
-        input,
-        output,
-        method: "scis-gain".into(),
-        epsilon: 0.001,
-        n0: None,
-        epochs: 100,
-        threads: None,
-        seed: 42,
-        save_model: None,
-        load_model: None,
-        trace_json: None,
-        events: None,
-        profile: false,
-        accel: false,
-        checkpoint_dir: None,
-        checkpoint_every: 1,
-        resume: None,
-        deadline_secs: None,
-    };
-    while let Some(flag) = args.next() {
-        let mut value = || args.next().ok_or(format!("{} needs a value", flag));
-        match flag.as_str() {
-            "--method" => parsed.method = value()?,
-            "--epsilon" => {
-                parsed.epsilon = value()?.parse().map_err(|e| format!("--epsilon: {}", e))?
-            }
-            "--n0" => parsed.n0 = Some(value()?.parse().map_err(|e| format!("--n0: {}", e))?),
-            "--epochs" => {
-                parsed.epochs = value()?.parse().map_err(|e| format!("--epochs: {}", e))?
-            }
-            "--threads" => {
-                parsed.threads = Some(value()?.parse().map_err(|e| format!("--threads: {}", e))?)
-            }
-            "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("--seed: {}", e))?,
-            "--save-model" => parsed.save_model = Some(PathBuf::from(value()?)),
-            "--load-model" => parsed.load_model = Some(PathBuf::from(value()?)),
-            "--trace-json" => parsed.trace_json = Some(PathBuf::from(value()?)),
-            "--events" => parsed.events = Some(PathBuf::from(value()?)),
-            "--profile" => parsed.profile = true,
-            "--accel" => parsed.accel = true,
-            "--checkpoint-dir" => parsed.checkpoint_dir = Some(PathBuf::from(value()?)),
-            "--checkpoint-every" => {
-                parsed.checkpoint_every = value()?
-                    .parse()
-                    .map_err(|e| format!("--checkpoint-every: {}", e))?
-            }
-            "--resume" => parsed.resume = Some(PathBuf::from(value()?)),
-            "--deadline-secs" => {
-                parsed.deadline_secs = Some(
-                    value()?
-                        .parse()
-                        .map_err(|e| format!("--deadline-secs: {}", e))?,
-                )
-            }
-            other => return Err(format!("unknown flag {}", other)),
-        }
-    }
-    if parsed.epochs == 0 {
-        return Err("--epochs must be at least 1".into());
-    }
-    if parsed.method != "scis-gain" && (parsed.save_model.is_some() || parsed.load_model.is_some())
-    {
-        return Err(format!(
-            "--save-model/--load-model only apply to --method scis-gain (got {:?})",
-            parsed.method
-        ));
-    }
-    if parsed.accel && parsed.method != "scis-gain" {
-        return Err(format!(
-            "--accel only applies to --method scis-gain (got {:?})",
-            parsed.method
-        ));
-    }
-    if parsed.checkpoint_every == 0 {
-        return Err("--checkpoint-every must be at least 1".into());
-    }
-    if parsed.checkpoint_every != 1 && parsed.checkpoint_dir.is_none() {
-        return Err("--checkpoint-every requires --checkpoint-dir".into());
-    }
-    if parsed.resume.is_some() && parsed.load_model.is_some() {
-        return Err("--resume is incompatible with --load-model (no training runs)".into());
-    }
-    if let Some(d) = parsed.deadline_secs {
-        if !d.is_finite() || d <= 0.0 {
-            return Err(format!(
-                "--deadline-secs must be a positive finite number (got {})",
-                d
-            ));
-        }
-    }
-    for (set, flag) in [
-        (parsed.trace_json.is_some(), "--trace-json"),
-        (parsed.events.is_some(), "--events"),
-        (parsed.profile, "--profile"),
-        (parsed.checkpoint_dir.is_some(), "--checkpoint-dir"),
-        (parsed.resume.is_some(), "--resume"),
-        (parsed.deadline_secs.is_some(), "--deadline-secs"),
-    ] {
-        if !set {
-            continue;
-        }
-        if parsed.method != "scis-gain" {
-            return Err(format!(
-                "{} only applies to --method scis-gain (got {:?})",
-                flag, parsed.method
-            ));
-        }
-        if parsed.load_model.is_some() {
-            return Err(format!(
-                "{} is incompatible with --load-model (no pipeline runs)",
-                flag
-            ));
-        }
-    }
-    Ok(parsed)
-}
-
-/// Prints the fault-tolerant runtime's recovery summary to stderr.
-fn report_anomalies(a: &scis_core::RunAnomalies) {
-    if a.is_clean() {
-        return;
-    }
-    eprintln!(
-        "scis-impute: anomalies — {} NaN batches skipped, {} rollbacks, {} LR backoffs, \
-         {} sinkhorn escalations ({} unconverged), {} non-finite cells patched",
-        a.nan_batches_skipped,
-        a.rollbacks,
-        a.lr_backoffs,
-        a.sinkhorn_escalations,
-        a.sinkhorn_unconverged,
-        a.non_finite_cells_patched,
-    );
-    if !a.all_missing_columns.is_empty() {
-        eprintln!(
-            "scis-impute: columns with no observed cells: {:?}",
-            a.all_missing_columns
-        );
-    }
-    if !a.constant_columns.is_empty() {
-        eprintln!("scis-impute: constant columns: {:?}", a.constant_columns);
-    }
-    for note in &a.notes {
-        eprintln!("scis-impute: recovery: {}", note);
-    }
-}
-
-/// Writes the flight recorder's buffered event stream as JSON Lines.
-fn write_events(path: &PathBuf, tel: &scis_telemetry::Telemetry) -> Result<(), String> {
-    let events = tel.events();
-    let mut out = String::new();
-    for ev in &events {
-        out.push_str(&ev.to_json());
-        out.push('\n');
-    }
-    std::fs::write(path, out).map_err(|e| format!("writing events {:?}: {}", path, e))?;
-    eprintln!(
-        "scis-impute: wrote {} flight-recorder events to {:?}",
-        events.len(),
-        path
-    );
-    Ok(())
-}
-
-/// Resolves `--threads` to an [`ExecPolicy`]: `0` forces serial execution,
-/// `n ≥ 1` pins `n` workers, and an absent flag defers to `SCIS_THREADS` /
-/// the machine's available parallelism.
-fn exec_policy(args: &Args) -> ExecPolicy {
-    match args.threads {
-        Some(0) => ExecPolicy::Serial,
-        Some(n) => ExecPolicy::threads(n),
-        None => ExecPolicy::Auto,
-    }
-}
-
-/// Outcome flags that decide the process exit code.
-#[derive(Default)]
-struct RunFlags {
-    /// The fault-tolerant runtime had to degrade the output (exit code 2).
-    degraded: bool,
-    /// The `--deadline-secs` budget expired; the output comes from the best
-    /// model trained so far (exit code 3, takes precedence over 2).
-    deadline_exceeded: bool,
-}
-
-/// Imputes under the chosen method, reporting the anomaly flags that decide
-/// the exit code.
-fn impute(args: &Args, ds: &Dataset, rng: &mut Rng64) -> Result<(Matrix, RunFlags), String> {
-    let train = TrainConfig {
-        epochs: args.epochs,
-        ..TrainConfig::default()
-    };
-    match args.method.as_str() {
-        "scis-gain" => {
-            let mut gain = GainImputer::new(train);
-            if let Some(path) = &args.load_model {
-                // pre-trained generator: skip Algorithm 1, just impute
-                gain.load_generator(path)
-                    .map_err(|e| format!("loading model: {}", e))?;
-                eprintln!("scis-impute: loaded generator from {:?}", path);
-                let out =
-                    scis_imputers::traits::impute_with_generator_chunked(&mut gain, ds, 65_536);
-                return Ok((out, RunFlags::default()));
-            }
-            let n = ds.n_samples();
-            let n0 = args.n0.unwrap_or_else(|| 500.min(n / 3).max(8));
-            if 2 * n0 > n {
-                return Err(format!("n0 = {} too large for {} rows", n0, n));
-            }
-            let mut config = ScisConfig::default()
-                .dim(scis_core::dim::DimConfig::default().train(train))
-                .epsilon(args.epsilon)
-                .exec(exec_policy(args));
-            if args.accel {
-                config = config.accel(scis_core::dim::AccelConfig::all());
-            }
-            let mut scis = Scis::new(config);
-            if let Some(dir) = &args.checkpoint_dir {
-                scis = scis.checkpoints(CheckpointPolicy::new(dir).every(args.checkpoint_every));
-            }
-            if let Some(secs) = args.deadline_secs {
-                scis = scis.deadline(scis_tensor::RunDeadline::after(
-                    std::time::Duration::from_secs_f64(secs),
-                ));
-            }
-            if let Some(path) = &args.resume {
-                let ckpt = TrainCheckpoint::load(path)
-                    .map_err(|e| format!("loading checkpoint {:?}: {}", path, e))?;
-                eprintln!(
-                    "scis-impute: resuming {} training from epoch {} ({:?})",
-                    ckpt.phase.name(),
-                    ckpt.epoch,
-                    path
-                );
-                scis = scis.resume_from(ckpt);
-            }
-            let want_telemetry = args.trace_json.is_some() || args.events.is_some() || args.profile;
-            let tel = if want_telemetry {
-                scis_telemetry::Telemetry::collecting()
-            } else {
-                scis_telemetry::Telemetry::off()
-            };
-            if want_telemetry {
-                scis = scis.telemetry(tel.clone());
-            }
-            let result = scis.try_run(&mut gain, ds, n0, rng);
-            // the event stream is most valuable on failure: flush it before
-            // surfacing any error so the JSONL doubles as a post-mortem
-            if let Some(path) = &args.events {
-                write_events(path, &tel)?;
-            }
-            let outcome = result.map_err(|e| e.to_string())?;
-            if let Some(path) = &args.trace_json {
-                std::fs::write(path, outcome.report.to_json())
-                    .map_err(|e| format!("writing trace {:?}: {}", path, e))?;
-                eprintln!("scis-impute: wrote run report to {:?}", path);
-            }
-            if args.profile {
-                eprint!("{}", outcome.report.render_profile());
-            }
-            eprintln!(
-                "scis-impute: trained on n* = {} of {} rows (R_t = {:.2}%), SSE {:.2}s",
-                outcome.n_star,
-                outcome.n_total,
-                outcome.training_sample_rate() * 100.0,
-                outcome.sse_time.as_secs_f64()
-            );
-            report_anomalies(&outcome.anomalies);
-            if outcome.anomalies.deadline_exceeded {
-                eprintln!(
-                    "scis-impute: run deadline expired; output comes from the best model so far"
-                );
-            }
-            if let Some(path) = &args.save_model {
-                if outcome.anomalies.mean_fallback {
-                    eprintln!(
-                        "scis-impute: not saving a model — training fell back to mean imputation"
-                    );
-                } else {
-                    gain.save_generator(path)
-                        .map_err(|e| format!("saving model: {}", e))?;
-                    eprintln!("scis-impute: saved generator to {:?}", path);
-                }
-            }
-            let flags = RunFlags {
-                degraded: outcome.anomalies.is_degraded(),
-                deadline_exceeded: outcome.anomalies.deadline_exceeded,
-            };
-            Ok((outcome.imputed, flags))
-        }
-        "gain" => Ok((GainImputer::new(train).impute(ds, rng), RunFlags::default())),
-        "ginn" => Ok((GinnImputer::new(train).impute(ds, rng), RunFlags::default())),
-        "mice" => Ok((MiceImputer::default().impute(ds, rng), RunFlags::default())),
-        "missforest" => Ok((
-            MissForestImputer::default().impute(ds, rng),
-            RunFlags::default(),
-        )),
-        "knn" => Ok((KnnImputer::default().impute(ds, rng), RunFlags::default())),
-        "mean" => Ok((MeanImputer.impute(ds, rng), RunFlags::default())),
-        "vae" => Ok((
-            VaeImputer {
-                config: train,
-                ..Default::default()
-            }
-            .impute(ds, rng),
-            RunFlags::default(),
-        )),
-        other => Err(format!(
-            "unknown method {:?} (try scis-gain, gain, ginn, mice, missforest, knn, mean, vae)",
-            other
-        )),
-    }
-}
-
-fn run() -> Result<RunFlags, String> {
-    let args = parse_args().map_err(|e| {
-        format!("{}\nusage: scis-impute INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--trace-json path] [--events path] [--profile] [--checkpoint-dir dir] [--checkpoint-every n] [--resume path] [--deadline-secs s]", e)
-    })?;
-    let mut ds =
-        read_dataset(&args.input).map_err(|e| format!("reading {:?}: {}", args.input, e))?;
-    // reject unusable inputs before any training; degenerate (but usable)
-    // columns are only warned about here and recorded as anomalies later
-    let report = ds
-        .validate()
-        .map_err(|e| format!("validating {:?}: {}", args.input, e))?;
-    if !report.all_missing_columns.is_empty() {
-        eprintln!(
-            "scis-impute: warning: columns with no observed cells: {:?}",
-            report.all_missing_columns
-        );
-    }
-    // detect ordinal-coded categorical columns so methods with
-    // heterogeneous heads treat them properly
-    ds.kinds = scis_data::dataset::infer_kinds(&ds.values, 16);
-    eprintln!(
-        "scis-impute: {} rows x {} cols, {:.2}% missing, method {}",
-        ds.n_samples(),
-        ds.n_features(),
-        ds.missing_rate() * 100.0,
-        args.method
-    );
-    if ds.missing_rate() == 0.0 {
-        eprintln!("scis-impute: nothing to do (no missing cells); copying through");
-    }
-    let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&ds);
-    let mut rng = Rng64::seed_from_u64(args.seed);
-    let (imputed_norm, flags) = impute(&args, &norm, &mut rng)?;
-    let imputed = scaler.inverse_transform(&imputed_norm);
-    let out_ds = Dataset::from_values(imputed);
-    write_dataset(&args.output, &out_ds)
-        .map_err(|e| format!("writing {:?}: {}", args.output, e))?;
-    eprintln!("scis-impute: wrote {:?}", args.output);
-    if flags.degraded {
-        eprintln!("scis-impute: run completed in DEGRADED mode (see recovery notes above)");
-    }
-    if flags.deadline_exceeded {
-        eprintln!("scis-impute: run completed under an EXPIRED deadline (exit code 3)");
-    }
-    Ok(flags)
-}
-
 fn main() -> ExitCode {
-    match run() {
-        Ok(flags) if flags.deadline_exceeded => ExitCode::from(3),
-        Ok(flags) if flags.degraded => ExitCode::from(2),
-        Ok(_) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {}", e);
-            ExitCode::FAILURE
-        }
-    }
+    scis_repro::cli::run_legacy_impute()
 }

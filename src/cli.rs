@@ -1,0 +1,873 @@
+//! Shared command-line implementation behind the `scis` multitool and the
+//! legacy `scis-impute` shim.
+//!
+//! The public surface is four subcommands over one flag vocabulary:
+//!
+//! * `scis train INPUT OUTPUT [flags]` — the full SSE pipeline (the old
+//!   `scis-impute` behavior, flag-for-flag); `--save-model` now writes a
+//!   self-contained [`ModelBundle`] artifact instead of bare weights.
+//! * `scis impute INPUT OUTPUT --model PATH [--threads t]` — apply-only:
+//!   load a bundle (or a bare v2 generator file) and fill a CSV without
+//!   training.
+//! * `scis serve --model PATH [--addr a] [--threads t] …` — the online
+//!   server from `scis-serve`.
+//! * `scis report FILE…` — render any of the repo's JSON artifacts (run
+//!   reports, bench files, `/statz` captures) as an indented summary.
+//!
+//! The global flags `--threads`, `--trace-json`, `--events`, and
+//! `--profile` may also appear *before* the subcommand; they are forwarded
+//! into it. The legacy `scis-impute INPUT OUTPUT [flags]` invocation maps
+//! to `train` unchanged (same stderr, same exit codes) plus a deprecation
+//! notice.
+//!
+//! Exit codes (train/impute): `0` clean, `1` error, `2` degraded output,
+//! `3` deadline-exceeded (precedence over 2).
+
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_core::{CheckpointPolicy, TrainCheckpoint};
+use scis_data::csvio::{read_dataset, write_dataset};
+use scis_data::normalize::MinMaxScaler;
+use scis_data::Dataset;
+use scis_imputers::knn::KnnImputer;
+use scis_imputers::mean::MeanImputer;
+use scis_imputers::mice::MiceImputer;
+use scis_imputers::missforest::MissForestImputer;
+use scis_imputers::vaei::VaeImputer;
+use scis_imputers::{AdversarialImputer, GainImputer, GinnImputer, Imputer, TrainConfig};
+use scis_serve::batcher::BatchConfig;
+use scis_serve::bundle::{ColumnMeta, ModelBundle};
+use scis_serve::server::{Server, ServerConfig};
+use scis_serve::service::{ImputeRow, ImputeService};
+use scis_tensor::ExecPolicy;
+use scis_tensor::{Matrix, Rng64};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Entry point for the `scis` multitool.
+pub fn run_scis() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // global flags may precede the subcommand; forward them into it
+    let mut forwarded: Vec<String> = Vec::new();
+    while let Some(first) = argv.first().cloned() {
+        match first.as_str() {
+            "--threads" | "--trace-json" | "--events" => {
+                if argv.len() < 2 {
+                    eprintln!("error: {} needs a value\n{}", first, TOP_USAGE);
+                    return ExitCode::FAILURE;
+                }
+                forwarded.push(argv.remove(0));
+                forwarded.push(argv.remove(0));
+            }
+            "--profile" => forwarded.push(argv.remove(0)),
+            _ => break,
+        }
+    }
+    let Some(sub) = argv.first().cloned() else {
+        eprintln!("error: missing subcommand\n{}", TOP_USAGE);
+        return ExitCode::FAILURE;
+    };
+    let mut rest: Vec<String> = argv.into_iter().skip(1).collect();
+    rest.extend(forwarded);
+    match sub.as_str() {
+        "train" => finish(run_train("scis", "scis train", rest)),
+        "impute" => finish(run_impute("scis", rest)),
+        "serve" => finish(run_serve("scis", rest)),
+        "report" => finish(run_report(rest)),
+        "--help" | "-h" | "help" => {
+            println!("{}", TOP_USAGE);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown subcommand {:?}\n{}", other, TOP_USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Entry point for the legacy `scis-impute` shim: the old single-command
+/// interface, mapped to `train` with a deprecation notice. Behavior and
+/// exit codes are unchanged for one release.
+pub fn run_legacy_impute() -> ExitCode {
+    eprintln!(
+        "scis-impute: deprecation notice — this invocation form is now `scis train INPUT.csv \
+         OUTPUT.csv [flags]` (and apply-only runs are `scis impute`); the scis-impute shim \
+         will be removed in a future release"
+    );
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    finish(run_train("scis-impute", "scis-impute", argv))
+}
+
+const TOP_USAGE: &str = "usage: scis [--threads t] [--trace-json p] [--events p] [--profile] <subcommand>\n\
+subcommands:\n  \
+train INPUT.csv OUTPUT.csv [flags]   train (SSE pipeline) and impute; --save-model writes a model bundle\n  \
+impute INPUT.csv OUTPUT.csv --model PATH [--threads t]   apply a saved model, no training\n  \
+serve --model PATH [--addr host:port] [--threads t] [--queue-cap n] [--batch-rows n] [--flush-micros us]   online HTTP server\n  \
+report FILE.json [...]   summarize run-report / bench / statz JSON artifacts";
+
+/// Outcome flags that decide the process exit code.
+#[derive(Default)]
+struct RunFlags {
+    /// The fault-tolerant runtime had to degrade the output (exit code 2).
+    degraded: bool,
+    /// The `--deadline-secs` budget expired; the output comes from the best
+    /// model trained so far (exit code 3, takes precedence over 2).
+    deadline_exceeded: bool,
+}
+
+fn finish(result: Result<RunFlags, String>) -> ExitCode {
+    match result {
+        Ok(flags) if flags.deadline_exceeded => ExitCode::from(3),
+        Ok(flags) if flags.degraded => ExitCode::from(2),
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// train — the full pipeline (old scis-impute behavior)
+// ---------------------------------------------------------------------------
+
+struct TrainArgs {
+    input: PathBuf,
+    output: PathBuf,
+    method: String,
+    epsilon: f64,
+    n0: Option<usize>,
+    epochs: usize,
+    threads: Option<usize>,
+    seed: u64,
+    save_model: Option<PathBuf>,
+    load_model: Option<PathBuf>,
+    trace_json: Option<PathBuf>,
+    events: Option<PathBuf>,
+    profile: bool,
+    accel: bool,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: Option<PathBuf>,
+    deadline_secs: Option<f64>,
+}
+
+fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
+    let mut args = argv.into_iter();
+    let input = PathBuf::from(args.next().ok_or("missing INPUT.csv")?);
+    let output = PathBuf::from(args.next().ok_or("missing OUTPUT.csv")?);
+    let mut parsed = TrainArgs {
+        input,
+        output,
+        method: "scis-gain".into(),
+        epsilon: 0.001,
+        n0: None,
+        epochs: 100,
+        threads: None,
+        seed: 42,
+        save_model: None,
+        load_model: None,
+        trace_json: None,
+        events: None,
+        profile: false,
+        accel: false,
+        checkpoint_dir: None,
+        checkpoint_every: 1,
+        resume: None,
+        deadline_secs: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{} needs a value", flag));
+        match flag.as_str() {
+            "--method" => parsed.method = value()?,
+            "--epsilon" => {
+                parsed.epsilon = value()?.parse().map_err(|e| format!("--epsilon: {}", e))?
+            }
+            "--n0" => parsed.n0 = Some(value()?.parse().map_err(|e| format!("--n0: {}", e))?),
+            "--epochs" => {
+                parsed.epochs = value()?.parse().map_err(|e| format!("--epochs: {}", e))?
+            }
+            "--threads" => {
+                parsed.threads = Some(value()?.parse().map_err(|e| format!("--threads: {}", e))?)
+            }
+            "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("--seed: {}", e))?,
+            "--save-model" => parsed.save_model = Some(PathBuf::from(value()?)),
+            "--load-model" => parsed.load_model = Some(PathBuf::from(value()?)),
+            "--trace-json" => parsed.trace_json = Some(PathBuf::from(value()?)),
+            "--events" => parsed.events = Some(PathBuf::from(value()?)),
+            "--profile" => parsed.profile = true,
+            "--accel" => parsed.accel = true,
+            "--checkpoint-dir" => parsed.checkpoint_dir = Some(PathBuf::from(value()?)),
+            "--checkpoint-every" => {
+                parsed.checkpoint_every = value()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {}", e))?
+            }
+            "--resume" => parsed.resume = Some(PathBuf::from(value()?)),
+            "--deadline-secs" => {
+                parsed.deadline_secs = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--deadline-secs: {}", e))?,
+                )
+            }
+            other => return Err(format!("unknown flag {}", other)),
+        }
+    }
+    if parsed.epochs == 0 {
+        return Err("--epochs must be at least 1".into());
+    }
+    if parsed.method != "scis-gain" && (parsed.save_model.is_some() || parsed.load_model.is_some())
+    {
+        return Err(format!(
+            "--save-model/--load-model only apply to --method scis-gain (got {:?})",
+            parsed.method
+        ));
+    }
+    if parsed.accel && parsed.method != "scis-gain" {
+        return Err(format!(
+            "--accel only applies to --method scis-gain (got {:?})",
+            parsed.method
+        ));
+    }
+    if parsed.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    if parsed.checkpoint_every != 1 && parsed.checkpoint_dir.is_none() {
+        return Err("--checkpoint-every requires --checkpoint-dir".into());
+    }
+    if parsed.resume.is_some() && parsed.load_model.is_some() {
+        return Err("--resume is incompatible with --load-model (no training runs)".into());
+    }
+    if let Some(d) = parsed.deadline_secs {
+        if !d.is_finite() || d <= 0.0 {
+            return Err(format!(
+                "--deadline-secs must be a positive finite number (got {})",
+                d
+            ));
+        }
+    }
+    for (set, flag) in [
+        (parsed.trace_json.is_some(), "--trace-json"),
+        (parsed.events.is_some(), "--events"),
+        (parsed.profile, "--profile"),
+        (parsed.checkpoint_dir.is_some(), "--checkpoint-dir"),
+        (parsed.resume.is_some(), "--resume"),
+        (parsed.deadline_secs.is_some(), "--deadline-secs"),
+    ] {
+        if !set {
+            continue;
+        }
+        if parsed.method != "scis-gain" {
+            return Err(format!(
+                "{} only applies to --method scis-gain (got {:?})",
+                flag, parsed.method
+            ));
+        }
+        if parsed.load_model.is_some() {
+            return Err(format!(
+                "{} is incompatible with --load-model (no pipeline runs)",
+                flag
+            ));
+        }
+    }
+    Ok(parsed)
+}
+
+/// Prints the fault-tolerant runtime's recovery summary to stderr.
+fn report_anomalies(prog: &str, a: &scis_core::RunAnomalies) {
+    if a.is_clean() {
+        return;
+    }
+    eprintln!(
+        "{}: anomalies — {} NaN batches skipped, {} rollbacks, {} LR backoffs, \
+         {} sinkhorn escalations ({} unconverged), {} non-finite cells patched",
+        prog,
+        a.nan_batches_skipped,
+        a.rollbacks,
+        a.lr_backoffs,
+        a.sinkhorn_escalations,
+        a.sinkhorn_unconverged,
+        a.non_finite_cells_patched,
+    );
+    if !a.all_missing_columns.is_empty() {
+        eprintln!(
+            "{}: columns with no observed cells: {:?}",
+            prog, a.all_missing_columns
+        );
+    }
+    if !a.constant_columns.is_empty() {
+        eprintln!("{}: constant columns: {:?}", prog, a.constant_columns);
+    }
+    for note in &a.notes {
+        eprintln!("{}: recovery: {}", prog, note);
+    }
+}
+
+/// Writes the flight recorder's buffered event stream as JSON Lines.
+fn write_events(prog: &str, path: &Path, tel: &scis_telemetry::Telemetry) -> Result<(), String> {
+    let events = tel.events();
+    let mut out = String::new();
+    for ev in &events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    std::fs::write(path, out).map_err(|e| format!("writing events {:?}: {}", path, e))?;
+    eprintln!(
+        "{}: wrote {} flight-recorder events to {:?}",
+        prog,
+        events.len(),
+        path
+    );
+    Ok(())
+}
+
+/// Resolves `--threads` to an [`ExecPolicy`]: `0` forces serial execution,
+/// `n ≥ 1` pins `n` workers, and an absent flag defers to `SCIS_THREADS` /
+/// the machine's available parallelism.
+fn threads_policy(threads: Option<usize>) -> ExecPolicy {
+    match threads {
+        Some(0) => ExecPolicy::Serial,
+        Some(n) => ExecPolicy::threads(n),
+        None => ExecPolicy::Auto,
+    }
+}
+
+/// Mean of the observed (non-NaN) cells of column `j` in original units;
+/// NaN when the column has no observed cells (the bundle's fallback row
+/// degrades that to 0.0).
+fn observed_mean(ds: &Dataset, j: usize) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for i in 0..ds.n_samples() {
+        let v = ds.values[(i, j)];
+        if !v.is_nan() {
+            sum += v;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Assembles the serving artifact from a trained GAIN imputer plus the
+/// training input's schema and scaler.
+fn build_bundle(
+    gain: &mut GainImputer,
+    orig: &Dataset,
+    scaler: &MinMaxScaler,
+    accel_on: bool,
+) -> Result<ModelBundle, String> {
+    let spec = gain.generator_spec();
+    let generator = gain.generator_mut().clone();
+    let columns = (0..orig.n_features())
+        .map(|j| ColumnMeta {
+            name: format!("c{}", j),
+            kind: orig.kinds[j].clone(),
+            mean: observed_mean(orig, j),
+        })
+        .collect();
+    let accel = if accel_on {
+        scis_core::dim::AccelConfig::all()
+    } else {
+        scis_core::dim::AccelConfig::default()
+    };
+    ModelBundle::new(generator, spec, scaler.clone(), columns, accel)
+        .map_err(|e| format!("assembling model bundle: {}", e))
+}
+
+/// Imputes under the chosen method, reporting the anomaly flags that decide
+/// the exit code. `orig`/`scaler` carry the pre-normalization view needed
+/// to assemble a model bundle for `--save-model`.
+#[allow(clippy::too_many_lines)]
+fn impute(
+    prog: &str,
+    args: &TrainArgs,
+    ds: &Dataset,
+    orig: &Dataset,
+    scaler: &MinMaxScaler,
+    rng: &mut Rng64,
+) -> Result<(Matrix, RunFlags), String> {
+    let train = TrainConfig {
+        epochs: args.epochs,
+        ..TrainConfig::default()
+    };
+    match args.method.as_str() {
+        "scis-gain" => {
+            let mut gain = GainImputer::new(train);
+            if let Some(path) = &args.load_model {
+                // pre-trained bare generator: skip Algorithm 1, just impute
+                gain.load_generator(path)
+                    .map_err(|e| format!("loading model: {}", e))?;
+                eprintln!("{}: loaded generator from {:?}", prog, path);
+                let out =
+                    scis_imputers::traits::impute_with_generator_chunked(&mut gain, ds, 65_536);
+                return Ok((out, RunFlags::default()));
+            }
+            let n = ds.n_samples();
+            let n0 = args.n0.unwrap_or_else(|| 500.min(n / 3).max(8));
+            if 2 * n0 > n {
+                return Err(format!("n0 = {} too large for {} rows", n0, n));
+            }
+            let mut config = ScisConfig::default()
+                .dim(scis_core::dim::DimConfig::default().train(train))
+                .epsilon(args.epsilon)
+                .exec(threads_policy(args.threads));
+            if args.accel {
+                config = config.accel(scis_core::dim::AccelConfig::all());
+            }
+            let mut scis = Scis::new(config);
+            if let Some(dir) = &args.checkpoint_dir {
+                scis = scis.checkpoints(CheckpointPolicy::new(dir).every(args.checkpoint_every));
+            }
+            if let Some(secs) = args.deadline_secs {
+                scis = scis.deadline(scis_tensor::RunDeadline::after(
+                    std::time::Duration::from_secs_f64(secs),
+                ));
+            }
+            if let Some(path) = &args.resume {
+                let ckpt = TrainCheckpoint::load(path)
+                    .map_err(|e| format!("loading checkpoint {:?}: {}", path, e))?;
+                eprintln!(
+                    "{}: resuming {} training from epoch {} ({:?})",
+                    prog,
+                    ckpt.phase.name(),
+                    ckpt.epoch,
+                    path
+                );
+                scis = scis.resume_from(ckpt);
+            }
+            let want_telemetry = args.trace_json.is_some() || args.events.is_some() || args.profile;
+            let tel = if want_telemetry {
+                scis_telemetry::Telemetry::collecting()
+            } else {
+                scis_telemetry::Telemetry::off()
+            };
+            if want_telemetry {
+                scis = scis.telemetry(tel.clone());
+            }
+            let result = scis.try_run(&mut gain, ds, n0, rng);
+            // the event stream is most valuable on failure: flush it before
+            // surfacing any error so the JSONL doubles as a post-mortem
+            if let Some(path) = &args.events {
+                write_events(prog, path, &tel)?;
+            }
+            let outcome = result.map_err(|e| e.to_string())?;
+            if let Some(path) = &args.trace_json {
+                std::fs::write(path, outcome.report.to_json())
+                    .map_err(|e| format!("writing trace {:?}: {}", path, e))?;
+                eprintln!("{}: wrote run report to {:?}", prog, path);
+            }
+            if args.profile {
+                eprint!("{}", outcome.report.render_profile());
+            }
+            eprintln!(
+                "{}: trained on n* = {} of {} rows (R_t = {:.2}%), SSE {:.2}s",
+                prog,
+                outcome.n_star,
+                outcome.n_total,
+                outcome.training_sample_rate() * 100.0,
+                outcome.sse_time.as_secs_f64()
+            );
+            report_anomalies(prog, &outcome.anomalies);
+            if outcome.anomalies.deadline_exceeded {
+                eprintln!(
+                    "{}: run deadline expired; output comes from the best model so far",
+                    prog
+                );
+            }
+            if let Some(path) = &args.save_model {
+                if outcome.anomalies.mean_fallback {
+                    eprintln!(
+                        "{}: not saving a model — training fell back to mean imputation",
+                        prog
+                    );
+                } else {
+                    let bundle = build_bundle(&mut gain, orig, scaler, args.accel)?;
+                    bundle
+                        .save(path)
+                        .map_err(|e| format!("saving model: {}", e))?;
+                    eprintln!("{}: saved model bundle to {:?}", prog, path);
+                }
+            }
+            let flags = RunFlags {
+                degraded: outcome.anomalies.is_degraded(),
+                deadline_exceeded: outcome.anomalies.deadline_exceeded,
+            };
+            Ok((outcome.imputed, flags))
+        }
+        "gain" => Ok((GainImputer::new(train).impute(ds, rng), RunFlags::default())),
+        "ginn" => Ok((GinnImputer::new(train).impute(ds, rng), RunFlags::default())),
+        "mice" => Ok((MiceImputer::default().impute(ds, rng), RunFlags::default())),
+        "missforest" => Ok((
+            MissForestImputer::default().impute(ds, rng),
+            RunFlags::default(),
+        )),
+        "knn" => Ok((KnnImputer::default().impute(ds, rng), RunFlags::default())),
+        "mean" => Ok((MeanImputer.impute(ds, rng), RunFlags::default())),
+        "vae" => Ok((
+            VaeImputer {
+                config: train,
+                ..Default::default()
+            }
+            .impute(ds, rng),
+            RunFlags::default(),
+        )),
+        other => Err(format!(
+            "unknown method {:?} (try scis-gain, gain, ginn, mice, missforest, knn, mean, vae)",
+            other
+        )),
+    }
+}
+
+/// Reads, validates, and annotates the input CSV (shared by train/impute).
+fn load_input(prog: &str, input: &Path, method: &str) -> Result<Dataset, String> {
+    let mut ds = read_dataset(input).map_err(|e| format!("reading {:?}: {}", input, e))?;
+    // reject unusable inputs before any training; degenerate (but usable)
+    // columns are only warned about here and recorded as anomalies later
+    let report = ds
+        .validate()
+        .map_err(|e| format!("validating {:?}: {}", input, e))?;
+    if !report.all_missing_columns.is_empty() {
+        eprintln!(
+            "{}: warning: columns with no observed cells: {:?}",
+            prog, report.all_missing_columns
+        );
+    }
+    // detect ordinal-coded categorical columns so methods with
+    // heterogeneous heads treat them properly
+    ds.kinds = scis_data::dataset::infer_kinds(&ds.values, 16);
+    eprintln!(
+        "{}: {} rows x {} cols, {:.2}% missing, method {}",
+        prog,
+        ds.n_samples(),
+        ds.n_features(),
+        ds.missing_rate() * 100.0,
+        method
+    );
+    if ds.missing_rate() == 0.0 {
+        eprintln!(
+            "{}: nothing to do (no missing cells); copying through",
+            prog
+        );
+    }
+    Ok(ds)
+}
+
+fn run_train(prog: &str, invocation: &str, argv: Vec<String>) -> Result<RunFlags, String> {
+    let args = parse_train_args(argv).map_err(|e| {
+        format!("{}\nusage: {} INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--trace-json path] [--events path] [--profile] [--checkpoint-dir dir] [--checkpoint-every n] [--resume path] [--deadline-secs s]", e, invocation)
+    })?;
+    let ds = load_input(prog, &args.input, &args.method)?;
+    // a model *bundle* given to --load-model short-circuits into the
+    // apply-only path (it carries its own scaler and schema)
+    if let Some(path) = &args.load_model {
+        if is_bundle_file(path) {
+            let bundle =
+                ModelBundle::load(path).map_err(|e| format!("loading model bundle: {}", e))?;
+            eprintln!("{}: loaded model bundle from {:?}", prog, path);
+            return apply_bundle(
+                prog,
+                &ds,
+                bundle,
+                threads_policy(args.threads),
+                &args.output,
+            );
+        }
+    }
+    let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&ds);
+    let mut rng = Rng64::seed_from_u64(args.seed);
+    let (imputed_norm, flags) = impute(prog, &args, &norm, &ds, &scaler, &mut rng)?;
+    let imputed = scaler.inverse_transform(&imputed_norm);
+    let out_ds = Dataset::from_values(imputed);
+    write_dataset(&args.output, &out_ds)
+        .map_err(|e| format!("writing {:?}: {}", args.output, e))?;
+    eprintln!("{}: wrote {:?}", prog, args.output);
+    if flags.degraded {
+        eprintln!(
+            "{}: run completed in DEGRADED mode (see recovery notes above)",
+            prog
+        );
+    }
+    if flags.deadline_exceeded {
+        eprintln!(
+            "{}: run completed under an EXPIRED deadline (exit code 3)",
+            prog
+        );
+    }
+    Ok(flags)
+}
+
+// ---------------------------------------------------------------------------
+// impute — apply-only
+// ---------------------------------------------------------------------------
+
+/// True when the file starts with the model-bundle magic line.
+fn is_bundle_file(path: &Path) -> bool {
+    use std::io::Read as _;
+    let mut buf = [0u8; 16];
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let Ok(n) = f.read(&mut buf) else {
+        return false;
+    };
+    buf[..n].starts_with(b"scis-bundle v1")
+}
+
+/// Fills every missing cell of `ds` through an [`ImputeService`] built on
+/// `bundle` — the same code path the HTTP server runs, chunked so memory
+/// stays bounded on large inputs.
+fn apply_bundle(
+    prog: &str,
+    ds: &Dataset,
+    bundle: ModelBundle,
+    exec: ExecPolicy,
+    output: &Path,
+) -> Result<RunFlags, String> {
+    bundle
+        .validate_width(ds.n_features())
+        .map_err(|e| format!("input does not match the model bundle: {}", e))?;
+    let mut svc = ImputeService::new(bundle, exec, scis_telemetry::Telemetry::off());
+    let n = ds.n_samples();
+    let d = ds.n_features();
+    let mut filled: Vec<Vec<f64>> = Vec::with_capacity(n);
+    let mut degraded = false;
+    const CHUNK: usize = 8192;
+    let mut start = 0;
+    while start < n {
+        let end = (start + CHUNK).min(n);
+        let rows: Vec<ImputeRow> = (start..end)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let v = ds.values[(i, j)];
+                        if v.is_nan() {
+                            None
+                        } else {
+                            Some(v)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let result = svc.impute_rows(&rows);
+        degraded |= result.degraded;
+        filled.extend(result.rows);
+        start = end;
+    }
+    let out = Matrix::from_fn(n, d, |i, j| filled[i][j]);
+    write_dataset(output, &Dataset::from_values(out))
+        .map_err(|e| format!("writing {:?}: {}", output, e))?;
+    eprintln!("{}: wrote {:?}", prog, output);
+    if degraded {
+        eprintln!(
+            "{}: run completed in DEGRADED mode (generator output was non-finite; \
+             column means served instead)",
+            prog
+        );
+    }
+    Ok(RunFlags {
+        degraded,
+        deadline_exceeded: false,
+    })
+}
+
+fn run_impute(prog: &str, argv: Vec<String>) -> Result<RunFlags, String> {
+    const USAGE: &str = "usage: scis impute INPUT.csv OUTPUT.csv --model PATH [--threads t]";
+    let mut input = None;
+    let mut output = None;
+    let mut model = None;
+    let mut threads = None;
+    let mut args = argv.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or(format!("{} needs a value\n{}", arg, USAGE))
+        };
+        match arg.as_str() {
+            "--model" | "--load-model" => model = Some(PathBuf::from(value()?)),
+            "--threads" => {
+                threads = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--threads: {}\n{}", e, USAGE))?,
+                )
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {}\n{}", other, USAGE))
+            }
+            _ if input.is_none() => input = Some(PathBuf::from(arg)),
+            _ if output.is_none() => output = Some(PathBuf::from(arg)),
+            other => return Err(format!("unexpected argument {:?}\n{}", other, USAGE)),
+        }
+    }
+    let input = input.ok_or(format!("missing INPUT.csv\n{}", USAGE))?;
+    let output = output.ok_or(format!("missing OUTPUT.csv\n{}", USAGE))?;
+    let model = model.ok_or(format!("--model is required\n{}", USAGE))?;
+    let ds = load_input(prog, &input, "scis-gain (apply-only)")?;
+    if is_bundle_file(&model) {
+        let bundle =
+            ModelBundle::load(&model).map_err(|e| format!("loading model bundle: {}", e))?;
+        eprintln!("{}: loaded model bundle from {:?}", prog, model);
+        apply_bundle(prog, &ds, bundle, threads_policy(threads), &output)
+    } else {
+        // bare v2 generator file (pre-bundle artifact): old semantics — the
+        // scaler is refitted on the input being imputed
+        let mut gain = GainImputer::new(TrainConfig::default());
+        gain.load_generator(&model)
+            .map_err(|e| format!("loading model: {}", e))?;
+        eprintln!("{}: loaded generator from {:?}", prog, model);
+        let (norm, scaler) = MinMaxScaler::fit_transform_dataset(&ds);
+        let out = scis_imputers::traits::impute_with_generator_chunked(&mut gain, &norm, 65_536);
+        let imputed = scaler.inverse_transform(&out);
+        write_dataset(&output, &Dataset::from_values(imputed))
+            .map_err(|e| format!("writing {:?}: {}", output, e))?;
+        eprintln!("{}: wrote {:?}", prog, output);
+        Ok(RunFlags::default())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serve — the online server
+// ---------------------------------------------------------------------------
+
+fn run_serve(prog: &str, argv: Vec<String>) -> Result<RunFlags, String> {
+    const USAGE: &str =
+        "usage: scis serve --model PATH [--addr host:port] [--threads t|serial|auto] \
+[--queue-cap n] [--batch-rows n] [--flush-micros us] [--max-body-bytes n]";
+    let mut model = None;
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:7878".into(),
+        ..ServerConfig::default()
+    };
+    let mut batch = BatchConfig::default();
+    let mut args = argv.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or(format!("{} needs a value\n{}", arg, USAGE))
+        };
+        let parse_usize = |flag: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("{}: {}\n{}", flag, e, USAGE))
+        };
+        match arg.as_str() {
+            "--model" => model = Some(PathBuf::from(value()?)),
+            "--addr" => cfg.addr = value()?,
+            "--threads" => {
+                cfg.exec = ExecPolicy::parse(&value()?)
+                    .map_err(|e| format!("--threads: {}\n{}", e, USAGE))?
+            }
+            "--queue-cap" => batch.queue_cap = parse_usize("--queue-cap", value()?)?,
+            "--batch-rows" => batch.max_batch_rows = parse_usize("--batch-rows", value()?)?,
+            "--flush-micros" => {
+                batch.flush_micros = value()?
+                    .parse()
+                    .map_err(|e| format!("--flush-micros: {}\n{}", e, USAGE))?
+            }
+            "--max-body-bytes" => cfg.max_body_bytes = parse_usize("--max-body-bytes", value()?)?,
+            other => return Err(format!("unknown flag {}\n{}", other, USAGE)),
+        }
+    }
+    let model = model.ok_or(format!("--model is required\n{}", USAGE))?;
+    cfg.batch = batch;
+    let bundle = ModelBundle::load(&model).map_err(|e| format!("loading model bundle: {}", e))?;
+    eprintln!(
+        "{}: serving {:?} ({} columns) — POST /impute, GET /healthz, GET /statz",
+        prog,
+        model,
+        bundle.n_features()
+    );
+    let telemetry = scis_telemetry::Telemetry::collecting();
+    let server =
+        Server::start(bundle, cfg, telemetry).map_err(|e| format!("starting server: {}", e))?;
+    // scripts scrape this line for the resolved (possibly ephemeral) port
+    println!("listening on http://{}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // serve until the process is killed
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// report — summarize JSON artifacts
+// ---------------------------------------------------------------------------
+
+fn render_json(out: &mut String, value: &scis_serve::json::Json, indent: usize) {
+    use scis_serve::json::Json;
+    let pad = "  ".repeat(indent);
+    match value {
+        Json::Obj(pairs) => {
+            for (k, v) in pairs {
+                match v {
+                    Json::Obj(_) | Json::Arr(_) => {
+                        out.push_str(&format!("{}{}:\n", pad, k));
+                        render_json(out, v, indent + 1);
+                    }
+                    _ => render_json_leaf(out, &pad, k, v),
+                }
+            }
+        }
+        Json::Arr(items) => {
+            // long numeric arrays (metric series) are summarized, not dumped
+            let nums: Vec<f64> = items.iter().filter_map(|i| i.as_f64()).collect();
+            if nums.len() == items.len() && nums.len() > 8 {
+                let (min, max) = nums
+                    .iter()
+                    .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+                out.push_str(&format!(
+                    "{}[{} values, first {}, last {}, min {}, max {}]\n",
+                    pad,
+                    nums.len(),
+                    nums[0],
+                    nums[nums.len() - 1],
+                    min,
+                    max
+                ));
+            } else {
+                for (i, item) in items.iter().enumerate() {
+                    match item {
+                        Json::Obj(_) | Json::Arr(_) => {
+                            out.push_str(&format!("{}- [{}]\n", pad, i));
+                            render_json(out, item, indent + 1);
+                        }
+                        _ => render_json_leaf(out, &pad, &format!("[{}]", i), item),
+                    }
+                }
+            }
+        }
+        other => render_json_leaf(out, &pad, "value", other),
+    }
+}
+
+fn render_json_leaf(out: &mut String, pad: &str, key: &str, v: &scis_serve::json::Json) {
+    use scis_serve::json::Json;
+    let rendered = match v {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => scis_telemetry::json_f64(*n),
+        Json::Str(s) => s.clone(),
+        _ => unreachable!("containers handled by render_json"),
+    };
+    out.push_str(&format!("{}{}: {}\n", pad, key, rendered));
+}
+
+fn run_report(argv: Vec<String>) -> Result<RunFlags, String> {
+    if argv.is_empty() {
+        return Err("usage: scis report FILE.json [FILE.json ...]".into());
+    }
+    for path in &argv {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {:?}: {}", path, e))?;
+        let doc = scis_serve::json::parse(&text).map_err(|e| format!("{}: {}", path, e))?;
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", path));
+        render_json(&mut out, &doc, 0);
+        print!("{}", out);
+    }
+    Ok(RunFlags::default())
+}

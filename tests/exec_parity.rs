@@ -8,6 +8,7 @@
 //! fault-tolerance anomaly record all equal under Serial vs `threads(4)`).
 
 use scis_data::missing::inject_mcar;
+use scis_repro::ot::SinkhornOptions;
 use scis_repro::prelude::*;
 
 fn correlated_table(n: usize, seed: u64) -> Matrix {
@@ -43,7 +44,9 @@ fn run_pipeline_with(exec: ExecPolicy, accel: AccelConfig) -> (Matrix, usize, Ru
         .exec(exec)
         .accel(accel);
     let mut gain = GainImputer::new(cfg.dim.train);
-    let outcome = Scis::new(cfg).run(&mut gain, &ds, 80, &mut rng);
+    let outcome = Scis::new(cfg)
+        .try_run(&mut gain, &ds, 80, &mut rng)
+        .expect("pipeline run");
     (outcome.imputed, outcome.n_star, outcome.anomalies)
 }
 

@@ -44,7 +44,9 @@ fn full_pipeline_on_trial_recipe() {
     let mut rng = Rng64::seed_from_u64(42);
     let config = fast_scis_config();
     let mut gain = GainImputer::new(config.dim.train);
-    let outcome = Scis::new(config).run(&mut gain, &norm, inst.n0, &mut rng);
+    let outcome = Scis::new(config)
+        .try_run(&mut gain, &norm, inst.n0, &mut rng)
+        .expect("pipeline run");
 
     // structural invariants
     assert_eq!(outcome.imputed.shape(), norm.values.shape());
@@ -76,12 +78,14 @@ fn pipeline_is_deterministic_under_fixed_seed() {
         let mut rng = Rng64::seed_from_u64(123);
         let config = fast_scis_config();
         let mut gain = GainImputer::new(config.dim.train);
-        Scis::new(config).run(
-            &mut gain,
-            &norm,
-            inst.n0.min(norm.n_samples() / 3),
-            &mut rng,
-        )
+        Scis::new(config)
+            .try_run(
+                &mut gain,
+                &norm,
+                inst.n0.min(norm.n_samples() / 3),
+                &mut rng,
+            )
+            .expect("pipeline run")
     };
     let a = run();
     let b = run();
@@ -150,7 +154,9 @@ fn scis_uses_fewer_training_samples_than_full_on_large_recipe() {
     let mut config = fast_scis_config();
     config.sse.epsilon = 0.01;
     let mut gain = GainImputer::new(config.dim.train);
-    let outcome = Scis::new(config).run(&mut gain, &norm, inst.n0, &mut rng);
+    let outcome = Scis::new(config)
+        .try_run(&mut gain, &norm, inst.n0, &mut rng)
+        .expect("pipeline run");
     assert!(
         outcome.training_sample_rate() < 0.8,
         "expected n* well below N, got R_t = {:.1}%",

@@ -39,7 +39,9 @@ fn n_star_for(epsilon: f64, seed: u64) -> (usize, usize) {
     let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
     let mut rng = Rng64::seed_from_u64(seed);
     let mut gain = GainImputer::new(config(epsilon).dim.train);
-    let outcome = Scis::new(config(epsilon)).run(&mut gain, &norm, inst.n0, &mut rng);
+    let outcome = Scis::new(config(epsilon))
+        .try_run(&mut gain, &norm, inst.n0, &mut rng)
+        .expect("pipeline run");
     (outcome.n_star, outcome.n_total)
 }
 
@@ -73,7 +75,9 @@ fn sse_reports_calibration_and_probes() {
     let (norm, _) = MinMaxScaler::fit_transform_dataset(&inst.dataset);
     let mut rng = Rng64::seed_from_u64(7);
     let mut gain = GainImputer::new(config(0.01).dim.train);
-    let outcome = Scis::new(config(0.01)).run(&mut gain, &norm, inst.n0, &mut rng);
+    let outcome = Scis::new(config(0.01))
+        .try_run(&mut gain, &norm, inst.n0, &mut rng)
+        .expect("pipeline run");
     assert!(outcome.sse.calibration > 0.0 && outcome.sse.calibration.is_finite());
     assert!(outcome.sse.probes >= 1);
     assert!((0.0..=1.0).contains(&outcome.sse.prob_at_n_star));

@@ -12,6 +12,7 @@
 
 use scis_data::missing::inject_mcar;
 use scis_repro::prelude::*;
+use scis_repro::telemetry::{Counter, Hist};
 
 fn correlated_table(n: usize, seed: u64) -> Matrix {
     let mut rng = Rng64::seed_from_u64(seed);
