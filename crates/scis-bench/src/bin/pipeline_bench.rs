@@ -9,24 +9,52 @@
 //!     cargo run -p scis-bench --release --bin pipeline_bench
 //! ```
 //!
-//! Runs with the warm-start dual cache on, and asserts the per-epoch
-//! `warm_start_hit_rate` series is non-decreasing after each phase's first
-//! epoch (the first epoch of a phase always misses — its cache is empty),
-//! so a cache regression fails the bench smoke leg rather than silently
-//! shifting the iteration histogram right.
+//! Schema v2 reports three measurements:
+//!
+//! 1. **gemm** — the register-tiled GEMM microkernel vs the naive reference
+//!    loop (same per-element accumulation chains, so bit-identical output);
+//!    min-of-reps timing, with the blocked/naive speedup as a number.
+//! 2. **baseline** — the whole pipeline with `AccelConfig::default()`: the
+//!    bit-stable default path.
+//! 3. **accel** — the same seeded pipeline with `AccelConfig::all_f32()`
+//!    (warm-start dual cache, decomposed cost, ε-scaled cold solves, f32
+//!    compute + `fast_exp` sweeps), plus the per-phase speedup over the
+//!    baseline — the headline `speedup.train_initial` number.
+//!
+//! The accel run keeps the cache-effectiveness assertion: the per-epoch
+//! `warm_start_hit_rate` series must be non-decreasing after each phase's
+//! first epoch, so a cache regression fails the bench smoke leg rather than
+//! silently shifting the iteration histogram right.
 
-use scis_core::pipeline::{Scis, ScisConfig};
+use scis_core::dim::AccelConfig;
+use scis_core::pipeline::{Scis, ScisConfig, ScisOutcome};
 use scis_data::metrics::rmse_vs_ground_truth;
 use scis_data::missing::inject_mcar;
 use scis_imputers::{GainImputer, TrainConfig};
 use scis_telemetry::{json_f64, Counter, Telemetry};
+use scis_tensor::ops;
 use scis_tensor::{ExecPolicy, Matrix, Rng64};
+use std::hint::black_box;
+use std::time::Instant;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// Minimum seconds per call over `reps` timed runs (after one warm-up run):
+/// the noise-robust estimator for a short deterministic kernel.
+fn time_min<R>(reps: usize, mut body: impl FnMut() -> R) -> f64 {
+    black_box(body());
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        black_box(body());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
 }
 
 /// Low-rank correlated table: realistic structure for the imputer to learn.
@@ -43,6 +71,50 @@ fn correlated_table(n: usize, d: usize, seed: u64) -> Matrix {
     m
 }
 
+struct PipelineRun {
+    outcome: ScisOutcome,
+    tel: Telemetry,
+    rmse: f64,
+}
+
+impl PipelineRun {
+    fn phase_secs(&self, name: &str) -> f64 {
+        self.outcome
+            .report
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.secs)
+            .unwrap_or(0.0)
+    }
+
+    fn section_json(&self, label: &str) -> String {
+        let mut json = format!("  \"{label}\": {{\n    \"phases\": {{");
+        for (i, p) in self.outcome.report.phases.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("\n      \"{}\": {:.6}", p.name, p.secs));
+        }
+        json.push_str("\n    },\n");
+        json.push_str(&format!(
+            "    \"sinkhorn\": {{\n      \"solves\": {},\n      \"iterations\": {},\n      \
+             \"warm_start_hits\": {},\n      \"iters_saved\": {}\n    }},\n",
+            self.tel.counter(Counter::SinkhornSolves),
+            self.tel.counter(Counter::SinkhornIterations),
+            self.tel.counter(Counter::WarmStartHits),
+            self.tel.counter(Counter::ItersSaved),
+        ));
+        json.push_str(&format!(
+            "    \"n_star\": {},\n    \"rmse\": {},\n    \"total_s\": {:.3}\n  }}",
+            self.outcome.n_star,
+            json_f64(self.rmse),
+            self.outcome.total_time.as_secs_f64(),
+        ));
+        json
+    }
+}
+
 fn main() {
     let rows = env_usize("SCIS_PIPELINE_BENCH_ROWS", 400);
     let d = env_usize("SCIS_PIPELINE_BENCH_FEATURES", 4);
@@ -50,34 +122,68 @@ fn main() {
     let n0 = env_usize("SCIS_PIPELINE_BENCH_N0", rows / 5);
     assert!(2 * n0 <= rows, "n0 = {n0} too large for {rows} rows");
 
-    let complete = correlated_table(rows, d, 51);
-    let mut rng = Rng64::seed_from_u64(52);
-    let ds = inject_mcar(&complete, 0.25, &mut rng);
+    // ---- 1. GEMM microbench: blocked/tiled vs naive reference -----------
+    let gdim = env_usize("SCIS_PIPELINE_BENCH_GEMM_DIM", 192);
+    let greps = env_usize("SCIS_PIPELINE_BENCH_GEMM_REPS", 15);
+    let mut grng = Rng64::seed_from_u64(71);
+    let ga = Matrix::from_fn(gdim, gdim, |_, _| grng.normal());
+    let gb = Matrix::from_fn(gdim, gdim, |_, _| grng.normal());
+    assert_eq!(
+        ops::matmul(&ga, &gb),
+        ops::matmul_naive(&ga, &gb),
+        "blocked GEMM must be bit-identical to the naive reference"
+    );
+    let naive_s = time_min(greps, || ops::matmul_naive(&ga, &gb));
+    let blocked_s = time_min(greps, || ops::matmul(&ga, &gb));
+    let gemm_speedup = naive_s / blocked_s.max(1e-12);
+    println!(
+        "gemm/{gdim}x{gdim}x{gdim}: naive {naive_s:.6}s, blocked {blocked_s:.6}s \
+         ({gemm_speedup:.2}x)"
+    );
 
-    let train = TrainConfig {
-        epochs,
-        batch_size: rows, // full-batch: every epoch re-solves the same rows
-        learning_rate: 0.005,
-        dropout: 0.0,
+    // ---- 2 + 3. the pipeline, baseline vs accelerated --------------------
+    let complete = correlated_table(rows, d, 51);
+
+    let run = |accel: AccelConfig| {
+        let mut rng = Rng64::seed_from_u64(52);
+        let ds = inject_mcar(&complete, 0.25, &mut rng);
+        let train = TrainConfig {
+            epochs,
+            batch_size: rows, // full-batch: every epoch re-solves the same rows
+            learning_rate: 0.005,
+            dropout: 0.0,
+        };
+        let config = ScisConfig::default()
+            .dim(scis_core::dim::DimConfig::default().train(train))
+            .epsilon(0.02)
+            .exec(ExecPolicy::Serial)
+            .accel(accel);
+        let mut gain = GainImputer::new(train);
+        let tel = Telemetry::collecting();
+        let outcome = Scis::new(config)
+            .telemetry(tel.clone())
+            .try_run(&mut gain, &ds, n0, &mut rng)
+            .expect("pipeline run");
+        let rmse = rmse_vs_ground_truth(&ds, &complete, &outcome.imputed);
+        PipelineRun { outcome, tel, rmse }
     };
-    let config = ScisConfig::default()
-        .dim(scis_core::dim::DimConfig::default().train(train))
-        .epsilon(0.02)
-        .exec(ExecPolicy::Serial)
-        .accel(scis_core::dim::AccelConfig::default().warm_start(true));
-    let mut gain = GainImputer::new(train);
-    let tel = Telemetry::collecting();
-    let outcome = Scis::new(config)
-        .telemetry(tel.clone())
-        .try_run(&mut gain, &ds, n0, &mut rng)
-        .expect("pipeline run");
-    let rmse = rmse_vs_ground_truth(&ds, &complete, &outcome.imputed);
+
+    let baseline = run(AccelConfig::default());
+    println!(
+        "baseline/{rows}x{d}x{epochs}: n* = {}, rmse {:.4}, {} sinkhorn iters, total {:.2}s",
+        baseline.outcome.n_star,
+        baseline.rmse,
+        baseline.tel.counter(Counter::SinkhornIterations),
+        baseline.outcome.total_time.as_secs_f64(),
+    );
+
+    let accel = run(AccelConfig::all_f32());
 
     // cache-effectiveness contract: within each training phase (each phase
     // owns a fresh dual cache), the per-epoch hit rate must not decrease
     // once the cache is primed by the phase's first epoch
-    let hit_rate = tel.series(scis_telemetry::Series::WarmStartHitRate);
-    let phase = tel.series(scis_telemetry::Series::TrainPhase);
+    let hit_rate = accel.tel.series(scis_telemetry::Series::WarmStartHitRate);
+    let phase = accel.tel.series(scis_telemetry::Series::TrainPhase);
     assert_eq!(hit_rate.len(), phase.len());
     let mut seg_start = 0;
     for e in 1..=hit_rate.len() {
@@ -95,38 +201,37 @@ fn main() {
             seg_start = e;
         }
     }
+
+    let train_speedup =
+        baseline.phase_secs("train_initial") / accel.phase_secs("train_initial").max(1e-12);
+    let total_speedup = baseline.outcome.total_time.as_secs_f64()
+        / accel.outcome.total_time.as_secs_f64().max(1e-12);
     println!(
-        "pipeline/{rows}x{d}x{epochs}: n* = {}, rmse {rmse:.4}, {} sinkhorn iters, \
-         {} warm hits, total {:.2}s",
-        outcome.n_star,
-        tel.counter(Counter::SinkhornIterations),
-        tel.counter(Counter::WarmStartHits),
-        outcome.total_time.as_secs_f64(),
+        "accel/{rows}x{d}x{epochs}: n* = {}, rmse {:.4}, {} sinkhorn iters, \
+         {} warm hits, total {:.2}s — train_initial {train_speedup:.2}x, total {total_speedup:.2}x",
+        accel.outcome.n_star,
+        accel.rmse,
+        accel.tel.counter(Counter::SinkhornIterations),
+        accel.tel.counter(Counter::WarmStartHits),
+        accel.outcome.total_time.as_secs_f64(),
     );
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema_version\": 1,\n");
+    json.push_str("{\n  \"schema_version\": 2,\n");
     json.push_str(&format!(
         "  \"config\": {{\n    \"rows\": {rows},\n    \"features\": {d},\n    \
          \"epochs\": {epochs},\n    \"n0\": {n0}\n  }},\n"
     ));
-    json.push_str("  \"phases\": {");
-    for (i, p) in outcome.report.phases.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        json.push_str(&format!("\n    \"{}\": {:.6}", p.name, p.secs));
-    }
-    json.push_str("\n  },\n");
     json.push_str(&format!(
-        "  \"sinkhorn\": {{\n    \"solves\": {},\n    \"iterations\": {},\n    \
-         \"warm_start_hits\": {},\n    \"iters_saved\": {}\n  }},\n",
-        tel.counter(Counter::SinkhornSolves),
-        tel.counter(Counter::SinkhornIterations),
-        tel.counter(Counter::WarmStartHits),
-        tel.counter(Counter::ItersSaved),
+        "  \"gemm\": {{\n    \"dim\": {gdim},\n    \"reps\": {greps},\n    \
+         \"naive_s\": {naive_s:.6},\n    \"blocked_s\": {blocked_s:.6},\n    \
+         \"speedup\": {gemm_speedup:.3}\n  }},\n"
     ));
-    json.push_str("  \"warm_start_hit_rate\": [");
+    json.push_str(&baseline.section_json("baseline"));
+    json.push_str(",\n");
+    json.push_str(&accel.section_json("accel"));
+    json.push_str(",\n");
+    json.push_str("  \"accel_warm_start_hit_rate\": [");
     for (i, v) in hit_rate.iter().enumerate() {
         if i > 0 {
             json.push(',');
@@ -135,10 +240,8 @@ fn main() {
     }
     json.push_str("],\n");
     json.push_str(&format!(
-        "  \"n_star\": {},\n  \"rmse\": {},\n  \"total_s\": {:.3}\n}}\n",
-        outcome.n_star,
-        json_f64(rmse),
-        outcome.total_time.as_secs_f64(),
+        "  \"speedup\": {{\n    \"train_initial\": {train_speedup:.3},\n    \
+         \"total\": {total_speedup:.3}\n  }}\n}}\n"
     ));
     std::fs::write("BENCH_pipeline.json", &json).expect("writing BENCH_pipeline.json");
     println!("wrote BENCH_pipeline.json");

@@ -110,6 +110,29 @@ fn main() {
         cold.iterations, warm.iterations
     );
 
+    // ---- 1b. sweep precision: default f64/libm vs f32 + fast_exp ---------
+    // Same solve, opt-in compute mode: f32 cost storage, reciprocal-λ
+    // multiply, polynomial exp in the sweeps. The plan difference is the
+    // honest price (input rounding at ~1e-7 relative, solves still converge
+    // to the same tolerance).
+    let sweep_iters = env_usize("SCIS_SINKHORN_BENCH_SWEEP_ITERS", 3);
+    let opts32 = opts.clone().precision(scis_tensor::Precision::F32);
+    let sweep_f64_s = time(sweep_iters, || sinkhorn_uniform(&cost0, &opts));
+    let sweep_f32_s = time(sweep_iters, || sinkhorn_uniform(&cost0, &opts32));
+    let r32 = sinkhorn_uniform(&cost0, &opts32);
+    let sweep_plan_diff = r0
+        .plan
+        .as_slice()
+        .iter()
+        .zip(r32.plan.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    let sweep_speedup = sweep_f64_s / sweep_f32_s.max(1e-12);
+    println!(
+        "sweep_f32/{batch}: f64 {sweep_f64_s:.6}s, f32 {sweep_f32_s:.6}s \
+         ({sweep_speedup:.2}x), plan max|Δ| {sweep_plan_diff:.2e}"
+    );
+
     // ---- 2. cost kernel: loop vs decomposed GEMM -------------------------
     // Measured at a wide feature count (its target regime): the GEMM's
     // multi-accumulator inner product beats the subtract-square loop when
@@ -229,6 +252,8 @@ fn main() {
          \"features\": {d},\n    \"epochs\": {epochs},\n    \"batch_size\": {batch}\n  }},\n  \
          \"solver\": {{\n    \"cold_iterations\": {},\n    \"warm_iterations\": {},\n    \
          \"plan_max_abs_diff\": {plan_diff:e}\n  }},\n  \
+         \"sweep_f32\": {{\n    \"f64_s\": {sweep_f64_s:.6},\n    \"f32_s\": {sweep_f32_s:.6},\n    \
+         \"speedup\": {sweep_speedup:.3},\n    \"plan_max_abs_diff\": {sweep_plan_diff:e}\n  }},\n  \
          \"cost_kernel\": {{\n    \"rows\": {kn},\n    \"features\": {kd},\n    \
          \"loop_s\": {loop_s:.6},\n    \"gemm_s\": {gemm_s:.6},\n    \
          \"speedup\": {kernel_speedup:.3},\n    \"max_abs_diff\": {cost_diff:e}\n  }},\n  \

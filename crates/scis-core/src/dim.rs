@@ -26,7 +26,7 @@ use scis_nn::loss::weighted_mse;
 use scis_nn::{Activation, Adam, Mlp, Mode, Optimizer};
 use scis_ot::grad::{cross_ot_grad, self_ot_grad};
 use scis_ot::{
-    masked_sq_cost_decomposed, masked_sq_cost_with, ms_loss_grad_accel, ms_loss_grad_tracked,
+    masked_sq_cost_decomposed_p, masked_sq_cost_with, ms_loss_grad_accel, ms_loss_grad_tracked,
     sinkhorn_uniform, sliced_w2_loss_grad, AccelContext, DualCache, MaskedRows, SinkhornOptions,
     SlicedOptions, SolveStats,
 };
@@ -72,21 +72,46 @@ pub struct AccelConfig {
     pub decomposed_cost: bool,
     /// Anneal cold solves (first epoch, post-rollback) through ε-scaling.
     pub eps_scale_cold: bool,
+    /// Run the compute hot loops (GEMM, Sinkhorn sweeps) with `f32` operand
+    /// storage, `f64` accumulation, and the polynomial `fast_exp` — see
+    /// `scis_tensor::Precision::F32`. Results differ from the default path
+    /// by input rounding only, and stay bit-identical across thread counts
+    /// for a fixed configuration.
+    pub f32_compute: bool,
 }
 
 impl AccelConfig {
-    /// Everything on — the configuration the bench suite measures.
+    /// Everything except `f32_compute` on — the full-precision accelerated
+    /// configuration the bench suite has historically measured.
     pub fn all() -> Self {
         Self {
             warm_start: true,
             decomposed_cost: true,
             eps_scale_cold: true,
+            f32_compute: false,
+        }
+    }
+
+    /// Everything on, including the `f32` compute mode.
+    pub fn all_f32() -> Self {
+        Self {
+            f32_compute: true,
+            ..Self::all()
         }
     }
 
     /// Whether any acceleration is active (off → the historical hot path).
     pub fn any(&self) -> bool {
-        self.warm_start || self.decomposed_cost || self.eps_scale_cold
+        self.warm_start || self.decomposed_cost || self.eps_scale_cold || self.f32_compute
+    }
+
+    /// Compute precision implied by the flags.
+    pub fn precision(&self) -> scis_tensor::Precision {
+        if self.f32_compute {
+            scis_tensor::Precision::F32
+        } else {
+            scis_tensor::Precision::F64
+        }
     }
 
     /// Fluent setter for [`AccelConfig::warm_start`].
@@ -104,6 +129,12 @@ impl AccelConfig {
     /// Fluent setter for [`AccelConfig::eps_scale_cold`].
     pub fn eps_scale_cold(mut self, on: bool) -> Self {
         self.eps_scale_cold = on;
+        self
+    }
+
+    /// Fluent setter for [`AccelConfig::f32_compute`].
+    pub fn f32_compute(mut self, on: bool) -> Self {
+        self.f32_compute = on;
         self
     }
 }
@@ -215,6 +246,7 @@ impl DimConfig {
             tol: 1e-8,
             exec: self.exec,
             deadline: scis_tensor::RunDeadline::none(),
+            precision: self.accel.precision(),
         }
     }
 
@@ -540,6 +572,7 @@ pub fn train_dim_resumable(
         imp.init_networks(d, rng);
     }
     imp.generator_mut().set_exec(cfg.exec);
+    imp.generator_mut().set_precision(cfg.accel.precision());
     let n = ds.n_samples();
     let x = ds.values_filled(0.0);
     let mask = ds.dense_mask();
@@ -547,6 +580,7 @@ pub fn train_dim_resumable(
     let mut critic = cfg.critic.as_ref().map(|c| {
         let mut critic = Critic::new(2 * d, c, rng);
         critic.net.set_exec(cfg.exec);
+        critic.net.set_precision(cfg.accel.precision());
         critic
     });
     let bs = cfg.train.batch_size.min(n).max(2);
@@ -660,7 +694,12 @@ pub fn train_dim_resumable(
                     let cost = match &data_batch {
                         Some(db) => {
                             let gen_side = MaskedRows::new(&xbar, &mb);
-                            masked_sq_cost_decomposed(&gen_side, db, cfg.exec)
+                            masked_sq_cost_decomposed_p(
+                                &gen_side,
+                                db,
+                                cfg.exec,
+                                cfg.accel.precision(),
+                            )
                         }
                         None => masked_sq_cost_with(&xbar, &mb, &xb, &mb, cfg.exec),
                     };

@@ -471,6 +471,7 @@ impl Scis {
                 tol: 1e-8,
                 exec: self.config.dim.exec,
                 deadline: self.deadline.clone(),
+                precision: self.config.dim.accel.precision(),
             };
             let batch = self.config.dim.train.batch_size;
             // read-only reuse of the initial-phase duals: the Fisher probe

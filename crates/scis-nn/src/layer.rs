@@ -4,8 +4,8 @@
 //! the calling convention is strict: one `backward` per `forward`, in reverse
 //! order — exactly what [`crate::mlp::Mlp`] enforces.
 
-use scis_tensor::par::{matmul_at_exec, matmul_bt_exec, matmul_exec};
-use scis_tensor::{ExecPolicy, Matrix, Rng64};
+use scis_tensor::par::{matmul_at_exec_p, matmul_bt_exec_p, matmul_exec_p};
+use scis_tensor::{ExecPolicy, Matrix, Precision, Rng64};
 
 /// Forward-pass mode: training enables dropout, evaluation disables it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +45,12 @@ pub trait Layer: Send {
     /// without heavy kernels ignore this; the default is a no-op.
     fn set_exec(&mut self, _policy: ExecPolicy) {}
 
+    /// Sets the compute precision of this layer's kernels. The default
+    /// [`Precision::F64`] is the bit-stable path; [`Precision::F32`] is the
+    /// opt-in accelerated mode (f32 operand storage, f64 accumulation).
+    /// Layers without GEMM kernels ignore this; the default is a no-op.
+    fn set_precision(&mut self, _precision: Precision) {}
+
     /// Deep-copies the layer behind a fresh box (used to clone whole
     /// networks for the parallel SSE Monte-Carlo fan-out).
     fn clone_box(&self) -> Box<dyn Layer>;
@@ -59,6 +65,7 @@ pub struct Dense {
     grad_b: Vec<f64>,
     cached_input: Option<Matrix>,
     exec: ExecPolicy,
+    precision: Precision,
 }
 
 impl Dense {
@@ -72,6 +79,7 @@ impl Dense {
             grad_b: vec![0.0; out_dim],
             cached_input: None,
             exec: ExecPolicy::default(),
+            precision: Precision::default(),
         }
     }
 
@@ -101,7 +109,7 @@ impl Layer for Dense {
             self.weight.rows()
         );
         self.cached_input = Some(x.clone());
-        matmul_exec(x, &self.weight, self.exec).add_row_broadcast(&self.bias)
+        matmul_exec_p(x, &self.weight, self.exec, self.precision).add_row_broadcast(&self.bias)
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -110,12 +118,12 @@ impl Layer for Dense {
             .as_ref()
             .expect("Dense::backward called before forward");
         // dW += xᵀ · grad_out ; db += column sums ; dx = grad_out · Wᵀ
-        let gw = matmul_at_exec(x, grad_out, self.exec);
+        let gw = matmul_at_exec_p(x, grad_out, self.exec, self.precision);
         self.grad_w.axpy(1.0, &gw);
         for (b, s) in self.grad_b.iter_mut().zip(grad_out.col_sums()) {
             *b += s;
         }
-        matmul_bt_exec(grad_out, &self.weight, self.exec)
+        matmul_bt_exec_p(grad_out, &self.weight, self.exec, self.precision)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
@@ -139,6 +147,10 @@ impl Layer for Dense {
 
     fn set_exec(&mut self, policy: ExecPolicy) {
         self.exec = policy;
+    }
+
+    fn set_precision(&mut self, precision: Precision) {
+        self.precision = precision;
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -127,6 +127,17 @@ impl Mlp {
         }
     }
 
+    /// Propagates a compute precision to every layer. The default
+    /// [`scis_tensor::Precision::F64`] is the bit-stable path;
+    /// [`scis_tensor::Precision::F32`] is the opt-in accelerated mode
+    /// (f32 operand storage, f64 accumulation — results stay bit-identical
+    /// across thread counts *within* the mode).
+    pub fn set_precision(&mut self, precision: scis_tensor::Precision) {
+        for layer in &mut self.layers {
+            layer.set_precision(precision);
+        }
+    }
+
     /// Read-only counterpart of [`Mlp::visit_params`]: visits parameter
     /// slices in the same stable order without requiring `&mut self`.
     pub fn visit_params_ref(&self, f: &mut dyn FnMut(&[f64])) {

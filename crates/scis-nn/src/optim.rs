@@ -139,6 +139,18 @@ pub struct AdamState {
     pub v: Vec<f64>,
 }
 
+/// One Adam parameter update. Factored out so the four-wide unrolled strip
+/// in [`Adam::step`] and its scalar tail share the exact same arithmetic —
+/// the unroll only interleaves *independent* per-parameter chains, so it is
+/// bit-identical to the historical scalar loop.
+#[inline(always)]
+fn adam_update(pv: &mut f64, gv: f64, m: &mut f64, v: &mut f64, cfg: (f64, f64, f64, f64)) {
+    let (b1, b2, lr_t, eps) = cfg;
+    *m = b1 * *m + (1.0 - b1) * gv;
+    *v = b2 * *v + (1.0 - b2) * gv * gv;
+    *pv -= lr_t * *m / (v.sqrt() + eps);
+}
+
 impl Optimizer for Adam {
     fn step(&mut self, net: &mut Mlp) {
         let n = net.num_params();
@@ -150,17 +162,38 @@ impl Optimizer for Adam {
         self.t += 1;
         let lr_t = self.lr * (1.0 - self.beta2.powi(self.t as i32)).sqrt()
             / (1.0 - self.beta1.powi(self.t as i32));
-        let (b1, b2, eps) = (self.beta1, self.beta2, self.eps);
+        let cfg = (self.beta1, self.beta2, lr_t, self.eps);
         let mut offset = 0;
         let (m, v) = (&mut self.m, &mut self.v);
         net.visit_params(&mut |p, g| {
-            for (k, (pv, gv)) in p.iter_mut().zip(g.iter()).enumerate() {
-                let i = offset + k;
-                m[i] = b1 * m[i] + (1.0 - b1) * gv;
-                v[i] = b2 * v[i] + (1.0 - b2) * gv * gv;
-                *pv -= lr_t * m[i] / (v[i].sqrt() + eps);
-            }
+            let ms = &mut m[offset..offset + p.len()];
+            let vs = &mut v[offset..offset + p.len()];
             offset += p.len();
+            // four independent moment/parameter chains in flight per strip
+            let mut pc = p.chunks_exact_mut(4);
+            let mut gc = g.chunks_exact(4);
+            let mut mc = ms.chunks_exact_mut(4);
+            let mut vc = vs.chunks_exact_mut(4);
+            for (((p4, g4), m4), v4) in pc
+                .by_ref()
+                .zip(gc.by_ref())
+                .zip(mc.by_ref())
+                .zip(vc.by_ref())
+            {
+                adam_update(&mut p4[0], g4[0], &mut m4[0], &mut v4[0], cfg);
+                adam_update(&mut p4[1], g4[1], &mut m4[1], &mut v4[1], cfg);
+                adam_update(&mut p4[2], g4[2], &mut m4[2], &mut v4[2], cfg);
+                adam_update(&mut p4[3], g4[3], &mut m4[3], &mut v4[3], cfg);
+            }
+            for (((pv, &gv), mv), vv) in pc
+                .into_remainder()
+                .iter_mut()
+                .zip(gc.remainder())
+                .zip(mc.into_remainder())
+                .zip(vc.into_remainder())
+            {
+                adam_update(pv, gv, mv, vv, cfg);
+            }
         });
     }
 

@@ -1,7 +1,8 @@
 //! Masked squared-Euclidean cost matrices (paper Definition 2).
 
 use scis_tensor::linalg::{row_sq_norms, sq_dists_from_gram};
-use scis_tensor::par::{matmul_bt_exec, pairwise_sq_dists_exec};
+use scis_tensor::par::{matmul_bt_exec_p, pairwise_sq_dists_exec};
+use scis_tensor::Precision;
 use scis_tensor::{ExecPolicy, Matrix};
 
 /// Builds the masking cost matrix between two row sets:
@@ -93,12 +94,24 @@ impl MaskedRows {
 /// accelerated path is opt-in (`AccelConfig::decomposed_cost`). Within a
 /// fixed kernel choice, results are still bit-identical across thread counts.
 pub fn masked_sq_cost_decomposed(a: &MaskedRows, b: &MaskedRows, exec: ExecPolicy) -> Matrix {
+    masked_sq_cost_decomposed_p(a, b, exec, Precision::F64)
+}
+
+/// Precision-aware [`masked_sq_cost_decomposed`]: under [`Precision::F32`]
+/// the Gram-matrix GEMM stores its operands as `f32` (accumulating `f64`);
+/// the norm broadcast and clamp stay full precision.
+pub fn masked_sq_cost_decomposed_p(
+    a: &MaskedRows,
+    b: &MaskedRows,
+    exec: ExecPolicy,
+    precision: Precision,
+) -> Matrix {
     assert_eq!(
         a.rows.cols(),
         b.rows.cols(),
         "masked_sq_cost_decomposed: feature dim mismatch"
     );
-    let gram = matmul_bt_exec(&a.rows, &b.rows, exec);
+    let gram = matmul_bt_exec_p(&a.rows, &b.rows, exec, precision);
     sq_dists_from_gram(&gram, &a.sq_norms, &b.sq_norms)
 }
 

@@ -17,7 +17,7 @@
 
 use crate::cache::{DualCache, SolveKind};
 use crate::cost::{
-    masked_self_cost_with, masked_sq_cost_decomposed, masked_sq_cost_with, MaskedRows,
+    masked_self_cost_with, masked_sq_cost_decomposed_p, masked_sq_cost_with, MaskedRows,
 };
 use crate::sinkhorn::{
     sinkhorn_uniform, try_sinkhorn_uniform_eps_scaling, try_sinkhorn_uniform_escalated,
@@ -261,10 +261,11 @@ pub fn ms_loss_grad_accel(
             }
         };
         (
-            cross_cost
-                .unwrap_or_else(|| masked_sq_cost_decomposed(&gen_side, data_side, opts.exec)),
-            masked_sq_cost_decomposed(&gen_side, &gen_side, opts.exec),
-            masked_sq_cost_decomposed(data_side, data_side, opts.exec),
+            cross_cost.unwrap_or_else(|| {
+                masked_sq_cost_decomposed_p(&gen_side, data_side, opts.exec, opts.precision)
+            }),
+            masked_sq_cost_decomposed_p(&gen_side, &gen_side, opts.exec, opts.precision),
+            masked_sq_cost_decomposed_p(data_side, data_side, opts.exec, opts.precision),
         )
     } else {
         (

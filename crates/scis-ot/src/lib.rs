@@ -25,7 +25,7 @@ pub mod sliced;
 pub use cache::{CacheStats, DualCache, SolveKind};
 pub use cost::{
     masked_self_cost, masked_self_cost_with, masked_sq_cost, masked_sq_cost_decomposed,
-    masked_sq_cost_with, MaskedRows,
+    masked_sq_cost_decomposed_p, masked_sq_cost_with, MaskedRows,
 };
 pub use divergence::{ms_divergence, ms_loss, MsDivergenceValue};
 pub use grad::{

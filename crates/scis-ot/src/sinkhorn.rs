@@ -12,8 +12,10 @@
 //! paper uses on [0,1]-normalized data *and* tiny λ where the kernel
 //! `exp(−C/λ)` would underflow in the primal domain.
 
-use scis_tensor::exec::for_each_row;
-use scis_tensor::{ExecPolicy, Matrix, RunDeadline};
+use scis_tensor::exec::{for_each_row, for_row_spans};
+use scis_tensor::fastmath::{fast_exp, fast_exp_shifted};
+use scis_tensor::ops::to_f32_vec;
+use scis_tensor::{ExecPolicy, Matrix, Precision, RunDeadline};
 
 /// Minimum number of cost-matrix cells (`n · m`) before the per-iteration
 /// sweeps go parallel: below this, thread-spawn overhead dominates, and DIM's
@@ -38,6 +40,15 @@ pub struct SinkhornOptions {
     /// deadline stops the solve early (reported as unconverged); the default
     /// token never expires.
     pub deadline: RunDeadline,
+    /// Compute precision of the per-iteration sweeps. The default
+    /// [`Precision::F64`] is the bit-stable reference path. Under
+    /// [`Precision::F32`] the cost matrix is stored as `f32`, `C/λ` becomes
+    /// a multiply by `1/λ`, and the sweep exponentials use the polynomial
+    /// [`fast_exp`] — accumulators and potentials stay `f64`, the final plan
+    /// is always materialized from the full-precision cost with libm `exp`,
+    /// and results remain bit-identical across thread counts *within* the
+    /// mode. Opt-in via `AccelConfig::f32_compute` upstream.
+    pub precision: Precision,
 }
 
 impl Default for SinkhornOptions {
@@ -48,6 +59,7 @@ impl Default for SinkhornOptions {
             tol: 1e-9,
             exec: ExecPolicy::default(),
             deadline: RunDeadline::none(),
+            precision: Precision::default(),
         }
     }
 }
@@ -88,6 +100,12 @@ impl SinkhornOptions {
     /// Fluent setter for [`SinkhornOptions::deadline`].
     pub fn deadline(mut self, deadline: RunDeadline) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Fluent setter for [`SinkhornOptions::precision`].
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -255,14 +273,77 @@ fn validate_inputs(
     Ok(())
 }
 
-/// Numerically stable `log Σ exp(v_k + w_k)`.
+/// Numerically stable `log Σ exp(t_j)` over a materialized term buffer.
+///
+/// The sequential ascending max fold and the ascending `exp` sum reproduce,
+/// bit for bit, the historical two-pass iterator formulation — the buffer
+/// only avoids evaluating each term's arithmetic twice. The max fold stays
+/// strictly sequential on purpose: `f64::max` is not associative around
+/// signed zeros, so a multi-lane max could change which representative wins.
 #[inline]
-fn log_sum_exp(terms: impl Iterator<Item = f64> + Clone) -> f64 {
-    let max = terms.clone().fold(f64::NEG_INFINITY, f64::max);
+fn lse_terms(terms: &[f64]) -> f64 {
+    let mut max = f64::NEG_INFINITY;
+    for &t in terms {
+        max = f64::max(max, t);
+    }
     if max == f64::NEG_INFINITY {
         return f64::NEG_INFINITY;
     }
-    let sum: f64 = terms.map(|t| (t - max).exp()).sum();
+    let mut sum = 0.0;
+    for &t in terms {
+        sum += (t - max).exp();
+    }
+    max + sum.ln()
+}
+
+/// [`lse_terms`] with the polynomial [`fast_exp`] — accelerated-mode only.
+///
+/// Three departures from the reference, all legal in accelerated mode
+/// (each row is still produced by exactly one worker with a fixed
+/// reduction structure, so results stay bit-identical across thread
+/// counts *within* the mode):
+///
+/// * the max fold runs over four independent lanes, breaking the
+///   one-`maxsd`-latency-per-element chain;
+/// * exponentiation ([`fast_exp_shifted`]) runs as its own in-place pass
+///   so the polynomial pipelines/vectorizes across the row instead of
+///   serializing on the sum accumulator (the buffer is consumed);
+/// * the `exp` sum uses the same four-accumulator shape as `ops::dot`.
+#[inline]
+fn lse_terms_fast(terms: &mut [f64]) -> f64 {
+    let (mut m0, mut m1, mut m2, mut m3) = (
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+    );
+    let mut chunks = terms.chunks_exact(4);
+    for ch in &mut chunks {
+        m0 = f64::max(m0, ch[0]);
+        m1 = f64::max(m1, ch[1]);
+        m2 = f64::max(m2, ch[2]);
+        m3 = f64::max(m3, ch[3]);
+    }
+    for &t in chunks.remainder() {
+        m0 = f64::max(m0, t);
+    }
+    let max = f64::max(f64::max(m0, m1), f64::max(m2, m3));
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    fast_exp_shifted(terms, max);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let mut chunks = terms.chunks_exact(4);
+    for ch in &mut chunks {
+        s0 += ch[0];
+        s1 += ch[1];
+        s2 += ch[2];
+        s3 += ch[3];
+    }
+    for &t in chunks.remainder() {
+        s0 += t;
+    }
+    let sum = (s0 + s1) + (s2 + s3);
     max + sum.ln()
 }
 
@@ -346,9 +427,113 @@ fn sinkhorn_impl(
     };
     let mut row_violation = vec![0.0; n];
 
-    // cost transposed view avoided: we walk columns through strided access,
-    // fine for the batch sizes (≤ a few hundred) Sinkhorn sees per step.
-    for it in 0..opts.max_iters {
+    // A transposed copy of the cost lets the g-sweep walk contiguous rows
+    // instead of strided columns. The values and their iteration order are
+    // unchanged, so the default path does not move a bit; the one-time
+    // `n·m` copy is amortized over every sweep of every iteration.
+    let cost_t = cost.transpose();
+    // Accelerated mode: `f32` cost storage (halved sweep bandwidth), the
+    // division by λ folded into a reciprocal multiply, and `fast_exp` in
+    // the sweeps. Potentials and accumulators stay `f64`, and the final
+    // plan below is always materialized from the full-precision cost.
+    let f32_mode = opts.precision.is_f32();
+    let (cost32, cost_t32) = if f32_mode {
+        (to_f32_vec(cost), to_f32_vec(&cost_t))
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let inv_lam = 1.0 / lam;
+
+    if f32_mode && opts.max_iters > 0 {
+        // ---- accelerated iteration loop (within-mode deterministic) ----
+        // (An explicit zero-iteration budget skips the loop entirely so the
+        // warm-started potentials pass through untouched, like the default.)
+        //
+        // Two reassociations make this loop cheaper than the reference, both
+        // legal in accelerated mode (only cross-thread bit-identity within
+        // the mode is required, and every worker reads the same per-sweep
+        // buffers):
+        //
+        // 1. The affine part of each logit is hoisted out of the n·m cell
+        //    loop: `g_pre[j] = log b_j + g_j·invλ` is computed once per
+        //    f-sweep, so the inner loop is one fused multiply-subtract per
+        //    cell (`g_pre[j] − C_ij·invλ`). Same for the g-sweep.
+        // 2. The dedicated marginal-violation sweep — a third of all sweep
+        //    work — disappears. Right after an f-sweep against duals `g`,
+        //    the implied row sum of the previous iterate collapses to
+        //    `Σ_j P_ij = exp(log a_i + (f_i_old − f_i_new)·invλ)` because the
+        //    sweep's LSE value *is* `−f_i_new/λ`. So each f-sweep doubles as
+        //    the convergence check of the iterate the previous pass produced,
+        //    at the cost of one O(n) pass. A trailing f-sweep performs the
+        //    final check once the (f,g)-update budget is spent.
+        let mut g_pre = vec![0.0; m];
+        let mut f_pre = vec![0.0; n];
+        let mut f_prev = vec![0.0; n];
+        let mut it = 0;
+        loop {
+            // Cooperative cancellation: stop at a sweep boundary, leaving the
+            // potentials from the completed sweeps (reported unconverged).
+            if opts.deadline.expired() {
+                break;
+            }
+            // f_i ← −λ LSE_j [ g_pre_j − C_ij·invλ ]
+            for (p, (&lb, &gj)) in g_pre.iter_mut().zip(log_b.iter().zip(&g)) {
+                *p = lb + gj * inv_lam;
+            }
+            f_prev.copy_from_slice(&f);
+            {
+                let g_pre = &g_pre;
+                for_row_spans(&mut f, 1, threads, |r0, span| {
+                    let mut terms = vec![0.0; m];
+                    for (di, fi) in span.iter_mut().enumerate() {
+                        let row = &cost32[(r0 + di) * m..(r0 + di) * m + m];
+                        for ((t, &p), &c) in terms.iter_mut().zip(g_pre).zip(row) {
+                            *t = p - c as f64 * inv_lam;
+                        }
+                        *fi = -lam * lse_terms_fast(&mut terms);
+                    }
+                });
+            }
+            if it > 0 {
+                // Fused check of the iterate completed by the previous pass.
+                let mut violation = 0.0;
+                for i in 0..n {
+                    let row_sum = fast_exp(log_a[i] + (f_prev[i] - f[i]) * inv_lam);
+                    violation += (row_sum - a[i]).abs();
+                }
+                if violation < opts.tol {
+                    converged = true;
+                    iterations = it;
+                    break;
+                }
+            }
+            if it == opts.max_iters {
+                break;
+            }
+            iterations = it + 1;
+            // g_j ← −λ LSE_i [ f_pre_i − C_ij·invλ ]
+            for (p, (&la, &fi)) in f_pre.iter_mut().zip(log_a.iter().zip(&f)) {
+                *p = la + fi * inv_lam;
+            }
+            {
+                let f_pre = &f_pre;
+                for_row_spans(&mut g, 1, threads, |c0, span| {
+                    let mut terms = vec![0.0; n];
+                    for (dj, gj) in span.iter_mut().enumerate() {
+                        let col = &cost_t32[(c0 + dj) * n..(c0 + dj) * n + n];
+                        for ((t, &p), &c) in terms.iter_mut().zip(f_pre).zip(col) {
+                            *t = p - c as f64 * inv_lam;
+                        }
+                        *gj = -lam * lse_terms_fast(&mut terms);
+                    }
+                });
+            }
+            it += 1;
+        }
+    }
+
+    let default_iters = if f32_mode { 0 } else { opts.max_iters };
+    for it in 0..default_iters {
         // Cooperative cancellation: stop at a sweep boundary, leaving the
         // potentials from the completed sweeps (reported unconverged).
         if opts.deadline.expired() {
@@ -356,20 +541,33 @@ fn sinkhorn_impl(
         }
         iterations = it + 1;
         // f_i ← −λ LSE_j [ log b_j + (g_j − C_ij)/λ ]
+        // Span iteration gives each worker one term buffer for its whole
+        // block of rows rather than an allocation per row.
         {
             let g = &g;
-            for_each_row(&mut f, 1, threads, |i, fi| {
-                let row = cost.row(i);
-                let lse = log_sum_exp((0..m).map(|j| log_b[j] + (g[j] - row[j]) / lam));
-                fi[0] = -lam * lse;
+            for_row_spans(&mut f, 1, threads, |r0, span| {
+                let mut terms = vec![0.0; m];
+                for (di, fi) in span.iter_mut().enumerate() {
+                    let row = cost.row(r0 + di);
+                    for j in 0..m {
+                        terms[j] = log_b[j] + (g[j] - row[j]) / lam;
+                    }
+                    *fi = -lam * lse_terms(&terms);
+                }
             });
         }
         // g_j ← −λ LSE_i [ log a_i + (f_i − C_ij)/λ ]
         {
             let f = &f;
-            for_each_row(&mut g, 1, threads, |j, gj| {
-                let lse = log_sum_exp((0..n).map(|i| log_a[i] + (f[i] - cost[(i, j)]) / lam));
-                gj[0] = -lam * lse;
+            for_row_spans(&mut g, 1, threads, |c0, span| {
+                let mut terms = vec![0.0; n];
+                for (dj, gj) in span.iter_mut().enumerate() {
+                    let col = cost_t.row(c0 + dj);
+                    for i in 0..n {
+                        terms[i] = log_a[i] + (f[i] - col[i]) / lam;
+                    }
+                    *gj = -lam * lse_terms(&terms);
+                }
             });
         }
         // After a g-update, column marginals are exact; check row marginals.
@@ -377,13 +575,16 @@ fn sinkhorn_impl(
         // reduction matches the serial accumulation bit for bit.
         {
             let (f, g) = (&f, &g);
-            for_each_row(&mut row_violation, 1, threads, |i, slot| {
-                let row = cost.row(i);
-                let mut row_sum = 0.0;
-                for j in 0..m {
-                    row_sum += (log_a[i] + log_b[j] + (f[i] + g[j] - row[j]) / lam).exp();
+            for_row_spans(&mut row_violation, 1, threads, |r0, span| {
+                for (di, slot) in span.iter_mut().enumerate() {
+                    let i = r0 + di;
+                    let mut row_sum = 0.0;
+                    let row = cost.row(i);
+                    for j in 0..m {
+                        row_sum += (log_a[i] + log_b[j] + (f[i] + g[j] - row[j]) / lam).exp();
+                    }
+                    *slot = (row_sum - a[i]).abs();
                 }
-                slot[0] = (row_sum - a[i]).abs();
             });
         }
         let violation: f64 = row_violation.iter().sum();
@@ -580,6 +781,7 @@ fn eps_scaling_impl(
             },
             exec: opts.exec,
             deadline: opts.deadline.clone(),
+            precision: opts.precision,
         };
         let r = sinkhorn_impl(cost, a, b, f, g, &stage_opts);
         f = r.f.clone();

@@ -17,7 +17,7 @@
 //! scis-bundle v1
 //! columns <d>
 //! col <kind> <min_hex> <span_hex> <mean_hex> <name>   × d
-//! accel <warm_start> <decomposed_cost> <eps_scale_cold>
+//! accel <warm_start> <decomposed_cost> <eps_scale_cold> <f32_compute>
 //! generator <n_lines>
 //! <embedded scis-mlp v2 text>
 //! checksum <fnv1a64 of everything above, hex>
@@ -226,10 +226,11 @@ impl ModelBundle {
         }
         let _ = writeln!(
             body,
-            "accel {} {} {}",
+            "accel {} {} {} {}",
             self.accel.warm_start as u8,
             self.accel.decomposed_cost as u8,
-            self.accel.eps_scale_cold as u8
+            self.accel.eps_scale_cold as u8,
+            self.accel.f32_compute as u8
         );
         let generator = mlp_to_string(&self.generator, &self.spec);
         let _ = writeln!(body, "generator {}", generator.lines().count());
@@ -349,14 +350,26 @@ impl ModelBundle {
                 Some(&"1") => Ok(true),
                 _ => Err(BundleError::Format {
                     line: la,
-                    message: "expected `accel <0|1> <0|1> <0|1>`".into(),
+                    message: "expected `accel <0|1> <0|1> <0|1> [<0|1>]`".into(),
                 }),
             }
         };
+        // 3 fields = legacy bundles from before the f32 compute mode
+        if accel_fields.len() != 3 && accel_fields.len() != 4 {
+            return Err(BundleError::Format {
+                line: la,
+                message: "expected `accel <0|1> <0|1> <0|1> [<0|1>]`".into(),
+            });
+        }
         let accel = AccelConfig::default()
             .warm_start(flag(0)?)
             .decomposed_cost(flag(1)?)
-            .eps_scale_cold(flag(2)?);
+            .eps_scale_cold(flag(2)?)
+            .f32_compute(if accel_fields.len() == 4 {
+                flag(3)?
+            } else {
+                false
+            });
 
         let (lg, gen_line) = next("generator <n>")?;
         let n_gen_lines: usize = gen_line

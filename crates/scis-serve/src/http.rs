@@ -74,7 +74,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
     let path = target.split('?').next().unwrap_or(target).to_string();
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
         let mut header = String::new();
         let n = reader.read_line(&mut header)?;
@@ -87,13 +87,28 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
+                let v = value.trim();
+                // Strict canonical decimal only. `usize::from_str` would
+                // accept a leading `+` ("+4"), and lenient parses of forms
+                // like "1e3" or "0x10" are classic request-smuggling fodder
+                // when a proxy and this server disagree on the body length.
+                if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(HttpError::Malformed("bad content-length".into()));
+                }
+                let parsed: usize = v
                     .parse()
-                    .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+                    .map_err(|_| HttpError::Malformed("content-length overflow".into()))?;
+                // duplicate headers must agree, else the framing is ambiguous
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    return Err(HttpError::Malformed(
+                        "conflicting content-length headers".into(),
+                    ));
+                }
+                content_length = Some(parsed);
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(HttpError::BodyTooLarge {
             declared: content_length,
@@ -192,5 +207,36 @@ mod tests {
             roundtrip("NONSENSE\r\n\r\n", 16),
             Err(HttpError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn rejects_non_canonical_content_length() {
+        // regression: `usize::from_str` accepts a leading `+`, so "+4" used
+        // to slip through and desynchronize the framing vs. any proxy that
+        // rejects it; same for hex/exponent spellings and the empty value
+        for bad in ["+4", "-4", " ", "", "1e3", "0x10", "4 bytes", "4,0"] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\nbody", bad);
+            assert!(
+                matches!(roundtrip(&raw, 1024), Err(HttpError::Malformed(_))),
+                "Content-Length {:?} must be rejected",
+                bad
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_overflowing_content_length() {
+        // all-digits but larger than usize::MAX: overflow, not panic/wrap
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n";
+        assert!(matches!(roundtrip(raw, 1024), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nbody";
+        assert!(matches!(roundtrip(raw, 1024), Err(HttpError::Malformed(_))));
+        // agreeing duplicates keep unambiguous framing and stay accepted
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody";
+        assert_eq!(roundtrip(raw, 1024).unwrap().body, b"body");
     }
 }

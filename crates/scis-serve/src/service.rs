@@ -91,6 +91,8 @@ impl ImputeService {
     pub fn new(bundle: ModelBundle, exec: ExecPolicy, telemetry: Telemetry) -> Self {
         let mut generator = bundle.generator.clone();
         generator.set_exec(exec);
+        // honor the training-time compute mode recorded in the bundle
+        generator.set_precision(bundle.accel.precision());
         generator.set_telemetry(telemetry.clone());
         Self {
             columns: bundle.n_features(),

@@ -49,7 +49,7 @@ impl ExecPolicy {
         match self {
             ExecPolicy::Serial => 1,
             ExecPolicy::Threads(n) => n.max(1),
-            ExecPolicy::Auto => crate::par::default_threads(),
+            ExecPolicy::Auto => auto_threads(),
         }
     }
 
@@ -80,6 +80,38 @@ impl ExecPolicy {
                 )),
             },
         }
+    }
+}
+
+/// Worker count for [`ExecPolicy::Auto`]: the `SCIS_THREADS` environment
+/// variable if it is a **strictly valid** positive integer, otherwise
+/// [`std::thread::available_parallelism`] (and `1` as the last resort).
+///
+/// "Strictly valid" means ASCII digits only with a nonzero value. Degenerate
+/// spellings — `SCIS_THREADS=0`, an empty string, whitespace, a leading `+`,
+/// hex, negatives, or values that overflow `usize` — all resolve to the
+/// hardware fallback instead of poisoning worker partitioning with a
+/// zero-or-garbage count. The result is always ≥ 1.
+pub fn auto_threads() -> usize {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("SCIS_THREADS") {
+        Ok(raw) => {
+            let s = raw.trim();
+            // digits-only guard: `usize::parse` accepts a leading '+',
+            // which we reject so the accepted grammar stays canonical
+            if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+                return fallback();
+            }
+            match s.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => fallback(), // 0 or overflow
+            }
+        }
+        Err(_) => fallback(),
     }
 }
 
@@ -116,6 +148,39 @@ where
                     f(row0 + local_i, row);
                 }
             });
+        }
+    });
+}
+
+/// Runs `f(first_row, span)` over contiguous **spans of rows** of `data`,
+/// one span per worker. This is the partitioner the blocked GEMM wrappers
+/// use: a span-level kernel can tile across the rows it owns, and because
+/// every output element's accumulation chain is confined to its own row,
+/// *any* partition of rows into spans is bit-identical to the single-span
+/// (serial) call.
+///
+/// With `threads <= 1` the closure is invoked once as `f(0, data)` with no
+/// threads spawned.
+///
+/// # Panics
+/// Panics if `row_len` is zero or does not divide `data.len()`.
+pub fn for_row_spans<F>(data: &mut [f64], row_len: usize, threads: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(row_len > 0, "for_row_spans: row_len must be positive");
+    assert_eq!(data.len() % row_len, 0, "for_row_spans: ragged rows");
+    let rows = data.len() / row_len;
+    let threads = threads.max(1).min(rows.max(1));
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (block_idx, block) in data.chunks_mut(chunk * row_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(block_idx * chunk, block));
         }
     });
 }
@@ -172,5 +237,69 @@ mod tests {
     fn for_each_row_handles_empty_input() {
         let mut data: Vec<f64> = vec![];
         for_each_row(&mut data, 4, 8, |_, _| panic!("no rows to visit"));
+    }
+
+    #[test]
+    fn for_row_spans_matches_single_span_for_any_thread_count() {
+        let rows = 41;
+        let cols = 3;
+        let fill = |first_row: usize, span: &mut [f64]| {
+            for (local, row) in span.chunks_mut(cols).enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = ((first_row + local) * 17 + j) as f64 * 0.5 - 2.0;
+                }
+            }
+        };
+        let mut want = vec![0.0; rows * cols];
+        for_row_spans(&mut want, cols, 1, fill);
+        for threads in [2, 3, 5, 40, 200] {
+            let mut got = vec![0.0; rows * cols];
+            for_row_spans(&mut got, cols, threads, fill);
+            assert_eq!(got, want, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn for_row_spans_handles_empty_input() {
+        let mut data: Vec<f64> = vec![];
+        for_row_spans(&mut data, 4, 8, |first, span| {
+            assert_eq!((first, span.len()), (0, 0));
+        });
+    }
+
+    // All SCIS_THREADS manipulation lives in this one test: the variable is
+    // process-global, so spreading set/remove across tests would race under
+    // the parallel test runner.
+    #[test]
+    fn auto_threads_rejects_degenerate_scis_threads() {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for (raw, want) in [
+            ("3", Some(3)),
+            (" 6 ", Some(6)), // surrounding whitespace is trimmed
+            ("1", Some(1)),
+            ("0", None), // the historical zero-worker footgun
+            ("", None),
+            ("  ", None),
+            ("+4", None), // parse::<usize> would accept this; we do not
+            ("-2", None),
+            ("0x10", None),
+            ("1e3", None),
+            ("4 threads", None),
+            ("99999999999999999999999999", None), // usize overflow
+        ] {
+            std::env::set_var("SCIS_THREADS", raw);
+            let got = auto_threads();
+            match want {
+                Some(n) => assert_eq!(got, n, "SCIS_THREADS={raw:?}"),
+                None => assert_eq!(got, hw, "SCIS_THREADS={raw:?} must fall back"),
+            }
+            assert!(got >= 1, "SCIS_THREADS={raw:?} resolved to zero workers");
+            // the policy layer must agree with the raw resolver
+            assert_eq!(ExecPolicy::Auto.resolve(), got, "SCIS_THREADS={raw:?}");
+        }
+        std::env::remove_var("SCIS_THREADS");
+        assert_eq!(auto_threads(), hw);
     }
 }

@@ -13,8 +13,11 @@
 //! * [`ops`] — matrix multiplication kernels (naive + blocked) and
 //!   broadcast helpers.
 //! * [`exec`] — the [`ExecPolicy`] execution-policy type and the
-//!   deterministic row-block parallel helper.
+//!   deterministic row-block parallel helpers.
 //! * [`par`] — policy-aware scoped-thread kernels (bit-identical to serial).
+//! * [`fastmath`] — the opt-in compute [`Precision`] mode (`f32` storage,
+//!   `f64` accumulation) and the polynomial `fast_exp` used by the
+//!   accelerated Sinkhorn sweeps.
 //! * [`linalg`] — Cholesky factorization and ridge solvers used by the MICE
 //!   baseline and the SSE module.
 //! * [`rng`] — deterministic xoshiro256++ PRNG with Gaussian sampling.
@@ -23,6 +26,7 @@
 
 pub mod deadline;
 pub mod exec;
+pub mod fastmath;
 pub mod linalg;
 pub mod matrix;
 pub mod ops;
@@ -32,5 +36,6 @@ pub mod stats;
 
 pub use deadline::RunDeadline;
 pub use exec::ExecPolicy;
+pub use fastmath::Precision;
 pub use matrix::Matrix;
 pub use rng::{Rng64, RngState};

@@ -262,8 +262,24 @@ impl Matrix {
     }
 
     /// Elementwise (Hadamard) product — the paper's `⊙`.
+    ///
+    /// Unrolled four-wide like the GEMM kernels; elementwise ops have no
+    /// cross-element accumulation, so unrolling cannot change any bit.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
-        self.zip(other, |a, b| a * b)
+        self.assert_same_shape(other, "hadamard");
+        let mut out = self.clone();
+        let mut ac = out.data.chunks_exact_mut(4);
+        let mut bc = other.data.chunks_exact(4);
+        for (a4, b4) in ac.by_ref().zip(bc.by_ref()) {
+            a4[0] *= b4[0];
+            a4[1] *= b4[1];
+            a4[2] *= b4[2];
+            a4[3] *= b4[3];
+        }
+        for (a, &b) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
+            *a *= b;
+        }
+        out
     }
 
     /// Multiplies every element by `s`.
@@ -271,10 +287,20 @@ impl Matrix {
         self.map(|v| v * s)
     }
 
-    /// `self += alpha * other` (AXPY), in place.
+    /// `self += alpha * other` (AXPY), in place. Unrolled four-wide; each
+    /// element is an independent fused chain, so this is bit-identical to
+    /// the scalar loop.
     pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
         self.assert_same_shape(other, "axpy");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        let mut ac = self.data.chunks_exact_mut(4);
+        let mut bc = other.data.chunks_exact(4);
+        for (a4, b4) in ac.by_ref().zip(bc.by_ref()) {
+            a4[0] += alpha * b4[0];
+            a4[1] += alpha * b4[1];
+            a4[2] += alpha * b4[2];
+            a4[3] += alpha * b4[3];
+        }
+        for (a, &b) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
             *a += alpha * b;
         }
     }
@@ -348,12 +374,21 @@ impl Matrix {
         self.col_sums().into_iter().map(|s| s / n).collect()
     }
 
-    /// Adds `row` (length `cols`) to every row — broadcast add used for biases.
+    /// Adds `row` (length `cols`) to every row — broadcast add used for
+    /// biases. Four-wide unrolled per row (bit-identical: elementwise).
     pub fn add_row_broadcast(&self, row: &[f64]) -> Matrix {
         assert_eq!(row.len(), self.cols, "add_row_broadcast: length mismatch");
         let mut out = self.clone();
-        for r in out.data.chunks_exact_mut(self.cols) {
-            for (a, &b) in r.iter_mut().zip(row) {
+        for r in out.data.chunks_exact_mut(self.cols.max(1)) {
+            let mut ac = r.chunks_exact_mut(4);
+            let mut bc = row.chunks_exact(4);
+            for (a4, b4) in ac.by_ref().zip(bc.by_ref()) {
+                a4[0] += b4[0];
+                a4[1] += b4[1];
+                a4[2] += b4[2];
+                a4[3] += b4[3];
+            }
+            for (a, &b) in ac.into_remainder().iter_mut().zip(bc.remainder()) {
                 *a += b;
             }
         }

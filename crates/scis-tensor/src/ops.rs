@@ -2,14 +2,277 @@
 //!
 //! The hot loops of the reproduction are (a) GEMM inside the neural nets and
 //! (b) pairwise squared distances inside Sinkhorn cost matrices and kNN. Both
-//! live here. The GEMM uses the classic `ikj` loop order so the innermost
-//! loop streams both operands contiguously, which the compiler can
-//! auto-vectorize; a transposed-B variant covers the backward passes without
-//! materializing transposes.
+//! live here. The GEMM kernels are register-tiled: a 4×4 (or 1×4) block of
+//! the output is held in explicit scalar accumulators across the full inner
+//! dimension, so the CPU overlaps multiplies across independent chains and
+//! the compiler can keep the tile in vector registers.
+//!
+//! # Determinism rules (load-bearing — see DESIGN.md §16)
+//!
+//! Every output element is produced by **one accumulator chain in ascending
+//! inner-index order** (for [`matmul`]/[`matmul_at`]) or by the fixed 4-lane
+//! pattern of [`dot`] (for [`matmul_bt`]). Tiling only changes *which
+//! elements are in flight together*, never the order of adds within an
+//! element, so the blocked kernels are bit-identical to the naive reference
+//! loops ([`matmul_naive`] and friends) and to any row partition of
+//! themselves — which is what lets the parallel wrappers in [`crate::par`]
+//! promise bit-equality at every thread count.
+//!
+//! There is deliberately **no zero-skip** in any kernel: the historical
+//! `if av == 0.0 { continue; }` fast path silently dropped `0.0 × NaN` and
+//! `0.0 × inf` contributions, letting non-finite activations survive a
+//! backward pass undetected. Skipping a `±0.0 × finite` product is a bitwise
+//! no-op anyway (an accumulator seeded at `+0.0` can never become `-0.0`
+//! through adds), so removing the skip changed no finite result.
+//!
+//! The kernels are generic over the storage scalar: `f64` (default path) or
+//! `f32` (opt-in compute mode, operands rounded once and widened back per
+//! multiply — accumulators are always `f64`; see [`crate::fastmath`]).
 
 use crate::matrix::Matrix;
 
-/// `A · B` for `A: m x k`, `B: k x n`.
+/// Storage scalar of a GEMM operand: `f64` (default) or `f32` (accel mode).
+/// Accumulation is always `f64` via [`Scalar::w`].
+pub trait Scalar: Copy + Send + Sync {
+    /// Widens the stored value to the `f64` accumulator domain.
+    fn w(self) -> f64;
+}
+
+impl Scalar for f64 {
+    #[inline(always)]
+    fn w(self) -> f64 {
+        self
+    }
+}
+
+impl Scalar for f32 {
+    #[inline(always)]
+    fn w(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Rows per register tile.
+const MR: usize = 4;
+/// Columns per register tile.
+const NR: usize = 4;
+
+/// Rounds a matrix to `f32` storage for the opt-in compute mode.
+pub fn to_f32_vec(m: &Matrix) -> Vec<f32> {
+    m.as_slice().iter().map(|&v| v as f32).collect()
+}
+
+/// Writes rows `[r0, r0 + out.len()/n)` of `A · B` into `out` (`A: m×k`
+/// row-major in `a`, `B: k×n` row-major in `b`; `out` is pre-zeroed).
+///
+/// Each output element is one `f64` accumulator filled in ascending-`p`
+/// order, so any row partition of this kernel is bit-identical to the
+/// full-range call.
+pub(crate) fn gemm_nn_span<T: Scalar>(
+    a: &[T],
+    k: usize,
+    b: &[T],
+    n: usize,
+    r0: usize,
+    out: &mut [f64],
+) {
+    if n == 0 {
+        return;
+    }
+    let rs = out.len() / n;
+    let mut ib = 0;
+    // 4×4 register tiles: 16 accumulators per tile, full-k inner loop.
+    while ib + MR <= rs {
+        let a0 = &a[(r0 + ib) * k..][..k];
+        let a1 = &a[(r0 + ib + 1) * k..][..k];
+        let a2 = &a[(r0 + ib + 2) * k..][..k];
+        let a3 = &a[(r0 + ib + 3) * k..][..k];
+        let mut jb = 0;
+        while jb + NR <= n {
+            let mut c = [[0.0f64; NR]; MR];
+            for p in 0..k {
+                let bb = &b[p * n + jb..][..NR];
+                let (b0, b1, b2, b3) = (bb[0].w(), bb[1].w(), bb[2].w(), bb[3].w());
+                let av = [a0[p].w(), a1[p].w(), a2[p].w(), a3[p].w()];
+                for (ci, &ai) in c.iter_mut().zip(av.iter()) {
+                    ci[0] += ai * b0;
+                    ci[1] += ai * b1;
+                    ci[2] += ai * b2;
+                    ci[3] += ai * b3;
+                }
+            }
+            for (ii, ci) in c.iter().enumerate() {
+                out[(ib + ii) * n + jb..][..NR].copy_from_slice(ci);
+            }
+            jb += NR;
+        }
+        // column tail: 4 rows × 1 column, still ascending-p per element
+        for j in jb..n {
+            let mut c = [0.0f64; MR];
+            for p in 0..k {
+                let bv = b[p * n + j].w();
+                c[0] += a0[p].w() * bv;
+                c[1] += a1[p].w() * bv;
+                c[2] += a2[p].w() * bv;
+                c[3] += a3[p].w() * bv;
+            }
+            for (ii, &cv) in c.iter().enumerate() {
+                out[(ib + ii) * n + j] = cv;
+            }
+        }
+        ib += MR;
+    }
+    // row tail: classic ikj so the inner loop streams both operands
+    for i in ib..rs {
+        let arow = &a[(r0 + i) * k..][..k];
+        let orow = &mut out[i * n..][..n];
+        for (p, &apv) in arow.iter().enumerate() {
+            let av = apv.w();
+            let brow = &b[p * n..][..n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv.w();
+            }
+        }
+    }
+}
+
+/// Writes rows `[r0, r0 + out.len()/n)` of `A · Bᵀ` into `out` (`A: m×k`,
+/// `B: n×k`, both row-major; `out` pre-zeroed).
+///
+/// Every output element uses exactly the 4-lane + tail pattern of [`dot`],
+/// so the tiled kernel is bit-identical to calling `dot` per element.
+pub(crate) fn gemm_nt_span<T: Scalar>(
+    a: &[T],
+    k: usize,
+    b: &[T],
+    n: usize,
+    r0: usize,
+    out: &mut [f64],
+) {
+    if n == 0 {
+        return;
+    }
+    let rs = out.len() / n;
+    let kc = (k / 4) * 4;
+    for i in 0..rs {
+        let arow = &a[(r0 + i) * k..][..k];
+        let orow = &mut out[i * n..][..n];
+        let mut jb = 0;
+        // 1×4 tiles: four dot products share each strip of A-row loads.
+        while jb + NR <= n {
+            let b0 = &b[jb * k..][..k];
+            let b1 = &b[(jb + 1) * k..][..k];
+            let b2 = &b[(jb + 2) * k..][..k];
+            let b3 = &b[(jb + 3) * k..][..k];
+            let mut lanes = [[0.0f64; 4]; NR];
+            let mut p = 0;
+            while p < kc {
+                let aw = [
+                    arow[p].w(),
+                    arow[p + 1].w(),
+                    arow[p + 2].w(),
+                    arow[p + 3].w(),
+                ];
+                for (le, br) in lanes.iter_mut().zip([b0, b1, b2, b3]) {
+                    le[0] += aw[0] * br[p].w();
+                    le[1] += aw[1] * br[p + 1].w();
+                    le[2] += aw[2] * br[p + 2].w();
+                    le[3] += aw[3] * br[p + 3].w();
+                }
+                p += 4;
+            }
+            let mut tails = [0.0f64; NR];
+            for q in kc..k {
+                let aq = arow[q].w();
+                tails[0] += aq * b0[q].w();
+                tails[1] += aq * b1[q].w();
+                tails[2] += aq * b2[q].w();
+                tails[3] += aq * b3[q].w();
+            }
+            for (e, (le, &t)) in lanes.iter().zip(tails.iter()).enumerate() {
+                orow[jb + e] = (le[0] + le[1]) + (le[2] + le[3]) + t;
+            }
+            jb += NR;
+        }
+        for (j, o) in orow.iter_mut().enumerate().skip(jb) {
+            *o = dot_wide(arow, &b[j * k..][..k]);
+        }
+    }
+}
+
+/// Writes rows `[r0, r0 + out.len()/n)` of `Aᵀ · B` into `out` (`A: k×m`,
+/// `B: k×n`, both row-major; output is `m×n`; `out` pre-zeroed; `am` is the
+/// column count of `A`, i.e. the full output row count `m`).
+///
+/// Each output element is one `f64` accumulator filled in ascending-`p`
+/// order — the same chain as the historical `p`-outer serial loop, minus
+/// the NaN-masking zero-skip.
+pub(crate) fn gemm_tn_span<T: Scalar>(
+    a: &[T],
+    am: usize,
+    b: &[T],
+    n: usize,
+    k: usize,
+    r0: usize,
+    out: &mut [f64],
+) {
+    if n == 0 {
+        return;
+    }
+    let rs = out.len() / n;
+    let mut ib = 0;
+    while ib + MR <= rs {
+        let i0 = r0 + ib;
+        let mut jb = 0;
+        while jb + NR <= n {
+            let mut c = [[0.0f64; NR]; MR];
+            for p in 0..k {
+                let av = &a[p * am + i0..][..MR];
+                let bb = &b[p * n + jb..][..NR];
+                let (b0, b1, b2, b3) = (bb[0].w(), bb[1].w(), bb[2].w(), bb[3].w());
+                for (ci, &ai) in c.iter_mut().zip(av.iter()) {
+                    let aw = ai.w();
+                    ci[0] += aw * b0;
+                    ci[1] += aw * b1;
+                    ci[2] += aw * b2;
+                    ci[3] += aw * b3;
+                }
+            }
+            for (ii, ci) in c.iter().enumerate() {
+                out[(ib + ii) * n + jb..][..NR].copy_from_slice(ci);
+            }
+            jb += NR;
+        }
+        for j in jb..n {
+            let mut c = [0.0f64; MR];
+            for p in 0..k {
+                let av = &a[p * am + i0..][..MR];
+                let bv = b[p * n + j].w();
+                c[0] += av[0].w() * bv;
+                c[1] += av[1].w() * bv;
+                c[2] += av[2].w() * bv;
+                c[3] += av[3].w() * bv;
+            }
+            for (ii, &cv) in c.iter().enumerate() {
+                out[(ib + ii) * n + j] = cv;
+            }
+        }
+        ib += MR;
+    }
+    for i in ib..rs {
+        let ia = r0 + i;
+        let orow = &mut out[i * n..][..n];
+        for p in 0..k {
+            let av = a[p * am + ia].w();
+            let brow = &b[p * n..][..n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv.w();
+            }
+        }
+    }
+}
+
+/// `A · B` for `A: m x k`, `B: k x n` (register-tiled).
 ///
 /// # Panics
 /// Panics if the inner dimensions disagree.
@@ -23,29 +286,90 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(m, n);
+    gemm_nn_span(a.as_slice(), k, b.as_slice(), n, 0, out.as_mut_slice());
+    out
+}
+
+/// `A · B` with `f32` operand storage and `f64` accumulation (accel mode).
+pub fn matmul_f32(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_f32: inner dimension mismatch {:?} · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (af, bf) = (to_f32_vec(a), to_f32_vec(b));
+    let mut out = Matrix::zeros(m, n);
+    gemm_nn_span(&af, k, &bf, n, 0, out.as_mut_slice());
+    out
+}
+
+/// Naive reference `A · B`: the plain `ikj` loop nest, one accumulator per
+/// element in ascending-`p` order. Kept as the bit-exact oracle the blocked
+/// kernel is tested against.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_naive: inner dimension mismatch {:?} · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, n) = (a.rows(), b.cols());
+    let mut out = Matrix::zeros(m, n);
     for i in 0..m {
         let arow = a.row(i);
         let orow = out.row_mut(i);
         for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue; // masks and dropout produce many structural zeros
-            }
             let brow = b.row(p);
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
             }
         }
-        let _ = k;
     }
     out
 }
 
-/// `A · Bᵀ` for `A: m x k`, `B: n x k`, without materializing `Bᵀ`.
+/// `A · Bᵀ` for `A: m x k`, `B: n x k`, without materializing `Bᵀ`
+/// (register-tiled; per element identical to [`dot`]).
 pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.cols(),
         b.cols(),
         "matmul_bt: inner dimension mismatch {:?} · {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    gemm_nt_span(a.as_slice(), k, b.as_slice(), n, 0, out.as_mut_slice());
+    out
+}
+
+/// `A · Bᵀ` with `f32` operand storage and `f64` accumulation (accel mode).
+pub fn matmul_bt_f32(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_bt_f32: inner dimension mismatch {:?} · {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let (af, bf) = (to_f32_vec(a), to_f32_vec(b));
+    let mut out = Matrix::zeros(m, n);
+    gemm_nt_span(&af, k, &bf, n, 0, out.as_mut_slice());
+    out
+}
+
+/// Naive reference `A · Bᵀ`: [`dot`] per output element, no tiling.
+pub fn matmul_bt_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_bt_naive: inner dimension mismatch {:?} · {:?}ᵀ",
         a.shape(),
         b.shape()
     );
@@ -68,6 +392,13 @@ pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
 /// The accumulation order is fixed (lanes then tail), so results are
 /// bit-identical for any thread count.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    dot_wide(x, y)
+}
+
+/// [`dot`], generic over the storage scalar (accumulation stays `f64` with
+/// the identical lane-then-tail combine order).
+#[inline]
+pub(crate) fn dot_wide<T: Scalar>(x: &[T], y: &[T]) -> f64 {
     debug_assert_eq!(x.len(), y.len());
     let mut lanes = [0.0f64; 4];
     let xc = x.chunks_exact(4);
@@ -75,24 +406,61 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     let xr = xc.remainder();
     let yr = yc.remainder();
     for (cx, cy) in xc.zip(yc) {
-        lanes[0] += cx[0] * cy[0];
-        lanes[1] += cx[1] * cy[1];
-        lanes[2] += cx[2] * cy[2];
-        lanes[3] += cx[3] * cy[3];
+        lanes[0] += cx[0].w() * cy[0].w();
+        lanes[1] += cx[1].w() * cy[1].w();
+        lanes[2] += cx[2].w() * cy[2].w();
+        lanes[3] += cx[3].w() * cy[3].w();
     }
     let mut tail = 0.0;
     for (&a, &b) in xr.iter().zip(yr) {
-        tail += a * b;
+        tail += a.w() * b.w();
     }
     (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
 }
 
-/// `Aᵀ · B` for `A: k x m`, `B: k x n`, without materializing `Aᵀ`.
+/// `Aᵀ · B` for `A: k x m`, `B: k x n`, without materializing `Aᵀ`
+/// (register-tiled).
+///
+/// Unlike the historical kernel, zero entries of `A` are *not* skipped, so
+/// `0 × NaN` / `0 × inf` correctly poison the output instead of being
+/// silently dropped (the PR 1 NaN-guard contract).
 pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(
         a.rows(),
         b.rows(),
         "matmul_at: inner dimension mismatch {:?}ᵀ · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    gemm_tn_span(a.as_slice(), m, b.as_slice(), n, k, 0, out.as_mut_slice());
+    out
+}
+
+/// `Aᵀ · B` with `f32` operand storage and `f64` accumulation (accel mode).
+pub fn matmul_at_f32(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_f32: inner dimension mismatch {:?}ᵀ · {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.cols(), a.rows(), b.cols());
+    let (af, bf) = (to_f32_vec(a), to_f32_vec(b));
+    let mut out = Matrix::zeros(m, n);
+    gemm_tn_span(&af, m, &bf, n, k, 0, out.as_mut_slice());
+    out
+}
+
+/// Naive reference `Aᵀ · B`: the plain `p`-outer loop nest, one accumulator
+/// per element in ascending-`p` order, no zero-skip.
+pub fn matmul_at_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_naive: inner dimension mismatch {:?}ᵀ · {:?}",
         a.shape(),
         b.shape()
     );
@@ -102,9 +470,6 @@ pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
         let arow = a.row(p);
         let brow = b.row(p);
         for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
             let orow = out.row_mut(i);
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
@@ -157,6 +522,7 @@ pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Rng64;
 
     fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
         a.shape() == b.shape()
@@ -198,6 +564,109 @@ mod tests {
             &matmul(&c.transpose(), &d),
             1e-12
         ));
+    }
+
+    #[test]
+    fn blocked_kernels_match_naive_bit_exactly() {
+        // Sweep shapes around the 4×4 tile boundaries so every tail path
+        // (row tail, column tail, dot remainder) is exercised.
+        let mut rng = Rng64::seed_from_u64(51);
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 4, 4),
+            (5, 4, 9),
+            (7, 13, 6),
+            (8, 16, 12),
+            (13, 3, 17),
+            (33, 31, 29),
+        ] {
+            let a = Matrix::from_fn(m, k, |_, _| rng.normal());
+            let b = Matrix::from_fn(k, n, |_, _| rng.normal());
+            assert_eq!(matmul(&a, &b), matmul_naive(&a, &b), "matmul {m}x{k}x{n}");
+            let bt = Matrix::from_fn(n, k, |_, _| rng.normal());
+            assert_eq!(
+                matmul_bt(&a, &bt),
+                matmul_bt_naive(&a, &bt),
+                "matmul_bt {m}x{k}x{n}"
+            );
+            let at = Matrix::from_fn(k, m, |_, _| rng.normal());
+            let bn = Matrix::from_fn(k, n, |_, _| rng.normal());
+            assert_eq!(
+                matmul_at(&at, &bn),
+                matmul_at_naive(&at, &bn),
+                "matmul_at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_propagate_nan_through_zero_operands() {
+        // The historical zero-skip dropped 0·NaN contributions; the blocked
+        // kernels must poison the affected outputs instead.
+        let mut a = Matrix::zeros(3, 4);
+        a[(1, 2)] = 0.0; // explicit zero against the NaN row of B
+        a[(0, 0)] = 1.0;
+        let mut b = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
+        b[(2, 1)] = f64::NAN;
+        let c = matmul(&a, &b);
+        // every output in column 1 touches B[2][1] via some a[i][2] (all 0.0)
+        for i in 0..3 {
+            assert!(c[(i, 1)].is_nan(), "row {i} lost the 0·NaN poison");
+        }
+        assert!(c[(0, 0)].is_finite());
+
+        // matmul_at: NaN in B against an all-zero column of A
+        let at = Matrix::zeros(4, 3);
+        let mut bn = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f64);
+        bn[(1, 0)] = f64::INFINITY;
+        let cat = matmul_at(&at, &bn);
+        for i in 0..3 {
+            assert!(cat[(i, 0)].is_nan(), "0·inf must produce NaN, row {i}");
+        }
+
+        // matmul_bt goes through dot(), which never skipped zeros — pin it
+        let za = Matrix::zeros(2, 5);
+        let mut zb = Matrix::from_fn(3, 5, |_, _| 1.0);
+        zb[(1, 4)] = f64::NAN;
+        let cbt = matmul_bt(&za, &zb);
+        assert!(cbt[(0, 1)].is_nan());
+        assert!(cbt[(0, 0)] == 0.0);
+    }
+
+    #[test]
+    fn f32_kernels_match_f64_within_operand_rounding() {
+        let mut rng = Rng64::seed_from_u64(52);
+        let a = Matrix::from_fn(9, 14, |_, _| rng.normal());
+        let b = Matrix::from_fn(14, 7, |_, _| rng.normal());
+        let want = matmul(&a, &b);
+        let got = matmul_f32(&a, &b);
+        assert!(approx_eq(&want, &got, 1e-4), "matmul_f32 drifted");
+        let bt = Matrix::from_fn(7, 14, |_, _| rng.normal());
+        assert!(approx_eq(
+            &matmul_bt(&a, &bt),
+            &matmul_bt_f32(&a, &bt),
+            1e-4
+        ));
+        let at = Matrix::from_fn(14, 9, |_, _| rng.normal());
+        assert!(approx_eq(
+            &matmul_at(&at, &b),
+            &matmul_at_f32(&at, &b),
+            1e-4
+        ));
+    }
+
+    #[test]
+    fn degenerate_shapes_are_fine() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(matmul(&a, &b).shape(), (0, 4));
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 4);
+        assert_eq!(matmul(&a, &b), Matrix::zeros(2, 4));
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 0);
+        assert_eq!(matmul(&a, &b).shape(), (2, 0));
     }
 
     #[test]

@@ -2,46 +2,46 @@
 //!
 //! The serial kernels in [`crate::ops`] stay the reference implementation;
 //! every kernel here is a drop-in parallel variant that partitions *output
-//! rows* across `std::thread::scope` workers, so results are bit-identical
-//! to the serial kernels (each output row is produced by exactly one worker
-//! from read-only inputs, with the same per-row arithmetic).
+//! rows* across `std::thread::scope` workers. The GEMM wrappers hand each
+//! worker a contiguous **row span** and run the same blocked span kernel the
+//! serial entry point uses — every output element's accumulation chain lives
+//! entirely inside its own row, so any partition is bit-identical to the
+//! serial call.
 //!
 //! The `*_exec` entry points take an [`ExecPolicy`] and additionally apply a
 //! work threshold: small products fall back to the serial kernel so that
 //! per-batch NN matmuls do not pay thread-spawn overhead. Thread-count
 //! resolution order: explicit policy (`Serial`/`Threads(n)`) > `SCIS_THREADS`
 //! env var > [`std::thread::available_parallelism`].
+//!
+//! The `*_exec_p` variants additionally take a [`Precision`]: under
+//! [`Precision::F32`] the operands are rounded to `f32` storage once and the
+//! same span kernels run over the converted buffers (accumulators stay
+//! `f64`), which keeps the across-thread bit-equality contract *within* a
+//! precision mode.
 
-use crate::exec::{for_each_row, ExecPolicy};
+use crate::exec::{for_each_row, for_row_spans, ExecPolicy};
+use crate::fastmath::Precision;
 use crate::matrix::Matrix;
-use crate::ops::sq_dist;
+use crate::ops::{gemm_nn_span, gemm_nt_span, gemm_tn_span, sq_dist, to_f32_vec};
 
 /// Minimum number of inner-loop scalar operations (`m · k · n` for GEMM,
 /// `m · n · d` for pairwise distances) before a kernel goes parallel.
 /// Below this the thread-spawn cost dominates any speedup.
 pub const PAR_MIN_WORK: usize = 1 << 19;
 
-/// Number of worker threads used when a policy is [`ExecPolicy::Auto`]:
-/// the `SCIS_THREADS` environment variable if set to a positive integer
-/// (`SCIS_THREADS=1` forces serial), otherwise the machine's available
-/// parallelism. Fallback order: explicit policy > env > hardware.
+/// Number of worker threads used when a policy is [`ExecPolicy::Auto`].
+/// Delegates to [`crate::exec::auto_threads`]: a strictly-valid positive
+/// `SCIS_THREADS` wins, anything degenerate falls back to the machine's
+/// available parallelism.
 pub fn default_threads() -> usize {
-    if let Ok(raw) = std::env::var("SCIS_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    crate::exec::auto_threads()
 }
 
-/// Policy-aware `A · B`. Bit-identical to [`crate::ops::matmul`]; goes
-/// parallel over row blocks of `A` when the policy allows more than one
-/// worker and the product is large enough to amortize thread spawns.
-pub fn matmul_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+/// Policy- and precision-aware `A · B`. Under [`Precision::F64`] this is
+/// bit-identical to [`crate::ops::matmul`] at any thread count; under
+/// [`Precision::F32`] it is bit-identical to [`crate::ops::matmul_f32`].
+pub fn matmul_exec_p(a: &Matrix, b: &Matrix, policy: ExecPolicy, precision: Precision) -> Matrix {
     assert_eq!(
         a.cols(),
         b.rows(),
@@ -50,31 +50,42 @@ pub fn matmul_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
         b.shape()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    if n == 0 || m * k * n < PAR_MIN_WORK {
-        return crate::ops::matmul(a, b);
-    }
-    let threads = policy.workers(m);
-    if threads == 1 {
-        return crate::ops::matmul(a, b);
-    }
+    let threads = if n == 0 || m * k * n < PAR_MIN_WORK {
+        1
+    } else {
+        policy.workers(m)
+    };
     let mut out = Matrix::zeros(m, n);
-    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
-        let arow = a.row(i);
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue; // masks and dropout produce many structural zeros
-            }
-            let brow = b.row(p);
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+    match precision {
+        Precision::F64 => {
+            for_row_spans(out.as_mut_slice(), n.max(1), threads, |r0, span| {
+                gemm_nn_span(a.as_slice(), k, b.as_slice(), n, r0, span);
+            });
         }
-    });
+        Precision::F32 => {
+            let (af, bf) = (to_f32_vec(a), to_f32_vec(b));
+            for_row_spans(out.as_mut_slice(), n.max(1), threads, |r0, span| {
+                gemm_nn_span(&af, k, &bf, n, r0, span);
+            });
+        }
+    }
     out
 }
 
-/// Policy-aware `A · Bᵀ`. Bit-identical to [`crate::ops::matmul_bt`].
-pub fn matmul_bt_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+/// Policy-aware `A · B`. Bit-identical to [`crate::ops::matmul`]; goes
+/// parallel over row spans of `A` when the policy allows more than one
+/// worker and the product is large enough to amortize thread spawns.
+pub fn matmul_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+    matmul_exec_p(a, b, policy, Precision::F64)
+}
+
+/// Policy- and precision-aware `A · Bᵀ`.
+pub fn matmul_bt_exec_p(
+    a: &Matrix,
+    b: &Matrix,
+    policy: ExecPolicy,
+    precision: Precision,
+) -> Matrix {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -83,27 +94,40 @@ pub fn matmul_bt_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
         b.shape()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    if n == 0 || m * k * n < PAR_MIN_WORK {
-        return crate::ops::matmul_bt(a, b);
-    }
-    let threads = policy.workers(m);
-    if threads == 1 {
-        return crate::ops::matmul_bt(a, b);
-    }
+    let threads = if n == 0 || m * k * n < PAR_MIN_WORK {
+        1
+    } else {
+        policy.workers(m)
+    };
     let mut out = Matrix::zeros(m, n);
-    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
-        let arow = a.row(i);
-        for (j, o) in orow.iter_mut().enumerate() {
-            *o = crate::ops::dot(arow, b.row(j));
+    match precision {
+        Precision::F64 => {
+            for_row_spans(out.as_mut_slice(), n.max(1), threads, |r0, span| {
+                gemm_nt_span(a.as_slice(), k, b.as_slice(), n, r0, span);
+            });
         }
-    });
+        Precision::F32 => {
+            let (af, bf) = (to_f32_vec(a), to_f32_vec(b));
+            for_row_spans(out.as_mut_slice(), n.max(1), threads, |r0, span| {
+                gemm_nt_span(&af, k, &bf, n, r0, span);
+            });
+        }
+    }
     out
 }
 
-/// Policy-aware `Aᵀ · B`. Bit-identical to [`crate::ops::matmul_at`]:
-/// output row `i` accumulates `a[(p, i)] · b.row(p)` over `p` in ascending
-/// order, exactly as the serial kernel does for that row.
-pub fn matmul_at_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+/// Policy-aware `A · Bᵀ`. Bit-identical to [`crate::ops::matmul_bt`].
+pub fn matmul_bt_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+    matmul_bt_exec_p(a, b, policy, Precision::F64)
+}
+
+/// Policy- and precision-aware `Aᵀ · B`.
+pub fn matmul_at_exec_p(
+    a: &Matrix,
+    b: &Matrix,
+    policy: ExecPolicy,
+    precision: Precision,
+) -> Matrix {
     assert_eq!(
         a.rows(),
         b.rows(),
@@ -112,27 +136,33 @@ pub fn matmul_at_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
         b.shape()
     );
     let (m, k, n) = (a.cols(), a.rows(), b.cols());
-    if n == 0 || m * k * n < PAR_MIN_WORK {
-        return crate::ops::matmul_at(a, b);
-    }
-    let threads = policy.workers(m);
-    if threads == 1 {
-        return crate::ops::matmul_at(a, b);
-    }
+    let threads = if n == 0 || m * k * n < PAR_MIN_WORK {
+        1
+    } else {
+        policy.workers(m)
+    };
     let mut out = Matrix::zeros(m, n);
-    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
-        for p in 0..k {
-            let av = a.row(p)[i];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+    match precision {
+        Precision::F64 => {
+            for_row_spans(out.as_mut_slice(), n.max(1), threads, |r0, span| {
+                gemm_tn_span(a.as_slice(), m, b.as_slice(), n, k, r0, span);
+            });
         }
-    });
+        Precision::F32 => {
+            let (af, bf) = (to_f32_vec(a), to_f32_vec(b));
+            for_row_spans(out.as_mut_slice(), n.max(1), threads, |r0, span| {
+                gemm_tn_span(&af, m, &bf, n, k, r0, span);
+            });
+        }
+    }
     out
+}
+
+/// Policy-aware `Aᵀ · B`. Bit-identical to [`crate::ops::matmul_at`]:
+/// output row `i` accumulates `a[(p, i)] · b.row(p)` over `p` in ascending
+/// order, exactly as the serial kernel does for that row.
+pub fn matmul_at_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Matrix {
+    matmul_at_exec_p(a, b, policy, Precision::F64)
 }
 
 /// Policy-aware all-pairs squared distances. Bit-identical to
@@ -161,7 +191,7 @@ pub fn pairwise_sq_dists_exec(a: &Matrix, b: &Matrix, policy: ExecPolicy) -> Mat
     out
 }
 
-/// Parallel `A · B` over row blocks of `A` with an explicit thread count.
+/// Parallel `A · B` over row spans of `A` with an explicit thread count.
 /// Bit-identical to [`crate::ops::matmul`].
 pub fn matmul_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     assert_eq!(
@@ -171,23 +201,14 @@ pub fn matmul_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
         a.shape(),
         b.shape()
     );
-    let (m, n) = (a.rows(), b.cols());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let threads = threads.max(1).min(m.max(1));
     if threads == 1 || m < 64 || n == 0 {
         return crate::ops::matmul(a, b);
     }
     let mut out = Matrix::zeros(m, n);
-    for_each_row(out.as_mut_slice(), n, threads, |i, orow| {
-        let arow = a.row(i);
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
+    for_row_spans(out.as_mut_slice(), n, threads, |r0, span| {
+        gemm_nn_span(a.as_slice(), k, b.as_slice(), n, r0, span);
     });
     out
 }
@@ -219,7 +240,9 @@ pub fn pairwise_sq_dists_par(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ops::{matmul, matmul_at, matmul_bt, pairwise_sq_dists};
+    use crate::ops::{
+        matmul, matmul_at, matmul_at_f32, matmul_bt, matmul_bt_f32, matmul_f32, pairwise_sq_dists,
+    };
     use crate::rng::Rng64;
 
     #[test]
@@ -275,6 +298,36 @@ mod tests {
             assert_eq!(
                 pairwise_sq_dists_exec(&a, &c, policy),
                 pairwise_sq_dists(&a, &c),
+                "{:?}",
+                policy
+            );
+        }
+    }
+
+    #[test]
+    fn f32_exec_kernels_match_serial_f32_bit_exactly() {
+        // The f32 compute mode obeys the same contract as the default path:
+        // within the mode, thread count never changes a bit.
+        let mut rng = Rng64::seed_from_u64(9);
+        let a = Matrix::from_fn(128, 96, |_, _| rng.normal());
+        let b = Matrix::from_fn(96, 128, |_, _| rng.normal());
+        let c = Matrix::from_fn(128, 96, |_, _| rng.normal());
+        for policy in [ExecPolicy::Serial, ExecPolicy::threads(3)] {
+            assert_eq!(
+                matmul_exec_p(&a, &b, policy, Precision::F32),
+                matmul_f32(&a, &b),
+                "{:?}",
+                policy
+            );
+            assert_eq!(
+                matmul_bt_exec_p(&a, &c, policy, Precision::F32),
+                matmul_bt_f32(&a, &c),
+                "{:?}",
+                policy
+            );
+            assert_eq!(
+                matmul_at_exec_p(&a, &b.transpose(), policy, Precision::F32),
+                matmul_at_f32(&a, &b.transpose()),
                 "{:?}",
                 policy
             );

@@ -145,6 +145,7 @@ struct TrainArgs {
     events: Option<PathBuf>,
     profile: bool,
     accel: bool,
+    accel_f32: bool,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: usize,
     resume: Option<PathBuf>,
@@ -170,6 +171,7 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
         events: None,
         profile: false,
         accel: false,
+        accel_f32: false,
         checkpoint_dir: None,
         checkpoint_every: 1,
         resume: None,
@@ -196,6 +198,11 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
             "--events" => parsed.events = Some(PathBuf::from(value()?)),
             "--profile" => parsed.profile = true,
             "--accel" => parsed.accel = true,
+            "--accel-f32" => {
+                // f32 compute implies the rest of the accelerated path
+                parsed.accel = true;
+                parsed.accel_f32 = true;
+            }
             "--checkpoint-dir" => parsed.checkpoint_dir = Some(PathBuf::from(value()?)),
             "--checkpoint-every" => {
                 parsed.checkpoint_every = value()?
@@ -225,7 +232,7 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
     }
     if parsed.accel && parsed.method != "scis-gain" {
         return Err(format!(
-            "--accel only applies to --method scis-gain (got {:?})",
+            "--accel/--accel-f32 only apply to --method scis-gain (got {:?})",
             parsed.method
         ));
     }
@@ -358,7 +365,7 @@ fn build_bundle(
     gain: &mut GainImputer,
     orig: &Dataset,
     scaler: &MinMaxScaler,
-    accel_on: bool,
+    accel: scis_core::dim::AccelConfig,
 ) -> Result<ModelBundle, String> {
     let spec = gain.generator_spec();
     let generator = gain.generator_mut().clone();
@@ -369,13 +376,19 @@ fn build_bundle(
             mean: observed_mean(orig, j),
         })
         .collect();
-    let accel = if accel_on {
+    ModelBundle::new(generator, spec, scaler.clone(), columns, accel)
+        .map_err(|e| format!("assembling model bundle: {}", e))
+}
+
+/// The `AccelConfig` a parsed command line asks for.
+fn accel_config(args: &TrainArgs) -> scis_core::dim::AccelConfig {
+    if args.accel_f32 {
+        scis_core::dim::AccelConfig::all_f32()
+    } else if args.accel {
         scis_core::dim::AccelConfig::all()
     } else {
         scis_core::dim::AccelConfig::default()
-    };
-    ModelBundle::new(generator, spec, scaler.clone(), columns, accel)
-        .map_err(|e| format!("assembling model bundle: {}", e))
+    }
 }
 
 /// Imputes under the chosen method, reporting the anomaly flags that decide
@@ -416,7 +429,7 @@ fn impute(
                 .epsilon(args.epsilon)
                 .exec(threads_policy(args.threads));
             if args.accel {
-                config = config.accel(scis_core::dim::AccelConfig::all());
+                config = config.accel(accel_config(args));
             }
             let mut scis = Scis::new(config);
             if let Some(dir) = &args.checkpoint_dir {
@@ -485,7 +498,7 @@ fn impute(
                         prog
                     );
                 } else {
-                    let bundle = build_bundle(&mut gain, orig, scaler, args.accel)?;
+                    let bundle = build_bundle(&mut gain, orig, scaler, accel_config(args))?;
                     bundle
                         .save(path)
                         .map_err(|e| format!("saving model: {}", e))?;
@@ -558,7 +571,7 @@ fn load_input(prog: &str, input: &Path, method: &str) -> Result<Dataset, String>
 
 fn run_train(prog: &str, invocation: &str, argv: Vec<String>) -> Result<RunFlags, String> {
     let args = parse_train_args(argv).map_err(|e| {
-        format!("{}\nusage: {} INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--trace-json path] [--events path] [--profile] [--checkpoint-dir dir] [--checkpoint-every n] [--resume path] [--deadline-secs s]", e, invocation)
+        format!("{}\nusage: {} INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--accel-f32] [--trace-json path] [--events path] [--profile] [--checkpoint-dir dir] [--checkpoint-every n] [--resume path] [--deadline-secs s]", e, invocation)
     })?;
     let ds = load_input(prog, &args.input, &args.method)?;
     // a model *bundle* given to --load-model short-circuits into the

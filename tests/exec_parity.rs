@@ -85,6 +85,48 @@ fn accelerated_pipeline_is_bit_identical_serial_vs_threads() {
 }
 
 #[test]
+fn f32_pipeline_is_bit_identical_serial_vs_threads() {
+    // The f32 compute mode rounds kernel operands once, up front; every
+    // accumulation chain stays f64 and confined to one worker, so the mode
+    // must obey the same determinism contract: thread count never matters.
+    let (imputed_s, n_star_s, anomalies_s) =
+        run_pipeline_with(ExecPolicy::Serial, AccelConfig::all_f32());
+    let (imputed_p, n_star_p, anomalies_p) =
+        run_pipeline_with(ExecPolicy::threads(4), AccelConfig::all_f32());
+    assert_eq!(imputed_s, imputed_p, "f32-mode imputed matrices diverged");
+    assert_eq!(n_star_s, n_star_p, "f32-mode SSE n* diverged");
+    assert_eq!(
+        anomalies_s, anomalies_p,
+        "f32-mode anomaly records diverged"
+    );
+}
+
+#[test]
+fn f32_pipeline_tracks_f64_quality() {
+    // f32 operand rounding perturbs each kernel input by ~1e-7 relative;
+    // the solves still converge to the same tolerance, so the imputation
+    // must agree with the full-precision accelerated run far below any
+    // difference that could move the reported RMSE.
+    let complete = correlated_table(400, 11);
+    let (imputed_64, _, _) = run_pipeline_with(ExecPolicy::Serial, AccelConfig::all());
+    let (imputed_32, _, _) = run_pipeline_with(ExecPolicy::Serial, AccelConfig::all_f32());
+    assert!(imputed_32.as_slice().iter().all(|v| v.is_finite()));
+    let rmse = |imp: &Matrix| {
+        let mut sq = 0.0;
+        let cells = (imp.rows() * imp.cols()) as f64;
+        for (a, b) in imp.as_slice().iter().zip(complete.as_slice()) {
+            sq += (a - b) * (a - b);
+        }
+        (sq / cells).sqrt()
+    };
+    let delta = (rmse(&imputed_64) - rmse(&imputed_32)).abs();
+    assert!(
+        delta < 5e-3,
+        "f32 mode moved the reconstruction RMSE by {delta:.3e}"
+    );
+}
+
+#[test]
 fn warm_start_cache_preserves_pipeline_quality() {
     // Warm-starting changes how many Sinkhorn iterations each solve burns,
     // not which transport plan it converges to, so the end-to-end pipeline
@@ -126,6 +168,25 @@ fn warm_start_cache_preserves_pipeline_quality() {
         spread <= 40.0,
         "cache on/off n* diverged: {n_star_off} vs {n_star_on}"
     );
+}
+
+#[test]
+fn blocked_gemm_matches_naive_reference_at_default_settings() {
+    // The register-tiled kernels behind every default-path matmul must be a
+    // pure scheduling change: same per-element accumulation chains as the
+    // naive reference loops, hence bit-identical output.
+    use scis_repro::tensor::ops;
+
+    let mut rng = Rng64::seed_from_u64(91);
+    for &(m, k, n) in &[(5usize, 7usize, 9usize), (64, 32, 48), (33, 31, 29)] {
+        let a = Matrix::from_fn(m, k, |_, _| rng.normal());
+        let b = Matrix::from_fn(k, n, |_, _| rng.normal());
+        assert_eq!(ops::matmul(&a, &b), ops::matmul_naive(&a, &b));
+        let bt = Matrix::from_fn(n, k, |_, _| rng.normal());
+        assert_eq!(ops::matmul_bt(&a, &bt), ops::matmul_bt_naive(&a, &bt));
+        let at = Matrix::from_fn(k, m, |_, _| rng.normal());
+        assert_eq!(ops::matmul_at(&at, &b), ops::matmul_at_naive(&at, &b));
+    }
 }
 
 #[test]
