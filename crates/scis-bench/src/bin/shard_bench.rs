@@ -1,0 +1,204 @@
+//! Out-of-core shard-scale benchmark: runs the streamed SCIS pipeline
+//! (`Scis::try_run_streamed`) over a Weather-shape sharded recipe whose
+//! total row count exceeds the shard budget by an order of magnitude, and
+//! writes the repo-root `BENCH_shard.json` — peak RSS, spill throughput,
+//! per-phase wall times, and an FNV-1a checksum of the imputed output bits
+//! (the determinism witness for the streamed path).
+//!
+//! ```sh
+//! cargo run -p scis-bench --release --bin shard_bench
+//! SCIS_SHARD_BENCH_SCALE=0.01 SCIS_SHARD_BENCH_SHARD_ROWS=4096 \
+//!     cargo run -p scis-bench --release --bin shard_bench
+//! ```
+
+use scis_core::pipeline::{Scis, ScisConfig};
+use scis_data::shard::{fnv1a, spill_source};
+use scis_data::{CovidRecipe, MinMaxScaler, RowSource, ScaledSource, ShardError, ShardSink};
+use scis_imputers::{GainImputer, TrainConfig};
+use scis_tensor::{ExecPolicy, Matrix, Rng64};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`; 0 when
+/// the proc filesystem is unavailable).
+fn peak_rss_bytes() -> u64 {
+    let Ok(text) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// A sink that never stores the output: it counts rows and folds every
+/// imputed cell's bit pattern into one FNV-1a checksum, keeping the
+/// benchmark's memory profile honest.
+struct HashSink {
+    rows: usize,
+    h: u64,
+}
+
+impl HashSink {
+    fn new() -> Self {
+        Self {
+            rows: 0,
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+}
+
+impl ShardSink for HashSink {
+    fn push_rows(&mut self, rows: &Matrix) -> Result<(), ShardError> {
+        for &v in rows.as_slice() {
+            for b in v.to_bits().to_le_bytes() {
+                self.h ^= b as u64;
+                self.h = self.h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        self.rows += rows.rows();
+        Ok(())
+    }
+}
+
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    let scale = env_f64("SCIS_SHARD_BENCH_SCALE", 0.001);
+    let shard_rows = env_usize("SCIS_SHARD_BENCH_SHARD_ROWS", 256);
+    let epochs = env_usize("SCIS_SHARD_BENCH_EPOCHS", 5);
+    let seed = env_usize("SCIS_SHARD_BENCH_SEED", 42) as u64;
+
+    let (src, n0) = CovidRecipe::Weather
+        .sharded(scale, seed, shard_rows)
+        .expect("weather recipe");
+    let rows = src.n_rows();
+    let cols = src.n_cols();
+    let n_shards = src.n_shards();
+    let budget_ratio = rows as f64 / shard_rows as f64;
+    assert!(
+        budget_ratio >= 10.0,
+        "shard bench must stream >= 10x its shard budget (got {rows} rows / {shard_rows} \
+         shard_rows = {budget_ratio:.1}x); lower SCIS_SHARD_BENCH_SHARD_ROWS or raise the scale"
+    );
+    println!(
+        "weather@{scale}: {rows} rows x {cols} cols, {n_shards} shards of <= {shard_rows} rows \
+         ({budget_ratio:.1}x the shard budget), n0 = {n0}, epochs = {epochs}"
+    );
+
+    // ---- 1. spill throughput: recipe -> checksummed shard files ----------
+    let spill_dir =
+        std::env::temp_dir().join(format!("scis_shard_bench_{}_{}", std::process::id(), seed));
+    std::fs::remove_dir_all(&spill_dir).ok();
+    let t = Instant::now();
+    let spilled = spill_source(&src, &spill_dir).expect("spill");
+    let spill_write_s = t.elapsed().as_secs_f64();
+    let spill_bytes = dir_bytes(&spill_dir);
+    let t = Instant::now();
+    let spill_missing = spilled.missing_rate().expect("scan");
+    let spill_scan_s = t.elapsed().as_secs_f64();
+    println!(
+        "spill: wrote {spill_bytes} bytes in {spill_write_s:.3}s, full scan {spill_scan_s:.3}s, \
+         missing rate {:.4}",
+        spill_missing
+    );
+
+    // ---- 2. the streamed pipeline over the spilled shards ----------------
+    let train = TrainConfig {
+        epochs,
+        batch_size: 128,
+        learning_rate: 0.005,
+        dropout: 0.0,
+    };
+    let config = ScisConfig::default()
+        .dim(scis_core::dim::DimConfig::default().train(train))
+        .epsilon(0.02)
+        .exec(ExecPolicy::Serial);
+    let scaler = MinMaxScaler::fit_source(&spilled).expect("fit_source");
+    let scaled = ScaledSource::new(&spilled, &scaler);
+    let mut gain = GainImputer::new(train);
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut sink = HashSink::new();
+    let outcome = Scis::new(config)
+        .try_run_streamed(&mut gain, &scaled, n0, &mut rng, &mut sink)
+        .expect("streamed pipeline");
+    assert_eq!(sink.rows, rows, "sink must see every row exactly once");
+    let checksum = sink.h;
+    println!(
+        "pipeline: n* = {} of {} rows, train {:.2}s, sse {:.2}s, retrain {:.2}s, \
+         total {:.2}s, output fnv1a {:#018x}",
+        outcome.n_star,
+        outcome.n_total,
+        outcome.initial_train_time.as_secs_f64(),
+        outcome.sse_time.as_secs_f64(),
+        outcome.retrain_time.as_secs_f64(),
+        outcome.total_time.as_secs_f64(),
+        checksum,
+    );
+
+    let peak_rss = peak_rss_bytes();
+    let full_matrix_bytes = (rows * cols * 8) as u64;
+    println!(
+        "peak RSS {peak_rss} bytes (full matrix would be {full_matrix_bytes} bytes before \
+         any pipeline copies)"
+    );
+
+    // manifest checksum keeps the spill dir honest in the artifact
+    let manifest = std::fs::read(spill_dir.join("manifest.txt")).expect("manifest");
+    let manifest_fnv = fnv1a(&manifest);
+    std::fs::remove_dir_all(&spill_dir).ok();
+
+    let json = format!(
+        "{{\n  \"schema_version\": 1,\n  \"config\": {{\n    \"recipe\": \"weather\",\n    \
+         \"scale\": {scale},\n    \"rows\": {rows},\n    \"cols\": {cols},\n    \
+         \"shard_rows\": {shard_rows},\n    \"n_shards\": {n_shards},\n    \
+         \"rows_over_shard_budget\": {budget_ratio:.2},\n    \"epochs\": {epochs},\n    \
+         \"n0\": {n0},\n    \"seed\": {seed}\n  }},\n  \"spill\": {{\n    \
+         \"write_s\": {spill_write_s:.6},\n    \"scan_s\": {spill_scan_s:.6},\n    \
+         \"bytes\": {spill_bytes},\n    \"missing_rate\": {spill_missing:.6},\n    \
+         \"manifest_fnv1a\": \"{manifest_fnv:#018x}\"\n  }},\n  \"pipeline\": {{\n    \
+         \"n_star\": {},\n    \"rows_written\": {},\n    \"train_initial_s\": {:.6},\n    \
+         \"sse_s\": {:.6},\n    \"retrain_s\": {:.6},\n    \"total_s\": {:.6},\n    \
+         \"output_fnv1a\": \"{checksum:#018x}\"\n  }},\n  \"peak_rss_bytes\": {peak_rss},\n  \
+         \"full_matrix_bytes\": {full_matrix_bytes}\n}}\n",
+        outcome.n_star,
+        outcome.rows_written,
+        outcome.initial_train_time.as_secs_f64(),
+        outcome.sse_time.as_secs_f64(),
+        outcome.retrain_time.as_secs_f64(),
+        outcome.total_time.as_secs_f64(),
+    );
+    std::fs::write("BENCH_shard.json", &json).expect("writing BENCH_shard.json");
+    println!("wrote BENCH_shard.json");
+}

@@ -165,6 +165,9 @@ pub enum ScisError {
     Csv(scis_data::csvio::CsvError),
     /// A linear-algebra kernel failed (singular / non-PD matrix).
     Linalg(scis_tensor::linalg::LinalgError),
+    /// The out-of-core shard layer failed (torn/corrupt spill shard, bad
+    /// manifest, io error, or a defect found by a streamed validate fold).
+    Shard(scis_data::ShardError),
 }
 
 impl fmt::Display for ScisError {
@@ -183,6 +186,7 @@ impl fmt::Display for ScisError {
             ScisError::ModelIo(e) => write!(f, "model io: {e}"),
             ScisError::Csv(e) => write!(f, "csv: {e}"),
             ScisError::Linalg(e) => write!(f, "linalg: {e}"),
+            ScisError::Shard(e) => write!(f, "shard: {e}"),
         }
     }
 }
@@ -196,6 +200,7 @@ impl std::error::Error for ScisError {
             ScisError::ModelIo(e) => Some(e),
             ScisError::Csv(e) => Some(e),
             ScisError::Linalg(e) => Some(e),
+            ScisError::Shard(e) => Some(e),
             _ => None,
         }
     }
@@ -234,6 +239,18 @@ impl From<scis_data::csvio::CsvError> for ScisError {
 impl From<scis_tensor::linalg::LinalgError> for ScisError {
     fn from(e: scis_tensor::linalg::LinalgError) -> Self {
         ScisError::Linalg(e)
+    }
+}
+
+impl From<scis_data::ShardError> for ScisError {
+    fn from(e: scis_data::ShardError) -> Self {
+        // a streamed fold finding a plain data defect is the same failure
+        // as the in-memory validate finding it — unwrap to keep error
+        // handling uniform across the two paths
+        match e {
+            scis_data::ShardError::Data(d) => ScisError::Data(d),
+            other => ScisError::Shard(other),
+        }
     }
 }
 

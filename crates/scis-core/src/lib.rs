@@ -48,7 +48,7 @@ pub use dim::{
 };
 pub use error::{FailureReason, ScisError, TrainPhase, TrainingError, POST_MORTEM_TAIL};
 pub use guard::{GuardConfig, GuardStats, TrainingGuard};
-pub use pipeline::{RunAnomalies, Scis, ScisConfig, ScisOutcome};
+pub use pipeline::{RunAnomalies, Scis, ScisConfig, ScisOutcome, StreamOutcome};
 pub use report::{
     CounterValue, HistogramReport, PhaseTiming, RunReport, SeriesReport, RUN_REPORT_SCHEMA_VERSION,
 };

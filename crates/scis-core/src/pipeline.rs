@@ -15,7 +15,12 @@ use crate::error::{ScisError, TrainPhase, POST_MORTEM_TAIL};
 use crate::guard::{GuardConfig, GuardStats};
 use crate::report::RunReport;
 use crate::sse::{fisher_diagonal_cached, model_distance, SseConfig, SseEstimator, SseResult};
-use scis_data::split::{sample_initial_split, sample_training_set};
+use scis_data::shard::{observed_column_means, RowSource, ShardSink};
+use scis_data::split::{
+    sample_initial_split, sample_initial_split_source, sample_training_set,
+    sample_training_set_source,
+};
+use scis_data::validate::validate_source;
 use scis_data::Dataset;
 use scis_imputers::traits::impute_with_generator;
 use scis_imputers::{AdversarialImputer, Imputer};
@@ -226,6 +231,45 @@ impl ScisOutcome {
         } else {
             0.0
         }
+    }
+}
+
+/// Everything Algorithm 1 returns when run over a sharded source — the
+/// streamed sibling of [`ScisOutcome`]. The imputed matrix itself is never
+/// held whole: output rows went to the run's [`ShardSink`] shard by shard,
+/// and [`StreamOutcome::rows_written`] records how many.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Rows pushed to the sink (always the source's row count on success).
+    pub rows_written: usize,
+    /// The estimated minimum sample size `n*`.
+    pub n_star: usize,
+    /// Dataset size `N`.
+    pub n_total: usize,
+    /// The initial sample size `n0` used.
+    pub n0: usize,
+    /// SSE details.
+    pub sse: SseResult,
+    /// Wall-clock spent training `M0`.
+    pub initial_train_time: Duration,
+    /// Wall-clock spent in SSE.
+    pub sse_time: Duration,
+    /// Wall-clock spent retraining on `X*` (zero when `n* = n0`).
+    pub retrain_time: Duration,
+    /// Total wall-clock of the run.
+    pub total_time: Duration,
+    /// Everything the fault-tolerant runtime caught and recovered from.
+    pub anomalies: RunAnomalies,
+    /// Structured run report (see [`ScisOutcome::report`]).
+    pub report: RunReport,
+    /// Post-mortem flight-recorder tail (see [`ScisOutcome::flight_tail`]).
+    pub flight_tail: Vec<RecordedEvent>,
+}
+
+impl StreamOutcome {
+    /// `R_t = n*/N` — the paper's training sample rate.
+    pub fn training_sample_rate(&self) -> f64 {
+        self.n_star as f64 / self.n_total.max(1) as f64
     }
 }
 
@@ -648,6 +692,361 @@ impl Scis {
         );
         Ok(ScisOutcome {
             imputed,
+            n_star: sse.n_star,
+            n_total,
+            n0,
+            sse,
+            initial_train_time,
+            sse_time,
+            retrain_time,
+            total_time,
+            anomalies,
+            report,
+            flight_tail,
+        })
+    }
+
+    /// [`Scis::try_run`] over a sharded [`RowSource`]: the same Algorithm 1,
+    /// never holding more than one shard of the full dataset (plus the
+    /// size-`n0`/`n*` training sets) in memory at a time.
+    ///
+    /// Phase by phase:
+    /// * validation runs as a one-pass shard fold ([`validate_source`]);
+    /// * the validation/initial split and every later training-set draw
+    ///   sample row ids through the *same* seeded `Rng64` calls as the
+    ///   in-memory path, then gather rows shard by shard;
+    /// * DIM training, calibration, SSE, and retraining operate on those
+    ///   gathered in-memory sets exactly as `try_run` does;
+    /// * the final imputation is a shard-wise pass writing finished rows to
+    ///   `sink` incrementally (non-finite cells are patched from streamed
+    ///   column means, mirroring the in-memory mean-imputer patch).
+    ///
+    /// For the same seed, the rows pushed to `sink` are bit-identical to
+    /// `try_run`'s [`ScisOutcome::imputed`] whenever the imputer's
+    /// reconstruction is row-independent (true for GAIN — verified by the
+    /// shard-stream integration tests at every thread count). The source
+    /// must keep the dataset invariant that missing cells hold NaN.
+    pub fn try_run_streamed(
+        &self,
+        imp: &mut dyn AdversarialImputer,
+        src: &dyn RowSource,
+        n0: usize,
+        rng: &mut Rng64,
+        sink: &mut dyn ShardSink,
+    ) -> Result<StreamOutcome, ScisError> {
+        let t_start = Instant::now();
+        let tel = self.telemetry.clone();
+        imp.set_telemetry(tel.clone());
+        let n_total = src.n_rows();
+        let n_v = n0; // paper §VI: Nv = n0
+        let span_validate = tel.span(SpanKind::Validate);
+        let data_report = validate_source(src)?;
+        if n_v + n0 > n_total {
+            return Err(ScisError::OversizedInitialSample {
+                requested: n_v + n0,
+                n_total,
+            });
+        }
+        if n0 == 0 {
+            return Err(ScisError::InvalidConfig {
+                message: "initial sample size n0 must be at least 1".into(),
+            });
+        }
+        if self.config.dim.train.epochs == 0 {
+            return Err(ScisError::InvalidConfig {
+                message: "dim.train.epochs must be at least 1".into(),
+            });
+        }
+        let mut anomalies = RunAnomalies {
+            all_missing_columns: data_report.all_missing_columns,
+            constant_columns: data_report.constant_columns,
+            ..Default::default()
+        };
+        let guard = &self.config.guard;
+        let hooks = TrainHooks {
+            checkpoint: self.checkpoint.as_ref(),
+            resume: self.resume.as_ref(),
+            deadline: self.deadline.clone(),
+        };
+
+        // line 1: sample validation + initial sets (same rng draws as the
+        // in-memory path, rows gathered shard by shard)
+        let split = sample_initial_split_source(src, n_v, n0, rng)?;
+        drop(span_validate);
+
+        // line 2: DIM-train M0 on X0 (identical to `try_run` — the gathered
+        // initial set is bit-equal to the in-memory `select_rows` result)
+        let init_seed = rng.next_u64();
+        let t0 = Instant::now();
+        let span_initial = tel.span(SpanKind::TrainInitial);
+        imp.init_networks(src.n_cols(), &mut Rng64::seed_from_u64(init_seed));
+        let mut guard_stats = GuardStats::default();
+        let phase_cache = |accel: AccelConfig| {
+            if accel.warm_start {
+                DualCache::enabled()
+            } else {
+                DualCache::off()
+            }
+        };
+        let initial_cache = phase_cache(self.config.dim.accel);
+        let initial = train_dim_resumable(
+            imp,
+            &split.initial,
+            &self.config.dim,
+            guard,
+            TrainPhase::Initial,
+            &mut guard_stats,
+            &tel,
+            &initial_cache,
+            &hooks,
+            rng,
+        );
+        drop(span_initial);
+        let initial_train_time = t0.elapsed();
+        anomalies.absorb_guard(&guard_stats);
+        if let Err(e) = initial {
+            // graceful degradation, streamed: fill missing cells from the
+            // one-pass column means (bit-equal to `MeanImputer::impute` on
+            // the materialized dataset) and push shard by shard
+            anomalies.mean_fallback = true;
+            anomalies
+                .notes
+                .push(format!("initial {e}; fell back to mean imputation"));
+            tel.record_event(Event::Degraded {
+                reason: "mean_fallback",
+            });
+            let flight_tail = tel.event_tail(POST_MORTEM_TAIL);
+            let means = observed_column_means(src)?;
+            let mut rows_written = 0usize;
+            for k in 0..src.n_shards() {
+                let shard = src.load_shard(k)?;
+                let block = Matrix::from_fn(shard.n_samples(), src.n_cols(), |i, j| {
+                    let v = shard.values[(i, j)];
+                    if v.is_nan() {
+                        means[j]
+                    } else {
+                        v
+                    }
+                });
+                rows_written += block.rows();
+                sink.push_rows(&block)?;
+            }
+            let total_time = t_start.elapsed();
+            let report = RunReport::assemble(
+                &tel.snapshot(),
+                n_total,
+                n0,
+                n0,
+                total_time.as_secs_f64(),
+                Vec::new(),
+                &anomalies,
+            );
+            return Ok(StreamOutcome {
+                rows_written,
+                n_star: n0,
+                n_total,
+                n0,
+                sse: SseResult::skipped(n0),
+                initial_train_time,
+                sse_time: Duration::ZERO,
+                retrain_time: Duration::ZERO,
+                total_time,
+                anomalies,
+                report,
+                flight_tail,
+            });
+        }
+
+        // line 3: SSE — operates on n0, N, the validation set, and the
+        // initial set only; none of them require the full matrix
+        let t1 = Instant::now();
+        let (sse, sse_time) = if self.deadline.expired() {
+            (SseResult::skipped(n0), Duration::ZERO)
+        } else {
+            let span_sse = tel.span(SpanKind::Sse);
+            let sinkhorn = SinkhornOptions {
+                lambda: estimate_sse_lambda(&self.config.dim, &split.initial, imp, rng),
+                max_iters: self.config.dim.max_sinkhorn_iters,
+                tol: 1e-8,
+                exec: self.config.dim.exec,
+                deadline: self.deadline.clone(),
+                precision: self.config.dim.accel.precision(),
+            };
+            let batch = self.config.dim.train.batch_size;
+            let fisher = fisher_diagonal_cached(
+                imp,
+                &split.initial,
+                &sinkhorn,
+                batch,
+                &guard.sinkhorn_escalation,
+                &tel,
+                &initial_cache,
+                self.config.dim.accel,
+                rng,
+            );
+            let mut estimator = SseEstimator::new(
+                imp,
+                &fisher,
+                n0,
+                n_total,
+                src.n_cols(),
+                self.config.sse,
+                rng,
+            );
+            estimator.set_telemetry(tel.clone());
+            estimator.set_deadline(self.deadline.clone());
+            if self.config.sse.calibrate && !self.deadline.expired() {
+                let _span_cal = tel.span(SpanKind::Calibration);
+                let theta0 = imp.generator_mut().param_vector();
+                let sibling_set = sample_training_set_source(src, n0, rng)?;
+                imp.init_networks(src.n_cols(), &mut Rng64::seed_from_u64(init_seed));
+                let mut sibling_stats = GuardStats::default();
+                let sibling = train_dim_resumable(
+                    imp,
+                    &sibling_set,
+                    &self.config.dim,
+                    guard,
+                    TrainPhase::Calibration,
+                    &mut sibling_stats,
+                    &tel,
+                    &phase_cache(self.config.dim.accel),
+                    &hooks,
+                    rng,
+                );
+                anomalies.absorb_guard(&sibling_stats);
+                match sibling {
+                    Ok(_) => {
+                        let theta_sibling = imp.generator_mut().param_vector();
+                        imp.generator_mut().set_param_vector(&theta0);
+                        let d_obs = model_distance(imp, &split.validation, &theta0, &theta_sibling);
+                        let d_ref = estimator.reference_mc_distance(imp, &split.validation);
+                        if d_obs > 1e-12 && d_ref > 1e-12 {
+                            estimator.set_calibration(d_obs / d_ref);
+                        }
+                    }
+                    Err(e) => {
+                        imp.generator_mut().set_param_vector(&theta0);
+                        anomalies.calibration_skipped = true;
+                        anomalies
+                            .notes
+                            .push(format!("calibration {e}; using uncalibrated SSE"));
+                        tel.record_event(Event::Degraded {
+                            reason: "calibration_skipped",
+                        });
+                    }
+                }
+            }
+            let sse = estimator.estimate(imp, &split.validation);
+            drop(span_sse);
+            (sse, t1.elapsed())
+        };
+
+        // lines 4-5: retrain on X* when n* > n0 — X* is gathered shard by
+        // shard; n* rows is the streamed pipeline's peak training set
+        let retrain_time = if sse.n_star > n0 && !self.deadline.expired() {
+            let t2 = Instant::now();
+            let _span_retrain = tel.span(SpanKind::Retrain);
+            let x_star = sample_training_set_source(src, sse.n_star, rng)?;
+            let mut retrain_stats = GuardStats::default();
+            let retrain = train_dim_resumable(
+                imp,
+                &x_star,
+                &self.config.dim,
+                guard,
+                TrainPhase::Retrain,
+                &mut retrain_stats,
+                &tel,
+                &phase_cache(self.config.dim.accel),
+                &hooks,
+                rng,
+            );
+            anomalies.absorb_guard(&retrain_stats);
+            if let Err(e) = retrain {
+                anomalies.retrain_failed = true;
+                anomalies
+                    .notes
+                    .push(format!("retrain {e}; keeping the initial model M0"));
+                tel.record_event(Event::Degraded {
+                    reason: "retrain_failed",
+                });
+            }
+            t2.elapsed()
+        } else {
+            Duration::ZERO
+        };
+
+        // lines 6-7: impute shard by shard, pushing finished rows to the
+        // sink. `impute_with_generator` never consumes rng, and a
+        // row-independent reconstruction makes per-shard output bit-equal
+        // to the whole-matrix pass. Column means for the non-finite patch
+        // are computed lazily — clean runs never pay the extra pass.
+        let span_impute = tel.span(SpanKind::Impute);
+        let mut bad_cells = 0usize;
+        let mut means: Option<Vec<f64>> = None;
+        let mut rows_written = 0usize;
+        for k in 0..src.n_shards() {
+            let shard = src.load_shard(k)?;
+            let mut block = impute_with_generator(imp, &shard, rng);
+            let shard_bad = block.as_slice().iter().filter(|v| !v.is_finite()).count();
+            if shard_bad > 0 {
+                bad_cells += shard_bad;
+                if means.is_none() {
+                    means = Some(observed_column_means(src)?);
+                }
+                let fills = means.as_ref().expect("means just computed");
+                block = Matrix::from_fn(block.rows(), block.cols(), |i, j| {
+                    let v = block[(i, j)];
+                    if v.is_finite() {
+                        v
+                    } else {
+                        fills[j]
+                    }
+                });
+            }
+            rows_written += block.rows();
+            sink.push_rows(&block)?;
+        }
+        if bad_cells > 0 {
+            anomalies.non_finite_cells_patched = bad_cells;
+            anomalies.notes.push(format!(
+                "patched {bad_cells} non-finite imputed cells from the mean imputer"
+            ));
+            tel.record_event(Event::Degraded {
+                reason: "non_finite_cells_patched",
+            });
+        }
+        drop(span_impute);
+
+        if self.deadline.is_some() && self.deadline.expired() {
+            anomalies.deadline_exceeded = true;
+            anomalies
+                .notes
+                .push("run deadline expired; finished with the best model so far".into());
+            if self.deadline.newly_expired() {
+                tel.record_event(Event::DeadlineHit {
+                    phase: "pipeline",
+                    epoch: 0,
+                });
+            }
+        }
+
+        let total_time = t_start.elapsed();
+        let flight_tail = if anomalies.is_degraded() || anomalies.deadline_exceeded {
+            tel.event_tail(POST_MORTEM_TAIL)
+        } else {
+            Vec::new()
+        };
+        let report = RunReport::assemble(
+            &tel.snapshot(),
+            n_total,
+            n0,
+            sse.n_star,
+            total_time.as_secs_f64(),
+            sse.trace.clone(),
+            &anomalies,
+        );
+        Ok(StreamOutcome {
+            rows_written,
             n_star: sse.n_star,
             n_total,
             n0,

@@ -73,6 +73,12 @@ pub struct SseConfig {
     /// imputer ([`AdversarialImputer::clone_boxed`]). Results are
     /// bit-identical to the serial evaluation.
     pub exec: ExecPolicy,
+    /// Binary-search stopping granularity on `n` (rows). `None` keeps the
+    /// adaptive default `max(N / 200, 1)`. Out-of-core runs can widen this
+    /// so each probe gathers fewer candidate training sets; the streamed
+    /// and in-memory pipelines share whatever value is configured, so their
+    /// searches visit identical midpoints.
+    pub granularity: Option<usize>,
 }
 
 impl Default for SseConfig {
@@ -87,6 +93,7 @@ impl Default for SseConfig {
             fisher_ridge: 1e-12,
             calibrate: true,
             exec: ExecPolicy::default(),
+            granularity: None,
         }
     }
 }
@@ -143,6 +150,12 @@ impl SseConfig {
     /// Fluent setter for [`SseConfig::exec`].
     pub fn exec(mut self, exec: ExecPolicy) -> Self {
         self.exec = exec;
+        self
+    }
+
+    /// Fluent setter for [`SseConfig::granularity`].
+    pub fn granularity(mut self, granularity: usize) -> Self {
+        self.granularity = Some(granularity);
         self
     }
 
@@ -621,7 +634,11 @@ impl SseEstimator {
             (self.n_total, cache[&self.n_total])
         } else {
             let (mut lo, mut hi) = (self.n0, self.n_total);
-            let granularity = (self.n_total / 200).max(1);
+            let granularity = self
+                .cfg
+                .granularity
+                .unwrap_or((self.n_total / 200).max(1))
+                .max(1);
             while hi - lo > granularity {
                 // deadline: stop refining and keep the smallest *accepted*
                 // candidate seen so far (`hi` is always accepted here, so

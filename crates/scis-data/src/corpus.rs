@@ -8,8 +8,46 @@
 
 use crate::dataset::Dataset;
 use crate::missing::{inject, Mechanism};
+use crate::shard::ShardedDataset;
 use crate::synth::{generate, SynthConfig, SynthData};
 use scis_tensor::{Matrix, Rng64};
+use std::fmt;
+
+/// Rejected recipe parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CorpusError {
+    /// `scale` outside `(0, 1]` (or non-finite — NaN compares false against
+    /// every bound, so it lands here too instead of wrapping a cast).
+    BadScale(f64),
+    /// The scaled sample count does not fit `usize` (only reachable on
+    /// exotic targets; the checked conversion keeps the cast from silently
+    /// saturating).
+    Overflow(f64),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::BadScale(s) => write!(f, "scale must be in (0, 1], got {s}"),
+            CorpusError::Overflow(n) => write!(f, "scaled sample count {n} overflows usize"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// `(samples × scale).round()` with the float→usize cast checked instead of
+/// the silent saturate/wrap of `as usize` on non-finite or huge inputs.
+fn scaled_samples(samples: usize, scale: f64) -> Result<usize, CorpusError> {
+    if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
+        return Err(CorpusError::BadScale(scale));
+    }
+    let exact = (samples as f64 * scale).round();
+    if !exact.is_finite() || exact < 0.0 || exact >= usize::MAX as f64 {
+        return Err(CorpusError::Overflow(exact));
+    }
+    Ok((exact as usize).max(64))
+}
 
 /// One of the six dataset shapes from the paper's Table II.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -123,24 +161,32 @@ impl CovidRecipe {
         }
     }
 
-    /// Generates the incomplete dataset (MCAR at Table II's rate) at
-    /// `scale ∈ (0, 1]` of the full sample count.
-    ///
-    /// # Panics
-    /// Panics if `scale` is not in `(0, 1]`.
-    pub fn generate(&self, scale: f64, seed: u64) -> RecipeInstance {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
-        let n = ((self.full_samples() as f64 * scale).round() as usize).max(64);
-        let n0 = ((self.paper_n0() as f64 * scale).round() as usize).clamp(32, n);
+    /// The latent-factor generator configuration shared by the in-memory
+    /// and sharded instantiations of this recipe at `n` samples.
+    fn synth_config(&self, n: usize) -> SynthConfig {
         let d = self.features();
-        let cfg = SynthConfig {
+        SynthConfig {
             n_samples: n,
             n_features: d,
             latent_dim: (d / 3).clamp(2, 16),
             n_categorical: self.categorical_cols(),
             categorical_levels: 4,
             noise_std: 0.05,
-        };
+        }
+    }
+
+    /// `n0` scaled with the sample count, clamped into `[32, n]`.
+    fn scaled_n0(&self, scale: f64, n: usize) -> usize {
+        ((self.paper_n0() as f64 * scale).round() as usize).clamp(32, n)
+    }
+
+    /// Generates the incomplete dataset (MCAR at Table II's rate) at
+    /// `scale ∈ (0, 1]` of the full sample count. Fallible form of
+    /// [`CovidRecipe::generate`]: rejects non-finite / out-of-range `scale`
+    /// and checks the float→usize conversion instead of casting blindly.
+    pub fn try_generate(&self, scale: f64, seed: u64) -> Result<RecipeInstance, CorpusError> {
+        let n = scaled_samples(self.full_samples(), scale)?;
+        let cfg = self.synth_config(n);
         let mut rng = Rng64::seed_from_u64(seed ^ self.seed_salt());
         let SynthData { complete, kinds } = generate(&cfg, &mut rng);
         let dataset = inject(
@@ -151,11 +197,51 @@ impl CovidRecipe {
             },
             &mut rng,
         );
-        RecipeInstance {
+        Ok(RecipeInstance {
             dataset,
             ground_truth: complete,
-            n0,
+            n0: self.scaled_n0(scale, n),
+        })
+    }
+
+    /// Generates the incomplete dataset (MCAR at Table II's rate) at
+    /// `scale ∈ (0, 1]` of the full sample count.
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 1]` (including NaN) or the scaled
+    /// sample count overflows. See [`CovidRecipe::try_generate`] for the
+    /// fallible form.
+    pub fn generate(&self, scale: f64, seed: u64) -> RecipeInstance {
+        match self.try_generate(scale, seed) {
+            Ok(inst) => inst,
+            Err(CorpusError::BadScale(s)) => panic!("scale must be in (0, 1], got {s}"),
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Out-of-core form of this recipe: a seed-salted [`ShardedDataset`]
+    /// whose shards are generated on demand, plus the scaled `n0`. The row
+    /// *distribution* matches [`CovidRecipe::generate`] (same latent-factor
+    /// model, marginal warps, categorical binning, MCAR rate), but the
+    /// realized values differ: whole-matrix generation bins categoricals
+    /// against global empirical quantiles, which no shard can compute
+    /// locally, so the sharded generator fixes its cuts from a seed-derived
+    /// calibration sample instead. Within a sharded instance, materializing
+    /// and per-shard generation are bit-identical by construction.
+    pub fn sharded(
+        &self,
+        scale: f64,
+        seed: u64,
+        shard_rows: usize,
+    ) -> Result<(ShardedDataset, usize), CorpusError> {
+        let n = scaled_samples(self.full_samples(), scale)?;
+        let src = ShardedDataset::from_recipe(
+            self.synth_config(n),
+            self.missing_rate(),
+            seed ^ self.seed_salt(),
+            shard_rows,
+        );
+        Ok((src, self.scaled_n0(scale, n)))
     }
 
     fn seed_salt(&self) -> u64 {
@@ -219,5 +305,43 @@ mod tests {
     #[should_panic(expected = "scale must be in")]
     fn rejects_zero_scale() {
         let _ = CovidRecipe::Trial.generate(0.0, 1);
+    }
+
+    #[test]
+    fn try_generate_rejects_bad_scales_as_typed_errors() {
+        // regression for the unchecked `(full_samples * scale) as usize`
+        // cast: non-finite and out-of-range scales must surface as typed
+        // errors, never wrap or saturate
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.5, 1.5] {
+            match CovidRecipe::Trial.try_generate(bad, 1) {
+                Err(CorpusError::BadScale(s)) => {
+                    assert!(s.is_nan() == bad.is_nan() && (s.is_nan() || s == bad))
+                }
+                other => panic!("scale {bad}: expected BadScale, got {other:?}"),
+            }
+        }
+        assert!(CovidRecipe::Trial.try_generate(0.02, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn generate_panics_on_nan_scale() {
+        let _ = CovidRecipe::Trial.generate(f64::NAN, 1);
+    }
+
+    #[test]
+    fn sharded_recipe_matches_table_shape() {
+        use crate::shard::RowSource;
+        let (src, n0) = CovidRecipe::Weather.sharded(0.0001, 5, 128).unwrap();
+        assert_eq!(src.n_rows(), 491); // round(4_911_011 * 1e-4)
+        assert_eq!(src.n_cols(), 9);
+        assert_eq!(n0, 32); // round(20_000 * 1e-4) = 2 → clamped to 32
+        assert_eq!(src.n_shards(), 4);
+        let rate = src.missing_rate().unwrap();
+        assert!((rate - 0.2156).abs() < 0.03, "rate {rate}");
+        assert!(matches!(
+            CovidRecipe::Weather.sharded(f64::NAN, 5, 128),
+            Err(CorpusError::BadScale(_))
+        ));
     }
 }

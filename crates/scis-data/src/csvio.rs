@@ -91,43 +91,94 @@ pub fn write_dataset(path: &Path, ds: &Dataset) -> Result<(), CsvError> {
     Ok(())
 }
 
+/// Streaming row reader over a CSV file with a header line: yields one
+/// parsed row at a time (empty cells → NaN), so large inputs can be spilled
+/// out of core without ever materializing the full `N × d` matrix.
+///
+/// [`read_dataset`] is built on this reader; the parsing rules (trimmed
+/// cells, empty → missing, ragged/bad-number errors with 1-based line
+/// numbers) are identical by construction.
+pub struct CsvRows {
+    lines: std::io::Lines<BufReader<std::fs::File>>,
+    n_cols: usize,
+    /// 1-based file line of the most recently read line (header = 1).
+    lineno: usize,
+}
+
+impl CsvRows {
+    /// Opens `path` and consumes the header line.
+    pub fn open(path: &Path) -> Result<Self, CsvError> {
+        let reader = BufReader::new(std::fs::File::open(path)?);
+        let mut lines = reader.lines();
+        let header = match lines.next() {
+            Some(h) => h?,
+            None => return Err(CsvError::Empty),
+        };
+        Ok(Self {
+            lines,
+            n_cols: header.split(',').count(),
+            lineno: 1,
+        })
+    }
+
+    /// Number of columns declared by the header.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+}
+
+impl Iterator for CsvRows {
+    type Item = Result<Vec<f64>, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(l) => l,
+                Err(e) => return Some(Err(e.into())),
+            };
+            self.lineno += 1;
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != self.n_cols {
+                return Some(Err(CsvError::RaggedRow {
+                    line: self.lineno,
+                    got: fields.len(),
+                    expected: self.n_cols,
+                }));
+            }
+            let mut row = Vec::with_capacity(self.n_cols);
+            for (col, f) in fields.iter().enumerate() {
+                let t = f.trim();
+                if t.is_empty() {
+                    row.push(f64::NAN);
+                } else {
+                    match t.parse::<f64>() {
+                        Ok(v) => row.push(v),
+                        Err(_) => {
+                            return Some(Err(CsvError::BadNumber {
+                                line: self.lineno,
+                                col,
+                                text: t.to_string(),
+                            }))
+                        }
+                    }
+                }
+            }
+            return Some(Ok(row));
+        }
+    }
+}
+
 /// Reads a CSV with a header row into a [`Dataset`]; empty cells → missing.
 pub fn read_dataset(path: &Path) -> Result<Dataset, CsvError> {
-    let reader = BufReader::new(std::fs::File::open(path)?);
-    let mut lines = reader.lines();
-    let header = match lines.next() {
-        Some(h) => h?,
-        None => return Err(CsvError::Empty),
-    };
-    let d = header.split(',').count();
+    let mut reader = CsvRows::open(path)?;
+    let d = reader.n_cols();
     let mut data: Vec<f64> = Vec::new();
     let mut rows = 0usize;
-    for (lineno, line) in lines.enumerate() {
-        let line = line?;
-        if line.is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != d {
-            return Err(CsvError::RaggedRow {
-                line: lineno + 2,
-                got: fields.len(),
-                expected: d,
-            });
-        }
-        for (col, f) in fields.iter().enumerate() {
-            let t = f.trim();
-            if t.is_empty() {
-                data.push(f64::NAN);
-            } else {
-                let v: f64 = t.parse().map_err(|_| CsvError::BadNumber {
-                    line: lineno + 2,
-                    col,
-                    text: t.to_string(),
-                })?;
-                data.push(v);
-            }
-        }
+    for row in &mut reader {
+        data.extend(row?);
         rows += 1;
     }
     if rows == 0 {
@@ -185,6 +236,42 @@ mod tests {
         assert!(matches!(
             read_dataset(&path),
             Err(CsvError::BadNumber { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rows_streams_the_same_values_as_read_dataset() {
+        let path = tmp("stream.csv");
+        std::fs::write(&path, "a,b,c\n1,,3\n\n4,5,\n").unwrap();
+        let ds = read_dataset(&path).unwrap();
+        let mut reader = CsvRows::open(&path).unwrap();
+        assert_eq!(reader.n_cols(), 3);
+        let mut i = 0;
+        for row in &mut reader {
+            let row = row.unwrap();
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(v.to_bits(), ds.values[(i, j)].to_bits());
+            }
+            i += 1;
+        }
+        assert_eq!(i, ds.n_samples());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_rows_reports_errors_with_line_numbers() {
+        let path = tmp("stream_err.csv");
+        std::fs::write(&path, "a,b\n1,2\n3\n").unwrap();
+        let rows: Vec<_> = CsvRows::open(&path).unwrap().collect();
+        assert!(rows[0].is_ok());
+        assert!(matches!(
+            rows[1],
+            Err(CsvError::RaggedRow {
+                line: 3,
+                got: 1,
+                expected: 2
+            })
         ));
         std::fs::remove_file(&path).ok();
     }

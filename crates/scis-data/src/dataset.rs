@@ -17,46 +17,93 @@ pub enum ColumnKind {
     },
 }
 
+/// Per-column streaming state behind [`infer_kinds`]: feed observed values
+/// in row order, then [`KindState::resolve`]. Tracking the running maximum
+/// level inline (instead of `max()`-ing the distinct set afterwards) keeps
+/// the empty-column case panic-free: a column with no observed values
+/// resolves to [`ColumnKind::Continuous`] instead of tripping an `.expect`
+/// on an empty set.
+#[derive(Debug, Clone)]
+struct KindState {
+    distinct: Vec<i64>,
+    max_level: i64,
+    categorical: bool,
+    any: bool,
+}
+
+impl KindState {
+    fn new() -> Self {
+        Self {
+            distinct: Vec::new(),
+            max_level: 0,
+            categorical: true,
+            any: false,
+        }
+    }
+
+    fn observe(&mut self, v: f64, max_levels: usize) {
+        if v.is_nan() || !self.categorical {
+            return;
+        }
+        self.any = true;
+        if v < 0.0 || v.fract() != 0.0 || v > 1e6 {
+            self.categorical = false;
+            return;
+        }
+        let iv = v as i64;
+        if !self.distinct.contains(&iv) {
+            self.distinct.push(iv);
+            self.max_level = self.max_level.max(iv);
+            if self.distinct.len() > max_levels {
+                self.categorical = false;
+            }
+        }
+    }
+
+    fn resolve(&self) -> ColumnKind {
+        if self.any && self.categorical && self.distinct.len() >= 2 {
+            ColumnKind::Categorical {
+                levels: (self.max_level as usize + 1).max(2),
+            }
+        } else {
+            ColumnKind::Continuous
+        }
+    }
+}
+
 /// Infers per-column kinds from observed values: a column whose observed
 /// values are all small non-negative integers with at most `max_levels`
 /// distinct values is treated as categorical (ordinal-coded); everything
 /// else is continuous. Used by the `scis-impute` CLI so heterogeneous
-/// heads (HIVAE) work on raw CSVs.
+/// heads (HIVAE) work on raw CSVs. A column with no observed values is
+/// continuous.
 pub fn infer_kinds(values: &Matrix, max_levels: usize) -> Vec<ColumnKind> {
-    (0..values.cols())
-        .map(|j| {
-            let mut distinct: Vec<i64> = Vec::new();
-            let mut categorical = true;
-            let mut any = false;
-            for i in 0..values.rows() {
-                let v = values[(i, j)];
-                if v.is_nan() {
-                    continue;
-                }
-                any = true;
-                if v < 0.0 || v.fract() != 0.0 || v > 1e6 {
-                    categorical = false;
-                    break;
-                }
-                let iv = v as i64;
-                if !distinct.contains(&iv) {
-                    distinct.push(iv);
-                    if distinct.len() > max_levels {
-                        categorical = false;
-                        break;
-                    }
-                }
+    let mut states: Vec<KindState> = (0..values.cols()).map(|_| KindState::new()).collect();
+    for i in 0..values.rows() {
+        for (j, s) in states.iter_mut().enumerate() {
+            s.observe(values[(i, j)], max_levels);
+        }
+    }
+    states.iter().map(KindState::resolve).collect()
+}
+
+/// Streaming [`infer_kinds`] over a sharded source: one pass in shard
+/// order, identical results to materializing the source (the per-column
+/// state consumes observed values in the same row order).
+pub fn infer_kinds_source(
+    src: &dyn crate::shard::RowSource,
+    max_levels: usize,
+) -> Result<Vec<ColumnKind>, crate::shard::ShardError> {
+    let mut states: Vec<KindState> = (0..src.n_cols()).map(|_| KindState::new()).collect();
+    for k in 0..src.n_shards() {
+        let shard = src.load_shard(k)?;
+        for i in 0..shard.n_samples() {
+            for (j, s) in states.iter_mut().enumerate() {
+                s.observe(shard.values[(i, j)], max_levels);
             }
-            if any && categorical && distinct.len() >= 2 {
-                let levels = (*distinct.iter().max().expect("non-empty") as usize) + 1;
-                ColumnKind::Categorical {
-                    levels: levels.max(2),
-                }
-            } else {
-                ColumnKind::Continuous
-            }
-        })
-        .collect()
+        }
+    }
+    Ok(states.iter().map(KindState::resolve).collect())
 }
 
 /// An incomplete dataset: observed values (NaN at missing cells), the mask
@@ -273,6 +320,41 @@ mod tests {
         assert_eq!(infer_kinds(&v, 8)[0], ColumnKind::Continuous);
         let w = Matrix::from_fn(100, 1, |i, _| (i % 4) as f64);
         assert_eq!(infer_kinds(&w, 8)[0], ColumnKind::Categorical { levels: 4 });
+    }
+
+    #[test]
+    fn infer_kinds_handles_all_missing_column() {
+        // regression: the old implementation max()-ed the distinct set with
+        // an `.expect("non-empty")` — an all-missing column must resolve to
+        // Continuous, not panic
+        let v = Matrix::from_fn(5, 3, |i, j| match j {
+            0 => f64::NAN,
+            1 => (i % 2) as f64,
+            _ => 0.25,
+        });
+        let kinds = infer_kinds(&v, 8);
+        assert_eq!(kinds[0], ColumnKind::Continuous);
+        assert_eq!(kinds[1], ColumnKind::Categorical { levels: 2 });
+        assert_eq!(kinds[2], ColumnKind::Continuous);
+    }
+
+    #[test]
+    fn infer_kinds_source_matches_in_memory() {
+        let v = Matrix::from_fn(40, 4, |i, j| match j {
+            0 => (i % 3) as f64,
+            1 => i as f64 * 0.1,
+            2 => {
+                if i % 4 == 0 {
+                    f64::NAN
+                } else {
+                    (i % 5) as f64
+                }
+            }
+            _ => f64::NAN,
+        });
+        let ds = Dataset::from_values(v.clone());
+        let chunked = crate::shard::ChunkedDataset::new(&ds, 7);
+        assert_eq!(infer_kinds_source(&chunked, 8).unwrap(), infer_kinds(&v, 8));
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //!   AUC;
 //! * [`csvio`] — minimal CSV round-trip with empty-cell missing values;
 //! * [`validate`] — dataset defect checks (non-finite observed cells,
-//!   all-missing / constant columns) feeding the fault-tolerant pipeline.
+//!   all-missing / constant columns) feeding the fault-tolerant pipeline;
+//! * [`shard`] — out-of-core sharded datasets ([`shard::RowSource`],
+//!   recipe-backed and checksummed spill-backed shards, shard sinks) that
+//!   let the pipeline stream at the paper's N without holding `N × d` in
+//!   memory.
 
 pub mod corpus;
 pub mod csvio;
@@ -29,14 +33,18 @@ pub mod mask;
 pub mod metrics;
 pub mod missing;
 pub mod normalize;
+pub mod shard;
 pub mod split;
 pub mod synth;
 pub mod validate;
 
-pub use corpus::CovidRecipe;
+pub use corpus::{CorpusError, CovidRecipe};
 pub use dataset::{ColumnKind, Dataset};
 pub use mask::MaskMatrix;
 pub use metrics::Holdout;
 pub use missing::Mechanism;
-pub use normalize::MinMaxScaler;
+pub use normalize::{MinMaxScaler, ScaledSource};
+pub use shard::{
+    ChunkedDataset, MemorySink, RowSource, ShardError, ShardSink, ShardedDataset, SpillWriter,
+};
 pub use validate::{DataError, DataReport};

@@ -123,7 +123,9 @@ pub fn try_make_holdout(
         return Err(MetricsError::BadFraction(frac));
     }
     let observed: Vec<(usize, usize)> = ds.observed_cells().map(|(i, j, _)| (i, j)).collect();
-    let k = ((observed.len() as f64) * frac).round() as usize;
+    // clamp defensively: rounding can push k past observed.len() (frac just
+    // below 1 on a large cell count), which would make sample_indices panic
+    let k = (((observed.len() as f64) * frac).round() as usize).min(observed.len());
     if k == 0 {
         return Err(MetricsError::EmptyHoldout {
             observed: observed.len(),
@@ -255,6 +257,32 @@ mod tests {
         for (&(i, j), &t) in holdout.positions.iter().zip(&holdout.truth) {
             assert!(reduced.values[(i, j)].is_nan());
             assert_eq!(ds.values[(i, j)], t);
+        }
+    }
+
+    #[test]
+    fn holdout_k_never_exceeds_observed_count() {
+        // regression for the unclamped `(observed * frac).round() as usize`:
+        // frac just below 1 rounds k up to observed.len(); the holdout must
+        // take every observed cell rather than panic in sample_indices
+        let ds = toy();
+        let observed = ds.mask.count_observed();
+        let frac = 1.0 - f64::EPSILON; // in [0,1), rounds to observed.len()
+        let mut rng = Rng64::seed_from_u64(9);
+        let (reduced, holdout) = try_make_holdout(&ds, frac, &mut rng).unwrap();
+        assert_eq!(holdout.len(), observed);
+        assert_eq!(reduced.mask.count_observed(), 0);
+    }
+
+    #[test]
+    fn holdout_rejects_out_of_range_fractions() {
+        let ds = toy();
+        for bad in [-0.1, 1.0, 1.5, f64::NAN] {
+            let mut rng = Rng64::seed_from_u64(9);
+            assert!(matches!(
+                try_make_holdout(&ds, bad, &mut rng),
+                Err(MetricsError::BadFraction(_))
+            ));
         }
     }
 

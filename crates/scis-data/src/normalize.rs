@@ -5,7 +5,8 @@
 //! on *observed* values only — missing cells are NaN — and must round-trip
 //! exactly for the post-imputation denormalization step.
 
-use crate::dataset::Dataset;
+use crate::dataset::{ColumnKind, Dataset};
+use crate::shard::{RowSource, ShardError};
 use scis_tensor::stats::nan_min_max;
 use scis_tensor::Matrix;
 
@@ -112,6 +113,46 @@ impl MinMaxScaler {
         self.mins.len()
     }
 
+    /// Streaming [`MinMaxScaler::fit`] over a sharded source: one pass in
+    /// shard order, holding only per-column `(lo, hi)` state.
+    ///
+    /// Bit-identical to fitting the materialized matrix — each column's
+    /// running `min`/`max` consumes observed values in the same row order
+    /// as `nan_min_max`, and the degenerate-column fallbacks are shared.
+    pub fn fit_source(src: &dyn RowSource) -> Result<Self, ShardError> {
+        let d = src.n_cols();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        let mut seen = vec![false; d];
+        for k in 0..src.n_shards() {
+            let shard = src.load_shard(k)?;
+            for i in 0..shard.n_samples() {
+                for (j, &v) in shard.values.row(i).iter().enumerate() {
+                    if v.is_nan() {
+                        continue;
+                    }
+                    seen[j] = true;
+                    lo[j] = lo[j].min(v);
+                    hi[j] = hi[j].max(v);
+                }
+            }
+        }
+        let mut mins = Vec::with_capacity(d);
+        let mut spans = Vec::with_capacity(d);
+        for j in 0..d {
+            let (lo, hi) = if seen[j] { (lo[j], hi[j]) } else { (0.0, 0.0) };
+            let span = hi - lo;
+            if lo.is_finite() && span.is_finite() {
+                mins.push(lo);
+                spans.push(if span > 0.0 { span } else { 1.0 });
+            } else {
+                mins.push(0.0);
+                spans.push(1.0);
+            }
+        }
+        Ok(Self { mins, spans })
+    }
+
     /// Fits on a dataset and returns the normalized dataset plus the scaler.
     pub fn fit_transform_dataset(ds: &Dataset) -> (Dataset, MinMaxScaler) {
         let scaler = MinMaxScaler::fit(&ds.values);
@@ -124,6 +165,57 @@ impl MinMaxScaler {
             },
             scaler,
         )
+    }
+}
+
+/// A [`RowSource`] adapter applying a fitted scaler to every loaded shard.
+/// Shard-wise transformation equals whole-matrix transformation because the
+/// map is per-cell (NaN stays NaN, so masks are unchanged).
+#[derive(Clone, Copy)]
+pub struct ScaledSource<'a> {
+    src: &'a dyn RowSource,
+    scaler: &'a MinMaxScaler,
+}
+
+impl<'a> ScaledSource<'a> {
+    /// Wraps `src` so every shard comes out normalized by `scaler`.
+    ///
+    /// # Panics
+    /// Panics if the scaler's column count differs from the source's.
+    pub fn new(src: &'a dyn RowSource, scaler: &'a MinMaxScaler) -> Self {
+        assert_eq!(
+            src.n_cols(),
+            scaler.n_cols(),
+            "ScaledSource: column mismatch"
+        );
+        Self { src, scaler }
+    }
+}
+
+impl RowSource for ScaledSource<'_> {
+    fn n_rows(&self) -> usize {
+        self.src.n_rows()
+    }
+
+    fn n_cols(&self) -> usize {
+        self.src.n_cols()
+    }
+
+    fn kinds(&self) -> &[ColumnKind] {
+        self.src.kinds()
+    }
+
+    fn shard_rows(&self) -> usize {
+        self.src.shard_rows()
+    }
+
+    fn load_shard(&self, k: usize) -> Result<Dataset, ShardError> {
+        let shard = self.src.load_shard(k)?;
+        Ok(Dataset {
+            values: self.scaler.transform(&shard.values),
+            mask: shard.mask,
+            kinds: shard.kinds,
+        })
     }
 }
 
@@ -213,6 +305,63 @@ mod tests {
         let t = s.transform(&v);
         assert_eq!(t[(1, 0)], 2.0);
         assert!(!t[(1, 0)].is_nan());
+    }
+
+    #[test]
+    fn fit_source_matches_in_memory_fit_bitwise() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let v = Matrix::from_fn(97, 5, |i, j| {
+            if (i + j) % 7 == 0 {
+                f64::NAN
+            } else {
+                rng.normal_with(3.0, 11.0)
+            }
+        });
+        let ds = Dataset::from_values(v.clone());
+        let in_memory = MinMaxScaler::fit(&v);
+        for shard_rows in [1, 13, 97, 200] {
+            let chunked = crate::shard::ChunkedDataset::new(&ds, shard_rows);
+            let streamed = MinMaxScaler::fit_source(&chunked).unwrap();
+            for j in 0..5 {
+                assert_eq!(streamed.mins()[j].to_bits(), in_memory.mins()[j].to_bits());
+                assert_eq!(
+                    streamed.spans()[j].to_bits(),
+                    in_memory.spans()[j].to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fit_source_degenerate_columns_fall_back_like_fit() {
+        // all-missing, constant, and infinite columns take the same
+        // identity fallbacks as the in-memory fit
+        let v = Matrix::from_rows(&[
+            &[f64::NAN, 5.0, 1.0],
+            &[f64::NAN, 5.0, f64::INFINITY],
+            &[f64::NAN, 5.0, 3.0],
+        ]);
+        let ds = Dataset::from_values(v.clone());
+        let chunked = crate::shard::ChunkedDataset::new(&ds, 2);
+        let streamed = MinMaxScaler::fit_source(&chunked).unwrap();
+        let in_memory = MinMaxScaler::fit(&v);
+        assert_eq!(streamed.mins(), in_memory.mins());
+        assert_eq!(streamed.spans(), in_memory.spans());
+    }
+
+    #[test]
+    fn scaled_source_shards_match_whole_matrix_transform() {
+        let v = Matrix::from_rows(&[&[0.0, 10.0], &[5.0, f64::NAN], &[10.0, 30.0]]);
+        let ds = Dataset::from_values(v.clone());
+        let s = MinMaxScaler::fit(&v);
+        let chunked = crate::shard::ChunkedDataset::new(&ds, 2);
+        let scaled = ScaledSource::new(&chunked, &s);
+        let streamed = scaled.materialize().unwrap();
+        let whole = s.transform(&v);
+        for (a, b) in streamed.values.as_slice().iter().zip(whole.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(streamed.mask, ds.mask);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! size-`n*` training set from the full dataset.
 
 use crate::dataset::Dataset;
+use crate::shard::{RowSource, ShardError};
 use scis_tensor::Rng64;
 
 /// Result of the Algorithm 1 line-1 sampling.
@@ -51,6 +52,53 @@ pub fn sample_training_set(ds: &Dataset, n: usize, rng: &mut Rng64) -> Dataset {
     ds.select_rows(&idx)
 }
 
+/// [`sample_initial_split`] over a sharded source. Draws the *same* index
+/// sequence from `rng` as the in-memory version (one `sample_indices` call,
+/// split at `n_v`), then gathers the rows shard by shard — so for the same
+/// seed the split is identical whether the data is in memory or sharded.
+///
+/// # Panics
+/// Panics if `n_v + n_0` exceeds the number of rows (same message as
+/// [`sample_initial_split`]).
+pub fn sample_initial_split_source(
+    src: &dyn RowSource,
+    n_v: usize,
+    n_0: usize,
+    rng: &mut Rng64,
+) -> Result<InitialSplit, ShardError> {
+    let n = src.n_rows();
+    assert!(
+        n_v + n_0 <= n,
+        "sample_initial_split: Nv + n0 = {} exceeds N = {}",
+        n_v + n_0,
+        n
+    );
+    let mut idx = rng.sample_indices(n, n_v + n_0);
+    let initial_indices = idx.split_off(n_v);
+    let validation_indices = idx;
+    Ok(InitialSplit {
+        validation: src.gather_rows(&validation_indices)?,
+        initial: src.gather_rows(&initial_indices)?,
+        validation_indices,
+        initial_indices,
+    })
+}
+
+/// [`sample_training_set`] over a sharded source: same `rng` consumption,
+/// rows gathered shard by shard.
+///
+/// # Panics
+/// Panics if `n` exceeds the number of rows.
+pub fn sample_training_set_source(
+    src: &dyn RowSource,
+    n: usize,
+    rng: &mut Rng64,
+) -> Result<Dataset, ShardError> {
+    assert!(n <= src.n_rows(), "sample_training_set: n exceeds N");
+    let idx = rng.sample_indices(src.n_rows(), n);
+    src.gather_rows(&idx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +135,35 @@ mod tests {
         let ds = toy(10);
         let mut rng = Rng64::seed_from_u64(3);
         let _ = sample_initial_split(&ds, 6, 5, &mut rng);
+    }
+
+    #[test]
+    fn source_split_matches_in_memory_split_for_same_seed() {
+        let ds = toy(100);
+        let chunked = crate::shard::ChunkedDataset::new(&ds, 9);
+        let mut rng_a = Rng64::seed_from_u64(11);
+        let mut rng_b = Rng64::seed_from_u64(11);
+        let a = sample_initial_split(&ds, 20, 30, &mut rng_a);
+        let b = sample_initial_split_source(&chunked, 20, 30, &mut rng_b).unwrap();
+        assert_eq!(a.validation_indices, b.validation_indices);
+        assert_eq!(a.initial_indices, b.initial_indices);
+        assert_eq!(a.validation.values, b.validation.values);
+        assert_eq!(a.initial.values, b.initial.values);
+        assert_eq!(a.initial.mask, b.initial.mask);
+        // the rng streams stay in lockstep afterwards too
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn source_training_set_matches_in_memory_for_same_seed() {
+        let ds = toy(60);
+        let chunked = crate::shard::ChunkedDataset::new(&ds, 7);
+        let mut rng_a = Rng64::seed_from_u64(12);
+        let mut rng_b = Rng64::seed_from_u64(12);
+        let a = sample_training_set(&ds, 25, &mut rng_a);
+        let b = sample_training_set_source(&chunked, 25, &mut rng_b).unwrap();
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.mask, b.mask);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //!
 //! [`Scis::try_run`]: https://docs.rs/scis-core
 
-use crate::dataset::Dataset;
+use crate::dataset::{ColumnKind, Dataset};
+use crate::shard::{RowSource, ShardError};
 use std::fmt;
 
 /// A dataset defect that makes adversarial training unsafe.
@@ -26,6 +27,13 @@ pub enum DataError {
     },
     /// The dataset has no rows or no columns.
     Empty,
+    /// A column *declared* categorical has no observed cells, so its level
+    /// structure cannot be established (level inference on it used to
+    /// panic). All-missing *continuous* columns stay report-only.
+    AllMissingCategorical {
+        /// The offending column.
+        col: usize,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -36,6 +44,10 @@ impl fmt::Display for DataError {
                 "observed cell ({row}, {col}) holds non-finite value {value}"
             ),
             DataError::Empty => write!(f, "dataset has no rows or no columns"),
+            DataError::AllMissingCategorical { col } => write!(
+                f,
+                "categorical column {col} has no observed cells; its levels cannot be established"
+            ),
         }
     }
 }
@@ -95,13 +107,75 @@ impl Dataset {
                 }
             }
             match first {
-                None => report.all_missing_columns.push(j),
+                None => {
+                    if matches!(self.kinds[j], ColumnKind::Categorical { .. }) {
+                        return Err(DataError::AllMissingCategorical { col: j });
+                    }
+                    report.all_missing_columns.push(j);
+                }
                 Some(_) if constant => report.constant_columns.push(j),
                 Some(_) => {}
             }
         }
         Ok(report)
     }
+}
+
+/// Streaming [`Dataset::validate`] over a sharded source: one pass in shard
+/// order, holding only per-column fold state.
+///
+/// For valid data the resulting [`DataReport`] is identical to validating
+/// the materialized dataset — each column's first/constant state depends
+/// only on that column's observed values in row order, which shards
+/// preserve. On *invalid* data the reported defect cell can differ: the
+/// in-memory scan walks column-major and stops at its first bad cell, the
+/// streamed scan walks row-major; both return the same error type.
+pub fn validate_source(src: &dyn RowSource) -> Result<DataReport, ShardError> {
+    if src.n_rows() == 0 || src.n_cols() == 0 {
+        return Err(ShardError::Data(DataError::Empty));
+    }
+    let d = src.n_cols();
+    let mut first: Vec<Option<f64>> = vec![None; d];
+    let mut constant = vec![true; d];
+    for k in 0..src.n_shards() {
+        let shard = src.load_shard(k)?;
+        let (start, _) = src.shard_span(k);
+        for i in 0..shard.n_samples() {
+            for (j, &v) in shard.values.row(i).iter().enumerate() {
+                if !shard.mask.get(i, j) {
+                    continue;
+                }
+                if !v.is_finite() {
+                    return Err(ShardError::Data(DataError::NonFiniteObserved {
+                        row: start + i,
+                        col: j,
+                        value: v,
+                    }));
+                }
+                match first[j] {
+                    None => first[j] = Some(v),
+                    Some(f0) if f0 != v => constant[j] = false,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    let mut report = DataReport::default();
+    for j in 0..d {
+        match first[j] {
+            None => {
+                if matches!(src.kinds()[j], ColumnKind::Categorical { .. }) {
+                    return Err(ShardError::Data(DataError::AllMissingCategorical {
+                        col: j,
+                    }));
+                }
+                report.all_missing_columns.push(j);
+            }
+            Some(_) if constant[j] => report.constant_columns.push(j),
+            Some(_) => {}
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -156,6 +230,61 @@ mod tests {
         assert_eq!(report.all_missing_columns, vec![1]);
         assert_eq!(report.constant_columns, vec![2]);
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn all_missing_categorical_column_is_a_typed_error() {
+        // regression for the categorical-level-inference panic path: a
+        // column declared categorical with zero observed cells must surface
+        // as a typed validate error, not a downstream panic
+        let mut ds = Dataset::from_values(Matrix::from_rows(&[&[1.0, f64::NAN], &[2.0, f64::NAN]]));
+        ds.kinds[1] = crate::ColumnKind::Categorical { levels: 3 };
+        assert_eq!(
+            ds.validate(),
+            Err(DataError::AllMissingCategorical { col: 1 })
+        );
+        // the streamed fold agrees
+        let chunked = crate::shard::ChunkedDataset::new(&ds, 1);
+        assert!(matches!(
+            validate_source(&chunked),
+            Err(ShardError::Data(DataError::AllMissingCategorical {
+                col: 1
+            }))
+        ));
+    }
+
+    #[test]
+    fn validate_source_matches_in_memory_report() {
+        let ds = Dataset::from_values(Matrix::from_rows(&[
+            &[1.0, f64::NAN, 7.0, 0.3],
+            &[2.0, f64::NAN, 7.0, f64::NAN],
+            &[3.0, f64::NAN, 7.0, 0.9],
+        ]));
+        let in_memory = ds.validate().unwrap();
+        let chunked = crate::shard::ChunkedDataset::new(&ds, 2);
+        assert_eq!(validate_source(&chunked).unwrap(), in_memory);
+        assert_eq!(in_memory.all_missing_columns, vec![1]);
+        assert_eq!(in_memory.constant_columns, vec![2]);
+    }
+
+    #[test]
+    fn validate_source_rejects_observed_non_finite() {
+        let complete = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, f64::INFINITY]]);
+        let mask = crate::mask::MaskMatrix::all_observed(2, 2);
+        let ds = Dataset {
+            values: complete,
+            mask,
+            kinds: vec![crate::ColumnKind::Continuous; 2],
+        };
+        let chunked = crate::shard::ChunkedDataset::new(&ds, 1);
+        assert!(matches!(
+            validate_source(&chunked),
+            Err(ShardError::Data(DataError::NonFiniteObserved {
+                row: 1,
+                col: 1,
+                ..
+            }))
+        ));
     }
 
     #[test]

@@ -168,6 +168,35 @@ impl Matrix {
         self.data.chunks_exact(self.cols.max(1))
     }
 
+    /// Contiguous borrow of rows `[start, end)` — zero-copy thanks to the
+    /// row-major layout. The backbone of shard-wise streaming passes.
+    #[inline]
+    pub fn row_block(&self, start: usize, end: usize) -> &[f64] {
+        assert!(
+            start <= end && end <= self.rows,
+            "row_block {}..{} out of bounds ({} rows)",
+            start,
+            end,
+            self.rows
+        );
+        &self.data[start * self.cols..end * self.cols]
+    }
+
+    /// Iterator over `(start_row, rows, block)` triples of at most
+    /// `block_rows` rows each, in row order; the final block may be short.
+    ///
+    /// # Panics
+    /// Panics if `block_rows` is zero.
+    pub fn row_blocks(&self, block_rows: usize) -> impl Iterator<Item = (usize, usize, &[f64])> {
+        assert!(block_rows > 0, "row_blocks: block_rows must be > 0");
+        let (rows, cols) = (self.rows, self.cols);
+        (0..rows.div_ceil(block_rows)).map(move |k| {
+            let start = k * block_rows;
+            let end = (start + block_rows).min(rows);
+            (start, end - start, &self.data[start * cols..end * cols])
+        })
+    }
+
     /// Copies column `j` into a fresh vector.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(
@@ -519,6 +548,27 @@ mod tests {
     #[should_panic(expected = "does not match")]
     fn from_vec_rejects_bad_length() {
         let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_blocks_tile_the_matrix_in_order() {
+        let m = Matrix::from_fn(7, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(m.row_block(2, 4), &[6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(m.row_block(0, 0), &[] as &[f64]);
+        let blocks: Vec<_> = m.row_blocks(3).collect();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].0, 0);
+        assert_eq!(blocks[0].1, 3);
+        assert_eq!(blocks[2], (6, 1, m.row_block(6, 7)));
+        let reassembled: Vec<f64> = blocks.iter().flat_map(|b| b.2.iter().copied()).collect();
+        assert_eq!(reassembled, m.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_block_rejects_bad_range() {
+        let m = Matrix::zeros(3, 2);
+        let _ = m.row_block(1, 4);
     }
 
     #[test]

@@ -25,9 +25,12 @@
 
 use scis_core::pipeline::{Scis, ScisConfig};
 use scis_core::{CheckpointPolicy, TrainCheckpoint};
-use scis_data::csvio::{read_dataset, write_dataset};
+use scis_data::csvio::{read_dataset, write_dataset, CsvRows};
+use scis_data::dataset::{infer_kinds_source, ColumnKind};
 use scis_data::normalize::MinMaxScaler;
-use scis_data::Dataset;
+use scis_data::shard::{ShardError, ShardSink, SpillWriter};
+use scis_data::validate::validate_source;
+use scis_data::{Dataset, RowSource, ScaledSource, ShardedDataset};
 use scis_imputers::knn::KnnImputer;
 use scis_imputers::mean::MeanImputer;
 use scis_imputers::mice::MiceImputer;
@@ -99,8 +102,8 @@ pub fn run_legacy_impute() -> ExitCode {
 
 const TOP_USAGE: &str = "usage: scis [--threads t] [--trace-json p] [--events p] [--profile] <subcommand>\n\
 subcommands:\n  \
-train INPUT.csv OUTPUT.csv [flags]   train (SSE pipeline) and impute; --save-model writes a model bundle\n  \
-impute INPUT.csv OUTPUT.csv --model PATH [--threads t]   apply a saved model, no training\n  \
+train INPUT.csv OUTPUT.csv [flags]   train (SSE pipeline) and impute; --save-model writes a model bundle; --shard-rows streams out of core\n  \
+impute INPUT.csv OUTPUT.csv --model PATH [--threads t] [--shard-rows n]   apply a saved model, no training\n  \
 serve --model PATH [--addr host:port] [--threads t] [--queue-cap n] [--batch-rows n] [--flush-micros us]   online HTTP server\n  \
 report FILE.json [...]   summarize run-report / bench / statz JSON artifacts";
 
@@ -150,6 +153,8 @@ struct TrainArgs {
     checkpoint_every: usize,
     resume: Option<PathBuf>,
     deadline_secs: Option<f64>,
+    shard_rows: Option<usize>,
+    spill_dir: Option<PathBuf>,
 }
 
 fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
@@ -176,6 +181,8 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
         checkpoint_every: 1,
         resume: None,
         deadline_secs: None,
+        shard_rows: None,
+        spill_dir: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{} needs a value", flag));
@@ -217,6 +224,14 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
                         .map_err(|e| format!("--deadline-secs: {}", e))?,
                 )
             }
+            "--shard-rows" => {
+                parsed.shard_rows = Some(
+                    value()?
+                        .parse()
+                        .map_err(|e| format!("--shard-rows: {}", e))?,
+                )
+            }
+            "--spill-dir" => parsed.spill_dir = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {}", other)),
         }
     }
@@ -253,6 +268,19 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
             ));
         }
     }
+    if parsed.shard_rows == Some(0) {
+        return Err("--shard-rows must be at least 1".into());
+    }
+    if parsed.spill_dir.is_some() && parsed.shard_rows.is_none() {
+        return Err("--spill-dir requires --shard-rows".into());
+    }
+    if parsed.shard_rows.is_some() && parsed.save_model.is_some() {
+        return Err(
+            "--shard-rows is incompatible with --save-model (the bundle needs the \
+             in-memory input; train without --shard-rows to export a model)"
+                .into(),
+        );
+    }
     for (set, flag) in [
         (parsed.trace_json.is_some(), "--trace-json"),
         (parsed.events.is_some(), "--events"),
@@ -260,6 +288,8 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
         (parsed.checkpoint_dir.is_some(), "--checkpoint-dir"),
         (parsed.resume.is_some(), "--resume"),
         (parsed.deadline_secs.is_some(), "--deadline-secs"),
+        (parsed.shard_rows.is_some(), "--shard-rows"),
+        (parsed.spill_dir.is_some(), "--spill-dir"),
     ] {
         if !set {
             continue;
@@ -571,8 +601,11 @@ fn load_input(prog: &str, input: &Path, method: &str) -> Result<Dataset, String>
 
 fn run_train(prog: &str, invocation: &str, argv: Vec<String>) -> Result<RunFlags, String> {
     let args = parse_train_args(argv).map_err(|e| {
-        format!("{}\nusage: {} INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--accel-f32] [--trace-json path] [--events path] [--profile] [--checkpoint-dir dir] [--checkpoint-every n] [--resume path] [--deadline-secs s]", e, invocation)
+        format!("{}\nusage: {} INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--accel-f32] [--trace-json path] [--events path] [--profile] [--checkpoint-dir dir] [--checkpoint-every n] [--resume path] [--deadline-secs s] [--shard-rows n] [--spill-dir dir]", e, invocation)
     })?;
+    if args.shard_rows.is_some() {
+        return run_train_streamed(prog, &args);
+    }
     let ds = load_input(prog, &args.input, &args.method)?;
     // a model *bundle* given to --load-model short-circuits into the
     // apply-only path (it carries its own scaler and schema)
@@ -598,6 +631,272 @@ fn run_train(prog: &str, invocation: &str, argv: Vec<String>) -> Result<RunFlags
     write_dataset(&args.output, &out_ds)
         .map_err(|e| format!("writing {:?}: {}", args.output, e))?;
     eprintln!("{}: wrote {:?}", prog, args.output);
+    if flags.degraded {
+        eprintln!(
+            "{}: run completed in DEGRADED mode (see recovery notes above)",
+            prog
+        );
+    }
+    if flags.deadline_exceeded {
+        eprintln!(
+            "{}: run completed under an EXPIRED deadline (exit code 3)",
+            prog
+        );
+    }
+    Ok(flags)
+}
+
+// ---------------------------------------------------------------------------
+// train --shard-rows — the out-of-core streamed pipeline
+// ---------------------------------------------------------------------------
+
+fn shard_io_err(path: &Path, e: std::io::Error) -> ShardError {
+    ShardError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    }
+}
+
+/// A [`ShardSink`] that inverse-transforms each imputed shard back to
+/// original units and appends it to the output CSV — the streamed sibling
+/// of `inverse_transform` + `write_dataset`, byte-for-byte.
+struct CsvSink<'a> {
+    w: std::io::BufWriter<std::fs::File>,
+    scaler: Option<&'a MinMaxScaler>,
+    path: PathBuf,
+}
+
+impl<'a> CsvSink<'a> {
+    /// Creates the output file and writes the `c0,c1,…` header.
+    fn create(
+        path: &Path,
+        n_cols: usize,
+        scaler: Option<&'a MinMaxScaler>,
+    ) -> Result<Self, String> {
+        use std::io::Write as _;
+        let file = std::fs::File::create(path).map_err(|e| format!("writing {:?}: {}", path, e))?;
+        let mut w = std::io::BufWriter::new(file);
+        let header_err = |e| format!("writing {:?}: {}", path, e);
+        for j in 0..n_cols {
+            if j > 0 {
+                write!(w, ",").map_err(header_err)?;
+            }
+            write!(w, "c{}", j).map_err(header_err)?;
+        }
+        writeln!(w).map_err(header_err)?;
+        Ok(Self {
+            w,
+            scaler,
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn finish(mut self) -> Result<(), String> {
+        use std::io::Write as _;
+        self.w
+            .flush()
+            .map_err(|e| format!("writing {:?}: {}", self.path, e))
+    }
+}
+
+impl ShardSink for CsvSink<'_> {
+    fn push_rows(&mut self, rows: &Matrix) -> Result<(), ShardError> {
+        use std::io::Write as _;
+        let out = match self.scaler {
+            Some(s) => s.inverse_transform(rows),
+            None => rows.clone(),
+        };
+        let path = self.path.clone();
+        for i in 0..out.rows() {
+            for j in 0..out.cols() {
+                if j > 0 {
+                    write!(self.w, ",").map_err(|e| shard_io_err(&path, e))?;
+                }
+                let v = out[(i, j)];
+                if !v.is_nan() {
+                    write!(self.w, "{}", v).map_err(|e| shard_io_err(&path, e))?;
+                }
+            }
+            writeln!(self.w).map_err(|e| shard_io_err(&path, e))?;
+        }
+        Ok(())
+    }
+}
+
+/// Streams the input CSV into a checksummed spill directory, then runs the
+/// same validation / kind-inference / summary logging as [`load_input`] —
+/// without ever materializing the full table.
+fn spill_input(
+    prog: &str,
+    input: &Path,
+    spill_dir: &Path,
+    shard_rows: usize,
+    method: &str,
+) -> Result<ShardedDataset, String> {
+    let mut csv = CsvRows::open(input).map_err(|e| format!("reading {:?}: {}", input, e))?;
+    let d = csv.n_cols();
+    let mut writer = SpillWriter::create(spill_dir, d, vec![ColumnKind::Continuous; d], shard_rows)
+        .map_err(|e| format!("creating spill dir {:?}: {}", spill_dir, e))?;
+    for row in &mut csv {
+        let row = row.map_err(|e| format!("reading {:?}: {}", input, e))?;
+        writer
+            .push_row(&row)
+            .map_err(|e| format!("spilling to {:?}: {}", spill_dir, e))?;
+    }
+    if writer.rows_written() == 0 {
+        return Err(format!("reading {:?}: no data rows", input));
+    }
+    let mut sharded = writer
+        .finish()
+        .map_err(|e| format!("finishing spill {:?}: {}", spill_dir, e))?;
+    // same checks and annotations as the in-memory load_input, as
+    // one-pass shard folds
+    let report = validate_source(&sharded).map_err(|e| format!("validating {:?}: {}", input, e))?;
+    if !report.all_missing_columns.is_empty() {
+        eprintln!(
+            "{}: warning: columns with no observed cells: {:?}",
+            prog, report.all_missing_columns
+        );
+    }
+    let kinds = infer_kinds_source(&sharded, 16).map_err(|e| e.to_string())?;
+    sharded.set_kinds(kinds);
+    let missing = sharded.missing_rate().map_err(|e| e.to_string())?;
+    eprintln!(
+        "{}: {} rows x {} cols, {:.2}% missing, method {} ({} spill shards of <= {} rows)",
+        prog,
+        sharded.n_rows(),
+        d,
+        missing * 100.0,
+        method,
+        sharded.n_shards(),
+        shard_rows,
+    );
+    if missing == 0.0 {
+        eprintln!(
+            "{}: nothing to do (no missing cells); copying through",
+            prog
+        );
+    }
+    Ok(sharded)
+}
+
+/// The spill directory for a run that did not pass `--spill-dir`: derived
+/// from the output path, and deleted again after a successful run.
+fn derived_spill_dir(output: &Path) -> PathBuf {
+    let mut name = output
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "scis-out".into());
+    name.push_str(".spill");
+    output.with_file_name(name)
+}
+
+/// `scis train --shard-rows n`: the full SSE pipeline over spill shards.
+/// For the same seed this writes byte-for-byte the CSV the in-memory path
+/// writes; peak memory is bounded by the shard size plus the `n*`-row
+/// training set instead of `N × d`.
+fn run_train_streamed(prog: &str, args: &TrainArgs) -> Result<RunFlags, String> {
+    let shard_rows = args.shard_rows.expect("checked by parse_train_args");
+    let keep_spill = args.spill_dir.is_some();
+    let spill_dir = args
+        .spill_dir
+        .clone()
+        .unwrap_or_else(|| derived_spill_dir(&args.output));
+    let sharded = spill_input(prog, &args.input, &spill_dir, shard_rows, &args.method)?;
+    let n = sharded.n_rows();
+    let d = sharded.n_cols();
+
+    let scaler = MinMaxScaler::fit_source(&sharded).map_err(|e| e.to_string())?;
+    let scaled = ScaledSource::new(&sharded, &scaler);
+
+    let train = TrainConfig {
+        epochs: args.epochs,
+        ..TrainConfig::default()
+    };
+    let n0 = args.n0.unwrap_or_else(|| 500.min(n / 3).max(8));
+    if 2 * n0 > n {
+        return Err(format!("n0 = {} too large for {} rows", n0, n));
+    }
+    let mut config = ScisConfig::default()
+        .dim(scis_core::dim::DimConfig::default().train(train))
+        .epsilon(args.epsilon)
+        .exec(threads_policy(args.threads));
+    if args.accel {
+        config = config.accel(accel_config(args));
+    }
+    let mut scis = Scis::new(config);
+    if let Some(dir) = &args.checkpoint_dir {
+        scis = scis.checkpoints(CheckpointPolicy::new(dir).every(args.checkpoint_every));
+    }
+    if let Some(secs) = args.deadline_secs {
+        scis = scis.deadline(scis_tensor::RunDeadline::after(
+            std::time::Duration::from_secs_f64(secs),
+        ));
+    }
+    if let Some(path) = &args.resume {
+        let ckpt = TrainCheckpoint::load(path)
+            .map_err(|e| format!("loading checkpoint {:?}: {}", path, e))?;
+        eprintln!(
+            "{}: resuming {} training from epoch {} ({:?})",
+            prog,
+            ckpt.phase.name(),
+            ckpt.epoch,
+            path
+        );
+        scis = scis.resume_from(ckpt);
+    }
+    let want_telemetry = args.trace_json.is_some() || args.events.is_some() || args.profile;
+    let tel = if want_telemetry {
+        scis_telemetry::Telemetry::collecting()
+    } else {
+        scis_telemetry::Telemetry::off()
+    };
+    if want_telemetry {
+        scis = scis.telemetry(tel.clone());
+    }
+
+    let mut gain = GainImputer::new(train);
+    let mut rng = Rng64::seed_from_u64(args.seed);
+    let mut sink = CsvSink::create(&args.output, d, Some(&scaler))?;
+    let result = scis.try_run_streamed(&mut gain, &scaled, n0, &mut rng, &mut sink);
+    if let Some(path) = &args.events {
+        write_events(prog, path, &tel)?;
+    }
+    let outcome = result.map_err(|e| e.to_string())?;
+    sink.finish()?;
+    if let Some(path) = &args.trace_json {
+        std::fs::write(path, outcome.report.to_json())
+            .map_err(|e| format!("writing trace {:?}: {}", path, e))?;
+        eprintln!("{}: wrote run report to {:?}", prog, path);
+    }
+    if args.profile {
+        eprint!("{}", outcome.report.render_profile());
+    }
+    eprintln!(
+        "{}: trained on n* = {} of {} rows (R_t = {:.2}%), SSE {:.2}s",
+        prog,
+        outcome.n_star,
+        outcome.n_total,
+        outcome.training_sample_rate() * 100.0,
+        outcome.sse_time.as_secs_f64()
+    );
+    report_anomalies(prog, &outcome.anomalies);
+    if outcome.anomalies.deadline_exceeded {
+        eprintln!(
+            "{}: run deadline expired; output comes from the best model so far",
+            prog
+        );
+    }
+    eprintln!("{}: wrote {:?}", prog, args.output);
+    if !keep_spill {
+        std::fs::remove_dir_all(&spill_dir).ok();
+    } else {
+        eprintln!("{}: kept spill shards in {:?}", prog, spill_dir);
+    }
+    let flags = RunFlags {
+        degraded: outcome.anomalies.is_degraded(),
+        deadline_exceeded: outcome.anomalies.deadline_exceeded,
+    };
     if flags.degraded {
         eprintln!(
             "{}: run completed in DEGRADED mode (see recovery notes above)",
@@ -688,12 +987,70 @@ fn apply_bundle(
     })
 }
 
+/// `scis impute --shard-rows n`: applies a model bundle shard by shard,
+/// writing finished rows to the output CSV incrementally.
+fn apply_bundle_streamed(
+    prog: &str,
+    src: &ShardedDataset,
+    bundle: ModelBundle,
+    exec: ExecPolicy,
+    output: &Path,
+) -> Result<RunFlags, String> {
+    bundle
+        .validate_width(src.n_cols())
+        .map_err(|e| format!("input does not match the model bundle: {}", e))?;
+    let mut svc = ImputeService::new(bundle, exec, scis_telemetry::Telemetry::off());
+    let d = src.n_cols();
+    let mut degraded = false;
+    let mut sink = CsvSink::create(output, d, None)?;
+    for k in 0..src.n_shards() {
+        let shard = src
+            .load_shard(k)
+            .map_err(|e| format!("loading shard {}: {}", k, e))?;
+        let rows: Vec<ImputeRow> = (0..shard.n_samples())
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let v = shard.values[(i, j)];
+                        if v.is_nan() {
+                            None
+                        } else {
+                            Some(v)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let result = svc.impute_rows(&rows);
+        degraded |= result.degraded;
+        let block = Matrix::from_fn(result.rows.len(), d, |i, j| result.rows[i][j]);
+        sink.push_rows(&block)
+            .map_err(|e| format!("writing {:?}: {}", output, e))?;
+    }
+    sink.finish()?;
+    eprintln!("{}: wrote {:?}", prog, output);
+    if degraded {
+        eprintln!(
+            "{}: run completed in DEGRADED mode (generator output was non-finite; \
+             column means served instead)",
+            prog
+        );
+    }
+    Ok(RunFlags {
+        degraded,
+        deadline_exceeded: false,
+    })
+}
+
 fn run_impute(prog: &str, argv: Vec<String>) -> Result<RunFlags, String> {
-    const USAGE: &str = "usage: scis impute INPUT.csv OUTPUT.csv --model PATH [--threads t]";
+    const USAGE: &str = "usage: scis impute INPUT.csv OUTPUT.csv --model PATH [--threads t] \
+[--shard-rows n] [--spill-dir dir]";
     let mut input = None;
     let mut output = None;
     let mut model = None;
     let mut threads = None;
+    let mut shard_rows = None;
+    let mut spill_dir: Option<PathBuf> = None;
     let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         let mut value = || {
@@ -709,6 +1066,14 @@ fn run_impute(prog: &str, argv: Vec<String>) -> Result<RunFlags, String> {
                         .map_err(|e| format!("--threads: {}\n{}", e, USAGE))?,
                 )
             }
+            "--shard-rows" => {
+                shard_rows = Some(
+                    value()?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--shard-rows: {}\n{}", e, USAGE))?,
+                )
+            }
+            "--spill-dir" => spill_dir = Some(PathBuf::from(value()?)),
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {}\n{}", other, USAGE))
             }
@@ -720,6 +1085,35 @@ fn run_impute(prog: &str, argv: Vec<String>) -> Result<RunFlags, String> {
     let input = input.ok_or(format!("missing INPUT.csv\n{}", USAGE))?;
     let output = output.ok_or(format!("missing OUTPUT.csv\n{}", USAGE))?;
     let model = model.ok_or(format!("--model is required\n{}", USAGE))?;
+    if shard_rows == Some(0) {
+        return Err(format!("--shard-rows must be at least 1\n{}", USAGE));
+    }
+    if spill_dir.is_some() && shard_rows.is_none() {
+        return Err(format!("--spill-dir requires --shard-rows\n{}", USAGE));
+    }
+    if let Some(shard_rows) = shard_rows {
+        if !is_bundle_file(&model) {
+            return Err(format!(
+                "--shard-rows needs a model *bundle* (bare v2 generator files refit their \
+                 scaler on the whole input)\n{}",
+                USAGE
+            ));
+        }
+        let keep_spill = spill_dir.is_some();
+        let dir = spill_dir.unwrap_or_else(|| derived_spill_dir(&output));
+        let sharded = spill_input(prog, &input, &dir, shard_rows, "scis-gain (apply-only)")?;
+        let bundle =
+            ModelBundle::load(&model).map_err(|e| format!("loading model bundle: {}", e))?;
+        eprintln!("{}: loaded model bundle from {:?}", prog, model);
+        let flags =
+            apply_bundle_streamed(prog, &sharded, bundle, threads_policy(threads), &output)?;
+        if !keep_spill {
+            std::fs::remove_dir_all(&dir).ok();
+        } else {
+            eprintln!("{}: kept spill shards in {:?}", prog, dir);
+        }
+        return Ok(flags);
+    }
     let ds = load_input(prog, &input, "scis-gain (apply-only)")?;
     if is_bundle_file(&model) {
         let bundle =
