@@ -486,6 +486,11 @@ pub struct TrainHooks<'a> {
     /// rewound to the last completed epoch boundary (matching the emergency
     /// checkpoint written at the same moment) and a partial report returns.
     pub deadline: RunDeadline,
+    /// JSONL progress stream, polled at the same epoch and batch
+    /// boundaries as `deadline`. Read-only observability: emission never
+    /// touches the RNG streams or the model, so the trained parameters are
+    /// bit-identical with the hook attached or absent.
+    pub heartbeat: crate::heartbeat::HeartbeatHook,
 }
 
 /// Snapshots the full train-loop state at an epoch boundary. Read-only —
@@ -798,6 +803,23 @@ pub fn train_dim_resumable(
             if let Some(t0) = batch_t0 {
                 tel.record_hist_duration(Hist::BatchStepNanos, t0.elapsed());
             }
+            // fine-grained progress: silent unless a positive interval is
+            // configured and due (module docs of `heartbeat`)
+            hooks.heartbeat.poll_fine(&crate::heartbeat::Progress {
+                phase: phase.name(),
+                epoch: epoch as u64,
+                epochs: cfg.train.epochs as u64,
+                shard: 0,
+                shards: 0,
+                rows_done: (epoch * n + bi * bs + chunk.len()) as u64,
+                rows_total: (cfg.train.epochs * n) as u64,
+                rollbacks: stats.rollbacks as u64,
+                warm_hit_rate: if epoch_sink.solves > 0 {
+                    epoch_sink.warm_starts as f64 / epoch_sink.solves as f64
+                } else {
+                    0.0
+                },
+            });
         }
 
         if deadline_stop {
@@ -901,6 +923,23 @@ pub fn train_dim_resumable(
         if !rolled_back {
             epoch += 1;
         }
+        // one heartbeat per attempted epoch (rolled-back attempts report
+        // the unchanged completed-epoch count and the bumped rollback total)
+        hooks.heartbeat.poll(&crate::heartbeat::Progress {
+            phase: phase.name(),
+            epoch: epoch as u64,
+            epochs: cfg.train.epochs as u64,
+            shard: 0,
+            shards: 0,
+            rows_done: (epoch * n) as u64,
+            rows_total: (cfg.train.epochs * n) as u64,
+            rollbacks: stats.rollbacks as u64,
+            warm_hit_rate: if epoch_sink.solves > 0 {
+                epoch_sink.warm_starts as f64 / epoch_sink.solves as f64
+            } else {
+                0.0
+            },
+        });
         if hooks_active {
             boundary = Some(capture_boundary(
                 imp, phase, epoch, &opt_g, &guard, stats, rng,

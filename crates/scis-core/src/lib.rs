@@ -35,6 +35,7 @@ pub mod checkpoint;
 pub mod dim;
 pub mod error;
 pub mod guard;
+pub mod heartbeat;
 pub mod pipeline;
 pub mod report;
 pub mod sse;
@@ -48,6 +49,7 @@ pub use dim::{
 };
 pub use error::{FailureReason, ScisError, TrainPhase, TrainingError, POST_MORTEM_TAIL};
 pub use guard::{GuardConfig, GuardStats, TrainingGuard};
+pub use heartbeat::{HeartbeatHook, Progress};
 pub use pipeline::{RunAnomalies, Scis, ScisConfig, ScisOutcome, StreamOutcome};
 pub use report::{
     CounterValue, HistogramReport, PhaseTiming, RunReport, SeriesReport, RUN_REPORT_SCHEMA_VERSION,

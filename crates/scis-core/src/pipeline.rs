@@ -13,6 +13,7 @@ use crate::checkpoint::{CheckpointPolicy, TrainCheckpoint};
 use crate::dim::{train_dim_resumable, AccelConfig, DimConfig, TrainHooks};
 use crate::error::{ScisError, TrainPhase, POST_MORTEM_TAIL};
 use crate::guard::{GuardConfig, GuardStats};
+use crate::heartbeat::{HeartbeatHook, Progress};
 use crate::report::RunReport;
 use crate::sse::{fisher_diagonal_cached, model_distance, SseConfig, SseEstimator, SseResult};
 use scis_data::shard::{observed_column_means, RowSource, ShardSink};
@@ -281,6 +282,7 @@ pub struct Scis {
     checkpoint: Option<CheckpointPolicy>,
     deadline: RunDeadline,
     resume: Option<TrainCheckpoint>,
+    heartbeat: HeartbeatHook,
 }
 
 impl Scis {
@@ -293,6 +295,7 @@ impl Scis {
             checkpoint: None,
             deadline: RunDeadline::none(),
             resume: None,
+            heartbeat: HeartbeatHook::off(),
         }
     }
 
@@ -322,6 +325,16 @@ impl Scis {
     /// imputation is bit-identical to the uninterrupted run's.
     pub fn resume_from(mut self, ckpt: TrainCheckpoint) -> Self {
         self.resume = Some(ckpt);
+        self
+    }
+
+    /// Attaches a heartbeat progress stream: every training phase and the
+    /// final imputation pass emit JSONL progress records to the hook's
+    /// writer (DESIGN.md §18). Pure observability — the hook only reads
+    /// the wall clock to pace emission, so the run's imputed output is
+    /// bit-identical with or without it.
+    pub fn heartbeat(mut self, hook: HeartbeatHook) -> Self {
+        self.heartbeat = hook;
         self
     }
 
@@ -420,6 +433,7 @@ impl Scis {
             checkpoint: self.checkpoint.as_ref(),
             resume: self.resume.as_ref(),
             deadline: self.deadline.clone(),
+            heartbeat: self.heartbeat.clone(),
         };
 
         // line 1: sample validation + initial sets
@@ -658,6 +672,17 @@ impl Scis {
             });
         }
         drop(span_impute);
+        self.heartbeat.poll(&Progress {
+            phase: "impute",
+            epoch: 0,
+            epochs: 0,
+            shard: 1,
+            shards: 1,
+            rows_done: n_total as u64,
+            rows_total: n_total as u64,
+            rollbacks: anomalies.rollbacks as u64,
+            warm_hit_rate: 0.0,
+        });
 
         if self.deadline.is_some() && self.deadline.expired() {
             anomalies.deadline_exceeded = true;
@@ -767,6 +792,7 @@ impl Scis {
             checkpoint: self.checkpoint.as_ref(),
             resume: self.resume.as_ref(),
             deadline: self.deadline.clone(),
+            heartbeat: self.heartbeat.clone(),
         };
 
         // line 1: sample validation + initial sets (same rng draws as the
@@ -1005,6 +1031,19 @@ impl Scis {
             }
             rows_written += block.rows();
             sink.push_rows(&block)?;
+            // one heartbeat per imputed shard: the streamed pipeline's
+            // natural unit of forward progress
+            self.heartbeat.poll(&Progress {
+                phase: "impute",
+                epoch: 0,
+                epochs: 0,
+                shard: (k + 1) as u64,
+                shards: src.n_shards() as u64,
+                rows_done: rows_written as u64,
+                rows_total: n_total as u64,
+                rollbacks: anomalies.rollbacks as u64,
+                warm_hit_rate: 0.0,
+            });
         }
         if bad_cells > 0 {
             anomalies.non_finite_cells_patched = bad_cells;

@@ -46,7 +46,25 @@ impl Default for BatchConfig {
 struct Job {
     rows: Vec<ImputeRow>,
     enqueued: Instant,
-    reply: SyncSender<ImputeResult>,
+    /// Per-request trace id, carried through the batcher so the reply can
+    /// attribute the coalesced batch back to the originating request.
+    trace_id: Arc<str>,
+    reply: SyncSender<BatchedReply>,
+}
+
+/// What the batcher sends back per job: the job's slice of the coalesced
+/// result, the trace id the job carried (round-tripped so the HTTP layer
+/// echoes an id that demonstrably survived the queue), and the size of the
+/// generator batch this request rode in — the coalescing fact the access
+/// log records per request.
+#[derive(Debug)]
+pub struct BatchedReply {
+    /// This job's rows, sliced back out of the coalesced forward pass.
+    pub result: ImputeResult,
+    /// The trace id submitted with the job.
+    pub trace_id: Arc<str>,
+    /// Total rows in the coalesced batch the job was served from.
+    pub batch_rows: u64,
 }
 
 /// Why a submission was refused.
@@ -90,8 +108,13 @@ impl Batcher {
         self.alive.load(Ordering::SeqCst)
     }
 
-    /// Submits validated rows; returns the channel the result arrives on.
-    pub fn submit(&self, rows: Vec<ImputeRow>) -> Result<Receiver<ImputeResult>, SubmitError> {
+    /// Submits validated rows under a trace id; returns the channel the
+    /// result arrives on.
+    pub fn submit(
+        &self,
+        rows: Vec<ImputeRow>,
+        trace_id: Arc<str>,
+    ) -> Result<Receiver<BatchedReply>, SubmitError> {
         if !self.is_alive() {
             return Err(SubmitError::Unavailable);
         }
@@ -101,6 +124,7 @@ impl Batcher {
         let job = Job {
             rows,
             enqueued: Instant::now(),
+            trace_id,
             reply,
         };
         match self.tx.try_send(job) {
@@ -171,7 +195,11 @@ fn run_loop(mut service: ImputeService, cfg: BatchConfig, telemetry: Telemetry, 
             offset += take;
             telemetry.record_hist_duration(Hist::ServeRequestNanos, job.enqueued.elapsed());
             // a vanished client (timed out, disconnected) is not an error
-            let _ = job.reply.send(slice);
+            let _ = job.reply.send(BatchedReply {
+                result: slice,
+                trace_id: job.trace_id,
+                batch_rows: all_rows.len() as u64,
+            });
         }
     }
 }
@@ -224,13 +252,23 @@ mod tests {
         let expected = direct.impute_rows(&rows);
         let handles: Vec<_> = rows
             .iter()
-            .map(|r| batcher.submit(vec![r.clone()]).unwrap())
+            .enumerate()
+            .map(|(i, r)| {
+                let trace: Arc<str> = format!("trace-{}", i).into();
+                (
+                    trace.clone(),
+                    batcher.submit(vec![r.clone()], trace).unwrap(),
+                )
+            })
             .collect();
-        for (i, rx) in handles.into_iter().enumerate() {
+        for (i, (trace, rx)) in handles.into_iter().enumerate() {
             let got = rx.recv().unwrap();
+            // the trace id round-trips through the queue with its job
+            assert_eq!(got.trace_id, trace);
+            assert!(got.batch_rows >= 1);
             for j in 0..d {
                 assert_eq!(
-                    got.rows[0][j].to_bits(),
+                    got.result.rows[0][j].to_bits(),
                     expected.rows[i][j].to_bits(),
                     "row {} col {}",
                     i,
@@ -253,14 +291,15 @@ mod tests {
             flush_micros: 200_000,
         };
         let batcher = Batcher::spawn(service(2), cfg, scis_telemetry::Telemetry::off());
+        let trace: Arc<str> = "t".into();
         let row: ImputeRow = vec![Some(1.0), None];
-        let _first = batcher.submit(vec![row.clone()]).unwrap();
+        let _first = batcher.submit(vec![row.clone()], trace.clone()).unwrap();
         // give the batcher a moment to pull the first job into its batch
         std::thread::sleep(Duration::from_millis(20));
-        let _second = batcher.submit(vec![row.clone()]).unwrap();
+        let _second = batcher.submit(vec![row.clone()], trace.clone()).unwrap();
         let mut saw_full = false;
         for _ in 0..50 {
-            match batcher.submit(vec![row.clone()]) {
+            match batcher.submit(vec![row.clone()], trace.clone()) {
                 Err(SubmitError::QueueFull) => {
                     saw_full = true;
                     break;
@@ -280,9 +319,11 @@ mod tests {
             BatchConfig::default(),
             scis_telemetry::Telemetry::off(),
         );
-        let rx = batcher.submit(vec![vec![None, Some(2.0)]]).unwrap();
+        let rx = batcher
+            .submit(vec![vec![None, Some(2.0)]], "t".into())
+            .unwrap();
         drop(batcher); // joins the thread
         let out = rx.recv().expect("queued job must still be answered");
-        assert_eq!(out.rows[0][1], 2.0);
+        assert_eq!(out.result.rows[0][1], 2.0);
     }
 }

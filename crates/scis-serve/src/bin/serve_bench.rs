@@ -113,6 +113,32 @@ fn main() {
         clients, requests, rows_per_request, addr, cols
     );
 
+    // scrape /metricsz concurrently with the load: the exposition endpoint
+    // must stay cheap while the server is saturated, and its latency is a
+    // headline number of the bench
+    let scrape_done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scraper = {
+        let done = scrape_done.clone();
+        std::thread::spawn(move || {
+            let mut scrape_us: Vec<u64> = Vec::new();
+            loop {
+                let start = Instant::now();
+                let resp =
+                    client::request(addr, "GET", "/metricsz", None).expect("metricsz scrape io");
+                assert_eq!(resp.status, 200, "metricsz must answer under load");
+                assert!(
+                    resp.body.contains("# TYPE scis_serve_requests counter"),
+                    "metricsz exposition lost its counters under load"
+                );
+                scrape_us.push(start.elapsed().as_micros() as u64);
+                if done.load(std::sync::atomic::Ordering::SeqCst) {
+                    return scrape_us;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        })
+    };
+
     let wall_start = Instant::now();
     let workers: Vec<_> = (0..clients)
         .map(|c| {
@@ -149,6 +175,8 @@ fn main() {
         retried_503 += retried;
     }
     let wall_secs = wall_start.elapsed().as_secs_f64();
+    scrape_done.store(true, std::sync::atomic::Ordering::SeqCst);
+    let mut scrape_us = scraper.join().expect("metricsz scraper");
     server.shutdown();
 
     latencies.sort_unstable();
@@ -159,11 +187,17 @@ fn main() {
     let total_requests = latencies.len();
     let total_rows = total_requests * rows_per_request;
     let mean_us = latencies.iter().sum::<u64>() as f64 / total_requests as f64;
+    scrape_us.sort_unstable();
+    let scrape_quantile = |q: f64| -> u64 {
+        let idx = ((q * scrape_us.len() as f64).ceil() as usize).clamp(1, scrape_us.len());
+        scrape_us[idx - 1]
+    };
+    let scrape_mean_us = scrape_us.iter().sum::<u64>() as f64 / scrape_us.len().max(1) as f64;
 
     let report = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"scis-serve-bench-v1\",\n",
+            "  \"schema\": \"scis-serve-bench-v2\",\n",
             "  \"clients\": {},\n",
             "  \"requests_per_client\": {},\n",
             "  \"rows_per_request\": {},\n",
@@ -175,7 +209,9 @@ fn main() {
             "  \"wall_secs\": {},\n",
             "  \"rows_per_sec\": {},\n",
             "  \"requests_per_sec\": {},\n",
-            "  \"latency_micros\": {{ \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {} }}\n",
+            "  \"latency_micros\": {{ \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {} }},\n",
+            "  \"metricsz_scrapes\": {},\n",
+            "  \"metricsz_scrape_micros\": {{ \"mean\": {}, \"p50\": {}, \"p99\": {}, \"max\": {} }}\n",
             "}}\n"
         ),
         clients,
@@ -193,15 +229,23 @@ fn main() {
         quantile(0.90),
         quantile(0.99),
         latencies.last().copied().unwrap_or(0),
+        scrape_us.len(),
+        json_f64(scrape_mean_us),
+        scrape_quantile(0.50),
+        scrape_quantile(0.99),
+        scrape_us.last().copied().unwrap_or(0),
     );
     scis_nn::write_atomic(std::path::Path::new(&out_path), report.as_bytes())
         .expect("write bench report");
     eprintln!(
-        "serve_bench: {} requests, p50 {}us p99 {}us, {:.0} rows/sec -> {}",
+        "serve_bench: {} requests, p50 {}us p99 {}us, {:.0} rows/sec, {} metricsz scrapes \
+         (p50 {}us) -> {}",
         total_requests,
         quantile(0.50),
         quantile(0.99),
         total_rows as f64 / wall_secs,
+        scrape_us.len(),
+        scrape_quantile(0.50),
         out_path
     );
 }

@@ -35,13 +35,30 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<HttpResponse> {
+    request_with_headers(addr, method, path, body, &[])
+}
+
+/// [`request`] with extra request headers (`("X-Scis-Trace-Id", "abc")`
+/// style pairs), for exercising header-sensitive server paths.
+pub fn request_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    headers: &[(&str, &str)],
+) -> std::io::Result<HttpResponse> {
     let mut stream = TcpStream::connect(addr)?;
     let body = body.unwrap_or("");
+    let extra: String = headers
+        .iter()
+        .map(|(n, v)| format!("{}: {}\r\n", n, v))
+        .collect();
     let raw = format!(
-        "{} {} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n{}",
+        "{} {} HTTP/1.1\r\nHost: {}\r\n{}Content-Length: {}\r\nContent-Type: application/json\r\n\r\n{}",
         method,
         path,
         addr,
+        extra,
         body.len(),
         body
     );

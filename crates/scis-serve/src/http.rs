@@ -16,6 +16,19 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Client-supplied `X-Scis-Trace-Id`, when present and well-formed
+    /// (1–64 characters of `[A-Za-z0-9_-]`); anything else is ignored and
+    /// the server mints its own id.
+    pub trace_id: Option<String>,
+}
+
+/// Whether a client-supplied trace id is safe to echo into headers and the
+/// access log: 1–64 chars, alphanumerics plus `-` and `_` only.
+fn valid_trace_id(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
 }
 
 /// Why a request could not be read.
@@ -75,6 +88,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length: Option<usize> = None;
+    let mut trace_id: Option<String> = None;
     loop {
         let mut header = String::new();
         let n = reader.read_line(&mut header)?;
@@ -105,6 +119,11 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
                     ));
                 }
                 content_length = Some(parsed);
+            } else if name.eq_ignore_ascii_case("x-scis-trace-id") {
+                let v = value.trim();
+                if valid_trace_id(v) {
+                    trace_id = Some(v.to_string());
+                }
             }
         }
     }
@@ -117,7 +136,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        trace_id,
+    })
 }
 
 /// Human phrase for the status codes this server emits.
@@ -142,10 +166,23 @@ pub fn write_response(
     extra_headers: &[String],
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", extra_headers, body)
+}
+
+/// Like [`write_response`] with an explicit `Content-Type` (the `/metricsz`
+/// exposition is `text/plain`, everything else JSON).
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[String],
+    body: &str,
+) -> std::io::Result<()> {
     let mut out = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         status_phrase(status),
+        content_type,
         body.len()
     );
     for h in extra_headers {
@@ -187,6 +224,31 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/impute");
         assert_eq!(req.body, b"body");
+        assert_eq!(req.trace_id, None);
+    }
+
+    #[test]
+    fn captures_well_formed_trace_ids_only() {
+        let req = roundtrip(
+            "GET /healthz HTTP/1.1\r\nX-Scis-Trace-Id: abc-123_XYZ\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.trace_id.as_deref(), Some("abc-123_XYZ"));
+        // header name matching is case-insensitive, value is trimmed
+        let req = roundtrip(
+            "GET / HTTP/1.1\r\nx-scis-trace-id:  deadbeef \r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.trace_id.as_deref(), Some("deadbeef"));
+        // ids that could corrupt headers or the JSONL log are discarded,
+        // not echoed (the server mints a fresh one instead)
+        for bad in ["", "has space", "quote\"", "semi;colon", &"x".repeat(65)] {
+            let raw = format!("GET / HTTP/1.1\r\nX-Scis-Trace-Id: {}\r\n\r\n", bad);
+            let req = roundtrip(&raw, 1024).unwrap();
+            assert_eq!(req.trace_id, None, "trace id {:?} must be dropped", bad);
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod json;
 pub mod server;
 pub mod service;
 
-pub use batcher::{BatchConfig, Batcher, SubmitError};
+pub use batcher::{BatchConfig, BatchedReply, Batcher, SubmitError};
 pub use bundle::{BundleError, ColumnMeta, ModelBundle};
 pub use client::{request, HttpResponse};
 pub use server::{Server, ServerConfig};

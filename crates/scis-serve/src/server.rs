@@ -15,13 +15,16 @@
 
 use crate::batcher::{BatchConfig, Batcher, SubmitError};
 use crate::bundle::ModelBundle;
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{read_request, write_response, write_response_typed, HttpError, Request};
 use crate::json::{self, Json};
 use crate::service::{ImputeResult, ImputeRow, ImputeService};
-use scis_telemetry::{json_f64, Counter, Hist, HistSnapshot, Telemetry};
+use scis_telemetry::{
+    json_f64, render_prometheus, Counter, Hist, HistSnapshot, RateWindow, Telemetry,
+};
+use std::io::Write as _;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server knobs. `addr` may use port 0 for an ephemeral port;
@@ -40,6 +43,13 @@ pub struct ServerConfig {
     pub max_request_rows: usize,
     /// Cap on concurrently handled connections; beyond it, `503`.
     pub max_connections: usize,
+    /// Opt-in JSONL access log: one line per handled request (trace id,
+    /// method, path, status, rows, latency, degraded flag), appended
+    /// whole-line-at-a-time so concurrent writers interleave at line
+    /// granularity only.
+    pub access_log: Option<std::path::PathBuf>,
+    /// Seed for the server-minted trace-id stream (16 hex chars per id).
+    pub trace_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +61,8 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             max_request_rows: 1024,
             max_connections: 256,
+            access_log: None,
+            trace_seed: 0x5c15_1d50,
         }
     }
 }
@@ -63,6 +75,15 @@ struct Shared {
     started: Instant,
     stop: AtomicBool,
     active: AtomicUsize,
+    /// Requests per second over the trailing window (off when telemetry is).
+    req_rate: RateWindow,
+    /// Imputed rows per second over the trailing window.
+    row_rate: RateWindow,
+    /// Seeded stream behind server-minted trace ids.
+    trace_rng: Mutex<scis_tensor::Rng64>,
+    /// Open access-log sink; one `write_all` per line keeps appends atomic
+    /// at line granularity (the checkpoint-I/O append discipline).
+    access_log: Option<Mutex<std::fs::File>>,
     cfg: ServerConfig,
 }
 
@@ -87,6 +108,22 @@ impl Server {
         let fallback = bundle.fallback_row();
         let service = ImputeService::new(bundle, cfg.exec, telemetry.clone());
         let batcher = Batcher::spawn(service, cfg.batch, telemetry.clone());
+        let access_log = match &cfg.access_log {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            )),
+            None => None,
+        };
+        // rate windows share telemetry's off-is-free contract: a server run
+        // with a disabled collector allocates no rate cells either
+        let (req_rate, row_rate) = if telemetry.is_enabled() {
+            (RateWindow::collecting(), RateWindow::collecting())
+        } else {
+            (RateWindow::off(), RateWindow::off())
+        };
         let shared = Arc::new(Shared {
             batcher,
             telemetry,
@@ -95,6 +132,10 @@ impl Server {
             started: Instant::now(),
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            req_rate,
+            row_rate,
+            trace_rng: Mutex::new(scis_tensor::Rng64::seed_from_u64(cfg.trace_seed)),
+            access_log,
             cfg,
         });
         let accept_shared = shared.clone();
@@ -169,82 +210,225 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// What one handled request resolved to — the facts the access log records.
+#[derive(Debug, Clone, Copy)]
+struct ReqOutcome {
+    status: u16,
+    rows: u64,
+    batch_rows: u64,
+    degraded: bool,
+}
+
+impl ReqOutcome {
+    fn status(status: u16) -> Self {
+        ReqOutcome {
+            status,
+            rows: 0,
+            batch_rows: 0,
+            degraded: false,
+        }
+    }
+}
+
+/// Mints the next server-assigned trace id: 16 hex chars from the seeded
+/// per-server `Rng64` stream.
+fn next_trace_id(shared: &Shared) -> String {
+    let mut rng = shared
+        .trace_rng
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    format!("{:016x}", rng.next_u64())
+}
+
+/// Appends one JSONL access-log line. The whole line goes out in a single
+/// `write_all` under the sink mutex, so lines never interleave; a failed
+/// write is dropped rather than failing the request it describes.
+fn access_log_line(
+    shared: &Shared,
+    trace_id: &str,
+    method: &str,
+    path: &str,
+    outcome: ReqOutcome,
+    started: Instant,
+) {
+    let Some(log) = &shared.access_log else {
+        return;
+    };
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"ts_ms\":{},\"trace_id\":\"{}\",\"method\":\"{}\",\"path\":\"{}\",\"status\":{},\"rows\":{},\"batch_rows\":{},\"latency_ns\":{},\"degraded\":{}}}\n",
+        ts_ms,
+        trace_id,
+        scis_telemetry::json_escape(method),
+        scis_telemetry::json_escape(path),
+        outcome.status,
+        outcome.rows,
+        outcome.batch_rows,
+        started.elapsed().as_nanos().min(u64::MAX as u128),
+        outcome.degraded,
+    );
+    let mut sink = log
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = sink.write_all(line.as_bytes());
+}
+
 fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let started = Instant::now();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let request = match read_request(stream, shared.cfg.max_body_bytes) {
         Ok(r) => r,
         Err(HttpError::Io(_)) => return, // client vanished; nothing to answer
-        Err(HttpError::Malformed(m)) => {
+        Err(e) => {
             shared.telemetry.incr(Counter::ServeErrors);
-            let body = format!("{{\"error\":{}}}", scis_telemetry::json_escape(&m));
-            let _ = write_response(stream, 400, &[], &body);
-            return;
-        }
-        Err(HttpError::BodyTooLarge { declared, cap }) => {
-            shared.telemetry.incr(Counter::ServeErrors);
-            let body = format!(
-                "{{\"error\":\"body of {} bytes exceeds cap {}\"}}",
-                declared, cap
+            // unparseable requests still get a minted trace id, so the 4xx
+            // a client sees can be matched to its access-log line
+            let trace_id = next_trace_id(shared);
+            let trace_header = format!("X-Scis-Trace-Id: {}", trace_id);
+            let (status, body) = match e {
+                HttpError::Malformed(m) => (
+                    400,
+                    format!("{{\"error\":{}}}", scis_telemetry::json_escape(&m)),
+                ),
+                HttpError::BodyTooLarge { declared, cap } => (
+                    413,
+                    format!(
+                        "{{\"error\":\"body of {} bytes exceeds cap {}\"}}",
+                        declared, cap
+                    ),
+                ),
+                HttpError::Io(_) => unreachable!("handled above"),
+            };
+            let _ = write_response(stream, status, std::slice::from_ref(&trace_header), &body);
+            access_log_line(
+                shared,
+                &trace_id,
+                "-",
+                "-",
+                ReqOutcome::status(status),
+                started,
             );
-            let _ = write_response(stream, 413, &[], &body);
             return;
         }
     };
     shared.telemetry.incr(Counter::ServeRequests);
-    match (request.method.as_str(), request.path.as_str()) {
+    shared.req_rate.record(1);
+    // client-supplied ids pass through (already validated by the parser);
+    // otherwise the server mints one from its seeded stream
+    let trace_id = match &request.trace_id {
+        Some(id) => id.clone(),
+        None => next_trace_id(shared),
+    };
+    let trace_header = format!("X-Scis-Trace-Id: {}", trace_id);
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             let body = format!(
                 "{{\"status\":\"ok\",\"batcher_alive\":{},\"columns\":{}}}",
                 shared.batcher.is_alive(),
                 shared.columns
             );
-            let _ = write_response(stream, 200, &[], &body);
+            let _ = write_response(stream, 200, std::slice::from_ref(&trace_header), &body);
+            ReqOutcome::status(200)
         }
         ("GET", "/statz") => {
             let body = statz_json(shared);
-            let _ = write_response(stream, 200, &[], &body);
+            let _ = write_response(stream, 200, std::slice::from_ref(&trace_header), &body);
+            ReqOutcome::status(200)
         }
-        ("POST", "/impute") => handle_impute(stream, shared, &request),
-        (_, "/healthz" | "/statz" | "/impute") => {
+        ("GET", "/metricsz") => {
+            let body = metricsz_text(shared);
+            let _ = write_response_typed(
+                stream,
+                200,
+                "text/plain; version=0.0.4",
+                std::slice::from_ref(&trace_header),
+                &body,
+            );
+            ReqOutcome::status(200)
+        }
+        ("POST", "/impute") => handle_impute(stream, shared, &request, &trace_id),
+        (_, "/healthz" | "/statz" | "/metricsz" | "/impute") => {
             shared.telemetry.incr(Counter::ServeErrors);
-            let _ = write_response(stream, 405, &[], "{\"error\":\"method not allowed\"}");
+            let _ = write_response(
+                stream,
+                405,
+                std::slice::from_ref(&trace_header),
+                "{\"error\":\"method not allowed\"}",
+            );
+            ReqOutcome::status(405)
         }
         _ => {
             shared.telemetry.incr(Counter::ServeErrors);
-            let _ = write_response(stream, 404, &[], "{\"error\":\"no such route\"}");
+            let _ = write_response(
+                stream,
+                404,
+                std::slice::from_ref(&trace_header),
+                "{\"error\":\"no such route\"}",
+            );
+            ReqOutcome::status(404)
         }
-    }
+    };
+    access_log_line(
+        shared,
+        &trace_id,
+        &request.method,
+        &request.path,
+        outcome,
+        started,
+    );
 }
 
-fn handle_impute(stream: &mut TcpStream, shared: &Shared, request: &Request) {
+fn handle_impute(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    request: &Request,
+    trace_id: &str,
+) -> ReqOutcome {
+    let trace_header = format!("X-Scis-Trace-Id: {}", trace_id);
     let rows = match parse_impute_body(&request.body, shared.columns, shared.cfg.max_request_rows) {
         Ok(rows) => rows,
         Err(message) => {
             shared.telemetry.incr(Counter::ServeErrors);
             let body = format!("{{\"error\":{}}}", scis_telemetry::json_escape(&message));
-            let _ = write_response(stream, 400, &[], &body);
-            return;
+            let _ = write_response(stream, 400, std::slice::from_ref(&trace_header), &body);
+            return ReqOutcome::status(400);
         }
     };
-    shared.telemetry.add(Counter::ServeRows, rows.len() as u64);
+    let n_rows = rows.len() as u64;
+    shared.telemetry.add(Counter::ServeRows, n_rows);
+    shared.row_rate.record(n_rows);
 
-    let result = match shared.batcher.submit(rows.clone()) {
+    let mut echo_id = trace_id.to_string();
+    let (result, batch_rows) = match shared.batcher.submit(rows.clone(), Arc::from(trace_id)) {
         Ok(reply) => match reply.recv() {
-            Ok(result) => result,
+            // the reply carries the id back out of the queue: the echoed
+            // header is the one that rode through the batcher with the job
+            Ok(r) => {
+                echo_id = r.trace_id.to_string();
+                (r.result, r.batch_rows)
+            }
             // the batcher died while holding our job: bottom ladder rung
-            Err(_) => mean_fallback(shared, &rows),
+            Err(_) => (mean_fallback(shared, &rows), 0),
         },
         Err(SubmitError::QueueFull) => {
             shared.telemetry.incr(Counter::ServeRejected);
             let _ = write_response(
                 stream,
                 503,
-                &["Retry-After: 1".to_string()],
+                &["Retry-After: 1".to_string(), trace_header],
                 "{\"error\":\"impute queue full, retry\"}",
             );
-            return;
+            return ReqOutcome {
+                status: 503,
+                rows: n_rows,
+                batch_rows: 0,
+                degraded: false,
+            };
         }
-        Err(SubmitError::Unavailable) => mean_fallback(shared, &rows),
+        Err(SubmitError::Unavailable) => (mean_fallback(shared, &rows), 0),
     };
 
     let mut body = String::from("{\"rows\":[");
@@ -262,12 +446,17 @@ fn handle_impute(stream: &mut TcpStream, shared: &Shared, request: &Request) {
         body.push(']');
     }
     body.push_str(&format!("],\"degraded\":{}}}", result.degraded));
-    let headers = if result.degraded {
-        vec!["X-Scis-Degraded: 1".to_string()]
-    } else {
-        Vec::new()
-    };
+    let mut headers = vec![format!("X-Scis-Trace-Id: {}", echo_id)];
+    if result.degraded {
+        headers.push("X-Scis-Degraded: 1".to_string());
+    }
     let _ = write_response(stream, 200, &headers, &body);
+    ReqOutcome {
+        status: 200,
+        rows: n_rows,
+        batch_rows,
+        degraded: result.degraded,
+    }
 }
 
 fn mean_fallback(shared: &Shared, rows: &[ImputeRow]) -> ImputeResult {
@@ -389,13 +578,18 @@ fn statz_json(shared: &Shared) -> String {
         }
         counters.push_str(&format!("\"{}\":{}", c.name(), t.counter(c)));
     }
+    // v2 = v1 + quantile_kind disclosure + rate-window gauges; every v1
+    // field is unchanged (README documents the migration)
     format!(
         concat!(
-            "{{\"schema\":\"scis-serve-statz-v1\",",
+            "{{\"schema\":\"scis-serve-statz-v2\",",
+            "\"quantile_kind\":\"bucket_upper_bound\",",
             "\"uptime_secs\":{},",
             "\"columns\":{},",
             "\"batcher_alive\":{},",
             "\"active_connections\":{},",
+            "\"requests_per_sec\":{},",
+            "\"rows_per_sec\":{},",
             "\"counters\":{{{}}},",
             "\"request_latency_ns\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{}}},",
             "\"batch_rows\":{{\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}}}"
@@ -404,6 +598,8 @@ fn statz_json(shared: &Shared) -> String {
         shared.columns,
         shared.batcher.is_alive(),
         shared.active.load(Ordering::SeqCst),
+        json_f64(shared.req_rate.per_sec()),
+        json_f64(shared.row_rate.per_sec()),
         counters,
         latency.count,
         json_f64(mean_ns),
@@ -414,6 +610,23 @@ fn statz_json(shared: &Shared) -> String {
         hist_quantile(&batch_rows, 0.50),
         hist_quantile(&batch_rows, 0.99),
     )
+}
+
+/// The `/metricsz` body: the full telemetry slab in Prometheus text format
+/// plus the serving layer's trailing-window throughput gauges.
+fn metricsz_text(shared: &Shared) -> String {
+    let mut out = render_prometheus(&shared.telemetry.snapshot());
+    out.push_str(&format!(
+        concat!(
+            "# TYPE scis_serve_requests_per_sec gauge\n",
+            "scis_serve_requests_per_sec {}\n",
+            "# TYPE scis_serve_rows_per_sec gauge\n",
+            "scis_serve_rows_per_sec {}\n"
+        ),
+        shared.req_rate.per_sec(),
+        shared.row_rate.per_sec()
+    ));
+    out
 }
 
 #[cfg(test)]

@@ -104,11 +104,15 @@ pub enum Counter {
     /// Requests answered by the column-mean degradation ladder instead of
     /// the generator (non-finite generator output).
     ServeDegraded,
+    /// Flight-recorder events overwritten by the bounded ring (oldest
+    /// history truncated). Deterministic: events fire at fixed logical
+    /// program points, so the overflow count is policy-independent too.
+    EventsDropped,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 25] = [
         Counter::SinkhornSolves,
         Counter::SinkhornIterations,
         Counter::SinkhornConverged,
@@ -133,6 +137,7 @@ impl Counter {
         Counter::ServeRejected,
         Counter::ServeErrors,
         Counter::ServeDegraded,
+        Counter::EventsDropped,
     ];
 
     /// Stable snake_case name used in JSON reports.
@@ -162,6 +167,7 @@ impl Counter {
             Counter::ServeRejected => "serve_rejected",
             Counter::ServeErrors => "serve_errors",
             Counter::ServeDegraded => "serve_degraded",
+            Counter::EventsDropped => "events_dropped",
         }
     }
 }
@@ -597,7 +603,9 @@ impl EventRing {
         }
     }
 
-    fn push(&mut self, event: Event) {
+    /// Appends one event; returns `true` when the full ring overwrote (and
+    /// thereby dropped) its oldest retained event.
+    fn push(&mut self, event: Event) -> bool {
         let rec = RecordedEvent {
             seq: self.next_seq,
             event,
@@ -605,9 +613,11 @@ impl EventRing {
         self.next_seq += 1;
         if self.buf.len() < self.cap {
             self.buf.push(rec);
+            false
         } else {
             self.buf[self.head] = rec;
             self.head = (self.head + 1) % self.cap;
+            true
         }
     }
 
@@ -733,10 +743,16 @@ impl Telemetry {
     }
 
     /// Appends a typed event to the flight-recorder ring (no-op when off;
-    /// never allocates — the ring is preallocated).
+    /// never allocates — the ring is preallocated). Once the ring is full,
+    /// each push drops the oldest retained event and bumps
+    /// [`Counter::EventsDropped`], making the truncation observable without
+    /// diffing sequence numbers.
     pub fn record_event(&self, event: Event) {
         if let Some(inner) = &self.0 {
-            relock(inner.events.lock()).push(event);
+            let dropped = relock(inner.events.lock()).push(event);
+            if dropped {
+                inner.counters[Counter::EventsDropped as usize].fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -992,6 +1008,189 @@ impl Snapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Rate windows — trailing per-second throughput for the serving layer
+// ---------------------------------------------------------------------------
+
+/// Length of the trailing window a [`RateWindow`] averages over, in seconds.
+pub const RATE_WINDOW_SECS: u64 = 10;
+
+/// Ring size for [`RateWindow`]'s per-second cells. Strictly larger than
+/// [`RATE_WINDOW_SECS`] so a cell being reused for the current second can
+/// never alias a second still inside the reported window.
+const RATE_CELLS: usize = 16;
+
+#[derive(Debug)]
+struct RateInner {
+    start: Instant,
+    /// `1 + absolute second` each cell was last written for (0 = never
+    /// written), so a zeroed slab means "no data" rather than "second 0".
+    stamps: [AtomicU64; RATE_CELLS],
+    cells: [AtomicU64; RATE_CELLS],
+}
+
+/// A fixed trailing window of per-second event counts (requests/s, rows/s)
+/// with the same off-is-free contract as [`Telemetry`]: an off handle is a
+/// `None` and [`RateWindow::record`] reduces to one branch with no
+/// allocation and no atomics touched.
+///
+/// Accounting is lock-free over a ring of per-second `AtomicU64` cells.
+/// A cell is claimed for a new second by a compare-exchange on its stamp;
+/// the losing thread of that race may land its count in a cell that is
+/// being reset, which can shave a few events off one boundary second —
+/// acceptable noise for a throughput gauge, never a panic or a lock.
+#[derive(Debug, Clone, Default)]
+pub struct RateWindow(Option<Arc<RateInner>>);
+
+impl RateWindow {
+    /// A disabled window: recording is a no-op, the rate reads 0.
+    pub fn off() -> Self {
+        RateWindow(None)
+    }
+
+    /// A live window starting its clock now.
+    pub fn collecting() -> Self {
+        RateWindow(Some(Arc::new(RateInner {
+            start: Instant::now(),
+            stamps: std::array::from_fn(|_| AtomicU64::new(0)),
+            cells: std::array::from_fn(|_| AtomicU64::new(0)),
+        })))
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` events to the current second's cell.
+    #[inline]
+    pub fn record(&self, n: u64) {
+        if let Some(inner) = &self.0 {
+            Self::record_at(inner, inner.start.elapsed().as_secs(), n);
+        }
+    }
+
+    fn record_at(inner: &RateInner, sec: u64, n: u64) {
+        let idx = (sec % RATE_CELLS as u64) as usize;
+        let stamp = sec + 1;
+        let prev = inner.stamps[idx].load(Ordering::Acquire);
+        if prev != stamp
+            && inner.stamps[idx]
+                .compare_exchange(prev, stamp, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            // this thread claimed the cell for a fresh second: clear the
+            // stale count left over from `RATE_CELLS` seconds ago
+            inner.cells[idx].store(0, Ordering::Release);
+        }
+        inner.cells[idx].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Events per second averaged over the trailing [`RATE_WINDOW_SECS`]
+    /// seconds (including the in-progress one); 0.0 when disabled. Early in
+    /// a process's life the divisor is the uptime, not the full window, so
+    /// the first seconds of traffic are not diluted by a cold start.
+    pub fn per_sec(&self) -> f64 {
+        match &self.0 {
+            Some(inner) => Self::per_sec_at(inner, inner.start.elapsed().as_secs()),
+            None => 0.0,
+        }
+    }
+
+    fn per_sec_at(inner: &RateInner, now: u64) -> f64 {
+        let lo = (now + 1).saturating_sub(RATE_WINDOW_SECS);
+        let mut total = 0u64;
+        for i in 0..RATE_CELLS {
+            let stamp = inner.stamps[i].load(Ordering::Acquire);
+            if stamp == 0 {
+                continue;
+            }
+            let sec = stamp - 1;
+            if sec >= lo && sec <= now {
+                total += inner.cells[i].load(Ordering::Relaxed);
+            }
+        }
+        total as f64 / (now - lo + 1) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for use inside a Prometheus label value (the text
+/// exposition format escapes backslash, double quote, and newline).
+pub fn prom_escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a [`Snapshot`] in the Prometheus text exposition format.
+///
+/// * Every [`Counter`] becomes `scis_<name>` with `# TYPE … counter`, where
+///   `<name>` is exactly [`Counter::name`]; `scis_events_recorded` rides
+///   along from the flight recorder.
+/// * Span aggregates become two labeled counters,
+///   `scis_phase_seconds_total{phase="…"}` and
+///   `scis_phase_runs_total{phase="…"}`.
+/// * Every [`Hist`] becomes a native `histogram`: cumulative
+///   `scis_<name>_bucket{le="…"}` lines whose `le` values are the inclusive
+///   upper bounds of the occupied power-of-two buckets (the `hi` of each
+///   `[lo, hi, count]` triple), a terminal `le="+Inf"` bucket, then `_sum`
+///   and `_count`.
+///
+/// Series are omitted: they are per-epoch logs, not aggregable gauges.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snap.counters() {
+        out.push_str(&format!(
+            "# TYPE scis_{name} counter\nscis_{name} {value}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "# TYPE scis_events_recorded counter\nscis_events_recorded {}\n",
+        snap.events_recorded()
+    ));
+    out.push_str("# TYPE scis_phase_seconds_total counter\n");
+    for (name, stat) in snap.spans() {
+        out.push_str(&format!(
+            "scis_phase_seconds_total{{phase=\"{}\"}} {}\n",
+            prom_escape_label(name),
+            stat.secs
+        ));
+    }
+    out.push_str("# TYPE scis_phase_runs_total counter\n");
+    for (name, stat) in snap.spans() {
+        out.push_str(&format!(
+            "scis_phase_runs_total{{phase=\"{}\"}} {}\n",
+            prom_escape_label(name),
+            stat.count
+        ));
+    }
+    for (name, h) in snap.hists() {
+        out.push_str(&format!("# TYPE scis_{name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (_, hi, count) in h.nonzero_buckets() {
+            cumulative += count;
+            out.push_str(&format!("scis_{name}_bucket{{le=\"{hi}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "scis_{name}_bucket{{le=\"+Inf\"}} {}\nscis_{name}_sum {}\nscis_{name}_count {}\n",
+            h.count, h.sum, h.count
+        ));
+    }
+    out
+}
+
 /// Escapes a string for embedding inside a JSON string literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -1208,6 +1407,118 @@ mod tests {
         let last2 = ring.tail(2);
         assert_eq!(last2[0].seq, 4);
         assert_eq!(last2[1].seq, 5);
+    }
+
+    #[test]
+    fn ring_overflow_bumps_events_dropped() {
+        let t = Telemetry::collecting();
+        let extra = 37u64;
+        for i in 0..(FLIGHT_RECORDER_CAP as u64 + extra) {
+            t.record_event(Event::SinkhornEscalation { count: i });
+        }
+        // the overwritten history is now a counter, not just a seq gap
+        assert_eq!(t.counter(Counter::EventsDropped), extra);
+        assert_eq!(t.events_recorded(), FLIGHT_RECORDER_CAP as u64 + extra);
+        let retained = t.events();
+        assert_eq!(retained.len(), FLIGHT_RECORDER_CAP);
+        assert_eq!(retained[0].seq, extra, "oldest events were dropped");
+        // before overflow the counter stays at zero
+        let fresh = Telemetry::collecting();
+        for _ in 0..FLIGHT_RECORDER_CAP {
+            fresh.record_event(Event::CacheInvalidation);
+        }
+        assert_eq!(fresh.counter(Counter::EventsDropped), 0);
+    }
+
+    #[test]
+    fn rate_window_averages_recent_seconds() {
+        let w = RateWindow::collecting();
+        let inner = w.0.as_ref().unwrap();
+        // three seconds of uptime at 5/s: the divisor is the uptime
+        for sec in 0..3 {
+            RateWindow::record_at(inner, sec, 5);
+        }
+        assert_eq!(RateWindow::per_sec_at(inner, 2), 5.0);
+        // after the window has fully slid past, the old cells age out
+        assert_eq!(RateWindow::per_sec_at(inner, 2 + RATE_WINDOW_SECS), 0.0);
+        // a reused ring cell is reset, not accumulated
+        RateWindow::record_at(inner, RATE_CELLS as u64, 7);
+        assert_eq!(
+            RateWindow::per_sec_at(inner, RATE_CELLS as u64),
+            7.0 / RATE_WINDOW_SECS as f64
+        );
+        // the off handle records nothing and reads zero
+        let off = RateWindow::off();
+        assert!(!off.is_enabled());
+        off.record(100);
+        assert_eq!(off.per_sec(), 0.0);
+    }
+
+    #[test]
+    fn prometheus_rendering_golden() {
+        let t = Telemetry::collecting();
+        t.add(Counter::SinkhornSolves, 3);
+        for v in [0u64, 1, 2, 3, 100] {
+            t.record_hist(Hist::SinkhornSolveIters, v);
+        }
+        t.record_span(SpanKind::Validate, Duration::from_millis(250));
+        let text = render_prometheus(&t.snapshot());
+        // counters are named exactly after Counter::name(), scis_-prefixed
+        for c in Counter::ALL {
+            assert!(
+                text.contains(&format!("# TYPE scis_{} counter\n", c.name())),
+                "missing TYPE line for {}",
+                c.name()
+            );
+        }
+        assert!(text.contains("# TYPE scis_sinkhorn_solves counter\nscis_sinkhorn_solves 3\n"));
+        assert!(text.contains("scis_events_recorded 0\n"));
+        assert!(text.contains("scis_phase_runs_total{phase=\"validate\"} 1\n"));
+        // the occupied buckets render cumulatively with inclusive upper
+        // bounds as le values: 0→1, 1→2, [2,3]→4, [64,127]→5, +Inf→5
+        let hist = concat!(
+            "# TYPE scis_sinkhorn_solve_iters histogram\n",
+            "scis_sinkhorn_solve_iters_bucket{le=\"0\"} 1\n",
+            "scis_sinkhorn_solve_iters_bucket{le=\"1\"} 2\n",
+            "scis_sinkhorn_solve_iters_bucket{le=\"3\"} 4\n",
+            "scis_sinkhorn_solve_iters_bucket{le=\"127\"} 5\n",
+            "scis_sinkhorn_solve_iters_bucket{le=\"+Inf\"} 5\n",
+            "scis_sinkhorn_solve_iters_sum 106\n",
+            "scis_sinkhorn_solve_iters_count 5\n",
+        );
+        assert!(text.contains(hist), "histogram block malformed:\n{}", text);
+        // le bounds and cumulative counts are monotonically non-decreasing
+        let mut last_le = -1.0f64;
+        let mut last_cum = 0u64;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("scis_sinkhorn_solve_iters_bucket{le=\"") else {
+                continue;
+            };
+            let (le_str, cum_str) = rest.split_once("\"} ").unwrap();
+            let le = if le_str == "+Inf" {
+                f64::INFINITY
+            } else {
+                le_str.parse().unwrap()
+            };
+            let cum: u64 = cum_str.parse().unwrap();
+            assert!(le > last_le, "le not increasing at {:?}", line);
+            assert!(cum >= last_cum, "cumulative count decreased at {:?}", line);
+            last_le = le;
+            last_cum = cum;
+        }
+        assert!(last_le.is_infinite(), "+Inf terminal bucket missing");
+        // an empty collector still renders well-formed, all-zero metrics
+        let empty = render_prometheus(&Telemetry::collecting().snapshot());
+        assert!(empty.contains("scis_serve_request_nanos_bucket{le=\"+Inf\"} 0\n"));
+        assert!(empty.contains("scis_serve_request_nanos_count 0\n"));
+    }
+
+    #[test]
+    fn prometheus_label_escaping() {
+        assert_eq!(prom_escape_label("plain"), "plain");
+        assert_eq!(prom_escape_label("a\"b"), "a\\\"b");
+        assert_eq!(prom_escape_label("a\\b"), "a\\\\b");
+        assert_eq!(prom_escape_label("a\nb"), "a\\nb");
     }
 
     #[test]

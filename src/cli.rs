@@ -104,8 +104,8 @@ const TOP_USAGE: &str = "usage: scis [--threads t] [--trace-json p] [--events p]
 subcommands:\n  \
 train INPUT.csv OUTPUT.csv [flags]   train (SSE pipeline) and impute; --save-model writes a model bundle; --shard-rows streams out of core\n  \
 impute INPUT.csv OUTPUT.csv --model PATH [--threads t] [--shard-rows n]   apply a saved model, no training\n  \
-serve --model PATH [--addr host:port] [--threads t] [--queue-cap n] [--batch-rows n] [--flush-micros us]   online HTTP server\n  \
-report FILE.json [...]   summarize run-report / bench / statz JSON artifacts";
+serve --model PATH [--addr host:port] [--threads t] [--queue-cap n] [--batch-rows n] [--flush-micros us] [--access-log p]   online HTTP server\n  \
+report FILE.json [...]   summarize run-report / bench / statz JSON artifacts plus heartbeat / access-log JSONL streams";
 
 /// Outcome flags that decide the process exit code.
 #[derive(Default)]
@@ -155,6 +155,8 @@ struct TrainArgs {
     deadline_secs: Option<f64>,
     shard_rows: Option<usize>,
     spill_dir: Option<PathBuf>,
+    progress: Option<PathBuf>,
+    progress_interval_secs: f64,
 }
 
 fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
@@ -183,6 +185,8 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
         deadline_secs: None,
         shard_rows: None,
         spill_dir: None,
+        progress: None,
+        progress_interval_secs: 0.0,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{} needs a value", flag));
@@ -232,6 +236,12 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
                 )
             }
             "--spill-dir" => parsed.spill_dir = Some(PathBuf::from(value()?)),
+            "--progress" => parsed.progress = Some(PathBuf::from(value()?)),
+            "--progress-interval-secs" => {
+                parsed.progress_interval_secs = value()?
+                    .parse()
+                    .map_err(|e| format!("--progress-interval-secs: {}", e))?
+            }
             other => return Err(format!("unknown flag {}", other)),
         }
     }
@@ -271,6 +281,15 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
     if parsed.shard_rows == Some(0) {
         return Err("--shard-rows must be at least 1".into());
     }
+    if !parsed.progress_interval_secs.is_finite() || parsed.progress_interval_secs < 0.0 {
+        return Err(format!(
+            "--progress-interval-secs must be a non-negative finite number (got {})",
+            parsed.progress_interval_secs
+        ));
+    }
+    if parsed.progress_interval_secs > 0.0 && parsed.progress.is_none() {
+        return Err("--progress-interval-secs requires --progress".into());
+    }
     if parsed.spill_dir.is_some() && parsed.shard_rows.is_none() {
         return Err("--spill-dir requires --shard-rows".into());
     }
@@ -290,6 +309,7 @@ fn parse_train_args(argv: Vec<String>) -> Result<TrainArgs, String> {
         (parsed.deadline_secs.is_some(), "--deadline-secs"),
         (parsed.shard_rows.is_some(), "--shard-rows"),
         (parsed.spill_dir.is_some(), "--spill-dir"),
+        (parsed.progress.is_some(), "--progress"),
     ] {
         if !set {
             continue;
@@ -421,6 +441,27 @@ fn accel_config(args: &TrainArgs) -> scis_core::dim::AccelConfig {
     }
 }
 
+/// The heartbeat hook a parsed command line asks for: `--progress -`
+/// streams JSONL to stdout (stderr keeps the human log), any other value
+/// creates/truncates that file. An absent flag costs nothing.
+fn heartbeat_hook(args: &TrainArgs) -> Result<scis_core::HeartbeatHook, String> {
+    let Some(path) = &args.progress else {
+        return Ok(scis_core::HeartbeatHook::off());
+    };
+    let writer: Box<dyn std::io::Write + Send> = if path.as_os_str() == "-" {
+        Box::new(std::io::stdout())
+    } else {
+        Box::new(
+            std::fs::File::create(path)
+                .map_err(|e| format!("creating progress file {:?}: {}", path, e))?,
+        )
+    };
+    Ok(scis_core::HeartbeatHook::to_writer(
+        writer,
+        std::time::Duration::from_secs_f64(args.progress_interval_secs),
+    ))
+}
+
 /// Imputes under the chosen method, reporting the anomaly flags that decide
 /// the exit code. `orig`/`scaler` carry the pre-normalization view needed
 /// to assemble a model bundle for `--save-model`.
@@ -482,6 +523,7 @@ fn impute(
                 );
                 scis = scis.resume_from(ckpt);
             }
+            scis = scis.heartbeat(heartbeat_hook(args)?);
             let want_telemetry = args.trace_json.is_some() || args.events.is_some() || args.profile;
             let tel = if want_telemetry {
                 scis_telemetry::Telemetry::collecting()
@@ -601,7 +643,7 @@ fn load_input(prog: &str, input: &Path, method: &str) -> Result<Dataset, String>
 
 fn run_train(prog: &str, invocation: &str, argv: Vec<String>) -> Result<RunFlags, String> {
     let args = parse_train_args(argv).map_err(|e| {
-        format!("{}\nusage: {} INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--accel-f32] [--trace-json path] [--events path] [--profile] [--checkpoint-dir dir] [--checkpoint-every n] [--resume path] [--deadline-secs s] [--shard-rows n] [--spill-dir dir]", e, invocation)
+        format!("{}\nusage: {} INPUT.csv OUTPUT.csv [--method m] [--epsilon e] [--n0 n] [--epochs k] [--threads t] [--seed s] [--accel] [--accel-f32] [--trace-json path] [--events path] [--profile] [--checkpoint-dir dir] [--checkpoint-every n] [--resume path] [--deadline-secs s] [--shard-rows n] [--spill-dir dir] [--progress path|-] [--progress-interval-secs s]", e, invocation)
     })?;
     if args.shard_rows.is_some() {
         return run_train_streamed(prog, &args);
@@ -845,6 +887,7 @@ fn run_train_streamed(prog: &str, args: &TrainArgs) -> Result<RunFlags, String> 
         );
         scis = scis.resume_from(ckpt);
     }
+    scis = scis.heartbeat(heartbeat_hook(args)?);
     let want_telemetry = args.trace_json.is_some() || args.events.is_some() || args.profile;
     let tel = if want_telemetry {
         scis_telemetry::Telemetry::collecting()
@@ -1144,7 +1187,7 @@ fn run_impute(prog: &str, argv: Vec<String>) -> Result<RunFlags, String> {
 fn run_serve(prog: &str, argv: Vec<String>) -> Result<RunFlags, String> {
     const USAGE: &str =
         "usage: scis serve --model PATH [--addr host:port] [--threads t|serial|auto] \
-[--queue-cap n] [--batch-rows n] [--flush-micros us] [--max-body-bytes n]";
+[--queue-cap n] [--batch-rows n] [--flush-micros us] [--max-body-bytes n] [--access-log path]";
     let mut model = None;
     let mut cfg = ServerConfig {
         addr: "127.0.0.1:7878".into(),
@@ -1175,6 +1218,7 @@ fn run_serve(prog: &str, argv: Vec<String>) -> Result<RunFlags, String> {
                     .map_err(|e| format!("--flush-micros: {}\n{}", e, USAGE))?
             }
             "--max-body-bytes" => cfg.max_body_bytes = parse_usize("--max-body-bytes", value()?)?,
+            "--access-log" => cfg.access_log = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag {}\n{}", other, USAGE)),
         }
     }
@@ -1182,7 +1226,7 @@ fn run_serve(prog: &str, argv: Vec<String>) -> Result<RunFlags, String> {
     cfg.batch = batch;
     let bundle = ModelBundle::load(&model).map_err(|e| format!("loading model bundle: {}", e))?;
     eprintln!(
-        "{}: serving {:?} ({} columns) — POST /impute, GET /healthz, GET /statz",
+        "{}: serving {:?} ({} columns) — POST /impute, GET /healthz, GET /statz, GET /metricsz",
         prog,
         model,
         bundle.n_features()
@@ -1263,17 +1307,134 @@ fn render_json_leaf(out: &mut String, pad: &str, key: &str, v: &scis_serve::json
     out.push_str(&format!("{}{}: {}\n", pad, key, rendered));
 }
 
+/// Summarizes a heartbeat JSONL stream (`scis train --progress`): one line
+/// per phase with the last record's position plus stream-wide peaks.
+fn render_heartbeat_jsonl(out: &mut String, records: &[scis_serve::json::Json]) {
+    let f = |r: &scis_serve::json::Json, k: &str| r.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    out.push_str(&format!("heartbeat stream: {} records\n", records.len()));
+    // the last record per phase, in order of first appearance
+    let mut phases: Vec<(String, &scis_serve::json::Json)> = Vec::new();
+    for r in records {
+        let phase = r
+            .get("phase")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string();
+        match phases.iter_mut().find(|(p, _)| *p == phase) {
+            Some(slot) => slot.1 = r,
+            None => phases.push((phase, r)),
+        }
+    }
+    for (phase, r) in &phases {
+        out.push_str(&format!(
+            "  {}: epoch {}/{}, shard {}/{}, rows {}/{}, {:.1} rows/s, eta {:.1}s, rollbacks {}\n",
+            phase,
+            f(r, "epoch"),
+            f(r, "epochs"),
+            f(r, "shard"),
+            f(r, "shards"),
+            f(r, "rows_done"),
+            f(r, "rows_total"),
+            f(r, "rows_per_sec"),
+            f(r, "eta_secs"),
+            f(r, "rollbacks"),
+        ));
+    }
+    if let Some(last) = records.last() {
+        out.push_str(&format!(
+            "  elapsed {:.2}s, peak rss {:.1} MiB\n",
+            f(last, "elapsed_secs"),
+            f(last, "peak_rss_bytes") / (1024.0 * 1024.0),
+        ));
+    }
+}
+
+/// Summarizes a serve access log (`scis serve --access-log`): request and
+/// row totals, status mix, latency range, degraded count.
+fn render_access_log_jsonl(out: &mut String, records: &[scis_serve::json::Json]) {
+    let f = |r: &scis_serve::json::Json, k: &str| r.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    out.push_str(&format!("access log: {} requests\n", records.len()));
+    let mut statuses: Vec<(u64, usize)> = Vec::new();
+    let (mut rows, mut degraded) = (0u64, 0usize);
+    let (mut lat_min, mut lat_max, mut lat_sum) = (f64::MAX, 0f64, 0f64);
+    for r in records {
+        let status = f(r, "status") as u64;
+        match statuses.iter_mut().find(|(s, _)| *s == status) {
+            Some(slot) => slot.1 += 1,
+            None => statuses.push((status, 1)),
+        }
+        rows += f(r, "rows") as u64;
+        degraded += (f(r, "degraded") as u64 != 0) as usize;
+        let lat = f(r, "latency_ns");
+        lat_min = lat_min.min(lat);
+        lat_max = lat_max.max(lat);
+        lat_sum += lat;
+    }
+    statuses.sort_unstable();
+    for (status, count) in &statuses {
+        out.push_str(&format!("  status {}: {}\n", status, count));
+    }
+    out.push_str(&format!("  rows: {}, degraded: {}\n", rows, degraded));
+    if !records.is_empty() {
+        out.push_str(&format!(
+            "  latency_ns: min {:.0}, mean {:.0}, max {:.0}\n",
+            lat_min,
+            lat_sum / records.len() as f64,
+            lat_max
+        ));
+    }
+}
+
+/// Renders a JSONL file (one JSON object per line). Heartbeat streams and
+/// access logs get schema-aware summaries; anything else falls back to a
+/// per-record dump.
+fn render_jsonl(out: &mut String, path: &str, text: &str) -> Result<(), String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc =
+            scis_serve::json::parse(line).map_err(|e| format!("{} line {}: {}", path, i + 1, e))?;
+        records.push(doc);
+    }
+    if records.is_empty() {
+        return Err(format!("{}: empty file", path));
+    }
+    let first = &records[0];
+    let is_heartbeat = first.get("type").and_then(|v| v.as_str()) == Some("heartbeat");
+    let is_access_log = first.get("trace_id").is_some() && first.get("status").is_some();
+    if is_heartbeat {
+        render_heartbeat_jsonl(out, &records);
+    } else if is_access_log {
+        render_access_log_jsonl(out, &records);
+    } else {
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(&format!("- [{}]\n", i));
+            render_json(out, r, 1);
+        }
+    }
+    Ok(())
+}
+
 fn run_report(argv: Vec<String>) -> Result<RunFlags, String> {
     if argv.is_empty() {
-        return Err("usage: scis report FILE.json [FILE.json ...]".into());
+        return Err("usage: scis report FILE.json [FILE.jsonl ...]".into());
     }
     for path in &argv {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("reading {:?}: {}", path, e))?;
-        let doc = scis_serve::json::parse(&text).map_err(|e| format!("{}: {}", path, e))?;
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", path));
-        render_json(&mut out, &doc, 0);
+        // a whole-file parse accepts every single-document artifact; what it
+        // rejects is retried as JSONL (heartbeat streams, access logs)
+        match scis_serve::json::parse(&text) {
+            Ok(doc) => render_json(&mut out, &doc, 0),
+            Err(e) => {
+                render_jsonl(&mut out, path, &text)
+                    .map_err(|le| format!("{}: not JSON ({}) and not JSONL ({})", path, e, le))?;
+            }
+        }
         print!("{}", out);
     }
     Ok(RunFlags::default())

@@ -1,0 +1,238 @@
+//! The heartbeat stream's two contracts, end to end:
+//!
+//! 1. **Determinism-neutral.** Attaching a progress hook never changes the
+//!    imputed output — heartbeats read the wall clock, but only *after* the
+//!    caller has built the [`Progress`] snapshot from already-tracked state,
+//!    so no clock value ever feeds the model. Holds at any [`ExecPolicy`].
+//! 2. **Structured coverage.** With the default zero interval the stream
+//!    carries at least one line per attempted training epoch plus one per
+//!    imputed shard, each line is a parseable JSON object with the full
+//!    schema, and sequence numbers are gapless.
+
+use scis_core::HeartbeatHook;
+use scis_data::missing::inject_mcar;
+use scis_data::{ChunkedDataset, MemorySink};
+use scis_repro::prelude::*;
+use scis_serve::json::{self, Json};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A `Write` sink the test can read back after the hook is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn lines(&self) -> Vec<String> {
+        String::from_utf8(self.0.lock().unwrap().clone())
+            .expect("heartbeat stream must be utf-8")
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+}
+
+const EPOCHS: usize = 8;
+
+fn correlated_table(n: usize, seed: u64) -> Matrix {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, 4);
+    for i in 0..n {
+        let t = rng.uniform();
+        m[(i, 0)] = t;
+        m[(i, 1)] = (0.8 * t + 0.1 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        m[(i, 2)] = (1.0 - t + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+        m[(i, 3)] = (0.5 * t + 0.25 + rng.normal_with(0.0, 0.02)).clamp(0.0, 1.0);
+    }
+    m
+}
+
+fn fast_config(exec: ExecPolicy) -> ScisConfig {
+    ScisConfig::default()
+        .dim(
+            DimConfig::default().train(
+                TrainConfig::default()
+                    .epochs(EPOCHS)
+                    .batch_size(64)
+                    .learning_rate(0.005)
+                    .dropout(0.0),
+            ),
+        )
+        .epsilon(0.02)
+        .exec(exec)
+}
+
+/// One seeded in-memory run with the given hook; returns the imputed matrix.
+fn run_with_hook(exec: ExecPolicy, hook: HeartbeatHook) -> Matrix {
+    let complete = correlated_table(400, 11);
+    let mut rng = Rng64::seed_from_u64(12);
+    let ds = inject_mcar(&complete, 0.25, &mut rng);
+    let mut gain = GainImputer::new(fast_config(exec).dim.train);
+    Scis::new(fast_config(exec))
+        .heartbeat(hook)
+        .try_run(&mut gain, &ds, 80, &mut rng)
+        .expect("pipeline run failed")
+        .imputed
+}
+
+/// Same run through the streamed pipeline.
+fn run_streamed_with_hook(exec: ExecPolicy, hook: HeartbeatHook, chunk_rows: usize) -> Matrix {
+    let complete = correlated_table(400, 11);
+    let mut rng = Rng64::seed_from_u64(12);
+    let ds = inject_mcar(&complete, 0.25, &mut rng);
+    let src = ChunkedDataset::new(&ds, chunk_rows);
+    let mut gain = GainImputer::new(fast_config(exec).dim.train);
+    let mut sink = MemorySink::new();
+    Scis::new(fast_config(exec))
+        .heartbeat(hook)
+        .try_run_streamed(&mut gain, &src, 80, &mut rng, &mut sink)
+        .expect("streamed pipeline run failed");
+    sink.into_matrix()
+}
+
+const SCHEMA_KEYS: &[&str] = &[
+    "type",
+    "seq",
+    "phase",
+    "epoch",
+    "epochs",
+    "shard",
+    "shards",
+    "rows_done",
+    "rows_total",
+    "rows_per_sec",
+    "eta_secs",
+    "elapsed_secs",
+    "peak_rss_bytes",
+    "rollbacks",
+    "warm_hit_rate",
+];
+
+fn parse_heartbeat(line: &str) -> Json {
+    let v = json::parse(line).unwrap_or_else(|e| panic!("unparseable heartbeat {line:?}: {e}"));
+    for key in SCHEMA_KEYS {
+        assert!(v.get(key).is_some(), "heartbeat missing {key}: {line}");
+    }
+    assert_eq!(text(&v, "type"), "heartbeat");
+    v
+}
+
+/// Numeric field accessor, panicking with the key name when absent.
+fn num(v: &Json, key: &str) -> f64 {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("heartbeat field {key} is not a number"))
+}
+
+/// String field accessor, panicking with the key name when absent.
+fn text<'a>(v: &'a Json, key: &str) -> &'a str {
+    v.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("heartbeat field {key} is not a string"))
+}
+
+#[test]
+fn heartbeat_stream_does_not_perturb_the_output() {
+    for exec in [ExecPolicy::Serial, ExecPolicy::threads(4)] {
+        let silent = run_with_hook(exec, HeartbeatHook::off());
+        let buf = SharedBuf::default();
+        let noisy = run_with_hook(
+            exec,
+            HeartbeatHook::to_writer(Box::new(buf.clone()), Duration::ZERO),
+        );
+        assert_eq!(silent, noisy, "heartbeat changed the imputation ({exec:?})");
+        assert!(
+            buf.lines().len() > EPOCHS,
+            "expected more than {EPOCHS} heartbeats, got {} ({exec:?})",
+            buf.lines().len()
+        );
+    }
+}
+
+#[test]
+fn heartbeat_lines_carry_the_full_schema_in_order() {
+    let buf = SharedBuf::default();
+    run_with_hook(
+        ExecPolicy::Serial,
+        HeartbeatHook::to_writer(Box::new(buf.clone()), Duration::ZERO),
+    );
+    let lines = buf.lines();
+    // at least one beat per attempted epoch of the initial train plus the
+    // final impute beat (SSE probes and the retrain add more)
+    assert!(lines.len() > EPOCHS, "only {} heartbeats", lines.len());
+    let mut saw_train = false;
+    for (i, line) in lines.iter().enumerate() {
+        let v = parse_heartbeat(line);
+        assert_eq!(num(&v, "seq"), i as f64, "seq gap at line {i}");
+        // training beats report the epoch budget; the impute beat is
+        // epoch-free (epochs=0) and counts shards instead
+        if text(&v, "phase") != "impute" {
+            assert_eq!(num(&v, "epochs"), EPOCHS as f64, "line {i}: {line}");
+        }
+        let done = num(&v, "rows_done");
+        let total = num(&v, "rows_total");
+        assert!(done <= total, "rows_done {done} > rows_total {total}");
+        assert!(num(&v, "elapsed_secs") >= 0.0);
+        assert!(num(&v, "rows_per_sec") >= 0.0);
+        if text(&v, "phase") == "initial" {
+            saw_train = true;
+        }
+    }
+    assert!(saw_train, "no initial-train heartbeat in {lines:?}");
+    // the run ends on the impute beat: whole matrix written, one shard
+    let last = parse_heartbeat(lines.last().unwrap());
+    assert_eq!(text(&last, "phase"), "impute");
+    assert_eq!(num(&last, "rows_done"), 400.0);
+    assert_eq!(num(&last, "rows_total"), 400.0);
+    assert_eq!(num(&last, "shard"), 1.0);
+    assert_eq!(num(&last, "shards"), 1.0);
+}
+
+#[test]
+fn a_long_interval_suppresses_all_but_the_first_coarse_beat() {
+    let buf = SharedBuf::default();
+    run_with_hook(
+        ExecPolicy::Serial,
+        HeartbeatHook::to_writer(Box::new(buf.clone()), Duration::from_secs(3600)),
+    );
+    let lines = buf.lines();
+    // the first coarse boundary always emits (nothing was ever emitted),
+    // then the hour-long window swallows the rest of a sub-second run
+    assert_eq!(lines.len(), 1, "interval gating failed: {lines:?}");
+    parse_heartbeat(&lines[0]);
+}
+
+#[test]
+fn streamed_run_beats_once_per_imputed_shard() {
+    let silent = run_streamed_with_hook(ExecPolicy::Serial, HeartbeatHook::off(), 100);
+    let buf = SharedBuf::default();
+    let noisy = run_streamed_with_hook(
+        ExecPolicy::Serial,
+        HeartbeatHook::to_writer(Box::new(buf.clone()), Duration::ZERO),
+        100,
+    );
+    assert_eq!(silent, noisy, "heartbeat changed the streamed imputation");
+    let lines = buf.lines();
+    let impute: Vec<Json> = lines
+        .iter()
+        .map(|l| parse_heartbeat(l))
+        .filter(|v| text(v, "phase") == "impute")
+        .collect();
+    // 400 rows in 100-row chunks: one beat per shard, rows_done climbing
+    assert_eq!(impute.len(), 4, "expected 4 impute beats in {lines:?}");
+    for (k, v) in impute.iter().enumerate() {
+        assert_eq!(num(v, "shard"), (k + 1) as f64);
+        assert_eq!(num(v, "shards"), 4.0);
+        assert_eq!(num(v, "rows_done"), ((k + 1) * 100) as f64);
+        assert_eq!(num(v, "rows_total"), 400.0);
+    }
+}

@@ -186,7 +186,7 @@ fn sixty_four_concurrent_clients_get_bit_identical_answers() {
     let json = json_parse(&statz.body).expect("statz is valid JSON");
     assert_eq!(
         json.get("schema").and_then(Json::as_str),
-        Some("scis-serve-statz-v1")
+        Some("scis-serve-statz-v2")
     );
     let requests_seen = json
         .get("counters")
@@ -301,6 +301,93 @@ fn wrong_width_row_is_rejected_with_400() {
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].len(), d);
     assert!(rows[0].iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn trace_ids_flow_from_response_header_to_access_log_and_metricsz_counts() {
+    use scis_repro::serve::client::request_with_headers;
+    let d = 4;
+    let dir = std::env::temp_dir().join(format!("scis_serve_obs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log_path = dir.join("access.jsonl");
+    let mut server = Server::start(
+        tiny_bundle(d, 61),
+        ServerConfig {
+            access_log: Some(log_path.clone()),
+            ..ServerConfig::default()
+        },
+        Telemetry::collecting(),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // a server-minted trace id: 16 lowercase hex chars, unique per request
+    let first = request(addr, "POST", "/impute", Some("{\"row\":[1,null,3,null]}")).unwrap();
+    assert_eq!(first.status, 200);
+    let minted = first
+        .header("X-Scis-Trace-Id")
+        .expect("minted id")
+        .to_owned();
+    assert_eq!(minted.len(), 16, "minted id {minted:?}");
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()));
+    let second = request(addr, "POST", "/impute", Some("{\"row\":[1,null,3,null]}")).unwrap();
+    let minted2 = second
+        .header("X-Scis-Trace-Id")
+        .expect("minted id")
+        .to_owned();
+    assert_ne!(minted, minted2, "trace ids must be unique per request");
+
+    // a client-supplied id round-trips verbatim
+    let resp = request_with_headers(
+        addr,
+        "POST",
+        "/impute",
+        Some("{\"row\":[null,2,null,4]}"),
+        &[("X-Scis-Trace-Id", "req-42_abc")],
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("X-Scis-Trace-Id"), Some("req-42_abc"));
+
+    // /metricsz is valid-looking Prometheus text and saw all three requests
+    let metrics = request(addr, "GET", "/metricsz", None).expect("metricsz");
+    assert_eq!(metrics.status, 200);
+    assert_eq!(
+        metrics.header("Content-Type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let line = metrics
+        .body
+        .lines()
+        .find(|l| l.starts_with("scis_serve_requests "))
+        .expect("serve_requests sample");
+    let seen: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert!(seen >= 3.0, "metricsz lost requests: {line}");
+    assert!(metrics.body.contains("# TYPE scis_serve_requests counter"));
+    assert!(metrics.body.contains("scis_serve_requests_per_sec"));
+
+    // every handled request left one access-log line carrying its trace id
+    server.shutdown();
+    let log = std::fs::read_to_string(&log_path).expect("access log exists");
+    let ids: Vec<String> = log
+        .lines()
+        .map(|l| {
+            let v = json_parse(l).unwrap_or_else(|e| panic!("bad access-log line {l:?}: {e}"));
+            assert!(v.get("status").is_some(), "no status in {l}");
+            assert!(v.get("latency_ns").is_some(), "no latency in {l}");
+            v.get("trace_id")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("no trace_id in {l}"))
+                .to_owned()
+        })
+        .collect();
+    for id in [minted.as_str(), minted2.as_str(), "req-42_abc"] {
+        assert!(
+            ids.iter().any(|i| i == id),
+            "access log lost trace {id}: {log}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -11,8 +11,9 @@
 //!    returns the structural fields only.
 
 use scis_data::missing::inject_mcar;
+use scis_data::{ChunkedDataset, MemorySink};
 use scis_repro::prelude::*;
-use scis_repro::telemetry::{Counter, Hist};
+use scis_repro::telemetry::{Counter, Event, Hist, RecordedEvent};
 
 fn correlated_table(n: usize, seed: u64) -> Matrix {
     let mut rng = Rng64::seed_from_u64(seed);
@@ -58,6 +59,96 @@ fn run_pipeline(exec: ExecPolicy, tel: Telemetry) -> (Matrix, usize, [u64; Count
         outcome.n_star,
         tel.snapshot().counter_values(),
     )
+}
+
+/// Streamed twin of [`run_pipeline`]: same table, same seeds, same config,
+/// but fed through [`Scis::try_run_streamed`] over an in-memory chunked
+/// source into a memory sink.
+fn run_pipeline_streamed(
+    exec: ExecPolicy,
+    tel: Telemetry,
+    chunk_rows: usize,
+) -> (Matrix, usize, [u64; Counter::ALL.len()]) {
+    let complete = correlated_table(400, 11);
+    let mut rng = Rng64::seed_from_u64(12);
+    let ds = inject_mcar(&complete, 0.25, &mut rng);
+    let src = ChunkedDataset::new(&ds, chunk_rows);
+    let mut gain = GainImputer::new(fast_config(exec).dim.train);
+    let mut sink = MemorySink::new();
+    let out = Scis::new(fast_config(exec))
+        .telemetry(tel.clone())
+        .try_run_streamed(&mut gain, &src, 80, &mut rng, &mut sink)
+        .expect("streamed pipeline run failed");
+    (
+        sink.into_matrix(),
+        out.n_star,
+        tel.snapshot().counter_values(),
+    )
+}
+
+/// The recorded event stream with its only wall-clock-valued field
+/// (`PhaseEnd::secs`) zeroed, so full sequences compare bit-for-bit
+/// across runs.
+fn normalized_events(tel: &Telemetry) -> Vec<RecordedEvent> {
+    tel.events()
+        .into_iter()
+        .map(|mut r| {
+            if let Event::PhaseEnd { secs, .. } = &mut r.event {
+                *secs = 0.0;
+            }
+            r
+        })
+        .collect()
+}
+
+#[test]
+fn streamed_pipeline_matches_in_memory_telemetry() {
+    for exec in [ExecPolicy::Serial, ExecPolicy::threads(4)] {
+        let tel_mem = Telemetry::collecting();
+        let tel_str = Telemetry::collecting();
+        let (imp_mem, n_mem, counters_mem) = run_pipeline(exec, tel_mem.clone());
+        // one 400-row chunk: the streamed run imputes in a single shard, so
+        // it does exactly as many forward passes as the in-memory run and
+        // every counter must match exactly
+        let (imp_str, n_str, counters_str) = run_pipeline_streamed(exec, tel_str.clone(), 400);
+        assert_eq!(imp_mem, imp_str, "imputed output diverged ({exec:?})");
+        assert_eq!(n_mem, n_str, "n* diverged ({exec:?})");
+        for (c, (a, b)) in Counter::ALL
+            .iter()
+            .zip(counters_mem.iter().zip(&counters_str))
+        {
+            assert_eq!(
+                a,
+                b,
+                "counter {} diverged in-memory vs streamed ({exec:?})",
+                c.name()
+            );
+        }
+        let ev_mem = normalized_events(&tel_mem);
+        let ev_str = normalized_events(&tel_str);
+        assert!(!ev_mem.is_empty(), "no events recorded");
+        assert_eq!(ev_mem, ev_str, "event sequences diverged ({exec:?})");
+    }
+}
+
+#[test]
+fn streamed_telemetry_is_identical_across_exec_policies() {
+    // multi-shard this time (100-row chunks -> 4 shards): the parallel and
+    // serial streamed runs must agree with each other bit-for-bit even when
+    // the impute phase runs shard by shard
+    let tel_s = Telemetry::collecting();
+    let tel_p = Telemetry::collecting();
+    let (imp_s, n_s, counters_s) = run_pipeline_streamed(ExecPolicy::Serial, tel_s.clone(), 100);
+    let (imp_p, n_p, counters_p) =
+        run_pipeline_streamed(ExecPolicy::threads(4), tel_p.clone(), 100);
+    assert_eq!(imp_s, imp_p, "streamed imputed output diverged");
+    assert_eq!(n_s, n_p, "streamed n* diverged");
+    assert_eq!(counters_s, counters_p, "streamed counters diverged");
+    assert_eq!(
+        normalized_events(&tel_s),
+        normalized_events(&tel_p),
+        "streamed event sequences diverged"
+    );
 }
 
 #[test]

@@ -8,7 +8,7 @@
 //! own integration-test file) and drives every record method of a disabled
 //! handle.
 
-use scis_repro::telemetry::{Counter, Event, Hist, Series, SpanKind, Telemetry};
+use scis_repro::telemetry::{Counter, Event, Hist, RateWindow, Series, SpanKind, Telemetry};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -72,6 +72,45 @@ fn disabled_collector_allocates_nothing_on_record_paths() {
     assert!(tel.series(Series::DimLoss).is_empty());
     assert_eq!(tel.hist(Hist::SinkhornSolveIters).count, 0);
     assert_eq!(tel.events_recorded(), 0);
+}
+
+#[test]
+fn disabled_rate_window_allocates_nothing() {
+    let rate = RateWindow::off();
+    let clone = rate.clone();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        rate.record(4);
+        clone.record(1);
+        let _ = rate.per_sec();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled rate window allocated {} times",
+        after - before
+    );
+    assert_eq!(rate.per_sec(), 0.0);
+}
+
+#[test]
+fn collecting_rate_window_records_without_allocating() {
+    let rate = RateWindow::collecting();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        rate.record(2);
+        let _ = rate.per_sec();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "rate window hot path allocated {} times",
+        after - before
+    );
+    assert!(rate.per_sec() > 0.0, "recorded rows must show up");
 }
 
 #[test]
